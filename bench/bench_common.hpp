@@ -1,0 +1,87 @@
+// Shared helpers for the benchmark/reproduction binaries.
+//
+// Every bench binary prints its paper-reproduction table to stdout first
+// (workload, verdicts, series) and then runs google-benchmark timings, so
+// `for b in build/bench/*; do $b; done` regenerates every experiment.
+
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gtdl/frontend/driver.hpp"
+
+namespace gtdl::bench {
+
+inline std::string programs_dir() {
+#ifdef GTDL_PROGRAMS_DIR
+  return GTDL_PROGRAMS_DIR;
+#else
+  return "examples/programs";
+#endif
+}
+
+inline std::string read_program(const std::string& name) {
+  const std::string path = programs_dir() + "/" + name;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// The six §5 evaluation programs, in Table 1 order.
+struct EvalProgram {
+  const char* name;   // Table 1 row label
+  const char* file;   // under examples/programs/
+  bool has_deadlock;  // ground truth
+};
+
+inline const std::vector<EvalProgram>& eval_programs() {
+  static const std::vector<EvalProgram> programs{
+      {"Fibonacci", "fibonacci.fut", false},
+      {"FibDL", "fib_dl.fut", true},
+      {"Pipeline", "pipeline.fut", false},
+      {"Counterex.", "counterex.fut", true},
+      {"Webserver", "webserver.fut", false},
+      {"WebserverDL", "webserver_dl.fut", true},
+  };
+  return programs;
+}
+
+// Generates a deadlock-free synthetic FutLang program with `stages`
+// chained helper functions, each owning one future whose body calls the
+// previous helper — a program whose graph type grows linearly with
+// `stages` (used by the scalability sweep).
+inline std::string synthetic_chain_program(unsigned stages) {
+  std::string src;
+  src += "fun h1() -> int {\n"
+         "  let u = new_future[int]();\n"
+         "  spawn u { return 1; }\n"
+         "  return touch(u);\n"
+         "}\n";
+  for (unsigned k = 2; k <= stages; ++k) {
+    const std::string prev = "h" + std::to_string(k - 1);
+    src += "fun h" + std::to_string(k) + "() -> int {\n";
+    src += "  let u = new_future[int]();\n";
+    src += "  spawn u { return " + prev + "() + 1; }\n";
+    src += "  return touch(u);\n";
+    src += "}\n";
+  }
+  src += "fun main() {\n  print(int_to_string(h" +
+         std::to_string(stages) + "()));\n}\n";
+  return src;
+}
+
+inline CompiledProgram compile_file(const std::string& file,
+                                    const InferOptions& options = {}) {
+  return compile_futlang_or_throw(read_program(file), options);
+}
+
+inline const char* mark(bool correct) { return correct ? "yes" : "NO"; }
+
+}  // namespace gtdl::bench

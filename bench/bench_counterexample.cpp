@@ -1,0 +1,84 @@
+// E3 — the §3 counterexample family: no fixed unrolling bound makes the
+// GML baseline sound, and chasing the family gets exponentially more
+// expensive, while the paper's kind system rejects every member in one
+// cheap pass.
+//
+// For family member m the deadlock manifests only at the (m+1)-st
+// recursive call, i.e. per-binding unroll bound m+2. The table sweeps m
+// and shows (a) GML at its own setting (2 unrolls) missing every member,
+// (b) the bound each member actually needs, (c) the number of graphs the
+// baseline must check at that bound, growing with m, and (d) our verdict.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gtdl/detect/counterexample.hpp"
+#include "gtdl/detect/deadlock.hpp"
+#include "gtdl/detect/gml_baseline.hpp"
+
+namespace {
+
+using namespace gtdl;
+
+void print_family_table() {
+  std::printf(
+      "S3 counterexample family (deadlock manifests at call m+1):\n"
+      "%-3s | %-14s | %-14s %-8s | %-14s %-8s | %s\n", "m",
+      "GML @2 unrolls", "GML @m+1", "graphs", "GML @m+2", "graphs",
+      "Ours");
+  for (unsigned m = 1; m <= 6; ++m) {
+    const GTypePtr g = counterexample_gtype(m);
+
+    const GmlBaselineReport at2 = gml_baseline_check(g);
+    GmlBaselineOptions shallow;
+    shallow.unrolls_per_binding = m + 1;
+    const GmlBaselineReport at_m1 = gml_baseline_check(g, shallow);
+    GmlBaselineOptions deep;
+    deep.unrolls_per_binding = m + 2;
+    const GmlBaselineReport at_m2 = gml_baseline_check(g, deep);
+    const DeadlockVerdict ours = check_deadlock_freedom(g);
+
+    std::printf("%-3u | %-14s | %-14s %-8zu | %-14s %-8zu | %s\n", m,
+                at2.deadlock_reported ? "finds DL" : "MISSES DL",
+                at_m1.deadlock_reported ? "finds DL" : "misses DL",
+                at_m1.graphs_checked,
+                at_m2.deadlock_reported ? "finds DL" : "misses DL",
+                at_m2.graphs_checked,
+                ours.deadlock_free ? "ACCEPTS (wrong)" : "rejects (right)");
+  }
+  std::printf(
+      "(paper: for any bound n there is a member the baseline misses; "
+      "ours rejects all)\n\n");
+}
+
+void BM_OursOnFamily(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const GTypePtr g = counterexample_gtype(m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_deadlock_freedom(g).deadlock_free);
+  }
+}
+
+void BM_GmlAtNeededBound(benchmark::State& state) {
+  const unsigned m = static_cast<unsigned>(state.range(0));
+  const GTypePtr g = counterexample_gtype(m);
+  GmlBaselineOptions options;
+  options.unrolls_per_binding = m + 2;  // the bound that catches member m
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gml_baseline_check(g, options).deadlock_reported);
+  }
+}
+
+BENCHMARK(BM_OursOnFamily)->DenseRange(1, 6);
+BENCHMARK(BM_GmlAtNeededBound)->DenseRange(1, 6);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_family_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

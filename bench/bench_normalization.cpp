@@ -1,0 +1,77 @@
+// E4 — the §3 blow-up claim: "the number of graphs in Norm_n(G) is, for
+// most graph types, exponential in n."
+//
+// The series below counts |Norm_n(G)| exactly as Fig. 3 defines it (no
+// set-level deduplication, computed combinatorially) for the
+// divide-and-conquer type of §2.3 and for the §3 counterexample, and
+// also reports the number of semantically distinct graphs (alpha-deduped)
+// that a detector would actually have to check. Both grow exponentially;
+// materializing them is what makes deeper unrolling bounds impractical,
+// motivating the paper's normalization-free kind system.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <inttypes.h>
+
+#include "bench_common.hpp"
+#include "gtdl/detect/counterexample.hpp"
+#include "gtdl/gtype/normalize.hpp"
+#include "gtdl/gtype/parse.hpp"
+
+namespace {
+
+using namespace gtdl;
+
+const GTypePtr& dnc_type() {
+  static const GTypePtr g =
+      parse_gtype_or_throw("rec g. new u. 1 | g / u ; g ; ~u");
+  return g;
+}
+
+void print_series(const char* label, const GTypePtr& g, unsigned max_depth) {
+  std::printf("%s\n%-5s %20s %16s %12s\n", label, "n", "|Norm_n| (Fig.3)",
+              "distinct", "truncated");
+  for (unsigned n = 1; n <= max_depth; ++n) {
+    const std::uint64_t raw = count_normalizations(g, n);
+    NormalizeLimits limits;
+    limits.max_graphs = 200000;
+    limits.max_steps = 5'000'000;
+    const NormalizeResult materialized = normalize(g, n, limits);
+    std::printf("%-5u %20" PRIu64 " %16zu %12s\n", n, raw,
+                materialized.graphs.size(),
+                materialized.truncated ? "yes" : "no");
+  }
+  std::printf("\n");
+}
+
+void BM_CountNormalizations(benchmark::State& state) {
+  const unsigned depth = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(count_normalizations(dnc_type(), depth));
+  }
+}
+
+void BM_MaterializeNormalization(benchmark::State& state) {
+  const unsigned depth = static_cast<unsigned>(state.range(0));
+  NormalizeLimits limits;
+  limits.max_graphs = 1u << 22;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(normalize(dnc_type(), depth, limits).graphs);
+  }
+  state.SetComplexityN(depth);
+}
+
+BENCHMARK(BM_CountNormalizations)->DenseRange(2, 12, 2);
+BENCHMARK(BM_MaterializeNormalization)->DenseRange(2, 8, 1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_series("divide-and-conquer type  rec g. new u. 1 | g/u ; g ; ~u",
+               dnc_type(), 12);
+  print_series("S3 counterexample (m = 1)", counterexample_gtype(1), 12);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

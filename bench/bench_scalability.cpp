@@ -1,0 +1,81 @@
+// E5 — scalability of the detector with program size.
+//
+// §5 notes the Webserver is "an order of magnitude larger" than the
+// other examples yet checks in single-digit milliseconds, less than
+// inference. The kind system is one syntax-directed pass, so its cost
+// should scale ~linearly in the size of the graph type. This bench
+// sweeps synthetic programs with F chained future-owning functions and
+// reports inference and detection times.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gtdl/detect/deadlock.hpp"
+
+namespace {
+
+using namespace gtdl;
+using namespace gtdl::bench;
+using Clock = std::chrono::steady_clock;
+
+void print_scalability_table() {
+  std::printf(
+      "Synthetic chain programs: F functions, one future each.\n"
+      "%-6s %10s %12s %12s %10s\n", "F", "src lines", "infer (ms)",
+      "detect (ms)", "verdict");
+  for (unsigned f : {2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    const std::string source = synthetic_chain_program(f);
+    const auto t0 = Clock::now();
+    const CompiledProgram compiled = compile_futlang_or_throw(source);
+    const auto t1 = Clock::now();
+    const DeadlockVerdict verdict =
+        check_deadlock_freedom(compiled.inferred.program_gtype);
+    const auto t2 = Clock::now();
+    const double infer_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double detect_ms =
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    std::printf("%-6u %10zu %12.3f %12.3f %10s\n", f,
+                static_cast<std::size_t>(
+                    std::count(source.begin(), source.end(), '\n')),
+                infer_ms, detect_ms,
+                verdict.deadlock_free ? "ok" : "rejected");
+  }
+  std::printf("(expected shape: both ~linear in F; detect < infer)\n\n");
+}
+
+void BM_DetectChain(benchmark::State& state) {
+  const unsigned f = static_cast<unsigned>(state.range(0));
+  const CompiledProgram compiled =
+      compile_futlang_or_throw(synthetic_chain_program(f));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        check_deadlock_freedom(compiled.inferred.program_gtype)
+            .deadlock_free);
+  }
+  state.SetComplexityN(f);
+}
+
+void BM_InferChain(benchmark::State& state) {
+  const unsigned f = static_cast<unsigned>(state.range(0));
+  const std::string source = synthetic_chain_program(f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compile_futlang_or_throw(source));
+  }
+  state.SetComplexityN(f);
+}
+
+BENCHMARK(BM_DetectChain)->RangeMultiplier(2)->Range(2, 256)->Complexity();
+BENCHMARK(BM_InferChain)->RangeMultiplier(2)->Range(2, 256)->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_scalability_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// The paper's title claim, demonstrated: the SAME analysis, which never
+// sees source code, handles programs from two different languages — the
+// imperative FutLang and the OCaml-flavoured MiniML — because both
+// frontends emit the same graph-type IR. For the divide-and-conquer
+// algorithm the two frontends infer alpha-EQUIVALENT types.
+//
+// Build & run:  ./build/examples/language_agnostic
+
+#include <iostream>
+
+#include "gtdl/detect/deadlock.hpp"
+#include "gtdl/frontend/driver.hpp"
+#include "gtdl/mml/driver.hpp"
+
+namespace {
+
+constexpr const char* kFutLang = R"(
+fun dac(n: int) -> int {
+  if n < 2 {
+    return n;
+  } else {
+    let h = new_future[int]();
+    spawn h { return dac(n - 1); }
+    let right = dac(n - 2);
+    let left = touch(h);
+    return left + right;
+  }
+}
+fun main() { let x = dac(16); }
+)";
+
+constexpr const char* kMiniMl = R"(
+let rec dac (n : int) : int =
+  if n < 2 then n
+  else
+    let h : int future = newfut () in
+    spawn h (dac (n - 1));
+    let right = dac (n - 2) in
+    let left = touch h in
+    left + right
+
+let main () : unit =
+  let x = dac 16 in
+  ()
+)";
+
+}  // namespace
+
+int main() {
+  using namespace gtdl;
+
+  const CompiledProgram futlang = compile_futlang_or_throw(kFutLang);
+  const mml::CompiledMml miniml = mml::compile_mml_or_throw(kMiniMl);
+
+  const GTypePtr from_futlang =
+      futlang.inferred.functions.at(Symbol::intern("dac")).gtype;
+  const GTypePtr from_miniml =
+      miniml.inferred.functions.at(Symbol::intern("dac")).gtype;
+
+  std::cout << "FutLang source (imperative):\n" << kFutLang
+            << "\nMiniML source (functional):\n" << kMiniMl << "\n";
+  std::cout << "graph type from FutLang: " << to_string(from_futlang)
+            << "\ngraph type from MiniML:  " << to_string(from_miniml)
+            << "\nalpha-equivalent: "
+            << (alpha_equal(*from_futlang, *from_miniml) ? "YES" : "no")
+            << "\n";
+
+  for (const auto& [label, g] :
+       {std::pair<const char*, GTypePtr>{"FutLang",
+                                         futlang.inferred.program_gtype},
+        std::pair<const char*, GTypePtr>{"MiniML",
+                                         miniml.inferred.program_gtype}}) {
+    const DeadlockVerdict verdict = check_deadlock_freedom(g);
+    std::cout << "detector on the " << label << " program: "
+              << (verdict.deadlock_free ? "deadlock-free" : "rejected")
+              << "\n";
+  }
+  std::cout << "(the detector consumed only graph types; it cannot tell "
+               "the languages apart)\n";
+  return 0;
+}

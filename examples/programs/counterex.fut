@@ -1,0 +1,33 @@
+# Counterex. (paper §3 / §5, example 4) — the first member (m = 1) of
+# the counterexample family that refutes GML's unrolling conjecture.
+#
+# Function g takes a future to spawn (a) and a future to touch (x). On
+# each recursive call both roles are filled by the SAME freshly created
+# future u, so the k-th call touches the future created at call k-1 —
+# which is spawned only LATER in the same call, after the touch. The
+# deadlock manifests at the 2nd recursive call (m + 1), one unrolling
+# beyond what GML's detector explores: GML wrongly declares this program
+# deadlock-free, while the paper's kind system rejects it.
+#
+# (The m = 2 member additionally defeats GML's 2-round type inference —
+# paper footnote 3 — which this frontend reproduces; see
+# counterexample_futlang(2) and the bench_counterexample harness.)
+
+fun g(a: future[int], x: future[int]) {
+  let u = new_future[int]();
+  if rand() == 0 {
+    return;
+  } else {
+    touch(x);
+    spawn a { return 42; }
+    g(u, u);
+    return;
+  }
+}
+
+fun main() {
+  let u1 = new_future[int]();
+  let u2 = new_future[int]();
+  spawn u2 { return 42; }
+  g(u1, u2);
+}

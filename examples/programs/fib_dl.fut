@@ -1,0 +1,29 @@
+# FibDL (paper §5, example 2) — the Fibonacci program with one touch
+# altered to create a deadlock.
+#
+# In fib_stage, the fib(k-2) future `prev2` is touched BEFORE the thread
+# that would spawn it (the fib(k-1) stage) exists. The touch blocks
+# forever: deadlock situation (1) of the paper, which closes a cycle in
+# the dependency graph once the spawn is recorded later in program order.
+
+fun fib_stage(k: int, out: future[int]) -> int {
+  if k <= 2 {
+    spawn out { return 1; }
+    return 1;
+  } else {
+    let prev2 = new_future[int]();
+    # BUG (deliberate): prev2 is spawned by out's thread, which has not
+    # been spawned yet — this touch can never be satisfied.
+    let f2 = touch(prev2);
+    spawn out { return fib_stage(k - 1, prev2); }
+    return touch(out) + f2;
+  }
+}
+
+fun main() {
+  let top = new_future[int]();
+  let prev = new_future[int]();
+  spawn top { return fib_stage(8, prev); }
+  let f8 = touch(top);
+  print(concat("fib(8) = ", int_to_string(f8)));
+}

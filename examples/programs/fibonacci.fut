@@ -1,0 +1,43 @@
+# Fibonacci (paper §5, example 1) — deadlock-free.
+#
+# Computes the 8th Fibonacci number with 8 future threads: thread k
+# computes fib(k) and spawns thread k-1; threads 3..8 touch the previous
+# TWO threads and sum their results.
+#
+# The thread structure is a descending spawn chain:
+#
+#   main -> t8 -> t7 -> ... -> t1
+#
+# so thread k's touch of thread k-2 is a *grandchild* join (k-2 was
+# spawned by k-1, not by k). Transitive Joins permits it (k may join k-1,
+# and k-1 spawned k-2, so permission propagates); Known Joins does NOT —
+# k never "learns" about k-2. This is exactly the Table 1 separation:
+# the program is deadlock-free, our analysis and TJ accept it, KJ
+# rejects it.
+
+fun fib_stage(k: int, out: future[int]) -> int {
+  # Computes fib(k). Also responsible for spawning `out`, the thread
+  # computing fib(k-1).
+  if k <= 2 {
+    # fib(1) = fib(2) = 1; the previous stage is also 1 (or unused).
+    spawn out { return 1; }
+    return 1;
+  } else {
+    let prev2 = new_future[int]();
+    # The thread for fib(k-1) spawns, in turn, the thread for fib(k-2).
+    spawn out { return fib_stage(k - 1, prev2); }
+    # fib(k) = fib(k-1) + fib(k-2); the second touch is the grandchild
+    # join that separates TJ from KJ.
+    return touch(out) + touch(prev2);
+  }
+}
+
+fun main() {
+  let top = new_future[int]();
+  let prev = new_future[int]();
+  spawn top { return fib_stage(8, prev); }
+  let f8 = touch(top);
+  let f7 = touch(prev);
+  print(concat("fib(8) = ", int_to_string(f8)));
+  print(concat("fib(7) = ", int_to_string(f7)));
+}

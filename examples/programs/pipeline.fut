@@ -1,0 +1,26 @@
+# Pipeline (paper §5, example 3) — GML's motivating example: a pipelined
+# map over a list of inputs. Deadlock-free.
+#
+# Each list element gets a future thread that touches the previous
+# stage's future and adds its own contribution; the recursion threads the
+# "previous stage" handle through the parameter list, giving the classic
+# pipelined-futures dependency structure (Blelloch & Reid-Miller style).
+
+fun pipe(xs: list[int], prev: future[int]) -> int {
+  if length(xs) == 0 {
+    # Drain the pipeline: the last stage's value is the total.
+    return touch(prev);
+  } else {
+    let next = new_future[int]();
+    spawn next { return touch(prev) + head(xs); }
+    return pipe(tail(xs), next);
+  }
+}
+
+fun main() {
+  let src = new_future[int]();
+  spawn src { return 0; }
+  let total = pipe(range(1, 10), src);
+  # 1 + 2 + ... + 9 = 45
+  print(concat("pipeline total = ", int_to_string(total)));
+}

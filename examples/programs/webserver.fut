@@ -1,0 +1,271 @@
+# Webserver (paper §5, example 5) — deadlock-free.
+#
+# A simulated HTTP server in the same size class as GML's webserver
+# example (~350 LoC). The concurrency structure exercises everything the
+# analysis supports at once:
+#
+#   * an acceptor loop (recursive `serve`) that spawns one HANDLER future
+#     per connection and touches it post-order, divide-and-conquer style;
+#   * a per-request two-stage PIPELINE inside each handler
+#     (parse -> render, the render future touching the parse future);
+#   * a serialized LOGGER chain threaded through the acceptor's
+#     parameters: each log future touches the previous one, so log
+#     entries are totally ordered (the pipeline idiom again);
+#   * a warm-cache prefetcher future touched lazily by the first handler
+#     that needs it.
+#
+# Since FutLang has no real sockets, connections are synthetic request
+# descriptors (ints) produced by a deterministic mixer — the substitution
+# preserves the paper-relevant behavior, which is the future/touch
+# structure, not the I/O.
+
+# ---------------------------------------------------------------------------
+# Small arithmetic helpers
+
+fun imin(a: int, b: int) -> int {
+  if a < b {
+    return a;
+  } else {
+    return b;
+  }
+}
+
+fun imax(a: int, b: int) -> int {
+  if a < b {
+    return b;
+  } else {
+    return a;
+  }
+}
+
+fun clamp(x: int, lo: int, hi: int) -> int {
+  return imax(lo, imin(x, hi));
+}
+
+# A tiny deterministic integer mixer (xorshift-ish, done with division
+# and modulo since FutLang has no bit operations).
+fun mix(x: int) -> int {
+  let a = (x * 1103515245 + 12345) % 2147483647;
+  let b = (a / 65536) + (a % 65536) * 31;
+  return imax(b % 1000000, 0 - (b % 1000000));
+}
+
+# ---------------------------------------------------------------------------
+# Request model. A request descriptor packs method, route and payload
+# size into one int.
+
+fun method_of(req: int) -> int {
+  # 0 = GET, 1 = POST, 2 = PUT, 3 = DELETE
+  return req % 4;
+}
+
+fun route_of(req: int) -> int {
+  # 0 = /, 1 = /api/items, 2 = /api/items/:id, 3 = /static, 4 = /health
+  return (req / 4) % 5;
+}
+
+fun payload_of(req: int) -> int {
+  return clamp((req / 20) % 4096, 0, 4095);
+}
+
+fun method_name(m: int) -> string {
+  if m == 0 {
+    return "GET";
+  } else if m == 1 {
+    return "POST";
+  } else if m == 2 {
+    return "PUT";
+  } else {
+    return "DELETE";
+  }
+}
+
+fun route_name(r: int) -> string {
+  if r == 0 {
+    return "/";
+  } else if r == 1 {
+    return "/api/items";
+  } else if r == 2 {
+    return "/api/items/:id";
+  } else if r == 3 {
+    return "/static/app.js";
+  } else {
+    return "/health";
+  }
+}
+
+fun status_name(code: int) -> string {
+  if code == 200 {
+    return "200 OK";
+  } else if code == 201 {
+    return "201 Created";
+  } else if code == 204 {
+    return "204 No Content";
+  } else if code == 404 {
+    return "404 Not Found";
+  } else if code == 405 {
+    return "405 Method Not Allowed";
+  } else {
+    return "500 Internal Server Error";
+  }
+}
+
+# ---------------------------------------------------------------------------
+# Simulated work kernels. `checksum` stands in for CPU-bound parsing /
+# templating work so handler futures do something measurable.
+
+fun checksum(n: int, acc: int) -> int {
+  if n == 0 {
+    return acc % 65521;
+  } else {
+    return checksum(n - 1, (acc * 31 + n) % 65521);
+  }
+}
+
+fun parse_request(req: int) -> int {
+  # "Parses" the request: derives a validated form token from the raw
+  # descriptor. A bad payload parses to a negative token.
+  let work = clamp(payload_of(req) / 64, 1, 48);
+  let token = checksum(work, req % 97);
+  if payload_of(req) > 4000 {
+    return 0 - token;
+  } else {
+    return token;
+  }
+}
+
+fun render_page(route: int, token: int) -> int {
+  # "Renders" a response body for the route; returns its size in bytes.
+  if token < 0 {
+    return 0;
+  } else {
+    let base = (route + 1) * 512;
+    return base + checksum(clamp(token % 32, 1, 32), route);
+  }
+}
+
+fun status_for(m: int, route: int, body_size: int) -> int {
+  if body_size == 0 {
+    return 500;
+  } else if route == 4 {
+    # /health accepts only GET.
+    if m == 0 {
+      return 204;
+    } else {
+      return 405;
+    }
+  } else if route == 2 && m == 3 {
+    return 204;
+  } else if m == 1 {
+    return 201;
+  } else if route == 3 && m != 0 {
+    return 405;
+  } else {
+    return 200;
+  }
+}
+
+# ---------------------------------------------------------------------------
+# Handler: a two-stage parse -> render pipeline of futures per request.
+# `warm` is the shared warm-cache future; handlers for /static touch it
+# to reuse the precomputed asset bundle.
+
+fun handle_request(req: int, warm: future[int]) -> int {
+  let parsed = new_future[int]();
+  spawn parsed { return parse_request(req); }
+
+  let rendered = new_future[int]();
+  spawn rendered {
+    # The render stage waits for the parse stage: a pipelined touch.
+    let token = touch(parsed);
+    return render_page(route_of(req), token);
+  }
+
+  let size = touch(rendered);
+  if route_of(req) == 3 {
+    # Static assets come from the warm cache as well.
+    let cached = touch(warm);
+    return status_for(method_of(req), route_of(req), size + cached % 128);
+  } else {
+    return status_for(method_of(req), route_of(req), size);
+  }
+}
+
+fun log_line(seq: int, req: int, status: int) -> string {
+  let head = concat(method_name(method_of(req)), " ");
+  let line = concat(head, route_name(route_of(req)));
+  let with_status = concat(concat(line, " -> "), status_name(status));
+  return concat(concat(concat("[", int_to_string(seq)), "] "), with_status);
+}
+
+# ---------------------------------------------------------------------------
+# Acceptor loop. Spawns a handler per request and a logger future that
+# touches the previous logger future (serializing the log), recurses on
+# the remaining requests, then touches its handler post-order.
+# Returns the number of 2xx responses.
+
+fun serve(reqs: list[int], warm: future[int], log_prev: future[int],
+          seq: int) -> int {
+  if length(reqs) == 0 {
+    # Drain the logger chain before shutting down.
+    let entries = touch(log_prev);
+    print(concat("log entries flushed: ", int_to_string(entries)));
+    return 0;
+  } else {
+    let req = head(reqs);
+
+    let handler = new_future[int]();
+    spawn handler { return handle_request(req, warm); }
+
+    let log_next = new_future[int]();
+    spawn log_next {
+      let count = touch(log_prev);
+      let status = touch(handler);
+      print(log_line(seq, req, status));
+      return count + 1;
+    }
+
+    let rest = serve(tail(reqs), warm, log_next, seq + 1);
+    let status = touch(handler);
+    if status >= 200 && status < 300 {
+      return rest + 1;
+    } else {
+      return rest;
+    }
+  }
+}
+
+# ---------------------------------------------------------------------------
+# Synthetic connection source.
+
+fun make_requests(n: int, seed: int) -> list[int] {
+  if n == 0 {
+    return nil;
+  } else {
+    return cons(mix(seed + n * 7919), make_requests(n - 1, seed));
+  }
+}
+
+fun count_requests(reqs: list[int]) -> int {
+  return length(reqs);
+}
+
+fun main() {
+  print("gtdl-httpd: simulated webserver starting");
+
+  # Warm the static-asset cache concurrently with request ingestion.
+  let warm = new_future[int]();
+  spawn warm { return checksum(64, 17); }
+
+  let requests = make_requests(24, 1234);
+  print(concat("accepted connections: ",
+               int_to_string(count_requests(requests))));
+
+  # Root of the logger chain.
+  let log_root = new_future[int]();
+  spawn log_root { return 0; }
+
+  let ok = serve(requests, warm, log_root, 0);
+  print(concat("2xx responses: ", int_to_string(ok)));
+  print("gtdl-httpd: shutting down");
+}

@@ -1,0 +1,64 @@
+// Quickstart: the three ways into the library.
+//
+//  1. Build a graph type with the C++ API (or parse its ASCII syntax) and
+//     ask the deadlock-freedom kind system about it.
+//  2. Compile a FutLang program: source -> graph type -> verdict.
+//  3. Execute futures for real on the threaded runtime.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <iostream>
+
+#include "gtdl/detect/deadlock.hpp"
+#include "gtdl/frontend/driver.hpp"
+#include "gtdl/gtype/parse.hpp"
+#include "gtdl/runtime/futures.hpp"
+
+int main() {
+  using namespace gtdl;
+
+  // --- 1. Graph types directly -------------------------------------------
+  // νu. (•/u ⊕ ᵘ\): spawn a future, then touch it. Deadlock-free.
+  const Symbol u = Symbol::intern("u");
+  const GTypePtr good =
+      gt::nu(u, gt::seq(gt::spawn(gt::empty(), u), gt::touch(u)));
+  std::cout << "type A: " << to_string(good) << "\n  -> "
+            << (check_deadlock_freedom(good).deadlock_free
+                    ? "deadlock-free"
+                    : "possible deadlock")
+            << "\n";
+
+  // The same thing from text — with the touch moved BEFORE the spawn.
+  const GTypePtr bad = parse_gtype_or_throw("new u. ~u ; 1 / u");
+  const DeadlockVerdict bad_verdict = check_deadlock_freedom(bad);
+  std::cout << "type B: " << to_string(bad) << "\n  -> "
+            << (bad_verdict.deadlock_free ? "deadlock-free"
+                                          : "possible deadlock")
+            << "\n" << bad_verdict.diags.render();
+
+  // --- 2. A FutLang program ----------------------------------------------
+  const char* source = R"(
+    fun main() {
+      let h = new_future[int]();
+      spawn h { return 40 + 2; }
+      print(int_to_string(touch(h)));
+    }
+  )";
+  const CompiledProgram compiled = compile_futlang_or_throw(source);
+  std::cout << "FutLang program graph type: "
+            << to_string(compiled.inferred.program_gtype) << "\n  -> "
+            << (check_deadlock_freedom(compiled.inferred.program_gtype)
+                        .deadlock_free
+                    ? "deadlock-free"
+                    : "possible deadlock")
+            << "\n";
+
+  // --- 3. Real futures ------------------------------------------------------
+  FutureRuntime rt;
+  auto first = rt.new_future<int>("first");
+  auto second = rt.new_future<int>("second");
+  first.spawn([] { return 21; });
+  second.spawn([first]() mutable { return first.touch() * 2; });
+  std::cout << "runtime says: " << second.touch() << "\n";
+  return 0;
+}

@@ -1,0 +1,305 @@
+// fdlc — futures deadlock checker.
+//
+// The end-to-end driver for the whole pipeline:
+//
+//   fdlc program.fut                  analyze a FutLang program
+//   fdlc program.mml                  analyze a MiniML program (by extension)
+//   fdlc --gtype 'new u. 1/u ; ~u'    analyze a graph type directly
+//   fdlc --gtype-file type.gt         ... from a file
+//
+// Options:
+//   --dump-gtype        print the inferred (and new-pushed) graph types
+//   --no-new-push       disable the §5 "new pushing" transformation
+//   --max-iters N       Mycroft iteration cap for inference (default 2,
+//                       GML-faithful; the §3 m>=2 family needs more)
+//   --baseline          also run the (unsound) GML unrolling baseline
+//   --unrolls N         baseline per-binding unroll bound (default 2)
+//   --run               execute the program; report the dynamic verdict
+//                       and judge the trace under Transitive/Known Joins
+//   --rand a,b,c        rand() script for --run
+//   --seed N            rand() fallback seed for --run
+//   --dot FILE          write the executed dependency graph as Graphviz
+//   --trace             print the executed trace
+//
+// Exit code: 0 = analyzed deadlock-free, 1 = possible deadlock reported,
+// 2 = usage/compile error.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtdl/detect/deadlock.hpp"
+#include "gtdl/detect/gml_baseline.hpp"
+#include "gtdl/frontend/driver.hpp"
+#include "gtdl/frontend/interp.hpp"
+#include "gtdl/mml/driver.hpp"
+#include "gtdl/graph/graph.hpp"
+#include "gtdl/gtype/parse.hpp"
+#include "gtdl/gtype/wellformed.hpp"
+#include "gtdl/tj/join_policy.hpp"
+
+namespace {
+
+struct CliOptions {
+  std::string program_file;
+  std::string gtype_text;
+  std::string gtype_file;
+  bool dump_gtype = false;
+  bool new_push = true;
+  unsigned max_iters = 2;
+  bool baseline = false;
+  unsigned unrolls = 2;
+  bool run = false;
+  std::vector<std::int64_t> rand_script;
+  std::uint64_t seed = 1;
+  std::string dot_file;
+  bool print_trace = false;
+};
+
+void usage() {
+  std::cerr <<
+      "usage: fdlc <program.fut> [options]\n"
+      "       fdlc --gtype '<graph type>' [options]\n"
+      "       fdlc --gtype-file <file> [options]\n"
+      "options: --dump-gtype --no-new-push --max-iters N --baseline\n"
+      "         --unrolls N --run --rand a,b,c --seed N --dot FILE --trace\n";
+}
+
+std::optional<CliOptions> parse_args(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "fdlc: missing value for " << arg << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--dump-gtype") {
+      opts.dump_gtype = true;
+    } else if (arg == "--no-new-push") {
+      opts.new_push = false;
+    } else if (arg == "--baseline") {
+      opts.baseline = true;
+    } else if (arg == "--run") {
+      opts.run = true;
+    } else if (arg == "--trace") {
+      opts.print_trace = true;
+    } else if (arg == "--max-iters") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opts.max_iters = static_cast<unsigned>(std::stoul(v));
+    } else if (arg == "--unrolls") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opts.unrolls = static_cast<unsigned>(std::stoul(v));
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opts.seed = std::stoull(v);
+    } else if (arg == "--rand") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      std::stringstream ss(v);
+      std::string item;
+      while (std::getline(ss, item, ',')) {
+        opts.rand_script.push_back(std::stoll(item));
+      }
+    } else if (arg == "--dot") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opts.dot_file = v;
+    } else if (arg == "--gtype") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opts.gtype_text = v;
+    } else if (arg == "--gtype-file") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opts.gtype_file = v;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "fdlc: unknown option " << arg << "\n";
+      return std::nullopt;
+    } else if (opts.program_file.empty()) {
+      opts.program_file = arg;
+    } else {
+      std::cerr << "fdlc: multiple input files\n";
+      return std::nullopt;
+    }
+  }
+  const int inputs = (!opts.program_file.empty() ? 1 : 0) +
+                     (!opts.gtype_text.empty() ? 1 : 0) +
+                     (!opts.gtype_file.empty() ? 1 : 0);
+  if (inputs != 1) {
+    usage();
+    return std::nullopt;
+  }
+  if (opts.run && opts.program_file.empty()) {
+    std::cerr << "fdlc: --run requires a FutLang program\n";
+    return std::nullopt;
+  }
+  return opts;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "fdlc: cannot open '" << path << "'\n";
+    return std::nullopt;
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int analyze_gtype(const gtdl::GTypePtr& gtype, const CliOptions& opts) {
+  using namespace gtdl;
+  if (opts.dump_gtype) {
+    std::cout << "graph type: " << to_string(gtype) << "\n";
+  }
+  const WellformedResult wf = check_wellformed(gtype);
+  if (!wf.ok) {
+    std::cout << "well-formedness: REJECTED\n" << wf.diags.render();
+    return 1;
+  }
+  std::cout << "well-formedness: ok (kind " << to_string(wf.kind) << ")\n";
+
+  DetectOptions detect;
+  detect.new_pushing = opts.new_push;
+  const DeadlockVerdict verdict = check_deadlock_freedom(gtype, detect);
+  if (opts.dump_gtype && opts.new_push) {
+    std::cout << "after new pushing: " << to_string(verdict.analyzed)
+              << "\n";
+  }
+  if (verdict.deadlock_free) {
+    std::cout << "deadlock analysis: DEADLOCK-FREE (accepted)\n";
+  } else {
+    std::cout << "deadlock analysis: POSSIBLE DEADLOCK (rejected)\n"
+              << verdict.diags.render();
+  }
+
+  if (opts.baseline) {
+    GmlBaselineOptions baseline_options;
+    baseline_options.unrolls_per_binding = opts.unrolls;
+    const GmlBaselineReport report =
+        gml_baseline_check(gtype, baseline_options);
+    std::cout << "gml baseline (" << report.unrolls_per_binding
+              << " unrolls/binding, " << report.graphs_checked
+              << " graphs" << (report.truncated ? ", TRUNCATED" : "")
+              << "): "
+              << (report.deadlock_reported ? "reports deadlock"
+                                           : "reports deadlock-free")
+              << "\n";
+    if (report.deadlock_reported) {
+      std::cout << "  witness: " << report.witness << "\n";
+    }
+  }
+  return verdict.deadlock_free ? 0 : 1;
+}
+
+int run_program(const gtdl::Program& program, const CliOptions& opts) {
+  using namespace gtdl;
+  InterpOptions interp_options;
+  interp_options.rand_script = opts.rand_script;
+  interp_options.seed = opts.seed;
+  const InterpResult result = interpret(program, interp_options);
+  if (!result.output.empty()) {
+    std::cout << "--- program output ---\n" << result.output
+              << "----------------------\n";
+  }
+  if (result.error.has_value()) {
+    std::cout << "execution: runtime error: " << *result.error << "\n";
+  } else if (result.deadlock.has_value()) {
+    std::cout << "execution: DEADLOCKED: " << *result.deadlock << "\n";
+  } else {
+    std::cout << "execution: completed (" << result.steps << " steps)\n";
+  }
+  const GroundDeadlock ground = result.graph_deadlock();
+  std::cout << "executed graph: "
+            << (ground.any() ? "contains a deadlock" : "deadlock-free")
+            << " (" << node_count(*result.graph) << " nodes)\n";
+  const TraceVerdict tj = check_transitive_joins(result.trace);
+  const TraceVerdict kj = check_known_joins(result.trace);
+  std::cout << "transitive joins: "
+            << (tj.valid ? "valid" : "INVALID: " + tj.reason) << "\n";
+  std::cout << "known joins: "
+            << (kj.valid ? "valid" : "INVALID: " + kj.reason) << "\n";
+  if (opts.print_trace) {
+    std::cout << "trace: " << to_string(result.trace) << "\n";
+  }
+  if (!opts.dot_file.empty()) {
+    const Graph graph = lower_to_graph(*result.graph);
+    std::ofstream out(opts.dot_file);
+    out << graph.to_dot("execution");
+    std::cout << "wrote " << opts.dot_file << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gtdl;
+  const auto opts = parse_args(argc, argv);
+  if (!opts) return 2;
+
+  // Direct graph-type input (the paper's hand-coded-AST path).
+  if (!opts->gtype_text.empty() || !opts->gtype_file.empty()) {
+    std::string text = opts->gtype_text;
+    if (!opts->gtype_file.empty()) {
+      auto contents = read_file(opts->gtype_file);
+      if (!contents) return 2;
+      text = *contents;
+    }
+    DiagnosticEngine diags;
+    const GTypePtr gtype = parse_gtype(text, diags);
+    if (gtype == nullptr) {
+      std::cerr << "fdlc: graph type parse error\n" << diags.render();
+      return 2;
+    }
+    return analyze_gtype(gtype, *opts);
+  }
+
+  const auto source = read_file(opts->program_file);
+  if (!source) return 2;
+  DiagnosticEngine diags;
+  InferOptions infer_options;
+  infer_options.max_signature_iterations = opts->max_iters;
+
+  // MiniML input, selected by extension (static analysis only).
+  const bool is_mml =
+      opts->program_file.size() > 4 &&
+      opts->program_file.compare(opts->program_file.size() - 4, 4, ".mml") ==
+          0;
+  if (is_mml) {
+    auto compiled = mml::compile_mml(*source, diags, infer_options);
+    if (!compiled) {
+      std::cerr << "fdlc: compilation failed\n" << diags.render();
+      return 2;
+    }
+    std::cout << "compiled " << opts->program_file << " (MiniML, "
+              << compiled->program.defs.size() << " definitions)\n";
+    if (opts->run) {
+      std::cerr << "fdlc: --run is not available for MiniML (static "
+                   "pipeline only)\n";
+    }
+    return analyze_gtype(compiled->inferred.program_gtype, *opts);
+  }
+
+  auto compiled = compile_futlang(*source, diags, infer_options);
+  if (!compiled) {
+    std::cerr << "fdlc: compilation failed\n" << diags.render();
+    return 2;
+  }
+  std::cout << "compiled " << opts->program_file << " ("
+            << compiled->program.functions.size() << " functions)\n";
+  const int verdict = analyze_gtype(compiled->inferred.program_gtype, *opts);
+  if (opts->run) (void)run_program(compiled->program, *opts);
+  return verdict;
+}

@@ -1,0 +1,109 @@
+#include "gtdl/detect/counterexample.hpp"
+
+#include <stdexcept>
+
+namespace gtdl {
+
+namespace {
+
+Symbol numbered(const char* base, unsigned i) {
+  return Symbol::intern(std::string(base) + std::to_string(i));
+}
+
+}  // namespace
+
+GTypePtr counterexample_function_gtype(unsigned m) {
+  if (m == 0) {
+    throw std::invalid_argument("counterexample family requires m >= 1");
+  }
+  const Symbol gamma = Symbol::intern("g");
+  const Symbol u = Symbol::intern("u");
+  std::vector<Symbol> spawn_params;
+  std::vector<Symbol> touch_params;
+  for (unsigned i = 1; i <= m; ++i) {
+    spawn_params.push_back(numbered("a", i));
+    touch_params.push_back(numbered("x", i));
+  }
+  // Recursive call: both vectors rotated left, the fresh u appended.
+  std::vector<Symbol> spawn_args(spawn_params.begin() + 1, spawn_params.end());
+  spawn_args.push_back(u);
+  std::vector<Symbol> touch_args(touch_params.begin() + 1, touch_params.end());
+  touch_args.push_back(u);
+
+  const GTypePtr else_branch = gt::seq_all({
+      gt::touch(touch_params.front()),
+      gt::spawn(gt::empty(), spawn_params.front()),
+      gt::app(gt::var(gamma), std::move(spawn_args), std::move(touch_args)),
+  });
+  const GTypePtr body =
+      gt::nu(u, gt::alt(gt::empty(), std::move(else_branch)));
+  return gt::rec(gamma, gt::pi(std::move(spawn_params),
+                               std::move(touch_params), body));
+}
+
+GTypePtr counterexample_gtype(unsigned m) {
+  const GTypePtr fn = counterexample_function_gtype(m);
+  std::vector<Symbol> us;
+  std::vector<Symbol> ws;
+  for (unsigned i = 1; i <= m; ++i) {
+    us.push_back(numbered("u", i));
+    ws.push_back(numbered("w", i));
+  }
+  std::vector<GTypePtr> main_parts;
+  for (Symbol w : ws) main_parts.push_back(gt::spawn(gt::empty(), w));
+  main_parts.push_back(gt::app(fn, us, ws));
+  GTypePtr body = gt::seq_all(std::move(main_parts));
+  std::vector<Symbol> binders = us;
+  binders.insert(binders.end(), ws.begin(), ws.end());
+  return gt::nu_all(binders, std::move(body));
+}
+
+std::string counterexample_futlang(unsigned m) {
+  if (m == 0) {
+    throw std::invalid_argument("counterexample family requires m >= 1");
+  }
+  std::string src;
+  src += "# Counterexample family member m = " + std::to_string(m) +
+         " (paper, Section 3).\n";
+  src += "# The deadlock manifests only at the " + std::to_string(m + 1) +
+         "-th recursive call.\n";
+  src += "fun g(";
+  for (unsigned i = 1; i <= m; ++i) {
+    src += "a" + std::to_string(i) + ": future[int], ";
+  }
+  for (unsigned i = 1; i <= m; ++i) {
+    src += "x" + std::to_string(i) + ": future[int]";
+    if (i != m) src += ", ";
+  }
+  src += ") {\n";
+  src += "  let u = new_future[int]();\n";
+  src += "  if rand() == 0 {\n    return;\n  } else {\n";
+  src += "    touch(x1);\n";
+  src += "    spawn a1 { return 42; }\n";
+  src += "    g(";
+  for (unsigned i = 2; i <= m; ++i) src += "a" + std::to_string(i) + ", ";
+  src += "u, ";
+  for (unsigned i = 2; i <= m; ++i) src += "x" + std::to_string(i) + ", ";
+  src += "u);\n";
+  src += "    return;\n  }\n}\n\n";
+  src += "fun main() {\n";
+  for (unsigned i = 1; i <= m; ++i) {
+    src += "  let u" + std::to_string(i) + " = new_future[int]();\n";
+  }
+  for (unsigned i = 1; i <= m; ++i) {
+    src += "  let w" + std::to_string(i) + " = new_future[int]();\n";
+  }
+  for (unsigned i = 1; i <= m; ++i) {
+    src += "  spawn w" + std::to_string(i) + " { return 42; }\n";
+  }
+  src += "  g(";
+  for (unsigned i = 1; i <= m; ++i) src += "u" + std::to_string(i) + ", ";
+  for (unsigned i = 1; i <= m; ++i) {
+    src += "w" + std::to_string(i);
+    if (i != m) src += ", ";
+  }
+  src += ");\n}\n";
+  return src;
+}
+
+}  // namespace gtdl

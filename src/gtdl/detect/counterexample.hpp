@@ -1,0 +1,50 @@
+// The §3 counterexample family to GML's unrolling conjecture.
+//
+// Member m (m ≥ 1) is the graph type of a recursive function g taking m
+// futures to spawn (a1..am) and m futures to touch (x1..xm):
+//
+//   G_m = rec g. pi[a1,..,am; x1,..,xm]. new u.
+//           ( 1 | (~x1 ; 1 / a1 ; g[a2,..,am,u ; x2,..,xm,u]) )
+//
+// together with a main thread that allocates u1..um and w1..wm, spawns
+// the w's (so the touch chain starts legally), and calls
+// g[u1..um; w1..wm]:
+//
+//   T_m = new u1..um, w1..wm. ( 1/w1 ; .. ; 1/wm ; G_m[u1..um; w1..wm] )
+//
+// On every call, g touches its first touch argument, spawns its first
+// spawn argument, and recurses with both argument vectors rotated left
+// and the locally created u appended to both. The fresh vertex created at
+// call k therefore arrives in the *first* spawn and touch positions at
+// call k+m — where it is touched *before* it is spawned, closing a cycle.
+// The deadlock thus manifests only at the (m+1)-st unrolling: no fixed
+// unrolling bound works for the whole family, which is the refutation of
+// the conjecture underlying GML's detector.
+
+#pragma once
+
+#include <string>
+
+#include "gtdl/gtype/gtype.hpp"
+
+namespace gtdl {
+
+// T_m above — the whole-program graph type. Requires m >= 1 (throws
+// std::invalid_argument otherwise).
+[[nodiscard]] GTypePtr counterexample_gtype(unsigned m);
+
+// G_m alone (the recursive function's graph type).
+[[nodiscard]] GTypePtr counterexample_function_gtype(unsigned m);
+
+// The same program in FutLang source form (examples/programs uses m = 1;
+// GML-faithful inference with the 2-round Mycroft cap fails on m >= 2,
+// reproducing the paper's footnote 3).
+[[nodiscard]] std::string counterexample_futlang(unsigned m);
+
+// The number of μ-unrollings needed before any graph in the normalization
+// exhibits the cycle: m + 1.
+[[nodiscard]] constexpr unsigned counterexample_cycle_depth(unsigned m) {
+  return m + 1;
+}
+
+}  // namespace gtdl

@@ -1,0 +1,322 @@
+#include "gtdl/detect/deadlock.hpp"
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "gtdl/detect/new_push.hpp"
+#include "gtdl/gtype/wellformed.hpp"
+#include "gtdl/support/overloaded.hpp"
+#include "gtdl/support/string_util.hpp"
+
+namespace gtdl {
+
+namespace {
+
+std::string render_set(const OrderedSet<Symbol>& set) {
+  return "{" + join(set, ", ", [](Symbol s) { return s.str(); }) + "}";
+}
+
+class DfChecker {
+ public:
+  explicit DfChecker(DiagnosticEngine& diags) : diags_(diags) {}
+
+  struct Outcome {
+    GraphKind kind;
+    OrderedSet<Symbol> consumed;
+  };
+
+  // Checks `g` with the linear spawn context `avail` (vertices that may —
+  // and on every path must — be spawned here or be consumed by an
+  // enclosing sibling) and the member touch context psi_.
+  std::optional<Outcome> check(const GTypePtr& g, OrderedSet<Symbol> avail) {
+    return std::visit(
+        Overloaded{
+            [&](const GTEmpty&) {
+              // DF:EMPTY — consumes nothing; linearity is enforced where
+              // resources were introduced.
+              return std::optional<Outcome>(Outcome{GraphKind::star(), {}});
+            },
+            [&](const GTSeq& node) -> std::optional<Outcome> {
+              auto lhs = check_star(node.lhs, avail);
+              if (!lhs) return std::nullopt;
+              // DF:SEQ — everything the left spawned is touchable on the
+              // right.
+              const OrderedSet<Symbol> remaining =
+                  avail.set_difference(lhs->consumed);
+              ScopedPsi extend(*this, lhs->consumed);
+              auto rhs = check_star(node.rhs, remaining);
+              if (!rhs) return std::nullopt;
+              return Outcome{GraphKind::star(),
+                             lhs->consumed.set_union(rhs->consumed)};
+            },
+            [&](const GTOr& node) -> std::optional<Outcome> {
+              auto lhs = check_star(node.lhs, avail);
+              if (!lhs) return std::nullopt;
+              auto rhs = check_star(node.rhs, avail);
+              if (!rhs) return std::nullopt;
+              // DF:OR — Ω is shared, and linearity forces both branches
+              // to spawn exactly the same vertices.
+              if (!(lhs->consumed == rhs->consumed)) {
+                fail("the branches of '|' spawn different vertex sets (" +
+                     render_set(lhs->consumed) + " vs " +
+                     render_set(rhs->consumed) +
+                     "); linearity requires both alternatives to spawn the "
+                     "same vertices");
+                return std::nullopt;
+              }
+              return Outcome{GraphKind::star(), lhs->consumed};
+            },
+            [&](const GTSpawn& node) -> std::optional<Outcome> {
+              // DF:SPAWN — u leaves the spawn context; the future body may
+              // spawn the remaining vertices but touches only what was
+              // already touchable (Ψ is unchanged, so it cannot touch u or
+              // its own later siblings).
+              if (!avail.contains(node.vertex)) {
+                fail("vertex '" + node.vertex.str() +
+                     "' is not spawnable here (unbound, already spawned, or "
+                     "captured by a recursive binding)");
+                return std::nullopt;
+              }
+              avail.erase(node.vertex);
+              auto body = check_star(node.body, std::move(avail));
+              if (!body) return std::nullopt;
+              OrderedSet<Symbol> consumed = body->consumed;
+              consumed.insert(node.vertex);
+              return Outcome{GraphKind::star(), std::move(consumed)};
+            },
+            [&](const GTTouch& node) -> std::optional<Outcome> {
+              // DF:TOUCH — only vertices already known to be spawned "to
+              // the left" are touchable.
+              if (!psi_.contains(node.vertex)) {
+                fail("touch of vertex '" + node.vertex.str() +
+                     "' is not provably after its spawn; the touch could "
+                     "block forever or close a cycle");
+                return std::nullopt;
+              }
+              return std::optional<Outcome>(Outcome{GraphKind::star(), {}});
+            },
+            [&](const GTRec& node) -> std::optional<Outcome> {
+              return check_rec(node);
+            },
+            [&](const GTVar& node) -> std::optional<Outcome> {
+              auto it = gvars_.find(node.var);
+              if (it == gvars_.end()) {
+                fail("unbound graph variable '" + node.var.str() + "'");
+                return std::nullopt;
+              }
+              // DF:VAR — consumes nothing.
+              return Outcome{it->second, {}};
+            },
+            [&](const GTNew& node) -> std::optional<Outcome> {
+              // DF:NEW — the new vertex enters the spawn context only (it
+              // becomes touchable via DF:SEQ once spawned); linearity then
+              // demands it is spawned on every path.
+              avail.insert(node.vertex);
+              auto body = check_star(node.body, std::move(avail));
+              if (!body) return std::nullopt;
+              if (!body->consumed.contains(node.vertex)) {
+                fail("vertex '" + node.vertex.str() +
+                     "' introduced by 'new' is never spawned (linearity); a "
+                     "touch of it would block forever");
+                return std::nullopt;
+              }
+              OrderedSet<Symbol> consumed = body->consumed;
+              consumed.erase(node.vertex);
+              return Outcome{GraphKind::star(), std::move(consumed)};
+            },
+            [&](const GTPi& node) -> std::optional<Outcome> {
+              // DF:PI — unlike μ, a plain Π may capture ambient linear
+              // resources.
+              OrderedSet<Symbol> inner = std::move(avail);
+              for (Symbol u : node.spawn_params) inner.insert(u);
+              ScopedPsi extend(*this,
+                               OrderedSet<Symbol>(node.touch_params));
+              auto body = check_star(node.body, inner);
+              if (!body) return std::nullopt;
+              OrderedSet<Symbol> consumed = body->consumed;
+              for (Symbol u : node.spawn_params) {
+                if (!consumed.contains(u)) {
+                  fail("spawn parameter '" + u.str() +
+                       "' is never spawned by the pi body (linearity)");
+                  return std::nullopt;
+                }
+                consumed.erase(u);
+              }
+              return Outcome{GraphKind::pi(node.spawn_params.size(),
+                                           node.touch_params.size()),
+                             std::move(consumed)};
+            },
+            [&](const GTApp& node) -> std::optional<Outcome> {
+              auto fn = check(node.fn, avail);
+              if (!fn) return std::nullopt;
+              if (!fn->kind.is_pi) {
+                fail("applied graph type has kind *; expected a pi kind");
+                return std::nullopt;
+              }
+              if (fn->kind.spawn_arity != node.spawn_args.size() ||
+                  fn->kind.touch_arity != node.touch_args.size()) {
+                fail("application arity mismatch: expected [" +
+                     std::to_string(fn->kind.spawn_arity) + ";" +
+                     std::to_string(fn->kind.touch_arity) + "] arguments, "
+                     "got [" +
+                     std::to_string(node.spawn_args.size()) + ";" +
+                     std::to_string(node.touch_args.size()) + "]");
+                return std::nullopt;
+              }
+              // DF:APP — spawn arguments are linear resources consumed by
+              // the call; touch arguments must already be touchable.
+              OrderedSet<Symbol> remaining = avail.set_difference(fn->consumed);
+              OrderedSet<Symbol> consumed = fn->consumed;
+              for (Symbol u : node.spawn_args) {
+                if (!remaining.contains(u)) {
+                  fail("spawn argument '" + u.str() +
+                       "' is not spawnable here (unbound, already spawned, "
+                       "or passed twice)");
+                  return std::nullopt;
+                }
+                remaining.erase(u);
+                consumed.insert(u);
+              }
+              for (Symbol u : node.touch_args) {
+                if (!psi_.contains(u)) {
+                  fail("touch argument '" + u.str() +
+                       "' is not provably spawned before this call; the "
+                       "callee's touch could close a cycle");
+                  return std::nullopt;
+                }
+              }
+              return Outcome{GraphKind::star(), std::move(consumed)};
+            },
+        },
+        g->node);
+  }
+
+ private:
+  // Temporarily extends Ψ; restores the previous contents on destruction.
+  class ScopedPsi {
+   public:
+    ScopedPsi(DfChecker& checker, const OrderedSet<Symbol>& add)
+        : checker_(checker) {
+      for (Symbol u : add) {
+        if (checker_.psi_.insert(u)) added_.push_back(u);
+      }
+    }
+    ~ScopedPsi() {
+      for (Symbol u : added_) checker_.psi_.erase(u);
+    }
+    ScopedPsi(const ScopedPsi&) = delete;
+    ScopedPsi& operator=(const ScopedPsi&) = delete;
+
+   private:
+    DfChecker& checker_;
+    std::vector<Symbol> added_;
+  };
+
+  // Like check, but the result must be usable as an ordinary graph; a
+  // zero-arity Π kind is implicitly applied (bare recursive calls).
+  std::optional<Outcome> check_star(const GTypePtr& g,
+                                    OrderedSet<Symbol> avail) {
+    auto result = check(g, std::move(avail));
+    if (!result) return std::nullopt;
+    if (result->kind.is_pi) {
+      if (result->kind.spawn_arity == 0 && result->kind.touch_arity == 0) {
+        result->kind = GraphKind::star();
+        return result;
+      }
+      fail("expected an ordinary graph type, found kind " +
+           to_string(result->kind) +
+           " (missing vertex arguments in an application?)");
+      return std::nullopt;
+    }
+    return result;
+  }
+
+  std::optional<Outcome> check_rec(const GTRec& node) {
+    // DF:RECPI — μγ.Πūf;ūt.G, with a bare body read as Π[;].G. The outer
+    // spawn context must not leak into the body (linear resources cannot
+    // be captured by a recursive binding, where they could be duplicated).
+    const GTPi* pi = std::get_if<GTPi>(&node.body->node);
+    std::vector<Symbol> spawn_params;
+    std::vector<Symbol> touch_params;
+    GTypePtr body = node.body;
+    if (pi != nullptr) {
+      spawn_params = pi->spawn_params;
+      touch_params = pi->touch_params;
+      body = pi->body;
+    }
+    const GraphKind kind =
+        GraphKind::pi(spawn_params.size(), touch_params.size());
+
+    OrderedSet<Symbol> inner_avail;
+    for (Symbol u : spawn_params) {
+      if (!inner_avail.insert(u)) {
+        fail("duplicate spawn parameter '" + u.str() + "'");
+        return std::nullopt;
+      }
+    }
+    ScopedPsi extend(*this, OrderedSet<Symbol>(touch_params));
+
+    auto saved = gvars_.find(node.var);
+    const bool had = saved != gvars_.end();
+    const GraphKind saved_kind = had ? saved->second : GraphKind{};
+    gvars_[node.var] = kind;
+    auto result = check_star(body, inner_avail);
+    if (had) {
+      gvars_[node.var] = saved_kind;
+    } else {
+      gvars_.erase(node.var);
+    }
+    if (!result) return std::nullopt;
+    for (Symbol u : spawn_params) {
+      if (!result->consumed.contains(u)) {
+        fail("spawn parameter '" + u.str() +
+             "' is never spawned by the recursive body (linearity)");
+        return std::nullopt;
+      }
+    }
+    // The μ term itself consumes nothing from the ambient context.
+    return Outcome{kind, {}};
+  }
+
+  void fail(std::string message) { diags_.error(std::move(message)); }
+
+  DiagnosticEngine& diags_;
+  OrderedSet<Symbol> psi_;
+  std::unordered_map<Symbol, GraphKind> gvars_;
+};
+
+}  // namespace
+
+DeadlockVerdict check_deadlock_freedom(const GTypePtr& g,
+                                       const DetectOptions& options) {
+  DeadlockVerdict verdict;
+  if (g == nullptr) {
+    verdict.diags.error("null graph type");
+    return verdict;
+  }
+  if (options.require_wellformed) {
+    WellformedResult wf = check_wellformed(g);
+    if (!wf.ok) {
+      verdict.diags.error("graph type is not well-formed:");
+      for (const Diagnostic& d : wf.diags.all()) {
+        verdict.diags.report(d.severity, d.loc, d.message);
+      }
+      return verdict;
+    }
+  }
+  verdict.analyzed = options.new_pushing ? push_new_bindings(g) : g;
+  DfChecker checker(verdict.diags);
+  auto outcome = checker.check(verdict.analyzed, OrderedSet<Symbol>{});
+  if (!outcome || verdict.diags.has_errors()) {
+    verdict.deadlock_free = false;
+    return verdict;
+  }
+  // Leftover consumption is impossible at the top level: the initial
+  // spawn context is empty, so consumed ⊆ ∅.
+  verdict.deadlock_free = true;
+  verdict.kind = outcome->kind;
+  return verdict;
+}
+
+}  // namespace gtdl

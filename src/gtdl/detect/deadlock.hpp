@@ -1,0 +1,77 @@
+// The paper's deadlock-freedom kind system (Fig. 4), implemented as a
+// deterministic, syntax-directed pass over graph types.
+//
+// The judgment Δ; Ω; Ψ ⊢DF G : κ controls ownership and use of future
+// vertices:
+//   * Ω, the spawn context, is LINEAR: every vertex that may be spawned
+//     must be spawned exactly once on every execution path. This rules
+//     out deadlock situation (1): touching a future that is never
+//     spawned.
+//   * Ψ, the touch context, admits a vertex only once it is known to have
+//     been spawned "to the left" (DF:SEQ moves the left operand's spawned
+//     vertices into the right operand's Ψ). This rules out situation (2):
+//     touch/spawn cycles.
+//
+// Algorithmically, the declarative rules' nondeterministic splitting of Ω
+// (DF:SEQ) is resolved by resource threading: checking a subterm returns
+// the exact set of spawn vertices it consumed. Consumption is syntactically
+// determined (spawn nodes and application spawn-arguments), so the split is
+// unique and one pass suffices:
+//
+//   check •          : consumes ∅
+//   check γ          : consumes ∅; kind from Δ
+//   check G1 ⊕ G2    : c1 = check G1; check G2 under avail − c1, Ψ ∪ c1
+//   check G1 ∨ G2    : both under the same contexts; REQUIRE c1 = c2
+//                      ("because of linearity, both must spawn the same
+//                      vertices")
+//   check G /u       : u ∈ avail; body under avail − {u} (and the same Ψ —
+//                      the future body may not touch its own vertex)
+//   check ᵘ\         : u ∈ Ψ, else the touch may precede the spawn
+//   check νu.G       : body under avail ∪ {u}; REQUIRE u consumed
+//   check μγ.Πūf;ūt.G: body under avail = ūf exactly (linear resources
+//                      must not be captured), Ψ ∪ ūt; REQUIRE body
+//                      consumes all of ūf; Δ extended with γ : Πūf;ūt.*
+//                      (a bare μγ.G is treated as μγ.Π[;].G)
+//   check Πūf;ūt.G   : like μ's body but ambient avail remains visible
+//                      (DF:PI permits capture)
+//   check G[ū'f;ū't] : fn must have a matching Π kind; spawn arguments
+//                      are consumed from avail; touch arguments must be
+//                      in Ψ already
+//
+// The driver optionally (a) validates well-formedness first and (b)
+// applies the "new pushing" transformation (§5) that moves ν binders to
+// their smallest scope, which removes the false positives GML's
+// hoist-ν-to-function-top convention would otherwise cause.
+
+#pragma once
+
+#include "gtdl/gtype/gtype.hpp"
+#include "gtdl/gtype/kind.hpp"
+#include "gtdl/support/diagnostics.hpp"
+
+namespace gtdl {
+
+struct DetectOptions {
+  // Run the affine well-formedness kinding first and fail fast if the
+  // type is not even well-formed.
+  bool require_wellformed = true;
+  // Apply new pushing (§5) before checking.
+  bool new_pushing = true;
+};
+
+struct DeadlockVerdict {
+  // True iff the type was accepted: every graph it represents is
+  // deadlock-free (Theorem 1: its traces satisfy Transitive Joins).
+  bool deadlock_free = false;
+  GraphKind kind;
+  // Rejection reasons (empty when accepted). As with any sound static
+  // analysis, a rejection means "could not verify", not "has a deadlock".
+  DiagnosticEngine diags;
+  // The type actually analyzed (after new pushing, if enabled).
+  GTypePtr analyzed;
+};
+
+[[nodiscard]] DeadlockVerdict check_deadlock_freedom(
+    const GTypePtr& g, const DetectOptions& options = {});
+
+}  // namespace gtdl

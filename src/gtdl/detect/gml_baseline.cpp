@@ -1,0 +1,79 @@
+#include "gtdl/detect/gml_baseline.hpp"
+
+#include "gtdl/graph/graph.hpp"
+#include "gtdl/gtype/subst.hpp"
+#include "gtdl/support/overloaded.hpp"
+#include "gtdl/support/string_util.hpp"
+
+namespace gtdl {
+
+GTypePtr expand_recursion(const GTypePtr& g, unsigned k) {
+  return std::visit(
+      Overloaded{
+          [&](const GTEmpty&) { return g; },
+          [&](const GTSeq& node) {
+            return gt::seq(expand_recursion(node.lhs, k),
+                           expand_recursion(node.rhs, k));
+          },
+          [&](const GTOr& node) {
+            return gt::alt(expand_recursion(node.lhs, k),
+                           expand_recursion(node.rhs, k));
+          },
+          [&](const GTSpawn& node) {
+            return gt::spawn(expand_recursion(node.body, k), node.vertex);
+          },
+          [&](const GTTouch&) { return g; },
+          [&](const GTRec& node) {
+            const GTypePtr body = expand_recursion(node.body, k);
+            // γ⊥: an unbound variable normalizes to the empty set, so
+            // recursion paths deeper than k produce no graphs.
+            GTypePtr acc = gt::var(
+                Symbol::fresh(node.var.str() + "_exhausted"));
+            for (unsigned i = 0; i < k; ++i) {
+              acc = substitute_gvar(body, node.var, acc);
+            }
+            return acc;
+          },
+          [&](const GTVar&) { return g; },
+          [&](const GTNew& node) {
+            return gt::nu(node.vertex, expand_recursion(node.body, k));
+          },
+          [&](const GTPi& node) {
+            return gt::pi(node.spawn_params, node.touch_params,
+                          expand_recursion(node.body, k));
+          },
+          [&](const GTApp& node) {
+            return gt::app(expand_recursion(node.fn, k), node.spawn_args,
+                           node.touch_args);
+          },
+      },
+      g->node);
+}
+
+GmlBaselineReport gml_baseline_check(const GTypePtr& g,
+                                     const GmlBaselineOptions& options) {
+  GmlBaselineReport report;
+  report.unrolls_per_binding = options.unrolls_per_binding;
+  const GTypePtr expanded =
+      expand_recursion(g, options.unrolls_per_binding);
+  // The expanded type is μ-free and all applications target Π binders
+  // directly, so depth 1 normalizes it completely.
+  const NormalizeResult normalized = normalize(expanded, 1, options.limits);
+  report.truncated = normalized.truncated;
+  report.graphs_checked = normalized.graphs.size();
+  for (const GraphExprPtr& graph : normalized.graphs) {
+    const GroundDeadlock verdict = find_ground_deadlock(*graph);
+    if (verdict.any()) {
+      report.deadlock_reported = true;
+      report.witness =
+          std::string(verdict.cycle ? "cycle through "
+                                    : "unspawned touch of ") +
+          join(verdict.witness, ", ", [](Symbol s) { return s.str(); }) +
+          " in graph: " + to_string(*graph);
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace gtdl

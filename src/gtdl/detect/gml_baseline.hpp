@@ -1,0 +1,56 @@
+// The unrolling-based deadlock detector of the original graph-types work
+// (GML), reimplemented as the paper's comparison baseline.
+//
+// The algorithm (paper §3): normalize the graph type so that EVERY
+// RECURSIVE BINDING IS UNROLLED TWICE, then check every resulting ground
+// graph for (a) cycles and (b) touches of vertices that are never
+// spawned. Its soundness relied on the conjecture that any cycle arising
+// at any unrolling depth already manifests within those graphs — which
+// §3 refutes with a counterexample family (counterexample.hpp); this
+// implementation exists precisely so the unsoundness can be demonstrated
+// and measured.
+//
+// "Every binding unrolled at most k times" is implemented by finite
+// μ-expansion: each μγ.B is replaced by B[B[...B[γ⊥/γ]...]/γ] with k
+// nested copies of the body, where γ⊥ is a fresh unbound graph variable
+// (whose normalization is the empty set, cutting off deeper recursions).
+// The expanded type is μ-free, so plain normalization at depth 1
+// enumerates exactly the graphs with per-binding recursion depth ≤ k.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "gtdl/gtype/gtype.hpp"
+#include "gtdl/gtype/normalize.hpp"
+
+namespace gtdl {
+
+struct GmlBaselineOptions {
+  // Per-binding unroll bound; the paper's GML uses 2.
+  unsigned unrolls_per_binding = 2;
+  NormalizeLimits limits;
+};
+
+struct GmlBaselineReport {
+  // True iff some graph within the unroll bound had a cycle or an
+  // unspawned touch. False claims deadlock freedom — unsoundly, for the
+  // §3 family.
+  bool deadlock_reported = false;
+  unsigned unrolls_per_binding = 0;
+  std::size_t graphs_checked = 0;
+  bool truncated = false;
+  // Human-readable witness (offending graph and why), empty if none.
+  std::string witness;
+};
+
+[[nodiscard]] GmlBaselineReport gml_baseline_check(
+    const GTypePtr& g, const GmlBaselineOptions& options = {});
+
+// The finite μ-expansion described above (exposed for tests and benches):
+// every μγ.B becomes k nested copies of B with the innermost recursive
+// occurrence replaced by a fresh unbound variable.
+[[nodiscard]] GTypePtr expand_recursion(const GTypePtr& g, unsigned k);
+
+}  // namespace gtdl

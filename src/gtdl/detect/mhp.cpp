@@ -1,0 +1,63 @@
+#include "gtdl/detect/mhp.hpp"
+
+#include <algorithm>
+
+#include "gtdl/support/string_util.hpp"
+
+namespace gtdl {
+
+std::optional<bool> mhp_in_graph(const GraphExpr& g, Symbol u, Symbol w) {
+  const std::vector<Symbol> spawned = spawned_vertices(g);
+  const auto has = [&](Symbol v) {
+    return std::find(spawned.begin(), spawned.end(), v) != spawned.end();
+  };
+  if (!has(u) || !has(w) || u == w) return std::nullopt;
+  const Graph graph = lower_to_graph(g);
+  // u ∥ w iff neither end vertex is ordered before the other.
+  return !graph.reachable(u, w) && !graph.reachable(w, u);
+}
+
+bool is_vertex_instance(Symbol concrete, Symbol binder) {
+  if (concrete == binder) return true;
+  const std::string_view c = concrete.view();
+  const std::string_view b = binder.view();
+  return c.size() > b.size() + 1 && c.substr(0, b.size()) == b &&
+         c[b.size()] == '$';
+}
+
+MhpResult mhp_in_type(const GTypePtr& g, Symbol u, Symbol w, unsigned depth,
+                      const NormalizeLimits& limits) {
+  MhpResult result;
+  result.depth = depth;
+  const NormalizeResult normalized = normalize(g, depth, limits);
+  result.truncated = normalized.truncated;
+  for (const GraphExprPtr& graph : normalized.graphs) {
+    const std::vector<Symbol> spawned = spawned_vertices(*graph);
+    std::vector<Symbol> us;
+    std::vector<Symbol> ws;
+    for (Symbol v : spawned) {
+      if (is_vertex_instance(v, u)) us.push_back(v);
+      if (is_vertex_instance(v, w)) ws.push_back(v);
+    }
+    if (us.empty() || ws.empty()) continue;
+    // Lower once per graph, then test every instance pair.
+    const Graph lowered = lower_to_graph(*graph);
+    bool counted = false;
+    for (Symbol a : us) {
+      for (Symbol b : ws) {
+        if (a == b) continue;
+        if (!counted) {
+          ++result.witnesses_checked;
+          counted = true;
+        }
+        if (!lowered.reachable(a, b) && !lowered.reachable(b, a)) {
+          result.may_happen_in_parallel = true;
+          return result;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace gtdl

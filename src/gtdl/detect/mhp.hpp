@@ -1,0 +1,66 @@
+// May-happen-in-parallel (MHP) analysis — the paper's closing direction
+// ("we hope [graph types] can be applied in the future to other problems
+// such as race detection"), built on the same machinery.
+//
+// Section 2.2: an edge (u, u') means u must happen before u'; "the lack
+// of a path between two computations indicates that they may occur in
+// parallel". Two future threads may therefore race iff, in some graph of
+// the program's graph type, neither thread's designated vertex reaches
+// the other.
+//
+// Two granularities are provided:
+//
+//   * mhp_in_graph — exact, on one ground graph (one execution): the
+//     designated vertices u and w may happen in parallel iff neither
+//     subtree's vertices are ordered against the other's. We approximate
+//     a thread by its designated end vertex; u ∥ w iff there is no path
+//     u -> w and no path w -> u. (A future's end vertex is ordered after
+//     everything the future did and before everything that touched it,
+//     so end-vertex reachability is the thread-level happens-before.)
+//
+//   * mhp_in_type — existential over the graph type: do the two named
+//     vertices run in parallel in SOME graph of Norm_n(G)? Normalization
+//     instantiates ν binders with fresh names (u becomes u$k, once per
+//     unrolling), so the query is by BINDER: any instance of u against
+//     any instance of w (and u against u asks whether two unrollings of
+//     the same binder can overlap). Like the GML baseline this is
+//     bounded (normalization is exponential), so the result carries the
+//     bound and a truncation flag; unlike deadlock detection, MHP
+//     queries are naturally per-execution ("can these two handlers
+//     overlap?"), where bounded enumeration is the standard tool.
+
+#pragma once
+
+#include <optional>
+
+#include "gtdl/graph/graph.hpp"
+#include "gtdl/gtype/gtype.hpp"
+#include "gtdl/gtype/normalize.hpp"
+
+namespace gtdl {
+
+// Exact verdict on one ground graph. Returns nullopt if either vertex is
+// not a designated (spawned) vertex of the graph.
+[[nodiscard]] std::optional<bool> mhp_in_graph(const GraphExpr& g, Symbol u,
+                                               Symbol w);
+
+struct MhpResult {
+  // True iff some explored graph runs u and w in parallel.
+  bool may_happen_in_parallel = false;
+  // Number of graphs in which both vertices were spawned.
+  std::size_t witnesses_checked = 0;
+  unsigned depth = 0;
+  bool truncated = false;
+};
+
+// True iff `concrete` is `binder` itself or a fresh instance of it
+// (binder$k, possibly re-freshened).
+[[nodiscard]] bool is_vertex_instance(Symbol concrete, Symbol binder);
+
+// Bounded existential query over Norm_depth(G); `u` and `w` name binders
+// in the type (ν/Π names), matched against their instances.
+[[nodiscard]] MhpResult mhp_in_type(const GTypePtr& g, Symbol u, Symbol w,
+                                    unsigned depth,
+                                    const NormalizeLimits& limits = {});
+
+}  // namespace gtdl

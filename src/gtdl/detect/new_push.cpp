@@ -1,0 +1,160 @@
+#include "gtdl/detect/new_push.hpp"
+
+#include <unordered_map>
+
+#include "gtdl/support/overloaded.hpp"
+
+namespace gtdl {
+
+namespace {
+
+// Pushing asks "is u free in this subtree?" once per ν binder per level;
+// memoizing free-vertex sets by node identity turns the repeated O(|G|)
+// traversals into cache hits (rebuilt nodes created by the rewrite are
+// cached on first query too).
+class Pusher {
+ public:
+  GTypePtr transform(const GTypePtr& g) {
+    return std::visit(
+        Overloaded{
+            [&](const GTEmpty&) { return g; },
+            [&](const GTSeq& node) {
+              return gt::seq(transform(node.lhs), transform(node.rhs));
+            },
+            [&](const GTOr& node) {
+              return gt::alt(transform(node.lhs), transform(node.rhs));
+            },
+            [&](const GTSpawn& node) {
+              return gt::spawn(transform(node.body), node.vertex);
+            },
+            [&](const GTTouch&) { return g; },
+            [&](const GTRec& node) {
+              return gt::rec(node.var, transform(node.body));
+            },
+            [&](const GTVar&) { return g; },
+            [&](const GTNew& node) {
+              return push_binder(node.vertex, transform(node.body));
+            },
+            [&](const GTPi& node) {
+              return gt::pi(node.spawn_params, node.touch_params,
+                            transform(node.body));
+            },
+            [&](const GTApp& node) {
+              return gt::app(transform(node.fn), node.spawn_args,
+                             node.touch_args);
+            },
+        },
+        g->node);
+  }
+
+ private:
+  // The cache keys on node identity but must RETAIN the nodes: rewrite
+  // temporaries die during the run and their addresses get recycled, so
+  // a raw-pointer key would alias distinct nodes.
+  struct PtrHash {
+    std::size_t operator()(const GTypePtr& g) const noexcept {
+      return std::hash<const GType*>{}(g.get());
+    }
+  };
+  struct PtrEq {
+    bool operator()(const GTypePtr& a, const GTypePtr& b) const noexcept {
+      return a.get() == b.get();
+    }
+  };
+
+  const OrderedSet<Symbol>& free_of(const GTypePtr& g) {
+    auto [it, inserted] = free_cache_.try_emplace(g);
+    if (!inserted) return it->second;
+    OrderedSet<Symbol> out = std::visit(
+        Overloaded{
+            [&](const GTEmpty&) { return OrderedSet<Symbol>{}; },
+            [&](const GTSeq& node) {
+              return free_of(node.lhs).set_union(free_of(node.rhs));
+            },
+            [&](const GTOr& node) {
+              return free_of(node.lhs).set_union(free_of(node.rhs));
+            },
+            [&](const GTSpawn& node) {
+              OrderedSet<Symbol> s = free_of(node.body);
+              s.insert(node.vertex);
+              return s;
+            },
+            [&](const GTTouch& node) {
+              return OrderedSet<Symbol>{node.vertex};
+            },
+            [&](const GTRec& node) { return free_of(node.body); },
+            [&](const GTVar&) { return OrderedSet<Symbol>{}; },
+            [&](const GTNew& node) {
+              OrderedSet<Symbol> s = free_of(node.body);
+              s.erase(node.vertex);
+              return s;
+            },
+            [&](const GTPi& node) {
+              OrderedSet<Symbol> s = free_of(node.body);
+              for (Symbol u : node.spawn_params) s.erase(u);
+              for (Symbol u : node.touch_params) s.erase(u);
+              return s;
+            },
+            [&](const GTApp& node) {
+              OrderedSet<Symbol> s = free_of(node.fn);
+              for (Symbol u : node.spawn_args) s.insert(u);
+              for (Symbol u : node.touch_args) s.insert(u);
+              return s;
+            },
+        },
+        g->node);
+    // Recursive free_of calls may have rehashed the map; re-find.
+    return free_cache_.insert_or_assign(g, std::move(out)).first->second;
+  }
+
+  bool is_free_in(Symbol u, const GTypePtr& g) {
+    return free_of(g).contains(u);
+  }
+
+  // Places νu around `body`, pushed as deep as the rewrites allow (see
+  // header for the rewrite system). Precondition: `body` is already
+  // fully transformed.
+  GTypePtr push_binder(Symbol u, const GTypePtr& body) {
+    if (!is_free_in(u, body)) return body;  // unused: drop the binder
+    return std::visit(
+        Overloaded{
+            [&](const GTSeq& node) {
+              const bool in_lhs = is_free_in(u, node.lhs);
+              const bool in_rhs = is_free_in(u, node.rhs);
+              if (in_lhs && in_rhs) return gt::nu(u, body);
+              if (in_lhs) return gt::seq(push_binder(u, node.lhs), node.rhs);
+              return gt::seq(node.lhs, push_binder(u, node.rhs));
+            },
+            [&](const GTOr& node) {
+              // Push into each branch independently; the binder vanishes
+              // from branches that do not mention u.
+              return gt::alt(push_binder(u, node.lhs),
+                             push_binder(u, node.rhs));
+            },
+            [&](const GTSpawn& node) {
+              if (node.vertex == u) return gt::nu(u, body);
+              return gt::spawn(push_binder(u, node.body), node.vertex);
+            },
+            [&](const GTNew& node) {
+              if (node.vertex == u) return gt::nu(u, body);  // shadowed
+              return gt::nu(node.vertex, push_binder(u, node.body));
+            },
+            // Everything else (touch, μ, Π, application, variables, •) is
+            // a boundary the binder must not cross.
+            [&](const auto&) { return gt::nu(u, body); },
+        },
+        body->node);
+  }
+
+  std::unordered_map<GTypePtr, OrderedSet<Symbol>, PtrHash, PtrEq>
+      free_cache_;
+};
+
+}  // namespace
+
+GTypePtr push_new_bindings(const GTypePtr& g) {
+  Pusher pusher;
+  return pusher.transform(g);
+}
+
+}  // namespace gtdl

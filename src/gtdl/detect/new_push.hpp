@@ -1,0 +1,37 @@
+// "New pushing" (paper §5).
+//
+// GML inserts ν ("new") bindings only at the tops of function bodies, so a
+// divide-and-conquer function gets the graph type
+//
+//     rec g. new u. (1 | (g / u ; g ; ~u))
+//
+// which the deadlock-freedom kinding rejects: the base-case branch never
+// spawns u, violating linearity. The type is semantically equivalent to
+//
+//     rec g. (1 | new u. (g / u ; g ; ~u))
+//
+// which is accepted. push_new_bindings performs that rewrite: every ν
+// binder is pushed to the smallest scope that still covers all free
+// occurrences of its vertex, and ν binders whose vertex is entirely unused
+// are dropped. All rewrites preserve the set of graphs the type
+// normalizes to:
+//
+//   νu.(A ∨ B)  =  (νu.A) ∨ (νu.B)      (each normalization picks one branch)
+//   νu.(A ⊕ B)  =  (νu.A) ⊕ B            when u ∉ fv(B)   (and symmetrically)
+//   νu.(B /w)   =  (νu.B) /w             when u ≠ w
+//   νu.νw.B     =  νw.νu.B
+//   νu.B        =  B                     when u ∉ fv(B)
+//
+// ν binders are never pushed through μ, Π, or application boundaries:
+// moving a ν inside a recursive binding would change "one vertex for the
+// whole recursion" into "a fresh vertex per unrolling".
+
+#pragma once
+
+#include "gtdl/gtype/gtype.hpp"
+
+namespace gtdl {
+
+[[nodiscard]] GTypePtr push_new_bindings(const GTypePtr& g);
+
+}  // namespace gtdl

@@ -1,0 +1,164 @@
+// FutLang abstract syntax.
+//
+// Surface syntax (see parser.hpp for the grammar):
+//
+//   fun g(a: future[int], x: future[int]) {
+//     let u = new_future[int]();
+//     if rand() == 0 {
+//       return;
+//     } else {
+//       touch(x);                 # or x.touch()
+//       spawn a { return 42; }    # or a.spawn { ... }
+//       g(u, u);
+//       return;
+//     }
+//   }
+//
+// Expressions carry their source location for diagnostics; types are
+// filled in by the type checker (Expr::type).
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "gtdl/frontend/types.hpp"
+#include "gtdl/support/diagnostics.hpp"
+#include "gtdl/support/symbol.hpp"
+
+namespace gtdl {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+using Block = std::vector<StmtPtr>;
+
+enum class BinaryOp : unsigned char {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+enum class UnaryOp : unsigned char { kNeg, kNot };
+
+[[nodiscard]] std::string_view to_string(BinaryOp op);
+
+// --- Expressions ------------------------------------------------------------
+
+struct EIntLit {
+  std::int64_t value;
+};
+struct EBoolLit {
+  bool value;
+};
+struct EStringLit {
+  std::string value;
+};
+struct EUnitLit {};
+// Polymorphic empty list; its type comes from the context (let annotation
+// or parameter type).
+struct ENilLit {};
+struct EVar {
+  Symbol name;
+};
+struct ECall {
+  Symbol callee;
+  std::vector<ExprPtr> args;
+};
+struct ENewFuture {
+  TypePtr element;
+};
+// touch(h) / h.touch(): blocks until the future completes; evaluates to
+// the future's value.
+struct ETouch {
+  ExprPtr handle;
+};
+// spawn h { ... } / h.spawn { ... }: installs the block as h's future
+// thread. Unit-valued.
+struct ESpawn {
+  ExprPtr handle;
+  Block body;
+};
+struct EBinary {
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+struct EUnary {
+  UnaryOp op;
+  ExprPtr operand;
+};
+
+struct Expr {
+  std::variant<EIntLit, EBoolLit, EStringLit, EUnitLit, ENilLit, EVar, ECall,
+               ENewFuture, ETouch, ESpawn, EBinary, EUnary>
+      node;
+  SrcLoc loc;
+  // Filled by the type checker.
+  TypePtr type;
+};
+
+// --- Statements -------------------------------------------------------------
+
+struct SLet {
+  Symbol name;
+  TypePtr declared;  // may be null (inferred from the initializer)
+  ExprPtr init;
+};
+struct SAssign {
+  Symbol name;
+  ExprPtr value;
+};
+struct SExpr {
+  ExprPtr expr;
+};
+struct SReturn {
+  ExprPtr value;  // may be null (unit return)
+};
+struct SIf {
+  ExprPtr cond;
+  Block then_block;
+  Block else_block;  // possibly empty
+};
+struct SWhile {
+  ExprPtr cond;
+  Block body;
+};
+
+struct Stmt {
+  std::variant<SLet, SAssign, SExpr, SReturn, SIf, SWhile> node;
+  SrcLoc loc;
+};
+
+// --- Declarations -----------------------------------------------------------
+
+struct Param {
+  Symbol name;
+  TypePtr type;
+  SrcLoc loc;
+};
+
+struct Function {
+  Symbol name;
+  std::vector<Param> params;
+  TypePtr return_type;  // unit if omitted in source
+  Block body;
+  SrcLoc loc;
+};
+
+struct Program {
+  std::vector<Function> functions;
+
+  [[nodiscard]] const Function* find(Symbol name) const {
+    for (const Function& f : functions) {
+      if (f.name == name) return &f;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace gtdl

@@ -1,0 +1,34 @@
+#include "gtdl/frontend/driver.hpp"
+
+#include <stdexcept>
+
+#include "gtdl/frontend/parser.hpp"
+#include "gtdl/frontend/typecheck.hpp"
+
+namespace gtdl {
+
+std::optional<CompiledProgram> compile_futlang(std::string_view source,
+                                               DiagnosticEngine& diags,
+                                               const InferOptions& options) {
+  auto program = parse_program(source, diags);
+  if (!program) return std::nullopt;
+  if (!typecheck_program(*program, diags)) return std::nullopt;
+  auto inferred = infer_graph_types(*program, diags, options);
+  if (!inferred) return std::nullopt;
+  CompiledProgram out;
+  out.program = std::move(*program);
+  out.inferred = std::move(*inferred);
+  return out;
+}
+
+CompiledProgram compile_futlang_or_throw(std::string_view source,
+                                         const InferOptions& options) {
+  DiagnosticEngine diags;
+  auto compiled = compile_futlang(source, diags, options);
+  if (!compiled) {
+    throw std::runtime_error("FutLang compilation failed:\n" + diags.render());
+  }
+  return std::move(*compiled);
+}
+
+}  // namespace gtdl

@@ -1,0 +1,31 @@
+// Convenience pipeline: source text -> parsed AST -> type check -> graph
+// type inference. Used by the CLI, the examples, the benches and the
+// integration tests.
+
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "gtdl/frontend/ast.hpp"
+#include "gtdl/frontend/infer.hpp"
+#include "gtdl/support/diagnostics.hpp"
+
+namespace gtdl {
+
+struct CompiledProgram {
+  Program program;          // type-annotated AST
+  InferredProgram inferred; // per-function graph types + program type
+};
+
+// Runs parse + typecheck + inference; nullopt (with diagnostics) on any
+// failure.
+[[nodiscard]] std::optional<CompiledProgram> compile_futlang(
+    std::string_view source, DiagnosticEngine& diags,
+    const InferOptions& options = {});
+
+// Throwing variant for tests and examples.
+[[nodiscard]] CompiledProgram compile_futlang_or_throw(
+    std::string_view source, const InferOptions& options = {});
+
+}  // namespace gtdl

@@ -1,0 +1,544 @@
+#include "gtdl/frontend/infer.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "gtdl/frontend/typecheck.hpp"
+#include "gtdl/support/overloaded.hpp"
+
+namespace gtdl {
+
+std::vector<Symbol> FunctionGraphInfo::spawn_vertex_params() const {
+  std::vector<Symbol> out;
+  for (std::size_t i = 0; i < usage.size(); ++i) {
+    if (usage[i].spawned) out.push_back(vertices[i]);
+  }
+  return out;
+}
+
+std::vector<Symbol> FunctionGraphInfo::touch_vertex_params() const {
+  // A parameter both spawned and touched binds as a SPAWN parameter only:
+  // the body's own spawn justifies its touches (DF:SEQ). Binding it in ūt
+  // as well would put it in Ψ up front and unsoundly admit
+  // touch-before-spawn bodies.
+  std::vector<Symbol> out;
+  for (std::size_t i = 0; i < usage.size(); ++i) {
+    if (usage[i].touched && !usage[i].spawned) out.push_back(vertices[i]);
+  }
+  return out;
+}
+
+bool FunctionGraphInfo::has_classified_params() const {
+  return std::any_of(usage.begin(), usage.end(), [](const ParamUsage& u) {
+    return u.spawned || u.touched;
+  });
+}
+
+namespace {
+
+// Abstract value of an expression during inference: not a future, a
+// future with a known vertex, or a future whose identity was lost.
+struct AbstractVal {
+  enum class Kind : unsigned char { kNotFuture, kVertex, kOpaque };
+  Kind kind = Kind::kNotFuture;
+  Symbol vertex;
+
+  static AbstractVal not_future() { return {}; }
+  static AbstractVal of_vertex(Symbol v) {
+    return {Kind::kVertex, v};
+  }
+  static AbstractVal opaque() { return {Kind::kOpaque, Symbol{}}; }
+};
+
+class Inferencer {
+ public:
+  Inferencer(const Program& program, DiagnosticEngine& diags,
+             const InferOptions& options)
+      : program_(program), diags_(diags), options_(options) {}
+
+  std::optional<InferredProgram> run() {
+    InferredProgram result;
+    for (std::size_t i = 0; i < program_.functions.size(); ++i) {
+      const Function& fn = program_.functions[i];
+      declared_before_.insert(fn.name);
+      auto info = infer_function(fn);
+      if (!info) return std::nullopt;
+      result.functions.emplace(fn.name, std::move(*info));
+      infos_ = &result.functions;
+    }
+    const auto main_it = result.functions.find(Symbol::intern("main"));
+    if (main_it == result.functions.end()) {
+      diags_.error("program has no 'main' function");
+      return std::nullopt;
+    }
+    result.program_gtype = main_it->second.gtype;
+    return result;
+  }
+
+ private:
+  // --- structural restrictions -------------------------------------------
+
+  // Enforces the tail-position discipline described in the header: a
+  // return (or an if containing one) terminates its block.
+  bool check_tail_discipline(const Block& block) {
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      const Stmt& stmt = *block[i];
+      const bool last = i + 1 == block.size();
+      if (std::holds_alternative<SReturn>(stmt.node) && !last) {
+        diags_.error(stmt.loc,
+                     "graph inference requires 'return' to be the last "
+                     "statement of its block");
+        return false;
+      }
+      if (const auto* sif = std::get_if<SIf>(&stmt.node)) {
+        if (!check_tail_discipline(sif->then_block) ||
+            !check_tail_discipline(sif->else_block)) {
+          return false;
+        }
+        if (!last && (contains_return(sif->then_block) ||
+                      contains_return(sif->else_block))) {
+          diags_.error(stmt.loc,
+                       "graph inference requires an 'if' whose branches "
+                       "return to be the last statement of its block");
+          return false;
+        }
+      }
+      if (const auto* sw = std::get_if<SWhile>(&stmt.node)) {
+        (void)sw;
+        diags_.error(stmt.loc,
+                     "graph inference does not support 'while'; use "
+                     "recursion");
+        return false;
+      }
+      // Spawn bodies live inside expressions; checked during the walk.
+    }
+    return true;
+  }
+
+  static bool contains_return(const Block& block) {
+    for (const StmtPtr& stmt : block) {
+      if (std::holds_alternative<SReturn>(stmt->node)) return true;
+      if (const auto* sif = std::get_if<SIf>(&stmt->node)) {
+        if (contains_return(sif->then_block) ||
+            contains_return(sif->else_block)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  // --- per-function inference ---------------------------------------------
+
+  std::optional<FunctionGraphInfo> infer_function(const Function& fn) {
+    if (!check_tail_discipline(fn.body)) return std::nullopt;
+
+    FunctionGraphInfo info;
+    info.name = fn.name;
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      if (is_future(*fn.params[i].type)) {
+        info.future_params.push_back(i);
+        info.vertices.push_back(Symbol::intern(
+            fn.name.str() + "_" + fn.params[i].name.str()));
+      }
+    }
+    info.usage.assign(info.future_params.size(), ParamUsage{});
+    info.recursive = calls_self(fn.body, fn.name);
+
+    // Mycroft iteration: re-infer with the previous signature until the
+    // classification stabilizes, up to the GML cap.
+    GTypePtr body_graph;
+    bool converged = false;
+    for (unsigned iter = 1; iter <= options_.max_signature_iterations;
+         ++iter) {
+      info.iterations = iter;
+      WalkOutput out;
+      if (!walk_function(fn, info, out)) return std::nullopt;
+      body_graph = out.graph;
+      if (out.usage == info.usage) {
+        converged = true;
+        break;
+      }
+      info.usage = std::move(out.usage);
+    }
+    if (!converged) {
+      // Faithful GML behavior (paper footnote 3): the fixed point was not
+      // reached within the iteration budget.
+      diags_.error(fn.loc,
+                   "graph type of '" + fn.name.str() +
+                       "' did not reach a fixed point after " +
+                       std::to_string(options_.max_signature_iterations) +
+                       " inference iterations (GML raises this error; "
+                       "increase max_signature_iterations to infer it)");
+      return std::nullopt;
+    }
+
+    // Assemble: μγ. Π[spawn; touch]. ν locals. body
+    GTypePtr g = body_graph;
+    if (info.has_classified_params()) {
+      g = gt::pi(info.spawn_vertex_params(), info.touch_vertex_params(),
+                 std::move(g));
+    }
+    if (info.recursive) {
+      g = gt::rec(fn.name, std::move(g));
+    }
+    info.gtype = std::move(g);
+    return info;
+  }
+
+  static bool calls_self_expr(const Expr& expr, Symbol self) {
+    bool found = false;
+    std::visit(Overloaded{
+                   [&](const ECall& node) {
+                     if (node.callee == self) found = true;
+                     for (const ExprPtr& a : node.args) {
+                       found = found || calls_self_expr(*a, self);
+                     }
+                   },
+                   [&](const ETouch& node) {
+                     found = calls_self_expr(*node.handle, self);
+                   },
+                   [&](const ESpawn& node) {
+                     found = calls_self_expr(*node.handle, self) ||
+                             calls_self(node.body, self);
+                   },
+                   [&](const EBinary& node) {
+                     found = calls_self_expr(*node.lhs, self) ||
+                             calls_self_expr(*node.rhs, self);
+                   },
+                   [&](const EUnary& node) {
+                     found = calls_self_expr(*node.operand, self);
+                   },
+                   [](const auto&) {},
+               },
+               expr.node);
+    return found;
+  }
+
+  static bool calls_self(const Block& block, Symbol self) {
+    for (const StmtPtr& stmt : block) {
+      bool found = false;
+      std::visit(Overloaded{
+                     [&](const SLet& node) {
+                       found = calls_self_expr(*node.init, self);
+                     },
+                     [&](const SAssign& node) {
+                       found = calls_self_expr(*node.value, self);
+                     },
+                     [&](const SExpr& node) {
+                       found = calls_self_expr(*node.expr, self);
+                     },
+                     [&](const SReturn& node) {
+                       found = node.value != nullptr &&
+                               calls_self_expr(*node.value, self);
+                     },
+                     [&](const SIf& node) {
+                       found = calls_self_expr(*node.cond, self) ||
+                               calls_self(node.then_block, self) ||
+                               calls_self(node.else_block, self);
+                     },
+                     [&](const SWhile& node) {
+                       found = calls_self_expr(*node.cond, self) ||
+                               calls_self(node.body, self);
+                     },
+                 },
+                 stmt->node);
+      if (found) return true;
+    }
+    return false;
+  }
+
+  // --- the walk -------------------------------------------------------------
+
+  struct WalkOutput {
+    GTypePtr graph;
+    std::vector<ParamUsage> usage;
+  };
+
+  struct WalkState {
+    const Function* fn = nullptr;
+    const FunctionGraphInfo* info = nullptr;  // current (assumed) signature
+    std::vector<ParamUsage> usage;            // usage being computed
+    std::vector<Symbol> nu_list;              // hoisted local futures
+    std::vector<std::unordered_map<Symbol, AbstractVal>> scopes;
+    bool failed = false;
+  };
+
+  bool walk_function(const Function& fn, const FunctionGraphInfo& info,
+                     WalkOutput& out) {
+    WalkState state;
+    state.fn = &fn;
+    state.info = &info;
+    state.usage.assign(info.future_params.size(), ParamUsage{});
+    state.scopes.emplace_back();
+    for (std::size_t k = 0; k < info.future_params.size(); ++k) {
+      const Param& p = fn.params[info.future_params[k]];
+      state.scopes.back().emplace(p.name,
+                                  AbstractVal::of_vertex(info.vertices[k]));
+    }
+    for (const Param& p : fn.params) {
+      if (!is_future(*p.type)) {
+        state.scopes.back().emplace(p.name, AbstractVal::not_future());
+      }
+    }
+    GTypePtr body = walk_block(fn.body, state);
+    if (state.failed) return false;
+    out.graph = gt::nu_all(state.nu_list, std::move(body));
+    out.usage = std::move(state.usage);
+    return true;
+  }
+
+  GTypePtr walk_block(const Block& block, WalkState& state) {
+    state.scopes.emplace_back();
+    std::vector<GTypePtr> pieces;
+    for (const StmtPtr& stmt : block) {
+      walk_stmt(*stmt, state, pieces);
+      if (state.failed) break;
+    }
+    state.scopes.pop_back();
+    return pieces.empty() ? gt::empty() : gt::seq_all(std::move(pieces));
+  }
+
+  void walk_stmt(const Stmt& stmt, WalkState& state,
+                 std::vector<GTypePtr>& pieces) {
+    std::visit(
+        Overloaded{
+            [&](const SLet& node) {
+              const AbstractVal value =
+                  walk_expr(*node.init, state, pieces);
+              state.scopes.back()[node.name] = value;
+            },
+            [&](const SAssign& node) {
+              const AbstractVal value =
+                  walk_expr(*node.value, state, pieces);
+              bind_existing(node.name, value, state, stmt.loc);
+            },
+            [&](const SExpr& node) {
+              (void)walk_expr(*node.expr, state, pieces);
+            },
+            [&](const SReturn& node) {
+              if (node.value != nullptr) {
+                (void)walk_expr(*node.value, state, pieces);
+              }
+            },
+            [&](const SIf& node) {
+              (void)walk_expr(*node.cond, state, pieces);
+              const GTypePtr then_graph = walk_block(node.then_block, state);
+              const GTypePtr else_graph = walk_block(node.else_block, state);
+              pieces.push_back(gt::alt(then_graph, else_graph));
+            },
+            [&](const SWhile&) {
+              // Rejected by check_tail_discipline already.
+              fail(stmt.loc, "'while' reached inference unexpectedly",
+                   state);
+            },
+        },
+        stmt.node);
+  }
+
+  void bind_existing(Symbol name, const AbstractVal& value, WalkState& state,
+                     SrcLoc loc) {
+    for (auto it = state.scopes.rbegin(); it != state.scopes.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) {
+        // Re-binding a future variable to a different vertex loses the
+        // static identity; subsequent spawns/touches of it will fail.
+        if (found->second.kind == AbstractVal::Kind::kVertex &&
+            value.kind == AbstractVal::Kind::kVertex &&
+            found->second.vertex != value.vertex) {
+          found->second = AbstractVal::opaque();
+        } else {
+          found->second = value;
+        }
+        return;
+      }
+    }
+    fail(loc, "assignment to unknown variable '" + name.str() + "'", state);
+  }
+
+  AbstractVal lookup(Symbol name, WalkState& state) const {
+    for (auto it = state.scopes.rbegin(); it != state.scopes.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return found->second;
+    }
+    return AbstractVal::not_future();
+  }
+
+  void fail(SrcLoc loc, std::string message, WalkState& state) {
+    if (!state.failed) diags_.error(loc, std::move(message));
+    state.failed = true;
+  }
+
+  // Marks a vertex as spawned/touched if it is one of the current
+  // function's parameter vertices.
+  void mark_param(Symbol vertex, bool spawned, WalkState& state) {
+    for (std::size_t k = 0; k < state.info->vertices.size(); ++k) {
+      if (state.info->vertices[k] == vertex) {
+        if (spawned) {
+          state.usage[k].spawned = true;
+        } else {
+          state.usage[k].touched = true;
+        }
+      }
+    }
+  }
+
+  AbstractVal walk_expr(const Expr& expr, WalkState& state,
+                        std::vector<GTypePtr>& pieces) {
+    return std::visit(
+        Overloaded{
+            [&](const EIntLit&) { return AbstractVal::not_future(); },
+            [&](const EBoolLit&) { return AbstractVal::not_future(); },
+            [&](const EStringLit&) { return AbstractVal::not_future(); },
+            [&](const EUnitLit&) { return AbstractVal::not_future(); },
+            [&](const ENilLit&) { return AbstractVal::not_future(); },
+            [&](const EVar& node) { return lookup(node.name, state); },
+            [&](const ENewFuture&) {
+              // GML hoists the ν binding to the top of the function body.
+              const Symbol vertex =
+                  Symbol::fresh(state.fn->name.str() + "_u");
+              state.nu_list.push_back(vertex);
+              return AbstractVal::of_vertex(vertex);
+            },
+            [&](const ETouch& node) {
+              const AbstractVal handle =
+                  walk_expr(*node.handle, state, pieces);
+              if (handle.kind != AbstractVal::Kind::kVertex) {
+                fail(expr.loc,
+                     "cannot statically identify the future being touched",
+                     state);
+                return AbstractVal::not_future();
+              }
+              mark_param(handle.vertex, /*spawned=*/false, state);
+              pieces.push_back(gt::touch(handle.vertex));
+              return AbstractVal::not_future();
+            },
+            [&](const ESpawn& node) {
+              const AbstractVal handle =
+                  walk_expr(*node.handle, state, pieces);
+              if (handle.kind != AbstractVal::Kind::kVertex) {
+                fail(expr.loc,
+                     "cannot statically identify the future being spawned",
+                     state);
+                return AbstractVal::not_future();
+              }
+              if (!check_tail_discipline(node.body)) {
+                state.failed = true;
+                return AbstractVal::not_future();
+              }
+              mark_param(handle.vertex, /*spawned=*/true, state);
+              const GTypePtr body_graph = walk_block(node.body, state);
+              pieces.push_back(gt::spawn(body_graph, handle.vertex));
+              return AbstractVal::not_future();
+            },
+            [&](const ECall& node) { return walk_call(expr, node, state, pieces); },
+            [&](const EBinary& node) {
+              (void)walk_expr(*node.lhs, state, pieces);
+              (void)walk_expr(*node.rhs, state, pieces);
+              return AbstractVal::not_future();
+            },
+            [&](const EUnary& node) {
+              (void)walk_expr(*node.operand, state, pieces);
+              return AbstractVal::not_future();
+            },
+        },
+        expr.node);
+  }
+
+  AbstractVal walk_call(const Expr& expr, const ECall& node, WalkState& state,
+                        std::vector<GTypePtr>& pieces) {
+    // Argument expressions evaluate first, left to right.
+    std::vector<AbstractVal> arg_vals;
+    arg_vals.reserve(node.args.size());
+    for (const ExprPtr& arg : node.args) {
+      arg_vals.push_back(walk_expr(*arg, state, pieces));
+    }
+    if (is_builtin(node.callee)) return AbstractVal::not_future();
+
+    const bool self = node.callee == state.fn->name;
+    const FunctionGraphInfo* callee_info = nullptr;
+    if (self) {
+      callee_info = state.info;
+    } else {
+      if (declared_before_.count(node.callee) == 0 || infos_ == nullptr) {
+        fail(expr.loc,
+             "graph inference requires '" + node.callee.str() +
+                 "' to be declared before this call (mutual recursion is "
+                 "not supported)",
+             state);
+        return AbstractVal::not_future();
+      }
+      auto it = infos_->find(node.callee);
+      if (it == infos_->end()) {
+        fail(expr.loc, "no graph type for '" + node.callee.str() + "'",
+             state);
+        return AbstractVal::not_future();
+      }
+      callee_info = &it->second;
+    }
+
+    // Use the callee's classification (for self-calls: the current
+    // iteration's assumption) to build the vertex argument vectors and to
+    // propagate usage to our own parameters.
+    std::vector<Symbol> spawn_args;
+    std::vector<Symbol> touch_args;
+    for (std::size_t k = 0; k < callee_info->future_params.size(); ++k) {
+      const ParamUsage u =
+          self ? state.info->usage[k] : callee_info->usage[k];
+      if (!u.spawned && !u.touched) continue;
+      const std::size_t arg_index = callee_info->future_params[k];
+      const AbstractVal& val = arg_vals[arg_index];
+      if (val.kind != AbstractVal::Kind::kVertex) {
+        fail(node.args[arg_index]->loc,
+             "cannot statically identify the future passed to '" +
+                 node.callee.str() + "'",
+             state);
+        return AbstractVal::not_future();
+      }
+      // Mirror the Π binding rule: spawn classification wins.
+      if (u.spawned) {
+        spawn_args.push_back(val.vertex);
+        mark_param(val.vertex, /*spawned=*/true, state);
+      } else if (u.touched) {
+        touch_args.push_back(val.vertex);
+        mark_param(val.vertex, /*spawned=*/false, state);
+      }
+    }
+
+    // Whether the callee's (assumed) signature is Π-parameterized.
+    const bool classified =
+        std::any_of(callee_info->usage.begin(), callee_info->usage.end(),
+                    [](const ParamUsage& u) { return u.spawned || u.touched; });
+    GTypePtr fn_node =
+        self ? gt::var(state.fn->name) : callee_info->gtype;
+    if (classified) {
+      pieces.push_back(
+          gt::app(std::move(fn_node), std::move(spawn_args),
+                  std::move(touch_args)));
+    } else {
+      // No future parameters: the call's graph is the callee's graph
+      // (bare γ for self-calls; normalization handles bare μ directly).
+      pieces.push_back(std::move(fn_node));
+    }
+    return AbstractVal::not_future();
+  }
+
+  const Program& program_;
+  DiagnosticEngine& diags_;
+  const InferOptions& options_;
+  std::unordered_set<Symbol> declared_before_;
+  const std::unordered_map<Symbol, FunctionGraphInfo>* infos_ = nullptr;
+};
+
+}  // namespace
+
+std::optional<InferredProgram> infer_graph_types(const Program& program,
+                                                 DiagnosticEngine& diags,
+                                                 const InferOptions& options) {
+  Inferencer inferencer(program, diags, options);
+  auto result = inferencer.run();
+  if (diags.has_errors()) return std::nullopt;
+  return result;
+}
+
+}  // namespace gtdl

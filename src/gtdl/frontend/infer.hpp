@@ -1,0 +1,93 @@
+// Graph type inference for FutLang — the reimplementation of GML's role
+// in the paper's pipeline (source program -> graph type).
+//
+// Inference follows the design the paper describes for GML:
+//
+//   * Every future handle is tracked by the vertex name it denotes. A
+//     future-typed parameter p of function f denotes the Π-bound vertex
+//     "f_p"; a local `let u = new_future[T]()` denotes a fresh vertex
+//     that is ν-BOUND AT THE TOP OF THE FUNCTION BODY (GML hoists ν for
+//     efficiency — the behavior that motivates §5's "new pushing").
+//   * Statements compose with ⊕, conditionals become ∨, spawn h {B}
+//     becomes G_B / u_h, touch(h) becomes ᵘ\, and a call becomes an
+//     application G_callee[spawn-args; touch-args].
+//   * A function's future parameters are classified as spawn- and/or
+//     touch-parameters by how the body uses them — directly, or by
+//     passing them into a classified position of a call. For recursive
+//     functions this classification is a fixpoint computed by Mycroft
+//     iteration; faithful to GML (paper footnote 3), the iteration count
+//     is capped at TWO by default, so the §3 counterexamples with m >= 2
+//     fail inference with a "did not reach a fixed point" error while
+//     m = 1 infers fine. Raise `max_signature_iterations` to infer the
+//     whole family (an extension the paper's authors shortcut).
+//
+// Restrictions (each reported with a clear diagnostic):
+//   * functions may call only previously declared functions or themselves
+//     (no mutual recursion);
+//   * a `return` must be the last statement of its block, and an `if`
+//     whose branches return must be the last statement of its block (so
+//     the ⊕/∨ structure of the type matches the control flow exactly);
+//   * `while` is not supported by inference (use recursion);
+//   * every touched or spawned handle must be statically identifiable
+//     (a single vertex — e.g. not two different handles merged by
+//     reassignment under a conditional).
+
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "gtdl/frontend/ast.hpp"
+#include "gtdl/gtype/gtype.hpp"
+#include "gtdl/support/diagnostics.hpp"
+
+namespace gtdl {
+
+struct InferOptions {
+  // GML's cap: inference runs at most twice per recursive function; if
+  // the signature has not stabilized, inference errors out.
+  unsigned max_signature_iterations = 2;
+};
+
+// Per-future-parameter classification.
+struct ParamUsage {
+  bool spawned = false;
+  bool touched = false;
+  friend bool operator==(const ParamUsage&, const ParamUsage&) = default;
+};
+
+struct FunctionGraphInfo {
+  Symbol name;
+  // The function's full graph type: μγ.Πūf;ūt.(ν...body), Π...(ν...body),
+  // or a plain graph for non-recursive functions without future params.
+  GTypePtr gtype;
+  bool recursive = false;
+  // Indices into Function::params of future-typed parameters, in order.
+  std::vector<std::size_t> future_params;
+  // Classification aligned with future_params.
+  std::vector<ParamUsage> usage;
+  // Vertex names aligned with future_params.
+  std::vector<Symbol> vertices;
+  // How many Mycroft iterations the signature took to stabilize.
+  unsigned iterations = 0;
+
+  // Spawn-/touch-classified vertex vectors (Π binding order).
+  [[nodiscard]] std::vector<Symbol> spawn_vertex_params() const;
+  [[nodiscard]] std::vector<Symbol> touch_vertex_params() const;
+  [[nodiscard]] bool has_classified_params() const;
+};
+
+struct InferredProgram {
+  // main's graph type — the whole-program type the detectors analyze.
+  GTypePtr program_gtype;
+  std::unordered_map<Symbol, FunctionGraphInfo> functions;
+};
+
+// Precondition: `program` has passed typecheck_program. Returns nullopt
+// with diagnostics on inference failure.
+[[nodiscard]] std::optional<InferredProgram> infer_graph_types(
+    const Program& program, DiagnosticEngine& diags,
+    const InferOptions& options = {});
+
+}  // namespace gtdl

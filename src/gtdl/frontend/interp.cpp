@@ -1,0 +1,563 @@
+#include "gtdl/frontend/interp.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+#include <variant>
+
+#include "gtdl/frontend/typecheck.hpp"
+#include "gtdl/support/overloaded.hpp"
+
+namespace gtdl {
+
+GroundDeadlock InterpResult::graph_deadlock() const {
+  if (graph == nullptr) return {};
+  return find_ground_deadlock(*graph);
+}
+
+namespace {
+
+struct FutureCell;
+
+struct Value;
+using ListPtr = std::shared_ptr<const std::vector<Value>>;
+using FuturePtr = std::shared_ptr<FutureCell>;
+
+struct Unit {};
+
+struct Value {
+  std::variant<Unit, std::int64_t, bool, std::string, ListPtr, FuturePtr> v;
+
+  static Value unit() { return {Unit{}}; }
+  static Value of_int(std::int64_t x) { return {x}; }
+  static Value of_bool(bool b) { return {b}; }
+  static Value of_string(std::string s) { return {std::move(s)}; }
+  static Value of_list(ListPtr l) { return {std::move(l)}; }
+  static Value of_future(FuturePtr f) { return {std::move(f)}; }
+
+  [[nodiscard]] std::int64_t as_int() const { return std::get<std::int64_t>(v); }
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(v);
+  }
+  [[nodiscard]] const ListPtr& as_list() const { return std::get<ListPtr>(v); }
+  [[nodiscard]] const FuturePtr& as_future() const {
+    return std::get<FuturePtr>(v);
+  }
+};
+
+// Mutable lexical scopes; spawn bodies capture the chain, so assignments
+// inside a future body are visible to its creator and vice versa (the
+// usual closure semantics).
+struct EnvScope {
+  std::unordered_map<Symbol, Value> vars;
+  std::shared_ptr<EnvScope> parent;
+};
+using EnvPtr = std::shared_ptr<EnvScope>;
+
+// Records one thread's sequence of graph-relevant events.
+struct GraphBuilder {
+  struct SpawnNode {
+    Symbol vertex;
+    std::shared_ptr<GraphBuilder> child;
+  };
+  struct TouchNode {
+    Symbol vertex;
+  };
+  std::vector<std::variant<TouchNode, SpawnNode>> nodes;
+
+  [[nodiscard]] GraphExprPtr freeze() const {
+    std::vector<GraphExprPtr> pieces;
+    pieces.reserve(nodes.size());
+    for (const auto& node : nodes) {
+      pieces.push_back(std::visit(
+          Overloaded{
+              [](const TouchNode& t) { return ge::touch(t.vertex); },
+              [](const SpawnNode& s) {
+                return ge::spawn(s.child->freeze(), s.vertex);
+              },
+          },
+          node));
+    }
+    return pieces.empty() ? ge::singleton() : ge::seq_all(std::move(pieces));
+  }
+};
+
+enum class FutureState : unsigned char {
+  kUnspawned,
+  kPending,
+  kRunning,
+  kDone,
+};
+
+struct FutureCell {
+  Symbol vertex;
+  FutureState state = FutureState::kUnspawned;
+  const Block* body = nullptr;  // owned by the AST
+  EnvPtr env;
+  Value result = Value::unit();
+  std::shared_ptr<GraphBuilder> graph = std::make_shared<GraphBuilder>();
+};
+
+struct DeadlockSignal {
+  std::string reason;
+};
+struct RuntimeErrorSignal {
+  std::string reason;
+};
+
+// Control-flow result of executing a block: either fell through or
+// returned a value.
+struct Flow {
+  bool returned = false;
+  Value value = Value::unit();
+};
+
+class Interp {
+ public:
+  Interp(const Program& program, const InterpOptions& options)
+      : program_(program), options_(options), rng_(options.seed) {}
+
+  InterpResult run() {
+    InterpResult result;
+    auto main_builder = std::make_shared<GraphBuilder>();
+    builders_.push_back(main_builder);
+    const Function* main = program_.find(Symbol::intern("main"));
+    try {
+      if (main == nullptr) throw RuntimeErrorSignal{"no main function"};
+      (void)call_function(*main, {});
+      // End of program: run every still-pending future (in a real
+      // parallel execution their threads would have run after spawn).
+      force_all_pending();
+      result.completed = true;
+    } catch (const DeadlockSignal& dl) {
+      result.deadlock = dl.reason;
+    } catch (const RuntimeErrorSignal& err) {
+      result.error = err.reason;
+    }
+    result.graph = main_builder->freeze();
+    result.trace = trace_with_init(*result.graph, Symbol::intern("main"));
+    result.output = std::move(output_);
+    result.steps = steps_;
+    return result;
+  }
+
+ private:
+  // --- plumbing ---
+
+  void step(SrcLoc loc) {
+    if (++steps_ > options_.max_steps) {
+      throw RuntimeErrorSignal{
+          "execution step budget exhausted at line " +
+          std::to_string(loc.line) +
+          " (likely unbounded recursion; raise InterpOptions::max_steps)"};
+    }
+  }
+
+  GraphBuilder& builder() { return *builders_.back(); }
+
+  std::int64_t next_rand() {
+    if (rand_index_ < options_.rand_script.size()) {
+      return options_.rand_script[rand_index_++];
+    }
+    rng_ = rng_ * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::int64_t>((rng_ >> 33) & 0x7fffffffull);
+  }
+
+  static Value lookup(const EnvPtr& env, Symbol name, SrcLoc loc) {
+    for (EnvScope* scope = env.get(); scope != nullptr;
+         scope = scope->parent.get()) {
+      auto it = scope->vars.find(name);
+      if (it != scope->vars.end()) return it->second;
+    }
+    throw RuntimeErrorSignal{"unbound variable '" + name.str() +
+                             "' at line " + std::to_string(loc.line)};
+  }
+
+  static void assign(const EnvPtr& env, Symbol name, Value value,
+                     SrcLoc loc) {
+    for (EnvScope* scope = env.get(); scope != nullptr;
+         scope = scope->parent.get()) {
+      auto it = scope->vars.find(name);
+      if (it != scope->vars.end()) {
+        it->second = std::move(value);
+        return;
+      }
+    }
+    throw RuntimeErrorSignal{"assignment to unbound variable '" +
+                             name.str() + "' at line " +
+                             std::to_string(loc.line)};
+  }
+
+  // --- futures ---
+
+  void force(const FuturePtr& cell) {
+    cell->state = FutureState::kRunning;
+    builders_.push_back(cell->graph);
+    ++call_depth_;
+    if (call_depth_ > options_.max_call_depth) {
+      throw RuntimeErrorSignal{"call depth budget exhausted while forcing "
+                               "futures"};
+    }
+    auto inner = std::make_shared<EnvScope>();
+    inner->parent = cell->env;
+    const Flow flow = exec_block(*cell->body, inner);
+    cell->result = flow.value;
+    cell->state = FutureState::kDone;
+    --call_depth_;
+    builders_.pop_back();
+  }
+
+  void force_all_pending() {
+    // Forcing can register more futures; iterate to quiescence.
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t i = 0; i < registered_.size(); ++i) {
+        const FuturePtr cell = registered_[i];
+        if (cell->state == FutureState::kPending) {
+          force(cell);
+          progress = true;
+        }
+      }
+    }
+  }
+
+  Value touch(const FuturePtr& cell, SrcLoc loc) {
+    builder().nodes.push_back(GraphBuilder::TouchNode{cell->vertex});
+    switch (cell->state) {
+      case FutureState::kDone:
+        return cell->result;
+      case FutureState::kRunning:
+        throw DeadlockSignal{
+            "deadlock: cyclic wait on future '" + cell->vertex.str() +
+            "' (line " + std::to_string(loc.line) +
+            "): the future is already blocked further down this chain"};
+      case FutureState::kPending:
+        force(cell);
+        return cell->result;
+      case FutureState::kUnspawned: {
+        // Another (pending) future thread might perform the spawn; give
+        // every runnable thread a chance before declaring a deadlock.
+        // (In the parallel semantics the touch simply blocks while others
+        // run.)
+        bool progress = true;
+        while (cell->state == FutureState::kUnspawned && progress) {
+          progress = false;
+          for (std::size_t i = 0; i < registered_.size(); ++i) {
+            const FuturePtr other = registered_[i];
+            if (other->state == FutureState::kPending) {
+              force(other);
+              progress = true;
+              if (cell->state != FutureState::kUnspawned) break;
+            }
+          }
+        }
+        if (cell->state == FutureState::kDone) return cell->result;
+        if (cell->state == FutureState::kPending) {
+          force(cell);
+          return cell->result;
+        }
+        throw DeadlockSignal{
+            "deadlock: touch of future '" + cell->vertex.str() + "' (line " +
+            std::to_string(loc.line) +
+            ") blocks forever: no thread ever spawns it"};
+      }
+    }
+    throw RuntimeErrorSignal{"corrupt future state"};
+  }
+
+  // --- execution ---
+
+  Value call_function(const Function& fn, std::vector<Value> args) {
+    ++call_depth_;
+    if (call_depth_ > options_.max_call_depth) {
+      throw RuntimeErrorSignal{
+          "call depth budget exhausted in '" + fn.name.str() +
+          "' (likely unbounded recursion; raise "
+          "InterpOptions::max_call_depth)"};
+    }
+    auto scope = std::make_shared<EnvScope>();
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      scope->vars.emplace(fn.params[i].name, std::move(args[i]));
+    }
+    const Flow flow = exec_block(fn.body, scope);
+    --call_depth_;
+    return flow.returned ? flow.value : Value::unit();
+  }
+
+  Flow exec_block(const Block& block, const EnvPtr& env) {
+    auto scope = std::make_shared<EnvScope>();
+    scope->parent = env;
+    for (const StmtPtr& stmt : block) {
+      Flow flow = exec_stmt(*stmt, scope);
+      if (flow.returned) return flow;
+    }
+    return {};
+  }
+
+  Flow exec_stmt(const Stmt& stmt, const EnvPtr& env) {
+    step(stmt.loc);
+    return std::visit(
+        Overloaded{
+            [&](const SLet& node) {
+              env->vars[node.name] = eval(*node.init, env);
+              return Flow{};
+            },
+            [&](const SAssign& node) {
+              assign(env, node.name, eval(*node.value, env), stmt.loc);
+              return Flow{};
+            },
+            [&](const SExpr& node) {
+              (void)eval(*node.expr, env);
+              return Flow{};
+            },
+            [&](const SReturn& node) {
+              Flow flow;
+              flow.returned = true;
+              if (node.value != nullptr) flow.value = eval(*node.value, env);
+              return flow;
+            },
+            [&](const SIf& node) {
+              const bool cond = eval(*node.cond, env).as_bool();
+              return exec_block(cond ? node.then_block : node.else_block,
+                                env);
+            },
+            [&](const SWhile& node) {
+              while (eval(*node.cond, env).as_bool()) {
+                step(stmt.loc);
+                Flow flow = exec_block(node.body, env);
+                if (flow.returned) return flow;
+              }
+              return Flow{};
+            },
+        },
+        stmt.node);
+  }
+
+  Value eval(const Expr& expr, const EnvPtr& env) {
+    step(expr.loc);
+    return std::visit(
+        Overloaded{
+            [&](const EIntLit& node) { return Value::of_int(node.value); },
+            [&](const EBoolLit& node) { return Value::of_bool(node.value); },
+            [&](const EStringLit& node) {
+              return Value::of_string(node.value);
+            },
+            [&](const EUnitLit&) { return Value::unit(); },
+            [&](const ENilLit&) {
+              return Value::of_list(
+                  std::make_shared<const std::vector<Value>>());
+            },
+            [&](const EVar& node) { return lookup(env, node.name, expr.loc); },
+            [&](const ECall& node) { return eval_call(expr, node, env); },
+            [&](const ENewFuture&) {
+              auto cell = std::make_shared<FutureCell>();
+              cell->vertex = Symbol::fresh("f");
+              return Value::of_future(std::move(cell));
+            },
+            [&](const ETouch& node) {
+              const Value handle = eval(*node.handle, env);
+              return touch(handle.as_future(), expr.loc);
+            },
+            [&](const ESpawn& node) {
+              const Value handle = eval(*node.handle, env);
+              const FuturePtr& cell = handle.as_future();
+              if (cell->state != FutureState::kUnspawned) {
+                throw RuntimeErrorSignal{
+                    "future '" + cell->vertex.str() +
+                    "' spawned twice (line " + std::to_string(expr.loc.line) +
+                    ")"};
+              }
+              cell->state = FutureState::kPending;
+              cell->body = &node.body;
+              cell->env = env;
+              registered_.push_back(cell);
+              builder().nodes.push_back(
+                  GraphBuilder::SpawnNode{cell->vertex, cell->graph});
+              return Value::unit();
+            },
+            [&](const EBinary& node) { return eval_binary(expr, node, env); },
+            [&](const EUnary& node) {
+              const Value operand = eval(*node.operand, env);
+              if (node.op == UnaryOp::kNeg) {
+                return Value::of_int(-operand.as_int());
+              }
+              return Value::of_bool(!operand.as_bool());
+            },
+        },
+        expr.node);
+  }
+
+  Value eval_binary(const Expr& expr, const EBinary& node, const EnvPtr& env) {
+    // && and || short-circuit.
+    if (node.op == BinaryOp::kAnd) {
+      return Value::of_bool(eval(*node.lhs, env).as_bool() &&
+                            eval(*node.rhs, env).as_bool());
+    }
+    if (node.op == BinaryOp::kOr) {
+      return Value::of_bool(eval(*node.lhs, env).as_bool() ||
+                            eval(*node.rhs, env).as_bool());
+    }
+    const Value lhs = eval(*node.lhs, env);
+    const Value rhs = eval(*node.rhs, env);
+    switch (node.op) {
+      case BinaryOp::kAdd:
+        return Value::of_int(lhs.as_int() + rhs.as_int());
+      case BinaryOp::kSub:
+        return Value::of_int(lhs.as_int() - rhs.as_int());
+      case BinaryOp::kMul:
+        return Value::of_int(lhs.as_int() * rhs.as_int());
+      case BinaryOp::kDiv:
+        if (rhs.as_int() == 0) {
+          throw RuntimeErrorSignal{"division by zero at line " +
+                                   std::to_string(expr.loc.line)};
+        }
+        return Value::of_int(lhs.as_int() / rhs.as_int());
+      case BinaryOp::kMod:
+        if (rhs.as_int() == 0) {
+          throw RuntimeErrorSignal{"modulo by zero at line " +
+                                   std::to_string(expr.loc.line)};
+        }
+        return Value::of_int(lhs.as_int() % rhs.as_int());
+      case BinaryOp::kEq:
+        return Value::of_bool(values_equal(lhs, rhs));
+      case BinaryOp::kNe:
+        return Value::of_bool(!values_equal(lhs, rhs));
+      case BinaryOp::kLt:
+        return Value::of_bool(lhs.as_int() < rhs.as_int());
+      case BinaryOp::kLe:
+        return Value::of_bool(lhs.as_int() <= rhs.as_int());
+      case BinaryOp::kGt:
+        return Value::of_bool(lhs.as_int() > rhs.as_int());
+      case BinaryOp::kGe:
+        return Value::of_bool(lhs.as_int() >= rhs.as_int());
+      default:
+        throw RuntimeErrorSignal{"corrupt binary operator"};
+    }
+  }
+
+  static bool values_equal(const Value& a, const Value& b) {
+    if (a.v.index() != b.v.index()) return false;
+    return std::visit(
+        Overloaded{
+            [](const Unit&) { return true; },
+            [&](std::int64_t x) { return x == b.as_int(); },
+            [&](bool x) { return x == b.as_bool(); },
+            [&](const std::string& x) { return x == b.as_string(); },
+            [](const ListPtr&) { return false; },
+            [](const FuturePtr&) { return false; },
+        },
+        a.v);
+  }
+
+  Value eval_call(const Expr& expr, const ECall& node, const EnvPtr& env) {
+    std::vector<Value> args;
+    args.reserve(node.args.size());
+    for (const ExprPtr& arg : node.args) args.push_back(eval(*arg, env));
+    if (is_builtin(node.callee)) {
+      return eval_builtin(expr, node.callee, std::move(args));
+    }
+    const Function* fn = program_.find(node.callee);
+    if (fn == nullptr) {
+      throw RuntimeErrorSignal{"call to unknown function '" +
+                               node.callee.str() + "'"};
+    }
+    return call_function(*fn, std::move(args));
+  }
+
+  Value eval_builtin(const Expr& expr, Symbol name, std::vector<Value> args) {
+    const std::string_view n = name.view();
+    if (n == "rand") return Value::of_int(next_rand());
+    if (n == "print") {
+      output_ += args[0].as_string();
+      output_ += '\n';
+      return Value::unit();
+    }
+    if (n == "int_to_string") {
+      return Value::of_string(std::to_string(args[0].as_int()));
+    }
+    if (n == "concat") {
+      return Value::of_string(args[0].as_string() + args[1].as_string());
+    }
+    if (n == "length") {
+      return Value::of_int(static_cast<std::int64_t>(args[0].as_list()->size()));
+    }
+    if (n == "head") {
+      const ListPtr& list = args[0].as_list();
+      if (list->empty()) {
+        throw RuntimeErrorSignal{"head of empty list at line " +
+                                 std::to_string(expr.loc.line)};
+      }
+      return list->front();
+    }
+    if (n == "tail") {
+      const ListPtr& list = args[0].as_list();
+      if (list->empty()) {
+        throw RuntimeErrorSignal{"tail of empty list at line " +
+                                 std::to_string(expr.loc.line)};
+      }
+      return Value::of_list(std::make_shared<const std::vector<Value>>(
+          list->begin() + 1, list->end()));
+    }
+    if (n == "cons") {
+      std::vector<Value> out;
+      const ListPtr& list = args[1].as_list();
+      out.reserve(list->size() + 1);
+      out.push_back(args[0]);
+      out.insert(out.end(), list->begin(), list->end());
+      return Value::of_list(
+          std::make_shared<const std::vector<Value>>(std::move(out)));
+    }
+    if (n == "append") {
+      const ListPtr& a = args[0].as_list();
+      const ListPtr& b = args[1].as_list();
+      std::vector<Value> out;
+      out.reserve(a->size() + b->size());
+      out.insert(out.end(), a->begin(), a->end());
+      out.insert(out.end(), b->begin(), b->end());
+      return Value::of_list(
+          std::make_shared<const std::vector<Value>>(std::move(out)));
+    }
+    if (n == "take" || n == "drop") {
+      const ListPtr& list = args[0].as_list();
+      const std::size_t k = static_cast<std::size_t>(
+          std::max<std::int64_t>(0, args[1].as_int()));
+      const std::size_t split = std::min(k, list->size());
+      if (n == "take") {
+        return Value::of_list(std::make_shared<const std::vector<Value>>(
+            list->begin(), list->begin() + static_cast<std::ptrdiff_t>(split)));
+      }
+      return Value::of_list(std::make_shared<const std::vector<Value>>(
+          list->begin() + static_cast<std::ptrdiff_t>(split), list->end()));
+    }
+    if (n == "range") {
+      std::vector<Value> out;
+      for (std::int64_t i = args[0].as_int(); i < args[1].as_int(); ++i) {
+        out.push_back(Value::of_int(i));
+      }
+      return Value::of_list(
+          std::make_shared<const std::vector<Value>>(std::move(out)));
+    }
+    throw RuntimeErrorSignal{"unknown builtin '" + name.str() + "'"};
+  }
+
+  const Program& program_;
+  const InterpOptions& options_;
+  std::uint64_t rng_;
+  std::size_t rand_index_ = 0;
+  std::size_t steps_ = 0;
+  std::size_t call_depth_ = 0;
+  std::string output_;
+  std::vector<std::shared_ptr<GraphBuilder>> builders_;
+  std::vector<FuturePtr> registered_;
+};
+
+}  // namespace
+
+InterpResult interpret(const Program& program, const InterpOptions& options) {
+  Interp interp(program, options);
+  return interp.run();
+}
+
+}  // namespace gtdl

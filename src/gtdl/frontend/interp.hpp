@@ -1,0 +1,78 @@
+// FutLang interpreter.
+//
+// Executes a type-checked program under one canonical deterministic
+// schedule and records the execution's dependency graph (§2.2) as it
+// goes: every spawn becomes a G /u node, every touch a ᵘ\ node. The
+// recorded graph serves two purposes:
+//
+//   * ground truth for the evaluation — the execution deadlocks iff the
+//     recorded graph has a cycle or touches a never-spawned vertex
+//     (find_ground_deadlock), and
+//   * the input to the dynamic policies — trace_of_graph(g) yields the
+//     Fig. 6 trace that the Transitive Joins / Known Joins validators
+//     judge (automating what the paper applied by hand).
+//
+// Scheduling model: future bodies run lazily. A spawn registers the body;
+// a touch forces it (running it to completion on the toucher's stack). A
+// touch of a future that is currently being forced further down the same
+// stack is a cyclic wait — a deadlock. A touch of a handle that nobody
+// has spawned forces all other pending futures first (they might perform
+// the spawn) and reports a deadlock if the handle remains unspawned. At
+// program end all still-pending futures are forced, so every spawned
+// body's subgraph is recorded. This is one legal serialization of the
+// parallel execution; a deadlock under it is a deadlock of the program.
+//
+// Nondeterminism: rand() reads from InterpOptions::rand_script first and
+// falls back to a seeded LCG, so executions are reproducible and tests
+// can steer branches (e.g. drive the §3 counterexample into its cycle).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gtdl/frontend/ast.hpp"
+#include "gtdl/graph/graph.hpp"
+#include "gtdl/support/diagnostics.hpp"
+#include "gtdl/tj/trace.hpp"
+
+namespace gtdl {
+
+struct InterpOptions {
+  // Values returned by successive rand() calls; when exhausted, a
+  // deterministic LCG seeded with `seed` takes over.
+  std::vector<std::int64_t> rand_script;
+  std::uint64_t seed = 1;
+  // Execution step budget (guards against runaway recursion).
+  std::size_t max_steps = 2'000'000;
+  // FutLang call depth budget.
+  std::size_t max_call_depth = 2'000;
+};
+
+struct InterpResult {
+  // True if execution ran to completion (including end-of-program forcing
+  // of pending futures) without a deadlock or runtime error.
+  bool completed = false;
+  // Set when the execution deadlocked; explains how.
+  std::optional<std::string> deadlock;
+  // Set on a runtime error (head of empty list, step budget, ...).
+  std::optional<std::string> error;
+  // The recorded dependency graph of this execution.
+  GraphExprPtr graph;
+  // init(main); <graph trace> — for the TJ/KJ validators.
+  Trace trace;
+  // Everything print()ed.
+  std::string output;
+  std::size_t steps = 0;
+
+  // The ground verdict of the recorded graph (cycle / unspawned touch).
+  [[nodiscard]] GroundDeadlock graph_deadlock() const;
+};
+
+// Precondition: program passed typecheck_program.
+[[nodiscard]] InterpResult interpret(const Program& program,
+                                     const InterpOptions& options = {});
+
+}  // namespace gtdl

@@ -1,0 +1,703 @@
+#include "gtdl/frontend/parser.hpp"
+
+#include <cctype>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gtdl {
+
+namespace {
+
+enum class Tok : unsigned char {
+  kIdent, kInt, kString,
+  // keywords
+  kFun, kLet, kReturn, kIf, kElse, kWhile, kSpawn, kTouch, kNewFuture,
+  kTrue, kFalse, kNil,
+  kTyInt, kTyBool, kTyUnit, kTyString, kTyList, kTyFuture,
+  // punctuation
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemi, kColon, kDot, kArrow, kAssign,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kEqEq, kNe, kLt, kLe, kGt, kGe, kAndAnd, kOrOr, kBang,
+  kEnd, kError,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string_view text;
+  SrcLoc loc;
+  std::int64_t int_value = 0;
+  std::string string_value;  // decoded string literal
+};
+
+const std::unordered_map<std::string_view, Tok>& keywords() {
+  static const std::unordered_map<std::string_view, Tok> table{
+      {"fun", Tok::kFun},        {"let", Tok::kLet},
+      {"return", Tok::kReturn},  {"if", Tok::kIf},
+      {"else", Tok::kElse},      {"while", Tok::kWhile},
+      {"spawn", Tok::kSpawn},    {"touch", Tok::kTouch},
+      {"new_future", Tok::kNewFuture},
+      {"true", Tok::kTrue},      {"false", Tok::kFalse},
+      {"nil", Tok::kNil},        {"int", Tok::kTyInt},
+      {"bool", Tok::kTyBool},    {"unit", Tok::kTyUnit},
+      {"string", Tok::kTyString},{"list", Tok::kTyList},
+      {"future", Tok::kTyFuture},
+  };
+  return table;
+}
+
+class Lexer {
+ public:
+  Lexer(std::string_view text, DiagnosticEngine& diags)
+      : text_(text), diags_(diags) {}
+
+  Token next() {
+    skip_trivia();
+    const SrcLoc loc{line_, column_};
+    if (pos_ >= text_.size()) return Token{Tok::kEnd, {}, loc, 0, {}};
+    const char c = text_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c))) return lex_int(loc);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return lex_word(loc);
+    }
+    if (c == '"') return lex_string(loc);
+    return lex_punct(loc);
+  }
+
+ private:
+  Token lex_int(SrcLoc loc) {
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[end]))) {
+      ++end;
+    }
+    Token tok{Tok::kInt, text_.substr(pos_, end - pos_), loc, 0, {}};
+    tok.int_value = std::stoll(std::string(tok.text));
+    advance(end - pos_);
+    return tok;
+  }
+
+  Token lex_word(SrcLoc loc) {
+    std::size_t end = pos_;
+    while (end < text_.size()) {
+      const char k = text_[end];
+      if (std::isalnum(static_cast<unsigned char>(k)) || k == '_') {
+        ++end;
+      } else {
+        break;
+      }
+    }
+    const std::string_view word = text_.substr(pos_, end - pos_);
+    advance(end - pos_);
+    auto it = keywords().find(word);
+    return Token{it == keywords().end() ? Tok::kIdent : it->second, word, loc,
+                 0, {}};
+  }
+
+  Token lex_string(SrcLoc loc) {
+    advance(1);  // opening quote
+    std::string value;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size()) {
+        advance(1);
+        const char esc = text_[pos_];
+        switch (esc) {
+          case 'n':
+            c = '\n';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          case '\\':
+            c = '\\';
+            break;
+          case '"':
+            c = '"';
+            break;
+          default:
+            diags_.error(SrcLoc{line_, column_},
+                         std::string("unknown escape '\\") + esc + "'");
+            c = esc;
+            break;
+        }
+      }
+      value += c;
+      advance(1);
+    }
+    if (pos_ >= text_.size()) {
+      diags_.error(loc, "unterminated string literal");
+      return Token{Tok::kError, {}, loc, 0, {}};
+    }
+    advance(1);  // closing quote
+    Token tok{Tok::kString, {}, loc, 0, std::move(value)};
+    return tok;
+  }
+
+  Token lex_punct(SrcLoc loc) {
+    const auto two = text_.substr(pos_, 2);
+    struct PunctPair {
+      std::string_view spelling;
+      Tok kind;
+    };
+    static constexpr PunctPair kTwoChar[] = {
+        {"->", Tok::kArrow}, {"==", Tok::kEqEq}, {"!=", Tok::kNe},
+        {"<=", Tok::kLe},    {">=", Tok::kGe},   {"&&", Tok::kAndAnd},
+        {"||", Tok::kOrOr},
+    };
+    for (const PunctPair& p : kTwoChar) {
+      if (two == p.spelling) {
+        Token tok{p.kind, two, loc, 0, {}};
+        advance(2);
+        return tok;
+      }
+    }
+    Tok kind = Tok::kError;
+    switch (text_[pos_]) {
+      case '(': kind = Tok::kLParen; break;
+      case ')': kind = Tok::kRParen; break;
+      case '{': kind = Tok::kLBrace; break;
+      case '}': kind = Tok::kRBrace; break;
+      case '[': kind = Tok::kLBracket; break;
+      case ']': kind = Tok::kRBracket; break;
+      case ',': kind = Tok::kComma; break;
+      case ';': kind = Tok::kSemi; break;
+      case ':': kind = Tok::kColon; break;
+      case '.': kind = Tok::kDot; break;
+      case '=': kind = Tok::kAssign; break;
+      case '+': kind = Tok::kPlus; break;
+      case '-': kind = Tok::kMinus; break;
+      case '*': kind = Tok::kStar; break;
+      case '/': kind = Tok::kSlash; break;
+      case '%': kind = Tok::kPercent; break;
+      case '<': kind = Tok::kLt; break;
+      case '>': kind = Tok::kGt; break;
+      case '!': kind = Tok::kBang; break;
+      default:
+        diags_.error(loc, std::string("unexpected character '") +
+                              text_[pos_] + "'");
+        break;
+    }
+    Token tok{kind, text_.substr(pos_, 1), loc, 0, {}};
+    advance(1);
+    return tok;
+  }
+
+  void advance(std::size_t n) {
+    for (std::size_t i = 0; i < n && pos_ < text_.size(); ++i, ++pos_) {
+      if (text_[pos_] == '\n') {
+        ++line_;
+        column_ = 1;
+      } else {
+        ++column_;
+      }
+    }
+  }
+
+  void skip_trivia() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') advance(1);
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        advance(1);
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t column_ = 1;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view text, DiagnosticEngine& diags)
+      : lexer_(text, diags), diags_(diags) {
+    advance();
+  }
+
+  std::optional<Program> parse() {
+    Program program;
+    while (current_.kind != Tok::kEnd) {
+      auto fn = parse_function();
+      if (!fn) return std::nullopt;
+      program.functions.push_back(std::move(*fn));
+    }
+    return program;
+  }
+
+ private:
+  void advance() { current_ = lexer_.next(); }
+
+  bool at(Tok kind) const { return current_.kind == kind; }
+
+  bool accept(Tok kind) {
+    if (!at(kind)) return false;
+    advance();
+    return true;
+  }
+
+  bool expect(Tok kind, const char* what) {
+    if (accept(kind)) return true;
+    error(std::string("expected ") + what);
+    return false;
+  }
+
+  void error(std::string message) {
+    diags_.error(current_.loc,
+                 message + " (found '" +
+                     (at(Tok::kEnd) ? std::string("<end>")
+                                    : std::string(current_.text)) +
+                     "')");
+  }
+
+  std::optional<Symbol> parse_ident(const char* what) {
+    if (!at(Tok::kIdent)) {
+      error(std::string("expected ") + what);
+      return std::nullopt;
+    }
+    const Symbol name = Symbol::intern(current_.text);
+    advance();
+    return name;
+  }
+
+  TypePtr parse_type() {
+    switch (current_.kind) {
+      case Tok::kTyInt:
+        advance();
+        return ty::intt();
+      case Tok::kTyBool:
+        advance();
+        return ty::boolt();
+      case Tok::kTyUnit:
+        advance();
+        return ty::unit();
+      case Tok::kTyString:
+        advance();
+        return ty::string();
+      case Tok::kTyList: {
+        advance();
+        if (!expect(Tok::kLBracket, "'[' after 'list'")) return nullptr;
+        TypePtr element = parse_type();
+        if (element == nullptr) return nullptr;
+        if (!expect(Tok::kRBracket, "']'")) return nullptr;
+        return ty::list(std::move(element));
+      }
+      case Tok::kTyFuture: {
+        advance();
+        if (!expect(Tok::kLBracket, "'[' after 'future'")) return nullptr;
+        TypePtr element = parse_type();
+        if (element == nullptr) return nullptr;
+        if (!expect(Tok::kRBracket, "']'")) return nullptr;
+        return ty::future(std::move(element));
+      }
+      default:
+        error("expected a type");
+        return nullptr;
+    }
+  }
+
+  std::optional<Function> parse_function() {
+    const SrcLoc loc = current_.loc;
+    if (!expect(Tok::kFun, "'fun'")) return std::nullopt;
+    auto name = parse_ident("function name");
+    if (!name) return std::nullopt;
+    if (!expect(Tok::kLParen, "'('")) return std::nullopt;
+    std::vector<Param> params;
+    if (!at(Tok::kRParen)) {
+      for (;;) {
+        const SrcLoc ploc = current_.loc;
+        auto pname = parse_ident("parameter name");
+        if (!pname) return std::nullopt;
+        if (!expect(Tok::kColon, "':' after parameter name")) {
+          return std::nullopt;
+        }
+        TypePtr ptype = parse_type();
+        if (ptype == nullptr) return std::nullopt;
+        params.push_back(Param{*pname, std::move(ptype), ploc});
+        if (!accept(Tok::kComma)) break;
+      }
+    }
+    if (!expect(Tok::kRParen, "')'")) return std::nullopt;
+    TypePtr return_type = ty::unit();
+    if (accept(Tok::kArrow)) {
+      return_type = parse_type();
+      if (return_type == nullptr) return std::nullopt;
+    }
+    auto body = parse_block();
+    if (!body) return std::nullopt;
+    return Function{*name, std::move(params), std::move(return_type),
+                    std::move(*body), loc};
+  }
+
+  std::optional<Block> parse_block() {
+    if (!expect(Tok::kLBrace, "'{'")) return std::nullopt;
+    Block block;
+    while (!at(Tok::kRBrace)) {
+      if (at(Tok::kEnd)) {
+        error("unterminated block; expected '}'");
+        return std::nullopt;
+      }
+      auto stmt = parse_statement();
+      if (!stmt) return std::nullopt;
+      block.push_back(std::move(*stmt));
+    }
+    advance();  // consume '}'
+    return block;
+  }
+
+  std::optional<StmtPtr> parse_statement() {
+    const SrcLoc loc = current_.loc;
+    switch (current_.kind) {
+      case Tok::kLet: {
+        advance();
+        auto name = parse_ident("variable name");
+        if (!name) return std::nullopt;
+        TypePtr declared;
+        if (accept(Tok::kColon)) {
+          declared = parse_type();
+          if (declared == nullptr) return std::nullopt;
+        }
+        if (!expect(Tok::kAssign, "'='")) return std::nullopt;
+        ExprPtr init = parse_expr();
+        if (init == nullptr) return std::nullopt;
+        if (!expect(Tok::kSemi, "';'")) return std::nullopt;
+        return make_stmt(SLet{*name, std::move(declared), std::move(init)},
+                         loc);
+      }
+      case Tok::kReturn: {
+        advance();
+        ExprPtr value;
+        if (!at(Tok::kSemi)) {
+          value = parse_expr();
+          if (value == nullptr) return std::nullopt;
+        }
+        if (!expect(Tok::kSemi, "';'")) return std::nullopt;
+        return make_stmt(SReturn{std::move(value)}, loc);
+      }
+      case Tok::kIf:
+        return parse_if();
+      case Tok::kWhile: {
+        advance();
+        ExprPtr cond = parse_expr();
+        if (cond == nullptr) return std::nullopt;
+        auto body = parse_block();
+        if (!body) return std::nullopt;
+        return make_stmt(SWhile{std::move(cond), std::move(*body)}, loc);
+      }
+      case Tok::kSpawn: {
+        advance();
+        ExprPtr handle = parse_postfix();
+        if (handle == nullptr) return std::nullopt;
+        auto body = parse_block();
+        if (!body) return std::nullopt;
+        accept(Tok::kSemi);  // optional trailing ';'
+        ExprPtr spawn = make_expr(ESpawn{std::move(handle), std::move(*body)},
+                                  loc);
+        return make_stmt(SExpr{std::move(spawn)}, loc);
+      }
+      default: {
+        // Assignment (IDENT '=' ...) or expression statement. The
+        // distinction needs one token of lookahead after the identifier;
+        // parse the expression and convert if it was a bare variable
+        // followed by '='.
+        ExprPtr expr = parse_expr();
+        if (expr == nullptr) return std::nullopt;
+        if (at(Tok::kAssign)) {
+          const auto* var = std::get_if<EVar>(&expr->node);
+          if (var == nullptr) {
+            error("left-hand side of '=' must be a variable");
+            return std::nullopt;
+          }
+          advance();
+          ExprPtr value = parse_expr();
+          if (value == nullptr) return std::nullopt;
+          if (!expect(Tok::kSemi, "';'")) return std::nullopt;
+          return make_stmt(SAssign{var->name, std::move(value)}, loc);
+        }
+        if (!expect(Tok::kSemi, "';' after expression")) return std::nullopt;
+        return make_stmt(SExpr{std::move(expr)}, loc);
+      }
+    }
+  }
+
+  std::optional<StmtPtr> parse_if() {
+    const SrcLoc loc = current_.loc;
+    advance();  // 'if'
+    ExprPtr cond = parse_expr();
+    if (cond == nullptr) return std::nullopt;
+    auto then_block = parse_block();
+    if (!then_block) return std::nullopt;
+    Block else_block;
+    if (accept(Tok::kElse)) {
+      if (at(Tok::kIf)) {
+        auto nested = parse_if();
+        if (!nested) return std::nullopt;
+        else_block.push_back(std::move(*nested));
+      } else {
+        auto block = parse_block();
+        if (!block) return std::nullopt;
+        else_block = std::move(*block);
+      }
+    }
+    return make_stmt(
+        SIf{std::move(cond), std::move(*then_block), std::move(else_block)},
+        loc);
+  }
+
+  // --- expressions ---
+
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (lhs != nullptr && at(Tok::kOrOr)) {
+      const SrcLoc loc = current_.loc;
+      advance();
+      ExprPtr rhs = parse_and();
+      if (rhs == nullptr) return nullptr;
+      lhs = make_expr(EBinary{BinaryOp::kOr, std::move(lhs), std::move(rhs)},
+                      loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_cmp();
+    while (lhs != nullptr && at(Tok::kAndAnd)) {
+      const SrcLoc loc = current_.loc;
+      advance();
+      ExprPtr rhs = parse_cmp();
+      if (rhs == nullptr) return nullptr;
+      lhs = make_expr(EBinary{BinaryOp::kAnd, std::move(lhs), std::move(rhs)},
+                      loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_cmp() {
+    ExprPtr lhs = parse_add();
+    if (lhs == nullptr) return nullptr;
+    BinaryOp op;
+    switch (current_.kind) {
+      case Tok::kEqEq: op = BinaryOp::kEq; break;
+      case Tok::kNe: op = BinaryOp::kNe; break;
+      case Tok::kLt: op = BinaryOp::kLt; break;
+      case Tok::kLe: op = BinaryOp::kLe; break;
+      case Tok::kGt: op = BinaryOp::kGt; break;
+      case Tok::kGe: op = BinaryOp::kGe; break;
+      default:
+        return lhs;
+    }
+    const SrcLoc loc = current_.loc;
+    advance();
+    ExprPtr rhs = parse_add();
+    if (rhs == nullptr) return nullptr;
+    return make_expr(EBinary{op, std::move(lhs), std::move(rhs)}, loc);
+  }
+
+  ExprPtr parse_add() {
+    ExprPtr lhs = parse_mul();
+    while (lhs != nullptr && (at(Tok::kPlus) || at(Tok::kMinus))) {
+      const BinaryOp op =
+          at(Tok::kPlus) ? BinaryOp::kAdd : BinaryOp::kSub;
+      const SrcLoc loc = current_.loc;
+      advance();
+      ExprPtr rhs = parse_mul();
+      if (rhs == nullptr) return nullptr;
+      lhs = make_expr(EBinary{op, std::move(lhs), std::move(rhs)}, loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_mul() {
+    ExprPtr lhs = parse_unary();
+    while (lhs != nullptr &&
+           (at(Tok::kStar) || at(Tok::kSlash) || at(Tok::kPercent))) {
+      BinaryOp op = BinaryOp::kMul;
+      if (at(Tok::kSlash)) op = BinaryOp::kDiv;
+      if (at(Tok::kPercent)) op = BinaryOp::kMod;
+      const SrcLoc loc = current_.loc;
+      advance();
+      ExprPtr rhs = parse_unary();
+      if (rhs == nullptr) return nullptr;
+      lhs = make_expr(EBinary{op, std::move(lhs), std::move(rhs)}, loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    const SrcLoc loc = current_.loc;
+    if (accept(Tok::kMinus)) {
+      ExprPtr operand = parse_unary();
+      if (operand == nullptr) return nullptr;
+      return make_expr(EUnary{UnaryOp::kNeg, std::move(operand)}, loc);
+    }
+    if (accept(Tok::kBang)) {
+      ExprPtr operand = parse_unary();
+      if (operand == nullptr) return nullptr;
+      return make_expr(EUnary{UnaryOp::kNot, std::move(operand)}, loc);
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr expr = parse_primary();
+    while (expr != nullptr && at(Tok::kDot)) {
+      const SrcLoc loc = current_.loc;
+      advance();
+      if (accept(Tok::kTouch)) {
+        if (!expect(Tok::kLParen, "'(' after '.touch'")) return nullptr;
+        if (!expect(Tok::kRParen, "')'")) return nullptr;
+        expr = make_expr(ETouch{std::move(expr)}, loc);
+      } else if (accept(Tok::kSpawn)) {
+        auto body = parse_block();
+        if (!body) return nullptr;
+        expr = make_expr(ESpawn{std::move(expr), std::move(*body)}, loc);
+      } else {
+        error("expected 'touch' or 'spawn' after '.'");
+        return nullptr;
+      }
+    }
+    return expr;
+  }
+
+  ExprPtr parse_primary() {
+    const SrcLoc loc = current_.loc;
+    switch (current_.kind) {
+      case Tok::kInt: {
+        const std::int64_t value = current_.int_value;
+        advance();
+        return make_expr(EIntLit{value}, loc);
+      }
+      case Tok::kString: {
+        std::string value = current_.string_value;
+        advance();
+        return make_expr(EStringLit{std::move(value)}, loc);
+      }
+      case Tok::kTrue:
+        advance();
+        return make_expr(EBoolLit{true}, loc);
+      case Tok::kFalse:
+        advance();
+        return make_expr(EBoolLit{false}, loc);
+      case Tok::kNil:
+        advance();
+        return make_expr(ENilLit{}, loc);
+      case Tok::kLParen: {
+        advance();
+        if (accept(Tok::kRParen)) return make_expr(EUnitLit{}, loc);
+        ExprPtr inner = parse_expr();
+        if (inner == nullptr) return nullptr;
+        if (!expect(Tok::kRParen, "')'")) return nullptr;
+        return inner;
+      }
+      case Tok::kNewFuture: {
+        advance();
+        if (!expect(Tok::kLBracket, "'[' after 'new_future'")) return nullptr;
+        TypePtr element = parse_type();
+        if (element == nullptr) return nullptr;
+        if (!expect(Tok::kRBracket, "']'")) return nullptr;
+        if (!expect(Tok::kLParen, "'('")) return nullptr;
+        if (!expect(Tok::kRParen, "')'")) return nullptr;
+        return make_expr(ENewFuture{std::move(element)}, loc);
+      }
+      case Tok::kTouch: {
+        advance();
+        if (!expect(Tok::kLParen, "'(' after 'touch'")) return nullptr;
+        ExprPtr handle = parse_expr();
+        if (handle == nullptr) return nullptr;
+        if (!expect(Tok::kRParen, "')'")) return nullptr;
+        return make_expr(ETouch{std::move(handle)}, loc);
+      }
+      case Tok::kIdent: {
+        const Symbol name = Symbol::intern(current_.text);
+        advance();
+        if (accept(Tok::kLParen)) {
+          std::vector<ExprPtr> args;
+          if (!at(Tok::kRParen)) {
+            for (;;) {
+              ExprPtr arg = parse_expr();
+              if (arg == nullptr) return nullptr;
+              args.push_back(std::move(arg));
+              if (!accept(Tok::kComma)) break;
+            }
+          }
+          if (!expect(Tok::kRParen, "')'")) return nullptr;
+          return make_expr(ECall{name, std::move(args)}, loc);
+        }
+        return make_expr(EVar{name}, loc);
+      }
+      default:
+        error("expected an expression");
+        return nullptr;
+    }
+  }
+
+  template <typename Node>
+  static ExprPtr make_expr(Node node, SrcLoc loc) {
+    auto expr = std::make_unique<Expr>();
+    expr->node = std::move(node);
+    expr->loc = loc;
+    return expr;
+  }
+
+  template <typename Node>
+  static std::optional<StmtPtr> make_stmt(Node node, SrcLoc loc) {
+    auto stmt = std::make_unique<Stmt>();
+    stmt->node = std::move(node);
+    stmt->loc = loc;
+    return stmt;
+  }
+
+  Lexer lexer_;
+  DiagnosticEngine& diags_;
+  Token current_;
+};
+
+}  // namespace
+
+std::string_view to_string(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "&&";
+    case BinaryOp::kOr: return "||";
+  }
+  return "?";
+}
+
+std::optional<Program> parse_program(std::string_view source,
+                                     DiagnosticEngine& diags) {
+  Parser parser(source, diags);
+  auto program = parser.parse();
+  if (diags.has_errors()) return std::nullopt;
+  return program;
+}
+
+Program parse_program_or_throw(std::string_view source) {
+  DiagnosticEngine diags;
+  auto program = parse_program(source, diags);
+  if (!program) {
+    throw std::runtime_error("FutLang parse error:\n" + diags.render());
+  }
+  return std::move(*program);
+}
+
+}  // namespace gtdl

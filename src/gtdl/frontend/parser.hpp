@@ -1,0 +1,49 @@
+// FutLang lexer and parser.
+//
+// Grammar (EBNF; '#' starts a line comment):
+//
+//   program   := function*
+//   function  := 'fun' IDENT '(' [param (',' param)*] ')' ['->' type] block
+//   param     := IDENT ':' type
+//   type      := 'int' | 'bool' | 'unit' | 'string'
+//              | 'list' '[' type ']' | 'future' '[' type ']'
+//   block     := '{' stmt* '}'
+//   stmt      := 'let' IDENT [':' type] '=' expr ';'
+//              | 'return' [expr] ';'
+//              | 'if' expr block ['else' (block | if-stmt)]
+//              | 'while' expr block
+//              | 'spawn' postfix block [';']
+//              | IDENT '=' expr ';'
+//              | expr ';'
+//   expr      := or
+//   or        := and ('||' and)*
+//   and       := cmp ('&&' cmp)*
+//   cmp       := add [('==','!=','<','<=','>','>=') add]
+//   add       := mul (('+'|'-') mul)*
+//   mul       := unary (('*'|'/'|'%') unary)*
+//   unary     := ('-'|'!') unary | postfix
+//   postfix   := primary ('.' 'touch' '(' ')' | '.' 'spawn' block)*
+//   primary   := INT | STRING | 'true' | 'false' | 'nil'
+//              | '(' ')' | '(' expr ')'
+//              | 'new_future' '[' type ']' '(' ')'
+//              | 'touch' '(' expr ')'
+//              | IDENT ['(' [expr (',' expr)*] ')']
+
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "gtdl/frontend/ast.hpp"
+#include "gtdl/support/diagnostics.hpp"
+
+namespace gtdl {
+
+// Parses a whole program; on error returns nullopt with diagnostics.
+[[nodiscard]] std::optional<Program> parse_program(std::string_view source,
+                                                   DiagnosticEngine& diags);
+
+// Convenience for tests: parses or throws std::runtime_error.
+[[nodiscard]] Program parse_program_or_throw(std::string_view source);
+
+}  // namespace gtdl

@@ -1,0 +1,532 @@
+#include "gtdl/frontend/typecheck.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "gtdl/support/overloaded.hpp"
+
+namespace gtdl {
+
+namespace {
+
+const std::unordered_set<std::string_view>& builtin_names() {
+  static const std::unordered_set<std::string_view> names{
+      "rand",   "print", "int_to_string", "concat", "length", "head",
+      "tail",   "cons",  "append",        "take",   "drop",   "range",
+  };
+  return names;
+}
+
+class Checker {
+ public:
+  Checker(Program& program, DiagnosticEngine& diags)
+      : program_(program), diags_(diags) {}
+
+  bool run() {
+    if (!collect_signatures()) return false;
+    for (Function& fn : program_.functions) check_function(fn);
+    check_main();
+    return !diags_.has_errors();
+  }
+
+ private:
+  struct Scope {
+    std::unordered_map<Symbol, TypePtr> vars;
+  };
+
+  bool collect_signatures() {
+    std::unordered_set<Symbol> seen;
+    for (const Function& fn : program_.functions) {
+      if (is_builtin(fn.name)) {
+        diags_.error(fn.loc, "function '" + fn.name.str() +
+                                 "' shadows a builtin");
+      }
+      if (!seen.insert(fn.name).second) {
+        diags_.error(fn.loc,
+                     "duplicate function name '" + fn.name.str() + "'");
+      }
+      if (is_future(*fn.return_type)) {
+        diags_.error(fn.loc, "function '" + fn.name.str() +
+                                 "' returns a future; graph inference "
+                                 "cannot track escaping handles");
+      }
+      std::unordered_set<Symbol> param_names;
+      for (const Param& p : fn.params) {
+        if (!param_names.insert(p.name).second) {
+          diags_.error(p.loc, "duplicate parameter '" + p.name.str() + "'");
+        }
+        check_type_wellformed(*p.type, p.loc);
+      }
+    }
+    return !diags_.has_errors();
+  }
+
+  void check_type_wellformed(const Type& t, SrcLoc loc) {
+    std::visit(Overloaded{
+                   [](const TPrim&) {},
+                   [&](const TList& l) {
+                     if (is_future(*l.element)) {
+                       diags_.error(loc,
+                                    "list of futures is not supported "
+                                    "(handles must stay in variables)");
+                     }
+                     check_type_wellformed(*l.element, loc);
+                   },
+                   [&](const TFuture& f) {
+                     if (is_future(*f.element)) {
+                       diags_.error(loc, "future of future is not supported");
+                     }
+                     if (is_list(*f.element) ||
+                         !std::holds_alternative<TPrim>(f.element->node)) {
+                       // futures of lists are fine; recurse for nesting
+                     }
+                     check_type_wellformed(*f.element, loc);
+                   },
+               },
+               t.node);
+  }
+
+  void check_main() {
+    const Function* main = program_.find(Symbol::intern("main"));
+    if (main == nullptr) {
+      diags_.error("program has no 'main' function");
+      return;
+    }
+    if (!main->params.empty()) {
+      diags_.error(main->loc, "'main' must take no parameters");
+    }
+    if (!is_prim(*main->return_type, PrimKind::kUnit)) {
+      diags_.error(main->loc, "'main' must return unit");
+    }
+  }
+
+  void check_function(Function& fn) {
+    scopes_.clear();
+    scopes_.emplace_back();
+    for (const Param& p : fn.params) {
+      scopes_.back().vars.emplace(p.name, p.type);
+    }
+    return_types_.assign(1, fn.return_type);
+    check_block(fn.body);
+    if (!is_prim(*fn.return_type, PrimKind::kUnit) &&
+        !block_returns(fn.body)) {
+      diags_.error(fn.loc, "function '" + fn.name.str() +
+                               "' must return a value on every path");
+    }
+    return_types_.clear();
+  }
+
+  // --- scope helpers ---
+
+  TypePtr lookup(Symbol name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->vars.find(name);
+      if (found != it->vars.end()) return found->second;
+    }
+    return nullptr;
+  }
+
+  void check_block(Block& block) {
+    scopes_.emplace_back();
+    for (StmtPtr& stmt : block) check_stmt(*stmt);
+    scopes_.pop_back();
+  }
+
+  static bool block_returns(const Block& block) {
+    for (const StmtPtr& stmt : block) {
+      if (std::holds_alternative<SReturn>(stmt->node)) return true;
+      if (const auto* sif = std::get_if<SIf>(&stmt->node)) {
+        if (!sif->else_block.empty() && block_returns(sif->then_block) &&
+            block_returns(sif->else_block)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  // --- statements ---
+
+  void check_stmt(Stmt& stmt) {
+    std::visit(
+        Overloaded{
+            [&](SLet& node) {
+              TypePtr type = check_expr(*node.init, node.declared);
+              if (node.declared != nullptr) {
+                if (type != nullptr && !type_equal(*type, *node.declared)) {
+                  diags_.error(stmt.loc,
+                               "initializer type " + to_string(*type) +
+                                   " does not match declared type " +
+                                   to_string(*node.declared));
+                }
+                type = node.declared;
+              }
+              if (type == nullptr) return;
+              check_type_wellformed(*type, stmt.loc);
+              scopes_.back().vars[node.name] = type;
+            },
+            [&](SAssign& node) {
+              const TypePtr var_type = lookup(node.name);
+              if (var_type == nullptr) {
+                diags_.error(stmt.loc, "assignment to undeclared variable '" +
+                                           node.name.str() + "'");
+                return;
+              }
+              const TypePtr value_type = check_expr(*node.value, var_type);
+              if (value_type != nullptr &&
+                  !type_equal(*value_type, *var_type)) {
+                diags_.error(stmt.loc, "cannot assign " +
+                                           to_string(*value_type) + " to '" +
+                                           node.name.str() + "' of type " +
+                                           to_string(*var_type));
+              }
+            },
+            [&](SExpr& node) { check_expr(*node.expr, nullptr); },
+            [&](SReturn& node) {
+              const TypePtr expected = return_types_.back();
+              if (node.value == nullptr) {
+                if (!is_prim(*expected, PrimKind::kUnit)) {
+                  diags_.error(stmt.loc, "expected a return value of type " +
+                                             to_string(*expected));
+                }
+                return;
+              }
+              const TypePtr actual = check_expr(*node.value, expected);
+              if (actual != nullptr && !type_equal(*actual, *expected)) {
+                diags_.error(stmt.loc, "return type mismatch: expected " +
+                                           to_string(*expected) + ", got " +
+                                           to_string(*actual));
+              }
+            },
+            [&](SIf& node) {
+              expect_type(*node.cond, ty::boolt(), "if condition");
+              check_block(node.then_block);
+              check_block(node.else_block);
+            },
+            [&](SWhile& node) {
+              expect_type(*node.cond, ty::boolt(), "while condition");
+              check_block(node.body);
+            },
+        },
+        stmt.node);
+  }
+
+  void expect_type(Expr& expr, const TypePtr& expected, const char* what) {
+    const TypePtr actual = check_expr(expr, expected);
+    if (actual != nullptr && !type_equal(*actual, *expected)) {
+      diags_.error(expr.loc, std::string(what) + " must have type " +
+                                 to_string(*expected) + ", got " +
+                                 to_string(*actual));
+    }
+  }
+
+  // --- expressions ---
+
+  // Checks `expr` with an optional expected type (used to give `nil` a
+  // type); returns the expression's type or nullptr after reporting.
+  TypePtr check_expr(Expr& expr, const TypePtr& expected) {
+    const TypePtr type = std::visit(
+        Overloaded{
+            [&](EIntLit&) { return ty::intt(); },
+            [&](EBoolLit&) { return ty::boolt(); },
+            [&](EStringLit&) { return ty::string(); },
+            [&](EUnitLit&) { return ty::unit(); },
+            [&](ENilLit&) -> TypePtr {
+              if (expected == nullptr || !is_list(*expected)) {
+                diags_.error(expr.loc,
+                             "cannot infer the element type of 'nil' here; "
+                             "add a type annotation");
+                return nullptr;
+              }
+              return expected;
+            },
+            [&](EVar& node) -> TypePtr {
+              const TypePtr t = lookup(node.name);
+              if (t == nullptr) {
+                diags_.error(expr.loc,
+                             "unbound variable '" + node.name.str() + "'");
+              }
+              return t;
+            },
+            [&](ECall& node) { return check_call(expr, node); },
+            [&](ENewFuture& node) -> TypePtr {
+              const TypePtr t = ty::future(node.element);
+              check_type_wellformed(*t, expr.loc);
+              return t;
+            },
+            [&](ETouch& node) -> TypePtr {
+              const TypePtr handle = check_expr(*node.handle, nullptr);
+              if (handle == nullptr) return nullptr;
+              if (!is_future(*handle)) {
+                diags_.error(expr.loc, "touch expects a future handle, got " +
+                                           to_string(*handle));
+                return nullptr;
+              }
+              return element_type(*handle);
+            },
+            [&](ESpawn& node) -> TypePtr {
+              const TypePtr handle = check_expr(*node.handle, nullptr);
+              if (handle == nullptr) return nullptr;
+              if (!is_future(*handle)) {
+                diags_.error(expr.loc, "spawn expects a future handle, got " +
+                                           to_string(*handle));
+                return nullptr;
+              }
+              const TypePtr element = element_type(*handle);
+              return_types_.push_back(element);
+              check_block(node.body);
+              if (!is_prim(*element, PrimKind::kUnit) &&
+                  !block_returns(node.body)) {
+                diags_.error(expr.loc,
+                             "spawn body must return a value of type " +
+                                 to_string(*element) + " on every path");
+              }
+              return_types_.pop_back();
+              return ty::unit();
+            },
+            [&](EBinary& node) { return check_binary(expr, node); },
+            [&](EUnary& node) -> TypePtr {
+              const TypePtr operand = check_expr(*node.operand, nullptr);
+              if (operand == nullptr) return nullptr;
+              if (node.op == UnaryOp::kNeg) {
+                if (!is_prim(*operand, PrimKind::kInt)) {
+                  diags_.error(expr.loc, "unary '-' expects int");
+                  return nullptr;
+                }
+                return ty::intt();
+              }
+              if (!is_prim(*operand, PrimKind::kBool)) {
+                diags_.error(expr.loc, "'!' expects bool");
+                return nullptr;
+              }
+              return ty::boolt();
+            },
+        },
+        expr.node);
+    expr.type = type;
+    return type;
+  }
+
+  TypePtr check_binary(Expr& expr, EBinary& node) {
+    switch (node.op) {
+      case BinaryOp::kAdd:
+      case BinaryOp::kSub:
+      case BinaryOp::kMul:
+      case BinaryOp::kDiv:
+      case BinaryOp::kMod: {
+        expect_type(*node.lhs, ty::intt(), "arithmetic operand");
+        expect_type(*node.rhs, ty::intt(), "arithmetic operand");
+        return ty::intt();
+      }
+      case BinaryOp::kEq:
+      case BinaryOp::kNe: {
+        const TypePtr lhs = check_expr(*node.lhs, nullptr);
+        const TypePtr rhs = check_expr(*node.rhs, lhs);
+        if (lhs != nullptr && rhs != nullptr) {
+          if (!type_equal(*lhs, *rhs)) {
+            diags_.error(expr.loc, "cannot compare " + to_string(*lhs) +
+                                       " with " + to_string(*rhs));
+          } else if (is_future(*lhs) || is_list(*lhs)) {
+            diags_.error(expr.loc, "equality is defined on int, bool, "
+                                   "string and unit only");
+          }
+        }
+        return ty::boolt();
+      }
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe: {
+        expect_type(*node.lhs, ty::intt(), "comparison operand");
+        expect_type(*node.rhs, ty::intt(), "comparison operand");
+        return ty::boolt();
+      }
+      case BinaryOp::kAnd:
+      case BinaryOp::kOr: {
+        expect_type(*node.lhs, ty::boolt(), "logical operand");
+        expect_type(*node.rhs, ty::boolt(), "logical operand");
+        return ty::boolt();
+      }
+    }
+    return nullptr;
+  }
+
+  TypePtr check_call(Expr& expr, ECall& node) {
+    if (is_builtin(node.callee)) return check_builtin(expr, node);
+    const Function* callee = program_.find(node.callee);
+    if (callee == nullptr) {
+      diags_.error(expr.loc,
+                   "call to unknown function '" + node.callee.str() + "'");
+      // Still check the arguments for secondary errors.
+      for (ExprPtr& arg : node.args) check_expr(*arg, nullptr);
+      return nullptr;
+    }
+    if (node.args.size() != callee->params.size()) {
+      diags_.error(expr.loc, "'" + node.callee.str() + "' expects " +
+                                 std::to_string(callee->params.size()) +
+                                 " arguments, got " +
+                                 std::to_string(node.args.size()));
+      return callee->return_type;
+    }
+    for (std::size_t i = 0; i < node.args.size(); ++i) {
+      const TypePtr expected = callee->params[i].type;
+      const TypePtr actual = check_expr(*node.args[i], expected);
+      if (actual != nullptr && !type_equal(*actual, *expected)) {
+        diags_.error(node.args[i]->loc,
+                     "argument " + std::to_string(i + 1) + " of '" +
+                         node.callee.str() + "' expects " +
+                         to_string(*expected) + ", got " +
+                         to_string(*actual));
+      }
+    }
+    return callee->return_type;
+  }
+
+  TypePtr check_builtin(Expr& expr, ECall& node) {
+    const std::string name = node.callee.str();
+    const auto arity_error = [&](std::size_t want) {
+      diags_.error(expr.loc, "'" + name + "' expects " +
+                                 std::to_string(want) + " argument(s), got " +
+                                 std::to_string(node.args.size()));
+    };
+    const auto arg = [&](std::size_t i, const TypePtr& expected) {
+      return check_expr(*node.args[i], expected);
+    };
+    const auto require = [&](std::size_t i, const TypePtr& t,
+                             const char* what) {
+      const TypePtr actual = arg(i, t);
+      if (actual != nullptr && !type_equal(*actual, *t)) {
+        diags_.error(node.args[i]->loc, "'" + name + "' expects " +
+                                            std::string(what) + ", got " +
+                                            to_string(*actual));
+        return false;
+      }
+      return actual != nullptr;
+    };
+    const auto list_arg = [&](std::size_t i) -> TypePtr {
+      const TypePtr t = arg(i, nullptr);
+      if (t == nullptr) return nullptr;
+      if (!is_list(*t)) {
+        diags_.error(node.args[i]->loc, "'" + name + "' expects a list, got " +
+                                            to_string(*t));
+        return nullptr;
+      }
+      return t;
+    };
+
+    if (name == "rand") {
+      if (!node.args.empty()) arity_error(0);
+      return ty::intt();
+    }
+    if (name == "print") {
+      if (node.args.size() != 1) {
+        arity_error(1);
+        return ty::unit();
+      }
+      require(0, ty::string(), "a string");
+      return ty::unit();
+    }
+    if (name == "int_to_string") {
+      if (node.args.size() != 1) {
+        arity_error(1);
+        return ty::string();
+      }
+      require(0, ty::intt(), "an int");
+      return ty::string();
+    }
+    if (name == "concat") {
+      if (node.args.size() != 2) {
+        arity_error(2);
+        return ty::string();
+      }
+      require(0, ty::string(), "a string");
+      require(1, ty::string(), "a string");
+      return ty::string();
+    }
+    if (name == "range") {
+      if (node.args.size() != 2) {
+        arity_error(2);
+        return ty::list(ty::intt());
+      }
+      require(0, ty::intt(), "an int");
+      require(1, ty::intt(), "an int");
+      return ty::list(ty::intt());
+    }
+    if (name == "length") {
+      if (node.args.size() != 1) {
+        arity_error(1);
+        return ty::intt();
+      }
+      list_arg(0);
+      return ty::intt();
+    }
+    if (name == "head" || name == "tail") {
+      if (node.args.size() != 1) {
+        arity_error(1);
+        return nullptr;
+      }
+      const TypePtr t = list_arg(0);
+      if (t == nullptr) return nullptr;
+      return name == "head" ? element_type(*t) : t;
+    }
+    if (name == "cons") {
+      if (node.args.size() != 2) {
+        arity_error(2);
+        return nullptr;
+      }
+      const TypePtr element = arg(0, nullptr);
+      if (element == nullptr) return nullptr;
+      const TypePtr list_type = ty::list(element);
+      const TypePtr actual = arg(1, list_type);
+      if (actual != nullptr && !type_equal(*actual, *list_type)) {
+        diags_.error(node.args[1]->loc, "'cons' expects " +
+                                            to_string(*list_type) + ", got " +
+                                            to_string(*actual));
+      }
+      return list_type;
+    }
+    if (name == "append") {
+      if (node.args.size() != 2) {
+        arity_error(2);
+        return nullptr;
+      }
+      const TypePtr lhs = list_arg(0);
+      if (lhs == nullptr) return nullptr;
+      const TypePtr rhs = arg(1, lhs);
+      if (rhs != nullptr && !type_equal(*rhs, *lhs)) {
+        diags_.error(node.args[1]->loc, "'append' expects matching lists");
+      }
+      return lhs;
+    }
+    if (name == "take" || name == "drop") {
+      if (node.args.size() != 2) {
+        arity_error(2);
+        return nullptr;
+      }
+      const TypePtr t = list_arg(0);
+      require(1, ty::intt(), "an int");
+      return t;
+    }
+    diags_.error(expr.loc, "unknown builtin '" + name + "'");
+    return nullptr;
+  }
+
+  Program& program_;
+  DiagnosticEngine& diags_;
+  std::vector<Scope> scopes_;
+  std::vector<TypePtr> return_types_;
+};
+
+}  // namespace
+
+bool is_builtin(Symbol name) {
+  return builtin_names().count(name.view()) != 0;
+}
+
+bool typecheck_program(Program& program, DiagnosticEngine& diags) {
+  Checker checker(program, diags);
+  return checker.run();
+}
+
+}  // namespace gtdl

@@ -1,0 +1,37 @@
+// FutLang type checker.
+//
+// Fills in Expr::type on every expression and validates:
+//   * unique function names; `main` exists, takes no parameters, returns
+//     unit
+//   * no futures in return types, no future[future[..]] and no
+//     list[future[..]] (graph inference tracks futures by identity, so
+//     handles must flow through variables and arguments only)
+//   * spawn/touch operate on future handles; spawn bodies return the
+//     future's element type on every path
+//   * the usual rules for operators, calls, conditionals, returns
+//
+// Builtins (T is any element type):
+//   rand() -> int                     print(string) -> unit
+//   int_to_string(int) -> string      concat(string, string) -> string
+//   length(list[T]) -> int            head(list[T]) -> T
+//   tail(list[T]) -> list[T]          cons(T, list[T]) -> list[T]
+//   append(list[T], list[T]) -> list[T]
+//   take(list[T], int) -> list[T]     drop(list[T], int) -> list[T]
+//   range(int, int) -> list[int]
+
+#pragma once
+
+#include "gtdl/frontend/ast.hpp"
+#include "gtdl/support/diagnostics.hpp"
+
+namespace gtdl {
+
+// True if `name` names a FutLang builtin.
+[[nodiscard]] bool is_builtin(Symbol name);
+
+// Type-checks `program` in place. Returns false (with diagnostics) on any
+// error.
+[[nodiscard]] bool typecheck_program(Program& program,
+                                     DiagnosticEngine& diags);
+
+}  // namespace gtdl

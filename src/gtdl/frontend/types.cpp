@@ -1,0 +1,96 @@
+#include "gtdl/frontend/types.hpp"
+
+#include "gtdl/support/overloaded.hpp"
+
+namespace gtdl {
+namespace ty {
+
+namespace {
+TypePtr make_prim(PrimKind kind) {
+  return std::make_shared<const Type>(Type{TPrim{kind}});
+}
+}  // namespace
+
+TypePtr intt() {
+  static const TypePtr t = make_prim(PrimKind::kInt);
+  return t;
+}
+TypePtr boolt() {
+  static const TypePtr t = make_prim(PrimKind::kBool);
+  return t;
+}
+TypePtr unit() {
+  static const TypePtr t = make_prim(PrimKind::kUnit);
+  return t;
+}
+TypePtr string() {
+  static const TypePtr t = make_prim(PrimKind::kString);
+  return t;
+}
+TypePtr list(TypePtr element) {
+  return std::make_shared<const Type>(Type{TList{std::move(element)}});
+}
+TypePtr future(TypePtr element) {
+  return std::make_shared<const Type>(Type{TFuture{std::move(element)}});
+}
+
+}  // namespace ty
+
+bool type_equal(const Type& a, const Type& b) {
+  if (a.node.index() != b.node.index()) return false;
+  return std::visit(
+      Overloaded{
+          [&](const TPrim& pa) {
+            return pa.kind == std::get<TPrim>(b.node).kind;
+          },
+          [&](const TList& la) {
+            return type_equal(*la.element, *std::get<TList>(b.node).element);
+          },
+          [&](const TFuture& fa) {
+            return type_equal(*fa.element,
+                              *std::get<TFuture>(b.node).element);
+          },
+      },
+      a.node);
+}
+
+bool is_future(const Type& t) {
+  return std::holds_alternative<TFuture>(t.node);
+}
+bool is_list(const Type& t) { return std::holds_alternative<TList>(t.node); }
+bool is_prim(const Type& t, PrimKind kind) {
+  const auto* p = std::get_if<TPrim>(&t.node);
+  return p != nullptr && p->kind == kind;
+}
+
+TypePtr element_type(const Type& t) {
+  if (const auto* l = std::get_if<TList>(&t.node)) return l->element;
+  if (const auto* f = std::get_if<TFuture>(&t.node)) return f->element;
+  return nullptr;
+}
+
+std::string to_string(const Type& t) {
+  return std::visit(
+      Overloaded{
+          [](const TPrim& p) -> std::string {
+            switch (p.kind) {
+              case PrimKind::kInt:
+                return "int";
+              case PrimKind::kBool:
+                return "bool";
+              case PrimKind::kUnit:
+                return "unit";
+              case PrimKind::kString:
+                return "string";
+            }
+            return "?";
+          },
+          [](const TList& l) { return "list[" + to_string(*l.element) + "]"; },
+          [](const TFuture& f) {
+            return "future[" + to_string(*f.element) + "]";
+          },
+      },
+      t.node);
+}
+
+}  // namespace gtdl

@@ -1,0 +1,53 @@
+// FutLang types.
+//
+// FutLang is the imperative source language of this reproduction — a
+// stand-in for GML's OCaml subset, matching the paper's §2.1 model:
+// first-class future handles with new_future / spawn / touch, plus enough
+// ordinary types (ints, bools, strings, lists) to express the six
+// evaluation programs.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+
+namespace gtdl {
+
+enum class PrimKind : unsigned char { kInt, kBool, kUnit, kString };
+
+struct Type;
+using TypePtr = std::shared_ptr<const Type>;
+
+struct TPrim {
+  PrimKind kind;
+};
+struct TList {
+  TypePtr element;
+};
+struct TFuture {
+  TypePtr element;
+};
+
+struct Type {
+  std::variant<TPrim, TList, TFuture> node;
+};
+
+namespace ty {
+[[nodiscard]] TypePtr intt();
+[[nodiscard]] TypePtr boolt();
+[[nodiscard]] TypePtr unit();
+[[nodiscard]] TypePtr string();
+[[nodiscard]] TypePtr list(TypePtr element);
+[[nodiscard]] TypePtr future(TypePtr element);
+}  // namespace ty
+
+[[nodiscard]] bool type_equal(const Type& a, const Type& b);
+[[nodiscard]] bool is_future(const Type& t);
+[[nodiscard]] bool is_list(const Type& t);
+[[nodiscard]] bool is_prim(const Type& t, PrimKind kind);
+// Element type of a list or future; nullptr otherwise.
+[[nodiscard]] TypePtr element_type(const Type& t);
+[[nodiscard]] std::string to_string(const Type& t);
+
+}  // namespace gtdl

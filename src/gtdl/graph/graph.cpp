@@ -1,0 +1,236 @@
+#include "gtdl/graph/graph.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "gtdl/support/overloaded.hpp"
+
+namespace gtdl {
+
+void Graph::note_endpoint(Symbol v) {
+  auto [it, inserted] = adjacency_.try_emplace(v);
+  (void)it;
+  if (inserted) seen_order_.push_back(v);
+}
+
+bool Graph::add_vertex(Symbol v) {
+  note_endpoint(v);
+  const unsigned count = ++declared_count_[v];
+  if (count == 1) {
+    vertices_.push_back(v);
+    return true;
+  }
+  return false;
+}
+
+void Graph::add_edge(Symbol from, Symbol to) {
+  note_endpoint(from);
+  note_endpoint(to);
+  edges_.push_back(Edge{from, to});
+  adjacency_[from].push_back(to);
+}
+
+std::vector<Symbol> Graph::undeclared_vertices() const {
+  std::vector<Symbol> out;
+  for (Symbol v : seen_order_) {
+    if (declared_count_.find(v) == declared_count_.end()) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<Symbol> Graph::duplicate_vertices() const {
+  std::vector<Symbol> out;
+  for (Symbol v : vertices_) {
+    auto it = declared_count_.find(v);
+    if (it != declared_count_.end() && it->second > 1) out.push_back(v);
+  }
+  return out;
+}
+
+namespace {
+
+enum class Mark : unsigned char { kUnvisited, kOnStack, kDone };
+
+}  // namespace
+
+std::optional<std::vector<Symbol>> Graph::find_cycle() const {
+  // Iterative DFS with an explicit stack; detects a back edge and
+  // reconstructs the cycle from the DFS path.
+  std::unordered_map<Symbol, Mark> marks;
+  marks.reserve(seen_order_.size());
+  for (Symbol v : seen_order_) marks.emplace(v, Mark::kUnvisited);
+
+  struct Frame {
+    Symbol vertex;
+    std::size_t next_edge = 0;
+  };
+
+  for (Symbol root : seen_order_) {
+    if (marks.at(root) != Mark::kUnvisited) continue;
+    std::vector<Frame> stack;
+    stack.push_back(Frame{root});
+    marks.at(root) = Mark::kOnStack;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto& succs = adjacency_.at(frame.vertex);
+      if (frame.next_edge < succs.size()) {
+        const Symbol next = succs[frame.next_edge++];
+        Mark& mark = marks.at(next);
+        if (mark == Mark::kUnvisited) {
+          mark = Mark::kOnStack;
+          stack.push_back(Frame{next});
+        } else if (mark == Mark::kOnStack) {
+          // Found a cycle: the suffix of the DFS path starting at `next`.
+          std::vector<Symbol> cycle;
+          auto it = std::find_if(
+              stack.begin(), stack.end(),
+              [&](const Frame& f) { return f.vertex == next; });
+          for (; it != stack.end(); ++it) cycle.push_back(it->vertex);
+          return cycle;
+        }
+      } else {
+        marks.at(frame.vertex) = Mark::kDone;
+        stack.pop_back();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool Graph::has_cycle() const { return find_cycle().has_value(); }
+
+bool Graph::reachable(Symbol from, Symbol to) const {
+  if (adjacency_.find(from) == adjacency_.end()) return false;
+  if (from == to) return true;
+  std::unordered_set<Symbol> visited{from};
+  std::vector<Symbol> worklist{from};
+  while (!worklist.empty()) {
+    const Symbol v = worklist.back();
+    worklist.pop_back();
+    for (Symbol next : adjacency_.at(v)) {
+      if (next == to) return true;
+      if (visited.insert(next).second) worklist.push_back(next);
+    }
+  }
+  return false;
+}
+
+std::optional<std::vector<Symbol>> Graph::topological_order() const {
+  std::unordered_map<Symbol, std::size_t> indegree;
+  for (Symbol v : seen_order_) indegree.emplace(v, 0);
+  for (const Edge& e : edges_) ++indegree.at(e.to);
+
+  std::vector<Symbol> ready;
+  for (Symbol v : seen_order_) {
+    if (indegree.at(v) == 0) ready.push_back(v);
+  }
+  std::vector<Symbol> order;
+  order.reserve(seen_order_.size());
+  while (!ready.empty()) {
+    const Symbol v = ready.back();
+    ready.pop_back();
+    order.push_back(v);
+    for (Symbol next : adjacency_.at(v)) {
+      if (--indegree.at(next) == 0) ready.push_back(next);
+    }
+  }
+  if (order.size() != seen_order_.size()) return std::nullopt;
+  return order;
+}
+
+std::string Graph::to_dot(const std::string& name) const {
+  std::string out = "digraph " + name + " {\n";
+  for (Symbol v : seen_order_) {
+    out += "  \"";
+    out += v.view();
+    out += '"';
+    if (v == start_) {
+      out += " [shape=diamond,label=\"" + v.str() + " (start)\"]";
+    } else if (v == end_) {
+      out += " [shape=doublecircle,label=\"" + v.str() + " (end)\"]";
+    }
+    const bool undeclared =
+        declared_count_.find(v) == declared_count_.end();
+    if (undeclared) out += " [style=dashed,color=red]";
+    out += ";\n";
+  }
+  for (const Edge& e : edges_) {
+    out += "  \"";
+    out += e.from.view();
+    out += "\" -> \"";
+    out += e.to.view();
+    out += "\";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+struct Endpoints {
+  Symbol start;
+  Symbol end;
+};
+
+Endpoints lower_into(const GraphExpr& expr, Graph& graph) {
+  return std::visit(
+      Overloaded{
+          [&](const GESingleton&) {
+            const Symbol v = Symbol::fresh("v");
+            graph.add_vertex(v);
+            return Endpoints{v, v};
+          },
+          [&](const GESeq& node) {
+            const Endpoints lhs = lower_into(*node.lhs, graph);
+            const Endpoints rhs = lower_into(*node.rhs, graph);
+            graph.add_edge(lhs.end, rhs.start);
+            return Endpoints{lhs.start, rhs.end};
+          },
+          [&](const GESpawn& node) {
+            // (V,E,s,t) /u = (V ∪ {u,u'}, E ∪ {(u',s), (t,u)}, u', u')
+            const Symbol main_vertex = Symbol::fresh("v");
+            graph.add_vertex(main_vertex);
+            const Endpoints body = lower_into(*node.body, graph);
+            graph.add_vertex(node.vertex);
+            graph.add_edge(main_vertex, body.start);
+            graph.add_edge(body.end, node.vertex);
+            return Endpoints{main_vertex, main_vertex};
+          },
+          [&](const GETouch& node) {
+            // ᵘ\ = ({u'}, {(u,u')}, u', u'); u may be declared elsewhere.
+            const Symbol main_vertex = Symbol::fresh("v");
+            graph.add_vertex(main_vertex);
+            graph.add_edge(node.vertex, main_vertex);
+            return Endpoints{main_vertex, main_vertex};
+          },
+      },
+      expr.node);
+}
+
+}  // namespace
+
+Graph lower_to_graph(const GraphExpr& expr) {
+  Graph graph;
+  const Endpoints main_thread = lower_into(expr, graph);
+  graph.set_start(main_thread.start);
+  graph.set_end(main_thread.end);
+  return graph;
+}
+
+GroundDeadlock find_ground_deadlock(const GraphExpr& expr) {
+  GroundDeadlock verdict;
+  const OrderedSet<Symbol> unspawned = unspawned_touch_targets(expr);
+  if (!unspawned.empty()) {
+    verdict.unspawned_touch = true;
+    verdict.witness.assign(unspawned.begin(), unspawned.end());
+    return verdict;
+  }
+  const Graph graph = lower_to_graph(expr);
+  if (auto cycle = graph.find_cycle()) {
+    verdict.cycle = true;
+    verdict.witness = std::move(*cycle);
+  }
+  return verdict;
+}
+
+}  // namespace gtdl

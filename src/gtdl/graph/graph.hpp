@@ -1,0 +1,125 @@
+// Raw dependency graphs (V, E, s, t) and the lowering from GraphExpr.
+//
+// Fig. 2 of the paper defines graphs as quadruples of vertices, directed
+// edges, a start vertex and an end vertex. An edge (u, u') means u must
+// happen before u'. A cycle therefore means a set of computations each
+// waiting for another — a deadlock (paper §2.2).
+//
+// Touch edges may reference a designated vertex that is spawned elsewhere
+// in the program — or never. The Graph class consequently tolerates edges
+// whose source vertex was never declared and reports them via
+// `undeclared_vertices()`; such a dangling touch is the paper's deadlock
+// situation (1): a touch that blocks forever.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gtdl/graph/graph_expr.hpp"
+#include "gtdl/support/symbol.hpp"
+
+namespace gtdl {
+
+struct Edge {
+  Symbol from;
+  Symbol to;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class Graph {
+ public:
+  // Declares a vertex. Returns false if it was already declared (a
+  // duplicate designated vertex — the ill-formedness graph types'
+  // well-formedness kinding exists to prevent).
+  bool add_vertex(Symbol v);
+
+  // Adds a directed edge; endpoints need not be declared yet.
+  void add_edge(Symbol from, Symbol to);
+
+  void set_start(Symbol s) { start_ = s; }
+  void set_end(Symbol t) { end_ = t; }
+  [[nodiscard]] Symbol start() const noexcept { return start_; }
+  [[nodiscard]] Symbol end() const noexcept { return end_; }
+
+  [[nodiscard]] std::size_t vertex_count() const noexcept {
+    return vertices_.size();
+  }
+  [[nodiscard]] std::size_t edge_count() const noexcept {
+    return edges_.size();
+  }
+  [[nodiscard]] const std::vector<Symbol>& vertices() const noexcept {
+    return vertices_;
+  }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] bool has_vertex(Symbol v) const {
+    return adjacency_.find(v) != adjacency_.end();
+  }
+
+  // Vertices that appear as edge endpoints but were never declared.
+  // Deterministic order (first appearance).
+  [[nodiscard]] std::vector<Symbol> undeclared_vertices() const;
+
+  // Vertices declared more than once.
+  [[nodiscard]] std::vector<Symbol> duplicate_vertices() const;
+
+  [[nodiscard]] bool has_cycle() const;
+
+  // A cycle as a vertex sequence v0 -> v1 -> ... -> v0 (the closing edge
+  // back to v0 is implicit), or nullopt if the graph is acyclic.
+  [[nodiscard]] std::optional<std::vector<Symbol>> find_cycle() const;
+
+  // True if `to` is reachable from `from` along directed edges.
+  [[nodiscard]] bool reachable(Symbol from, Symbol to) const;
+
+  // Topological order over all vertices (declared and undeclared), or
+  // nullopt if the graph has a cycle.
+  [[nodiscard]] std::optional<std::vector<Symbol>> topological_order() const;
+
+  // Graphviz rendering; spawn-designated structure is not distinguished
+  // (the raw quadruple does not retain it).
+  [[nodiscard]] std::string to_dot(const std::string& name = "g") const;
+
+ private:
+  // Ensures v has an adjacency slot without declaring it.
+  void note_endpoint(Symbol v);
+
+  std::vector<Symbol> vertices_;  // declared vertices in declaration order
+  std::vector<Edge> edges_;
+  // Every vertex ever seen (declared or endpoint-only) has a slot here.
+  std::unordered_map<Symbol, std::vector<Symbol>> adjacency_;
+  std::unordered_map<Symbol, unsigned> declared_count_;
+  std::vector<Symbol> seen_order_;  // all seen vertices, first-seen order
+  Symbol start_;
+  Symbol end_;
+};
+
+// Lowers a ground graph expression to a raw graph per Fig. 2:
+//   •        => fresh vertex v; s = t = v
+//   g1 ⊕ g2  => edge t1 -> s2; s = s1, t = t2
+//   g /u     => fresh main vertex u'; edges (u', s_g) and (t_g, u);
+//               u is declared as the future's designated end vertex
+//   ᵘ\       => fresh main vertex u'; edge (u, u'); u may be undeclared
+// Fresh interior vertices are drawn from Symbol::fresh so repeated
+// lowerings never collide.
+[[nodiscard]] Graph lower_to_graph(const GraphExpr& expr);
+
+// Convenience verdict used by the GML-style baseline detector and by the
+// interpreter's ground truth: a ground graph "has a deadlock" if it has a
+// cycle or a touch of a never-spawned vertex.
+struct GroundDeadlock {
+  bool cycle = false;
+  bool unspawned_touch = false;
+  std::vector<Symbol> witness;  // cycle vertices or unspawned touch targets
+
+  [[nodiscard]] bool any() const noexcept { return cycle || unspawned_touch; }
+};
+
+[[nodiscard]] GroundDeadlock find_ground_deadlock(const GraphExpr& expr);
+
+}  // namespace gtdl

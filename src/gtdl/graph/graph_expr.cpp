@@ -1,0 +1,132 @@
+#include "gtdl/graph/graph_expr.hpp"
+
+#include "gtdl/support/overloaded.hpp"
+
+namespace gtdl {
+namespace ge {
+
+GraphExprPtr singleton() {
+  // All singletons are interchangeable; share one instance.
+  static const GraphExprPtr kSingleton =
+      std::make_shared<const GraphExpr>(GraphExpr{GESingleton{}});
+  return kSingleton;
+}
+
+GraphExprPtr seq(GraphExprPtr lhs, GraphExprPtr rhs) {
+  return std::make_shared<const GraphExpr>(
+      GraphExpr{GESeq{std::move(lhs), std::move(rhs)}});
+}
+
+GraphExprPtr seq_all(std::vector<GraphExprPtr> parts) {
+  if (parts.empty()) return singleton();
+  GraphExprPtr acc = std::move(parts.front());
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    acc = seq(std::move(acc), std::move(parts[i]));
+  }
+  return acc;
+}
+
+GraphExprPtr spawn(GraphExprPtr body, Symbol vertex) {
+  return std::make_shared<const GraphExpr>(
+      GraphExpr{GESpawn{std::move(body), vertex}});
+}
+
+GraphExprPtr touch(Symbol vertex) {
+  return std::make_shared<const GraphExpr>(GraphExpr{GETouch{vertex}});
+}
+
+}  // namespace ge
+
+namespace {
+
+template <typename OnSpawn, typename OnTouch>
+void visit_events(const GraphExpr& g, const OnSpawn& on_spawn,
+                  const OnTouch& on_touch) {
+  std::visit(Overloaded{
+                 [](const GESingleton&) {},
+                 [&](const GESeq& node) {
+                   visit_events(*node.lhs, on_spawn, on_touch);
+                   visit_events(*node.rhs, on_spawn, on_touch);
+                 },
+                 [&](const GESpawn& node) {
+                   on_spawn(node.vertex);
+                   visit_events(*node.body, on_spawn, on_touch);
+                 },
+                 [&](const GETouch& node) { on_touch(node.vertex); },
+             },
+             g.node);
+}
+
+}  // namespace
+
+std::vector<Symbol> spawned_vertices(const GraphExpr& g) {
+  std::vector<Symbol> out;
+  visit_events(
+      g, [&](Symbol u) { out.push_back(u); }, [](Symbol) {});
+  return out;
+}
+
+std::vector<Symbol> touched_vertices(const GraphExpr& g) {
+  std::vector<Symbol> out;
+  visit_events(
+      g, [](Symbol) {}, [&](Symbol u) { out.push_back(u); });
+  return out;
+}
+
+OrderedSet<Symbol> unspawned_touch_targets(const GraphExpr& g) {
+  OrderedSet<Symbol> spawned;
+  OrderedSet<Symbol> touched;
+  visit_events(
+      g, [&](Symbol u) { spawned.insert(u); },
+      [&](Symbol u) { touched.insert(u); });
+  return touched.set_difference(spawned);
+}
+
+std::size_t node_count(const GraphExpr& g) {
+  return std::visit(
+      Overloaded{
+          [](const GESingleton&) -> std::size_t { return 1; },
+          [](const GESeq& node) {
+            return 1 + node_count(*node.lhs) + node_count(*node.rhs);
+          },
+          [](const GESpawn& node) { return 1 + node_count(*node.body); },
+          [](const GETouch&) -> std::size_t { return 1; },
+      },
+      g.node);
+}
+
+namespace {
+
+void append_string(const GraphExpr& g, std::string& out, bool parenthesize) {
+  std::visit(Overloaded{
+                 [&](const GESingleton&) { out += '1'; },
+                 [&](const GESeq& node) {
+                   if (parenthesize) out += '(';
+                   // ⊕ is associative for printing purposes; flatten.
+                   append_string(*node.lhs, out, false);
+                   out += " ; ";
+                   append_string(*node.rhs, out, false);
+                   if (parenthesize) out += ')';
+                 },
+                 [&](const GESpawn& node) {
+                   append_string(*node.body, out, true);
+                   out += " / ";
+                   out += node.vertex.view();
+                 },
+                 [&](const GETouch& node) {
+                   out += '~';
+                   out += node.vertex.view();
+                 },
+             },
+             g.node);
+}
+
+}  // namespace
+
+std::string to_string(const GraphExpr& g) {
+  std::string out;
+  append_string(g, out, false);
+  return out;
+}
+
+}  // namespace gtdl

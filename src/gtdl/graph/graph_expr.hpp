@@ -1,0 +1,91 @@
+// Ground graph expressions.
+//
+// Section 2.2 of the paper builds dependency graphs from four combinators:
+//
+//   •            a single fresh vertex (one sequential computation)
+//   g1 ⊕ g2      sequential composition of the two main threads
+//   g /u         spawn a future thread with body g and designated end
+//                vertex u; the main thread is a single fresh vertex
+//   ᵘ\           touch the future whose designated end vertex is u
+//
+// A GraphExpr is the *structural* form of such a graph: it remembers how
+// the graph was built. The structural form is what normalization of graph
+// types produces, and it is the induction structure over which traces are
+// generated (Fig. 6). It can be lowered to a raw Graph (graph.hpp) for
+// cycle detection.
+//
+// GraphExprs are immutable and shared; use the builder functions at the
+// bottom of this header.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "gtdl/support/ordered_set.hpp"
+#include "gtdl/support/symbol.hpp"
+
+namespace gtdl {
+
+struct GraphExpr;
+using GraphExprPtr = std::shared_ptr<const GraphExpr>;
+
+// • — one anonymous sequential computation.
+struct GESingleton {};
+
+// g1 ⊕ g2 — run g1's main thread, then g2's.
+struct GESeq {
+  GraphExprPtr lhs;
+  GraphExprPtr rhs;
+};
+
+// g /u — spawn a future thread computing `body`; the thread's final,
+// designated vertex is `vertex`, which is the name other threads use to
+// touch this future.
+struct GESpawn {
+  GraphExprPtr body;
+  Symbol vertex;
+};
+
+// ᵘ\ — block until the future with designated vertex `vertex` completes.
+struct GETouch {
+  Symbol vertex;
+};
+
+struct GraphExpr {
+  std::variant<GESingleton, GESeq, GESpawn, GETouch> node;
+};
+
+namespace ge {
+
+[[nodiscard]] GraphExprPtr singleton();
+[[nodiscard]] GraphExprPtr seq(GraphExprPtr lhs, GraphExprPtr rhs);
+// Left-to-right sequential composition of `parts` (empty => •).
+[[nodiscard]] GraphExprPtr seq_all(std::vector<GraphExprPtr> parts);
+[[nodiscard]] GraphExprPtr spawn(GraphExprPtr body, Symbol vertex);
+[[nodiscard]] GraphExprPtr touch(Symbol vertex);
+
+}  // namespace ge
+
+// All designated vertices used by spawns in `g`, in spawn order
+// (duplicates preserved; a well-formed graph has none).
+[[nodiscard]] std::vector<Symbol> spawned_vertices(const GraphExpr& g);
+
+// All vertices targeted by touches in `g`, in touch order.
+[[nodiscard]] std::vector<Symbol> touched_vertices(const GraphExpr& g);
+
+// Touch targets with no corresponding spawn anywhere in `g`. A nonempty
+// result is the paper's deadlock situation (1): a touch that blocks
+// forever because the future is never spawned.
+[[nodiscard]] OrderedSet<Symbol> unspawned_touch_targets(const GraphExpr& g);
+
+// Number of combinator nodes (for statistics and bench reporting).
+[[nodiscard]] std::size_t node_count(const GraphExpr& g);
+
+// Renders the expression with the ASCII syntax used throughout the
+// project: "1" for •, ";" for ⊕, "g / u" for spawn, "~u" for touch.
+[[nodiscard]] std::string to_string(const GraphExpr& g);
+
+}  // namespace gtdl

@@ -1,0 +1,556 @@
+#include "gtdl/gtype/gtype.hpp"
+
+#include <unordered_map>
+
+#include "gtdl/support/overloaded.hpp"
+#include "gtdl/support/string_util.hpp"
+
+namespace gtdl {
+namespace gt {
+
+GTypePtr empty() {
+  static const GTypePtr kEmpty =
+      std::make_shared<const GType>(GType{GTEmpty{}});
+  return kEmpty;
+}
+
+GTypePtr seq(GTypePtr lhs, GTypePtr rhs) {
+  return std::make_shared<const GType>(
+      GType{GTSeq{std::move(lhs), std::move(rhs)}});
+}
+
+GTypePtr seq_all(std::vector<GTypePtr> parts) {
+  if (parts.empty()) return empty();
+  GTypePtr acc = std::move(parts.front());
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    acc = seq(std::move(acc), std::move(parts[i]));
+  }
+  return acc;
+}
+
+GTypePtr alt(GTypePtr lhs, GTypePtr rhs) {
+  return std::make_shared<const GType>(
+      GType{GTOr{std::move(lhs), std::move(rhs)}});
+}
+
+GTypePtr spawn(GTypePtr body, Symbol vertex) {
+  return std::make_shared<const GType>(
+      GType{GTSpawn{std::move(body), vertex}});
+}
+
+GTypePtr touch(Symbol vertex) {
+  return std::make_shared<const GType>(GType{GTTouch{vertex}});
+}
+
+GTypePtr rec(Symbol var, GTypePtr body) {
+  return std::make_shared<const GType>(GType{GTRec{var, std::move(body)}});
+}
+
+GTypePtr var(Symbol v) {
+  return std::make_shared<const GType>(GType{GTVar{v}});
+}
+
+GTypePtr nu(Symbol vertex, GTypePtr body) {
+  return std::make_shared<const GType>(GType{GTNew{vertex, std::move(body)}});
+}
+
+GTypePtr nu_all(const std::vector<Symbol>& vertices, GTypePtr body) {
+  GTypePtr acc = std::move(body);
+  for (auto it = vertices.rbegin(); it != vertices.rend(); ++it) {
+    acc = nu(*it, std::move(acc));
+  }
+  return acc;
+}
+
+GTypePtr pi(std::vector<Symbol> spawn_params, std::vector<Symbol> touch_params,
+            GTypePtr body) {
+  return std::make_shared<const GType>(GType{
+      GTPi{std::move(spawn_params), std::move(touch_params), std::move(body)}});
+}
+
+GTypePtr app(GTypePtr fn, std::vector<Symbol> spawn_args,
+             std::vector<Symbol> touch_args) {
+  return std::make_shared<const GType>(GType{
+      GTApp{std::move(fn), std::move(spawn_args), std::move(touch_args)}});
+}
+
+}  // namespace gt
+
+// ---------------------------------------------------------------------------
+// Free variables
+
+namespace {
+
+void collect_free_vertices(const GType& g, OrderedSet<Symbol>& bound,
+                           OrderedSet<Symbol>& out) {
+  std::visit(
+      Overloaded{
+          [](const GTEmpty&) {},
+          [&](const GTSeq& node) {
+            collect_free_vertices(*node.lhs, bound, out);
+            collect_free_vertices(*node.rhs, bound, out);
+          },
+          [&](const GTOr& node) {
+            collect_free_vertices(*node.lhs, bound, out);
+            collect_free_vertices(*node.rhs, bound, out);
+          },
+          [&](const GTSpawn& node) {
+            if (!bound.contains(node.vertex)) out.insert(node.vertex);
+            collect_free_vertices(*node.body, bound, out);
+          },
+          [&](const GTTouch& node) {
+            if (!bound.contains(node.vertex)) out.insert(node.vertex);
+          },
+          [&](const GTRec& node) {
+            collect_free_vertices(*node.body, bound, out);
+          },
+          [](const GTVar&) {},
+          [&](const GTNew& node) {
+            const bool inserted = bound.insert(node.vertex);
+            collect_free_vertices(*node.body, bound, out);
+            if (inserted) bound.erase(node.vertex);
+          },
+          [&](const GTPi& node) {
+            std::vector<Symbol> newly_bound;
+            for (Symbol u : node.spawn_params) {
+              if (bound.insert(u)) newly_bound.push_back(u);
+            }
+            for (Symbol u : node.touch_params) {
+              if (bound.insert(u)) newly_bound.push_back(u);
+            }
+            collect_free_vertices(*node.body, bound, out);
+            for (Symbol u : newly_bound) bound.erase(u);
+          },
+          [&](const GTApp& node) {
+            collect_free_vertices(*node.fn, bound, out);
+            for (Symbol u : node.spawn_args) {
+              if (!bound.contains(u)) out.insert(u);
+            }
+            for (Symbol u : node.touch_args) {
+              if (!bound.contains(u)) out.insert(u);
+            }
+          },
+      },
+      g.node);
+}
+
+void collect_free_gvars(const GType& g, OrderedSet<Symbol>& bound,
+                        OrderedSet<Symbol>& out) {
+  std::visit(
+      Overloaded{
+          [](const GTEmpty&) {},
+          [&](const GTSeq& node) {
+            collect_free_gvars(*node.lhs, bound, out);
+            collect_free_gvars(*node.rhs, bound, out);
+          },
+          [&](const GTOr& node) {
+            collect_free_gvars(*node.lhs, bound, out);
+            collect_free_gvars(*node.rhs, bound, out);
+          },
+          [&](const GTSpawn& node) {
+            collect_free_gvars(*node.body, bound, out);
+          },
+          [](const GTTouch&) {},
+          [&](const GTRec& node) {
+            const bool inserted = bound.insert(node.var);
+            collect_free_gvars(*node.body, bound, out);
+            if (inserted) bound.erase(node.var);
+          },
+          [&](const GTVar& node) {
+            if (!bound.contains(node.var)) out.insert(node.var);
+          },
+          [&](const GTNew& node) {
+            collect_free_gvars(*node.body, bound, out);
+          },
+          [&](const GTPi& node) {
+            collect_free_gvars(*node.body, bound, out);
+          },
+          [&](const GTApp& node) {
+            collect_free_gvars(*node.fn, bound, out);
+          },
+      },
+      g.node);
+}
+
+}  // namespace
+
+OrderedSet<Symbol> free_vertices(const GType& g) {
+  OrderedSet<Symbol> bound;
+  OrderedSet<Symbol> out;
+  collect_free_vertices(g, bound, out);
+  return out;
+}
+
+OrderedSet<Symbol> free_gvars(const GType& g) {
+  OrderedSet<Symbol> bound;
+  OrderedSet<Symbol> out;
+  collect_free_gvars(g, bound, out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+
+namespace {
+
+void accumulate(const GType& g, GTypeStats& s) {
+  ++s.nodes;
+  std::visit(Overloaded{
+                 [](const GTEmpty&) {},
+                 [&](const GTSeq& node) {
+                   accumulate(*node.lhs, s);
+                   accumulate(*node.rhs, s);
+                 },
+                 [&](const GTOr& node) {
+                   accumulate(*node.lhs, s);
+                   accumulate(*node.rhs, s);
+                 },
+                 [&](const GTSpawn& node) {
+                   ++s.spawns;
+                   accumulate(*node.body, s);
+                 },
+                 [&](const GTTouch&) { ++s.touches; },
+                 [&](const GTRec& node) {
+                   ++s.mu_bindings;
+                   accumulate(*node.body, s);
+                 },
+                 [](const GTVar&) {},
+                 [&](const GTNew& node) {
+                   ++s.nu_bindings;
+                   accumulate(*node.body, s);
+                 },
+                 [&](const GTPi& node) { accumulate(*node.body, s); },
+                 [&](const GTApp& node) {
+                   ++s.applications;
+                   accumulate(*node.fn, s);
+                 },
+             },
+             g.node);
+}
+
+}  // namespace
+
+GTypeStats stats(const GType& g) {
+  GTypeStats s;
+  accumulate(g, s);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Equality
+
+namespace {
+
+// Environment for alpha-comparison: maps bound names on each side to a
+// shared de-Bruijn-style level.
+struct AlphaEnv {
+  std::unordered_map<Symbol, unsigned> left;
+  std::unordered_map<Symbol, unsigned> right;
+  unsigned next_level = 0;
+
+  // Compares name occurrences: both bound to the same level, or both free
+  // and identical.
+  [[nodiscard]] bool names_match(Symbol a, Symbol b) const {
+    auto la = left.find(a);
+    auto rb = right.find(b);
+    if (la != left.end() || rb != right.end()) {
+      return la != left.end() && rb != right.end() && la->second == rb->second;
+    }
+    return a == b;
+  }
+};
+
+// Scoped binding of one name pair; restores prior bindings on destruction.
+class AlphaBinding {
+ public:
+  AlphaBinding(AlphaEnv& env, Symbol a, Symbol b) : env_(env), a_(a), b_(b) {
+    const unsigned level = env_.next_level++;
+    save(env_.left, a_, prev_left_, had_left_);
+    save(env_.right, b_, prev_right_, had_right_);
+    env_.left[a_] = level;
+    env_.right[b_] = level;
+  }
+  ~AlphaBinding() {
+    restore(env_.left, a_, prev_left_, had_left_);
+    restore(env_.right, b_, prev_right_, had_right_);
+  }
+  AlphaBinding(const AlphaBinding&) = delete;
+  AlphaBinding& operator=(const AlphaBinding&) = delete;
+
+ private:
+  static void save(const std::unordered_map<Symbol, unsigned>& map, Symbol key,
+                   unsigned& prev, bool& had) {
+    auto it = map.find(key);
+    had = it != map.end();
+    if (had) prev = it->second;
+  }
+  static void restore(std::unordered_map<Symbol, unsigned>& map, Symbol key,
+                      unsigned prev, bool had) {
+    if (had) {
+      map[key] = prev;
+    } else {
+      map.erase(key);
+    }
+  }
+
+  AlphaEnv& env_;
+  Symbol a_;
+  Symbol b_;
+  unsigned prev_left_ = 0;
+  unsigned prev_right_ = 0;
+  bool had_left_ = false;
+  bool had_right_ = false;
+};
+
+bool alpha_eq(const GType& a, const GType& b, AlphaEnv& env) {
+  if (a.node.index() != b.node.index()) return false;
+  return std::visit(
+      Overloaded{
+          [](const GTEmpty&) { return true; },
+          [&](const GTSeq& na) {
+            const auto& nb = std::get<GTSeq>(b.node);
+            return alpha_eq(*na.lhs, *nb.lhs, env) &&
+                   alpha_eq(*na.rhs, *nb.rhs, env);
+          },
+          [&](const GTOr& na) {
+            const auto& nb = std::get<GTOr>(b.node);
+            return alpha_eq(*na.lhs, *nb.lhs, env) &&
+                   alpha_eq(*na.rhs, *nb.rhs, env);
+          },
+          [&](const GTSpawn& na) {
+            const auto& nb = std::get<GTSpawn>(b.node);
+            return env.names_match(na.vertex, nb.vertex) &&
+                   alpha_eq(*na.body, *nb.body, env);
+          },
+          [&](const GTTouch& na) {
+            const auto& nb = std::get<GTTouch>(b.node);
+            return env.names_match(na.vertex, nb.vertex);
+          },
+          [&](const GTRec& na) {
+            const auto& nb = std::get<GTRec>(b.node);
+            AlphaBinding bind(env, na.var, nb.var);
+            return alpha_eq(*na.body, *nb.body, env);
+          },
+          [&](const GTVar& na) {
+            const auto& nb = std::get<GTVar>(b.node);
+            return env.names_match(na.var, nb.var);
+          },
+          [&](const GTNew& na) {
+            const auto& nb = std::get<GTNew>(b.node);
+            AlphaBinding bind(env, na.vertex, nb.vertex);
+            return alpha_eq(*na.body, *nb.body, env);
+          },
+          [&](const GTPi& na) {
+            const auto& nb = std::get<GTPi>(b.node);
+            if (na.spawn_params.size() != nb.spawn_params.size() ||
+                na.touch_params.size() != nb.touch_params.size()) {
+              return false;
+            }
+            // Bind parameter pairs pairwise, innermost scope last.
+            std::vector<std::unique_ptr<AlphaBinding>> bindings;
+            bindings.reserve(na.spawn_params.size() + na.touch_params.size());
+            for (std::size_t i = 0; i < na.spawn_params.size(); ++i) {
+              bindings.push_back(std::make_unique<AlphaBinding>(
+                  env, na.spawn_params[i], nb.spawn_params[i]));
+            }
+            for (std::size_t i = 0; i < na.touch_params.size(); ++i) {
+              bindings.push_back(std::make_unique<AlphaBinding>(
+                  env, na.touch_params[i], nb.touch_params[i]));
+            }
+            return alpha_eq(*na.body, *nb.body, env);
+          },
+          [&](const GTApp& na) {
+            const auto& nb = std::get<GTApp>(b.node);
+            if (na.spawn_args.size() != nb.spawn_args.size() ||
+                na.touch_args.size() != nb.touch_args.size()) {
+              return false;
+            }
+            if (!alpha_eq(*na.fn, *nb.fn, env)) return false;
+            for (std::size_t i = 0; i < na.spawn_args.size(); ++i) {
+              if (!env.names_match(na.spawn_args[i], nb.spawn_args[i])) {
+                return false;
+              }
+            }
+            for (std::size_t i = 0; i < na.touch_args.size(); ++i) {
+              if (!env.names_match(na.touch_args[i], nb.touch_args[i])) {
+                return false;
+              }
+            }
+            return true;
+          },
+      },
+      a.node);
+}
+
+}  // namespace
+
+bool alpha_equal(const GType& a, const GType& b) {
+  AlphaEnv env;
+  return alpha_eq(a, b, env);
+}
+
+bool structurally_equal(const GType& a, const GType& b) {
+  if (&a == &b) return true;
+  if (a.node.index() != b.node.index()) return false;
+  return std::visit(
+      Overloaded{
+          [](const GTEmpty&) { return true; },
+          [&](const GTSeq& na) {
+            const auto& nb = std::get<GTSeq>(b.node);
+            return structurally_equal(*na.lhs, *nb.lhs) &&
+                   structurally_equal(*na.rhs, *nb.rhs);
+          },
+          [&](const GTOr& na) {
+            const auto& nb = std::get<GTOr>(b.node);
+            return structurally_equal(*na.lhs, *nb.lhs) &&
+                   structurally_equal(*na.rhs, *nb.rhs);
+          },
+          [&](const GTSpawn& na) {
+            const auto& nb = std::get<GTSpawn>(b.node);
+            return na.vertex == nb.vertex &&
+                   structurally_equal(*na.body, *nb.body);
+          },
+          [&](const GTTouch& na) {
+            return na.vertex == std::get<GTTouch>(b.node).vertex;
+          },
+          [&](const GTRec& na) {
+            const auto& nb = std::get<GTRec>(b.node);
+            return na.var == nb.var && structurally_equal(*na.body, *nb.body);
+          },
+          [&](const GTVar& na) {
+            return na.var == std::get<GTVar>(b.node).var;
+          },
+          [&](const GTNew& na) {
+            const auto& nb = std::get<GTNew>(b.node);
+            return na.vertex == nb.vertex &&
+                   structurally_equal(*na.body, *nb.body);
+          },
+          [&](const GTPi& na) {
+            const auto& nb = std::get<GTPi>(b.node);
+            return na.spawn_params == nb.spawn_params &&
+                   na.touch_params == nb.touch_params &&
+                   structurally_equal(*na.body, *nb.body);
+          },
+          [&](const GTApp& na) {
+            const auto& nb = std::get<GTApp>(b.node);
+            return na.spawn_args == nb.spawn_args &&
+                   na.touch_args == nb.touch_args &&
+                   structurally_equal(*na.fn, *nb.fn);
+          },
+      },
+      a.node);
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+
+namespace {
+
+// Precedence levels: | = 0, ; = 1, postfix (/ and [..]) = 2, atom = 3.
+// `tail` marks positions where the expression extends to the end of the
+// enclosing context: a binder (rec/new/pi) swallows everything to its
+// right, so in a NON-tail position it needs parentheses even at the
+// loosest precedence (e.g. the left operand of '|').
+void print(const GType& g, std::string& out, int min_prec, bool tail);
+
+void print_vertex_list(const std::vector<Symbol>& spawn,
+                       const std::vector<Symbol>& touch, std::string& out) {
+  out += '[';
+  out += join(spawn, ", ", [](Symbol s) { return s.str(); });
+  out += "; ";
+  out += join(touch, ", ", [](Symbol s) { return s.str(); });
+  out += ']';
+}
+
+void print(const GType& g, std::string& out, int min_prec, bool tail) {
+  const auto print_binder = [&](auto header, const GTypePtr& body) {
+    const bool parens = min_prec > 0 || !tail;
+    if (parens) out += '(';
+    header();
+    print(*body, out, 0, true);
+    if (parens) out += ')';
+  };
+  std::visit(
+      Overloaded{
+          [&](const GTEmpty&) { out += '1'; },
+          [&](const GTSeq& node) {
+            const bool parens = min_prec > 1;
+            if (parens) out += '(';
+            print(*node.lhs, out, 1, false);
+            out += " ; ";
+            print(*node.rhs, out, 2, tail && !parens);
+            if (parens) out += ')';
+          },
+          [&](const GTOr& node) {
+            const bool parens = min_prec > 0;
+            if (parens) out += '(';
+            print(*node.lhs, out, 0, false);
+            out += " | ";
+            print(*node.rhs, out, 1, tail && !parens);
+            if (parens) out += ')';
+          },
+          [&](const GTSpawn& node) {
+            const bool parens = min_prec > 2;
+            if (parens) out += '(';
+            print(*node.body, out, 3, false);
+            out += " / ";
+            out += node.vertex.view();
+            if (parens) out += ')';
+          },
+          [&](const GTTouch& node) {
+            out += '~';
+            out += node.vertex.view();
+          },
+          [&](const GTRec& node) {
+            print_binder(
+                [&] {
+                  out += "rec ";
+                  out += node.var.view();
+                  out += ". ";
+                },
+                node.body);
+          },
+          [&](const GTVar& node) { out += node.var.view(); },
+          [&](const GTNew& node) {
+            print_binder(
+                [&] {
+                  out += "new ";
+                  out += node.vertex.view();
+                  out += ". ";
+                },
+                node.body);
+          },
+          [&](const GTPi& node) {
+            print_binder(
+                [&] {
+                  out += "pi";
+                  print_vertex_list(node.spawn_params, node.touch_params,
+                                    out);
+                  out += ". ";
+                },
+                node.body);
+          },
+          [&](const GTApp& node) {
+            const bool parens = min_prec > 2;
+            if (parens) out += '(';
+            print(*node.fn, out, 3, false);
+            print_vertex_list(node.spawn_args, node.touch_args, out);
+            if (parens) out += ')';
+          },
+      },
+      g.node);
+}
+
+}  // namespace
+
+std::string to_string(const GType& g) {
+  std::string out;
+  print(g, out, 0, /*tail=*/true);
+  return out;
+}
+
+std::string to_string(const GTypePtr& g) {
+  return g ? to_string(*g) : std::string("<null>");
+}
+
+}  // namespace gtdl

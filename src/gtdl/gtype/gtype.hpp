@@ -1,0 +1,161 @@
+// Graph types (paper §2.3; originally Muller, POPL'22).
+//
+// A graph type G compactly represents the (possibly infinite) set of
+// dependency graphs that might result from running a program:
+//
+//   G ::= •                 one sequential computation
+//       | G1 ⊕ G2           sequential composition
+//       | G /u              spawn a future thread with designated vertex u
+//       | ᵘ\                touch the future with designated vertex u
+//       | G1 ∨ G2           either G1 or G2 (runtime choice)
+//       | μγ.G              recursive graph type, γ bound in G
+//       | γ                 recursive occurrence
+//       | νu.G              fresh vertex name u, instantiated uniquely at
+//                           every encounter during normalization
+//       | Πūf;ūt.G          parameterized by spawnable (ūf) and touchable
+//                           (ūt) vertex vectors
+//       | G[ūf';ūt']        instantiation of a parameterized graph type
+//
+// The textual (ASCII) syntax used by the printer and parser is:
+//
+//   1    G1 ; G2    G / u    ~u    G1 | G2    rec g. G    g
+//   new u. G    pi[u1,u2; u3]. G    G[u1,u2; u3]
+//
+// Nodes are immutable and shared (structural sharing keeps whole-program
+// types produced by inference small even when callee types are inlined at
+// every call site). Build values with the functions in namespace `gt`.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "gtdl/support/ordered_set.hpp"
+#include "gtdl/support/symbol.hpp"
+
+namespace gtdl {
+
+struct GType;
+using GTypePtr = std::shared_ptr<const GType>;
+
+// • — the single-vertex graph.
+struct GTEmpty {};
+
+// G1 ⊕ G2 — sequential composition.
+struct GTSeq {
+  GTypePtr lhs;
+  GTypePtr rhs;
+};
+
+// G1 ∨ G2 — disjunction of alternatives.
+struct GTOr {
+  GTypePtr lhs;
+  GTypePtr rhs;
+};
+
+// G /u — spawn of a future thread whose body has graph type G and whose
+// designated end vertex is u.
+struct GTSpawn {
+  GTypePtr body;
+  Symbol vertex;
+};
+
+// ᵘ\ — touch of the future with designated end vertex u.
+struct GTTouch {
+  Symbol vertex;
+};
+
+// μγ.G — recursive graph type.
+struct GTRec {
+  Symbol var;
+  GTypePtr body;
+};
+
+// γ — occurrence of a μ-bound graph variable.
+struct GTVar {
+  Symbol var;
+};
+
+// νu.G — binds a vertex name that normalization instantiates freshly.
+struct GTNew {
+  Symbol vertex;
+  GTypePtr body;
+};
+
+// Πūf;ūt.G — parameterized graph type. `spawn_params` may be used in G to
+// spawn futures; `touch_params` may be used to touch them.
+struct GTPi {
+  std::vector<Symbol> spawn_params;
+  std::vector<Symbol> touch_params;
+  GTypePtr body;
+};
+
+// G[ūf';ūt'] — instantiation of a Π (or μΠ) graph type.
+struct GTApp {
+  GTypePtr fn;
+  std::vector<Symbol> spawn_args;
+  std::vector<Symbol> touch_args;
+};
+
+struct GType {
+  std::variant<GTEmpty, GTSeq, GTOr, GTSpawn, GTTouch, GTRec, GTVar, GTNew,
+               GTPi, GTApp>
+      node;
+};
+
+namespace gt {
+
+[[nodiscard]] GTypePtr empty();
+[[nodiscard]] GTypePtr seq(GTypePtr lhs, GTypePtr rhs);
+// Left-associated ⊕ over `parts`; • when empty.
+[[nodiscard]] GTypePtr seq_all(std::vector<GTypePtr> parts);
+[[nodiscard]] GTypePtr alt(GTypePtr lhs, GTypePtr rhs);  // ∨
+[[nodiscard]] GTypePtr spawn(GTypePtr body, Symbol vertex);
+[[nodiscard]] GTypePtr touch(Symbol vertex);
+[[nodiscard]] GTypePtr rec(Symbol var, GTypePtr body);
+[[nodiscard]] GTypePtr var(Symbol var);
+[[nodiscard]] GTypePtr nu(Symbol vertex, GTypePtr body);
+// Nested νu1.νu2...G, innermost last.
+[[nodiscard]] GTypePtr nu_all(const std::vector<Symbol>& vertices,
+                              GTypePtr body);
+[[nodiscard]] GTypePtr pi(std::vector<Symbol> spawn_params,
+                          std::vector<Symbol> touch_params, GTypePtr body);
+[[nodiscard]] GTypePtr app(GTypePtr fn, std::vector<Symbol> spawn_args,
+                           std::vector<Symbol> touch_args);
+
+}  // namespace gt
+
+// --- Structural queries -----------------------------------------------------
+
+// Vertex names free in `g` (not bound by an enclosing ν or Π).
+[[nodiscard]] OrderedSet<Symbol> free_vertices(const GType& g);
+
+// Graph variables free in `g` (not bound by an enclosing μ).
+[[nodiscard]] OrderedSet<Symbol> free_gvars(const GType& g);
+
+// Counts of selected constructors; used to pick normalization depths and
+// for bench statistics.
+struct GTypeStats {
+  std::size_t nodes = 0;
+  std::size_t mu_bindings = 0;
+  std::size_t applications = 0;
+  std::size_t nu_bindings = 0;
+  std::size_t spawns = 0;
+  std::size_t touches = 0;
+};
+[[nodiscard]] GTypeStats stats(const GType& g);
+
+// Exact structural equality, including bound names.
+[[nodiscard]] bool structurally_equal(const GType& a, const GType& b);
+
+// Equality up to consistent renaming of bound vertex and graph variables.
+[[nodiscard]] bool alpha_equal(const GType& a, const GType& b);
+
+// Renders with the ASCII syntax documented above. Parenthesizes only where
+// required by precedence ( | < ; < postfix / and [..] ).
+[[nodiscard]] std::string to_string(const GType& g);
+[[nodiscard]] std::string to_string(const GTypePtr& g);
+
+}  // namespace gtdl

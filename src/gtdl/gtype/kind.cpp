@@ -1,0 +1,11 @@
+#include "gtdl/gtype/kind.hpp"
+
+namespace gtdl {
+
+std::string to_string(const GraphKind& kind) {
+  if (!kind.is_pi) return "*";
+  return "pi[" + std::to_string(kind.spawn_arity) + ";" +
+         std::to_string(kind.touch_arity) + "].*";
+}
+
+}  // namespace gtdl

@@ -1,0 +1,30 @@
+// Graph kinds (paper §4.1): κ ::= * | Πūf;ūt.*
+//
+// * is the kind of ordinary graph types (directly normalizable);
+// Πūf;ūt.* is the kind of parameterized graph types awaiting |ūf| spawn
+// and |ūt| touch vertex arguments. Only arities matter to callers.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace gtdl {
+
+struct GraphKind {
+  bool is_pi = false;
+  std::size_t spawn_arity = 0;
+  std::size_t touch_arity = 0;
+
+  static GraphKind star() { return {}; }
+  static GraphKind pi(std::size_t spawn, std::size_t touch) {
+    return {true, spawn, touch};
+  }
+
+  friend bool operator==(const GraphKind&, const GraphKind&) = default;
+};
+
+// "*" or "pi[2;1].*"
+[[nodiscard]] std::string to_string(const GraphKind& kind);
+
+}  // namespace gtdl

@@ -1,0 +1,351 @@
+#include "gtdl/gtype/normalize.hpp"
+
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "gtdl/gtype/subst.hpp"
+#include "gtdl/support/overloaded.hpp"
+
+namespace gtdl {
+
+namespace {
+
+// Canonical spelling of a ground graph with interior names erased, used
+// for alpha-deduplication: designated vertices are numbered in traversal
+// order, so two graphs differing only in fresh-name choices render the
+// same.
+void canonical_spelling(const GraphExpr& g,
+                        std::unordered_map<Symbol, unsigned>& numbering,
+                        std::string& out) {
+  std::visit(Overloaded{
+                 [&](const GESingleton&) { out += '1'; },
+                 [&](const GESeq& node) {
+                   out += '(';
+                   canonical_spelling(*node.lhs, numbering, out);
+                   out += ';';
+                   canonical_spelling(*node.rhs, numbering, out);
+                   out += ')';
+                 },
+                 [&](const GESpawn& node) {
+                   out += '(';
+                   canonical_spelling(*node.body, numbering, out);
+                   out += '/';
+                   const auto [it, inserted] = numbering.try_emplace(
+                       node.vertex,
+                       static_cast<unsigned>(numbering.size()));
+                   (void)inserted;
+                   out += std::to_string(it->second);
+                   out += ')';
+                 },
+                 [&](const GETouch& node) {
+                   out += '~';
+                   const auto [it, inserted] = numbering.try_emplace(
+                       node.vertex,
+                       static_cast<unsigned>(numbering.size()));
+                   (void)inserted;
+                   out += std::to_string(it->second);
+                 },
+             },
+             g.node);
+}
+
+// Numbering caveat: vertices free in the original graph type (Π-style
+// open normalization) are also numbered by first occurrence; since both
+// graphs being compared draw those from the same type, the numbering is
+// still canonical for our use (dedup within one normalize call).
+std::string canonical_key(const GraphExpr& g) {
+  std::unordered_map<Symbol, unsigned> numbering;
+  std::string out;
+  canonical_spelling(g, numbering, out);
+  return out;
+}
+
+class Normalizer {
+ public:
+  explicit Normalizer(const NormalizeLimits& limits) : limits_(limits) {}
+
+  std::vector<GraphExprPtr> norm(const GTypePtr& g, unsigned n) {
+    std::vector<GraphExprPtr> out = norm_node(g, n);
+    // Deduplicate alpha-equivalent graphs EAGERLY, at every node: the μ
+    // rule's "unroll or not" union and the ν rule's fresh renaming
+    // otherwise materialize exponentially many copies of the same graph
+    // (set semantics collapses them; a vector must do so explicitly).
+    if (limits_.dedup_alpha && out.size() > 1) dedup_in_place(out);
+    return out;
+  }
+
+  std::vector<GraphExprPtr> norm_node(const GTypePtr& g, unsigned n) {
+    if (truncated_ || n == 0) return {};
+    if (++steps_ > limits_.max_steps) {
+      truncated_ = true;
+      return {};
+    }
+    return std::visit(
+        Overloaded{
+            [&](const GTEmpty&) {
+              return std::vector<GraphExprPtr>{ge::singleton()};
+            },
+            [&](const GTSeq& node) {
+              const std::vector<GraphExprPtr> lhs = norm(node.lhs, n);
+              if (lhs.empty()) return std::vector<GraphExprPtr>{};
+              const std::vector<GraphExprPtr> rhs = norm(node.rhs, n);
+              std::vector<GraphExprPtr> out;
+              out.reserve(lhs.size() * rhs.size());
+              for (const GraphExprPtr& a : lhs) {
+                for (const GraphExprPtr& b : rhs) {
+                  if (out.size() >= limits_.max_graphs) {
+                    truncated_ = true;
+                    return out;
+                  }
+                  out.push_back(ge::seq(a, b));
+                }
+              }
+              return out;
+            },
+            [&](const GTOr& node) {
+              std::vector<GraphExprPtr> out = norm(node.lhs, n);
+              std::vector<GraphExprPtr> rhs = norm(node.rhs, n);
+              for (GraphExprPtr& g2 : rhs) {
+                if (out.size() >= limits_.max_graphs) {
+                  truncated_ = true;
+                  break;
+                }
+                out.push_back(std::move(g2));
+              }
+              return out;
+            },
+            [&](const GTSpawn& node) {
+              std::vector<GraphExprPtr> bodies = norm(node.body, n);
+              std::vector<GraphExprPtr> out;
+              out.reserve(bodies.size());
+              for (GraphExprPtr& body : bodies) {
+                out.push_back(ge::spawn(std::move(body), node.vertex));
+              }
+              return out;
+            },
+            [&](const GTTouch& node) {
+              return std::vector<GraphExprPtr>{ge::touch(node.vertex)};
+            },
+            [&](const GTRec&) {
+              // Norm_n(μγ.G) = Norm_{n-1}(G[μγ.G/γ]) ∪ Norm_{n-1}(μγ.G)
+              std::vector<GraphExprPtr> out = norm(cached_unroll(g), n - 1);
+              std::vector<GraphExprPtr> keep = norm(g, n - 1);
+              for (GraphExprPtr& g2 : keep) {
+                if (out.size() >= limits_.max_graphs) {
+                  truncated_ = true;
+                  break;
+                }
+                out.push_back(std::move(g2));
+              }
+              return out;
+            },
+            [&](const GTVar&) {
+              // Free graph variable: no normalization rule applies.
+              return std::vector<GraphExprPtr>{};
+            },
+            [&](const GTNew& node) {
+              // Norm_n(νu.G) = Norm_n(G[u'/u]), u' fresh.
+              const Symbol fresh = Symbol::fresh(node.vertex.view());
+              const GTypePtr body = substitute_vertices(
+                  node.body, VertexSubst{{node.vertex, fresh}});
+              return norm(body, n);
+            },
+            [&](const GTPi&) {
+              // A bare Π has kind Πūf;ūt.*, not *; it has no graphs until
+              // instantiated.
+              return std::vector<GraphExprPtr>{};
+            },
+            [&](const GTApp& node) {
+              // Unroll the applied type to a Π binder, decrementing n per
+              // unrolling; ∅ if the fuel runs out or no Π emerges.
+              GTypePtr fn = node.fn;
+              unsigned fuel = n;
+              while (!std::holds_alternative<GTPi>(fn->node)) {
+                if (!std::holds_alternative<GTRec>(fn->node) || fuel == 0) {
+                  return std::vector<GraphExprPtr>{};
+                }
+                fn = cached_unroll(fn);
+                --fuel;
+              }
+              const auto& pi = std::get<GTPi>(fn->node);
+              if (pi.spawn_params.size() != node.spawn_args.size() ||
+                  pi.touch_params.size() != node.touch_args.size()) {
+                // Ill-kinded application; the WF judgment rejects these
+                // before normalization in normal operation.
+                return std::vector<GraphExprPtr>{};
+              }
+              VertexSubst subst;
+              for (std::size_t i = 0; i < pi.spawn_params.size(); ++i) {
+                subst.emplace(pi.spawn_params[i], node.spawn_args[i]);
+              }
+              for (std::size_t i = 0; i < pi.touch_params.size(); ++i) {
+                // A name may be both a spawn and a touch parameter only in
+                // ill-formed types; emplace keeps the first binding.
+                subst.emplace(pi.touch_params[i], node.touch_args[i]);
+              }
+              return norm(substitute_vertices(pi.body, subst), fuel);
+            },
+        },
+        g->node);
+  }
+
+  [[nodiscard]] bool truncated() const noexcept { return truncated_; }
+  [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
+
+ private:
+  // Keyed on the shared_ptr (not the raw pointer) so the cache RETAINS
+  // every key: normalization substitutes freely and temporaries would
+  // otherwise be freed and their addresses recycled, aliasing entries.
+  const GTypePtr& cached_unroll(const GTypePtr& g) {
+    auto [it, inserted] = unroll_cache_.try_emplace(g);
+    if (inserted) it->second = unroll_rec(g);
+    return it->second;
+  }
+
+  static void dedup_in_place(std::vector<GraphExprPtr>& graphs) {
+    std::unordered_set<std::string> seen;
+    seen.reserve(graphs.size());
+    std::vector<GraphExprPtr> unique;
+    unique.reserve(graphs.size());
+    for (GraphExprPtr& graph : graphs) {
+      if (seen.insert(canonical_key(*graph)).second) {
+        unique.push_back(std::move(graph));
+      }
+    }
+    graphs = std::move(unique);
+  }
+
+  struct PtrHash {
+    std::size_t operator()(const GTypePtr& g) const noexcept {
+      return std::hash<const GType*>{}(g.get());
+    }
+  };
+  struct PtrEq {
+    bool operator()(const GTypePtr& a, const GTypePtr& b) const noexcept {
+      return a.get() == b.get();
+    }
+  };
+
+  const NormalizeLimits& limits_;
+  std::size_t steps_ = 0;
+  bool truncated_ = false;
+  std::unordered_map<GTypePtr, GTypePtr, PtrHash, PtrEq> unroll_cache_;
+};
+
+}  // namespace
+
+NormalizeResult normalize(const GTypePtr& g, unsigned depth,
+                          const NormalizeLimits& limits) {
+  Normalizer normalizer(limits);
+  NormalizeResult result;
+  // norm() deduplicates at every node when limits.dedup_alpha is set.
+  result.graphs = normalizer.norm(g, depth);
+  result.truncated = normalizer.truncated();
+  result.steps = normalizer.steps();
+  return result;
+}
+
+namespace {
+
+constexpr std::uint64_t kSat = std::numeric_limits<std::uint64_t>::max();
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+  return (kSat - a < b) ? kSat : a + b;
+}
+
+std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kSat / b) return kSat;
+  return a * b;
+}
+
+struct PtrDepthHash {
+  std::size_t operator()(const std::pair<const GType*, unsigned>& k) const {
+    return std::hash<const GType*>{}(k.first) ^
+           (std::hash<unsigned>{}(k.second) * 0x9e3779b97f4a7c15ull);
+  }
+};
+
+class Counter {
+ public:
+  std::uint64_t count(const GTypePtr& g, unsigned n) {
+    if (n == 0) return 0;
+    const std::pair<const GType*, unsigned> key{g.get(), n};
+    if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+    const std::uint64_t result = std::visit(
+        Overloaded{
+            [&](const GTEmpty&) -> std::uint64_t { return 1; },
+            [&](const GTSeq& node) {
+              return sat_mul(count(node.lhs, n), count(node.rhs, n));
+            },
+            [&](const GTOr& node) {
+              return sat_add(count(node.lhs, n), count(node.rhs, n));
+            },
+            [&](const GTSpawn& node) { return count(node.body, n); },
+            [&](const GTTouch&) -> std::uint64_t { return 1; },
+            [&](const GTRec&) {
+              return sat_add(count(cached_unroll(g), n - 1), count(g, n - 1));
+            },
+            [&](const GTVar&) -> std::uint64_t { return 0; },
+            [&](const GTNew& node) {
+              // Fresh renaming does not change the count.
+              return count(node.body, n);
+            },
+            [&](const GTPi&) -> std::uint64_t { return 0; },
+            [&](const GTApp& node) -> std::uint64_t {
+              GTypePtr fn = node.fn;
+              unsigned fuel = n;
+              while (!std::holds_alternative<GTPi>(fn->node)) {
+                if (!std::holds_alternative<GTRec>(fn->node) || fuel == 0) {
+                  return 0;
+                }
+                fn = cached_unroll(fn);
+                --fuel;
+              }
+              const auto& pi = std::get<GTPi>(fn->node);
+              if (pi.spawn_params.size() != node.spawn_args.size() ||
+                  pi.touch_params.size() != node.touch_args.size()) {
+                return 0;
+              }
+              // Argument renaming does not change the count.
+              return count(pi.body, fuel);
+            },
+        },
+        g->node);
+    memo_.emplace(key, result);
+    return result;
+  }
+
+ private:
+  struct PtrHash {
+    std::size_t operator()(const GTypePtr& g) const noexcept {
+      return std::hash<const GType*>{}(g.get());
+    }
+  };
+  struct PtrEq {
+    bool operator()(const GTypePtr& a, const GTypePtr& b) const noexcept {
+      return a.get() == b.get();
+    }
+  };
+
+  const GTypePtr& cached_unroll(const GTypePtr& g) {
+    auto [it, inserted] = unroll_cache_.try_emplace(g);
+    if (inserted) it->second = unroll_rec(g);
+    return it->second;
+  }
+
+  std::unordered_map<std::pair<const GType*, unsigned>, std::uint64_t,
+                     PtrDepthHash>
+      memo_;
+  std::unordered_map<GTypePtr, GTypePtr, PtrHash, PtrEq> unroll_cache_;
+};
+
+}  // namespace
+
+std::uint64_t count_normalizations(const GTypePtr& g, unsigned depth) {
+  Counter counter;
+  return counter.count(g, depth);
+}
+
+}  // namespace gtdl

@@ -1,0 +1,59 @@
+// Normalization of graph types (paper §2.3, Fig. 3).
+//
+// Norm_n(G) computes the set of ground graphs represented by G, with the
+// natural-number fuel n bounding how often recursive bindings may be
+// unrolled (each μ-unrolling and each unrolling performed by an
+// application decrements n; at n = 0 the result is the empty set, per the
+// footnote-1 presentation the paper's proofs use).
+//
+// The result set is exponential in n for most recursive graph types
+// (paper §3) — that observation is one of the reproduced experiments — so
+// the implementation takes explicit limits and reports truncation rather
+// than exhausting memory.
+//
+// `dedup_alpha` collapses graphs that are identical up to the choice of
+// fresh vertex names. Fig. 3's set semantics distinguishes them only by
+// the arbitrary fresh names νu instantiation picked, so deduplication is
+// semantically harmless and keeps result sets tractable; the raw
+// (paper-literal) cardinality is available via count_normalizations.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gtdl/graph/graph_expr.hpp"
+#include "gtdl/gtype/gtype.hpp"
+
+namespace gtdl {
+
+struct NormalizeLimits {
+  // Stop producing graphs beyond this many (per call).
+  std::size_t max_graphs = 1u << 18;
+  // Abort after this many internal combinator steps.
+  std::size_t max_steps = 20'000'000;
+  // Collapse alpha-equivalent results (see header comment).
+  bool dedup_alpha = true;
+};
+
+struct NormalizeResult {
+  std::vector<GraphExprPtr> graphs;
+  bool truncated = false;   // a limit was hit; `graphs` is a subset
+  std::size_t steps = 0;    // internal work performed
+};
+
+// Norm_n(g). Precondition: g has no free graph variables (free vertices
+// are allowed and survive into the resulting graphs — the soundness lemma
+// normalizes open-vertex types).
+[[nodiscard]] NormalizeResult normalize(const GTypePtr& g, unsigned depth,
+                                        const NormalizeLimits& limits = {});
+
+// |Norm_n(g)| computed per the paper's definition *without* alpha
+// deduplication and without materializing graphs. Saturates at
+// UINT64_MAX. This counts exactly what Fig. 3 counts: the ν rule does not
+// multiply, disjunction adds, sequencing multiplies, μ adds its
+// unrolled-and-not-unrolled alternatives.
+[[nodiscard]] std::uint64_t count_normalizations(const GTypePtr& g,
+                                                 unsigned depth);
+
+}  // namespace gtdl

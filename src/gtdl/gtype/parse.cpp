@@ -1,0 +1,330 @@
+#include "gtdl/gtype/parse.hpp"
+
+#include <cctype>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gtdl {
+
+namespace {
+
+enum class TokKind : unsigned char {
+  kEmptyGraph,  // 1
+  kIdent,
+  kSemi,     // ;
+  kPipe,     // |
+  kSlash,    // /
+  kTilde,    // ~
+  kDot,      // .
+  kComma,    // ,
+  kLBracket,
+  kRBracket,
+  kLParen,
+  kRParen,
+  kKwRec,
+  kKwNew,
+  kKwPi,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string_view text;
+  SrcLoc loc;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Token next() {
+    skip_trivia();
+    const SrcLoc loc{line_, column_};
+    if (pos_ >= text_.size()) return Token{TokKind::kEnd, {}, loc};
+    const char c = text_[pos_];
+    if (c == '1') {
+      return make(TokKind::kEmptyGraph, 1, loc);
+    }
+    switch (c) {
+      case ';':
+        return make(TokKind::kSemi, 1, loc);
+      case '|':
+        return make(TokKind::kPipe, 1, loc);
+      case '/':
+        return make(TokKind::kSlash, 1, loc);
+      case '~':
+        return make(TokKind::kTilde, 1, loc);
+      case '.':
+        return make(TokKind::kDot, 1, loc);
+      case ',':
+        return make(TokKind::kComma, 1, loc);
+      case '[':
+        return make(TokKind::kLBracket, 1, loc);
+      case ']':
+        return make(TokKind::kRBracket, 1, loc);
+      case '(':
+        return make(TokKind::kLParen, 1, loc);
+      case ')':
+        return make(TokKind::kRParen, 1, loc);
+      default:
+        break;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t end = pos_;
+      while (end < text_.size()) {
+        const char k = text_[end];
+        if (std::isalnum(static_cast<unsigned char>(k)) || k == '_' ||
+            k == '$' || k == '\'') {
+          ++end;
+        } else {
+          break;
+        }
+      }
+      const std::string_view word = text_.substr(pos_, end - pos_);
+      TokKind kind = TokKind::kIdent;
+      if (word == "rec") kind = TokKind::kKwRec;
+      if (word == "new") kind = TokKind::kKwNew;
+      if (word == "pi") kind = TokKind::kKwPi;
+      return make(kind, word.size(), loc);
+    }
+    // Unknown character: surface it as a one-char "identifier" so the
+    // parser reports a coherent error with location.
+    return make(TokKind::kIdent, 1, loc);
+  }
+
+ private:
+  Token make(TokKind kind, std::size_t len, SrcLoc loc) {
+    Token tok{kind, text_.substr(pos_, len), loc};
+    advance(len);
+    return tok;
+  }
+
+  void advance(std::size_t n) {
+    for (std::size_t i = 0; i < n && pos_ < text_.size(); ++i, ++pos_) {
+      if (text_[pos_] == '\n') {
+        ++line_;
+        column_ = 1;
+      } else {
+        ++column_;
+      }
+    }
+  }
+
+  void skip_trivia() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') advance(1);
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        advance(1);
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t column_ = 1;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view text, DiagnosticEngine& diags)
+      : lexer_(text), diags_(diags) {
+    advance();
+  }
+
+  GTypePtr parse_top() {
+    GTypePtr g = parse_or();
+    if (g != nullptr && current_.kind != TokKind::kEnd) {
+      error("unexpected trailing input");
+      return nullptr;
+    }
+    return g;
+  }
+
+ private:
+  void advance() { current_ = lexer_.next(); }
+
+  bool accept(TokKind kind) {
+    if (current_.kind != kind) return false;
+    advance();
+    return true;
+  }
+
+  bool expect(TokKind kind, const char* what) {
+    if (accept(kind)) return true;
+    error(std::string("expected ") + what);
+    return false;
+  }
+
+  void error(std::string message) {
+    if (!failed_) {
+      diags_.error(current_.loc,
+                   message + " (found '" +
+                       (current_.kind == TokKind::kEnd
+                            ? std::string("<end>")
+                            : std::string(current_.text)) +
+                       "')");
+    }
+    failed_ = true;
+  }
+
+  std::optional<Symbol> parse_ident(const char* what) {
+    if (current_.kind != TokKind::kIdent) {
+      error(std::string("expected ") + what);
+      return std::nullopt;
+    }
+    const Symbol s = Symbol::intern(current_.text);
+    advance();
+    return s;
+  }
+
+  // idents ';' idents inside brackets; empty lists allowed.
+  bool parse_vertex_lists(std::vector<Symbol>& spawn,
+                          std::vector<Symbol>& touch) {
+    if (!expect(TokKind::kLBracket, "'['")) return false;
+    if (!parse_ident_list(spawn, TokKind::kSemi)) return false;
+    if (!expect(TokKind::kSemi, "';' between vertex lists")) return false;
+    if (!parse_ident_list(touch, TokKind::kRBracket)) return false;
+    return expect(TokKind::kRBracket, "']'");
+  }
+
+  bool parse_ident_list(std::vector<Symbol>& out, TokKind terminator) {
+    if (current_.kind == terminator) return true;  // empty list
+    for (;;) {
+      auto id = parse_ident("vertex name");
+      if (!id) return false;
+      out.push_back(*id);
+      if (!accept(TokKind::kComma)) return true;
+    }
+  }
+
+  // Lowest precedence: '|'.
+  GTypePtr parse_or() {
+    GTypePtr lhs = parse_seq();
+    if (lhs == nullptr) return nullptr;
+    while (accept(TokKind::kPipe)) {
+      GTypePtr rhs = parse_seq();
+      if (rhs == nullptr) return nullptr;
+      lhs = gt::alt(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  GTypePtr parse_seq() {
+    GTypePtr lhs = parse_postfix();
+    if (lhs == nullptr) return nullptr;
+    while (accept(TokKind::kSemi)) {
+      GTypePtr rhs = parse_postfix();
+      if (rhs == nullptr) return nullptr;
+      lhs = gt::seq(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  GTypePtr parse_postfix() {
+    GTypePtr g = parse_atom();
+    if (g == nullptr) return nullptr;
+    for (;;) {
+      if (accept(TokKind::kSlash)) {
+        auto u = parse_ident("vertex name after '/'");
+        if (!u) return nullptr;
+        g = gt::spawn(std::move(g), *u);
+      } else if (current_.kind == TokKind::kLBracket) {
+        std::vector<Symbol> spawn_args;
+        std::vector<Symbol> touch_args;
+        if (!parse_vertex_lists(spawn_args, touch_args)) return nullptr;
+        g = gt::app(std::move(g), std::move(spawn_args),
+                    std::move(touch_args));
+      } else {
+        return g;
+      }
+    }
+  }
+
+  GTypePtr parse_atom() {
+    switch (current_.kind) {
+      case TokKind::kEmptyGraph:
+        advance();
+        return gt::empty();
+      case TokKind::kTilde: {
+        advance();
+        auto u = parse_ident("vertex name after '~'");
+        if (!u) return nullptr;
+        return gt::touch(*u);
+      }
+      case TokKind::kKwRec: {
+        advance();
+        auto v = parse_ident("graph variable after 'rec'");
+        if (!v) return nullptr;
+        if (!expect(TokKind::kDot, "'.' after binder")) return nullptr;
+        GTypePtr body = parse_or();
+        if (body == nullptr) return nullptr;
+        return gt::rec(*v, std::move(body));
+      }
+      case TokKind::kKwNew: {
+        advance();
+        auto v = parse_ident("vertex name after 'new'");
+        if (!v) return nullptr;
+        if (!expect(TokKind::kDot, "'.' after binder")) return nullptr;
+        GTypePtr body = parse_or();
+        if (body == nullptr) return nullptr;
+        return gt::nu(*v, std::move(body));
+      }
+      case TokKind::kKwPi: {
+        advance();
+        std::vector<Symbol> spawn_params;
+        std::vector<Symbol> touch_params;
+        if (!parse_vertex_lists(spawn_params, touch_params)) return nullptr;
+        if (!expect(TokKind::kDot, "'.' after binder")) return nullptr;
+        GTypePtr body = parse_or();
+        if (body == nullptr) return nullptr;
+        return gt::pi(std::move(spawn_params), std::move(touch_params),
+                      std::move(body));
+      }
+      case TokKind::kIdent: {
+        const Symbol v = Symbol::intern(current_.text);
+        advance();
+        return gt::var(v);
+      }
+      case TokKind::kLParen: {
+        advance();
+        GTypePtr g = parse_or();
+        if (g == nullptr) return nullptr;
+        if (!expect(TokKind::kRParen, "')'")) return nullptr;
+        return g;
+      }
+      default:
+        error("expected a graph type");
+        return nullptr;
+    }
+  }
+
+  Lexer lexer_;
+  DiagnosticEngine& diags_;
+  Token current_;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+GTypePtr parse_gtype(std::string_view text, DiagnosticEngine& diags) {
+  Parser parser(text, diags);
+  GTypePtr result = parser.parse_top();
+  return diags.has_errors() ? nullptr : result;
+}
+
+GTypePtr parse_gtype_or_throw(std::string_view text) {
+  DiagnosticEngine diags;
+  GTypePtr result = parse_gtype(text, diags);
+  if (result == nullptr) {
+    throw std::runtime_error("graph type parse error:\n" + diags.render());
+  }
+  return result;
+}
+
+}  // namespace gtdl

@@ -1,0 +1,34 @@
+// Parser for the ASCII graph-type syntax (see gtype.hpp):
+//
+//   G ::= '1' | '~' ident | ident
+//       | G ';' G                      (left-assoc, ⊕)
+//       | G '|' G                      (left-assoc, ∨, loosest)
+//       | G '/' ident                  (postfix spawn, tightest)
+//       | G '[' idents ';' idents ']'  (postfix application)
+//       | 'rec' ident '.' G | 'new' ident '.' G
+//       | 'pi' '[' idents ';' idents ']' '.' G
+//       | '(' G ')'
+//
+// Binders extend maximally to the right. '#' starts a line comment.
+// Identifiers match [A-Za-z_][A-Za-z0-9_$']*.
+
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "gtdl/gtype/gtype.hpp"
+#include "gtdl/support/diagnostics.hpp"
+
+namespace gtdl {
+
+// Parses a complete graph type; returns nullptr and reports to `diags` on
+// syntax errors.
+[[nodiscard]] GTypePtr parse_gtype(std::string_view text,
+                                   DiagnosticEngine& diags);
+
+// Convenience for tests: parses or throws std::runtime_error with the
+// rendered diagnostics.
+[[nodiscard]] GTypePtr parse_gtype_or_throw(std::string_view text);
+
+}  // namespace gtdl

@@ -1,0 +1,251 @@
+#include "gtdl/gtype/subst.hpp"
+
+#include <stdexcept>
+
+#include "gtdl/support/overloaded.hpp"
+
+namespace gtdl {
+
+namespace {
+
+Symbol apply_subst(const VertexSubst& subst, Symbol u) {
+  auto it = subst.find(u);
+  return it == subst.end() ? u : it->second;
+}
+
+std::vector<Symbol> apply_all(const VertexSubst& subst,
+                              const std::vector<Symbol>& names) {
+  std::vector<Symbol> out;
+  out.reserve(names.size());
+  for (Symbol u : names) out.push_back(apply_subst(subst, u));
+  return out;
+}
+
+// True if any value in `subst` equals `u` — i.e. binding `u` here would
+// capture a substituted-in name.
+bool in_range(const VertexSubst& subst, Symbol u) {
+  for (const auto& [from, to] : subst) {
+    (void)from;
+    if (to == u) return true;
+  }
+  return false;
+}
+
+GTypePtr subst_vertices(const GTypePtr& g, VertexSubst& subst);
+
+// Handles a vertex binder (ν or the Π parameter lists): removes shadowed
+// entries, renames the binder if it would capture, recurses, and restores
+// the substitution. `rebind` rebuilds the node with new names and body.
+template <typename Rebind>
+GTypePtr subst_under_vertex_binder(std::vector<Symbol> bound,
+                                   const GTypePtr& body, VertexSubst& subst,
+                                   const Rebind& rebind) {
+  // Save entries shadowed by the binder and remove them.
+  std::vector<std::pair<Symbol, Symbol>> saved;
+  for (Symbol u : bound) {
+    auto it = subst.find(u);
+    if (it != subst.end()) {
+      saved.emplace_back(it->first, it->second);
+      subst.erase(it);
+    }
+  }
+  // Alpha-rename binders that would capture a substituted-in name.
+  std::vector<std::pair<Symbol, Symbol>> renames;
+  for (Symbol& u : bound) {
+    if (in_range(subst, u)) {
+      const Symbol fresh = Symbol::fresh(u.view());
+      renames.emplace_back(u, fresh);
+      u = fresh;
+    }
+  }
+  for (const auto& [from, to] : renames) subst.emplace(from, to);
+
+  GTypePtr new_body = subst_vertices(body, subst);
+
+  for (const auto& [from, to] : renames) {
+    (void)to;
+    subst.erase(from);
+  }
+  for (const auto& [from, to] : saved) subst.emplace(from, to);
+  return rebind(std::move(bound), std::move(new_body));
+}
+
+GTypePtr subst_vertices(const GTypePtr& g, VertexSubst& subst) {
+  if (subst.empty()) return g;
+  return std::visit(
+      Overloaded{
+          [&](const GTEmpty&) { return g; },
+          [&](const GTSeq& node) {
+            return gt::seq(subst_vertices(node.lhs, subst),
+                           subst_vertices(node.rhs, subst));
+          },
+          [&](const GTOr& node) {
+            return gt::alt(subst_vertices(node.lhs, subst),
+                           subst_vertices(node.rhs, subst));
+          },
+          [&](const GTSpawn& node) {
+            return gt::spawn(subst_vertices(node.body, subst),
+                             apply_subst(subst, node.vertex));
+          },
+          [&](const GTTouch& node) {
+            return gt::touch(apply_subst(subst, node.vertex));
+          },
+          [&](const GTRec& node) {
+            return gt::rec(node.var, subst_vertices(node.body, subst));
+          },
+          [&](const GTVar&) { return g; },
+          [&](const GTNew& node) {
+            return subst_under_vertex_binder(
+                {node.vertex}, node.body, subst,
+                [](std::vector<Symbol> bound, GTypePtr body) {
+                  return gt::nu(bound.front(), std::move(body));
+                });
+          },
+          [&](const GTPi& node) {
+            const std::size_t n_spawn = node.spawn_params.size();
+            std::vector<Symbol> bound = node.spawn_params;
+            bound.insert(bound.end(), node.touch_params.begin(),
+                         node.touch_params.end());
+            return subst_under_vertex_binder(
+                std::move(bound), node.body, subst,
+                [n_spawn](std::vector<Symbol> names, GTypePtr body) {
+                  std::vector<Symbol> spawn(
+                      names.begin(),
+                      names.begin() + static_cast<std::ptrdiff_t>(n_spawn));
+                  std::vector<Symbol> touch(
+                      names.begin() + static_cast<std::ptrdiff_t>(n_spawn),
+                      names.end());
+                  return gt::pi(std::move(spawn), std::move(touch),
+                                std::move(body));
+                });
+          },
+          [&](const GTApp& node) {
+            return gt::app(subst_vertices(node.fn, subst),
+                           apply_all(subst, node.spawn_args),
+                           apply_all(subst, node.touch_args));
+          },
+      },
+      g->node);
+}
+
+}  // namespace
+
+GTypePtr substitute_vertices(const GTypePtr& g, const VertexSubst& subst) {
+  VertexSubst working = subst;
+  return subst_vertices(g, working);
+}
+
+namespace {
+
+struct GVarSubst {
+  Symbol var;
+  GTypePtr replacement;
+  // Vertex names free in `replacement`; vertex binders over an occurrence
+  // of `var` must avoid these.
+  OrderedSet<Symbol> replacement_free_vertices;
+};
+
+GTypePtr subst_gvar(const GTypePtr& g, const GVarSubst& ctx);
+
+// Renames the bound vertices `bound` inside `body` if they appear free in
+// the replacement, then substitutes the graph variable in the body.
+template <typename Rebind>
+GTypePtr gvar_under_vertex_binder(std::vector<Symbol> bound,
+                                  const GTypePtr& body, const GVarSubst& ctx,
+                                  const Rebind& rebind) {
+  // Only rename when the binder body actually mentions the graph variable
+  // (otherwise substitution below is the identity and capture is moot).
+  VertexSubst renames;
+  for (Symbol& u : bound) {
+    if (ctx.replacement_free_vertices.contains(u)) {
+      const Symbol fresh = Symbol::fresh(u.view());
+      renames.emplace(u, fresh);
+      u = fresh;
+    }
+  }
+  GTypePtr new_body =
+      renames.empty() ? body : substitute_vertices(body, renames);
+  return rebind(std::move(bound), subst_gvar(new_body, ctx));
+}
+
+GTypePtr subst_gvar(const GTypePtr& g, const GVarSubst& ctx) {
+  return std::visit(
+      Overloaded{
+          [&](const GTEmpty&) { return g; },
+          [&](const GTSeq& node) {
+            return gt::seq(subst_gvar(node.lhs, ctx),
+                           subst_gvar(node.rhs, ctx));
+          },
+          [&](const GTOr& node) {
+            return gt::alt(subst_gvar(node.lhs, ctx),
+                           subst_gvar(node.rhs, ctx));
+          },
+          [&](const GTSpawn& node) {
+            return gt::spawn(subst_gvar(node.body, ctx), node.vertex);
+          },
+          [&](const GTTouch&) { return g; },
+          [&](const GTRec& node) {
+            if (node.var == ctx.var) return g;  // shadowed
+            // μ binds graph variables only; graph variables free in the
+            // replacement must not be captured.
+            if (free_gvars(*ctx.replacement).contains(node.var)) {
+              const Symbol fresh = Symbol::fresh(node.var.view());
+              const GTypePtr renamed_body =
+                  substitute_gvar(node.body, node.var, gt::var(fresh));
+              return gt::rec(fresh, subst_gvar(renamed_body, ctx));
+            }
+            return gt::rec(node.var, subst_gvar(node.body, ctx));
+          },
+          [&](const GTVar& node) {
+            return node.var == ctx.var ? ctx.replacement : g;
+          },
+          [&](const GTNew& node) {
+            return gvar_under_vertex_binder(
+                {node.vertex}, node.body, ctx,
+                [](std::vector<Symbol> bound, GTypePtr body) {
+                  return gt::nu(bound.front(), std::move(body));
+                });
+          },
+          [&](const GTPi& node) {
+            const std::size_t n_spawn = node.spawn_params.size();
+            std::vector<Symbol> bound = node.spawn_params;
+            bound.insert(bound.end(), node.touch_params.begin(),
+                         node.touch_params.end());
+            return gvar_under_vertex_binder(
+                std::move(bound), node.body, ctx,
+                [n_spawn](std::vector<Symbol> names, GTypePtr body) {
+                  std::vector<Symbol> spawn(
+                      names.begin(),
+                      names.begin() + static_cast<std::ptrdiff_t>(n_spawn));
+                  std::vector<Symbol> touch(
+                      names.begin() + static_cast<std::ptrdiff_t>(n_spawn),
+                      names.end());
+                  return gt::pi(std::move(spawn), std::move(touch),
+                                std::move(body));
+                });
+          },
+          [&](const GTApp& node) {
+            return gt::app(subst_gvar(node.fn, ctx), node.spawn_args,
+                           node.touch_args);
+          },
+      },
+      g->node);
+}
+
+}  // namespace
+
+GTypePtr substitute_gvar(const GTypePtr& g, Symbol var,
+                         const GTypePtr& replacement) {
+  GVarSubst ctx{var, replacement, free_vertices(*replacement)};
+  return subst_gvar(g, ctx);
+}
+
+GTypePtr unroll_rec(const GTypePtr& g) {
+  const auto* rec = std::get_if<GTRec>(&g->node);
+  if (rec == nullptr) {
+    throw std::invalid_argument("unroll_rec: not a recursive graph type");
+  }
+  return substitute_gvar(rec->body, rec->var, g);
+}
+
+}  // namespace gtdl

@@ -1,0 +1,36 @@
+// Capture-avoiding substitution over graph types.
+//
+// Normalization (Fig. 3) needs two substitution forms:
+//   G[u'/u]   — replace free occurrences of vertex u by u' (ν instantiation
+//               and Π-application),
+//   G[G'/γ]   — replace free occurrences of graph variable γ by G'
+//               (μ unrolling).
+//
+// Both are capture-avoiding: binders (ν/Π for vertices, μ for graph
+// variables) that would capture a name free in the replacement are
+// alpha-renamed to fresh names on the way down.
+
+#pragma once
+
+#include <unordered_map>
+
+#include "gtdl/gtype/gtype.hpp"
+
+namespace gtdl {
+
+using VertexSubst = std::unordered_map<Symbol, Symbol>;
+
+// Applies `subst` to the free vertex occurrences of `g`. Names not in the
+// map are unchanged.
+[[nodiscard]] GTypePtr substitute_vertices(const GTypePtr& g,
+                                           const VertexSubst& subst);
+
+// G[replacement/var] for a graph variable.
+[[nodiscard]] GTypePtr substitute_gvar(const GTypePtr& g, Symbol var,
+                                       const GTypePtr& replacement);
+
+// One step of μ-unrolling: for g = μγ.B, returns B[μγ.B/γ]. Precondition:
+// g is a GTRec (checked; throws std::invalid_argument otherwise).
+[[nodiscard]] GTypePtr unroll_rec(const GTypePtr& g);
+
+}  // namespace gtdl

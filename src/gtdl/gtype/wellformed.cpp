@@ -1,0 +1,284 @@
+#include "gtdl/gtype/wellformed.hpp"
+
+#include <optional>
+#include <unordered_map>
+
+#include "gtdl/support/overloaded.hpp"
+
+namespace gtdl {
+
+namespace {
+
+class WfChecker {
+ public:
+  explicit WfChecker(DiagnosticEngine& diags) : diags_(diags) {}
+
+  struct Outcome {
+    GraphKind kind;
+    OrderedSet<Symbol> consumed;
+  };
+
+  // `avail` is the affine spawn context (threaded); `scope_` the set of
+  // vertex names visible for touching. Returns nullopt after reporting on
+  // failure.
+  std::optional<Outcome> check(const GTypePtr& g, OrderedSet<Symbol> avail) {
+    return std::visit(
+        Overloaded{
+            [&](const GTEmpty&) {
+              return std::optional<Outcome>(Outcome{GraphKind::star(), {}});
+            },
+            [&](const GTSeq& node) -> std::optional<Outcome> {
+              auto lhs = check_star(node.lhs, avail, "left of ';'");
+              if (!lhs) return std::nullopt;
+              auto rhs = check_star(node.rhs,
+                                    avail.set_difference(lhs->consumed),
+                                    "right of ';'");
+              if (!rhs) return std::nullopt;
+              return Outcome{GraphKind::star(),
+                             lhs->consumed.set_union(rhs->consumed)};
+            },
+            [&](const GTOr& node) -> std::optional<Outcome> {
+              auto lhs = check_star(node.lhs, avail, "left of '|'");
+              if (!lhs) return std::nullopt;
+              auto rhs = check_star(node.rhs, avail, "right of '|'");
+              if (!rhs) return std::nullopt;
+              // Affine: branches may consume different subsets.
+              return Outcome{GraphKind::star(),
+                             lhs->consumed.set_union(rhs->consumed)};
+            },
+            [&](const GTSpawn& node) -> std::optional<Outcome> {
+              if (!avail.contains(node.vertex)) {
+                fail("vertex '" + node.vertex.str() +
+                     "' is not available for spawning (unbound or already "
+                     "spawned)");
+                return std::nullopt;
+              }
+              avail.erase(node.vertex);
+              auto body = check_star(node.body, std::move(avail),
+                                     "future body of '/'");
+              if (!body) return std::nullopt;
+              OrderedSet<Symbol> consumed = body->consumed;
+              consumed.insert(node.vertex);
+              return Outcome{GraphKind::star(), std::move(consumed)};
+            },
+            [&](const GTTouch& node) -> std::optional<Outcome> {
+              if (!scope_.contains(node.vertex)) {
+                fail("touched vertex '" + node.vertex.str() +
+                     "' is not in scope");
+                return std::nullopt;
+              }
+              return std::optional<Outcome>(Outcome{GraphKind::star(), {}});
+            },
+            [&](const GTRec& node) -> std::optional<Outcome> {
+              // μγ.Πūf;ūt.G (a bare body is treated as Π[;].G). Affine
+              // resources must not be captured by a recursive binding, so
+              // the body sees only its own parameters.
+              return check_rec(node);
+            },
+            [&](const GTVar& node) -> std::optional<Outcome> {
+              auto it = gvars_.find(node.var);
+              if (it == gvars_.end()) {
+                fail("unbound graph variable '" + node.var.str() + "'");
+                return std::nullopt;
+              }
+              return Outcome{it->second, {}};
+            },
+            [&](const GTNew& node) -> std::optional<Outcome> {
+              ScopedVertex bind(*this, node.vertex);
+              if (!bind.ok()) return std::nullopt;
+              avail.insert(node.vertex);
+              auto body =
+                  check_star(node.body, std::move(avail), "body of 'new'");
+              if (!body) return std::nullopt;
+              OrderedSet<Symbol> consumed = body->consumed;
+              consumed.erase(node.vertex);
+              return Outcome{GraphKind::star(), std::move(consumed)};
+            },
+            [&](const GTPi& node) -> std::optional<Outcome> {
+              return check_pi(node, std::move(avail));
+            },
+            [&](const GTApp& node) -> std::optional<Outcome> {
+              auto fn = check(node.fn, avail);
+              if (!fn) return std::nullopt;
+              if (!fn->kind.is_pi) {
+                fail("applied graph type has kind * (expected a pi kind)");
+                return std::nullopt;
+              }
+              if (fn->kind.spawn_arity != node.spawn_args.size() ||
+                  fn->kind.touch_arity != node.touch_args.size()) {
+                fail("application arity mismatch: type expects [" +
+                     std::to_string(fn->kind.spawn_arity) + ";" +
+                     std::to_string(fn->kind.touch_arity) + "], got [" +
+                     std::to_string(node.spawn_args.size()) + ";" +
+                     std::to_string(node.touch_args.size()) + "]");
+                return std::nullopt;
+              }
+              OrderedSet<Symbol> remaining =
+                  avail.set_difference(fn->consumed);
+              OrderedSet<Symbol> consumed = fn->consumed;
+              for (Symbol u : node.spawn_args) {
+                if (!remaining.contains(u)) {
+                  fail("spawn argument '" + u.str() +
+                       "' is not available (unbound or already spawned)");
+                  return std::nullopt;
+                }
+                remaining.erase(u);
+                consumed.insert(u);
+              }
+              for (Symbol u : node.touch_args) {
+                if (!scope_.contains(u)) {
+                  fail("touch argument '" + u.str() + "' is not in scope");
+                  return std::nullopt;
+                }
+              }
+              return Outcome{GraphKind::star(), std::move(consumed)};
+            },
+        },
+        g->node);
+  }
+
+ private:
+  // Binds a vertex name in scope_ for the current lexical extent; rejects
+  // shadowing (graph types produced by inference never shadow, and the
+  // freshness side conditions of the paper assume distinct names).
+  class ScopedVertex {
+   public:
+    ScopedVertex(WfChecker& checker, Symbol vertex)
+        : checker_(checker), vertex_(vertex) {
+      if (checker_.scope_.contains(vertex)) {
+        checker_.fail("vertex binder '" + vertex.str() +
+                      "' shadows an existing vertex of the same name");
+        ok_ = false;
+        return;
+      }
+      checker_.scope_.insert(vertex);
+    }
+    ~ScopedVertex() {
+      if (ok_) checker_.scope_.erase(vertex_);
+    }
+    ScopedVertex(const ScopedVertex&) = delete;
+    ScopedVertex& operator=(const ScopedVertex&) = delete;
+    [[nodiscard]] bool ok() const noexcept { return ok_; }
+
+   private:
+    WfChecker& checker_;
+    Symbol vertex_;
+    bool ok_ = true;
+  };
+
+  std::optional<Outcome> check_star(const GTypePtr& g, OrderedSet<Symbol> avail,
+                                    const char* where) {
+    auto result = check(g, std::move(avail));
+    if (!result) return std::nullopt;
+    if (result->kind.is_pi) {
+      // A Π-kinded type cannot be used directly as a graph. One exception
+      // keeps inference output natural: a zero-arity Π is implicitly
+      // applied to no arguments.
+      if (result->kind.spawn_arity == 0 && result->kind.touch_arity == 0) {
+        result->kind = GraphKind::star();
+        return result;
+      }
+      fail(std::string("expected an ordinary graph type ") + where +
+           ", found kind " + to_string(result->kind));
+      return std::nullopt;
+    }
+    return result;
+  }
+
+  std::optional<Outcome> check_rec(const GTRec& node) {
+    const GTPi* pi = std::get_if<GTPi>(&node.body->node);
+    // Bare recursive types are treated as μγ.Π[;].body.
+    std::vector<Symbol> spawn_params;
+    std::vector<Symbol> touch_params;
+    GTypePtr body = node.body;
+    if (pi != nullptr) {
+      spawn_params = pi->spawn_params;
+      touch_params = pi->touch_params;
+      body = pi->body;
+    }
+    const GraphKind kind =
+        GraphKind::pi(spawn_params.size(), touch_params.size());
+
+    std::vector<std::unique_ptr<ScopedVertex>> bindings;
+    OrderedSet<Symbol> inner_avail;
+    if (!bind_params(spawn_params, touch_params, bindings, inner_avail)) {
+      return std::nullopt;
+    }
+    auto saved = gvars_.find(node.var);
+    const bool had = saved != gvars_.end();
+    const GraphKind saved_kind = had ? saved->second : GraphKind{};
+    gvars_[node.var] = kind;
+    auto result = check_star(body, std::move(inner_avail), "body of 'rec'");
+    if (had) {
+      gvars_[node.var] = saved_kind;
+    } else {
+      gvars_.erase(node.var);
+    }
+    if (!result) return std::nullopt;
+    // Affine: parameters need not be consumed. Nothing escapes.
+    return Outcome{kind, {}};
+  }
+
+  std::optional<Outcome> check_pi(const GTPi& node, OrderedSet<Symbol> avail) {
+    std::vector<std::unique_ptr<ScopedVertex>> bindings;
+    OrderedSet<Symbol> inner_avail = std::move(avail);
+    if (!bind_params(node.spawn_params, node.touch_params, bindings,
+                     inner_avail)) {
+      return std::nullopt;
+    }
+    auto result = check_star(node.body, std::move(inner_avail),
+                             "body of 'pi'");
+    if (!result) return std::nullopt;
+    OrderedSet<Symbol> consumed = result->consumed;
+    for (Symbol u : node.spawn_params) consumed.erase(u);
+    return Outcome{GraphKind::pi(node.spawn_params.size(),
+                                 node.touch_params.size()),
+                   std::move(consumed)};
+  }
+
+  bool bind_params(const std::vector<Symbol>& spawn_params,
+                   const std::vector<Symbol>& touch_params,
+                   std::vector<std::unique_ptr<ScopedVertex>>& bindings,
+                   OrderedSet<Symbol>& avail) {
+    for (Symbol u : spawn_params) {
+      bindings.push_back(std::make_unique<ScopedVertex>(*this, u));
+      if (!bindings.back()->ok()) return false;
+      avail.insert(u);
+    }
+    for (Symbol u : touch_params) {
+      // A vertex may be both a spawn and a touch parameter (the spawn
+      // binding already put it in scope).
+      if (scope_.contains(u)) continue;
+      bindings.push_back(std::make_unique<ScopedVertex>(*this, u));
+      if (!bindings.back()->ok()) return false;
+    }
+    return true;
+  }
+
+  void fail(std::string message) { diags_.error(std::move(message)); }
+
+  DiagnosticEngine& diags_;
+  OrderedSet<Symbol> scope_;
+  std::unordered_map<Symbol, GraphKind> gvars_;
+};
+
+}  // namespace
+
+WellformedResult check_wellformed(const GTypePtr& g) {
+  WellformedResult result;
+  if (g == nullptr) {
+    result.diags.error("null graph type");
+    return result;
+  }
+  WfChecker checker(result.diags);
+  auto outcome = checker.check(g, OrderedSet<Symbol>{});
+  if (!outcome || result.diags.has_errors()) {
+    result.ok = false;
+    return result;
+  }
+  result.ok = true;
+  result.kind = outcome->kind;
+  return result;
+}
+
+}  // namespace gtdl

@@ -1,0 +1,33 @@
+// Well-formedness kinding of graph types (the judgment of the original
+// graph-types paper, reconstructed from §2.3/§4.1 of the deadlock paper).
+//
+// Well-formedness guarantees a graph type cannot normalize to graphs with
+// duplicate vertex names: vertices usable for spawning are treated as an
+// AFFINE resource (used at most once), while touches are unrestricted but
+// must reference a vertex that is in scope. This is the judgment the
+// deadlock-freedom system of Fig. 4 strengthens (affine → linear, and
+// touchability deferred until after the spawn).
+//
+// The analysis is algorithmic: contexts are threaded and each subterm
+// reports which spawn-capable vertices it consumed, which resolves the
+// declarative rules' nondeterministic context splits.
+
+#pragma once
+
+#include "gtdl/gtype/gtype.hpp"
+#include "gtdl/gtype/kind.hpp"
+#include "gtdl/support/diagnostics.hpp"
+
+namespace gtdl {
+
+struct WellformedResult {
+  bool ok = false;
+  GraphKind kind;
+  DiagnosticEngine diags;
+};
+
+// Checks a closed graph type (no free graph variables; free vertices are
+// rejected with a diagnostic).
+[[nodiscard]] WellformedResult check_wellformed(const GTypePtr& g);
+
+}  // namespace gtdl

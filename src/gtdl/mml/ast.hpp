@@ -1,0 +1,160 @@
+// MiniML — a second, deliberately different frontend for the same graph
+// type IR.
+//
+// The paper's central claim is language-agnosticism: the analysis
+// consumes graph types, so any language whose frontend emits them is
+// covered. FutLang (gtdl/frontend) is imperative and statement-based;
+// MiniML is an OCaml-flavoured, expression-based functional language
+// with `let .. in`, `match` on lists, and ML type spellings (`int
+// future`, `int list`). Both lower to gtdl::GTypePtr and share the
+// detector, the baseline and the dynamic policies unchanged — and the
+// test suite checks that equivalent programs in the two languages infer
+// alpha-EQUAL graph types.
+//
+// Surface syntax:
+//
+//   let rec dac (n : int) : int =
+//     if n < 2 then n
+//     else
+//       let h : int future = newfut () in
+//       spawn h (dac (n - 1));
+//       let right = dac (n - 2) in
+//       let left = touch h in
+//       left + right
+//
+//   let main () : unit = print (string_of_int (dac 10))
+//
+// Futures follow the paper's model exactly: `newfut ()` creates an
+// uninitialized handle, `spawn h e` (imperative, unit-valued) installs
+// the asynchronous computation e, `touch h` blocks and returns its
+// value.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "gtdl/frontend/types.hpp"  // reuse the Type representation
+#include "gtdl/support/diagnostics.hpp"
+#include "gtdl/support/symbol.hpp"
+
+namespace gtdl::mml {
+
+struct MExpr;
+using MExprPtr = std::unique_ptr<MExpr>;
+
+struct MInt {
+  std::int64_t value;
+};
+struct MBool {
+  bool value;
+};
+struct MString {
+  std::string value;
+};
+struct MUnit {};
+struct MNil {};  // []
+struct MVar {
+  Symbol name;
+};
+// let [x : T] = e1 in e2   (unit-let `let () = e1 in e2` uses no name)
+struct MLet {
+  std::optional<Symbol> name;
+  TypePtr annotation;  // may be null
+  MExprPtr bound;
+  MExprPtr body;
+};
+struct MIf {
+  MExprPtr cond;
+  MExprPtr then_branch;
+  MExprPtr else_branch;
+};
+// Full first-order application: f e1 .. en
+struct MCall {
+  Symbol callee;
+  std::vector<MExprPtr> args;
+};
+// e1; e2
+struct MSeq {
+  MExprPtr first;
+  MExprPtr second;
+};
+struct MNewFut {};  // newfut () — element type from the let annotation
+struct MSpawn {
+  MExprPtr handle;
+  MExprPtr body;  // evaluated asynchronously by the future thread
+};
+struct MTouch {
+  MExprPtr handle;
+};
+// e1 :: e2
+struct MCons {
+  MExprPtr head;
+  MExprPtr tail;
+};
+// match e with | [] -> e1 | x :: xs -> e2
+struct MMatch {
+  MExprPtr scrutinee;
+  MExprPtr nil_case;
+  Symbol head_name;
+  Symbol tail_name;
+  MExprPtr cons_case;
+};
+enum class MBinOp : unsigned char {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr, kConcat,  // ^
+};
+struct MBin {
+  MBinOp op;
+  MExprPtr lhs;
+  MExprPtr rhs;
+};
+struct MNeg {
+  MExprPtr operand;
+};
+struct MNot {
+  MExprPtr operand;
+};
+
+struct MExpr {
+  std::variant<MInt, MBool, MString, MUnit, MNil, MVar, MLet, MIf, MCall,
+               MSeq, MNewFut, MSpawn, MTouch, MCons, MMatch, MBin, MNeg,
+               MNot>
+      node;
+  SrcLoc loc;
+  TypePtr type;  // filled by the type checker
+};
+
+struct MParam {
+  Symbol name;
+  TypePtr type;
+  SrcLoc loc;
+};
+
+// let [rec] f (x1 : T1) .. (xn : Tn) : R = body
+// A parameterless definition is spelled `let main () : unit = ...`.
+struct MDef {
+  Symbol name;
+  bool recursive = false;
+  std::vector<MParam> params;
+  TypePtr return_type;
+  MExprPtr body;
+  SrcLoc loc;
+};
+
+struct MProgram {
+  std::vector<MDef> defs;
+
+  [[nodiscard]] const MDef* find(Symbol name) const {
+    for (const MDef& def : defs) {
+      if (def.name == name) return &def;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace gtdl::mml

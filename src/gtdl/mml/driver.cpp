@@ -1,0 +1,34 @@
+#include "gtdl/mml/driver.hpp"
+
+#include <stdexcept>
+
+#include "gtdl/mml/parser.hpp"
+#include "gtdl/mml/typecheck.hpp"
+
+namespace gtdl::mml {
+
+std::optional<CompiledMml> compile_mml(std::string_view source,
+                                       DiagnosticEngine& diags,
+                                       const InferOptions& options) {
+  auto program = parse_mml(source, diags);
+  if (!program) return std::nullopt;
+  if (!typecheck_mml(*program, diags)) return std::nullopt;
+  auto inferred = infer_mml_graph_types(*program, diags, options);
+  if (!inferred) return std::nullopt;
+  CompiledMml out;
+  out.program = std::move(*program);
+  out.inferred = std::move(*inferred);
+  return out;
+}
+
+CompiledMml compile_mml_or_throw(std::string_view source,
+                                 const InferOptions& options) {
+  DiagnosticEngine diags;
+  auto compiled = compile_mml(source, diags, options);
+  if (!compiled) {
+    throw std::runtime_error("MiniML compilation failed:\n" + diags.render());
+  }
+  return std::move(*compiled);
+}
+
+}  // namespace gtdl::mml

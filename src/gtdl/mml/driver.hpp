@@ -1,0 +1,25 @@
+// MiniML pipeline: source -> AST -> types -> graph types.
+
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "gtdl/mml/ast.hpp"
+#include "gtdl/mml/infer.hpp"
+
+namespace gtdl::mml {
+
+struct CompiledMml {
+  MProgram program;
+  InferredProgram inferred;
+};
+
+[[nodiscard]] std::optional<CompiledMml> compile_mml(
+    std::string_view source, DiagnosticEngine& diags,
+    const InferOptions& options = {});
+
+[[nodiscard]] CompiledMml compile_mml_or_throw(std::string_view source,
+                                               const InferOptions& options = {});
+
+}  // namespace gtdl::mml

@@ -1,0 +1,353 @@
+#include "gtdl/mml/infer.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "gtdl/mml/typecheck.hpp"
+#include "gtdl/support/overloaded.hpp"
+
+namespace gtdl::mml {
+
+namespace {
+
+struct AbstractVal {
+  enum class Kind : unsigned char { kNotFuture, kVertex, kOpaque };
+  Kind kind = Kind::kNotFuture;
+  Symbol vertex;
+
+  static AbstractVal not_future() { return {}; }
+  static AbstractVal of_vertex(Symbol v) { return {Kind::kVertex, v}; }
+  static AbstractVal opaque() { return {Kind::kOpaque, Symbol{}}; }
+};
+
+class Inferencer {
+ public:
+  Inferencer(const MProgram& program, DiagnosticEngine& diags,
+             const InferOptions& options)
+      : program_(program), diags_(diags), options_(options) {}
+
+  std::optional<InferredProgram> run() {
+    InferredProgram result;
+    infos_ = &result.functions;
+    for (const MDef& def : program_.defs) {
+      declared_.insert(def.name);
+      auto info = infer_def(def);
+      if (!info) return std::nullopt;
+      result.functions.emplace(def.name, std::move(*info));
+    }
+    auto main_it = result.functions.find(Symbol::intern("main"));
+    if (main_it == result.functions.end()) {
+      diags_.error("program has no 'main' definition");
+      return std::nullopt;
+    }
+    result.program_gtype = main_it->second.gtype;
+    return result;
+  }
+
+ private:
+  std::optional<FunctionGraphInfo> infer_def(const MDef& def) {
+    FunctionGraphInfo info;
+    info.name = def.name;
+    info.recursive = def.recursive;
+    for (std::size_t i = 0; i < def.params.size(); ++i) {
+      if (is_future(*def.params[i].type)) {
+        info.future_params.push_back(i);
+        info.vertices.push_back(Symbol::intern(def.name.str() + "_" +
+                                               def.params[i].name.str()));
+      }
+    }
+    info.usage.assign(info.future_params.size(), ParamUsage{});
+
+    GTypePtr body_graph;
+    bool converged = false;
+    for (unsigned iter = 1; iter <= options_.max_signature_iterations;
+         ++iter) {
+      info.iterations = iter;
+      WalkState state;
+      state.def = &def;
+      state.info = &info;
+      state.usage.assign(info.future_params.size(), ParamUsage{});
+      state.env.emplace_back();
+      for (std::size_t k = 0; k < info.future_params.size(); ++k) {
+        state.env.back().emplace(
+            def.params[info.future_params[k]].name,
+            AbstractVal::of_vertex(info.vertices[k]));
+      }
+      std::vector<GTypePtr> pieces;
+      (void)walk(*def.body, state, pieces);
+      if (state.failed) return std::nullopt;
+      body_graph = gt::nu_all(
+          state.nu_list,
+          pieces.empty() ? gt::empty() : gt::seq_all(std::move(pieces)));
+      if (state.usage == info.usage) {
+        converged = true;
+        break;
+      }
+      info.usage = std::move(state.usage);
+    }
+    if (!converged) {
+      diags_.error(def.loc,
+                   "graph type of '" + def.name.str() +
+                       "' did not reach a fixed point after " +
+                       std::to_string(options_.max_signature_iterations) +
+                       " inference iterations");
+      return std::nullopt;
+    }
+
+    GTypePtr g = body_graph;
+    if (info.has_classified_params()) {
+      g = gt::pi(info.spawn_vertex_params(), info.touch_vertex_params(),
+                 std::move(g));
+    }
+    if (info.recursive) g = gt::rec(def.name, std::move(g));
+    info.gtype = std::move(g);
+    return info;
+  }
+
+  struct WalkState {
+    const MDef* def = nullptr;
+    const FunctionGraphInfo* info = nullptr;
+    std::vector<ParamUsage> usage;
+    std::vector<Symbol> nu_list;
+    std::vector<std::unordered_map<Symbol, AbstractVal>> env;
+    bool failed = false;
+  };
+
+  void fail(SrcLoc loc, std::string message, WalkState& state) {
+    if (!state.failed) diags_.error(loc, std::move(message));
+    state.failed = true;
+  }
+
+  AbstractVal lookup(Symbol name, const WalkState& state) const {
+    for (auto it = state.env.rbegin(); it != state.env.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return found->second;
+    }
+    return AbstractVal::not_future();
+  }
+
+  void mark_param(Symbol vertex, bool spawned, WalkState& state) const {
+    for (std::size_t k = 0; k < state.info->vertices.size(); ++k) {
+      if (state.info->vertices[k] == vertex) {
+        (spawned ? state.usage[k].spawned : state.usage[k].touched) = true;
+      }
+    }
+  }
+
+  AbstractVal walk(const MExpr& expr, WalkState& state,
+                   std::vector<GTypePtr>& pieces) {
+    return std::visit(
+        Overloaded{
+            [&](const MInt&) { return AbstractVal::not_future(); },
+            [&](const MBool&) { return AbstractVal::not_future(); },
+            [&](const MString&) { return AbstractVal::not_future(); },
+            [&](const MUnit&) { return AbstractVal::not_future(); },
+            [&](const MNil&) { return AbstractVal::not_future(); },
+            [&](const MVar& node) { return lookup(node.name, state); },
+            [&](const MLet& node) {
+              const AbstractVal bound = walk(*node.bound, state, pieces);
+              state.env.emplace_back();
+              if (node.name.has_value()) {
+                state.env.back().emplace(*node.name, bound);
+              }
+              const AbstractVal result = walk(*node.body, state, pieces);
+              state.env.pop_back();
+              return result;
+            },
+            [&](const MIf& node) {
+              (void)walk(*node.cond, state, pieces);
+              std::vector<GTypePtr> then_pieces;
+              const AbstractVal then_val =
+                  walk(*node.then_branch, state, then_pieces);
+              std::vector<GTypePtr> else_pieces;
+              const AbstractVal else_val =
+                  walk(*node.else_branch, state, else_pieces);
+              pieces.push_back(gt::alt(
+                  then_pieces.empty() ? gt::empty()
+                                      : gt::seq_all(std::move(then_pieces)),
+                  else_pieces.empty()
+                      ? gt::empty()
+                      : gt::seq_all(std::move(else_pieces))));
+              return merge(then_val, else_val, *expr.type);
+            },
+            [&](const MCall& node) { return call(expr, node, state, pieces); },
+            [&](const MSeq& node) {
+              (void)walk(*node.first, state, pieces);
+              return walk(*node.second, state, pieces);
+            },
+            [&](const MNewFut&) {
+              const Symbol vertex =
+                  Symbol::fresh(state.def->name.str() + "_u");
+              state.nu_list.push_back(vertex);
+              return AbstractVal::of_vertex(vertex);
+            },
+            [&](const MSpawn& node) {
+              const AbstractVal handle = walk(*node.handle, state, pieces);
+              if (handle.kind != AbstractVal::Kind::kVertex) {
+                fail(expr.loc,
+                     "cannot statically identify the spawned future", state);
+                return AbstractVal::not_future();
+              }
+              mark_param(handle.vertex, /*spawned=*/true, state);
+              std::vector<GTypePtr> body_pieces;
+              (void)walk(*node.body, state, body_pieces);
+              pieces.push_back(gt::spawn(
+                  body_pieces.empty()
+                      ? gt::empty()
+                      : gt::seq_all(std::move(body_pieces)),
+                  handle.vertex));
+              return AbstractVal::not_future();
+            },
+            [&](const MTouch& node) {
+              const AbstractVal handle = walk(*node.handle, state, pieces);
+              if (handle.kind != AbstractVal::Kind::kVertex) {
+                fail(expr.loc,
+                     "cannot statically identify the touched future", state);
+                return AbstractVal::not_future();
+              }
+              mark_param(handle.vertex, /*spawned=*/false, state);
+              pieces.push_back(gt::touch(handle.vertex));
+              return AbstractVal::not_future();
+            },
+            [&](const MCons& node) {
+              (void)walk(*node.head, state, pieces);
+              (void)walk(*node.tail, state, pieces);
+              return AbstractVal::not_future();
+            },
+            [&](const MMatch& node) {
+              (void)walk(*node.scrutinee, state, pieces);
+              std::vector<GTypePtr> nil_pieces;
+              const AbstractVal nil_val =
+                  walk(*node.nil_case, state, nil_pieces);
+              state.env.emplace_back();
+              state.env.back().emplace(node.head_name,
+                                       AbstractVal::not_future());
+              state.env.back().emplace(node.tail_name,
+                                       AbstractVal::not_future());
+              std::vector<GTypePtr> cons_pieces;
+              const AbstractVal cons_val =
+                  walk(*node.cons_case, state, cons_pieces);
+              state.env.pop_back();
+              pieces.push_back(gt::alt(
+                  nil_pieces.empty() ? gt::empty()
+                                     : gt::seq_all(std::move(nil_pieces)),
+                  cons_pieces.empty()
+                      ? gt::empty()
+                      : gt::seq_all(std::move(cons_pieces))));
+              return merge(nil_val, cons_val, *expr.type);
+            },
+            [&](const MBin& node) {
+              (void)walk(*node.lhs, state, pieces);
+              (void)walk(*node.rhs, state, pieces);
+              return AbstractVal::not_future();
+            },
+            [&](const MNeg& node) {
+              (void)walk(*node.operand, state, pieces);
+              return AbstractVal::not_future();
+            },
+            [&](const MNot& node) {
+              (void)walk(*node.operand, state, pieces);
+              return AbstractVal::not_future();
+            },
+        },
+        expr.node);
+  }
+
+  // Joins the abstract values of two branches.
+  static AbstractVal merge(const AbstractVal& a, const AbstractVal& b,
+                           const Type& type) {
+    if (!is_future(type)) return AbstractVal::not_future();
+    if (a.kind == AbstractVal::Kind::kVertex &&
+        b.kind == AbstractVal::Kind::kVertex && a.vertex == b.vertex) {
+      return a;
+    }
+    return AbstractVal::opaque();
+  }
+
+  AbstractVal call(const MExpr& expr, const MCall& node, WalkState& state,
+                   std::vector<GTypePtr>& pieces) {
+    std::vector<AbstractVal> arg_vals;
+    arg_vals.reserve(node.args.size());
+    for (const MExprPtr& arg : node.args) {
+      arg_vals.push_back(walk(*arg, state, pieces));
+    }
+    if (is_mml_builtin(node.callee)) return AbstractVal::not_future();
+
+    const bool self = node.callee == state.def->name;
+    const FunctionGraphInfo* callee_info = nullptr;
+    if (self) {
+      callee_info = state.info;
+    } else {
+      if (declared_.count(node.callee) == 0) {
+        fail(expr.loc,
+             "graph inference requires '" + node.callee.str() +
+                 "' to be defined before this call",
+             state);
+        return AbstractVal::not_future();
+      }
+      auto it = infos_->find(node.callee);
+      if (it == infos_->end()) {
+        fail(expr.loc, "no graph type for '" + node.callee.str() + "'",
+             state);
+        return AbstractVal::not_future();
+      }
+      callee_info = &it->second;
+    }
+
+    std::vector<Symbol> spawn_args;
+    std::vector<Symbol> touch_args;
+    for (std::size_t k = 0; k < callee_info->future_params.size(); ++k) {
+      const ParamUsage u = callee_info->usage[k];
+      if (!u.spawned && !u.touched) continue;
+      const std::size_t arg_index = callee_info->future_params[k];
+      if (arg_index >= arg_vals.size()) continue;  // arity error upstream
+      const AbstractVal& val = arg_vals[arg_index];
+      if (val.kind != AbstractVal::Kind::kVertex) {
+        fail(node.args[arg_index]->loc,
+             "cannot statically identify the future passed to '" +
+                 node.callee.str() + "'",
+             state);
+        return AbstractVal::not_future();
+      }
+      if (u.spawned) {
+        spawn_args.push_back(val.vertex);
+        mark_param(val.vertex, /*spawned=*/true, state);
+      } else if (u.touched) {
+        touch_args.push_back(val.vertex);
+        mark_param(val.vertex, /*spawned=*/false, state);
+      }
+    }
+
+    const bool classified = std::any_of(
+        callee_info->usage.begin(), callee_info->usage.end(),
+        [](const ParamUsage& u) { return u.spawned || u.touched; });
+    GTypePtr fn_node = self ? gt::var(state.def->name) : callee_info->gtype;
+    if (classified) {
+      pieces.push_back(gt::app(std::move(fn_node), std::move(spawn_args),
+                               std::move(touch_args)));
+    } else {
+      pieces.push_back(std::move(fn_node));
+    }
+    return AbstractVal::not_future();
+  }
+
+  const MProgram& program_;
+  DiagnosticEngine& diags_;
+  const InferOptions& options_;
+  std::unordered_set<Symbol> declared_;
+  std::unordered_map<Symbol, FunctionGraphInfo>* infos_ = nullptr;
+};
+
+}  // namespace
+
+std::optional<InferredProgram> infer_mml_graph_types(
+    const MProgram& program, DiagnosticEngine& diags,
+    const InferOptions& options) {
+  Inferencer inferencer(program, diags, options);
+  auto result = inferencer.run();
+  if (diags.has_errors()) return std::nullopt;
+  return result;
+}
+
+}  // namespace gtdl::mml

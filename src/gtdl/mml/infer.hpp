@@ -1,0 +1,29 @@
+// Graph type inference for MiniML.
+//
+// Reuses the signature machinery of the FutLang inferencer (ParamUsage,
+// FunctionGraphInfo, InferOptions, InferredProgram — see
+// gtdl/frontend/infer.hpp) and produces the SAME graph-type IR, which is
+// the whole point: the detector downstream has no idea which language
+// the type came from. The GML-faithful behaviours are preserved:
+// ν binders are hoisted to definition tops and recursive signatures get
+// at most `max_signature_iterations` Mycroft rounds.
+//
+// Restrictions: definitions may call earlier definitions or themselves
+// (with `let rec`); touched/spawned handles must be statically
+// identifiable (e.g. not an `if` yielding two different futures).
+
+#pragma once
+
+#include <optional>
+
+#include "gtdl/frontend/infer.hpp"
+#include "gtdl/mml/ast.hpp"
+
+namespace gtdl::mml {
+
+// Precondition: `program` passed typecheck_mml.
+[[nodiscard]] std::optional<InferredProgram> infer_mml_graph_types(
+    const MProgram& program, DiagnosticEngine& diags,
+    const InferOptions& options = {});
+
+}  // namespace gtdl::mml

@@ -1,0 +1,645 @@
+#include "gtdl/mml/parser.hpp"
+
+#include <cctype>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace gtdl::mml {
+
+namespace {
+
+enum class Tok : unsigned char {
+  kIdent, kInt, kString,
+  kLet, kRec, kIn, kIf, kThen, kElse, kMatch, kWith,
+  kSpawn, kTouch, kNewfut, kTrue, kFalse, kNot, kMod,
+  kTyInt, kTyBool, kTyUnit, kTyString, kTyList, kTyFuture,
+  kLParen, kRParen, kColon, kSemi, kEquals, kArrow, kBar,
+  kPlus, kMinus, kStar, kSlash, kCaret,
+  kNe, kLt, kLe, kGt, kGe, kAndAnd, kOrOr, kColonColon, kNilLit,
+  kEnd, kError,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string_view text;
+  SrcLoc loc;
+  std::int64_t int_value = 0;
+  std::string string_value;
+};
+
+const std::unordered_map<std::string_view, Tok>& keywords() {
+  static const std::unordered_map<std::string_view, Tok> table{
+      {"let", Tok::kLet},       {"rec", Tok::kRec},
+      {"in", Tok::kIn},         {"if", Tok::kIf},
+      {"then", Tok::kThen},     {"else", Tok::kElse},
+      {"match", Tok::kMatch},   {"with", Tok::kWith},
+      {"spawn", Tok::kSpawn},   {"touch", Tok::kTouch},
+      {"newfut", Tok::kNewfut}, {"true", Tok::kTrue},
+      {"false", Tok::kFalse},   {"not", Tok::kNot},
+      {"mod", Tok::kMod},       {"int", Tok::kTyInt},
+      {"bool", Tok::kTyBool},   {"unit", Tok::kTyUnit},
+      {"string", Tok::kTyString}, {"list", Tok::kTyList},
+      {"future", Tok::kTyFuture},
+  };
+  return table;
+}
+
+class Lexer {
+ public:
+  Lexer(std::string_view text, DiagnosticEngine& diags)
+      : text_(text), diags_(diags) {}
+
+  Token next() {
+    skip_trivia();
+    const SrcLoc loc{line_, column_};
+    if (pos_ >= text_.size()) return {Tok::kEnd, {}, loc, 0, {}};
+    const char c = text_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t end = pos_;
+      while (end < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[end]))) {
+        ++end;
+      }
+      Token tok{Tok::kInt, text_.substr(pos_, end - pos_), loc, 0, {}};
+      tok.int_value = std::stoll(std::string(tok.text));
+      advance(end - pos_);
+      return tok;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t end = pos_;
+      while (end < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+              text_[end] == '_' || text_[end] == '\'')) {
+        ++end;
+      }
+      const std::string_view word = text_.substr(pos_, end - pos_);
+      advance(end - pos_);
+      auto it = keywords().find(word);
+      return {it == keywords().end() ? Tok::kIdent : it->second, word, loc,
+              0, {}};
+    }
+    if (c == '"') return lex_string(loc);
+    return lex_punct(loc);
+  }
+
+ private:
+  Token lex_string(SrcLoc loc) {
+    advance(1);
+    std::string value;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size()) {
+        advance(1);
+        switch (text_[pos_]) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          default:
+            diags_.error(SrcLoc{line_, column_}, "unknown escape");
+            c = text_[pos_];
+        }
+      }
+      value += c;
+      advance(1);
+    }
+    if (pos_ >= text_.size()) {
+      diags_.error(loc, "unterminated string literal");
+      return {Tok::kError, {}, loc, 0, {}};
+    }
+    advance(1);
+    Token tok{Tok::kString, {}, loc, 0, std::move(value)};
+    return tok;
+  }
+
+  Token lex_punct(SrcLoc loc) {
+    const auto two = text_.substr(pos_, 2);
+    struct Pair {
+      std::string_view spelling;
+      Tok kind;
+    };
+    static constexpr Pair kTwo[] = {
+        {"->", Tok::kArrow},   {"<>", Tok::kNe},  {"<=", Tok::kLe},
+        {">=", Tok::kGe},      {"&&", Tok::kAndAnd}, {"||", Tok::kOrOr},
+        {"::", Tok::kColonColon}, {"[]", Tok::kNilLit},
+    };
+    for (const Pair& p : kTwo) {
+      if (two == p.spelling) {
+        Token tok{p.kind, two, loc, 0, {}};
+        advance(2);
+        return tok;
+      }
+    }
+    Tok kind = Tok::kError;
+    switch (text_[pos_]) {
+      case '(': kind = Tok::kLParen; break;
+      case ')': kind = Tok::kRParen; break;
+      case ':': kind = Tok::kColon; break;
+      case ';': kind = Tok::kSemi; break;
+      case '=': kind = Tok::kEquals; break;
+      case '|': kind = Tok::kBar; break;
+      case '+': kind = Tok::kPlus; break;
+      case '-': kind = Tok::kMinus; break;
+      case '*': kind = Tok::kStar; break;
+      case '/': kind = Tok::kSlash; break;
+      case '^': kind = Tok::kCaret; break;
+      case '<': kind = Tok::kLt; break;
+      case '>': kind = Tok::kGt; break;
+      default:
+        diags_.error(loc, std::string("unexpected character '") +
+                              text_[pos_] + "'");
+        break;
+    }
+    Token tok{kind, text_.substr(pos_, 1), loc, 0, {}};
+    advance(1);
+    return tok;
+  }
+
+  void advance(std::size_t n) {
+    for (std::size_t i = 0; i < n && pos_ < text_.size(); ++i, ++pos_) {
+      if (text_[pos_] == '\n') {
+        ++line_;
+        column_ = 1;
+      } else {
+        ++column_;
+      }
+    }
+  }
+
+  void skip_trivia() {
+    for (;;) {
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        advance(1);
+      }
+      // (* nested comments *)
+      if (pos_ + 1 < text_.size() && text_[pos_] == '(' &&
+          text_[pos_ + 1] == '*') {
+        int depth = 0;
+        while (pos_ < text_.size()) {
+          if (pos_ + 1 < text_.size() && text_[pos_] == '(' &&
+              text_[pos_ + 1] == '*') {
+            ++depth;
+            advance(2);
+          } else if (pos_ + 1 < text_.size() && text_[pos_] == '*' &&
+                     text_[pos_ + 1] == ')') {
+            --depth;
+            advance(2);
+            if (depth == 0) break;
+          } else {
+            advance(1);
+          }
+        }
+        continue;
+      }
+      break;
+    }
+  }
+
+  std::string_view text_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t column_ = 1;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view text, DiagnosticEngine& diags)
+      : lexer_(text, diags), diags_(diags) {
+    advance();
+  }
+
+  std::optional<MProgram> parse() {
+    MProgram program;
+    while (!at(Tok::kEnd)) {
+      auto def = parse_def();
+      if (!def) return std::nullopt;
+      program.defs.push_back(std::move(*def));
+    }
+    return program;
+  }
+
+ private:
+  void advance() { current_ = lexer_.next(); }
+  [[nodiscard]] bool at(Tok kind) const { return current_.kind == kind; }
+
+  bool accept(Tok kind) {
+    if (!at(kind)) return false;
+    advance();
+    return true;
+  }
+
+  bool expect(Tok kind, const char* what) {
+    if (accept(kind)) return true;
+    error(std::string("expected ") + what);
+    return false;
+  }
+
+  void error(std::string message) {
+    diags_.error(current_.loc,
+                 message + " (found '" +
+                     (at(Tok::kEnd) ? std::string("<end>")
+                                    : std::string(current_.text)) +
+                     "')");
+  }
+
+  std::optional<Symbol> parse_ident(const char* what) {
+    if (!at(Tok::kIdent)) {
+      error(std::string("expected ") + what);
+      return std::nullopt;
+    }
+    const Symbol s = Symbol::intern(current_.text);
+    advance();
+    return s;
+  }
+
+  // --- types: base ('future' | 'list')* ---
+  TypePtr parse_type() {
+    TypePtr base;
+    switch (current_.kind) {
+      case Tok::kTyInt: base = ty::intt(); advance(); break;
+      case Tok::kTyBool: base = ty::boolt(); advance(); break;
+      case Tok::kTyUnit: base = ty::unit(); advance(); break;
+      case Tok::kTyString: base = ty::string(); advance(); break;
+      case Tok::kLParen: {
+        advance();
+        base = parse_type();
+        if (base == nullptr) return nullptr;
+        if (!expect(Tok::kRParen, "')'")) return nullptr;
+        break;
+      }
+      default:
+        error("expected a type");
+        return nullptr;
+    }
+    for (;;) {
+      if (accept(Tok::kTyFuture)) {
+        base = ty::future(std::move(base));
+      } else if (accept(Tok::kTyList)) {
+        base = ty::list(std::move(base));
+      } else {
+        return base;
+      }
+    }
+  }
+
+  std::optional<MDef> parse_def() {
+    const SrcLoc loc = current_.loc;
+    if (!expect(Tok::kLet, "'let'")) return std::nullopt;
+    MDef def;
+    def.loc = loc;
+    def.recursive = accept(Tok::kRec);
+    auto name = parse_ident("definition name");
+    if (!name) return std::nullopt;
+    def.name = *name;
+    while (at(Tok::kLParen)) {
+      advance();
+      if (accept(Tok::kRParen)) continue;  // unit parameter: ()
+      const SrcLoc ploc = current_.loc;
+      auto pname = parse_ident("parameter name");
+      if (!pname) return std::nullopt;
+      if (!expect(Tok::kColon, "':' in parameter")) return std::nullopt;
+      TypePtr ptype = parse_type();
+      if (ptype == nullptr) return std::nullopt;
+      if (!expect(Tok::kRParen, "')'")) return std::nullopt;
+      def.params.push_back(MParam{*pname, std::move(ptype), ploc});
+    }
+    if (!expect(Tok::kColon, "':' before return type")) return std::nullopt;
+    def.return_type = parse_type();
+    if (def.return_type == nullptr) return std::nullopt;
+    if (!expect(Tok::kEquals, "'='")) return std::nullopt;
+    def.body = parse_expr();
+    if (def.body == nullptr) return std::nullopt;
+    return def;
+  }
+
+  // --- expressions ---
+
+  MExprPtr parse_expr() {
+    const SrcLoc loc = current_.loc;
+    if (at(Tok::kLet)) return parse_let();
+    if (accept(Tok::kIf)) {
+      MExprPtr cond = parse_expr();
+      if (cond == nullptr) return nullptr;
+      if (!expect(Tok::kThen, "'then'")) return nullptr;
+      MExprPtr then_branch = parse_expr();
+      if (then_branch == nullptr) return nullptr;
+      if (!expect(Tok::kElse, "'else'")) return nullptr;
+      MExprPtr else_branch = parse_expr();
+      if (else_branch == nullptr) return nullptr;
+      return make(MIf{std::move(cond), std::move(then_branch),
+                      std::move(else_branch)},
+                  loc);
+    }
+    if (accept(Tok::kMatch)) return parse_match(loc);
+    return parse_seq();
+  }
+
+  MExprPtr parse_let() {
+    const SrcLoc loc = current_.loc;
+    advance();  // 'let'
+    if (at(Tok::kRec)) {
+      error("nested 'let rec' is not supported; define it at top level");
+      return nullptr;
+    }
+    std::optional<Symbol> name;
+    TypePtr annotation;
+    if (accept(Tok::kLParen)) {
+      if (!expect(Tok::kRParen, "')' in 'let ()'")) return nullptr;
+    } else {
+      name = parse_ident("binder");
+      if (!name) return nullptr;
+      if (accept(Tok::kColon)) {
+        annotation = parse_type();
+        if (annotation == nullptr) return nullptr;
+      }
+    }
+    if (!expect(Tok::kEquals, "'='")) return nullptr;
+    MExprPtr bound = parse_expr();
+    if (bound == nullptr) return nullptr;
+    if (!expect(Tok::kIn, "'in'")) return nullptr;
+    MExprPtr body = parse_expr();
+    if (body == nullptr) return nullptr;
+    return make(MLet{name, std::move(annotation), std::move(bound),
+                     std::move(body)},
+                loc);
+  }
+
+  MExprPtr parse_match(SrcLoc loc) {
+    MExprPtr scrutinee = parse_expr();
+    if (scrutinee == nullptr) return nullptr;
+    if (!expect(Tok::kWith, "'with'")) return nullptr;
+    accept(Tok::kBar);  // optional leading '|'
+    if (!expect(Tok::kNilLit, "'[]' pattern")) return nullptr;
+    if (!expect(Tok::kArrow, "'->'")) return nullptr;
+    MExprPtr nil_case = parse_expr();
+    if (nil_case == nullptr) return nullptr;
+    if (!expect(Tok::kBar, "'|' before cons pattern")) return nullptr;
+    auto head = parse_ident("head binder");
+    if (!head) return nullptr;
+    if (!expect(Tok::kColonColon, "'::' in pattern")) return nullptr;
+    auto tail = parse_ident("tail binder");
+    if (!tail) return nullptr;
+    if (!expect(Tok::kArrow, "'->'")) return nullptr;
+    MExprPtr cons_case = parse_expr();
+    if (cons_case == nullptr) return nullptr;
+    return make(MMatch{std::move(scrutinee), std::move(nil_case), *head,
+                       *tail, std::move(cons_case)},
+                loc);
+  }
+
+  MExprPtr parse_seq() {
+    MExprPtr first = parse_or();
+    if (first == nullptr) return nullptr;
+    if (at(Tok::kSemi)) {
+      const SrcLoc loc = current_.loc;
+      advance();
+      MExprPtr second = parse_expr();  // right associative, low precedence
+      if (second == nullptr) return nullptr;
+      return make(MSeq{std::move(first), std::move(second)}, loc);
+    }
+    return first;
+  }
+
+  MExprPtr parse_or() {
+    MExprPtr lhs = parse_and();
+    while (lhs != nullptr && at(Tok::kOrOr)) {
+      const SrcLoc loc = current_.loc;
+      advance();
+      MExprPtr rhs = parse_and();
+      if (rhs == nullptr) return nullptr;
+      lhs = make(MBin{MBinOp::kOr, std::move(lhs), std::move(rhs)}, loc);
+    }
+    return lhs;
+  }
+
+  MExprPtr parse_and() {
+    MExprPtr lhs = parse_cmp();
+    while (lhs != nullptr && at(Tok::kAndAnd)) {
+      const SrcLoc loc = current_.loc;
+      advance();
+      MExprPtr rhs = parse_cmp();
+      if (rhs == nullptr) return nullptr;
+      lhs = make(MBin{MBinOp::kAnd, std::move(lhs), std::move(rhs)}, loc);
+    }
+    return lhs;
+  }
+
+  MExprPtr parse_cmp() {
+    MExprPtr lhs = parse_cons();
+    if (lhs == nullptr) return nullptr;
+    MBinOp op;
+    switch (current_.kind) {
+      case Tok::kEquals: op = MBinOp::kEq; break;
+      case Tok::kNe: op = MBinOp::kNe; break;
+      case Tok::kLt: op = MBinOp::kLt; break;
+      case Tok::kLe: op = MBinOp::kLe; break;
+      case Tok::kGt: op = MBinOp::kGt; break;
+      case Tok::kGe: op = MBinOp::kGe; break;
+      default:
+        return lhs;
+    }
+    const SrcLoc loc = current_.loc;
+    advance();
+    MExprPtr rhs = parse_cons();
+    if (rhs == nullptr) return nullptr;
+    return make(MBin{op, std::move(lhs), std::move(rhs)}, loc);
+  }
+
+  MExprPtr parse_cons() {
+    MExprPtr lhs = parse_concat();
+    if (lhs == nullptr) return nullptr;
+    if (at(Tok::kColonColon)) {
+      const SrcLoc loc = current_.loc;
+      advance();
+      MExprPtr rhs = parse_cons();  // right associative
+      if (rhs == nullptr) return nullptr;
+      return make(MCons{std::move(lhs), std::move(rhs)}, loc);
+    }
+    return lhs;
+  }
+
+  MExprPtr parse_concat() {
+    MExprPtr lhs = parse_add();
+    while (lhs != nullptr && at(Tok::kCaret)) {
+      const SrcLoc loc = current_.loc;
+      advance();
+      MExprPtr rhs = parse_add();
+      if (rhs == nullptr) return nullptr;
+      lhs = make(MBin{MBinOp::kConcat, std::move(lhs), std::move(rhs)}, loc);
+    }
+    return lhs;
+  }
+
+  MExprPtr parse_add() {
+    MExprPtr lhs = parse_mul();
+    while (lhs != nullptr && (at(Tok::kPlus) || at(Tok::kMinus))) {
+      const MBinOp op = at(Tok::kPlus) ? MBinOp::kAdd : MBinOp::kSub;
+      const SrcLoc loc = current_.loc;
+      advance();
+      MExprPtr rhs = parse_mul();
+      if (rhs == nullptr) return nullptr;
+      lhs = make(MBin{op, std::move(lhs), std::move(rhs)}, loc);
+    }
+    return lhs;
+  }
+
+  MExprPtr parse_mul() {
+    MExprPtr lhs = parse_unary();
+    while (lhs != nullptr &&
+           (at(Tok::kStar) || at(Tok::kSlash) || at(Tok::kMod))) {
+      MBinOp op = MBinOp::kMul;
+      if (at(Tok::kSlash)) op = MBinOp::kDiv;
+      if (at(Tok::kMod)) op = MBinOp::kMod;
+      const SrcLoc loc = current_.loc;
+      advance();
+      MExprPtr rhs = parse_unary();
+      if (rhs == nullptr) return nullptr;
+      lhs = make(MBin{op, std::move(lhs), std::move(rhs)}, loc);
+    }
+    return lhs;
+  }
+
+  MExprPtr parse_unary() {
+    const SrcLoc loc = current_.loc;
+    if (accept(Tok::kMinus)) {
+      MExprPtr operand = parse_unary();
+      if (operand == nullptr) return nullptr;
+      return make(MNeg{std::move(operand)}, loc);
+    }
+    if (accept(Tok::kNot)) {
+      MExprPtr operand = parse_unary();
+      if (operand == nullptr) return nullptr;
+      return make(MNot{std::move(operand)}, loc);
+    }
+    return parse_app();
+  }
+
+  [[nodiscard]] bool at_atom_start() const {
+    switch (current_.kind) {
+      case Tok::kInt:
+      case Tok::kString:
+      case Tok::kTrue:
+      case Tok::kFalse:
+      case Tok::kIdent:
+      case Tok::kLParen:
+      case Tok::kNilLit:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  MExprPtr parse_app() {
+    const SrcLoc loc = current_.loc;
+    if (accept(Tok::kSpawn)) {
+      MExprPtr handle = parse_atom();
+      if (handle == nullptr) return nullptr;
+      MExprPtr body = parse_atom();
+      if (body == nullptr) return nullptr;
+      return make(MSpawn{std::move(handle), std::move(body)}, loc);
+    }
+    if (accept(Tok::kTouch)) {
+      MExprPtr handle = parse_atom();
+      if (handle == nullptr) return nullptr;
+      return make(MTouch{std::move(handle)}, loc);
+    }
+    if (accept(Tok::kNewfut)) {
+      MExprPtr unit_arg = parse_atom();
+      if (unit_arg == nullptr) return nullptr;
+      if (!std::holds_alternative<MUnit>(unit_arg->node)) {
+        diags_.error(loc, "'newfut' takes '()'");
+        return nullptr;
+      }
+      return make(MNewFut{}, loc);
+    }
+    if (at(Tok::kIdent)) {
+      const Symbol name = Symbol::intern(current_.text);
+      advance();
+      if (!at_atom_start()) return make(MVar{name}, loc);
+      std::vector<MExprPtr> args;
+      while (at_atom_start()) {
+        MExprPtr arg = parse_atom();
+        if (arg == nullptr) return nullptr;
+        args.push_back(std::move(arg));
+      }
+      return make(MCall{name, std::move(args)}, loc);
+    }
+    return parse_atom();
+  }
+
+  MExprPtr parse_atom() {
+    const SrcLoc loc = current_.loc;
+    switch (current_.kind) {
+      case Tok::kInt: {
+        const std::int64_t value = current_.int_value;
+        advance();
+        return make(MInt{value}, loc);
+      }
+      case Tok::kString: {
+        std::string value = current_.string_value;
+        advance();
+        return make(MString{std::move(value)}, loc);
+      }
+      case Tok::kTrue:
+        advance();
+        return make(MBool{true}, loc);
+      case Tok::kFalse:
+        advance();
+        return make(MBool{false}, loc);
+      case Tok::kNilLit:
+        advance();
+        return make(MNil{}, loc);
+      case Tok::kIdent: {
+        const Symbol name = Symbol::intern(current_.text);
+        advance();
+        return make(MVar{name}, loc);
+      }
+      case Tok::kLParen: {
+        advance();
+        if (accept(Tok::kRParen)) return make(MUnit{}, loc);
+        MExprPtr inner = parse_expr();
+        if (inner == nullptr) return nullptr;
+        if (!expect(Tok::kRParen, "')'")) return nullptr;
+        return inner;
+      }
+      default:
+        error("expected an expression");
+        return nullptr;
+    }
+  }
+
+  template <typename Node>
+  static MExprPtr make(Node node, SrcLoc loc) {
+    auto expr = std::make_unique<MExpr>();
+    expr->node = std::move(node);
+    expr->loc = loc;
+    return expr;
+  }
+
+  Lexer lexer_;
+  DiagnosticEngine& diags_;
+  Token current_;
+};
+
+}  // namespace
+
+std::optional<MProgram> parse_mml(std::string_view source,
+                                  DiagnosticEngine& diags) {
+  Parser parser(source, diags);
+  auto program = parser.parse();
+  if (diags.has_errors()) return std::nullopt;
+  return program;
+}
+
+MProgram parse_mml_or_throw(std::string_view source) {
+  DiagnosticEngine diags;
+  auto program = parse_mml(source, diags);
+  if (!program) {
+    throw std::runtime_error("MiniML parse error:\n" + diags.render());
+  }
+  return std::move(*program);
+}
+
+}  // namespace gtdl::mml

@@ -1,0 +1,42 @@
+// MiniML lexer and parser.
+//
+// Grammar (EBNF; `(* .. *)` comments):
+//
+//   program := def*
+//   def     := 'let' ['rec'] IDENT param* ':' type '=' expr
+//   param   := '(' IDENT ':' type ')' | '(' ')'
+//   type    := base ('future' | 'list')*          -- ML postfix
+//   base    := 'int' | 'bool' | 'unit' | 'string' | '(' type ')'
+//   expr    := 'let' (IDENT [':' type] | '(' ')') '=' expr 'in' expr
+//            | 'if' expr 'then' expr 'else' expr
+//            | 'match' expr 'with' ['|'] '[]' '->' expr
+//              '|' IDENT '::' IDENT '->' expr
+//            | seq
+//   seq     := or [';' expr]                      -- right associative
+//   or      := and ('||' and)*
+//   and     := cmp ('&&' cmp)*
+//   cmp     := cons [('=' | '<>' | '<' | '<=' | '>' | '>=') cons]
+//   cons    := concat ['::' cons]                 -- right associative
+//   concat  := add ('^' add)*
+//   add     := mul (('+' | '-') mul)*
+//   mul     := unary (('*' | '/' | 'mod') unary)*
+//   unary   := '-' unary | 'not' unary | app
+//   app     := 'spawn' atom atom | 'touch' atom | 'newfut' atom
+//            | IDENT atom+ | atom
+//   atom    := INT | STRING | 'true' | 'false' | '(' ')' | '[]'
+//            | IDENT | '(' expr ')'
+
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "gtdl/mml/ast.hpp"
+
+namespace gtdl::mml {
+
+[[nodiscard]] std::optional<MProgram> parse_mml(std::string_view source,
+                                                DiagnosticEngine& diags);
+[[nodiscard]] MProgram parse_mml_or_throw(std::string_view source);
+
+}  // namespace gtdl::mml

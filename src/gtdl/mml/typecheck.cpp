@@ -1,0 +1,461 @@
+#include "gtdl/mml/typecheck.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "gtdl/support/overloaded.hpp"
+
+namespace gtdl::mml {
+
+namespace {
+
+const std::unordered_set<std::string_view>& builtin_names() {
+  static const std::unordered_set<std::string_view> names{
+      "print", "string_of_int", "rand",  "length", "hd",
+      "tl",    "append",        "take",  "drop",   "range",
+  };
+  return names;
+}
+
+class Checker {
+ public:
+  Checker(MProgram& program, DiagnosticEngine& diags)
+      : program_(program), diags_(diags) {}
+
+  bool run() {
+    std::unordered_set<Symbol> seen;
+    for (const MDef& def : program_.defs) {
+      if (is_mml_builtin(def.name)) {
+        diags_.error(def.loc,
+                     "definition '" + def.name.str() + "' shadows a builtin");
+      }
+      if (!seen.insert(def.name).second) {
+        diags_.error(def.loc,
+                     "duplicate definition '" + def.name.str() + "'");
+      }
+      if (is_future(*def.return_type)) {
+        diags_.error(def.loc, "'" + def.name.str() +
+                                  "' returns a future; graph inference "
+                                  "cannot track escaping handles");
+      }
+      std::unordered_set<Symbol> params;
+      for (const MParam& p : def.params) {
+        if (!params.insert(p.name).second) {
+          diags_.error(p.loc, "duplicate parameter '" + p.name.str() + "'");
+        }
+        check_type(*p.type, p.loc);
+      }
+    }
+    const MDef* main = program_.find(Symbol::intern("main"));
+    if (main == nullptr) {
+      diags_.error("program has no 'main' definition");
+    } else {
+      if (!main->params.empty()) {
+        diags_.error(main->loc, "'main' must take no parameters");
+      }
+      if (!is_prim(*main->return_type, PrimKind::kUnit)) {
+        diags_.error(main->loc, "'main' must return unit");
+      }
+    }
+    if (diags_.has_errors()) return false;
+    for (MDef& def : program_.defs) check_def(def);
+    return !diags_.has_errors();
+  }
+
+ private:
+  void check_type(const Type& t, SrcLoc loc) {
+    std::visit(Overloaded{
+                   [](const TPrim&) {},
+                   [&](const TList& l) {
+                     if (is_future(*l.element)) {
+                       diags_.error(loc, "future list is not supported");
+                     }
+                     check_type(*l.element, loc);
+                   },
+                   [&](const TFuture& f) {
+                     if (is_future(*f.element)) {
+                       diags_.error(loc, "future future is not supported");
+                     }
+                     check_type(*f.element, loc);
+                   },
+               },
+               t.node);
+  }
+
+  void check_def(MDef& def) {
+    current_ = &def;
+    env_.clear();
+    env_.emplace_back();
+    for (const MParam& p : def.params) env_.back().emplace(p.name, p.type);
+    const TypePtr body = check(*def.body, def.return_type);
+    if (body != nullptr && !type_equal(*body, *def.return_type)) {
+      diags_.error(def.loc, "body of '" + def.name.str() + "' has type " +
+                                to_string(*body) + ", declared " +
+                                to_string(*def.return_type));
+    }
+  }
+
+  TypePtr lookup(Symbol name) const {
+    for (auto it = env_.rbegin(); it != env_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return found->second;
+    }
+    return nullptr;
+  }
+
+  // Checks `expr` with an optional expected type (used to type [] and to
+  // propagate let annotations into newfut).
+  TypePtr check(MExpr& expr, const TypePtr& expected) {
+    const TypePtr type = std::visit(
+        Overloaded{
+            [&](MInt&) { return ty::intt(); },
+            [&](MBool&) { return ty::boolt(); },
+            [&](MString&) { return ty::string(); },
+            [&](MUnit&) { return ty::unit(); },
+            [&](MNil&) -> TypePtr {
+              if (expected == nullptr || !is_list(*expected)) {
+                diags_.error(expr.loc,
+                             "cannot infer the element type of '[]' here; "
+                             "annotate the binding");
+                return nullptr;
+              }
+              return expected;
+            },
+            [&](MVar& node) -> TypePtr {
+              const TypePtr t = lookup(node.name);
+              if (t == nullptr) {
+                diags_.error(expr.loc,
+                             "unbound variable '" + node.name.str() + "'");
+              }
+              return t;
+            },
+            [&](MLet& node) -> TypePtr {
+              TypePtr bound = check(*node.bound, node.annotation);
+              if (node.annotation != nullptr) {
+                if (bound != nullptr &&
+                    !type_equal(*bound, *node.annotation)) {
+                  diags_.error(expr.loc,
+                               "bound expression has type " +
+                                   to_string(*bound) + ", annotation says " +
+                                   to_string(*node.annotation));
+                }
+                bound = node.annotation;
+              }
+              if (bound == nullptr) return nullptr;
+              check_type(*bound, expr.loc);
+              env_.emplace_back();
+              if (node.name.has_value()) {
+                env_.back().emplace(*node.name, bound);
+              } else if (!is_prim(*bound, PrimKind::kUnit)) {
+                diags_.error(expr.loc, "'let () =' expects a unit-valued "
+                                       "expression, got " +
+                                           to_string(*bound));
+              }
+              const TypePtr body = check(*node.body, expected);
+              env_.pop_back();
+              return body;
+            },
+            [&](MIf& node) -> TypePtr {
+              require(*node.cond, ty::boolt(), "if condition");
+              const TypePtr then_type = check(*node.then_branch, expected);
+              const TypePtr else_type = check(*node.else_branch, expected);
+              if (then_type != nullptr && else_type != nullptr &&
+                  !type_equal(*then_type, *else_type)) {
+                diags_.error(expr.loc, "if branches have different types: " +
+                                           to_string(*then_type) + " vs " +
+                                           to_string(*else_type));
+                return nullptr;
+              }
+              return then_type != nullptr ? then_type : else_type;
+            },
+            [&](MCall& node) { return check_call(expr, node, expected); },
+            [&](MSeq& node) -> TypePtr {
+              const TypePtr first = check(*node.first, nullptr);
+              if (first != nullptr && !is_prim(*first, PrimKind::kUnit)) {
+                diags_.error(node.first->loc,
+                             "left of ';' must be unit, got " +
+                                 to_string(*first) +
+                                 " (bind it with 'let')");
+              }
+              return check(*node.second, expected);
+            },
+            [&](MNewFut&) -> TypePtr {
+              if (expected == nullptr || !is_future(*expected)) {
+                diags_.error(expr.loc,
+                             "'newfut ()' needs a future type from its "
+                             "binding, e.g. let h : int future = newfut ()");
+                return nullptr;
+              }
+              return expected;
+            },
+            [&](MSpawn& node) -> TypePtr {
+              const TypePtr handle = check(*node.handle, nullptr);
+              if (handle == nullptr) return ty::unit();
+              if (!is_future(*handle)) {
+                diags_.error(expr.loc, "spawn expects a future handle, got " +
+                                           to_string(*handle));
+                return ty::unit();
+              }
+              const TypePtr element = element_type(*handle);
+              const TypePtr body = check(*node.body, element);
+              if (body != nullptr && !type_equal(*body, *element)) {
+                diags_.error(node.body->loc,
+                             "spawned computation has type " +
+                                 to_string(*body) + ", the handle holds " +
+                                 to_string(*element));
+              }
+              return ty::unit();
+            },
+            [&](MTouch& node) -> TypePtr {
+              const TypePtr handle = check(*node.handle, nullptr);
+              if (handle == nullptr) return nullptr;
+              if (!is_future(*handle)) {
+                diags_.error(expr.loc, "touch expects a future handle, got " +
+                                           to_string(*handle));
+                return nullptr;
+              }
+              return element_type(*handle);
+            },
+            [&](MCons& node) -> TypePtr {
+              const TypePtr head = check(*node.head, nullptr);
+              if (head == nullptr) return nullptr;
+              if (is_future(*head)) {
+                diags_.error(expr.loc, "future list is not supported");
+                return nullptr;
+              }
+              const TypePtr list_type = ty::list(head);
+              const TypePtr tail = check(*node.tail, list_type);
+              if (tail != nullptr && !type_equal(*tail, *list_type)) {
+                diags_.error(node.tail->loc, "'::' expects " +
+                                                 to_string(*list_type) +
+                                                 ", got " + to_string(*tail));
+              }
+              return list_type;
+            },
+            [&](MMatch& node) -> TypePtr {
+              const TypePtr scrutinee = check(*node.scrutinee, nullptr);
+              if (scrutinee == nullptr) return nullptr;
+              if (!is_list(*scrutinee)) {
+                diags_.error(node.scrutinee->loc,
+                             "match scrutinee must be a list, got " +
+                                 to_string(*scrutinee));
+                return nullptr;
+              }
+              const TypePtr nil_type = check(*node.nil_case, expected);
+              env_.emplace_back();
+              env_.back().emplace(node.head_name, element_type(*scrutinee));
+              env_.back().emplace(node.tail_name, scrutinee);
+              const TypePtr cons_type = check(*node.cons_case, expected);
+              env_.pop_back();
+              if (nil_type != nullptr && cons_type != nullptr &&
+                  !type_equal(*nil_type, *cons_type)) {
+                diags_.error(expr.loc,
+                             "match branches have different types: " +
+                                 to_string(*nil_type) + " vs " +
+                                 to_string(*cons_type));
+                return nullptr;
+              }
+              return nil_type != nullptr ? nil_type : cons_type;
+            },
+            [&](MBin& node) { return check_bin(expr, node); },
+            [&](MNeg& node) -> TypePtr {
+              require(*node.operand, ty::intt(), "unary '-'");
+              return ty::intt();
+            },
+            [&](MNot& node) -> TypePtr {
+              require(*node.operand, ty::boolt(), "'not'");
+              return ty::boolt();
+            },
+        },
+        expr.node);
+    expr.type = type;
+    return type;
+  }
+
+  void require(MExpr& expr, const TypePtr& expected, const char* what) {
+    const TypePtr actual = check(expr, expected);
+    if (actual != nullptr && !type_equal(*actual, *expected)) {
+      diags_.error(expr.loc, std::string(what) + " expects " +
+                                 to_string(*expected) + ", got " +
+                                 to_string(*actual));
+    }
+  }
+
+  TypePtr check_bin(MExpr& expr, MBin& node) {
+    switch (node.op) {
+      case MBinOp::kAdd:
+      case MBinOp::kSub:
+      case MBinOp::kMul:
+      case MBinOp::kDiv:
+      case MBinOp::kMod:
+        require(*node.lhs, ty::intt(), "arithmetic");
+        require(*node.rhs, ty::intt(), "arithmetic");
+        return ty::intt();
+      case MBinOp::kConcat:
+        require(*node.lhs, ty::string(), "'^'");
+        require(*node.rhs, ty::string(), "'^'");
+        return ty::string();
+      case MBinOp::kEq:
+      case MBinOp::kNe: {
+        const TypePtr lhs = check(*node.lhs, nullptr);
+        const TypePtr rhs = check(*node.rhs, lhs);
+        if (lhs != nullptr && rhs != nullptr) {
+          if (!type_equal(*lhs, *rhs)) {
+            diags_.error(expr.loc, "cannot compare " + to_string(*lhs) +
+                                       " with " + to_string(*rhs));
+          } else if (is_future(*lhs) || is_list(*lhs)) {
+            diags_.error(expr.loc,
+                         "equality is defined on base types only");
+          }
+        }
+        return ty::boolt();
+      }
+      case MBinOp::kLt:
+      case MBinOp::kLe:
+      case MBinOp::kGt:
+      case MBinOp::kGe:
+        require(*node.lhs, ty::intt(), "comparison");
+        require(*node.rhs, ty::intt(), "comparison");
+        return ty::boolt();
+      case MBinOp::kAnd:
+      case MBinOp::kOr:
+        require(*node.lhs, ty::boolt(), "logical operator");
+        require(*node.rhs, ty::boolt(), "logical operator");
+        return ty::boolt();
+    }
+    return nullptr;
+  }
+
+  TypePtr check_call(MExpr& expr, MCall& node, const TypePtr& expected) {
+    (void)expected;
+    if (is_mml_builtin(node.callee)) return check_builtin(expr, node);
+    if (current_ != nullptr && node.callee == current_->name &&
+        !current_->recursive) {
+      diags_.error(expr.loc, "'" + node.callee.str() +
+                                 "' is not in scope in its own body; use "
+                                 "'let rec'");
+    }
+    const MDef* callee = program_.find(node.callee);
+    if (callee == nullptr) {
+      diags_.error(expr.loc,
+                   "call to unknown definition '" + node.callee.str() + "'");
+      for (MExprPtr& arg : node.args) check(*arg, nullptr);
+      return nullptr;
+    }
+    // A parameterless definition is invoked as `f ()`.
+    if (callee->params.empty()) {
+      if (node.args.size() != 1 ||
+          !std::holds_alternative<MUnit>(node.args[0]->node)) {
+        diags_.error(expr.loc, "'" + node.callee.str() +
+                                   "' takes '()' (no parameters)");
+      } else {
+        check(*node.args[0], ty::unit());
+      }
+      return callee->return_type;
+    }
+    if (node.args.size() != callee->params.size()) {
+      diags_.error(expr.loc, "'" + node.callee.str() + "' expects " +
+                                 std::to_string(callee->params.size()) +
+                                 " argument(s), got " +
+                                 std::to_string(node.args.size()));
+      return callee->return_type;
+    }
+    for (std::size_t i = 0; i < node.args.size(); ++i) {
+      const TypePtr want = callee->params[i].type;
+      const TypePtr got = check(*node.args[i], want);
+      if (got != nullptr && !type_equal(*got, *want)) {
+        diags_.error(node.args[i]->loc,
+                     "argument " + std::to_string(i + 1) + " of '" +
+                         node.callee.str() + "' expects " +
+                         to_string(*want) + ", got " + to_string(*got));
+      }
+    }
+    return callee->return_type;
+  }
+
+  TypePtr check_builtin(MExpr& expr, MCall& node) {
+    const std::string name = node.callee.str();
+    const auto arity = [&](std::size_t want) {
+      if (node.args.size() == want) return true;
+      diags_.error(expr.loc, "'" + name + "' expects " +
+                                 std::to_string(want) + " argument(s)");
+      return false;
+    };
+    const auto list_arg = [&](std::size_t i) -> TypePtr {
+      const TypePtr t = check(*node.args[i], nullptr);
+      if (t == nullptr) return nullptr;
+      if (!is_list(*t)) {
+        diags_.error(node.args[i]->loc,
+                     "'" + name + "' expects a list, got " + to_string(*t));
+        return nullptr;
+      }
+      return t;
+    };
+    if (name == "print") {
+      if (arity(1)) require(*node.args[0], ty::string(), "'print'");
+      return ty::unit();
+    }
+    if (name == "string_of_int") {
+      if (arity(1)) require(*node.args[0], ty::intt(), "'string_of_int'");
+      return ty::string();
+    }
+    if (name == "rand") {
+      if (arity(1)) require(*node.args[0], ty::unit(), "'rand'");
+      return ty::intt();
+    }
+    if (name == "length") {
+      if (arity(1)) list_arg(0);
+      return ty::intt();
+    }
+    if (name == "hd") {
+      if (!arity(1)) return nullptr;
+      const TypePtr t = list_arg(0);
+      return t == nullptr ? nullptr : element_type(*t);
+    }
+    if (name == "tl") {
+      if (!arity(1)) return nullptr;
+      return list_arg(0);
+    }
+    if (name == "append") {
+      if (!arity(2)) return nullptr;
+      const TypePtr lhs = list_arg(0);
+      if (lhs == nullptr) return nullptr;
+      require(*node.args[1], lhs, "'append'");
+      return lhs;
+    }
+    if (name == "take" || name == "drop") {
+      if (!arity(2)) return nullptr;
+      const TypePtr t = list_arg(0);
+      require(*node.args[1], ty::intt(), name.c_str());
+      return t;
+    }
+    if (name == "range") {
+      if (arity(2)) {
+        require(*node.args[0], ty::intt(), "'range'");
+        require(*node.args[1], ty::intt(), "'range'");
+      }
+      return ty::list(ty::intt());
+    }
+    diags_.error(expr.loc, "unknown builtin '" + name + "'");
+    return nullptr;
+  }
+
+  MProgram& program_;
+  DiagnosticEngine& diags_;
+  std::vector<std::unordered_map<Symbol, TypePtr>> env_;
+  const MDef* current_ = nullptr;
+};
+
+}  // namespace
+
+bool is_mml_builtin(Symbol name) {
+  return builtin_names().count(name.view()) != 0;
+}
+
+bool typecheck_mml(MProgram& program, DiagnosticEngine& diags) {
+  Checker checker(program, diags);
+  return checker.run();
+}
+
+}  // namespace gtdl::mml

@@ -1,0 +1,25 @@
+// MiniML type checker.
+//
+// Checks a parsed program and fills MExpr::type. Rules mirror FutLang's
+// restrictions (they exist for the benefit of graph inference, not the
+// language): no futures in return types, no future future / future list
+// elements... (list of futures is rejected), `newfut ()` requires a type
+// annotation on its binding, and `main` takes no parameters and returns
+// unit.
+//
+// Builtins: print : string -> unit, string_of_int : int -> string,
+// rand : unit -> int, length : T list -> int, hd : T list -> T,
+// tl : T list -> T list, append : T list -> T list -> T list,
+// take/drop : T list -> int -> T list, range : int -> int -> int list.
+
+#pragma once
+
+#include "gtdl/mml/ast.hpp"
+
+namespace gtdl::mml {
+
+[[nodiscard]] bool is_mml_builtin(Symbol name);
+
+[[nodiscard]] bool typecheck_mml(MProgram& program, DiagnosticEngine& diags);
+
+}  // namespace gtdl::mml

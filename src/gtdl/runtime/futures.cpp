@@ -1,0 +1,288 @@
+#include "gtdl/runtime/futures.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "gtdl/support/string_util.hpp"
+
+namespace gtdl {
+
+namespace {
+
+// The future whose body the current thread is executing; null on the
+// main (or any non-runtime) thread.
+thread_local detail::FutureCore* g_current_core = nullptr;
+
+const Symbol kMainName = Symbol::intern("main");
+
+}  // namespace
+
+FutureRuntime::FutureRuntime(RuntimeOptions options)
+    : options_(options) {
+  switch (options_.policy) {
+    case RuntimePolicy::kNone:
+      break;
+    case RuntimePolicy::kTransitiveJoins:
+      monitor_ = std::make_unique<TransitiveJoinsMonitor>();
+      break;
+    case RuntimePolicy::kKnownJoins:
+      monitor_ = std::make_unique<KnownJoinsMonitor>();
+      break;
+  }
+  if (monitor_ != nullptr) {
+    (void)monitor_->on_init(kMainName);
+  }
+  if (options_.record_trace) {
+    trace_.push_back(Action::init(kMainName));
+  }
+}
+
+FutureRuntime::~FutureRuntime() { shutdown(); }
+
+detail::CorePtr FutureRuntime::make_core(std::string_view base) {
+  auto core = std::make_shared<detail::FutureCore>();
+  core->name = Symbol::fresh(base);
+  std::lock_guard<std::mutex> lock(mu_);
+  cores_.push_back(core);
+  ++stats_.futures_created;
+  return core;
+}
+
+Symbol FutureRuntime::current_thread_name() const {
+  return g_current_core != nullptr ? g_current_core->name : kMainName;
+}
+
+void FutureRuntime::record(Action action) {
+  if (options_.record_trace) trace_.push_back(action);
+}
+
+Trace FutureRuntime::trace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_;
+}
+
+RuntimeStats FutureRuntime::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void FutureRuntime::poison(const detail::CorePtr& core, std::string reason) {
+  if (core->state == detail::FutureState::kDone ||
+      core->state == detail::FutureState::kPoisoned) {
+    return;
+  }
+  core->state = detail::FutureState::kPoisoned;
+  core->poison_reason = std::move(reason);
+  ++stats_.futures_poisoned;
+  cv_.notify_all();
+}
+
+bool FutureRuntime::detect_cycle(const detail::CorePtr& from) {
+  // Each blocked future waits on exactly one target, so the waits-for
+  // structure reachable from `from` is a chain; a deadlock shows up as a
+  // revisit.
+  std::vector<detail::CorePtr> path{from};
+  std::unordered_set<const detail::FutureCore*> visited{from.get()};
+  detail::CorePtr node = from->waiting_on;
+  while (node != nullptr) {
+    if (visited.count(node.get()) != 0) {
+      // Cycle: everything on the path can never be satisfied.
+      ++stats_.deadlocks_detected;
+      std::string cycle_desc =
+          join(path, " -> ",
+               [](const detail::CorePtr& c) { return c->name.str(); }) +
+          " -> " + node->name.str();
+      for (const detail::CorePtr& member : path) {
+        poison(member, "deadlock: waits-for cycle " + cycle_desc);
+      }
+      poison(node, "deadlock: waits-for cycle " + cycle_desc);
+      return true;
+    }
+    if (node->state != detail::FutureState::kRunning || !node->blocked) {
+      // The chain ends at a future whose thread can still make progress
+      // (or that is merely unspawned — quiescence handles that case).
+      return false;
+    }
+    visited.insert(node.get());
+    path.push_back(node);
+    node = node->waiting_on;
+  }
+  return false;
+}
+
+void FutureRuntime::check_quiescence() {
+  if (live_unblocked_ != 0) return;
+  // Every thread is blocked — but a waiter whose target already completed
+  // (or was poisoned) is about to wake up, so this is only a deadlock if
+  // NO blocked wait can be satisfied.
+  const auto wakeable = [](const detail::CorePtr& target) {
+    return target != nullptr &&
+           (target->state == detail::FutureState::kDone ||
+            target->state == detail::FutureState::kPoisoned);
+  };
+  for (const detail::CorePtr& core : cores_) {
+    if (core->blocked && wakeable(core->waiting_on)) return;
+  }
+  if (wakeable(main_waiting_on_)) return;
+  // Nobody can run and nobody will wake: every blocked wait is
+  // unsatisfiable.
+  bool any = false;
+  for (const detail::CorePtr& core : cores_) {
+    if (core->blocked && core->waiting_on != nullptr) {
+      any = true;
+      poison(core->waiting_on,
+             "deadlock: no runnable thread can ever complete future '" +
+                 core->waiting_on->name.str() + "'");
+    }
+  }
+  if (main_waiting_on_ != nullptr) {
+    any = true;
+    poison(main_waiting_on_,
+           "deadlock: no runnable thread can ever complete future '" +
+               main_waiting_on_->name.str() + "'");
+  }
+  if (any) ++stats_.deadlocks_detected;
+}
+
+void FutureRuntime::spawn_erased(const detail::CorePtr& core,
+                                 std::function<std::any()> body) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shut_down_ && g_current_core == nullptr) {
+    throw std::logic_error("spawn() on a FutureRuntime after shutdown()");
+  }
+  const Symbol cur = current_thread_name();
+  if (monitor_ != nullptr) {
+    const PolicyStep step = monitor_->on_fork(cur, core->name);
+    if (!step.ok()) {
+      ++stats_.policy_violations;
+      throw PolicyViolationError(monitor_->policy_name() +
+                                 " forbids this spawn: " + step.reason);
+    }
+  }
+  if (core->state != detail::FutureState::kUnspawned) {
+    throw std::logic_error("future '" + core->name.str() +
+                           "' spawned twice");
+  }
+  core->state = detail::FutureState::kRunning;
+  core->has_thread = true;
+  ++stats_.futures_spawned;
+  ++live_unblocked_;  // counted before the thread starts
+  record(Action::fork(cur, core->name));
+  threads_.emplace_back([this, core, fn = std::move(body)]() mutable {
+    run_body(core, std::move(fn));
+  });
+}
+
+void FutureRuntime::run_body(detail::CorePtr core,
+                             std::function<std::any()> body) {
+  g_current_core = core.get();
+  std::any result;
+  bool ok = false;
+  std::string failure;
+  try {
+    result = body();
+    ok = true;
+  } catch (const DeadlockError& e) {
+    failure = e.what();
+  } catch (const PolicyViolationError& e) {
+    failure = e.what();
+  } catch (const std::exception& e) {
+    failure = std::string("future body threw: ") + e.what();
+  } catch (...) {
+    failure = "future body threw a non-standard exception";
+  }
+  g_current_core = nullptr;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (core->state == detail::FutureState::kRunning) {
+    if (ok) {
+      core->state = detail::FutureState::kDone;
+      core->result = std::move(result);
+      ++stats_.futures_completed;
+    } else {
+      poison(core, std::move(failure));
+    }
+  }
+  core->finished_thread = true;
+  --live_unblocked_;
+  check_quiescence();
+  cv_.notify_all();
+}
+
+std::any FutureRuntime::touch_erased(const detail::CorePtr& core) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shut_down_ && g_current_core == nullptr) {
+    throw std::logic_error("touch() on a FutureRuntime after shutdown()");
+  }
+  const Symbol cur = current_thread_name();
+  if (monitor_ != nullptr) {
+    const PolicyStep step = monitor_->on_join(cur, core->name);
+    if (!step.ok()) {
+      ++stats_.policy_violations;
+      throw PolicyViolationError(monitor_->policy_name() +
+                                 " forbids this touch: " + step.reason);
+    }
+  }
+  record(Action::join(cur, core->name));
+
+  detail::FutureCore* self = g_current_core;
+  for (;;) {
+    if (core->state == detail::FutureState::kDone) {
+      return core->result;
+    }
+    if (core->state == detail::FutureState::kPoisoned) {
+      throw DeadlockError(core->poison_reason);
+    }
+    // About to block: register the waits-for edge and let the detectors
+    // look at the world.
+    if (self != nullptr) {
+      self->blocked = true;
+      self->waiting_on = core;
+    } else {
+      main_waiting_on_ = core;
+    }
+    --live_unblocked_;
+    bool poisoned = false;
+    if (self != nullptr) {
+      // A new cycle must pass through the newly blocked thread.
+      poisoned = detect_cycle(self->shared_from_this());
+    }
+    if (!poisoned) check_quiescence();
+    cv_.wait(lock, [&] {
+      return core->state == detail::FutureState::kDone ||
+             core->state == detail::FutureState::kPoisoned;
+    });
+    if (self != nullptr) {
+      self->blocked = false;
+      self->waiting_on = nullptr;
+    } else {
+      main_waiting_on_ = nullptr;
+    }
+    ++live_unblocked_;
+  }
+}
+
+void FutureRuntime::shutdown() {
+  std::vector<std::thread> to_join;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!shut_down_) {
+      shut_down_ = true;
+      main_exited_ = true;
+      --live_unblocked_;  // main no longer counts as a producer
+      check_quiescence();
+    }
+    cv_.wait(lock, [&] {
+      return std::all_of(cores_.begin(), cores_.end(),
+                         [](const detail::CorePtr& c) {
+                           return !c->has_thread || c->finished_thread;
+                         });
+    });
+    to_join.swap(threads_);
+  }
+  for (std::thread& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace gtdl

@@ -1,0 +1,214 @@
+// A real, threaded futures runtime implementing the paper's §2.1 model:
+//
+//   FutureRuntime rt;
+//   auto h = rt.new_future<int>();       // handle, not yet running
+//   h.spawn([] { return 42; });          // install the future thread
+//   int v = h.touch();                   // block until it completes
+//
+// Each spawned future body runs on its own OS thread (the paper's model
+// is one logical thread per future; examples keep fan-out modest).
+//
+// The runtime never hangs on a deadlock. Before a touch blocks it
+// registers a waits-for edge in a central registry which detects
+//   (a) cycles of blocked futures, and
+//   (b) quiescence — every live thread blocked, so nobody can ever spawn
+//       or complete the awaited futures,
+// and then POISONS the affected futures: every waiter wakes up with a
+// DeadlockError instead of blocking forever. Destroying the runtime (or
+// calling shutdown()) likewise poisons anything unsatisfiable and joins
+// all threads, so RAII cleanup always terminates.
+//
+// Optionally, an online deadlock-AVOIDANCE policy can be enforced on top
+// (the paper's dynamic comparators): Transitive Joins (Voss et al.,
+// PPoPP'19) or Known Joins (Cogumbreiro et al., OOPSLA'17). Under a
+// policy, a fork or touch that the policy forbids throws
+// PolicyViolationError *before* any blocking happens — this is how those
+// systems avoid deadlocks at runtime, at the price of rejecting some
+// deadlock-free programs (Table 1's Fibonacci, for KJ).
+
+#pragma once
+
+#include <any>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "gtdl/support/symbol.hpp"
+#include "gtdl/tj/join_policy.hpp"
+#include "gtdl/tj/trace.hpp"
+
+namespace gtdl {
+
+// Thrown from touch() when the awaited future is (or becomes) part of a
+// detected deadlock, or can never be spawned.
+class DeadlockError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Thrown from spawn()/touch() when the configured avoidance policy
+// forbids the operation.
+class PolicyViolationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class RuntimePolicy : unsigned char {
+  kNone,             // detection only (waits-for registry)
+  kTransitiveJoins,  // online TJ enforcement
+  kKnownJoins,       // online KJ enforcement
+};
+
+struct RuntimeOptions {
+  RuntimePolicy policy = RuntimePolicy::kNone;
+  // Record fork/join events so the execution's trace can be inspected
+  // after the fact (used by tests and the policy-overhead bench).
+  bool record_trace = false;
+};
+
+struct RuntimeStats {
+  std::size_t futures_created = 0;
+  std::size_t futures_spawned = 0;
+  std::size_t futures_completed = 0;
+  std::size_t futures_poisoned = 0;
+  std::size_t deadlocks_detected = 0;
+  std::size_t policy_violations = 0;
+};
+
+namespace detail {
+
+enum class FutureState : unsigned char {
+  kUnspawned,
+  kRunning,   // body installed (possibly not yet scheduled) or executing
+  kDone,
+  kPoisoned,
+};
+
+struct FutureCore : std::enable_shared_from_this<FutureCore> {
+  Symbol name;
+  FutureState state = FutureState::kUnspawned;
+  std::any result;
+  std::string poison_reason;
+  // Valid while this future's thread is blocked in touch():
+  bool blocked = false;
+  std::shared_ptr<FutureCore> waiting_on;
+  bool has_thread = false;       // spawn() created an OS thread
+  bool finished_thread = false;  // body returned or threw
+};
+
+using CorePtr = std::shared_ptr<FutureCore>;
+
+}  // namespace detail
+
+class FutureRuntime;
+
+template <typename T>
+class FutureHandle {
+ public:
+  FutureHandle() = default;
+
+  // Installs `body` as this future's thread. Throws std::logic_error on
+  // double spawn, PolicyViolationError if the policy forbids the fork.
+  void spawn(std::function<T()> body);
+
+  // Blocks until the future completes and returns its value. Throws
+  // DeadlockError if the wait is (or becomes) unsatisfiable,
+  // PolicyViolationError if the policy forbids the join.
+  T touch();
+
+  [[nodiscard]] bool valid() const noexcept { return runtime_ != nullptr; }
+  [[nodiscard]] Symbol name() const { return core_->name; }
+
+ private:
+  friend class FutureRuntime;
+  FutureHandle(FutureRuntime* runtime, detail::CorePtr core)
+      : runtime_(runtime), core_(std::move(core)) {}
+
+  FutureRuntime* runtime_ = nullptr;
+  detail::CorePtr core_;
+};
+
+class FutureRuntime {
+ public:
+  explicit FutureRuntime(RuntimeOptions options = {});
+  ~FutureRuntime();
+
+  FutureRuntime(const FutureRuntime&) = delete;
+  FutureRuntime& operator=(const FutureRuntime&) = delete;
+
+  // Creates a fresh, unspawned future handle. `base` seeds the future's
+  // (unique) name, which shows up in traces and error messages.
+  template <typename T>
+  FutureHandle<T> new_future(std::string_view base = "f") {
+    return FutureHandle<T>(this, make_core(base));
+  }
+
+  // Waits for all spawned futures, poisoning any that can never be
+  // satisfied. Idempotent; also runs from the destructor.
+  void shutdown();
+
+  [[nodiscard]] RuntimeStats stats() const;
+
+  // The recorded trace (empty unless options.record_trace).
+  [[nodiscard]] Trace trace() const;
+
+  // --- type-erased core API (used by FutureHandle) ---
+  void spawn_erased(const detail::CorePtr& core,
+                    std::function<std::any()> body);
+  std::any touch_erased(const detail::CorePtr& core);
+
+ private:
+  detail::CorePtr make_core(std::string_view base);
+
+  // All of the below require mu_ to be held.
+  void run_body(detail::CorePtr core, std::function<std::any()> body);
+  void poison(const detail::CorePtr& core, std::string reason);
+  // Detects a waits-for cycle starting at `from` (which just blocked on
+  // `target`); poisons the cycle if found. Returns true if poisoned.
+  bool detect_cycle(const detail::CorePtr& from);
+  // If every live thread is blocked, nothing can make progress: poison
+  // every blocked wait's target.
+  void check_quiescence();
+  void record(Action action);
+  [[nodiscard]] Symbol current_thread_name() const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  RuntimeOptions options_;
+  std::unique_ptr<JoinPolicyMonitor> monitor_;  // null if policy == kNone
+  std::vector<std::thread> threads_;
+  std::vector<detail::CorePtr> cores_;
+  Trace trace_;
+  RuntimeStats stats_;
+  detail::CorePtr main_waiting_on_;  // set while main blocks in touch()
+  // Threads executing user code right now (not blocked, not finished),
+  // counting main whenever it is not blocked in touch().
+  std::size_t live_unblocked_ = 1;  // main
+  bool main_exited_ = false;
+  bool shut_down_ = false;
+};
+
+// --- template member definitions -------------------------------------------
+
+template <typename T>
+void FutureHandle<T>::spawn(std::function<T()> body) {
+  static_assert(!std::is_void_v<T>,
+                "use a unit-like type instead of void futures");
+  runtime_->spawn_erased(
+      core_, [fn = std::move(body)]() -> std::any { return std::any(fn()); });
+}
+
+template <typename T>
+T FutureHandle<T>::touch() {
+  return std::any_cast<T>(runtime_->touch_erased(core_));
+}
+
+}  // namespace gtdl

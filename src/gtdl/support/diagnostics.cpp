@@ -1,0 +1,46 @@
+#include "gtdl/support/diagnostics.hpp"
+
+namespace gtdl {
+
+std::string_view to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::render() const {
+  std::string out;
+  if (loc.known()) {
+    out += std::to_string(loc.line);
+    out += ':';
+    out += std::to_string(loc.column);
+    out += ": ";
+  }
+  out += to_string(severity);
+  out += ": ";
+  out += message;
+  return out;
+}
+
+void DiagnosticEngine::report(Severity severity, SrcLoc loc,
+                              std::string message) {
+  if (severity == Severity::kError) ++error_count_;
+  diagnostics_.push_back(Diagnostic{severity, loc, std::move(message)});
+}
+
+std::string DiagnosticEngine::render() const {
+  std::string out;
+  for (const Diagnostic& diagnostic : diagnostics_) {
+    out += diagnostic.render();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gtdl

@@ -1,0 +1,75 @@
+// Diagnostics: source locations, severities, and a collecting engine.
+//
+// Frontend phases (lexer, parser, type checker, graph inference) and the
+// graph-type analyses report problems through a DiagnosticEngine rather
+// than throwing, so a driver can render all problems at once and tests can
+// assert on structured diagnostics.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gtdl {
+
+// A half-open position in a source buffer. Line and column are 1-based;
+// the default-constructed location means "no location" (e.g. diagnostics
+// about synthesized graph types).
+struct SrcLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool known() const noexcept { return line != 0; }
+  friend bool operator==(const SrcLoc&, const SrcLoc&) = default;
+};
+
+enum class Severity : std::uint8_t { kNote, kWarning, kError };
+
+[[nodiscard]] std::string_view to_string(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SrcLoc loc;
+  std::string message;
+
+  // Rendered as "error: msg" or "3:14: error: msg".
+  [[nodiscard]] std::string render() const;
+};
+
+// Collects diagnostics; cheap to construct, movable.
+class DiagnosticEngine {
+ public:
+  void report(Severity severity, SrcLoc loc, std::string message);
+  void error(SrcLoc loc, std::string message) {
+    report(Severity::kError, loc, std::move(message));
+  }
+  void error(std::string message) { error(SrcLoc{}, std::move(message)); }
+  void warning(SrcLoc loc, std::string message) {
+    report(Severity::kWarning, loc, std::move(message));
+  }
+  void note(SrcLoc loc, std::string message) {
+    report(Severity::kNote, loc, std::move(message));
+  }
+
+  [[nodiscard]] bool has_errors() const noexcept { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const noexcept { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const noexcept {
+    return diagnostics_;
+  }
+
+  // All diagnostics, one per line, in report order.
+  [[nodiscard]] std::string render() const;
+
+  void clear() {
+    diagnostics_.clear();
+    error_count_ = 0;
+  }
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace gtdl

@@ -1,0 +1,115 @@
+// OrderedSet<T>: a set implemented as a sorted vector.
+//
+// The deadlock-freedom checker manipulates many small sets of vertex names
+// (linear spawn contexts, touch contexts, consumed-sets). A sorted vector
+// beats node-based sets at these sizes, gives deterministic iteration
+// order (important for reproducible diagnostics), and provides the set
+// algebra the analysis needs (union, difference, subset, equality) in
+// linear time.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace gtdl {
+
+template <typename T>
+class OrderedSet {
+ public:
+  using const_iterator = typename std::vector<T>::const_iterator;
+
+  OrderedSet() = default;
+  OrderedSet(std::initializer_list<T> items)
+      : items_(items) {
+    normalize();
+  }
+  explicit OrderedSet(std::vector<T> items) : items_(std::move(items)) {
+    normalize();
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] const_iterator begin() const noexcept { return items_.begin(); }
+  [[nodiscard]] const_iterator end() const noexcept { return items_.end(); }
+  [[nodiscard]] const std::vector<T>& items() const noexcept { return items_; }
+
+  [[nodiscard]] bool contains(const T& value) const {
+    return std::binary_search(items_.begin(), items_.end(), value);
+  }
+
+  // Inserts `value`; returns false if it was already present.
+  bool insert(const T& value) {
+    auto it = std::lower_bound(items_.begin(), items_.end(), value);
+    if (it != items_.end() && *it == value) return false;
+    items_.insert(it, value);
+    return true;
+  }
+
+  // Removes `value`; returns false if it was absent.
+  bool erase(const T& value) {
+    auto it = std::lower_bound(items_.begin(), items_.end(), value);
+    if (it == items_.end() || *it != value) return false;
+    items_.erase(it);
+    return true;
+  }
+
+  void clear() noexcept { items_.clear(); }
+
+  [[nodiscard]] bool is_subset_of(const OrderedSet& other) const {
+    return std::includes(other.items_.begin(), other.items_.end(),
+                         items_.begin(), items_.end());
+  }
+
+  [[nodiscard]] bool intersects(const OrderedSet& other) const {
+    auto a = items_.begin();
+    auto b = other.items_.begin();
+    while (a != items_.end() && b != other.items_.end()) {
+      if (*a < *b) {
+        ++a;
+      } else if (*b < *a) {
+        ++b;
+      } else {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] OrderedSet set_union(const OrderedSet& other) const {
+    OrderedSet out;
+    out.items_.reserve(size() + other.size());
+    std::set_union(items_.begin(), items_.end(), other.items_.begin(),
+                   other.items_.end(), std::back_inserter(out.items_));
+    return out;
+  }
+
+  [[nodiscard]] OrderedSet set_difference(const OrderedSet& other) const {
+    OrderedSet out;
+    out.items_.reserve(size());
+    std::set_difference(items_.begin(), items_.end(), other.items_.begin(),
+                        other.items_.end(), std::back_inserter(out.items_));
+    return out;
+  }
+
+  [[nodiscard]] OrderedSet set_intersection(const OrderedSet& other) const {
+    OrderedSet out;
+    std::set_intersection(items_.begin(), items_.end(), other.items_.begin(),
+                          other.items_.end(), std::back_inserter(out.items_));
+    return out;
+  }
+
+  friend bool operator==(const OrderedSet&, const OrderedSet&) = default;
+
+ private:
+  void normalize() {
+    std::sort(items_.begin(), items_.end());
+    items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+  }
+
+  std::vector<T> items_;
+};
+
+}  // namespace gtdl

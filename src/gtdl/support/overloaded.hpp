@@ -1,0 +1,15 @@
+// The classic overload-set helper for std::visit over variants.
+
+#pragma once
+
+namespace gtdl {
+
+template <typename... Fs>
+struct Overloaded : Fs... {
+  using Fs::operator()...;
+};
+
+template <typename... Fs>
+Overloaded(Fs...) -> Overloaded<Fs...>;
+
+}  // namespace gtdl

@@ -1,0 +1,33 @@
+// Small string helpers shared by printers and the CLI.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gtdl {
+
+// Joins the spellings produced by `to_text(item)` with `sep`.
+template <typename Range, typename ToText>
+std::string join(const Range& range, std::string_view sep, ToText to_text) {
+  std::string out;
+  bool first = true;
+  for (const auto& item : range) {
+    if (!first) out += sep;
+    first = false;
+    out += to_text(item);
+  }
+  return out;
+}
+
+[[nodiscard]] inline bool starts_with(std::string_view text,
+                                      std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+// Splits on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text,
+                                                  char sep);
+
+}  // namespace gtdl

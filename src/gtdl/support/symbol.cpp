@@ -1,0 +1,71 @@
+#include "gtdl/support/symbol.hpp"
+
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace gtdl {
+namespace {
+
+// Process-wide interner. Spellings are stored in a deque<std::string> so
+// string_views handed out stay valid as the table grows.
+struct Interner {
+  std::mutex mu;
+  std::deque<std::string> spellings;
+  std::unordered_map<std::string_view, std::uint32_t> ids;
+  std::uint64_t fresh_counter = 0;
+
+  static Interner& instance() {
+    static Interner table;
+    return table;
+  }
+};
+
+}  // namespace
+
+Symbol Symbol::intern(std::string_view spelling) {
+  Interner& table = Interner::instance();
+  std::lock_guard<std::mutex> lock(table.mu);
+  if (auto it = table.ids.find(spelling); it != table.ids.end()) {
+    return Symbol(it->second);
+  }
+  table.spellings.emplace_back(spelling);
+  const auto id = static_cast<std::uint32_t>(table.spellings.size() - 1);
+  table.ids.emplace(std::string_view(table.spellings.back()), id);
+  return Symbol(id);
+}
+
+Symbol Symbol::fresh(std::string_view base) {
+  Interner& table = Interner::instance();
+  std::string candidate;
+  {
+    std::lock_guard<std::mutex> lock(table.mu);
+    // Loop until the generated spelling is genuinely unused; a user may
+    // have interned "u$3" manually.
+    for (;;) {
+      candidate = std::string(base);
+      candidate += '$';
+      candidate += std::to_string(table.fresh_counter++);
+      if (table.ids.find(candidate) == table.ids.end()) {
+        table.spellings.emplace_back(std::move(candidate));
+        const auto id = static_cast<std::uint32_t>(table.spellings.size() - 1);
+        table.ids.emplace(std::string_view(table.spellings.back()), id);
+        return Symbol(id);
+      }
+    }
+  }
+}
+
+std::string_view Symbol::view() const {
+  if (!valid()) return "<invalid>";
+  Interner& table = Interner::instance();
+  std::lock_guard<std::mutex> lock(table.mu);
+  if (id_ >= table.spellings.size()) {
+    throw std::logic_error("Symbol id out of range");
+  }
+  return std::string_view(table.spellings[id_]);
+}
+
+}  // namespace gtdl

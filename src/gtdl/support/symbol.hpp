@@ -1,0 +1,63 @@
+// Interned identifiers.
+//
+// A Symbol is a cheap, copyable handle to an interned string. Two Symbols
+// compare equal iff their spellings are equal, so they can be used as keys
+// in hash maps and compared in O(1). Symbols are used throughout the code
+// base for source identifiers, graph/vertex variable names, and thread
+// names in traces.
+//
+// The interner is a process-wide table guarded by a mutex; interning is the
+// slow path, everything else (comparison, hashing, printing) is lock-free
+// reads of immutable data.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace gtdl {
+
+class Symbol {
+ public:
+  // The default-constructed Symbol is the distinguished "invalid" symbol;
+  // it compares equal only to itself and prints as "<invalid>".
+  constexpr Symbol() noexcept = default;
+
+  // Interns `spelling` and returns its handle.
+  static Symbol intern(std::string_view spelling);
+
+  // Interns `base$n` where n is a process-unique counter, guaranteeing a
+  // spelling that has never been returned by `intern` before. Used for
+  // fresh vertex names during normalization and substitution.
+  static Symbol fresh(std::string_view base);
+
+  [[nodiscard]] bool valid() const noexcept { return id_ != kInvalid; }
+
+  // The interned spelling. Valid for the lifetime of the process.
+  [[nodiscard]] std::string_view view() const;
+  [[nodiscard]] std::string str() const { return std::string(view()); }
+
+  [[nodiscard]] std::uint32_t raw() const noexcept { return id_; }
+
+  friend bool operator==(Symbol a, Symbol b) noexcept { return a.id_ == b.id_; }
+  friend bool operator!=(Symbol a, Symbol b) noexcept { return a.id_ != b.id_; }
+  // Ordering is by intern id (creation order), not lexicographic; it is a
+  // stable total order suitable for sorted containers.
+  friend bool operator<(Symbol a, Symbol b) noexcept { return a.id_ < b.id_; }
+
+ private:
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+  explicit constexpr Symbol(std::uint32_t id) noexcept : id_(id) {}
+  std::uint32_t id_ = kInvalid;
+};
+
+}  // namespace gtdl
+
+template <>
+struct std::hash<gtdl::Symbol> {
+  std::size_t operator()(gtdl::Symbol s) const noexcept {
+    return std::hash<std::uint32_t>{}(s.raw());
+  }
+};

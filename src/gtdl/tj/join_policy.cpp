@@ -1,0 +1,147 @@
+#include "gtdl/tj/join_policy.hpp"
+
+namespace gtdl {
+
+namespace {
+
+std::string describe(Symbol a, std::string_view verb, Symbol b) {
+  std::string out(a.view());
+  out += ' ';
+  out += verb;
+  out += ' ';
+  out += b.view();
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Transitive Joins
+
+PolicyStep TransitiveJoinsMonitor::on_init(Symbol a) {
+  if (initialized_) return PolicyStep::reject("duplicate init action");
+  initialized_ = true;
+  joinable_.emplace(a, OrderedSet<Symbol>{});
+  joiners_.emplace(a, OrderedSet<Symbol>{});
+  return PolicyStep::accept();
+}
+
+PolicyStep TransitiveJoinsMonitor::on_fork(Symbol a, Symbol b) {
+  if (!initialized_) return PolicyStep::reject("fork before init");
+  auto parent = joinable_.find(a);
+  if (parent == joinable_.end()) {
+    return PolicyStep::reject("fork by unknown thread " + a.str());
+  }
+  if (joinable_.find(b) != joinable_.end()) {
+    return PolicyStep::reject("fork of existing thread " + b.str());
+  }
+
+  // TJ-RIGHT: b inherits a's permissions as of this fork.
+  const OrderedSet<Symbol> inherited = parent->second;
+  joinable_.emplace(b, inherited);
+  joiners_.emplace(b, OrderedSet<Symbol>{});
+  for (Symbol target : inherited) joiners_.at(target).insert(b);
+
+  // TJ-LEFT (with the reflexive premise c ⊑ a): a itself and every thread
+  // that may join a gains permission to join b.
+  OrderedSet<Symbol>& b_joiners = joiners_.at(b);
+  joinable_.at(a).insert(b);
+  b_joiners.insert(a);
+  for (Symbol c : joiners_.at(a)) {
+    joinable_.at(c).insert(b);
+    b_joiners.insert(c);
+  }
+  return PolicyStep::accept();
+}
+
+PolicyStep TransitiveJoinsMonitor::on_join(Symbol a, Symbol b) {
+  if (!initialized_) return PolicyStep::reject("join before init");
+  if (!may_join(a, b)) {
+    return PolicyStep::reject("transitive joins violation: " +
+                              describe(a, "may not join", b));
+  }
+  return PolicyStep::accept();
+}
+
+bool TransitiveJoinsMonitor::may_join(Symbol a, Symbol b) const {
+  auto it = joinable_.find(a);
+  return it != joinable_.end() && it->second.contains(b);
+}
+
+// ---------------------------------------------------------------------------
+// Known Joins
+
+PolicyStep KnownJoinsMonitor::on_init(Symbol a) {
+  if (initialized_) return PolicyStep::reject("duplicate init action");
+  initialized_ = true;
+  known_.emplace(a, OrderedSet<Symbol>{});
+  return PolicyStep::accept();
+}
+
+PolicyStep KnownJoinsMonitor::on_fork(Symbol a, Symbol b) {
+  if (!initialized_) return PolicyStep::reject("fork before init");
+  auto parent = known_.find(a);
+  if (parent == known_.end()) {
+    return PolicyStep::reject("fork by unknown thread " + a.str());
+  }
+  if (known_.find(b) != known_.end()) {
+    return PolicyStep::reject("fork of existing thread " + b.str());
+  }
+  // The child knows what its spawner knew; the spawner learns the child.
+  known_.emplace(b, parent->second);
+  known_.at(a).insert(b);
+  return PolicyStep::accept();
+}
+
+PolicyStep KnownJoinsMonitor::on_join(Symbol a, Symbol b) {
+  if (!initialized_) return PolicyStep::reject("join before init");
+  if (!knows(a, b)) {
+    return PolicyStep::reject("known joins violation: " +
+                              describe(a, "does not know", b));
+  }
+  return PolicyStep::accept();
+}
+
+bool KnownJoinsMonitor::knows(Symbol a, Symbol b) const {
+  auto it = known_.find(a);
+  return it != known_.end() && it->second.contains(b);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-trace validation
+
+TraceVerdict validate_trace(const Trace& trace, JoinPolicyMonitor& monitor) {
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Action& action = trace[i];
+    PolicyStep step;
+    switch (action.kind) {
+      case ActionKind::kInit:
+        step = monitor.on_init(action.thread);
+        break;
+      case ActionKind::kFork:
+        step = monitor.on_fork(action.thread, action.target);
+        break;
+      case ActionKind::kJoin:
+        step = monitor.on_join(action.thread, action.target);
+        break;
+    }
+    if (!step.ok()) {
+      return TraceVerdict{false, i,
+                          step.reason + " (at action " + to_string(action) +
+                              ")"};
+    }
+  }
+  return TraceVerdict{};
+}
+
+TraceVerdict check_transitive_joins(const Trace& trace) {
+  TransitiveJoinsMonitor monitor;
+  return validate_trace(trace, monitor);
+}
+
+TraceVerdict check_known_joins(const Trace& trace) {
+  KnownJoinsMonitor monitor;
+  return validate_trace(trace, monitor);
+}
+
+}  // namespace gtdl

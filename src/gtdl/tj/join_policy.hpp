@@ -1,0 +1,123 @@
+// Dynamic deadlock-avoidance policies: Transitive Joins and Known Joins.
+//
+// Transitive Joins (Voss, Cogumbreiro, Sarkar, PPoPP'19 — the paper's
+// soundness target) defines a "permission to join" relation ≤ over threads
+// as the least relation closed under (paper §4.2):
+//
+//   TJ-LEFT   if t ⊢ c ⊑ a then t; fork(a,b) ⊢ c ≤ b
+//   TJ-RIGHT  if t ⊢ a ≤ c then t; fork(a,b) ⊢ b ≤ c
+//   TJ-MONO   permissions persist as the trace grows
+//
+// (⊑ is the reflexive extension of ≤, so the spawner itself may join its
+// child.) A trace is TJ-valid if it starts with init(main), every fork
+// introduces a genuinely new thread from an existing one, and every
+// join(a,b) has a ≤ b at that point. TJ-validity implies deadlock freedom.
+//
+// Known Joins (Cogumbreiro et al., OOPSLA'17) is the weaker ancestor of
+// TJ: a thread may join only futures it *knows* — those it spawned itself
+// plus those its spawner knew at fork time. KJ lacks the TJ-LEFT closure
+// over every thread that could join the spawner, which is exactly why it
+// rejects programs (like the paper's Fibonacci) in which handles travel
+// "sideways" between threads that never spawned each other.
+//
+// Both policies are exposed (a) as incremental monitors, used online by
+// the futures runtime, and (b) as whole-trace validators, used to judge
+// interpreter traces and graph serializations.
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "gtdl/support/ordered_set.hpp"
+#include "gtdl/support/symbol.hpp"
+#include "gtdl/tj/trace.hpp"
+
+namespace gtdl {
+
+// Outcome of feeding one action to a monitor. `ok()` means the action is
+// permitted by the policy; otherwise `reason` explains the violation.
+struct PolicyStep {
+  bool valid = true;
+  std::string reason;
+
+  [[nodiscard]] bool ok() const noexcept { return valid; }
+  static PolicyStep accept() { return {}; }
+  static PolicyStep reject(std::string why) { return {false, std::move(why)}; }
+};
+
+// Incremental judge of trace validity. Implementations are stateful and
+// single-threaded; the futures runtime serializes calls under its
+// registry lock.
+class JoinPolicyMonitor {
+ public:
+  virtual ~JoinPolicyMonitor() = default;
+
+  // VALID-INIT: begins the trace with main thread `a`. Must be the first
+  // call and must happen exactly once.
+  virtual PolicyStep on_init(Symbol a) = 0;
+  // VALID-FORK: a must exist, b must be new.
+  virtual PolicyStep on_fork(Symbol a, Symbol b) = 0;
+  // VALID-JOIN: the policy's permission relation must allow a to join b.
+  virtual PolicyStep on_join(Symbol a, Symbol b) = 0;
+
+  [[nodiscard]] virtual std::string policy_name() const = 0;
+};
+
+// Transitive Joins monitor. Maintains joinable[x] = { y : x ≤ y } plus the
+// inverse index needed to apply TJ-LEFT in time proportional to the number
+// of threads that may join the forking thread.
+class TransitiveJoinsMonitor final : public JoinPolicyMonitor {
+ public:
+  PolicyStep on_init(Symbol a) override;
+  PolicyStep on_fork(Symbol a, Symbol b) override;
+  PolicyStep on_join(Symbol a, Symbol b) override;
+  [[nodiscard]] std::string policy_name() const override {
+    return "transitive-joins";
+  }
+
+  // Exposed for tests: does the current trace prefix derive a ≤ b?
+  [[nodiscard]] bool may_join(Symbol a, Symbol b) const;
+
+ private:
+  bool initialized_ = false;
+  std::unordered_map<Symbol, OrderedSet<Symbol>> joinable_;
+  // joiners_[x] = { c : x ∈ joinable_[c] } (inverse of joinable_).
+  std::unordered_map<Symbol, OrderedSet<Symbol>> joiners_;
+};
+
+// Known Joins monitor: knowledge is inherited from the spawner at fork
+// time and extended only by the thread's own forks.
+class KnownJoinsMonitor final : public JoinPolicyMonitor {
+ public:
+  PolicyStep on_init(Symbol a) override;
+  PolicyStep on_fork(Symbol a, Symbol b) override;
+  PolicyStep on_join(Symbol a, Symbol b) override;
+  [[nodiscard]] std::string policy_name() const override {
+    return "known-joins";
+  }
+
+  [[nodiscard]] bool knows(Symbol a, Symbol b) const;
+
+ private:
+  bool initialized_ = false;
+  std::unordered_map<Symbol, OrderedSet<Symbol>> known_;
+};
+
+// Whole-trace validation verdict.
+struct TraceVerdict {
+  bool valid = true;
+  std::size_t failing_index = 0;  // index into the trace, if invalid
+  std::string reason;
+};
+
+// Runs `trace` through a fresh monitor of the given policy.
+[[nodiscard]] TraceVerdict validate_trace(const Trace& trace,
+                                          JoinPolicyMonitor& monitor);
+[[nodiscard]] TraceVerdict check_transitive_joins(const Trace& trace);
+[[nodiscard]] TraceVerdict check_known_joins(const Trace& trace);
+
+}  // namespace gtdl

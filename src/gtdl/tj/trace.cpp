@@ -1,0 +1,79 @@
+#include "gtdl/tj/trace.hpp"
+
+#include "gtdl/support/overloaded.hpp"
+
+namespace gtdl {
+
+std::string to_string(const Action& action) {
+  std::string out;
+  switch (action.kind) {
+    case ActionKind::kInit:
+      out = "init(";
+      out += action.thread.view();
+      out += ')';
+      return out;
+    case ActionKind::kFork:
+      out = "fork(";
+      break;
+    case ActionKind::kJoin:
+      out = "join(";
+      break;
+  }
+  out += action.thread.view();
+  out += ',';
+  out += action.target.view();
+  out += ')';
+  return out;
+}
+
+std::string to_string(const Trace& trace) {
+  std::string out;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i != 0) out += "; ";
+    out += to_string(trace[i]);
+  }
+  return out;
+}
+
+namespace {
+
+// Fig. 6:
+//   TR:EMPTY   • ~>_a ·
+//   TR:SEQ     g1 ⊕ g2 ~>_a t1; t2
+//   TR:SPAWN   g /u ~>_a fork(a,u); t   where g ~>_u t
+//   TR:TOUCH   ᵘ\ ~>_a join(a,u)
+void emit(const GraphExpr& g, Symbol current, Trace& out) {
+  std::visit(Overloaded{
+                 [](const GESingleton&) {},
+                 [&](const GESeq& node) {
+                   emit(*node.lhs, current, out);
+                   emit(*node.rhs, current, out);
+                 },
+                 [&](const GESpawn& node) {
+                   out.push_back(Action::fork(current, node.vertex));
+                   // The spawned thread is named by its designated vertex.
+                   emit(*node.body, node.vertex, out);
+                 },
+                 [&](const GETouch& node) {
+                   out.push_back(Action::join(current, node.vertex));
+                 },
+             },
+             g.node);
+}
+
+}  // namespace
+
+Trace trace_of_graph(const GraphExpr& g, Symbol main) {
+  Trace out;
+  emit(g, main, out);
+  return out;
+}
+
+Trace trace_with_init(const GraphExpr& g, Symbol main) {
+  Trace out;
+  out.push_back(Action::init(main));
+  emit(g, main, out);
+  return out;
+}
+
+}  // namespace gtdl

@@ -1,0 +1,53 @@
+// Program traces (paper §4.2).
+//
+// A trace abstracts a program execution as a sequence of actions:
+//   init(a)     — initialization of the main thread a
+//   fork(a, b)  — thread a spawning thread b
+//   join(a, b)  — thread a touching (joining) thread b
+//
+// Traces are the interface between executions and the dynamic
+// deadlock-avoidance policies (Transitive Joins, Known Joins). They are
+// produced in two ways in this code base: from ground graphs via the
+// `g ~>_a t` judgment of Fig. 6 (trace_of_graph), and by the FutLang
+// interpreter / futures runtime during execution.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gtdl/graph/graph_expr.hpp"
+#include "gtdl/support/symbol.hpp"
+
+namespace gtdl {
+
+enum class ActionKind : unsigned char { kInit, kFork, kJoin };
+
+struct Action {
+  ActionKind kind = ActionKind::kInit;
+  Symbol thread;  // the acting thread (a)
+  Symbol target;  // b, for fork/join; invalid for init
+
+  static Action init(Symbol a) { return {ActionKind::kInit, a, Symbol{}}; }
+  static Action fork(Symbol a, Symbol b) { return {ActionKind::kFork, a, b}; }
+  static Action join(Symbol a, Symbol b) { return {ActionKind::kJoin, a, b}; }
+
+  friend bool operator==(const Action&, const Action&) = default;
+};
+
+using Trace = std::vector<Action>;
+
+// Renders e.g. "init(main); fork(main,u1); join(main,u1)".
+[[nodiscard]] std::string to_string(const Trace& trace);
+[[nodiscard]] std::string to_string(const Action& action);
+
+// The `g ~>_a t` judgment of Fig. 6: serializes a ground graph into the
+// trace of the execution it records, with `main` naming the main thread.
+// Per the paper, the result does NOT include the leading init action; use
+// trace_with_init for a (potentially) valid trace.
+[[nodiscard]] Trace trace_of_graph(const GraphExpr& g, Symbol main);
+
+// init(main); trace_of_graph(g, main) — the form Theorem 1 judges.
+[[nodiscard]] Trace trace_with_init(const GraphExpr& g, Symbol main);
+
+}  // namespace gtdl

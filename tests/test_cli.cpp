@@ -1,0 +1,95 @@
+// Smoke tests for the fdlc command-line driver: exit codes, the two
+// input languages, graph-type literals, and option handling. These run
+// the real binary (path injected by CMake).
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct CliRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+CliRun run_fdlc(const std::string& args) {
+  const std::string command =
+      std::string(GTDL_FDLC_PATH) + " " + args + " 2>&1";
+  std::array<char, 4096> buffer{};
+  CliRun result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.output += buffer.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string program(const char* name) {
+  return std::string(GTDL_PROGRAMS_DIR) + "/" + name;
+}
+
+TEST(Cli, AcceptsDeadlockFreeProgram) {
+  const CliRun r = run_fdlc(program("pipeline.fut"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("DEADLOCK-FREE"), std::string::npos) << r.output;
+}
+
+TEST(Cli, RejectsCounterexampleAndShowsBaselineUnsoundness) {
+  const CliRun r = run_fdlc(program("counterex.fut") + " --baseline");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("POSSIBLE DEADLOCK"), std::string::npos);
+  EXPECT_NE(r.output.find("reports deadlock-free"), std::string::npos)
+      << "the GML baseline should (wrongly) accept: " << r.output;
+}
+
+TEST(Cli, RunsProgramAndJudgesTrace) {
+  const CliRun r =
+      run_fdlc(program("counterex.fut") + " --run --rand 1,1");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("DEADLOCKED"), std::string::npos);
+  EXPECT_NE(r.output.find("transitive joins: INVALID"), std::string::npos);
+}
+
+TEST(Cli, AnalyzesMiniMlByExtension) {
+  const CliRun r = run_fdlc(program("counterex.mml"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("MiniML"), std::string::npos);
+  EXPECT_NE(r.output.find("POSSIBLE DEADLOCK"), std::string::npos);
+}
+
+TEST(Cli, GraphTypeLiteral) {
+  const CliRun ok = run_fdlc("--gtype 'new u. 1 / u ; ~u'");
+  EXPECT_EQ(ok.exit_code, 0) << ok.output;
+  const CliRun bad = run_fdlc("--gtype 'new u. ~u ; 1 / u'");
+  EXPECT_EQ(bad.exit_code, 1) << bad.output;
+}
+
+TEST(Cli, NewPushToggle) {
+  // Divide-and-conquer shape: rejected without new pushing.
+  const std::string literal = "'rec g. new u. 1 | g / u ; g ; ~u'";
+  EXPECT_EQ(run_fdlc("--gtype " + literal).exit_code, 0);
+  EXPECT_EQ(run_fdlc("--gtype " + literal + " --no-new-push").exit_code, 1);
+}
+
+TEST(Cli, MaxItersLiftsInferenceCap) {
+  // webserver compiles under the default cap already; use the m=2 family
+  // member shipped in the test as a literal program via --gtype is not
+  // possible, so check the flag is at least accepted.
+  const CliRun r = run_fdlc(program("pipeline.fut") + " --max-iters 5");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(Cli, UsageErrors) {
+  EXPECT_EQ(run_fdlc("").exit_code, 2);
+  EXPECT_EQ(run_fdlc("--no-such-flag").exit_code, 2);
+  EXPECT_EQ(run_fdlc("/nonexistent/path.fut").exit_code, 2);
+  EXPECT_EQ(run_fdlc("--gtype '1 ; ;'").exit_code, 2);
+}
+
+}  // namespace

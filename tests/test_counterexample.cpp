@@ -1,0 +1,75 @@
+// Tests for the §3 counterexample family builders.
+
+#include <gtest/gtest.h>
+
+#include "gtdl/detect/counterexample.hpp"
+#include "gtdl/detect/deadlock.hpp"
+#include "gtdl/graph/graph.hpp"
+#include "gtdl/gtype/normalize.hpp"
+#include "gtdl/gtype/wellformed.hpp"
+
+namespace gtdl {
+namespace {
+
+TEST(Counterexample, RequiresPositiveM) {
+  EXPECT_THROW((void)counterexample_gtype(0), std::invalid_argument);
+  EXPECT_THROW((void)counterexample_futlang(0), std::invalid_argument);
+}
+
+TEST(Counterexample, MemberOneMatchesThePaper) {
+  const GTypePtr fn = counterexample_function_gtype(1);
+  EXPECT_EQ(to_string(*fn),
+            "rec g. pi[a1; x1]. new u. 1 | ~x1 ; 1 / a1 ; g[u; u]");
+}
+
+TEST(Counterexample, WholeProgramShape) {
+  const GTypePtr g = counterexample_gtype(1);
+  const std::string s = to_string(*g);
+  EXPECT_NE(s.find("new u1."), std::string::npos);
+  EXPECT_NE(s.find("new w1."), std::string::npos);
+  EXPECT_NE(s.find("[u1; w1]"), std::string::npos);
+}
+
+class CounterexampleFamily : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CounterexampleFamily, IsWellFormed) {
+  EXPECT_TRUE(check_wellformed(counterexample_gtype(GetParam())).ok);
+}
+
+TEST_P(CounterexampleFamily, OurDetectorRejectsEveryMember) {
+  const DeadlockVerdict v =
+      check_deadlock_freedom(counterexample_gtype(GetParam()));
+  EXPECT_FALSE(v.deadlock_free);
+}
+
+TEST_P(CounterexampleFamily, CycleManifestsExactlyAtDepthMplus3) {
+  // The cyclic graph requires m+2 recursive-call unrollings; with the
+  // application fuel accounting that is normalization depth m+3.
+  const unsigned m = GetParam();
+  const GTypePtr g = counterexample_gtype(m);
+
+  const auto has_deadlock = [](const NormalizeResult& r) {
+    for (const auto& graph : r.graphs) {
+      if (find_ground_deadlock(*graph).any()) return true;
+    }
+    return false;
+  };
+
+  EXPECT_FALSE(has_deadlock(normalize(g, m + 2))) << "m = " << m;
+  EXPECT_TRUE(has_deadlock(normalize(g, m + 3))) << "m = " << m;
+}
+
+INSTANTIATE_TEST_SUITE_P(Members, CounterexampleFamily,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(Counterexample, FutlangSourceMentionsAllParams) {
+  const std::string src = counterexample_futlang(2);
+  EXPECT_NE(src.find("a1: future[int]"), std::string::npos);
+  EXPECT_NE(src.find("a2: future[int]"), std::string::npos);
+  EXPECT_NE(src.find("x2: future[int]"), std::string::npos);
+  EXPECT_NE(src.find("fun main()"), std::string::npos);
+  EXPECT_NE(src.find("touch(x1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gtdl

@@ -1,0 +1,209 @@
+// Tests for the deadlock-freedom kind system (Fig. 4) — the paper's core
+// contribution — including the qualitative examples of §5.
+
+#include <gtest/gtest.h>
+
+#include "gtdl/detect/deadlock.hpp"
+#include "gtdl/gtype/parse.hpp"
+
+namespace gtdl {
+namespace {
+
+DeadlockVerdict df(const char* src) {
+  return check_deadlock_freedom(parse_gtype_or_throw(src));
+}
+
+DeadlockVerdict df_no_push(const char* src) {
+  DetectOptions options;
+  options.new_pushing = false;
+  return check_deadlock_freedom(parse_gtype_or_throw(src), options);
+}
+
+TEST(Deadlock, EmptyGraphAccepted) {
+  EXPECT_TRUE(df("1").deadlock_free);
+}
+
+TEST(Deadlock, SpawnThenTouchAccepted) {
+  EXPECT_TRUE(df("new u. 1 / u ; ~u").deadlock_free);
+}
+
+TEST(Deadlock, TouchBeforeSpawnRejected) {
+  const DeadlockVerdict v = df("new u. ~u ; 1 / u");
+  EXPECT_FALSE(v.deadlock_free);
+  EXPECT_NE(v.diags.render().find("touch"), std::string::npos);
+}
+
+TEST(Deadlock, NeverSpawnedVertexRejected) {
+  // Situation (1): u could be touched but is never spawned. Linearity of
+  // the spawn context rejects it even without a touch.
+  EXPECT_FALSE(df_no_push("new u. 1").deadlock_free);
+  EXPECT_FALSE(df_no_push("new u. ~u").deadlock_free);
+}
+
+TEST(Deadlock, NewPushingDropsUnusedBinder) {
+  // With new pushing, νu.• rewrites to • (the binder is unused), which is
+  // then accepted — semantically right: no graph of this type deadlocks.
+  EXPECT_TRUE(df("new u. 1").deadlock_free);
+}
+
+TEST(Deadlock, CrossTouchDeadlockRejected) {
+  // §2.1's classic: a touches b inside a's future body, b touches a.
+  EXPECT_FALSE(
+      df("new a. new b. (~b) / a ; (~a) / b").deadlock_free);
+}
+
+TEST(Deadlock, FutureBodyMayNotTouchItself) {
+  EXPECT_FALSE(df("new u. (~u) / u").deadlock_free);
+}
+
+TEST(Deadlock, FutureBodyMayTouchEarlierFuture) {
+  // Pipeline shape: second future touches the first.
+  EXPECT_TRUE(
+      df("new a. new b. 1 / a ; (~a) / b ; ~b").deadlock_free);
+}
+
+TEST(Deadlock, FutureBodyMayNotTouchLaterFuture) {
+  EXPECT_FALSE(
+      df("new a. new b. (~b) / a ; 1 / b ; ~a").deadlock_free);
+}
+
+TEST(Deadlock, OrBranchesMustSpawnSameVertices) {
+  const DeadlockVerdict v = df_no_push("new u. (1 | 1 / u) ; ~u");
+  EXPECT_FALSE(v.deadlock_free);
+  EXPECT_NE(v.diags.render().find("branches"), std::string::npos);
+  // Both branches spawning works.
+  EXPECT_TRUE(df_no_push("new u. (1 / u | 1 / u) ; ~u").deadlock_free);
+}
+
+TEST(Deadlock, TouchInBothBranchesUnrestricted) {
+  EXPECT_TRUE(df("new u. 1 / u ; (~u | ~u ; ~u)").deadlock_free);
+}
+
+TEST(Deadlock, SequenceMakesSpawnedTouchable) {
+  // DF:SEQ moves spawned vertices into Ψ for the right operand.
+  EXPECT_TRUE(df("new a. new b. (1 / a ; 1 / b) ; (~a ; ~b)").deadlock_free);
+}
+
+TEST(Deadlock, DivideAndConquerAcceptedWithNewPushing) {
+  // GML's hoisted form (§5) — rejected raw, accepted after new pushing.
+  const char* src = "rec g. new u. 1 | g / u ; g ; ~u";
+  EXPECT_FALSE(df_no_push(src).deadlock_free);
+  EXPECT_TRUE(df(src).deadlock_free);
+}
+
+TEST(Deadlock, DivideAndConquerPrePushedAccepted) {
+  EXPECT_TRUE(df_no_push("rec g. 1 | new u. g / u ; g ; ~u").deadlock_free);
+}
+
+TEST(Deadlock, RecursiveTypeKindIsPi) {
+  const DeadlockVerdict v =
+      df("rec g. pi[a; x]. ~x ; 1 / a ; (1 | g[a; x])");
+  // Note: this type reuses a after consuming it in the recursive call —
+  // should be rejected. Spawn arg a is consumed by "1 / a" already.
+  EXPECT_FALSE(v.deadlock_free);
+}
+
+TEST(Deadlock, ParameterizedPipelineStageAccepted) {
+  // pi[a; x]: touch the previous stage (x), spawn the next (a).
+  const DeadlockVerdict v = df("rec g. pi[a; x]. (~x) / a ; (1 | ~a)");
+  EXPECT_TRUE(v.deadlock_free);
+  EXPECT_EQ(v.kind, GraphKind::pi(1, 1));
+}
+
+TEST(Deadlock, SpawnParameterMustBeSpawned) {
+  const DeadlockVerdict v = df("rec g. pi[a; x]. ~x");
+  EXPECT_FALSE(v.deadlock_free);
+  EXPECT_NE(v.diags.render().find("never spawned"), std::string::npos);
+}
+
+TEST(Deadlock, TouchParameterTouchableImmediately) {
+  EXPECT_TRUE(df("pi[; x]. ~x ; ~x").deadlock_free);
+}
+
+TEST(Deadlock, ApplicationTouchArgMustBeTouchable) {
+  // Passing an unspawned vertex as a touch argument is the §3 bug.
+  const DeadlockVerdict v = df(
+      "new u. new w. 1 / w ; (pi[a; x]. ~x ; 1 / a)[u; u]");
+  EXPECT_FALSE(v.deadlock_free);
+  // Spawned first: fine. (w spawned, passed as touch arg.)
+  EXPECT_TRUE(
+      df("new u. new w. 1 / w ; (pi[a; x]. ~x ; 1 / a)[u; w]")
+          .deadlock_free);
+}
+
+TEST(Deadlock, ApplicationSpawnArgConsumedLinearly) {
+  // Same vertex passed twice in spawn positions.
+  EXPECT_FALSE(
+      df("new u. new w. 1 / w ; (pi[a, b; x]. 1 / a ; 1 / b ; ~x)[u, u; w]")
+          .deadlock_free);
+}
+
+TEST(Deadlock, RecMayNotCaptureAmbientSpawns) {
+  EXPECT_FALSE(
+      df_no_push("new u. (rec g. 1 / u) ; ~u").deadlock_free);
+}
+
+TEST(Deadlock, NonRecursivePiMayCaptureAmbientSpawns) {
+  // DF:PI permits capture: the pi body spawns the outer u.
+  EXPECT_TRUE(
+      df("new u. (pi[; x]. 1 / u ; ~x) [; u] ; ~u").deadlock_free == false)
+      << "capture + touch-arg u unspawned must still reject";
+  // A cleaner capture: outer w spawned first, pi spawns u and touches w.
+  EXPECT_TRUE(
+      df("new u. new w. 1 / w ; (pi[; x]. 1 / u ; ~x)[; w] ; ~u")
+          .deadlock_free);
+}
+
+TEST(Deadlock, CounterexampleRejected) {
+  // §3, m = 1 — the type GML's detector wrongly accepts.
+  const DeadlockVerdict v = df(
+      "new u1. new u2. 1 / u2 ; "
+      "(rec g. pi[a; x]. new u. 1 | ~x ; 1 / a ; g[u; u])[u1; u2]");
+  EXPECT_FALSE(v.deadlock_free);
+  EXPECT_NE(v.diags.render().find("u"), std::string::npos);
+}
+
+TEST(Deadlock, FibonacciChainAccepted) {
+  // Eight futures, each touching the previous two (§5's Fibonacci),
+  // spawned sequentially by main here.
+  std::string src = "new f1. new f2. new f3. new f4. new f5. ";
+  src += "1 / f1 ; 1 / f2 ; ";
+  src += "(~f1 ; ~f2) / f3 ; (~f2 ; ~f3) / f4 ; (~f3 ; ~f4) / f5 ; ~f5";
+  EXPECT_TRUE(check_deadlock_freedom(parse_gtype_or_throw(src)).deadlock_free);
+}
+
+TEST(Deadlock, FibonacciWithCycleRejected) {
+  // FibDL: one touch altered to look forward (f3 touches f4).
+  std::string src = "new f1. new f2. new f3. new f4. new f5. ";
+  src += "1 / f1 ; 1 / f2 ; ";
+  src += "(~f1 ; ~f4) / f3 ; (~f2 ; ~f3) / f4 ; (~f3 ; ~f4) / f5 ; ~f5";
+  EXPECT_FALSE(
+      check_deadlock_freedom(parse_gtype_or_throw(src)).deadlock_free);
+}
+
+TEST(Deadlock, UnboundGraphVariableRejected) {
+  EXPECT_FALSE(df("g").deadlock_free);
+}
+
+TEST(Deadlock, ZeroArityRecUsableBare) {
+  EXPECT_TRUE(df("rec g. 1 | g").deadlock_free);
+}
+
+TEST(Deadlock, IllFormedTypeRejectedBeforeAnalysis) {
+  const DeadlockVerdict v = df("new u. 1 / u ; 1 / u");
+  EXPECT_FALSE(v.deadlock_free);
+  EXPECT_NE(v.diags.render().find("not well-formed"), std::string::npos);
+}
+
+TEST(Deadlock, NullTypeRejected) {
+  EXPECT_FALSE(check_deadlock_freedom(nullptr).deadlock_free);
+}
+
+TEST(Deadlock, AnalyzedFieldHoldsPushedType) {
+  const DeadlockVerdict v = df("rec g. new u. 1 | g / u ; g ; ~u");
+  ASSERT_TRUE(v.deadlock_free);
+  EXPECT_EQ(to_string(v.analyzed), "rec g. 1 | (new u. g / u ; g ; ~u)");
+}
+
+}  // namespace
+}  // namespace gtdl

@@ -1,0 +1,171 @@
+// Tests for the FutLang lexer/parser.
+
+#include <gtest/gtest.h>
+
+#include "gtdl/frontend/parser.hpp"
+
+namespace gtdl {
+namespace {
+
+TEST(FutLangParser, EmptyMain) {
+  const Program p = parse_program_or_throw("fun main() { }");
+  ASSERT_EQ(p.functions.size(), 1u);
+  EXPECT_EQ(p.functions[0].name, Symbol::intern("main"));
+  EXPECT_TRUE(p.functions[0].params.empty());
+  EXPECT_TRUE(is_prim(*p.functions[0].return_type, PrimKind::kUnit));
+}
+
+TEST(FutLangParser, ParamsAndReturnType) {
+  const Program p = parse_program_or_throw(
+      "fun add(a: int, b: int) -> int { return a + b; } fun main() {}");
+  ASSERT_EQ(p.functions.size(), 2u);
+  const Function& add = p.functions[0];
+  ASSERT_EQ(add.params.size(), 2u);
+  EXPECT_TRUE(is_prim(*add.params[0].type, PrimKind::kInt));
+  EXPECT_TRUE(is_prim(*add.return_type, PrimKind::kInt));
+}
+
+TEST(FutLangParser, FutureAndListTypes) {
+  const Program p = parse_program_or_throw(
+      "fun f(h: future[int], l: list[list[string]]) { } fun main() {}");
+  const Function& f = p.functions[0];
+  EXPECT_TRUE(is_future(*f.params[0].type));
+  EXPECT_TRUE(is_list(*f.params[1].type));
+  EXPECT_EQ(to_string(*f.params[1].type), "list[list[string]]");
+}
+
+TEST(FutLangParser, SpawnStatementAndMethodForms) {
+  const Program p = parse_program_or_throw(R"(
+    fun main() {
+      let h = new_future[int]();
+      spawn h { return 1; }
+      let k = new_future[int]();
+      k.spawn { return 2; };
+      let a = touch(h);
+      let b = k.touch();
+    }
+  )");
+  const Block& body = p.functions[0].body;
+  ASSERT_EQ(body.size(), 6u);
+  // statement spawn
+  const auto* s1 = std::get_if<SExpr>(&body[1]->node);
+  ASSERT_NE(s1, nullptr);
+  EXPECT_TRUE(std::holds_alternative<ESpawn>(s1->expr->node));
+  // method spawn
+  const auto* s3 = std::get_if<SExpr>(&body[3]->node);
+  ASSERT_NE(s3, nullptr);
+  EXPECT_TRUE(std::holds_alternative<ESpawn>(s3->expr->node));
+  // touch call and method
+  const auto* let_a = std::get_if<SLet>(&body[4]->node);
+  ASSERT_NE(let_a, nullptr);
+  EXPECT_TRUE(std::holds_alternative<ETouch>(let_a->init->node));
+  const auto* let_b = std::get_if<SLet>(&body[5]->node);
+  ASSERT_NE(let_b, nullptr);
+  EXPECT_TRUE(std::holds_alternative<ETouch>(let_b->init->node));
+}
+
+TEST(FutLangParser, IfElseChains) {
+  const Program p = parse_program_or_throw(R"(
+    fun main() {
+      if 1 < 2 {
+        return;
+      } else if 2 < 3 {
+        return;
+      } else {
+        return;
+      }
+    }
+  )");
+  const auto* sif = std::get_if<SIf>(&p.functions[0].body[0]->node);
+  ASSERT_NE(sif, nullptr);
+  ASSERT_EQ(sif->else_block.size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<SIf>(sif->else_block[0]->node));
+}
+
+TEST(FutLangParser, OperatorPrecedence) {
+  const Program p = parse_program_or_throw(
+      "fun main() { let x = 1 + 2 * 3 == 7 && true; }");
+  const auto* let = std::get_if<SLet>(&p.functions[0].body[0]->node);
+  ASSERT_NE(let, nullptr);
+  // Top node is &&.
+  const auto* top = std::get_if<EBinary>(&let->init->node);
+  ASSERT_NE(top, nullptr);
+  EXPECT_EQ(top->op, BinaryOp::kAnd);
+  const auto* eq = std::get_if<EBinary>(&top->lhs->node);
+  ASSERT_NE(eq, nullptr);
+  EXPECT_EQ(eq->op, BinaryOp::kEq);
+  const auto* add = std::get_if<EBinary>(&eq->lhs->node);
+  ASSERT_NE(add, nullptr);
+  EXPECT_EQ(add->op, BinaryOp::kAdd);
+  const auto* mul = std::get_if<EBinary>(&add->rhs->node);
+  ASSERT_NE(mul, nullptr);
+  EXPECT_EQ(mul->op, BinaryOp::kMul);
+}
+
+TEST(FutLangParser, StringEscapes) {
+  const Program p = parse_program_or_throw(
+      "fun main() { print(\"a\\n\\\"b\\\"\"); }");
+  const auto* stmt = std::get_if<SExpr>(&p.functions[0].body[0]->node);
+  ASSERT_NE(stmt, nullptr);
+  const auto* call = std::get_if<ECall>(&stmt->expr->node);
+  ASSERT_NE(call, nullptr);
+  const auto* lit = std::get_if<EStringLit>(&call->args[0]->node);
+  ASSERT_NE(lit, nullptr);
+  EXPECT_EQ(lit->value, "a\n\"b\"");
+}
+
+TEST(FutLangParser, CommentsAndWhile) {
+  const Program p = parse_program_or_throw(R"(
+    # leading comment
+    fun main() {
+      let i = 0;       # trailing comment
+      while i < 3 {
+        i = i + 1;
+      }
+    }
+  )");
+  EXPECT_TRUE(std::holds_alternative<SWhile>(p.functions[0].body[1]->node));
+}
+
+TEST(FutLangParser, AssignmentVsExpressionStatement) {
+  const Program p = parse_program_or_throw(R"(
+    fun main() {
+      let x = 1;
+      x = 2;
+      x + 1;
+    }
+  )");
+  EXPECT_TRUE(std::holds_alternative<SAssign>(p.functions[0].body[1]->node));
+  EXPECT_TRUE(std::holds_alternative<SExpr>(p.functions[0].body[2]->node));
+}
+
+struct BadCase {
+  const char* name;
+  const char* source;
+};
+
+class FutLangParserErrors : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(FutLangParserErrors, Rejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse_program(GetParam().source, diags).has_value());
+  EXPECT_TRUE(diags.has_errors());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, FutLangParserErrors,
+    ::testing::Values(
+        BadCase{"MissingBrace", "fun main() {"},
+        BadCase{"MissingParamType", "fun f(a) {} fun main() {}"},
+        BadCase{"BadAssignTarget", "fun main() { 1 + 2 = 3; }"},
+        BadCase{"UnterminatedString", "fun main() { print(\"abc); }"},
+        BadCase{"DanglingDot", "fun main() { let h = new_future[int]();"
+                               " h.frob(); }"},
+        BadCase{"MissingSemicolon", "fun main() { let x = 1 }"},
+        BadCase{"GarbageTopLevel", "function main() {}"}),
+    [](const ::testing::TestParamInfo<BadCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace gtdl

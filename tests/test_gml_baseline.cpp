@@ -1,0 +1,122 @@
+// Tests for the GML-style unrolling baseline detector — including the
+// demonstration of its unsoundness on the §3 counterexample.
+
+#include <gtest/gtest.h>
+
+#include "gtdl/detect/counterexample.hpp"
+#include "gtdl/detect/deadlock.hpp"
+#include "gtdl/detect/gml_baseline.hpp"
+#include "gtdl/gtype/parse.hpp"
+
+namespace gtdl {
+namespace {
+
+TEST(ExpandRecursion, UnrollsEachBindingExactlyK) {
+  const GTypePtr g = parse_gtype_or_throw("rec g. 1 | 1 ; g");
+  // k = 2: 1 | 1 ; (1 | 1 ; γ⊥) — chains of length 1 and 2 normalize.
+  const GTypePtr expanded = expand_recursion(g, 2);
+  EXPECT_TRUE(free_gvars(*expanded).size() == 1u);  // the γ⊥ marker
+  const NormalizeResult r = normalize(expanded, 1);
+  EXPECT_EQ(r.graphs.size(), 2u);
+}
+
+TEST(ExpandRecursion, ZeroUnrollsKillsAllGraphs) {
+  const GTypePtr g = parse_gtype_or_throw("rec g. 1 | 1 ; g");
+  EXPECT_TRUE(normalize(expand_recursion(g, 0), 1).graphs.empty());
+}
+
+TEST(ExpandRecursion, ExpandedTypeIsMuFree) {
+  const GTypePtr g = parse_gtype_or_throw(
+      "rec g. new u. 1 | g / u ; g ; ~u");
+  const GTypePtr expanded = expand_recursion(g, 3);
+  EXPECT_EQ(stats(*expanded).mu_bindings, 0u);
+}
+
+TEST(GmlBaseline, AcceptsStraightLineDeadlockFree) {
+  const GmlBaselineReport r =
+      gml_baseline_check(parse_gtype_or_throw("new u. 1 / u ; ~u"));
+  EXPECT_FALSE(r.deadlock_reported);
+  EXPECT_EQ(r.graphs_checked, 1u);
+}
+
+TEST(GmlBaseline, DetectsDirectCycle) {
+  const GmlBaselineReport r =
+      gml_baseline_check(parse_gtype_or_throw("new u. ~u ; 1 / u"));
+  EXPECT_TRUE(r.deadlock_reported);
+  EXPECT_NE(r.witness.find("cycle"), std::string::npos);
+}
+
+TEST(GmlBaseline, DetectsUnspawnedTouch) {
+  const GmlBaselineReport r =
+      gml_baseline_check(parse_gtype_or_throw("new u. ~u"));
+  EXPECT_TRUE(r.deadlock_reported);
+  EXPECT_NE(r.witness.find("unspawned"), std::string::npos);
+}
+
+TEST(GmlBaseline, AcceptsDivideAndConquer) {
+  const GmlBaselineReport r = gml_baseline_check(
+      parse_gtype_or_throw("rec g. new u. 1 | g / u ; g ; ~u"));
+  EXPECT_FALSE(r.deadlock_reported);
+  EXPECT_GT(r.graphs_checked, 1u);
+}
+
+TEST(GmlBaseline, DetectsCrossTouchDeadlock) {
+  const GmlBaselineReport r = gml_baseline_check(
+      parse_gtype_or_throw("new a. new b. (~b) / a ; (~a) / b"));
+  EXPECT_TRUE(r.deadlock_reported);
+}
+
+TEST(GmlBaseline, UnsoundOnCounterexampleAtDefaultUnrolls) {
+  // THE point of §3: with every binding unrolled twice (GML's own
+  // setting) the cyclic graph is not among the normalized graphs, so the
+  // baseline wrongly reports deadlock freedom — while the paper's kind
+  // system rejects the same type.
+  const GTypePtr g = counterexample_gtype(1);
+  const GmlBaselineReport baseline = gml_baseline_check(g);
+  EXPECT_FALSE(baseline.deadlock_reported)
+      << "witness: " << baseline.witness;
+  EXPECT_FALSE(baseline.truncated);
+  EXPECT_GT(baseline.graphs_checked, 0u);
+
+  const DeadlockVerdict ours = check_deadlock_freedom(g);
+  EXPECT_FALSE(ours.deadlock_free);
+}
+
+TEST(GmlBaseline, FindsCounterexampleCycleWithEnoughUnrolls) {
+  const GTypePtr g = counterexample_gtype(1);
+  GmlBaselineOptions options;
+  // m = 1: the cycle needs m + 2 = 3 recursive-call unrollings.
+  options.unrolls_per_binding = 3;
+  const GmlBaselineReport r = gml_baseline_check(g, options);
+  EXPECT_TRUE(r.deadlock_reported);
+  EXPECT_NE(r.witness.find("cycle"), std::string::npos);
+}
+
+TEST(GmlBaseline, NoFixedUnrollBoundWorksForTheFamily) {
+  // For every member m, the bound that sufficed for m-1 misses m's cycle:
+  // the §3 argument that no global n can exist.
+  for (unsigned m = 1; m <= 3; ++m) {
+    const GTypePtr g = counterexample_gtype(m);
+    GmlBaselineOptions too_shallow;
+    too_shallow.unrolls_per_binding = m + 1;
+    EXPECT_FALSE(gml_baseline_check(g, too_shallow).deadlock_reported)
+        << "m = " << m;
+    GmlBaselineOptions deep_enough;
+    deep_enough.unrolls_per_binding = m + 2;
+    EXPECT_TRUE(gml_baseline_check(g, deep_enough).deadlock_reported)
+        << "m = " << m;
+  }
+}
+
+TEST(GmlBaseline, ReportsTruncation) {
+  GmlBaselineOptions options;
+  options.unrolls_per_binding = 10;
+  options.limits.max_graphs = 8;
+  options.limits.dedup_alpha = false;
+  const GmlBaselineReport r = gml_baseline_check(
+      parse_gtype_or_throw("rec g. new u. 1 | g / u ; g ; ~u"), options);
+  EXPECT_TRUE(r.truncated);
+}
+
+}  // namespace
+}  // namespace gtdl

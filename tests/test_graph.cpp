@@ -1,0 +1,233 @@
+// Tests for concrete graphs: the Fig. 2 combinators, lowering, cycle
+// detection, and the ground-deadlock verdict.
+
+#include <gtest/gtest.h>
+
+#include "gtdl/graph/graph.hpp"
+#include "gtdl/graph/graph_expr.hpp"
+
+namespace gtdl {
+namespace {
+
+Symbol S(const char* s) { return Symbol::intern(s); }
+
+TEST(GraphExpr, BuildersAndPrinting) {
+  const GraphExprPtr g =
+      ge::seq(ge::spawn(ge::singleton(), S("u")), ge::touch(S("u")));
+  EXPECT_EQ(to_string(*g), "1 / u ; ~u");
+}
+
+TEST(GraphExpr, SeqAllOfNothingIsSingleton) {
+  EXPECT_EQ(to_string(*ge::seq_all({})), "1");
+}
+
+TEST(GraphExpr, SeqAllChainsLeftToRight) {
+  const GraphExprPtr g =
+      ge::seq_all({ge::touch(S("a")), ge::touch(S("b")), ge::touch(S("c"))});
+  EXPECT_EQ(to_string(*g), "~a ; ~b ; ~c");
+}
+
+TEST(GraphExpr, SpawnedAndTouchedVertices) {
+  // spawn u (body touches w), then touch u.
+  const GraphExprPtr g =
+      ge::seq(ge::spawn(ge::touch(S("w")), S("u")), ge::touch(S("u")));
+  EXPECT_EQ(spawned_vertices(*g), std::vector<Symbol>{S("u")});
+  EXPECT_EQ(touched_vertices(*g), (std::vector<Symbol>{S("w"), S("u")}));
+}
+
+TEST(GraphExpr, UnspawnedTouchTargets) {
+  const GraphExprPtr g =
+      ge::seq(ge::spawn(ge::singleton(), S("u")), ge::touch(S("w")));
+  const OrderedSet<Symbol> unspawned = unspawned_touch_targets(*g);
+  EXPECT_TRUE(unspawned.contains(S("w")));
+  EXPECT_FALSE(unspawned.contains(S("u")));
+}
+
+TEST(GraphExpr, NodeCount) {
+  const GraphExprPtr g =
+      ge::seq(ge::spawn(ge::singleton(), S("u")), ge::touch(S("u")));
+  // seq + spawn + singleton + touch = 4
+  EXPECT_EQ(node_count(*g), 4u);
+}
+
+TEST(Graph, AddVertexDetectsDuplicates) {
+  Graph g;
+  EXPECT_TRUE(g.add_vertex(S("a")));
+  EXPECT_FALSE(g.add_vertex(S("a")));
+  EXPECT_EQ(g.duplicate_vertices(), std::vector<Symbol>{S("a")});
+}
+
+TEST(Graph, UndeclaredEndpoints) {
+  Graph g;
+  g.add_vertex(S("a"));
+  g.add_edge(S("ghost"), S("a"));
+  EXPECT_EQ(g.undeclared_vertices(), std::vector<Symbol>{S("ghost")});
+}
+
+TEST(Graph, CycleDetectionOnHandMadeGraphs) {
+  Graph acyclic;
+  acyclic.add_vertex(S("a"));
+  acyclic.add_vertex(S("b"));
+  acyclic.add_edge(S("a"), S("b"));
+  EXPECT_FALSE(acyclic.has_cycle());
+
+  Graph cyclic;
+  cyclic.add_vertex(S("a"));
+  cyclic.add_vertex(S("b"));
+  cyclic.add_edge(S("a"), S("b"));
+  cyclic.add_edge(S("b"), S("a"));
+  ASSERT_TRUE(cyclic.has_cycle());
+  const auto cycle = cyclic.find_cycle();
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_EQ(cycle->size(), 2u);
+}
+
+TEST(Graph, SelfLoopIsACycle) {
+  Graph g;
+  g.add_vertex(S("a"));
+  g.add_edge(S("a"), S("a"));
+  EXPECT_TRUE(g.has_cycle());
+}
+
+TEST(Graph, Reachability) {
+  Graph g;
+  for (const char* v : {"a", "b", "c", "d"}) g.add_vertex(S(v));
+  g.add_edge(S("a"), S("b"));
+  g.add_edge(S("b"), S("c"));
+  EXPECT_TRUE(g.reachable(S("a"), S("c")));
+  EXPECT_TRUE(g.reachable(S("a"), S("a")));
+  EXPECT_FALSE(g.reachable(S("c"), S("a")));
+  EXPECT_FALSE(g.reachable(S("a"), S("d")));
+}
+
+TEST(Graph, TopologicalOrder) {
+  Graph g;
+  for (const char* v : {"a", "b", "c"}) g.add_vertex(S(v));
+  g.add_edge(S("a"), S("b"));
+  g.add_edge(S("b"), S("c"));
+  const auto order = g.topological_order();
+  ASSERT_TRUE(order.has_value());
+  ASSERT_EQ(order->size(), 3u);
+  EXPECT_EQ(order->front(), S("a"));
+  EXPECT_EQ(order->back(), S("c"));
+
+  g.add_edge(S("c"), S("a"));
+  EXPECT_FALSE(g.topological_order().has_value());
+}
+
+TEST(Lowering, SingletonHasOneVertex) {
+  const Graph g = lower_to_graph(*ge::singleton());
+  EXPECT_EQ(g.vertex_count(), 1u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.start(), g.end());
+}
+
+TEST(Lowering, SeqAddsLinkingEdge) {
+  const Graph g = lower_to_graph(*ge::seq(ge::singleton(), ge::singleton()));
+  EXPECT_EQ(g.vertex_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_NE(g.start(), g.end());
+  EXPECT_TRUE(g.reachable(g.start(), g.end()));
+}
+
+TEST(Lowering, SpawnCreatesFutureThreadWithDesignatedEnd) {
+  // Fig. 2: (V,E,s,t)/u adds u and a fresh main vertex u', with edges
+  // (u', s) and (t, u).
+  const Graph g = lower_to_graph(*ge::spawn(ge::singleton(), S("fut")));
+  EXPECT_EQ(g.vertex_count(), 3u);  // body vertex, designated u, main u'
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(g.has_vertex(S("fut")));
+  // The future's designated vertex is reachable from the main vertex.
+  EXPECT_TRUE(g.reachable(g.start(), S("fut")));
+  // Start and end are the same single main-thread vertex.
+  EXPECT_EQ(g.start(), g.end());
+}
+
+TEST(Lowering, SpawnThenTouchIsAcyclic) {
+  const GraphExprPtr g =
+      ge::seq(ge::spawn(ge::singleton(), S("u")), ge::touch(S("u")));
+  const Graph graph = lower_to_graph(*g);
+  EXPECT_FALSE(graph.has_cycle());
+  EXPECT_TRUE(graph.undeclared_vertices().empty());
+  // The touch edge makes the future's end vertex an ancestor of the main
+  // thread's continuation.
+  EXPECT_TRUE(graph.reachable(S("u"), graph.end()));
+}
+
+TEST(Lowering, TouchBeforeSpawnCreatesCycle) {
+  // ~u ; (1 / u): the touch waits for a future spawned later in the same
+  // thread — the classic self-deadlock of the §3 counterexample.
+  const GraphExprPtr g =
+      ge::seq(ge::touch(S("u")), ge::spawn(ge::singleton(), S("u")));
+  const Graph graph = lower_to_graph(*g);
+  EXPECT_TRUE(graph.has_cycle());
+}
+
+TEST(Lowering, TouchOfNeverSpawnedIsDanglingNotCyclic) {
+  const GraphExprPtr g = ge::touch(S("phantom"));
+  const Graph graph = lower_to_graph(*g);
+  EXPECT_FALSE(graph.has_cycle());
+  EXPECT_EQ(graph.undeclared_vertices(), std::vector<Symbol>{S("phantom")});
+}
+
+TEST(Lowering, CrossTouchDeadlockIsACycle) {
+  // a's body touches b, b's body touches a: the paper's two-future
+  // deadlock (§2.1).
+  const GraphExprPtr g = ge::seq(ge::spawn(ge::touch(S("b")), S("a")),
+                                 ge::spawn(ge::touch(S("a")), S("b")));
+  EXPECT_TRUE(lower_to_graph(*g).has_cycle());
+}
+
+TEST(Lowering, PipelineOfFuturesIsAcyclic) {
+  // Each future touches the previous one; the main thread touches the
+  // last. No cycle.
+  GraphExprPtr body0 = ge::singleton();
+  GraphExprPtr chain = ge::spawn(body0, S("p0"));
+  for (int i = 1; i < 5; ++i) {
+    const Symbol prev = Symbol::intern("p" + std::to_string(i - 1));
+    const Symbol cur = Symbol::intern("p" + std::to_string(i));
+    chain = ge::seq(chain, ge::spawn(ge::touch(prev), cur));
+  }
+  chain = ge::seq(chain, ge::touch(S("p4")));
+  const Graph graph = lower_to_graph(*chain);
+  EXPECT_FALSE(graph.has_cycle());
+  EXPECT_TRUE(graph.undeclared_vertices().empty());
+}
+
+TEST(GroundDeadlock, ReportsCycle) {
+  const GraphExprPtr g =
+      ge::seq(ge::touch(S("u")), ge::spawn(ge::singleton(), S("u")));
+  const GroundDeadlock verdict = find_ground_deadlock(*g);
+  EXPECT_TRUE(verdict.any());
+  EXPECT_TRUE(verdict.cycle);
+  EXPECT_FALSE(verdict.unspawned_touch);
+  EXPECT_FALSE(verdict.witness.empty());
+}
+
+TEST(GroundDeadlock, ReportsUnspawnedTouch) {
+  const GroundDeadlock verdict = find_ground_deadlock(*ge::touch(S("nope")));
+  EXPECT_TRUE(verdict.any());
+  EXPECT_TRUE(verdict.unspawned_touch);
+  EXPECT_EQ(verdict.witness, std::vector<Symbol>{S("nope")});
+}
+
+TEST(GroundDeadlock, CleanGraphHasNone) {
+  const GraphExprPtr g =
+      ge::seq(ge::spawn(ge::singleton(), S("u")), ge::touch(S("u")));
+  EXPECT_FALSE(find_ground_deadlock(*g).any());
+}
+
+TEST(Graph, DotExportMentionsAllVertices) {
+  Graph g;
+  g.add_vertex(S("a"));
+  g.add_edge(S("a"), S("missing"));
+  g.set_start(S("a"));
+  const std::string dot = g.to_dot("test");
+  EXPECT_NE(dot.find("digraph test"), std::string::npos);
+  EXPECT_NE(dot.find("\"a\""), std::string::npos);
+  EXPECT_NE(dot.find("\"missing\""), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gtdl

@@ -1,0 +1,201 @@
+// Tests for the graph type AST: builders, printing, parsing (round-trip),
+// free variables, stats, and equality.
+
+#include <gtest/gtest.h>
+
+#include "gtdl/gtype/gtype.hpp"
+#include "gtdl/gtype/parse.hpp"
+
+namespace gtdl {
+namespace {
+
+Symbol S(const char* s) { return Symbol::intern(s); }
+
+TEST(GTypePrint, Atoms) {
+  EXPECT_EQ(to_string(*gt::empty()), "1");
+  EXPECT_EQ(to_string(*gt::touch(S("u"))), "~u");
+  EXPECT_EQ(to_string(*gt::var(S("g"))), "g");
+}
+
+TEST(GTypePrint, PrecedenceOfSeqAndOr) {
+  const GTypePtr g = gt::alt(gt::seq(gt::empty(), gt::touch(S("u"))),
+                             gt::empty());
+  EXPECT_EQ(to_string(*g), "1 ; ~u | 1");
+  const GTypePtr h = gt::seq(gt::alt(gt::empty(), gt::empty()),
+                             gt::touch(S("u")));
+  EXPECT_EQ(to_string(*h), "(1 | 1) ; ~u");
+}
+
+TEST(GTypePrint, SpawnBindsTightest) {
+  const GTypePtr g =
+      gt::seq(gt::spawn(gt::empty(), S("u")), gt::touch(S("u")));
+  EXPECT_EQ(to_string(*g), "1 / u ; ~u");
+  const GTypePtr h = gt::spawn(gt::seq(gt::empty(), gt::empty()), S("u"));
+  EXPECT_EQ(to_string(*h), "(1 ; 1) / u");
+}
+
+TEST(GTypePrint, BindersAndApplication) {
+  const GTypePtr g = gt::rec(
+      S("g"), gt::pi({S("a")}, {S("x")},
+                     gt::app(gt::var(S("g")), {S("a")}, {S("x")})));
+  EXPECT_EQ(to_string(*g), "rec g. pi[a; x]. g[a; x]");
+}
+
+TEST(GTypePrint, DivideAndConquerExample) {
+  // μγ.νu.(• ∨ (γ/u ⊕ γ ⊕ ᵘ\)) — §2.3 of the paper.
+  const Symbol g = S("g");
+  const Symbol u = S("u");
+  const GTypePtr t = gt::rec(
+      g, gt::nu(u, gt::alt(gt::empty(),
+                           gt::seq_all({gt::spawn(gt::var(g), u), gt::var(g),
+                                        gt::touch(u)}))));
+  EXPECT_EQ(to_string(*t), "rec g. new u. 1 | g / u ; g ; ~u");
+}
+
+class ParseRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParseRoundTrip, PrintParseIsIdentity) {
+  const GTypePtr parsed = parse_gtype_or_throw(GetParam());
+  const std::string printed = to_string(*parsed);
+  const GTypePtr reparsed = parse_gtype_or_throw(printed);
+  EXPECT_TRUE(structurally_equal(*parsed, *reparsed))
+      << "printed: " << printed;
+  EXPECT_EQ(printed, to_string(*reparsed));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Syntax, ParseRoundTrip,
+    ::testing::Values(
+        "1", "~u", "1 ; 1", "1 | 1", "1 / u", "1 / u ; ~u",
+        "(1 | 1) ; ~u", "rec g. 1 | g", "new u. 1 / u ; ~u",
+        "pi[a; x]. ~x ; 1 / a", "rec g. pi[a; x]. new u. 1 | ~x ; 1 / a ; g[u; u]",
+        "rec g. new u. 1 | g / u ; g ; ~u",
+        "pi[; x]. ~x", "pi[a;]. 1 / a", "pi[;]. 1",
+        "g[a, b; x]", "g[;]", "(rec g. pi[a; x]. 1 / a)[u; w]",
+        "new u. new w. (1 / u ; 1 / w) ; (~u ; ~w)",
+        "1 / u / w",     // nested spawn: (1/u)/w
+        "(1 / u)[a; x]"  // application of a spawned graph (degenerate but legal syntax)
+        ));
+
+TEST(GTypeParse, AcceptsCommentsAndWhitespace) {
+  const GTypePtr g = parse_gtype_or_throw(
+      "# a comment\n  1 ; # trailing\n ~u\n");
+  EXPECT_EQ(to_string(*g), "1 ; ~u");
+}
+
+TEST(GTypeParse, RejectsGarbage) {
+  DiagnosticEngine diags;
+  EXPECT_EQ(parse_gtype("1 ; ;", diags), nullptr);
+  EXPECT_TRUE(diags.has_errors());
+
+  diags.clear();
+  EXPECT_EQ(parse_gtype("rec . 1", diags), nullptr);
+  EXPECT_TRUE(diags.has_errors());
+
+  diags.clear();
+  EXPECT_EQ(parse_gtype("pi[a x]. 1", diags), nullptr);
+  EXPECT_TRUE(diags.has_errors());
+
+  diags.clear();
+  EXPECT_EQ(parse_gtype("1 extra", diags), nullptr);
+  EXPECT_TRUE(diags.has_errors());
+
+  diags.clear();
+  EXPECT_EQ(parse_gtype("", diags), nullptr);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(GTypeParse, ErrorsCarryLocations) {
+  DiagnosticEngine diags;
+  EXPECT_EQ(parse_gtype("1 ;\n;", diags), nullptr);
+  ASSERT_TRUE(diags.has_errors());
+  EXPECT_EQ(diags.all().front().loc.line, 2u);
+}
+
+TEST(GTypeFreeVars, VerticesRespectBinders) {
+  const GTypePtr g = parse_gtype_or_throw("new u. 1 / u ; ~u ; ~w");
+  const OrderedSet<Symbol> fv = free_vertices(*g);
+  EXPECT_FALSE(fv.contains(S("u")));
+  EXPECT_TRUE(fv.contains(S("w")));
+}
+
+TEST(GTypeFreeVars, PiBindsBothVectors) {
+  const GTypePtr g = parse_gtype_or_throw("pi[a; x]. 1 / a ; ~x ; ~y");
+  const OrderedSet<Symbol> fv = free_vertices(*g);
+  EXPECT_FALSE(fv.contains(S("a")));
+  EXPECT_FALSE(fv.contains(S("x")));
+  EXPECT_TRUE(fv.contains(S("y")));
+}
+
+TEST(GTypeFreeVars, AppArgumentsAreFree) {
+  const GTypePtr g = parse_gtype_or_throw("g[a; x]");
+  const OrderedSet<Symbol> fv = free_vertices(*g);
+  EXPECT_TRUE(fv.contains(S("a")));
+  EXPECT_TRUE(fv.contains(S("x")));
+  EXPECT_TRUE(free_gvars(*g).contains(S("g")));
+}
+
+TEST(GTypeFreeVars, GvarsRespectMu) {
+  const GTypePtr g = parse_gtype_or_throw("rec g. g ; h");
+  const OrderedSet<Symbol> fg = free_gvars(*g);
+  EXPECT_FALSE(fg.contains(S("g")));
+  EXPECT_TRUE(fg.contains(S("h")));
+}
+
+TEST(GTypeStatsTest, CountsConstructors) {
+  const GTypePtr g = parse_gtype_or_throw(
+      "rec g. pi[a; x]. new u. 1 | ~x ; 1 / a ; g[u; u]");
+  const GTypeStats s = stats(*g);
+  EXPECT_EQ(s.mu_bindings, 1u);
+  EXPECT_EQ(s.nu_bindings, 1u);
+  EXPECT_EQ(s.applications, 1u);
+  EXPECT_EQ(s.spawns, 1u);
+  EXPECT_EQ(s.touches, 1u);
+  EXPECT_GT(s.nodes, 6u);
+}
+
+TEST(GTypeEquality, StructuralIsExact) {
+  const GTypePtr a = parse_gtype_or_throw("new u. 1 / u");
+  const GTypePtr b = parse_gtype_or_throw("new u. 1 / u");
+  const GTypePtr c = parse_gtype_or_throw("new w. 1 / w");
+  EXPECT_TRUE(structurally_equal(*a, *b));
+  EXPECT_FALSE(structurally_equal(*a, *c));
+}
+
+TEST(GTypeEquality, AlphaIdentifiesRenamedBinders) {
+  const GTypePtr a = parse_gtype_or_throw("new u. 1 / u ; ~u");
+  const GTypePtr c = parse_gtype_or_throw("new w. 1 / w ; ~w");
+  EXPECT_TRUE(alpha_equal(*a, *c));
+
+  const GTypePtr free1 = parse_gtype_or_throw("~x");
+  const GTypePtr free2 = parse_gtype_or_throw("~y");
+  EXPECT_FALSE(alpha_equal(*free1, *free2));  // free names must match
+}
+
+TEST(GTypeEquality, AlphaHandlesRecAndPi) {
+  const GTypePtr a =
+      parse_gtype_or_throw("rec g. pi[a; x]. ~x ; 1 / a ; g[a; x]");
+  const GTypePtr b =
+      parse_gtype_or_throw("rec h. pi[p; q]. ~q ; 1 / p ; h[p; q]");
+  EXPECT_TRUE(alpha_equal(*a, *b));
+  const GTypePtr c =
+      parse_gtype_or_throw("rec h. pi[p; q]. ~q ; 1 / p ; h[q; p]");
+  EXPECT_FALSE(alpha_equal(*a, *c));
+}
+
+TEST(GTypeEquality, AlphaDistinguishesShadowing) {
+  const GTypePtr a = parse_gtype_or_throw("new u. new u. ~u");
+  const GTypePtr b = parse_gtype_or_throw("new u. new w. ~u");
+  EXPECT_FALSE(alpha_equal(*a, *b));
+  const GTypePtr c = parse_gtype_or_throw("new p. new q. ~q");
+  EXPECT_TRUE(alpha_equal(*a, *c));
+}
+
+TEST(GTypeBuilders, SeqAllAndNuAll) {
+  EXPECT_EQ(to_string(*gt::seq_all({})), "1");
+  const GTypePtr g = gt::nu_all({S("a"), S("b")}, gt::touch(S("a")));
+  EXPECT_EQ(to_string(*g), "new a. new b. ~a");
+}
+
+}  // namespace
+}  // namespace gtdl

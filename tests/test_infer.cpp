@@ -1,0 +1,283 @@
+// Tests for graph type inference — GML fidelity, including ν-hoisting and
+// the 2-round Mycroft cap of paper footnote 3.
+
+#include <gtest/gtest.h>
+
+#include "gtdl/detect/counterexample.hpp"
+#include "gtdl/detect/deadlock.hpp"
+#include "gtdl/frontend/driver.hpp"
+#include "gtdl/gtype/wellformed.hpp"
+
+namespace gtdl {
+namespace {
+
+constexpr const char* kDivideAndConquer = R"(
+fun dac(n: int) -> int {
+  if n < 2 {
+    return n;
+  } else {
+    let h = new_future[int]();
+    spawn h { return dac(n - 1); }
+    let right = dac(n - 2);
+    let left = touch(h);
+    return left + right;
+  }
+}
+fun main() {
+  let x = dac(10);
+  print(int_to_string(x));
+}
+)";
+
+TEST(Infer, StraightLineProgram) {
+  const CompiledProgram c = compile_futlang_or_throw(R"(
+    fun main() {
+      let h = new_future[int]();
+      spawn h { return 42; }
+      let v = touch(h);
+    }
+  )");
+  // new u. (1/u ; ~u), with ν hoisted and fresh-named.
+  const GTypePtr g = c.inferred.program_gtype;
+  const auto* nu = std::get_if<GTNew>(&g->node);
+  ASSERT_NE(nu, nullptr);
+  EXPECT_TRUE(check_wellformed(g).ok);
+  EXPECT_TRUE(check_deadlock_freedom(g).deadlock_free);
+}
+
+GTypePtr parse_paper_shape();
+
+TEST(Infer, DivideAndConquerMatchesPaperShape) {
+  const CompiledProgram c = compile_futlang_or_throw(kDivideAndConquer);
+  const auto& info = c.inferred.functions.at(Symbol::intern("dac"));
+  EXPECT_TRUE(info.recursive);
+  EXPECT_TRUE(info.future_params.empty());
+  // μγ.νu.(• ∨ (γ/u ⊕ γ ⊕ ᵘ\)) — the §2.3 example, with GML's hoisted ν.
+  const GTypePtr expected = parse_paper_shape();
+  EXPECT_TRUE(alpha_equal(*info.gtype, *expected))
+      << "inferred: " << to_string(info.gtype);
+  EXPECT_TRUE(check_wellformed(info.gtype).ok);
+}
+
+TEST(Infer, DivideAndConquerNeedsNewPushingToPass) {
+  const CompiledProgram c = compile_futlang_or_throw(kDivideAndConquer);
+  DetectOptions no_push;
+  no_push.new_pushing = false;
+  EXPECT_FALSE(check_deadlock_freedom(c.inferred.program_gtype, no_push)
+                   .deadlock_free);
+  EXPECT_TRUE(
+      check_deadlock_freedom(c.inferred.program_gtype).deadlock_free);
+}
+
+TEST(Infer, ParamClassificationSpawnAndTouch) {
+  const CompiledProgram c = compile_futlang_or_throw(R"(
+    fun worker(a: future[int], x: future[int]) {
+      spawn a { return 1; }
+      let v = touch(x);
+    }
+    fun main() {
+      let p = new_future[int]();
+      let q = new_future[int]();
+      spawn q { return 0; }
+      worker(p, q);
+      let r = touch(p);
+    }
+  )");
+  const auto& info = c.inferred.functions.at(Symbol::intern("worker"));
+  ASSERT_EQ(info.future_params.size(), 2u);
+  EXPECT_TRUE(info.usage[0].spawned);
+  EXPECT_FALSE(info.usage[0].touched);
+  EXPECT_FALSE(info.usage[1].spawned);
+  EXPECT_TRUE(info.usage[1].touched);
+  EXPECT_TRUE(check_deadlock_freedom(c.inferred.program_gtype).deadlock_free);
+}
+
+TEST(Infer, SpawnedAndTouchedParamBindsAsSpawnOnly) {
+  const CompiledProgram c = compile_futlang_or_throw(R"(
+    fun both(p: future[int]) {
+      spawn p { return 1; }
+      let v = touch(p);
+    }
+    fun main() {
+      let h = new_future[int]();
+      both(h);
+    }
+  )");
+  const auto& info = c.inferred.functions.at(Symbol::intern("both"));
+  EXPECT_TRUE(info.usage[0].spawned);
+  EXPECT_TRUE(info.usage[0].touched);
+  EXPECT_EQ(info.spawn_vertex_params().size(), 1u);
+  EXPECT_TRUE(info.touch_vertex_params().empty());
+  EXPECT_TRUE(check_deadlock_freedom(c.inferred.program_gtype).deadlock_free);
+}
+
+TEST(Infer, TransitiveClassificationThroughCalls) {
+  // outer's param flows into worker's spawn position: outer must classify
+  // it as spawned even though outer never spawns directly.
+  const CompiledProgram c = compile_futlang_or_throw(R"(
+    fun worker(a: future[int]) {
+      spawn a { return 1; }
+    }
+    fun outer(p: future[int]) {
+      worker(p);
+    }
+    fun main() {
+      let h = new_future[int]();
+      outer(h);
+      let v = touch(h);
+    }
+  )");
+  const auto& info = c.inferred.functions.at(Symbol::intern("outer"));
+  EXPECT_TRUE(info.usage[0].spawned);
+  EXPECT_TRUE(check_deadlock_freedom(c.inferred.program_gtype).deadlock_free);
+}
+
+TEST(Infer, CounterexampleM1InfersWithDefaultCap) {
+  DiagnosticEngine diags;
+  auto c = compile_futlang(counterexample_futlang(1), diags);
+  ASSERT_TRUE(c.has_value()) << diags.render();
+  const auto& info = c->inferred.functions.at(Symbol::intern("g"));
+  EXPECT_EQ(info.iterations, 2u);
+  // The inferred whole-program type is rejected by the deadlock system...
+  EXPECT_FALSE(
+      check_deadlock_freedom(c->inferred.program_gtype).deadlock_free);
+  // ...and matches the hand-built §3 type structurally.
+  EXPECT_TRUE(check_wellformed(c->inferred.program_gtype).ok);
+}
+
+TEST(Infer, CounterexampleM2FailsAtGmlCap) {
+  // Paper footnote 3: GML cannot infer the extended counterexample —
+  // the type does not reach a fixed point within two iterations.
+  DiagnosticEngine diags;
+  auto c = compile_futlang(counterexample_futlang(2), diags);
+  EXPECT_FALSE(c.has_value());
+  EXPECT_NE(diags.render().find("fixed point"), std::string::npos);
+}
+
+TEST(Infer, CounterexampleM2InfersWithRaisedCap) {
+  DiagnosticEngine diags;
+  InferOptions options;
+  options.max_signature_iterations = 4;
+  auto c = compile_futlang(counterexample_futlang(2), diags, options);
+  ASSERT_TRUE(c.has_value()) << diags.render();
+  EXPECT_FALSE(
+      check_deadlock_freedom(c->inferred.program_gtype).deadlock_free);
+}
+
+TEST(Infer, CounterexampleFamilyIterationsGrowWithM) {
+  for (unsigned m = 1; m <= 3; ++m) {
+    DiagnosticEngine diags;
+    InferOptions options;
+    options.max_signature_iterations = m + 2;
+    auto c = compile_futlang(counterexample_futlang(m), diags, options);
+    ASSERT_TRUE(c.has_value()) << "m=" << m << "\n" << diags.render();
+    const auto& info = c->inferred.functions.at(Symbol::intern("g"));
+    EXPECT_EQ(info.iterations, m + 1) << "m=" << m;
+  }
+}
+
+TEST(Infer, WhileLoopRejected) {
+  DiagnosticEngine diags;
+  auto c = compile_futlang("fun main() { while true { } }", diags);
+  EXPECT_FALSE(c.has_value());
+  EXPECT_NE(diags.render().find("while"), std::string::npos);
+}
+
+TEST(Infer, EarlyReturnRejected) {
+  DiagnosticEngine diags;
+  auto c = compile_futlang(R"(
+    fun main() {
+      return;
+      let x = 1;
+    }
+  )",
+                           diags);
+  EXPECT_FALSE(c.has_value());
+  EXPECT_NE(diags.render().find("last statement"), std::string::npos);
+}
+
+TEST(Infer, ReturningIfMustBeLast) {
+  DiagnosticEngine diags;
+  auto c = compile_futlang(R"(
+    fun main() {
+      if true { return; } else { }
+      let x = 1;
+    }
+  )",
+                           diags);
+  EXPECT_FALSE(c.has_value());
+}
+
+TEST(Infer, MutualRecursionRejected) {
+  DiagnosticEngine diags;
+  auto c = compile_futlang(R"(
+    fun even(n: int) -> bool { return odd(n - 1); }
+    fun odd(n: int) -> bool { return even(n - 1); }
+    fun main() { }
+  )",
+                           diags);
+  EXPECT_FALSE(c.has_value());
+  EXPECT_NE(diags.render().find("declared before"), std::string::npos);
+}
+
+TEST(Infer, OpaqueFutureRejected) {
+  // Reassigning a handle variable under a conditional merges two futures.
+  DiagnosticEngine diags;
+  auto c = compile_futlang(R"(
+    fun main() {
+      let a = new_future[int]();
+      let b = new_future[int]();
+      let h = a;
+      if rand() == 0 { h = b; } else { }
+      spawn h { return 1; }
+      spawn a { return 1; }
+      let v = touch(h);
+    }
+  )",
+                           diags);
+  EXPECT_FALSE(c.has_value());
+  EXPECT_NE(diags.render().find("statically identify"), std::string::npos);
+}
+
+TEST(Infer, HandleFlowsThroughVariables) {
+  const CompiledProgram c = compile_futlang_or_throw(R"(
+    fun main() {
+      let a = new_future[int]();
+      let alias = a;
+      spawn alias { return 7; }
+      let v = touch(a);
+    }
+  )");
+  EXPECT_TRUE(check_deadlock_freedom(c.inferred.program_gtype).deadlock_free);
+}
+
+TEST(Infer, NonRecursiveCalleeInlined) {
+  const CompiledProgram c = compile_futlang_or_throw(R"(
+    fun helper() {
+      let h = new_future[int]();
+      spawn h { return 3; }
+      let v = touch(h);
+    }
+    fun main() {
+      helper();
+      helper();
+    }
+  )");
+  // Each call site inlines helper's graph; its ν must instantiate freshly
+  // per call, so the program type stays well-formed.
+  EXPECT_TRUE(check_wellformed(c.inferred.program_gtype).ok);
+  EXPECT_TRUE(check_deadlock_freedom(c.inferred.program_gtype).deadlock_free);
+}
+
+// Paper §2.3 example shape for the divide-and-conquer test above.
+GTypePtr parse_paper_shape() {
+  const Symbol g = Symbol::intern("zz_g");
+  const Symbol u = Symbol::intern("zz_u");
+  return gt::rec(
+      g, gt::nu(u, gt::alt(gt::empty(),
+                           gt::seq_all({gt::spawn(gt::var(g), u), gt::var(g),
+                                        gt::touch(u)}))));
+}
+
+}  // namespace
+}  // namespace gtdl

@@ -1,0 +1,318 @@
+// Tests for the FutLang interpreter: values, control flow, futures,
+// recorded graphs, deadlock detection, and trace generation.
+
+#include <gtest/gtest.h>
+
+#include "gtdl/detect/counterexample.hpp"
+#include "gtdl/frontend/interp.hpp"
+#include "gtdl/frontend/parser.hpp"
+#include "gtdl/frontend/typecheck.hpp"
+#include "gtdl/tj/join_policy.hpp"
+
+namespace gtdl {
+namespace {
+
+InterpResult run(const char* source, InterpOptions options = {}) {
+  Program program = parse_program_or_throw(source);
+  DiagnosticEngine diags;
+  EXPECT_TRUE(typecheck_program(program, diags)) << diags.render();
+  return interpret(program, options);
+}
+
+TEST(Interp, ArithmeticAndPrint) {
+  const InterpResult r = run(R"(
+    fun main() {
+      print(int_to_string(2 + 3 * 4));
+      print(int_to_string(10 / 3));
+      print(int_to_string(10 % 3));
+      print(int_to_string(-5));
+    }
+  )");
+  ASSERT_TRUE(r.completed) << r.error.value_or("") + r.deadlock.value_or("");
+  EXPECT_EQ(r.output, "14\n3\n1\n-5\n");
+}
+
+TEST(Interp, BoolsAndComparisons) {
+  const InterpResult r = run(R"(
+    fun main() {
+      if 1 < 2 && !(2 < 1) || false { print("yes"); } else { print("no"); }
+      if "a" == "a" { print("str"); } else { }
+    }
+  )");
+  EXPECT_EQ(r.output, "yes\nstr\n");
+}
+
+TEST(Interp, ShortCircuitEvaluation) {
+  // (1/0) on the right of && must not evaluate when the left is false.
+  const InterpResult r = run(R"(
+    fun boom() -> bool { let x = 1 / 0; return true; }
+    fun main() {
+      if false && boom() { print("bad"); } else { print("ok"); }
+    }
+  )");
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.output, "ok\n");
+}
+
+TEST(Interp, ListsAndBuiltins) {
+  const InterpResult r = run(R"(
+    fun main() {
+      let l = range(0, 5);
+      print(int_to_string(length(l)));
+      print(int_to_string(head(l)));
+      print(int_to_string(head(tail(l))));
+      print(int_to_string(length(take(l, 2))));
+      print(int_to_string(head(drop(l, 3))));
+      let m = cons(99, nil);
+      print(int_to_string(head(append(m, l))));
+    }
+  )");
+  ASSERT_TRUE(r.completed) << r.error.value_or("");
+  EXPECT_EQ(r.output, "5\n0\n1\n2\n3\n99\n");
+}
+
+TEST(Interp, WhileLoopsAndAssignment) {
+  const InterpResult r = run(R"(
+    fun main() {
+      let i = 0;
+      let sum = 0;
+      while i < 5 {
+        sum = sum + i;
+        i = i + 1;
+      }
+      print(int_to_string(sum));
+    }
+  )");
+  EXPECT_EQ(r.output, "10\n");
+}
+
+TEST(Interp, RecursionAndCalls) {
+  const InterpResult r = run(R"(
+    fun fib(n: int) -> int {
+      if n < 2 { return n; } else { return fib(n - 1) + fib(n - 2); }
+    }
+    fun main() { print(int_to_string(fib(10))); }
+  )");
+  EXPECT_EQ(r.output, "55\n");
+}
+
+TEST(Interp, RandScriptThenLcg) {
+  InterpOptions options;
+  options.rand_script = {7, 8};
+  options.seed = 123;
+  const InterpResult r = run(R"(
+    fun main() {
+      print(int_to_string(rand()));
+      print(int_to_string(rand()));
+      let x = rand();
+      if x >= 0 { print("nonneg"); } else { print("neg"); }
+    }
+  )",
+                             options);
+  EXPECT_EQ(r.output.substr(0, 4), "7\n8\n");
+  EXPECT_NE(r.output.find("nonneg"), std::string::npos);
+}
+
+TEST(Interp, FutureSpawnTouchValue) {
+  const InterpResult r = run(R"(
+    fun main() {
+      let h = new_future[int]();
+      spawn h { return 40 + 2; }
+      print(int_to_string(touch(h)));
+    }
+  )");
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.output, "42\n");
+  EXPECT_FALSE(r.graph_deadlock().any());
+  // Graph: fork then join by main.
+  ASSERT_GE(r.trace.size(), 3u);
+  EXPECT_EQ(r.trace[0].kind, ActionKind::kInit);
+  EXPECT_EQ(r.trace[1].kind, ActionKind::kFork);
+  EXPECT_EQ(r.trace[2].kind, ActionKind::kJoin);
+}
+
+TEST(Interp, FutureBodySeesClosureState) {
+  const InterpResult r = run(R"(
+    fun main() {
+      let x = 10;
+      let h = new_future[int]();
+      spawn h { return x * 2; }
+      print(int_to_string(touch(h)));
+    }
+  )");
+  EXPECT_EQ(r.output, "20\n");
+}
+
+TEST(Interp, UnforcedFuturesRunAtProgramEnd) {
+  const InterpResult r = run(R"(
+    fun main() {
+      let h = new_future[int]();
+      spawn h { print("side effect"); return 1; }
+    }
+  )");
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.output, "side effect\n");
+  // The spawn is recorded even though main never touched it.
+  EXPECT_EQ(spawned_vertices(*r.graph).size(), 1u);
+}
+
+TEST(Interp, DoubleSpawnIsRuntimeError) {
+  const InterpResult r = run(R"(
+    fun main() {
+      let h = new_future[int]();
+      spawn h { return 1; }
+      spawn h { return 2; }
+    }
+  )");
+  ASSERT_TRUE(r.error.has_value());
+  EXPECT_NE(r.error->find("twice"), std::string::npos);
+}
+
+TEST(Interp, TouchOfNeverSpawnedDeadlocks) {
+  const InterpResult r = run(R"(
+    fun main() {
+      let h = new_future[int]();
+      let v = touch(h);
+    }
+  )");
+  ASSERT_TRUE(r.deadlock.has_value());
+  EXPECT_NE(r.deadlock->find("spawns"), std::string::npos);
+  EXPECT_TRUE(r.graph_deadlock().unspawned_touch);
+}
+
+TEST(Interp, SpawnAfterTouchByOtherThreadSucceeds) {
+  // a's body touches h; h is spawned by main after a — the lazy scheduler
+  // forces a only at the end, when h is available.
+  const InterpResult r = run(R"(
+    fun main() {
+      let h = new_future[int]();
+      let a = new_future[int]();
+      spawn a { return touch(h) + 1; }
+      spawn h { return 10; }
+      print(int_to_string(touch(a)));
+    }
+  )");
+  ASSERT_TRUE(r.completed) << r.deadlock.value_or("");
+  EXPECT_EQ(r.output, "11\n");
+  EXPECT_FALSE(r.graph_deadlock().any());
+}
+
+TEST(Interp, PendingSpawnerRescuesUnspawnedTouch) {
+  // main touches h, which only gets spawned inside pending future a.
+  const InterpResult r = run(R"(
+    fun main() {
+      let h = new_future[int]();
+      let a = new_future[int]();
+      spawn a { spawn h { return 5; } return 0; }
+      print(int_to_string(touch(h)));
+    }
+  )");
+  ASSERT_TRUE(r.completed) << r.deadlock.value_or("");
+  EXPECT_EQ(r.output, "5\n");
+}
+
+TEST(Interp, CrossTouchDeadlockDetected) {
+  // §2.1's classic two-future deadlock.
+  const InterpResult r = run(R"(
+    fun main() {
+      let a = new_future[int]();
+      let b = new_future[int]();
+      spawn a { return touch(b); }
+      spawn b { return touch(a); }
+    }
+  )");
+  ASSERT_TRUE(r.deadlock.has_value());
+  EXPECT_NE(r.deadlock->find("cyclic"), std::string::npos);
+  EXPECT_TRUE(r.graph_deadlock().cycle);
+  // The dynamic policies reject the trace too.
+  EXPECT_FALSE(check_transitive_joins(r.trace).valid);
+  EXPECT_FALSE(check_known_joins(r.trace).valid);
+}
+
+TEST(Interp, SelfTouchDeadlockDetected) {
+  const InterpResult r = run(R"(
+    fun main() {
+      let a = new_future[int]();
+      spawn a { return touch(a); }
+      let v = touch(a);
+    }
+  )");
+  ASSERT_TRUE(r.deadlock.has_value());
+  EXPECT_TRUE(r.graph_deadlock().cycle);
+}
+
+TEST(Interp, CounterexampleDeadlocksWhenDrivenDeep) {
+  Program program = parse_program_or_throw(counterexample_futlang(1));
+  DiagnosticEngine diags;
+  ASSERT_TRUE(typecheck_program(program, diags));
+  // Take the else branch twice: the second call touches the fresh future
+  // created by the first call, which nobody ever spawns.
+  InterpOptions options;
+  options.rand_script = {1, 1};
+  const InterpResult r = interpret(program, options);
+  ASSERT_TRUE(r.deadlock.has_value());
+  EXPECT_TRUE(r.graph_deadlock().any());
+
+  // Taking the then branch immediately is fine.
+  InterpOptions safe;
+  safe.rand_script = {0};
+  const InterpResult r2 = interpret(program, safe);
+  EXPECT_TRUE(r2.completed) << r2.deadlock.value_or("");
+  EXPECT_FALSE(r2.graph_deadlock().any());
+}
+
+TEST(Interp, StepBudgetStopsRunawayPrograms) {
+  InterpOptions options;
+  options.max_steps = 1000;
+  const InterpResult r = run(R"(
+    fun main() {
+      let i = 0;
+      while true { i = i + 1; }
+    }
+  )",
+                             options);
+  ASSERT_TRUE(r.error.has_value());
+  EXPECT_NE(r.error->find("budget"), std::string::npos);
+}
+
+TEST(Interp, CallDepthBudget) {
+  InterpOptions options;
+  options.max_call_depth = 50;
+  const InterpResult r = run(R"(
+    fun loop(n: int) -> int { return loop(n + 1); }
+    fun main() { let x = loop(0); }
+  )",
+                             options);
+  ASSERT_TRUE(r.error.has_value());
+}
+
+TEST(Interp, RuntimeErrors) {
+  EXPECT_TRUE(run("fun main() { let x = 1 / 0; }").error.has_value());
+  EXPECT_TRUE(run("fun main() { let x = 1 % 0; }").error.has_value());
+  EXPECT_TRUE(
+      run("fun main() { let l: list[int] = nil; let h = head(l); }")
+          .error.has_value());
+  EXPECT_TRUE(
+      run("fun main() { let l: list[int] = nil; let t = tail(l); }")
+          .error.has_value());
+}
+
+TEST(Interp, TraceMatchesGraphSerialization) {
+  const InterpResult r = run(R"(
+    fun main() {
+      let h = new_future[int]();
+      let k = new_future[int]();
+      spawn h { return 1; }
+      spawn k { return touch(h); }
+      print(int_to_string(touch(k)));
+    }
+  )");
+  ASSERT_TRUE(r.completed);
+  const Trace expected = trace_with_init(*r.graph, Symbol::intern("main"));
+  EXPECT_EQ(r.trace, expected);
+  EXPECT_TRUE(check_transitive_joins(r.trace).valid);
+  EXPECT_TRUE(check_known_joins(r.trace).valid);
+}
+
+}  // namespace
+}  // namespace gtdl

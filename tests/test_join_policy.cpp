@@ -1,0 +1,176 @@
+// Tests for the Transitive Joins and Known Joins validators.
+//
+// The key behavioural difference (exploited by Table 1 of the paper):
+// TJ's permission relation is transitively closed at fork time, so a
+// thread may join futures its spawner could join — even futures spawned
+// by total strangers, as long as a permission chain exists. KJ only ever
+// learns futures from its spawner's knowledge at fork time plus its own
+// forks.
+
+#include <gtest/gtest.h>
+
+#include "gtdl/tj/join_policy.hpp"
+#include "gtdl/tj/trace.hpp"
+
+namespace gtdl {
+namespace {
+
+Symbol S(const char* s) { return Symbol::intern(s); }
+const Symbol kMain = Symbol::intern("main");
+
+TEST(TransitiveJoins, SpawnerMayJoinChild) {
+  const Trace t{Action::init(kMain), Action::fork(kMain, S("a")),
+                Action::join(kMain, S("a"))};
+  EXPECT_TRUE(check_transitive_joins(t).valid);
+}
+
+TEST(TransitiveJoins, StrangerJoinRejected) {
+  // b attempts to join a, but got no permission: a was forked AFTER b, so
+  // b did not inherit it and no TJ-LEFT propagation reaches b.
+  const Trace t{Action::init(kMain), Action::fork(kMain, S("b")),
+                Action::fork(kMain, S("a")), Action::join(S("b"), S("a"))};
+  const TraceVerdict verdict = check_transitive_joins(t);
+  EXPECT_FALSE(verdict.valid);
+  EXPECT_EQ(verdict.failing_index, 3u);
+}
+
+TEST(TransitiveJoins, ChildInheritsParentPermissions) {
+  // main forks a, then forks b; b inherited permission to join a
+  // (TJ-RIGHT with main ≤ a at fork time).
+  const Trace t{Action::init(kMain), Action::fork(kMain, S("a")),
+                Action::fork(kMain, S("b")), Action::join(S("b"), S("a"))};
+  EXPECT_TRUE(check_transitive_joins(t).valid);
+}
+
+TEST(TransitiveJoins, LeftClosurePropagatesToPermittedJoiners) {
+  // main forks a; a forks c. main may join c because main ⊑ a at the time
+  // a forked c (TJ-LEFT applied to every thread with permission on a).
+  const Trace t{Action::init(kMain), Action::fork(kMain, S("a")),
+                Action::fork(S("a"), S("c")), Action::join(kMain, S("c"))};
+  EXPECT_TRUE(check_transitive_joins(t).valid);
+}
+
+TEST(TransitiveJoins, LeftClosureIsTransitive) {
+  // main forks a; main forks b (b may join a); a forks c — now b may join
+  // c too, because b ≤ a held when a forked c.
+  const Trace t{Action::init(kMain), Action::fork(kMain, S("a")),
+                Action::fork(kMain, S("b")), Action::fork(S("a"), S("c")),
+                Action::join(S("b"), S("c"))};
+  EXPECT_TRUE(check_transitive_joins(t).valid);
+}
+
+TEST(TransitiveJoins, PermissionIsTemporal) {
+  // main forks a; a forks c; only then does main fork b. b inherits
+  // main's permissions at ITS fork time — which include both a and c.
+  // But a future fork by a after b's creation is NOT joinable by b... it
+  // is, actually, because b ≤ a persists (TJ-LEFT fires for b as well).
+  // What is genuinely not joinable: a future forked by a thread b has no
+  // permission chain to.
+  const Trace ok{Action::init(kMain),    Action::fork(kMain, S("a")),
+                 Action::fork(S("a"), S("c")), Action::fork(kMain, S("b")),
+                 Action::join(S("b"), S("c"))};
+  EXPECT_TRUE(check_transitive_joins(ok).valid);
+
+  // c never appears in any permission chain for d (d forked by c's
+  // sibling before c existed... construct: main forks d first, then a,
+  // then a forks c; d has no permission on a (a forked later), hence none
+  // on c either.
+  const Trace bad{Action::init(kMain),    Action::fork(kMain, S("d")),
+                  Action::fork(kMain, S("a")), Action::fork(S("a"), S("c")),
+                  Action::join(S("d"), S("c"))};
+  EXPECT_FALSE(check_transitive_joins(bad).valid);
+}
+
+TEST(TransitiveJoins, ForkOfExistingThreadRejected) {
+  const Trace t{Action::init(kMain), Action::fork(kMain, S("a")),
+                Action::fork(kMain, S("a"))};
+  EXPECT_FALSE(check_transitive_joins(t).valid);
+}
+
+TEST(TransitiveJoins, ForkByUnknownThreadRejected) {
+  const Trace t{Action::init(kMain), Action::fork(S("ghost"), S("a"))};
+  EXPECT_FALSE(check_transitive_joins(t).valid);
+}
+
+TEST(TransitiveJoins, ActionsBeforeInitRejected) {
+  const Trace t{Action::fork(kMain, S("a"))};
+  EXPECT_FALSE(check_transitive_joins(t).valid);
+  const Trace t2{Action::init(kMain), Action::init(kMain)};
+  EXPECT_FALSE(check_transitive_joins(t2).valid);
+}
+
+TEST(KnownJoins, SpawnerKnowsChild) {
+  const Trace t{Action::init(kMain), Action::fork(kMain, S("a")),
+                Action::join(kMain, S("a"))};
+  EXPECT_TRUE(check_known_joins(t).valid);
+}
+
+TEST(KnownJoins, ChildKnowsWhatSpawnerKnew) {
+  const Trace t{Action::init(kMain), Action::fork(kMain, S("a")),
+                Action::fork(kMain, S("b")), Action::join(S("b"), S("a"))};
+  EXPECT_TRUE(check_known_joins(t).valid);
+}
+
+TEST(KnownJoins, NoSidewaysPropagation) {
+  // THE distinguishing case: main forks a, then b (b knows a); a forks c.
+  // Under TJ, b may join c; under KJ, b never learns about c.
+  const Trace t{Action::init(kMain), Action::fork(kMain, S("a")),
+                Action::fork(kMain, S("b")), Action::fork(S("a"), S("c")),
+                Action::join(S("b"), S("c"))};
+  EXPECT_FALSE(check_known_joins(t).valid);
+  EXPECT_TRUE(check_transitive_joins(t).valid);
+}
+
+TEST(KnownJoins, ParentDoesNotLearnGrandchildren) {
+  // a forks c; main does not know c under KJ (but may join it under TJ).
+  const Trace t{Action::init(kMain), Action::fork(kMain, S("a")),
+                Action::fork(S("a"), S("c")), Action::join(kMain, S("c"))};
+  EXPECT_FALSE(check_known_joins(t).valid);
+  EXPECT_TRUE(check_transitive_joins(t).valid);
+}
+
+TEST(KnownJoins, KnowledgeIsSnapshotAtForkTime) {
+  // main forks b BEFORE a exists: b does not know a.
+  const Trace t{Action::init(kMain), Action::fork(kMain, S("b")),
+                Action::fork(kMain, S("a")), Action::join(S("b"), S("a"))};
+  EXPECT_FALSE(check_known_joins(t).valid);
+}
+
+TEST(Policies, GraphSerializationsValidateEndToEnd) {
+  // spawn u; touch u — valid under both policies.
+  const GraphExprPtr ok =
+      ge::seq(ge::spawn(ge::singleton(), S("tu")), ge::touch(S("tu")));
+  EXPECT_TRUE(check_transitive_joins(trace_with_init(*ok, kMain)).valid);
+  EXPECT_TRUE(check_known_joins(trace_with_init(*ok, kMain)).valid);
+
+  // Cross-touch deadlock: a touches b before b exists.
+  const GraphExprPtr dead = ge::seq(ge::spawn(ge::touch(S("tb")), S("ta")),
+                                    ge::spawn(ge::touch(S("ta")), S("tb")));
+  EXPECT_FALSE(check_transitive_joins(trace_with_init(*dead, kMain)).valid);
+  EXPECT_FALSE(check_known_joins(trace_with_init(*dead, kMain)).valid);
+}
+
+TEST(Policies, VerdictCarriesReasonAndIndex) {
+  const Trace t{Action::init(kMain), Action::join(kMain, S("nope"))};
+  const TraceVerdict verdict = check_transitive_joins(t);
+  ASSERT_FALSE(verdict.valid);
+  EXPECT_EQ(verdict.failing_index, 1u);
+  EXPECT_NE(verdict.reason.find("may not join"), std::string::npos);
+}
+
+TEST(Monitors, MayJoinAndKnowsAccessors) {
+  TransitiveJoinsMonitor tj;
+  ASSERT_TRUE(tj.on_init(kMain).ok());
+  ASSERT_TRUE(tj.on_fork(kMain, S("x1")).ok());
+  EXPECT_TRUE(tj.may_join(kMain, S("x1")));
+  EXPECT_FALSE(tj.may_join(S("x1"), kMain));
+
+  KnownJoinsMonitor kj;
+  ASSERT_TRUE(kj.on_init(kMain).ok());
+  ASSERT_TRUE(kj.on_fork(kMain, S("x2")).ok());
+  EXPECT_TRUE(kj.knows(kMain, S("x2")));
+  EXPECT_FALSE(kj.knows(S("x2"), kMain));
+}
+
+}  // namespace
+}  // namespace gtdl

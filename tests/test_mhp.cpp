@@ -1,0 +1,130 @@
+// Tests for the may-happen-in-parallel extension.
+
+#include <gtest/gtest.h>
+
+#include "gtdl/detect/mhp.hpp"
+#include "gtdl/frontend/driver.hpp"
+#include "gtdl/gtype/parse.hpp"
+
+namespace gtdl {
+namespace {
+
+Symbol S(const char* s) { return Symbol::intern(s); }
+
+TEST(MhpGraph, IndependentFuturesAreParallel) {
+  // main spawns a and b and touches both at the end.
+  const GraphExprPtr g = ge::seq_all({
+      ge::spawn(ge::singleton(), S("a")),
+      ge::spawn(ge::singleton(), S("b")),
+      ge::touch(S("a")),
+      ge::touch(S("b")),
+  });
+  EXPECT_EQ(mhp_in_graph(*g, S("a"), S("b")), std::optional<bool>(true));
+}
+
+TEST(MhpGraph, TouchOrdersThreads) {
+  // b's body touches a: a happens before b.
+  const GraphExprPtr g = ge::seq_all({
+      ge::spawn(ge::singleton(), S("a")),
+      ge::spawn(ge::touch(S("a")), S("b")),
+      ge::touch(S("b")),
+  });
+  EXPECT_EQ(mhp_in_graph(*g, S("a"), S("b")), std::optional<bool>(false));
+  EXPECT_EQ(mhp_in_graph(*g, S("b"), S("a")), std::optional<bool>(false));
+}
+
+TEST(MhpGraph, TouchBetweenSpawnsOrders) {
+  // main touches a before spawning b: ordered even without a direct edge
+  // between the threads.
+  const GraphExprPtr g = ge::seq_all({
+      ge::spawn(ge::singleton(), S("a")),
+      ge::touch(S("a")),
+      ge::spawn(ge::singleton(), S("b")),
+      ge::touch(S("b")),
+  });
+  EXPECT_EQ(mhp_in_graph(*g, S("a"), S("b")), std::optional<bool>(false));
+}
+
+TEST(MhpGraph, UnknownOrEqualVerticesAreRejected) {
+  const GraphExprPtr g = ge::spawn(ge::singleton(), S("a"));
+  EXPECT_FALSE(mhp_in_graph(*g, S("a"), S("ghost")).has_value());
+  EXPECT_FALSE(mhp_in_graph(*g, S("a"), S("a")).has_value());
+}
+
+TEST(MhpInstances, MatchesFreshNames) {
+  EXPECT_TRUE(is_vertex_instance(S("u"), S("u")));
+  EXPECT_TRUE(is_vertex_instance(Symbol::intern("u$17"), S("u")));
+  EXPECT_TRUE(is_vertex_instance(Symbol::intern("u$17$3"), S("u")));
+  EXPECT_FALSE(is_vertex_instance(Symbol::intern("uv$1"), S("u")));
+  EXPECT_FALSE(is_vertex_instance(S("u"), Symbol::intern("u$17")));
+}
+
+TEST(MhpType, SiblingSpawnsMayOverlap) {
+  const GTypePtr g = parse_gtype_or_throw(
+      "new a. new b. 1 / a ; 1 / b ; ~a ; ~b");
+  const MhpResult r = mhp_in_type(g, S("a"), S("b"), 3);
+  EXPECT_TRUE(r.may_happen_in_parallel);
+  EXPECT_GE(r.witnesses_checked, 1u);
+}
+
+TEST(MhpType, SequentializedSpawnsDoNot) {
+  const GTypePtr g = parse_gtype_or_throw(
+      "new a. new b. 1 / a ; ~a ; 1 / b ; ~b");
+  EXPECT_FALSE(mhp_in_type(g, S("a"), S("b"), 3).may_happen_in_parallel);
+}
+
+TEST(MhpType, RecursiveUnrollingsOfSameBinderOverlap) {
+  // Divide-and-conquer: two recursive instances of u run in parallel.
+  const GTypePtr g =
+      parse_gtype_or_throw("rec g. new u. 1 | g / u ; g ; ~u");
+  const MhpResult shallow = mhp_in_type(g, S("u"), S("u"), 2);
+  EXPECT_FALSE(shallow.may_happen_in_parallel);  // at most one instance
+  const MhpResult deep = mhp_in_type(g, S("u"), S("u"), 4);
+  EXPECT_TRUE(deep.may_happen_in_parallel);
+}
+
+TEST(MhpType, PipelineStagesOverlapButChainIsOrderedEndToEnd) {
+  // prev-stage touch orders stage k after stage k-1's END vertex; but a
+  // stage and the NEXT next stage share no path until the chain drains.
+  const GTypePtr g = parse_gtype_or_throw(
+      "new a. new b. new c. 1 / a ; (~a) / b ; (~b ; 1) / c ; ~c");
+  // a happens before b (b touches a).
+  EXPECT_FALSE(mhp_in_type(g, S("a"), S("b"), 2).may_happen_in_parallel);
+  EXPECT_FALSE(mhp_in_type(g, S("a"), S("c"), 2).may_happen_in_parallel);
+}
+
+TEST(MhpType, FromInferredProgram) {
+  // Two handlers spawned by the webserver-style acceptor overlap.
+  const CompiledProgram compiled = compile_futlang_or_throw(R"(
+    fun handle(req: int) -> int { return req * 2; }
+    fun serve(reqs: list[int]) -> int {
+      if length(reqs) == 0 {
+        return 0;
+      } else {
+        let h = new_future[int]();
+        spawn h { return handle(head(reqs)); }
+        let rest = serve(tail(reqs));
+        return rest + touch(h);
+      }
+    }
+    fun main() { let total = serve(range(0, 8)); }
+  )");
+  // The handler vertex binder is serve's hoisted local; find its base
+  // name from the inferred info.
+  const auto& info =
+      compiled.inferred.functions.at(Symbol::intern("serve"));
+  ASSERT_TRUE(info.recursive);
+  const GTypePtr g = compiled.inferred.program_gtype;
+  // The ν binder name is an instance base like "serve_u$k"; query two
+  // unrollings of it against each other.
+  const auto* rec = std::get_if<GTRec>(&g->node);
+  ASSERT_NE(rec, nullptr);
+  const auto* nu = std::get_if<GTNew>(&rec->body->node);
+  ASSERT_NE(nu, nullptr);
+  const MhpResult r = mhp_in_type(g, nu->vertex, nu->vertex, 4);
+  EXPECT_TRUE(r.may_happen_in_parallel)
+      << "handlers of different requests should overlap";
+}
+
+}  // namespace
+}  // namespace gtdl

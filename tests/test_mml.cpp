@@ -1,0 +1,338 @@
+// Tests for the MiniML frontend — and the language-agnosticism headline:
+// equivalent FutLang and MiniML programs infer alpha-EQUAL graph types,
+// and the detector (which never sees source code) gives identical
+// verdicts.
+
+#include <gtest/gtest.h>
+
+#include "gtdl/detect/deadlock.hpp"
+#include "gtdl/frontend/driver.hpp"
+#include "gtdl/gtype/wellformed.hpp"
+#include "gtdl/mml/driver.hpp"
+#include "gtdl/mml/parser.hpp"
+#include "gtdl/mml/typecheck.hpp"
+
+namespace gtdl {
+namespace {
+
+using mml::compile_mml;
+using mml::compile_mml_or_throw;
+using mml::parse_mml_or_throw;
+using mml::typecheck_mml;
+
+// --- parsing ---------------------------------------------------------------
+
+TEST(MmlParser, MinimalMain) {
+  const mml::MProgram p = parse_mml_or_throw("let main () : unit = ()");
+  ASSERT_EQ(p.defs.size(), 1u);
+  EXPECT_EQ(p.defs[0].name, Symbol::intern("main"));
+  EXPECT_TRUE(p.defs[0].params.empty());
+}
+
+TEST(MmlParser, ParamsTypesAndRec) {
+  const mml::MProgram p = parse_mml_or_throw(R"(
+    let rec f (n : int) (h : int future) : int = n
+    let main () : unit = ()
+  )");
+  const mml::MDef& f = p.defs[0];
+  EXPECT_TRUE(f.recursive);
+  ASSERT_EQ(f.params.size(), 2u);
+  EXPECT_TRUE(is_future(*f.params[1].type));
+}
+
+TEST(MmlParser, PostfixTypes) {
+  const mml::MProgram p = parse_mml_or_throw(
+      "let f (l : int list list) (h : int future) : unit = ()\n"
+      "let main () : unit = ()");
+  EXPECT_EQ(to_string(*p.defs[0].params[0].type), "list[list[int]]");
+  EXPECT_EQ(to_string(*p.defs[0].params[1].type), "future[int]");
+}
+
+TEST(MmlParser, LetInChainsAndSeq) {
+  const mml::MProgram p = parse_mml_or_throw(R"(
+    let main () : unit =
+      let x = 1 in
+      let y : int = x + 1 in
+      print (string_of_int y);
+      ()
+  )");
+  const auto* let = std::get_if<mml::MLet>(&p.defs[0].body->node);
+  ASSERT_NE(let, nullptr);
+}
+
+TEST(MmlParser, MatchAndCons) {
+  const mml::MProgram p = parse_mml_or_throw(R"(
+    let rec sum (xs : int list) : int =
+      match xs with
+      | [] -> 0
+      | x :: rest -> x + sum rest
+    let main () : unit = print (string_of_int (sum (1 :: 2 :: [])))
+  )");
+  EXPECT_TRUE(
+      std::holds_alternative<mml::MMatch>(p.defs[0].body->node));
+}
+
+TEST(MmlParser, CommentsAndOperators) {
+  const mml::MProgram p = parse_mml_or_throw(R"(
+    (* nested (* comments *) work *)
+    let main () : unit =
+      let b = 1 + 2 * 3 = 7 && not false in
+      let s = "a" ^ "b" in
+      ()
+  )");
+  EXPECT_EQ(p.defs.size(), 1u);
+}
+
+TEST(MmlParser, Errors) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(mml::parse_mml("let main () : unit = (", diags).has_value());
+  diags.clear();
+  EXPECT_FALSE(mml::parse_mml("let f x : int = x\nlet main () : unit = ()",
+                              diags)
+                   .has_value());  // params need (x : T)
+  diags.clear();
+  EXPECT_FALSE(
+      mml::parse_mml("let main () : unit = newfut 3", diags).has_value());
+}
+
+// --- typing ------------------------------------------------------------------
+
+bool mml_checks(const char* source) {
+  DiagnosticEngine diags;
+  auto program = mml::parse_mml(source, diags);
+  if (!program) return false;
+  return typecheck_mml(*program, diags);
+}
+
+TEST(MmlTypecheck, NewfutNeedsAnnotation) {
+  EXPECT_FALSE(mml_checks("let main () : unit = let h = newfut () in ()"));
+  EXPECT_TRUE(mml_checks(
+      "let main () : unit = let h : int future = newfut () in ()"));
+}
+
+TEST(MmlTypecheck, SpawnTouchTypes) {
+  EXPECT_TRUE(mml_checks(R"(
+    let main () : unit =
+      let h : int future = newfut () in
+      spawn h (40 + 2);
+      print (string_of_int (touch h))
+  )"));
+  EXPECT_FALSE(mml_checks(R"(
+    let main () : unit =
+      let h : int future = newfut () in
+      spawn h "nope"
+  )"));
+  EXPECT_FALSE(mml_checks("let main () : unit = touch 3; ()"));
+}
+
+TEST(MmlTypecheck, SeqRequiresUnitOnLeft) {
+  EXPECT_FALSE(mml_checks("let main () : unit = 1 + 1; ()"));
+  EXPECT_TRUE(mml_checks("let main () : unit = print \"x\"; ()"));
+}
+
+TEST(MmlTypecheck, RecRequiredForSelfCall) {
+  EXPECT_FALSE(mml_checks(
+      "let f (n : int) : int = f (n - 1)\nlet main () : unit = ()"));
+  EXPECT_TRUE(mml_checks(
+      "let rec f (n : int) : int = if n = 0 then 0 else f (n - 1)\n"
+      "let main () : unit = ()"));
+}
+
+TEST(MmlTypecheck, BranchesMustAgree) {
+  EXPECT_FALSE(mml_checks(
+      "let main () : unit = let x = if true then 1 else \"s\" in ()"));
+  EXPECT_FALSE(mml_checks(R"(
+    let f (xs : int list) : int =
+      match xs with | [] -> 0 | x :: r -> "s"
+    let main () : unit = ()
+  )"));
+}
+
+TEST(MmlTypecheck, NoFutureReturnsOrLists) {
+  EXPECT_FALSE(mml_checks(
+      "let f () : int future = newfut ()\nlet main () : unit = ()"));
+  EXPECT_FALSE(mml_checks(
+      "let f (l : int future list) : unit = ()\nlet main () : unit = ()"));
+}
+
+TEST(MmlTypecheck, MainShape) {
+  EXPECT_FALSE(mml_checks("let f () : unit = ()"));
+  EXPECT_FALSE(mml_checks("let main (x : int) : unit = ()"));
+  EXPECT_FALSE(mml_checks("let main () : int = 3"));
+}
+
+// --- inference + detection ---------------------------------------------------
+
+constexpr const char* kMmlDac = R"(
+let rec dac (n : int) : int =
+  if n < 2 then n
+  else
+    let h : int future = newfut () in
+    spawn h (dac (n - 1));
+    let right = dac (n - 2) in
+    let left = touch h in
+    left + right
+
+let main () : unit = print (string_of_int (dac 10))
+)";
+
+TEST(MmlInfer, DivideAndConquerAcceptedWithNewPushing) {
+  const mml::CompiledMml compiled = compile_mml_or_throw(kMmlDac);
+  const GTypePtr g = compiled.inferred.program_gtype;
+  EXPECT_TRUE(check_wellformed(g).ok);
+  DetectOptions no_push;
+  no_push.new_pushing = false;
+  EXPECT_FALSE(check_deadlock_freedom(g, no_push).deadlock_free);
+  EXPECT_TRUE(check_deadlock_freedom(g).deadlock_free);
+}
+
+TEST(MmlInfer, CrossTouchDeadlockRejected) {
+  const mml::CompiledMml compiled = compile_mml_or_throw(R"(
+    let main () : unit =
+      let a : int future = newfut () in
+      let b : int future = newfut () in
+      spawn a (touch b);
+      spawn b (touch a);
+      ()
+  )");
+  EXPECT_FALSE(
+      check_deadlock_freedom(compiled.inferred.program_gtype).deadlock_free);
+}
+
+TEST(MmlInfer, CounterexampleRejected) {
+  // §3's program, in its (near-)original OCaml-flavoured form.
+  const mml::CompiledMml compiled = compile_mml_or_throw(R"(
+    let rec g (a : int future) (x : int future) : unit =
+      let u : int future = newfut () in
+      if rand () = 0 then ()
+      else
+        let y = touch x in
+        spawn a 42;
+        g u u
+
+    let main () : unit =
+      let u1 : int future = newfut () in
+      let u2 : int future = newfut () in
+      spawn u2 42;
+      g u1 u2
+  )");
+  const auto& info = compiled.inferred.functions.at(Symbol::intern("g"));
+  EXPECT_EQ(info.iterations, 2u);
+  EXPECT_FALSE(
+      check_deadlock_freedom(compiled.inferred.program_gtype).deadlock_free);
+}
+
+TEST(MmlInfer, MatchDrivenPipelineAccepted) {
+  const mml::CompiledMml compiled = compile_mml_or_throw(R"(
+    let rec pipe (xs : int list) (prev : int future) : int =
+      match xs with
+      | [] -> touch prev
+      | x :: rest ->
+        let next : int future = newfut () in
+        spawn next (touch prev + x);
+        pipe rest next
+
+    let main () : unit =
+      let src : int future = newfut () in
+      spawn src 0;
+      print (string_of_int (pipe (range 1 10) src))
+  )");
+  const auto& info = compiled.inferred.functions.at(Symbol::intern("pipe"));
+  EXPECT_EQ(info.touch_vertex_params().size(), 1u);
+  EXPECT_TRUE(
+      check_deadlock_freedom(compiled.inferred.program_gtype).deadlock_free);
+}
+
+TEST(MmlInfer, OpaqueBranchFutureRejected) {
+  DiagnosticEngine diags;
+  auto compiled = compile_mml(R"(
+    let main () : unit =
+      let a : int future = newfut () in
+      let b : int future = newfut () in
+      let h = if rand () = 0 then a else b in
+      spawn h 1;
+      spawn a 1;
+      ()
+  )",
+                              diags);
+  EXPECT_FALSE(compiled.has_value());
+  EXPECT_NE(diags.render().find("statically identify"), std::string::npos);
+}
+
+// --- THE language-agnosticism test -------------------------------------------
+
+TEST(LanguageAgnostic, FutLangAndMiniMlInferAlphaEqualTypes) {
+  // The same divide-and-conquer algorithm written in both languages.
+  const char* futlang = R"(
+    fun dac(n: int) -> int {
+      if n < 2 {
+        return n;
+      } else {
+        let h = new_future[int]();
+        spawn h { return dac(n - 1); }
+        let right = dac(n - 2);
+        let left = touch(h);
+        return left + right;
+      }
+    }
+    fun main() { let x = dac(10); }
+  )";
+  const CompiledProgram from_futlang = compile_futlang_or_throw(futlang);
+  const mml::CompiledMml from_mml = compile_mml_or_throw(kMmlDac);
+
+  const auto& fl = from_futlang.inferred.functions.at(Symbol::intern("dac"));
+  const auto& ml = from_mml.inferred.functions.at(Symbol::intern("dac"));
+  EXPECT_TRUE(alpha_equal(*fl.gtype, *ml.gtype))
+      << "futlang: " << to_string(fl.gtype)
+      << "\nminiml:  " << to_string(ml.gtype);
+
+  // And the detector, which never sees source code, agrees on both.
+  EXPECT_EQ(
+      check_deadlock_freedom(from_futlang.inferred.program_gtype)
+          .deadlock_free,
+      check_deadlock_freedom(from_mml.inferred.program_gtype).deadlock_free);
+}
+
+TEST(LanguageAgnostic, CrossLanguageCounterexampleTypesMatch) {
+  const CompiledProgram futlang = compile_futlang_or_throw(R"(
+    fun g(a: future[int], x: future[int]) {
+      let u = new_future[int]();
+      if rand() == 0 {
+        return;
+      } else {
+        touch(x);
+        spawn a { return 42; }
+        g(u, u);
+        return;
+      }
+    }
+    fun main() {
+      let u1 = new_future[int]();
+      let u2 = new_future[int]();
+      spawn u2 { return 42; }
+      g(u1, u2);
+    }
+  )");
+  const mml::CompiledMml miniml = compile_mml_or_throw(R"(
+    let rec g (a : int future) (x : int future) : unit =
+      let u : int future = newfut () in
+      if rand () = 0 then ()
+      else
+        let y = touch x in
+        spawn a 42;
+        g u u
+
+    let main () : unit =
+      let u1 : int future = newfut () in
+      let u2 : int future = newfut () in
+      spawn u2 42;
+      g u1 u2
+  )");
+  EXPECT_TRUE(alpha_equal(*futlang.inferred.program_gtype,
+                          *miniml.inferred.program_gtype))
+      << "futlang: " << to_string(futlang.inferred.program_gtype)
+      << "\nminiml:  " << to_string(miniml.inferred.program_gtype);
+}
+
+}  // namespace
+}  // namespace gtdl

@@ -1,0 +1,83 @@
+// Cross-language Table 1: the MiniML ports of the small §5 programs get
+// the same static verdicts as their FutLang originals — and where the
+// structure is identical, the inferred graph types are alpha-EQUAL.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "gtdl/detect/deadlock.hpp"
+#include "gtdl/detect/gml_baseline.hpp"
+#include "gtdl/frontend/driver.hpp"
+#include "gtdl/gtype/wellformed.hpp"
+#include "gtdl/mml/driver.hpp"
+
+namespace gtdl {
+namespace {
+
+std::string read_program(const std::string& name) {
+  const std::string path = std::string(GTDL_PROGRAMS_DIR) + "/" + name;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct PairCase {
+  const char* base;     // file stem: <base>.fut and <base>.mml
+  bool ours_accepts;
+  bool gml_reports_dl;
+  bool types_alpha_equal;  // ports with identical structure
+};
+
+class CrossLanguageTable : public ::testing::TestWithParam<PairCase> {};
+
+TEST_P(CrossLanguageTable, SameVerdictsInBothLanguages) {
+  const PairCase& pc = GetParam();
+  const CompiledProgram futlang =
+      compile_futlang_or_throw(read_program(std::string(pc.base) + ".fut"));
+  const mml::CompiledMml miniml = mml::compile_mml_or_throw(
+      read_program(std::string(pc.base) + ".mml"));
+
+  const GTypePtr from_fut = futlang.inferred.program_gtype;
+  const GTypePtr from_mml = miniml.inferred.program_gtype;
+  ASSERT_TRUE(check_wellformed(from_fut).ok);
+  ASSERT_TRUE(check_wellformed(from_mml).ok);
+
+  EXPECT_EQ(check_deadlock_freedom(from_fut).deadlock_free, pc.ours_accepts)
+      << pc.base << " (futlang)";
+  EXPECT_EQ(check_deadlock_freedom(from_mml).deadlock_free, pc.ours_accepts)
+      << pc.base << " (miniml)";
+
+  EXPECT_EQ(gml_baseline_check(from_fut).deadlock_reported,
+            pc.gml_reports_dl)
+      << pc.base << " (futlang)";
+  EXPECT_EQ(gml_baseline_check(from_mml).deadlock_reported,
+            pc.gml_reports_dl)
+      << pc.base << " (miniml)";
+
+  if (pc.types_alpha_equal) {
+    EXPECT_TRUE(alpha_equal(*from_fut, *from_mml))
+        << pc.base << "\nfutlang: " << to_string(from_fut)
+        << "\nminiml:  " << to_string(from_mml);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, CrossLanguageTable,
+    ::testing::Values(
+        // base          ours   gmlDL  alpha-equal
+        // (fibonacci.fut prints both results; the .mml port is
+        // structurally identical including main's two touches)
+        PairCase{"fibonacci", true, false, true},
+        PairCase{"fib_dl", false, true, false},  // .fut main omits f7
+        PairCase{"pipeline", true, false, true},
+        PairCase{"counterex", false, false, true}),
+    [](const ::testing::TestParamInfo<PairCase>& info) {
+      return info.param.base;
+    });
+
+}  // namespace
+}  // namespace gtdl

@@ -1,0 +1,118 @@
+// Tests for the "new pushing" transformation (§5): semantic preservation
+// and scope minimization.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gtdl/detect/new_push.hpp"
+#include "gtdl/graph/graph.hpp"
+#include "gtdl/gtype/normalize.hpp"
+#include "gtdl/gtype/parse.hpp"
+
+namespace gtdl {
+namespace {
+
+std::string pushed(const char* src) {
+  return to_string(*push_new_bindings(parse_gtype_or_throw(src)));
+}
+
+TEST(NewPush, DropsUnusedBinder) {
+  EXPECT_EQ(pushed("new u. 1"), "1");
+  EXPECT_EQ(pushed("new u. ~w"), "~w");
+}
+
+TEST(NewPush, PushesIntoOrBranches) {
+  EXPECT_EQ(pushed("new u. 1 | 1 / u"), "1 | (new u. 1 / u)");
+}
+
+TEST(NewPush, PushesIntoUsedSeqSide) {
+  EXPECT_EQ(pushed("new u. 1 ; 1 / u"), "1 ; (new u. 1 / u)");
+  EXPECT_EQ(pushed("new u. 1 / u ; 1"), "(new u. 1 / u) ; 1");
+}
+
+TEST(NewPush, StaysWhenBothSeqSidesUse) {
+  EXPECT_EQ(pushed("new u. 1 / u ; ~u"), "new u. 1 / u ; ~u");
+}
+
+TEST(NewPush, PushesThroughSpawnBody) {
+  EXPECT_EQ(pushed("new u. (1 / u) / w"), "(new u. 1 / u) / w");
+  // But not when the spawn's own vertex is the bound one.
+  EXPECT_EQ(pushed("new u. 1 / u"), "new u. 1 / u");
+}
+
+TEST(NewPush, ReordersThroughOtherNew) {
+  EXPECT_EQ(pushed("new u. new w. 1 / w ; 1 / u"),
+            "(new w. 1 / w) ; (new u. 1 / u)");
+}
+
+TEST(NewPush, StopsAtRecBoundary) {
+  // Pushing ν into μ would change per-recursion freshness.
+  EXPECT_EQ(pushed("new u. rec g. 1 | 1 / u ; ~u"),
+            "new u. rec g. 1 | 1 / u ; ~u");
+}
+
+TEST(NewPush, DivideAndConquerMotivatingExample) {
+  EXPECT_EQ(pushed("rec g. new u. 1 | g / u ; g ; ~u"),
+            "rec g. 1 | (new u. g / u ; g ; ~u)");
+}
+
+TEST(NewPush, HandlesNestedOrs) {
+  EXPECT_EQ(pushed("new u. (1 | 1 / u) | ~w"),
+            "1 | (new u. 1 / u) | ~w");
+}
+
+TEST(NewPush, TransformsInsidePiAndApp) {
+  EXPECT_EQ(pushed("pi[a; x]. new u. 1 | 1 / a ; 1 / u"),
+            "pi[a; x]. 1 | 1 / a ; (new u. 1 / u)");
+}
+
+TEST(NewPush, IdempotentOnExamples) {
+  for (const char* src :
+       {"rec g. new u. 1 | g / u ; g ; ~u", "new u. 1 / u ; ~u",
+        "new u. new w. (1 / u ; ~u) | (1 / w ; ~w)"}) {
+    const GTypePtr once = push_new_bindings(parse_gtype_or_throw(src));
+    const GTypePtr twice = push_new_bindings(once);
+    EXPECT_TRUE(structurally_equal(*once, *twice)) << src;
+  }
+}
+
+// Semantic preservation: pushing must not change the normalization
+// (compared via ground-deadlock verdicts and graph counts, which are
+// invariant under the fresh-name choices).
+class NewPushSemantics : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NewPushSemantics, PreservesNormalization) {
+  const GTypePtr original = parse_gtype_or_throw(GetParam());
+  const GTypePtr rewritten = push_new_bindings(original);
+  for (unsigned depth : {1u, 2u, 3u, 4u}) {
+    const NormalizeResult before = normalize(original, depth);
+    const NormalizeResult after = normalize(rewritten, depth);
+    ASSERT_EQ(before.graphs.size(), after.graphs.size())
+        << "depth " << depth << ": " << to_string(*rewritten);
+    std::size_t deadlocks_before = 0;
+    std::size_t deadlocks_after = 0;
+    for (const auto& g : before.graphs) {
+      deadlocks_before += find_ground_deadlock(*g).any() ? 1 : 0;
+    }
+    for (const auto& g : after.graphs) {
+      deadlocks_after += find_ground_deadlock(*g).any() ? 1 : 0;
+    }
+    EXPECT_EQ(deadlocks_before, deadlocks_after) << "depth " << depth;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Gallery, NewPushSemantics,
+    ::testing::Values("rec g. new u. 1 | g / u ; g ; ~u",
+                      "new u. 1 | 1 / u",
+                      "new u. 1 ; 1 / u",
+                      "new u. (1 / u) / w",
+                      "new u. new w. 1 / w ; 1 / u",
+                      "new u. (1 | 1 / u) | ~w",
+                      "new u. rec g. 1 | 1 / u ; ~u",
+                      "new a. new b. (~b) / a ; (~a) / b",
+                      "new u. ~u ; 1 / u"));
+
+}  // namespace
+}  // namespace gtdl

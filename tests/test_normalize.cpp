@@ -1,0 +1,191 @@
+// Tests for normalization (Fig. 3): the set of ground graphs a graph type
+// represents.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gtdl/graph/graph.hpp"
+#include "gtdl/gtype/normalize.hpp"
+#include "gtdl/gtype/parse.hpp"
+
+namespace gtdl {
+namespace {
+
+Symbol S(const char* s) { return Symbol::intern(s); }
+
+std::vector<std::string> spellings(const NormalizeResult& result) {
+  std::vector<std::string> out;
+  out.reserve(result.graphs.size());
+  for (const auto& g : result.graphs) out.push_back(to_string(*g));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(Normalize, DepthZeroIsEmpty) {
+  EXPECT_TRUE(normalize(gt::empty(), 0).graphs.empty());
+}
+
+TEST(Normalize, Singleton) {
+  const NormalizeResult r = normalize(gt::empty(), 1);
+  ASSERT_EQ(r.graphs.size(), 1u);
+  EXPECT_EQ(to_string(*r.graphs[0]), "1");
+  EXPECT_FALSE(r.truncated);
+}
+
+TEST(Normalize, TouchAndSpawnPassThrough) {
+  const NormalizeResult r =
+      normalize(parse_gtype_or_throw("1 / u ; ~u"), 1);
+  ASSERT_EQ(r.graphs.size(), 1u);
+  EXPECT_EQ(to_string(*r.graphs[0]), "1 / u ; ~u");
+}
+
+TEST(Normalize, DisjunctionUnions) {
+  const NormalizeResult r = normalize(parse_gtype_or_throw("1 | ~u"), 1);
+  EXPECT_EQ(spellings(r), (std::vector<std::string>{"1", "~u"}));
+}
+
+TEST(Normalize, SeqTakesCartesianProduct) {
+  const NormalizeResult r =
+      normalize(parse_gtype_or_throw("(1 | ~a) ; (1 | ~b)"), 1);
+  EXPECT_EQ(r.graphs.size(), 4u);
+}
+
+TEST(Normalize, NuInstantiatesFreshNames) {
+  // νu.(1/u) normalized twice gives different concrete names, but the
+  // graphs are alpha-equivalent — dedup keeps one per call.
+  const GTypePtr g = parse_gtype_or_throw("new u. 1 / u");
+  const NormalizeResult r1 = normalize(g, 1);
+  const NormalizeResult r2 = normalize(g, 1);
+  ASSERT_EQ(r1.graphs.size(), 1u);
+  ASSERT_EQ(r2.graphs.size(), 1u);
+  const auto sp1 = spawned_vertices(*r1.graphs[0]);
+  const auto sp2 = spawned_vertices(*r2.graphs[0]);
+  ASSERT_EQ(sp1.size(), 1u);
+  ASSERT_EQ(sp2.size(), 1u);
+  EXPECT_NE(sp1[0], sp2[0]);
+  EXPECT_NE(sp1[0], S("u"));  // genuinely fresh, not the bound name
+}
+
+TEST(Normalize, RecUnrollsUpToDepth) {
+  // μγ.(• ∨ (• ⊕ γ)): graphs are chains of 1..k singletons.
+  const GTypePtr g = parse_gtype_or_throw("rec g. 1 | 1 ; g");
+  // Depth n admits up to n-1 unrollings.
+  const NormalizeResult r = normalize(g, 4);
+  // Chains with 1, 2, 3 singletons (after dedup of alpha-equal results).
+  EXPECT_EQ(r.graphs.size(), 3u);
+}
+
+TEST(Normalize, RecRequiresUnrollingToProduceGraphs) {
+  // μγ.γ never reaches a base case: no graphs at any depth.
+  const GTypePtr g = parse_gtype_or_throw("rec g. g");
+  EXPECT_TRUE(normalize(g, 6).graphs.empty());
+}
+
+TEST(Normalize, DivideAndConquerProducesFreshVerticesPerUnrolling) {
+  const GTypePtr g = parse_gtype_or_throw("rec g. new u. 1 | g / u ; g ; ~u");
+  const NormalizeResult r = normalize(g, 3);
+  ASSERT_FALSE(r.graphs.empty());
+  for (const auto& graph : r.graphs) {
+    // Every graph must have unique designated vertices (ν freshness).
+    const auto spawned = spawned_vertices(*graph);
+    OrderedSet<Symbol> unique{std::vector<Symbol>(spawned.begin(),
+                                                  spawned.end())};
+    EXPECT_EQ(unique.size(), spawned.size())
+        << "duplicate designated vertex in " << to_string(*graph);
+    // And no unspawned touches, and no cycles.
+    EXPECT_FALSE(find_ground_deadlock(*graph).any())
+        << to_string(*graph);
+  }
+}
+
+TEST(Normalize, ApplicationSubstitutesArguments) {
+  const GTypePtr g = parse_gtype_or_throw("(pi[a; x]. ~x ; 1 / a)[u; w]");
+  const NormalizeResult r = normalize(g, 1);
+  ASSERT_EQ(r.graphs.size(), 1u);
+  EXPECT_EQ(to_string(*r.graphs[0]), "~w ; 1 / u");
+}
+
+TEST(Normalize, ApplicationUnrollsRecDecrementingFuel) {
+  // (μγ.Π[a;x]. • ∨ (~x ⊕ •/a ⊕ γ[u;u] under νu))[u0;w0]
+  const GTypePtr g = parse_gtype_or_throw(
+      "new u0. new w0. 1 / w0 ; "
+      "(rec g. pi[a; x]. new u. 1 | ~x ; 1 / a ; g[u; u])[u0; w0]");
+  // Depth 2: one unrolling for the outer application, then the base case.
+  const NormalizeResult shallow = normalize(g, 2);
+  ASSERT_EQ(shallow.graphs.size(), 1u);
+  EXPECT_FALSE(find_ground_deadlock(*shallow.graphs[0]).any());
+
+  // Depth 4: includes the 3-unrolling graph with the cycle (§3).
+  const NormalizeResult deep = normalize(g, 4);
+  EXPECT_GT(deep.graphs.size(), 1u);
+  bool found_deadlock = false;
+  for (const auto& graph : deep.graphs) {
+    if (find_ground_deadlock(*graph).any()) found_deadlock = true;
+  }
+  EXPECT_TRUE(found_deadlock);
+}
+
+TEST(Normalize, BarePiHasNoGraphs) {
+  EXPECT_TRUE(normalize(parse_gtype_or_throw("pi[a; x]. 1 / a"), 5)
+                  .graphs.empty());
+}
+
+TEST(Normalize, FreeGraphVariableHasNoGraphs) {
+  EXPECT_TRUE(normalize(parse_gtype_or_throw("g"), 5).graphs.empty());
+}
+
+TEST(Normalize, ArityMismatchYieldsNoGraphs) {
+  const GTypePtr g = parse_gtype_or_throw("(pi[a; x]. 1 / a ; ~x)[u, v; w]");
+  EXPECT_TRUE(normalize(g, 3).graphs.empty());
+}
+
+TEST(Normalize, MaxGraphsTruncates) {
+  // 2^6 = 64 graphs; cap at 10.
+  const GTypePtr g = parse_gtype_or_throw(
+      "(1|1) ; (1|1) ; (1|1) ; (1|1) ; (1|1) ; (1|1)");
+  NormalizeLimits limits;
+  limits.max_graphs = 10;
+  limits.dedup_alpha = false;
+  const NormalizeResult r = normalize(g, 1, limits);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_LE(r.graphs.size(), 10u);
+}
+
+TEST(Normalize, MaxStepsTruncates) {
+  const GTypePtr g = parse_gtype_or_throw("rec g. 1 | 1 ; g");
+  NormalizeLimits limits;
+  limits.max_steps = 5;
+  const NormalizeResult r = normalize(g, 30, limits);
+  EXPECT_TRUE(r.truncated);
+}
+
+TEST(CountNormalizations, MatchesSmallCases) {
+  EXPECT_EQ(count_normalizations(gt::empty(), 0), 0u);
+  EXPECT_EQ(count_normalizations(gt::empty(), 1), 1u);
+  EXPECT_EQ(count_normalizations(parse_gtype_or_throw("1 | 1"), 1), 2u);
+  EXPECT_EQ(count_normalizations(parse_gtype_or_throw("(1|1) ; (1|1)"), 1),
+            4u);
+}
+
+TEST(CountNormalizations, GrowsWithDepthForRecursiveTypes) {
+  const GTypePtr g = parse_gtype_or_throw("rec g. new u. 1 | g / u ; g ; ~u");
+  const std::uint64_t c3 = count_normalizations(g, 3);
+  const std::uint64_t c5 = count_normalizations(g, 5);
+  const std::uint64_t c8 = count_normalizations(g, 8);
+  EXPECT_GT(c3, 0u);
+  EXPECT_GT(c5, c3);
+  EXPECT_GT(c8, c5);
+  // §3: exponential in n — by depth 8 the count dwarfs depth 5's.
+  EXPECT_GT(c8, 4 * c5);
+}
+
+TEST(CountNormalizations, CountsWithoutDedupExceedMaterializedDedup) {
+  const GTypePtr g = parse_gtype_or_throw("rec g. 1 | 1 ; g");
+  const NormalizeResult r = normalize(g, 5);
+  const std::uint64_t raw = count_normalizations(g, 5);
+  EXPECT_GE(raw, r.graphs.size());
+}
+
+}  // namespace
+}  // namespace gtdl

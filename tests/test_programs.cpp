@@ -1,0 +1,172 @@
+// End-to-end integration over the six §5 evaluation programs: compile
+// (parse + typecheck + infer), run all three analyses, execute, and
+// check everything against the paper's Table 1.
+//
+//   Program      DL?   Ours   GML baseline   Known Joins
+//   Fibonacci    no    ok     ok             WRONG (rejects)
+//   FibDL        yes   ok     ok             ok
+//   Pipeline     no    ok     ok             ok
+//   Counterex.   yes   ok     WRONG (accepts) ok
+//   Webserver    no    ok     ok             ok
+//   WebserverDL  yes   ok     ok             ok
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "gtdl/detect/deadlock.hpp"
+#include "gtdl/detect/gml_baseline.hpp"
+#include "gtdl/frontend/driver.hpp"
+#include "gtdl/frontend/interp.hpp"
+#include "gtdl/gtype/wellformed.hpp"
+#include "gtdl/tj/join_policy.hpp"
+
+namespace gtdl {
+namespace {
+
+std::string read_program(const std::string& name) {
+  const std::string path = std::string(GTDL_PROGRAMS_DIR) + "/" + name;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct ProgramCase {
+  const char* file;
+  bool has_deadlock;
+  bool ours_accepts;      // deadlock-free verdict from the kind system
+  bool gml_reports_dl;    // baseline's verdict
+  bool kj_valid;          // Known Joins on the executed trace
+  bool tj_valid;          // Transitive Joins on the executed trace
+  // rand() script driving the execution toward the interesting schedule.
+  std::vector<std::int64_t> rand_script;
+};
+
+class Table1 : public ::testing::TestWithParam<ProgramCase> {};
+
+TEST_P(Table1, MatchesPaper) {
+  const ProgramCase& pc = GetParam();
+  const std::string source = read_program(pc.file);
+
+  // Compile through the full frontend.
+  DiagnosticEngine diags;
+  auto compiled = compile_futlang(source, diags);
+  ASSERT_TRUE(compiled.has_value()) << pc.file << "\n" << diags.render();
+  const GTypePtr gtype = compiled->inferred.program_gtype;
+  ASSERT_TRUE(check_wellformed(gtype).ok) << pc.file;
+
+  // Column "Ours": the deadlock-freedom kind system.
+  const DeadlockVerdict ours = check_deadlock_freedom(gtype);
+  EXPECT_EQ(ours.deadlock_free, pc.ours_accepts)
+      << pc.file << "\n"
+      << ours.diags.render() << "\ntype: " << to_string(gtype);
+  // Soundness: accept => genuinely deadlock-free in this table.
+  if (ours.deadlock_free) {
+    EXPECT_FALSE(pc.has_deadlock) << pc.file;
+  }
+
+  // Column "GML": the unrolling baseline at its own default depth.
+  const GmlBaselineReport gml = gml_baseline_check(gtype);
+  EXPECT_EQ(gml.deadlock_reported, pc.gml_reports_dl)
+      << pc.file << " unrolls=" << gml.unrolls_per_binding
+      << " graphs=" << gml.graphs_checked << " witness=" << gml.witness;
+
+  // Ground truth + column "Known Joins": execute and judge the trace.
+  InterpOptions options;
+  options.rand_script = pc.rand_script;
+  const InterpResult run = interpret(compiled->program, options);
+  ASSERT_FALSE(run.error.has_value()) << pc.file << ": " << *run.error;
+  EXPECT_EQ(run.deadlock.has_value(), pc.has_deadlock)
+      << pc.file << ": " << run.deadlock.value_or("(none)");
+  EXPECT_EQ(run.graph_deadlock().any(), pc.has_deadlock) << pc.file;
+
+  const TraceVerdict kj = check_known_joins(run.trace);
+  EXPECT_EQ(kj.valid, pc.kj_valid) << pc.file << ": " << kj.reason;
+  const TraceVerdict tj = check_transitive_joins(run.trace);
+  EXPECT_EQ(tj.valid, pc.tj_valid) << pc.file << ": " << tj.reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, Table1,
+    ::testing::Values(
+        // file            DL     ours   gmlDL  kj     tj     rand
+        ProgramCase{"fibonacci.fut", false, true, false, false, true, {}},
+        ProgramCase{"fib_dl.fut", true, false, true, false, false, {}},
+        ProgramCase{"pipeline.fut", false, true, false, true, true, {}},
+        ProgramCase{"counterex.fut", true, false, false, false, false,
+                    {1, 1}},
+        ProgramCase{"webserver.fut", false, true, false, true, true, {}},
+        ProgramCase{"webserver_dl.fut", true, false, true, false, false,
+                    {}}),
+    [](const ::testing::TestParamInfo<ProgramCase>& info) {
+      std::string name = info.param.file;
+      name = name.substr(0, name.find('.'));
+      return name;
+    });
+
+TEST(Programs, FibonacciComputesRightAnswer) {
+  auto compiled = compile_futlang_or_throw(read_program("fibonacci.fut"));
+  const InterpResult run = interpret(compiled.program);
+  ASSERT_TRUE(run.completed) << run.deadlock.value_or("")
+                             << run.error.value_or("");
+  EXPECT_NE(run.output.find("fib(8) = 21"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("fib(7) = 13"), std::string::npos);
+}
+
+TEST(Programs, PipelineComputesRightAnswer) {
+  auto compiled = compile_futlang_or_throw(read_program("pipeline.fut"));
+  const InterpResult run = interpret(compiled.program);
+  ASSERT_TRUE(run.completed);
+  EXPECT_NE(run.output.find("pipeline total = 45"), std::string::npos)
+      << run.output;
+}
+
+TEST(Programs, WebserverServesEveryRequest) {
+  auto compiled = compile_futlang_or_throw(read_program("webserver.fut"));
+  const InterpResult run = interpret(compiled.program);
+  ASSERT_TRUE(run.completed) << run.deadlock.value_or("")
+                             << run.error.value_or("");
+  EXPECT_NE(run.output.find("accepted connections: 24"), std::string::npos);
+  EXPECT_NE(run.output.find("log entries flushed: 24"), std::string::npos)
+      << run.output;
+  // One log line per request.
+  std::size_t log_lines = 0;
+  for (std::size_t pos = 0; (pos = run.output.find("] ", pos)) !=
+                            std::string::npos;
+       ++pos) {
+    ++log_lines;
+  }
+  EXPECT_GE(log_lines, 24u);
+}
+
+TEST(Programs, CounterexampleSafeScheduleCompletes) {
+  auto compiled = compile_futlang_or_throw(read_program("counterex.fut"));
+  InterpOptions options;
+  options.rand_script = {0};  // bail out before the cycle forms
+  const InterpResult run = interpret(compiled.program, options);
+  EXPECT_TRUE(run.completed) << run.deadlock.value_or("");
+  EXPECT_FALSE(run.graph_deadlock().any());
+}
+
+TEST(Programs, InferredTypesHaveExpectedShapes) {
+  auto ws = compile_futlang_or_throw(read_program("webserver.fut"));
+  const auto& serve = ws.inferred.functions.at(Symbol::intern("serve"));
+  EXPECT_TRUE(serve.recursive);
+  // warm and log_prev are touch parameters; the handler/log futures are
+  // ν-bound locals.
+  EXPECT_EQ(serve.touch_vertex_params().size(), 2u);
+  EXPECT_TRUE(serve.spawn_vertex_params().empty());
+
+  auto fib = compile_futlang_or_throw(read_program("fibonacci.fut"));
+  const auto& stage = fib.inferred.functions.at(Symbol::intern("fib_stage"));
+  EXPECT_TRUE(stage.recursive);
+  // `out` is spawned and touched: binds as a spawn parameter only.
+  EXPECT_EQ(stage.spawn_vertex_params().size(), 1u);
+  EXPECT_TRUE(stage.touch_vertex_params().empty());
+}
+
+}  // namespace
+}  // namespace gtdl

@@ -1,0 +1,283 @@
+// Tests for the threaded futures runtime: values, blocking, deadlock
+// poisoning, quiescence detection, and the online TJ/KJ policies.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "gtdl/runtime/futures.hpp"
+#include "gtdl/tj/join_policy.hpp"
+
+namespace gtdl {
+namespace {
+
+TEST(Runtime, SpawnTouchRoundTrip) {
+  FutureRuntime rt;
+  auto h = rt.new_future<int>();
+  h.spawn([] { return 40 + 2; });
+  EXPECT_EQ(h.touch(), 42);
+  EXPECT_EQ(h.touch(), 42);  // touching a done future is idempotent
+}
+
+TEST(Runtime, ValuesOfDifferentTypes) {
+  FutureRuntime rt;
+  auto s = rt.new_future<std::string>();
+  s.spawn([] { return std::string("hello"); });
+  auto b = rt.new_future<bool>();
+  b.spawn([] { return true; });
+  EXPECT_EQ(s.touch(), "hello");
+  EXPECT_TRUE(b.touch());
+}
+
+TEST(Runtime, TouchBlocksUntilCompletion) {
+  FutureRuntime rt;
+  std::atomic<bool> released{false};
+  auto h = rt.new_future<int>();
+  h.spawn([&] {
+    while (!released.load()) std::this_thread::yield();
+    return 7;
+  });
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    released.store(true);
+  });
+  EXPECT_EQ(h.touch(), 7);
+  releaser.join();
+}
+
+TEST(Runtime, FuturesTouchingEarlierFutures) {
+  FutureRuntime rt;
+  auto a = rt.new_future<int>("a");
+  auto b = rt.new_future<int>("b");
+  a.spawn([] { return 1; });
+  b.spawn([a]() mutable { return a.touch() + 1; });
+  EXPECT_EQ(b.touch(), 2);
+  const RuntimeStats stats = rt.stats();
+  EXPECT_EQ(stats.futures_spawned, 2u);
+  EXPECT_EQ(stats.futures_completed, 2u);
+  EXPECT_EQ(stats.deadlocks_detected, 0u);
+}
+
+TEST(Runtime, PipelineOfFutures) {
+  FutureRuntime rt;
+  std::vector<FutureHandle<int>> stages;
+  for (int i = 0; i < 16; ++i) stages.push_back(rt.new_future<int>("p"));
+  stages[0].spawn([] { return 0; });
+  for (int i = 1; i < 16; ++i) {
+    auto prev = stages[static_cast<std::size_t>(i) - 1];
+    stages[static_cast<std::size_t>(i)].spawn(
+        [prev, i]() mutable { return prev.touch() + i; });
+  }
+  EXPECT_EQ(stages[15].touch(), 120);  // 0 + 1 + ... + 15
+}
+
+TEST(Runtime, SpawnAfterHandleCreationByAnotherFuture) {
+  // touch of a handle whose spawn happens in another thread: the paper's
+  // "touch waits for a thread to be installed" semantics.
+  FutureRuntime rt;
+  auto h = rt.new_future<int>("h");
+  auto installer = rt.new_future<int>("installer");
+  installer.spawn([h, &rt]() mutable {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    (void)rt;
+    h.spawn([] { return 99; });
+    return 0;
+  });
+  EXPECT_EQ(h.touch(), 99);
+}
+
+TEST(Runtime, DoubleSpawnThrows) {
+  FutureRuntime rt;
+  auto h = rt.new_future<int>();
+  h.spawn([] { return 1; });
+  EXPECT_THROW(h.spawn([] { return 2; }), std::logic_error);
+  EXPECT_EQ(h.touch(), 1);
+}
+
+TEST(Runtime, CrossTouchDeadlockPoisonsBothFutures) {
+  FutureRuntime rt;
+  auto a = rt.new_future<int>("dl_a");
+  auto b = rt.new_future<int>("dl_b");
+  a.spawn([b]() mutable { return b.touch(); });
+  b.spawn([a]() mutable { return a.touch(); });
+  EXPECT_THROW(a.touch(), DeadlockError);
+  EXPECT_THROW(b.touch(), DeadlockError);
+  EXPECT_GE(rt.stats().deadlocks_detected, 1u);
+  EXPECT_GE(rt.stats().futures_poisoned, 2u);
+}
+
+TEST(Runtime, ThreeWayCycleDetected) {
+  FutureRuntime rt;
+  auto a = rt.new_future<int>("c_a");
+  auto b = rt.new_future<int>("c_b");
+  auto c = rt.new_future<int>("c_c");
+  a.spawn([b]() mutable { return b.touch(); });
+  b.spawn([c]() mutable { return c.touch(); });
+  c.spawn([a]() mutable { return a.touch(); });
+  EXPECT_THROW(c.touch(), DeadlockError);
+}
+
+TEST(Runtime, SelfTouchDeadlock) {
+  FutureRuntime rt;
+  auto a = rt.new_future<int>("self");
+  a.spawn([a]() mutable { return a.touch(); });
+  EXPECT_THROW(a.touch(), DeadlockError);
+}
+
+TEST(Runtime, TouchOfNeverSpawnedIsPoisonedAtQuiescence) {
+  FutureRuntime rt;
+  auto h = rt.new_future<int>("ghost");
+  // Main blocks on h; nobody else exists; quiescence fires immediately.
+  EXPECT_THROW(h.touch(), DeadlockError);
+}
+
+TEST(Runtime, ShutdownPoisonsDeadlockedFuturesSoDtorTerminates) {
+  // The runtime's destructor must not hang even when futures deadlock
+  // and nobody touches them from main.
+  RuntimeStats stats;
+  {
+    FutureRuntime rt;
+    auto a = rt.new_future<int>("sd_a");
+    auto b = rt.new_future<int>("sd_b");
+    a.spawn([b]() mutable { return b.touch(); });
+    b.spawn([a]() mutable { return a.touch(); });
+    // Give the threads a moment to actually block on each other.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    rt.shutdown();
+    stats = rt.stats();
+  }
+  EXPECT_GE(stats.futures_poisoned, 2u);
+}
+
+TEST(Runtime, ShutdownHandlesUnspawnedWaiters) {
+  FutureRuntime rt;
+  auto never = rt.new_future<int>("never");
+  auto waiter = rt.new_future<int>("waiter");
+  waiter.spawn([never]() mutable { return never.touch(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  rt.shutdown();
+  EXPECT_GE(rt.stats().futures_poisoned, 1u);
+  EXPECT_THROW(waiter.touch(), std::logic_error);  // touch after shutdown
+}
+
+TEST(Runtime, DeadlockErrorPropagatesThroughDependentFutures) {
+  FutureRuntime rt;
+  auto a = rt.new_future<int>("pp_a");
+  auto b = rt.new_future<int>("pp_b");
+  auto c = rt.new_future<int>("pp_c");
+  a.spawn([b]() mutable { return b.touch(); });
+  b.spawn([a]() mutable { return a.touch(); });
+  c.spawn([a]() mutable { return a.touch() + 1; });  // depends on the cycle
+  EXPECT_THROW(c.touch(), DeadlockError);
+}
+
+TEST(Runtime, BodyExceptionPoisonsFuture) {
+  FutureRuntime rt;
+  auto h = rt.new_future<int>("thrower");
+  h.spawn([]() -> int { throw std::runtime_error("boom"); });
+  try {
+    (void)h.touch();
+    FAIL() << "expected DeadlockError";
+  } catch (const DeadlockError& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+}
+
+TEST(Runtime, RecordedTraceMatchesOperations) {
+  RuntimeOptions options;
+  options.record_trace = true;
+  FutureRuntime rt(options);
+  auto h = rt.new_future<int>("tr");
+  h.spawn([] { return 5; });
+  (void)h.touch();
+  const Trace trace = rt.trace();
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].kind, ActionKind::kInit);
+  EXPECT_EQ(trace[1].kind, ActionKind::kFork);
+  EXPECT_EQ(trace[2].kind, ActionKind::kJoin);
+  EXPECT_TRUE(check_transitive_joins(trace).valid);
+}
+
+TEST(RuntimePolicy_, TransitiveJoinsAllowsInheritedPermissions) {
+  RuntimeOptions options;
+  options.policy = RuntimePolicy::kTransitiveJoins;
+  FutureRuntime rt(options);
+  auto a = rt.new_future<int>("tj_a");
+  auto c = rt.new_future<int>("tj_c");
+  // a forks c; main may join c via TJ-LEFT closure.
+  a.spawn([c, &rt]() mutable {
+    c.spawn([] { return 10; });
+    return 1;
+  });
+  EXPECT_EQ(a.touch(), 1);
+  EXPECT_EQ(c.touch(), 10);
+  EXPECT_EQ(rt.stats().policy_violations, 0u);
+}
+
+TEST(RuntimePolicy_, KnownJoinsRejectsGrandchildJoin) {
+  RuntimeOptions options;
+  options.policy = RuntimePolicy::kKnownJoins;
+  FutureRuntime rt(options);
+  auto a = rt.new_future<int>("kj_a");
+  auto c = rt.new_future<int>("kj_c");
+  a.spawn([c]() mutable {
+    c.spawn([] { return 10; });
+    return 1;
+  });
+  EXPECT_EQ(a.touch(), 1);
+  // main never learned about c under KJ.
+  EXPECT_THROW((void)c.touch(), PolicyViolationError);
+  EXPECT_EQ(rt.stats().policy_violations, 1u);
+}
+
+TEST(RuntimePolicy_, TransitiveJoinsPreventsCyclicTouchBeforeBlocking) {
+  // Under TJ the second future's touch of its sibling is a violation
+  // (sibling spawned after it), so the deadlock is AVOIDED: the thread
+  // throws instead of blocking.
+  RuntimeOptions options;
+  options.policy = RuntimePolicy::kTransitiveJoins;
+  FutureRuntime rt(options);
+  auto a = rt.new_future<int>("av_a");
+  auto b = rt.new_future<int>("av_b");
+  a.spawn([b]() mutable { return b.touch(); });  // b not yet forked: violation
+  b.spawn([] { return 2; });
+  try {
+    (void)a.touch();
+    FAIL() << "expected DeadlockError wrapping the policy violation";
+  } catch (const DeadlockError& e) {
+    EXPECT_NE(std::string(e.what()).find("transitive-joins"),
+              std::string::npos);
+  }
+  EXPECT_EQ(b.touch(), 2);
+  EXPECT_GE(rt.stats().policy_violations, 1u);
+}
+
+TEST(Runtime, ManyIndependentFutures) {
+  FutureRuntime rt;
+  std::vector<FutureHandle<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(rt.new_future<int>("w"));
+    futures.back().spawn([i] { return i * i; });
+  }
+  long total = 0;
+  for (auto& f : futures) total += f.touch();
+  EXPECT_EQ(total, 10416);  // sum of squares 0..31
+}
+
+TEST(Runtime, StatsCountCreatedAndSpawned) {
+  FutureRuntime rt;
+  auto a = rt.new_future<int>();
+  auto b = rt.new_future<int>();
+  (void)b;
+  a.spawn([] { return 1; });
+  (void)a.touch();
+  const RuntimeStats stats = rt.stats();
+  EXPECT_EQ(stats.futures_created, 2u);
+  EXPECT_EQ(stats.futures_spawned, 1u);
+  EXPECT_EQ(stats.futures_completed, 1u);
+}
+
+}  // namespace
+}  // namespace gtdl

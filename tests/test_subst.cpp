@@ -1,0 +1,121 @@
+// Tests for capture-avoiding substitution and μ-unrolling.
+
+#include <gtest/gtest.h>
+
+#include "gtdl/gtype/parse.hpp"
+#include "gtdl/gtype/subst.hpp"
+
+namespace gtdl {
+namespace {
+
+Symbol S(const char* s) { return Symbol::intern(s); }
+
+TEST(VertexSubst, ReplacesFreeOccurrences) {
+  const GTypePtr g = parse_gtype_or_throw("1 / u ; ~u ; ~w");
+  const GTypePtr out =
+      substitute_vertices(g, VertexSubst{{S("u"), S("z")}});
+  EXPECT_EQ(to_string(*out), "1 / z ; ~z ; ~w");
+}
+
+TEST(VertexSubst, RespectsNuBinder) {
+  const GTypePtr g = parse_gtype_or_throw("new u. ~u ; ~w");
+  const GTypePtr out = substitute_vertices(
+      g, VertexSubst{{S("u"), S("z")}, {S("w"), S("v")}});
+  // Bound u untouched; free w replaced.
+  EXPECT_EQ(to_string(*out), "new u. ~u ; ~v");
+}
+
+TEST(VertexSubst, AvoidsCaptureByRenamingBinder) {
+  // Substituting w -> u under "new u" must not capture the new u.
+  const GTypePtr g = parse_gtype_or_throw("new u. ~u ; ~w");
+  const GTypePtr out = substitute_vertices(g, VertexSubst{{S("w"), S("u")}});
+  const auto* nu = std::get_if<GTNew>(&out->node);
+  ASSERT_NE(nu, nullptr);
+  EXPECT_NE(nu->vertex, S("u"));  // binder was renamed
+  // The substituted-in free u must appear... and the renamed binder's
+  // occurrences track the new name.
+  const GTypePtr expected = parse_gtype_or_throw(
+      "new q. ~q ; ~u");  // alpha-equivalent shape
+  EXPECT_TRUE(alpha_equal(*out, *expected));
+}
+
+TEST(VertexSubst, AppliesToApplicationArguments) {
+  const GTypePtr g = parse_gtype_or_throw("g[a, b; x]");
+  const GTypePtr out = substitute_vertices(
+      g, VertexSubst{{S("a"), S("p")}, {S("x"), S("q")}});
+  EXPECT_EQ(to_string(*out), "g[p, b; q]");
+}
+
+TEST(VertexSubst, RespectsPiBinder) {
+  const GTypePtr g = parse_gtype_or_throw("pi[a; x]. 1 / a ; ~x ; ~w");
+  const GTypePtr out = substitute_vertices(
+      g, VertexSubst{{S("a"), S("z1")}, {S("x"), S("z2")}, {S("w"), S("z3")}});
+  EXPECT_EQ(to_string(*out), "pi[a; x]. 1 / a ; ~x ; ~z3");
+}
+
+TEST(VertexSubst, RenamesPiParamsOnCapture) {
+  const GTypePtr g = parse_gtype_or_throw("pi[a; x]. 1 / a ; ~x ; ~w");
+  const GTypePtr out = substitute_vertices(g, VertexSubst{{S("w"), S("a")}});
+  const GTypePtr expected =
+      parse_gtype_or_throw("pi[p; x]. 1 / p ; ~x ; ~a");
+  EXPECT_TRUE(alpha_equal(*out, *expected));
+}
+
+TEST(GvarSubst, ReplacesFreeVariable) {
+  const GTypePtr g = parse_gtype_or_throw("g ; 1");
+  const GTypePtr out = substitute_gvar(g, S("g"), parse_gtype_or_throw("~u"));
+  EXPECT_EQ(to_string(*out), "~u ; 1");
+}
+
+TEST(GvarSubst, RespectsMuShadowing) {
+  const GTypePtr g = parse_gtype_or_throw("g ; rec g. g");
+  const GTypePtr out = substitute_gvar(g, S("g"), parse_gtype_or_throw("1"));
+  EXPECT_EQ(to_string(*out), "1 ; (rec g. g)");
+}
+
+TEST(GvarSubst, AvoidsVertexCaptureOfReplacementFreeVertices) {
+  // Replacement mentions free vertex u; the ν binder in the target must
+  // be renamed before substituting under it.
+  const GTypePtr g = parse_gtype_or_throw("new u. g ; 1 / u");
+  const GTypePtr out = substitute_gvar(g, S("g"), parse_gtype_or_throw("~u"));
+  const GTypePtr expected = parse_gtype_or_throw("new q. ~u ; 1 / q");
+  EXPECT_TRUE(alpha_equal(*out, *expected));
+}
+
+TEST(GvarSubst, AvoidsGvarCaptureUnderMu) {
+  // Substituting h := (g ; 1) under "rec g" must rename the μ binder.
+  const GTypePtr g = parse_gtype_or_throw("rec g. h ; g");
+  const GTypePtr out =
+      substitute_gvar(g, S("h"), parse_gtype_or_throw("g ; 1"));
+  const GTypePtr expected = parse_gtype_or_throw("rec k. (g ; 1) ; k");
+  EXPECT_TRUE(alpha_equal(*out, *expected));
+}
+
+TEST(UnrollRec, SubstitutesWholeTypeForVariable) {
+  const GTypePtr g = parse_gtype_or_throw("rec g. 1 | g ; ~u");
+  const GTypePtr out = unroll_rec(g);
+  const GTypePtr expected =
+      parse_gtype_or_throw("1 | (rec g. 1 | g ; ~u) ; ~u");
+  EXPECT_TRUE(alpha_equal(*out, *expected));
+}
+
+TEST(UnrollRec, ThrowsOnNonRec) {
+  EXPECT_THROW((void)unroll_rec(gt::empty()), std::invalid_argument);
+}
+
+TEST(VertexSubst, EmptySubstIsIdentity) {
+  const GTypePtr g = parse_gtype_or_throw("new u. 1 / u ; ~u");
+  const GTypePtr out = substitute_vertices(g, VertexSubst{});
+  EXPECT_EQ(g.get(), out.get());  // shares the same node
+}
+
+TEST(VertexSubst, SwapIsSimultaneous) {
+  // {u -> w, w -> u} applied simultaneously, not sequentially.
+  const GTypePtr g = parse_gtype_or_throw("~u ; ~w");
+  const GTypePtr out = substitute_vertices(
+      g, VertexSubst{{S("u"), S("w")}, {S("w"), S("u")}});
+  EXPECT_EQ(to_string(*out), "~w ; ~u");
+}
+
+}  // namespace
+}  // namespace gtdl

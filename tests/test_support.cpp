@@ -1,0 +1,165 @@
+// Unit tests for the support layer: symbols, diagnostics, ordered sets,
+// string helpers.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtdl/support/diagnostics.hpp"
+#include "gtdl/support/ordered_set.hpp"
+#include "gtdl/support/string_util.hpp"
+#include "gtdl/support/symbol.hpp"
+
+namespace gtdl {
+namespace {
+
+TEST(Symbol, InterningGivesEqualHandlesForEqualSpellings) {
+  const Symbol a = Symbol::intern("alpha");
+  const Symbol b = Symbol::intern("alpha");
+  const Symbol c = Symbol::intern("beta");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.view(), "alpha");
+  EXPECT_EQ(c.str(), "beta");
+}
+
+TEST(Symbol, DefaultConstructedIsInvalid) {
+  const Symbol s;
+  EXPECT_FALSE(s.valid());
+  EXPECT_EQ(s.view(), "<invalid>");
+  EXPECT_EQ(s, Symbol{});
+  EXPECT_NE(s, Symbol::intern("x"));
+}
+
+TEST(Symbol, FreshNamesNeverCollide) {
+  const Symbol a = Symbol::fresh("u");
+  const Symbol b = Symbol::fresh("u");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a.view(), b.view());
+  EXPECT_TRUE(a.view().starts_with("u$"));
+}
+
+TEST(Symbol, FreshSkipsManuallyInternedNames) {
+  // Force a potential collision by interning the next fresh spelling.
+  const Symbol probe = Symbol::fresh("collide");
+  const std::string_view view = probe.view();
+  const auto dollar = view.find('$');
+  ASSERT_NE(dollar, std::string_view::npos);
+  const unsigned long long next = std::stoull(std::string(view.substr(dollar + 1))) + 1;
+  const Symbol taken = Symbol::intern("collide$" + std::to_string(next));
+  const Symbol fresh = Symbol::fresh("collide");
+  EXPECT_NE(fresh, taken);
+}
+
+TEST(Symbol, InterningIsThreadSafe) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<Symbol>> results(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &results] {
+      for (int i = 0; i < kPerThread; ++i) {
+        results[static_cast<std::size_t>(t)].push_back(
+            Symbol::intern("shared" + std::to_string(i)));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int i = 0; i < kPerThread; ++i) {
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(results[0][static_cast<std::size_t>(i)],
+                results[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)]);
+    }
+  }
+}
+
+TEST(Diagnostics, CountsErrorsOnly) {
+  DiagnosticEngine diags;
+  diags.warning(SrcLoc{1, 1}, "w");
+  diags.note(SrcLoc{}, "n");
+  EXPECT_FALSE(diags.has_errors());
+  diags.error("boom");
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(diags.error_count(), 1u);
+  EXPECT_EQ(diags.all().size(), 3u);
+}
+
+TEST(Diagnostics, RenderIncludesLocationWhenKnown) {
+  DiagnosticEngine diags;
+  diags.error(SrcLoc{3, 14}, "bad thing");
+  diags.error("global thing");
+  const std::string rendered = diags.render();
+  EXPECT_NE(rendered.find("3:14: error: bad thing"), std::string::npos);
+  EXPECT_NE(rendered.find("error: global thing"), std::string::npos);
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine diags;
+  diags.error("x");
+  diags.clear();
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_TRUE(diags.all().empty());
+}
+
+TEST(OrderedSet, InsertEraseContains) {
+  OrderedSet<int> set;
+  EXPECT_TRUE(set.insert(3));
+  EXPECT_TRUE(set.insert(1));
+  EXPECT_FALSE(set.insert(3));
+  EXPECT_TRUE(set.contains(1));
+  EXPECT_FALSE(set.contains(2));
+  EXPECT_TRUE(set.erase(1));
+  EXPECT_FALSE(set.erase(1));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(OrderedSet, InitializerListDeduplicatesAndSorts) {
+  const OrderedSet<int> set{5, 1, 5, 3, 1};
+  const std::vector<int> expected{1, 3, 5};
+  EXPECT_EQ(set.items(), expected);
+}
+
+TEST(OrderedSet, Algebra) {
+  const OrderedSet<int> a{1, 2, 3};
+  const OrderedSet<int> b{3, 4};
+  EXPECT_EQ(a.set_union(b), (OrderedSet<int>{1, 2, 3, 4}));
+  EXPECT_EQ(a.set_difference(b), (OrderedSet<int>{1, 2}));
+  EXPECT_EQ(a.set_intersection(b), (OrderedSet<int>{3}));
+  EXPECT_TRUE((OrderedSet<int>{1, 3}).is_subset_of(a));
+  EXPECT_FALSE(a.is_subset_of(b));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.intersects(OrderedSet<int>{7}));
+}
+
+TEST(OrderedSet, EmptySetBehaviour) {
+  const OrderedSet<int> empty;
+  const OrderedSet<int> a{1};
+  EXPECT_TRUE(empty.is_subset_of(a));
+  EXPECT_TRUE(empty.is_subset_of(empty));
+  EXPECT_FALSE(empty.intersects(a));
+  EXPECT_EQ(a.set_difference(empty), a);
+  EXPECT_EQ(empty.set_union(a), a);
+}
+
+TEST(StringUtil, Join) {
+  const std::vector<int> xs{1, 2, 3};
+  EXPECT_EQ(join(xs, ", ", [](int x) { return std::to_string(x); }),
+            "1, 2, 3");
+  const std::vector<int> empty;
+  EXPECT_EQ(join(empty, ",", [](int x) { return std::to_string(x); }), "");
+}
+
+TEST(StringUtil, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+}  // namespace
+}  // namespace gtdl

@@ -1,0 +1,69 @@
+// Tests for trace generation (Fig. 6) from ground graphs.
+
+#include <gtest/gtest.h>
+
+#include "gtdl/tj/trace.hpp"
+
+namespace gtdl {
+namespace {
+
+Symbol S(const char* s) { return Symbol::intern(s); }
+const Symbol kMain = Symbol::intern("main");
+
+TEST(Trace, SingletonProducesEmptyTrace) {
+  EXPECT_TRUE(trace_of_graph(*ge::singleton(), kMain).empty());
+}
+
+TEST(Trace, WithInitPrepends) {
+  const Trace t = trace_with_init(*ge::singleton(), kMain);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0], Action::init(kMain));
+}
+
+TEST(Trace, SpawnEmitsForkAndNamesChildAfterVertex) {
+  // TR:SPAWN — g /u ~>_a fork(a,u); t where g ~>_u t.
+  const GraphExprPtr g = ge::spawn(ge::touch(S("w")), S("u"));
+  const Trace t = trace_of_graph(*g, kMain);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], Action::fork(kMain, S("u")));
+  // The body's actions are attributed to the new thread u.
+  EXPECT_EQ(t[1], Action::join(S("u"), S("w")));
+}
+
+TEST(Trace, TouchEmitsJoin) {
+  const Trace t = trace_of_graph(*ge::touch(S("u")), kMain);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0], Action::join(kMain, S("u")));
+}
+
+TEST(Trace, SeqConcatenates) {
+  const GraphExprPtr g =
+      ge::seq(ge::spawn(ge::singleton(), S("u")), ge::touch(S("u")));
+  const Trace t = trace_of_graph(*g, kMain);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], Action::fork(kMain, S("u")));
+  EXPECT_EQ(t[1], Action::join(kMain, S("u")));
+}
+
+TEST(Trace, NestedSpawnsAttributeActionsToSpawningThread) {
+  // main spawns u; u spawns w; u touches w; main touches u.
+  const GraphExprPtr inner = ge::seq(ge::spawn(ge::singleton(), S("w")),
+                                     ge::touch(S("w")));
+  const GraphExprPtr g =
+      ge::seq(ge::spawn(inner, S("u")), ge::touch(S("u")));
+  const Trace t = trace_of_graph(*g, kMain);
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0], Action::fork(kMain, S("u")));
+  EXPECT_EQ(t[1], Action::fork(S("u"), S("w")));
+  EXPECT_EQ(t[2], Action::join(S("u"), S("w")));
+  EXPECT_EQ(t[3], Action::join(kMain, S("u")));
+}
+
+TEST(Trace, Rendering) {
+  const Trace t{Action::init(kMain), Action::fork(kMain, S("u")),
+                Action::join(kMain, S("u"))};
+  EXPECT_EQ(to_string(t), "init(main); fork(main,u); join(main,u)");
+}
+
+}  // namespace
+}  // namespace gtdl

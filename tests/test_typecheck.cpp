@@ -1,0 +1,199 @@
+// Tests for the FutLang type checker.
+
+#include <gtest/gtest.h>
+
+#include "gtdl/frontend/parser.hpp"
+#include "gtdl/frontend/typecheck.hpp"
+
+namespace gtdl {
+namespace {
+
+bool checks(const char* source, std::string* rendered = nullptr) {
+  Program program = parse_program_or_throw(source);
+  DiagnosticEngine diags;
+  const bool ok = typecheck_program(program, diags);
+  if (rendered != nullptr) *rendered = diags.render();
+  return ok;
+}
+
+TEST(Typecheck, MinimalProgram) {
+  EXPECT_TRUE(checks("fun main() { }"));
+}
+
+TEST(Typecheck, RequiresMain) {
+  std::string msg;
+  EXPECT_FALSE(checks("fun f() { }", &msg));
+  EXPECT_NE(msg.find("main"), std::string::npos);
+}
+
+TEST(Typecheck, MainMustBeNullaryUnit) {
+  EXPECT_FALSE(checks("fun main(x: int) { }"));
+  EXPECT_FALSE(checks("fun main() -> int { return 1; }"));
+}
+
+TEST(Typecheck, DuplicateFunctionNames) {
+  EXPECT_FALSE(checks("fun f() {} fun f() {} fun main() {}"));
+}
+
+TEST(Typecheck, DuplicateParams) {
+  EXPECT_FALSE(checks("fun f(a: int, a: int) {} fun main() {}"));
+}
+
+TEST(Typecheck, FutureReturnTypeRejected) {
+  std::string msg;
+  EXPECT_FALSE(checks(
+      "fun f() -> future[int] { return new_future[int](); } fun main() {}",
+      &msg));
+  EXPECT_NE(msg.find("future"), std::string::npos);
+}
+
+TEST(Typecheck, ListOfFuturesRejected) {
+  EXPECT_FALSE(checks("fun f(l: list[future[int]]) {} fun main() {}"));
+}
+
+TEST(Typecheck, FutureOfFutureRejected) {
+  EXPECT_FALSE(
+      checks("fun main() { let h = new_future[future[int]](); }"));
+}
+
+TEST(Typecheck, SpawnAndTouchAgreeOnElementType) {
+  EXPECT_TRUE(checks(R"(
+    fun main() {
+      let h = new_future[int]();
+      spawn h { return 40 + 2; }
+      let v = touch(h);
+      let w = v + 1;
+    }
+  )"));
+  // Spawn body returning the wrong type:
+  EXPECT_FALSE(checks(R"(
+    fun main() {
+      let h = new_future[int]();
+      spawn h { return "nope"; }
+    }
+  )"));
+}
+
+TEST(Typecheck, SpawnBodyMustReturnOnEveryPath) {
+  EXPECT_FALSE(checks(R"(
+    fun main() {
+      let h = new_future[int]();
+      spawn h { if true { return 1; } }
+    }
+  )"));
+  EXPECT_TRUE(checks(R"(
+    fun main() {
+      let h = new_future[int]();
+      spawn h { if true { return 1; } else { return 2; } }
+    }
+  )"));
+}
+
+TEST(Typecheck, TouchOfNonFutureRejected) {
+  EXPECT_FALSE(checks("fun main() { let x = 1; touch(x); }"));
+  EXPECT_FALSE(checks("fun main() { spawn 3 { return; } }"));
+}
+
+TEST(Typecheck, NonUnitFunctionMustReturn) {
+  EXPECT_FALSE(checks("fun f() -> int { } fun main() {}"));
+  EXPECT_TRUE(checks("fun f() -> int { return 3; } fun main() {}"));
+}
+
+TEST(Typecheck, ReturnTypeMismatch) {
+  EXPECT_FALSE(checks("fun f() -> int { return true; } fun main() {}"));
+  EXPECT_FALSE(checks("fun f() { return 3; } fun main() {}"));
+}
+
+TEST(Typecheck, LetAnnotationMismatch) {
+  EXPECT_FALSE(checks("fun main() { let x: int = true; }"));
+  EXPECT_TRUE(checks("fun main() { let x: int = 3; }"));
+}
+
+TEST(Typecheck, NilNeedsContext) {
+  EXPECT_FALSE(checks("fun main() { let l = nil; }"));
+  EXPECT_TRUE(checks("fun main() { let l: list[int] = nil; }"));
+}
+
+TEST(Typecheck, AssignmentTypeAndScope) {
+  EXPECT_FALSE(checks("fun main() { x = 1; }"));
+  EXPECT_FALSE(checks("fun main() { let x = 1; x = true; }"));
+  EXPECT_TRUE(checks("fun main() { let x = 1; x = 2; }"));
+}
+
+TEST(Typecheck, BlockScoping) {
+  EXPECT_FALSE(checks(R"(
+    fun main() {
+      if true { let y = 1; } else { }
+      let z = y;
+    }
+  )"));
+}
+
+TEST(Typecheck, ConditionsMustBeBool) {
+  EXPECT_FALSE(checks("fun main() { if 1 { } else { } }"));
+  EXPECT_FALSE(checks("fun main() { while 1 { } }"));
+}
+
+TEST(Typecheck, CallArityAndTypes) {
+  EXPECT_FALSE(checks(
+      "fun f(a: int) {} fun main() { f(); }"));
+  EXPECT_FALSE(checks(
+      "fun f(a: int) {} fun main() { f(true); }"));
+  EXPECT_TRUE(checks(
+      "fun f(a: int) {} fun main() { f(1); }"));
+  EXPECT_FALSE(checks("fun main() { g(); }"));
+}
+
+TEST(Typecheck, BuiltinSignatures) {
+  EXPECT_TRUE(checks(R"(
+    fun main() {
+      let r = rand();
+      print(int_to_string(r));
+      print(concat("a", "b"));
+      let l = range(0, 5);
+      let n = length(l);
+      let h = head(l);
+      let t = tail(l);
+      let c = cons(9, t);
+      let a = append(c, l);
+      let p = take(a, 2);
+      let q = drop(a, 2);
+    }
+  )"));
+  EXPECT_FALSE(checks("fun main() { print(42); }"));
+  EXPECT_FALSE(checks("fun main() { let x = length(3); }"));
+  EXPECT_FALSE(checks("fun main() { let x = head(nil); }"));
+  EXPECT_FALSE(checks("fun main() { rand(1); }"));
+  EXPECT_FALSE(checks("fun main() { let l = cons(1, range(0,1));"
+                      " let m = append(l, cons(true, nil)); }"));
+}
+
+TEST(Typecheck, ShadowingABuiltinRejected) {
+  EXPECT_FALSE(checks("fun rand() -> int { return 4; } fun main() {}"));
+}
+
+TEST(Typecheck, EqualityRules) {
+  EXPECT_TRUE(checks("fun main() { let b = \"x\" == \"y\"; }"));
+  EXPECT_FALSE(checks("fun main() { let b = 1 == true; }"));
+  EXPECT_FALSE(checks(R"(
+    fun main() {
+      let h = new_future[int]();
+      let k = new_future[int]();
+      let b = h == k;
+    }
+  )"));
+}
+
+TEST(Typecheck, TypesAnnotatedOnExpressions) {
+  Program program = parse_program_or_throw(
+      "fun main() { let x = 1 + 2; }");
+  DiagnosticEngine diags;
+  ASSERT_TRUE(typecheck_program(program, diags));
+  const auto* let = std::get_if<SLet>(&program.functions[0].body[0]->node);
+  ASSERT_NE(let, nullptr);
+  ASSERT_NE(let->init->type, nullptr);
+  EXPECT_TRUE(is_prim(*let->init->type, PrimKind::kInt));
+}
+
+}  // namespace
+}  // namespace gtdl

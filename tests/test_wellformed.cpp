@@ -1,0 +1,131 @@
+// Tests for the affine well-formedness kinding (the judgment of the
+// original graph-types work): vertices may be spawned at most once, and
+// touched names must be in scope.
+
+#include <gtest/gtest.h>
+
+#include "gtdl/gtype/parse.hpp"
+#include "gtdl/gtype/wellformed.hpp"
+
+namespace gtdl {
+namespace {
+
+WellformedResult wf(const char* src) {
+  return check_wellformed(parse_gtype_or_throw(src));
+}
+
+TEST(Wellformed, EmptyGraph) {
+  const WellformedResult r = wf("1");
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.kind, GraphKind::star());
+}
+
+TEST(Wellformed, SpawnRequiresBoundVertex) {
+  EXPECT_FALSE(wf("1 / u").ok);
+  EXPECT_TRUE(wf("new u. 1 / u").ok);
+}
+
+TEST(Wellformed, TouchRequiresScopedVertex) {
+  EXPECT_FALSE(wf("~u").ok);
+  EXPECT_TRUE(wf("new u. ~u").ok);  // affine: unspawned touch is WF
+}
+
+TEST(Wellformed, DoubleSpawnRejected) {
+  EXPECT_FALSE(wf("new u. 1 / u ; 1 / u").ok);
+}
+
+TEST(Wellformed, SpawnInBothOrBranchesAllowed) {
+  // Affine: each execution path spawns u at most once.
+  EXPECT_TRUE(wf("new u. (1 / u | 1 / u)").ok);
+}
+
+TEST(Wellformed, UnevenOrBranchesAllowed) {
+  // Unlike the linear deadlock judgment, one branch may skip the spawn.
+  EXPECT_TRUE(wf("new u. (1 | 1 / u)").ok);
+}
+
+TEST(Wellformed, TouchBeforeSpawnIsWellFormed) {
+  // WF does not order touches — that is the deadlock system's job.
+  EXPECT_TRUE(wf("new u. ~u ; 1 / u").ok);
+}
+
+TEST(Wellformed, NestedSpawnBodyMayUseRemainingVertices) {
+  EXPECT_TRUE(wf("new u. new w. (1 / w) / u").ok);
+  EXPECT_FALSE(wf("new u. (1 / u) / u").ok);
+}
+
+TEST(Wellformed, ShadowingRejected) {
+  EXPECT_FALSE(wf("new u. new u. 1 / u").ok);
+}
+
+TEST(Wellformed, PiKindAndApplication) {
+  const WellformedResult r = wf("pi[a; x]. 1 / a ; ~x");
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.kind, GraphKind::pi(1, 1));
+
+  EXPECT_TRUE(wf("new u. new w. (pi[a; x]. 1 / a ; ~x)[u; w]").ok);
+}
+
+TEST(Wellformed, ApplicationArityMismatch) {
+  EXPECT_FALSE(wf("new u. (pi[a; x]. 1 / a ; ~x)[u; ]").ok);
+  EXPECT_FALSE(wf("new u. new w. (pi[a;]. 1 / a)[u; w]").ok);
+}
+
+TEST(Wellformed, ApplicationSpawnArgConsumed) {
+  // u passed as spawn argument twice: second use violates affinity.
+  EXPECT_FALSE(
+      wf("new u. (pi[a; ]. 1 / a)[u; ] ; (pi[a; ]. 1 / a)[u; ]").ok);
+  // Touch args are unrestricted.
+  EXPECT_TRUE(
+      wf("new u. 1 / u ; (pi[; x]. ~x)[; u] ; (pi[; x]. ~x)[; u]").ok);
+}
+
+TEST(Wellformed, ApplicationOfStarKindRejected) {
+  EXPECT_FALSE(wf("new u. (1)[u;]").ok);
+}
+
+TEST(Wellformed, RecWithPiBody) {
+  const WellformedResult r =
+      wf("rec g. pi[a; x]. new u. 1 | ~x ; 1 / a ; g[u; u]");
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.kind, GraphKind::pi(1, 1));
+}
+
+TEST(Wellformed, BareRecTreatedAsNullaryPi) {
+  const WellformedResult r = wf("rec g. new u. 1 | g / u ; g ; ~u");
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.kind, GraphKind::pi(0, 0));
+}
+
+TEST(Wellformed, RecBodyCannotCaptureOuterSpawnVertices) {
+  // u is bound outside the μ; the recursive body must not spawn it (it
+  // would be spawned once per unrolling).
+  EXPECT_FALSE(wf("new u. (rec g. 1 | 1 / u ; g) ; 1 / u").ok);
+}
+
+TEST(Wellformed, RecBodyMayTouchOuterVertices) {
+  EXPECT_TRUE(wf("new u. 1 / u ; (rec g. 1 | ~u ; g)").ok);
+}
+
+TEST(Wellformed, UnboundGraphVariableRejected) {
+  EXPECT_FALSE(wf("g").ok);
+  EXPECT_FALSE(wf("rec g. h").ok);
+}
+
+TEST(Wellformed, CounterexampleShapeIsWellFormed) {
+  // The §3 counterexample is well-formed (it is the deadlock system that
+  // must reject it).
+  EXPECT_TRUE(
+      wf("new u1. new u2. 1 / u2 ; "
+         "(rec g. pi[a; x]. new u. 1 | ~x ; 1 / a ; g[u; u])[u1; u2]")
+          .ok);
+}
+
+TEST(Wellformed, DiagnosticsNameTheVertex) {
+  const WellformedResult r = wf("new u. 1 / u ; 1 / u");
+  ASSERT_FALSE(r.ok);
+  EXPECT_NE(r.diags.render().find("'u'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gtdl
