@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_newpush.dir/bench_newpush.cpp.o"
+  "CMakeFiles/bench_newpush.dir/bench_newpush.cpp.o.d"
+  "bench_newpush"
+  "bench_newpush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_newpush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

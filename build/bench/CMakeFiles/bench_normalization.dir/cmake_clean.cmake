@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_normalization.dir/bench_normalization.cpp.o"
+  "CMakeFiles/bench_normalization.dir/bench_normalization.cpp.o.d"
+  "bench_normalization"
+  "bench_normalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_normalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

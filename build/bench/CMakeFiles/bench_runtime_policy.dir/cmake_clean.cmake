@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_runtime_policy.dir/bench_runtime_policy.cpp.o"
+  "CMakeFiles/bench_runtime_policy.dir/bench_runtime_policy.cpp.o.d"
+  "bench_runtime_policy"
+  "bench_runtime_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runtime_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

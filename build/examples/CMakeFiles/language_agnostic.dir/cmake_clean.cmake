@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/language_agnostic.dir/language_agnostic.cpp.o"
+  "CMakeFiles/language_agnostic.dir/language_agnostic.cpp.o.d"
+  "language_agnostic"
+  "language_agnostic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/language_agnostic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_example.dir/pipeline_example.cpp.o"
+  "CMakeFiles/pipeline_example.dir/pipeline_example.cpp.o.d"
+  "pipeline_example"
+  "pipeline_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_deadlock.dir/runtime_deadlock.cpp.o"
+  "CMakeFiles/runtime_deadlock.dir/runtime_deadlock.cpp.o.d"
+  "runtime_deadlock"
+  "runtime_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

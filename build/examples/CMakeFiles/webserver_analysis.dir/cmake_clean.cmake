@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webserver_analysis.dir/webserver_analysis.cpp.o"
+  "CMakeFiles/webserver_analysis.dir/webserver_analysis.cpp.o.d"
+  "webserver_analysis"
+  "webserver_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webserver_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

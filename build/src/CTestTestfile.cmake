@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("gtdl/support")
+subdirs("gtdl/graph")
+subdirs("gtdl/tj")
+subdirs("gtdl/gtype")
+subdirs("gtdl/detect")
+subdirs("gtdl/frontend")
+subdirs("gtdl/mml")
+subdirs("gtdl/runtime")
+subdirs("gtdl/cli")

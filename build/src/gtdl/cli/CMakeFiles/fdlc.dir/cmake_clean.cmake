@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdlc.dir/fdlc_main.cpp.o"
+  "CMakeFiles/fdlc.dir/fdlc_main.cpp.o.d"
+  "fdlc"
+  "fdlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

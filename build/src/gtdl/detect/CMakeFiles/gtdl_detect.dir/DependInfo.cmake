@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gtdl/detect/counterexample.cpp" "src/gtdl/detect/CMakeFiles/gtdl_detect.dir/counterexample.cpp.o" "gcc" "src/gtdl/detect/CMakeFiles/gtdl_detect.dir/counterexample.cpp.o.d"
+  "/root/repo/src/gtdl/detect/deadlock.cpp" "src/gtdl/detect/CMakeFiles/gtdl_detect.dir/deadlock.cpp.o" "gcc" "src/gtdl/detect/CMakeFiles/gtdl_detect.dir/deadlock.cpp.o.d"
+  "/root/repo/src/gtdl/detect/gml_baseline.cpp" "src/gtdl/detect/CMakeFiles/gtdl_detect.dir/gml_baseline.cpp.o" "gcc" "src/gtdl/detect/CMakeFiles/gtdl_detect.dir/gml_baseline.cpp.o.d"
+  "/root/repo/src/gtdl/detect/mhp.cpp" "src/gtdl/detect/CMakeFiles/gtdl_detect.dir/mhp.cpp.o" "gcc" "src/gtdl/detect/CMakeFiles/gtdl_detect.dir/mhp.cpp.o.d"
+  "/root/repo/src/gtdl/detect/new_push.cpp" "src/gtdl/detect/CMakeFiles/gtdl_detect.dir/new_push.cpp.o" "gcc" "src/gtdl/detect/CMakeFiles/gtdl_detect.dir/new_push.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gtdl/support/CMakeFiles/gtdl_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/gtdl/graph/CMakeFiles/gtdl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gtdl/gtype/CMakeFiles/gtdl_gtype.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

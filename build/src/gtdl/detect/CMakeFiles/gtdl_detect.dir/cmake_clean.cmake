@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtdl_detect.dir/counterexample.cpp.o"
+  "CMakeFiles/gtdl_detect.dir/counterexample.cpp.o.d"
+  "CMakeFiles/gtdl_detect.dir/deadlock.cpp.o"
+  "CMakeFiles/gtdl_detect.dir/deadlock.cpp.o.d"
+  "CMakeFiles/gtdl_detect.dir/gml_baseline.cpp.o"
+  "CMakeFiles/gtdl_detect.dir/gml_baseline.cpp.o.d"
+  "CMakeFiles/gtdl_detect.dir/mhp.cpp.o"
+  "CMakeFiles/gtdl_detect.dir/mhp.cpp.o.d"
+  "CMakeFiles/gtdl_detect.dir/new_push.cpp.o"
+  "CMakeFiles/gtdl_detect.dir/new_push.cpp.o.d"
+  "libgtdl_detect.a"
+  "libgtdl_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtdl_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

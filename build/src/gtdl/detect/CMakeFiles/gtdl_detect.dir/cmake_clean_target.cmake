@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgtdl_detect.a"
+)

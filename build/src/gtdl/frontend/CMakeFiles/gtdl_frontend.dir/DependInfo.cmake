@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gtdl/frontend/driver.cpp" "src/gtdl/frontend/CMakeFiles/gtdl_frontend.dir/driver.cpp.o" "gcc" "src/gtdl/frontend/CMakeFiles/gtdl_frontend.dir/driver.cpp.o.d"
+  "/root/repo/src/gtdl/frontend/infer.cpp" "src/gtdl/frontend/CMakeFiles/gtdl_frontend.dir/infer.cpp.o" "gcc" "src/gtdl/frontend/CMakeFiles/gtdl_frontend.dir/infer.cpp.o.d"
+  "/root/repo/src/gtdl/frontend/interp.cpp" "src/gtdl/frontend/CMakeFiles/gtdl_frontend.dir/interp.cpp.o" "gcc" "src/gtdl/frontend/CMakeFiles/gtdl_frontend.dir/interp.cpp.o.d"
+  "/root/repo/src/gtdl/frontend/parser.cpp" "src/gtdl/frontend/CMakeFiles/gtdl_frontend.dir/parser.cpp.o" "gcc" "src/gtdl/frontend/CMakeFiles/gtdl_frontend.dir/parser.cpp.o.d"
+  "/root/repo/src/gtdl/frontend/typecheck.cpp" "src/gtdl/frontend/CMakeFiles/gtdl_frontend.dir/typecheck.cpp.o" "gcc" "src/gtdl/frontend/CMakeFiles/gtdl_frontend.dir/typecheck.cpp.o.d"
+  "/root/repo/src/gtdl/frontend/types.cpp" "src/gtdl/frontend/CMakeFiles/gtdl_frontend.dir/types.cpp.o" "gcc" "src/gtdl/frontend/CMakeFiles/gtdl_frontend.dir/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gtdl/support/CMakeFiles/gtdl_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/gtdl/graph/CMakeFiles/gtdl_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gtdl/tj/CMakeFiles/gtdl_tj.dir/DependInfo.cmake"
+  "/root/repo/build/src/gtdl/gtype/CMakeFiles/gtdl_gtype.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

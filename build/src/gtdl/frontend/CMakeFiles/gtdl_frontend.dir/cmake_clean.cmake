@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtdl_frontend.dir/driver.cpp.o"
+  "CMakeFiles/gtdl_frontend.dir/driver.cpp.o.d"
+  "CMakeFiles/gtdl_frontend.dir/infer.cpp.o"
+  "CMakeFiles/gtdl_frontend.dir/infer.cpp.o.d"
+  "CMakeFiles/gtdl_frontend.dir/interp.cpp.o"
+  "CMakeFiles/gtdl_frontend.dir/interp.cpp.o.d"
+  "CMakeFiles/gtdl_frontend.dir/parser.cpp.o"
+  "CMakeFiles/gtdl_frontend.dir/parser.cpp.o.d"
+  "CMakeFiles/gtdl_frontend.dir/typecheck.cpp.o"
+  "CMakeFiles/gtdl_frontend.dir/typecheck.cpp.o.d"
+  "CMakeFiles/gtdl_frontend.dir/types.cpp.o"
+  "CMakeFiles/gtdl_frontend.dir/types.cpp.o.d"
+  "libgtdl_frontend.a"
+  "libgtdl_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtdl_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

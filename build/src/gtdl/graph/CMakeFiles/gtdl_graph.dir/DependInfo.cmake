@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gtdl/graph/graph.cpp" "src/gtdl/graph/CMakeFiles/gtdl_graph.dir/graph.cpp.o" "gcc" "src/gtdl/graph/CMakeFiles/gtdl_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/gtdl/graph/graph_expr.cpp" "src/gtdl/graph/CMakeFiles/gtdl_graph.dir/graph_expr.cpp.o" "gcc" "src/gtdl/graph/CMakeFiles/gtdl_graph.dir/graph_expr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gtdl/support/CMakeFiles/gtdl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

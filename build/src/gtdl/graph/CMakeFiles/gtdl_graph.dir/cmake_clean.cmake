@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtdl_graph.dir/graph.cpp.o"
+  "CMakeFiles/gtdl_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/gtdl_graph.dir/graph_expr.cpp.o"
+  "CMakeFiles/gtdl_graph.dir/graph_expr.cpp.o.d"
+  "libgtdl_graph.a"
+  "libgtdl_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtdl_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

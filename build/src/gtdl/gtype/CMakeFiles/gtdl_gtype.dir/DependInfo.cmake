@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gtdl/gtype/gtype.cpp" "src/gtdl/gtype/CMakeFiles/gtdl_gtype.dir/gtype.cpp.o" "gcc" "src/gtdl/gtype/CMakeFiles/gtdl_gtype.dir/gtype.cpp.o.d"
+  "/root/repo/src/gtdl/gtype/kind.cpp" "src/gtdl/gtype/CMakeFiles/gtdl_gtype.dir/kind.cpp.o" "gcc" "src/gtdl/gtype/CMakeFiles/gtdl_gtype.dir/kind.cpp.o.d"
+  "/root/repo/src/gtdl/gtype/normalize.cpp" "src/gtdl/gtype/CMakeFiles/gtdl_gtype.dir/normalize.cpp.o" "gcc" "src/gtdl/gtype/CMakeFiles/gtdl_gtype.dir/normalize.cpp.o.d"
+  "/root/repo/src/gtdl/gtype/parse.cpp" "src/gtdl/gtype/CMakeFiles/gtdl_gtype.dir/parse.cpp.o" "gcc" "src/gtdl/gtype/CMakeFiles/gtdl_gtype.dir/parse.cpp.o.d"
+  "/root/repo/src/gtdl/gtype/subst.cpp" "src/gtdl/gtype/CMakeFiles/gtdl_gtype.dir/subst.cpp.o" "gcc" "src/gtdl/gtype/CMakeFiles/gtdl_gtype.dir/subst.cpp.o.d"
+  "/root/repo/src/gtdl/gtype/wellformed.cpp" "src/gtdl/gtype/CMakeFiles/gtdl_gtype.dir/wellformed.cpp.o" "gcc" "src/gtdl/gtype/CMakeFiles/gtdl_gtype.dir/wellformed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gtdl/support/CMakeFiles/gtdl_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/gtdl/graph/CMakeFiles/gtdl_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtdl_gtype.dir/gtype.cpp.o"
+  "CMakeFiles/gtdl_gtype.dir/gtype.cpp.o.d"
+  "CMakeFiles/gtdl_gtype.dir/kind.cpp.o"
+  "CMakeFiles/gtdl_gtype.dir/kind.cpp.o.d"
+  "CMakeFiles/gtdl_gtype.dir/normalize.cpp.o"
+  "CMakeFiles/gtdl_gtype.dir/normalize.cpp.o.d"
+  "CMakeFiles/gtdl_gtype.dir/parse.cpp.o"
+  "CMakeFiles/gtdl_gtype.dir/parse.cpp.o.d"
+  "CMakeFiles/gtdl_gtype.dir/subst.cpp.o"
+  "CMakeFiles/gtdl_gtype.dir/subst.cpp.o.d"
+  "CMakeFiles/gtdl_gtype.dir/wellformed.cpp.o"
+  "CMakeFiles/gtdl_gtype.dir/wellformed.cpp.o.d"
+  "libgtdl_gtype.a"
+  "libgtdl_gtype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtdl_gtype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtdl_mml.dir/driver.cpp.o"
+  "CMakeFiles/gtdl_mml.dir/driver.cpp.o.d"
+  "CMakeFiles/gtdl_mml.dir/infer.cpp.o"
+  "CMakeFiles/gtdl_mml.dir/infer.cpp.o.d"
+  "CMakeFiles/gtdl_mml.dir/parser.cpp.o"
+  "CMakeFiles/gtdl_mml.dir/parser.cpp.o.d"
+  "CMakeFiles/gtdl_mml.dir/typecheck.cpp.o"
+  "CMakeFiles/gtdl_mml.dir/typecheck.cpp.o.d"
+  "libgtdl_mml.a"
+  "libgtdl_mml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtdl_mml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gtdl_mml.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtdl_runtime.dir/futures.cpp.o"
+  "CMakeFiles/gtdl_runtime.dir/futures.cpp.o.d"
+  "libgtdl_runtime.a"
+  "libgtdl_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtdl_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

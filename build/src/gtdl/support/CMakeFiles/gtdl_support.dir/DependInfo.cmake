@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gtdl/support/diagnostics.cpp" "src/gtdl/support/CMakeFiles/gtdl_support.dir/diagnostics.cpp.o" "gcc" "src/gtdl/support/CMakeFiles/gtdl_support.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/gtdl/support/string_util.cpp" "src/gtdl/support/CMakeFiles/gtdl_support.dir/string_util.cpp.o" "gcc" "src/gtdl/support/CMakeFiles/gtdl_support.dir/string_util.cpp.o.d"
+  "/root/repo/src/gtdl/support/symbol.cpp" "src/gtdl/support/CMakeFiles/gtdl_support.dir/symbol.cpp.o" "gcc" "src/gtdl/support/CMakeFiles/gtdl_support.dir/symbol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

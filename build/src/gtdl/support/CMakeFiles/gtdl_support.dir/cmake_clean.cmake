@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtdl_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/gtdl_support.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/gtdl_support.dir/string_util.cpp.o"
+  "CMakeFiles/gtdl_support.dir/string_util.cpp.o.d"
+  "CMakeFiles/gtdl_support.dir/symbol.cpp.o"
+  "CMakeFiles/gtdl_support.dir/symbol.cpp.o.d"
+  "libgtdl_support.a"
+  "libgtdl_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtdl_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gtdl/tj/join_policy.cpp" "src/gtdl/tj/CMakeFiles/gtdl_tj.dir/join_policy.cpp.o" "gcc" "src/gtdl/tj/CMakeFiles/gtdl_tj.dir/join_policy.cpp.o.d"
+  "/root/repo/src/gtdl/tj/trace.cpp" "src/gtdl/tj/CMakeFiles/gtdl_tj.dir/trace.cpp.o" "gcc" "src/gtdl/tj/CMakeFiles/gtdl_tj.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gtdl/support/CMakeFiles/gtdl_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/gtdl/graph/CMakeFiles/gtdl_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gtdl_tj.dir/join_policy.cpp.o"
+  "CMakeFiles/gtdl_tj.dir/join_policy.cpp.o.d"
+  "CMakeFiles/gtdl_tj.dir/trace.cpp.o"
+  "CMakeFiles/gtdl_tj.dir/trace.cpp.o.d"
+  "libgtdl_tj.a"
+  "libgtdl_tj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gtdl_tj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gtdl_tj.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_counterexample.dir/test_counterexample.cpp.o"
+  "CMakeFiles/test_counterexample.dir/test_counterexample.cpp.o.d"
+  "test_counterexample"
+  "test_counterexample.pdb"
+  "test_counterexample[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_counterexample.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

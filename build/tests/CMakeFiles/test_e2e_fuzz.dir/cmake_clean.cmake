@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_e2e_fuzz.dir/test_e2e_fuzz.cpp.o"
+  "CMakeFiles/test_e2e_fuzz.dir/test_e2e_fuzz.cpp.o.d"
+  "test_e2e_fuzz"
+  "test_e2e_fuzz.pdb"
+  "test_e2e_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_e2e_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_futlang_parser.dir/test_futlang_parser.cpp.o"
+  "CMakeFiles/test_futlang_parser.dir/test_futlang_parser.cpp.o.d"
+  "test_futlang_parser"
+  "test_futlang_parser.pdb"
+  "test_futlang_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_futlang_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gallery.dir/test_gallery.cpp.o"
+  "CMakeFiles/test_gallery.dir/test_gallery.cpp.o.d"
+  "test_gallery"
+  "test_gallery.pdb"
+  "test_gallery[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

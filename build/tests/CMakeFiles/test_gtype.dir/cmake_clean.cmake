@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gtype.dir/test_gtype.cpp.o"
+  "CMakeFiles/test_gtype.dir/test_gtype.cpp.o.d"
+  "test_gtype"
+  "test_gtype.pdb"
+  "test_gtype[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gtype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

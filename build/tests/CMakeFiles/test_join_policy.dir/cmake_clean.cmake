@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_join_policy.dir/test_join_policy.cpp.o"
+  "CMakeFiles/test_join_policy.dir/test_join_policy.cpp.o.d"
+  "test_join_policy"
+  "test_join_policy.pdb"
+  "test_join_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_join_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mhp.dir/test_mhp.cpp.o"
+  "CMakeFiles/test_mhp.dir/test_mhp.cpp.o.d"
+  "test_mhp"
+  "test_mhp.pdb"
+  "test_mhp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mhp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mml.dir/test_mml.cpp.o"
+  "CMakeFiles/test_mml.dir/test_mml.cpp.o.d"
+  "test_mml"
+  "test_mml.pdb"
+  "test_mml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

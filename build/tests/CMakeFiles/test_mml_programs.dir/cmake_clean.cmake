@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mml_programs.dir/test_mml_programs.cpp.o"
+  "CMakeFiles/test_mml_programs.dir/test_mml_programs.cpp.o.d"
+  "test_mml_programs"
+  "test_mml_programs.pdb"
+  "test_mml_programs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mml_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_new_push.dir/test_new_push.cpp.o"
+  "CMakeFiles/test_new_push.dir/test_new_push.cpp.o.d"
+  "test_new_push"
+  "test_new_push.pdb"
+  "test_new_push[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_new_push.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wellformed.dir/test_wellformed.cpp.o"
+  "CMakeFiles/test_wellformed.dir/test_wellformed.cpp.o.d"
+  "test_wellformed"
+  "test_wellformed.pdb"
+  "test_wellformed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wellformed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_join_policy[1]_include.cmake")
+include("/root/repo/build/tests/test_gtype[1]_include.cmake")
+include("/root/repo/build/tests/test_subst[1]_include.cmake")
+include("/root/repo/build/tests/test_normalize[1]_include.cmake")
+include("/root/repo/build/tests/test_wellformed[1]_include.cmake")
+include("/root/repo/build/tests/test_deadlock[1]_include.cmake")
+include("/root/repo/build/tests/test_new_push[1]_include.cmake")
+include("/root/repo/build/tests/test_gml_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_counterexample[1]_include.cmake")
+include("/root/repo/build/tests/test_futlang_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_typecheck[1]_include.cmake")
+include("/root/repo/build/tests/test_infer[1]_include.cmake")
+include("/root/repo/build/tests/test_interp[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_programs[1]_include.cmake")
+include("/root/repo/build/tests/test_soundness[1]_include.cmake")
+include("/root/repo/build/tests/test_mml[1]_include.cmake")
+include("/root/repo/build/tests/test_mhp[1]_include.cmake")
+include("/root/repo/build/tests/test_gallery[1]_include.cmake")
+include("/root/repo/build/tests/test_roundtrip[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_e2e_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_cli[1]_include.cmake")
+include("/root/repo/build/tests/test_mml_programs[1]_include.cmake")
