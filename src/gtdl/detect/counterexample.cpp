@@ -1,6 +1,9 @@
 #include "gtdl/detect/counterexample.hpp"
 
+#include <cassert>
 #include <stdexcept>
+
+#include "gtdl/gtype/intern.hpp"
 
 namespace gtdl {
 
@@ -55,7 +58,14 @@ GTypePtr counterexample_gtype(unsigned m) {
   GTypePtr body = gt::seq_all(std::move(main_parts));
   std::vector<Symbol> binders = us;
   binders.insert(binders.end(), ws.begin(), ws.end());
-  return gt::nu_all(binders, std::move(body));
+  GTypePtr result = gt::nu_all(binders, std::move(body));
+  // The family is closed by construction; the interned fact block makes
+  // checking that a field read. (Repeated calls with the same m also
+  // return the SAME node now — the whole family is shared.)
+  assert(facts_of(result) != nullptr &&
+         facts_of(result)->free_vertices.empty() &&
+         facts_of(result)->free_gvars.empty());
+  return result;
 }
 
 std::string counterexample_futlang(unsigned m) {

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "gtdl/detect/new_push.hpp"
+#include "gtdl/gtype/intern.hpp"
 #include "gtdl/gtype/wellformed.hpp"
 #include "gtdl/support/overloaded.hpp"
 #include "gtdl/support/string_util.hpp"
@@ -30,6 +31,48 @@ class DfChecker {
   // and on every path must — be spawned here or be consumed by an
   // enclosing sibling) and the member touch context psi_.
   std::optional<Outcome> check(const GTypePtr& g, OrderedSet<Symbol> avail) {
+    // Closed-subterm memo (cf. wellformed.cpp). A subterm with no free
+    // vertices/graph variables consumes nothing and judges independently
+    // of Ω/Ψ — provided none of its binder names collides with a name
+    // already in either context (DF has no shadowing rejection, so e.g. a
+    // touch of an inner-bound u would wrongly pass against an outer
+    // psi_ entry for the same name).
+    const GTypeFacts* facts = g->facts;
+    auto& interner = GTypeInterner::instance();
+    bool closed = facts != nullptr && interner.memoization_enabled() &&
+                  facts->free_vertices.empty() && facts->free_gvars.empty() &&
+                  !facts->bound_vertices.intersects(psi_bits_);
+    if (closed) {
+      for (Symbol u : avail) {
+        const std::size_t idx = interner.find_index(u);
+        if (idx != GTypeInterner::npos && facts->bound_vertices.test(idx)) {
+          closed = false;
+          break;
+        }
+      }
+    }
+    if (closed) {
+      if (auto it = closed_memo_.find(facts->id); it != closed_memo_.end()) {
+        return Outcome{it->second, {}};
+      }
+    }
+    // Chains of ';'/'|' parse iteratively, so syntactically valid input
+    // can nest arbitrarily deep trees; report instead of overflowing.
+    if (depth_ >= kMaxCheckDepth) {
+      fail("graph type nested too deeply to check (limit " +
+           std::to_string(kMaxCheckDepth) + " levels)");
+      return std::nullopt;
+    }
+    ++depth_;
+    auto result = check_uncached(g, std::move(avail));
+    --depth_;
+    // Only successes are reusable (failures must re-report diagnostics).
+    if (closed && result) closed_memo_.emplace(facts->id, result->kind);
+    return result;
+  }
+
+  std::optional<Outcome> check_uncached(const GTypePtr& g,
+                                        OrderedSet<Symbol> avail) {
     return std::visit(
         Overloaded{
             [&](const GTEmpty&) {
@@ -198,12 +241,20 @@ class DfChecker {
    public:
     ScopedPsi(DfChecker& checker, const OrderedSet<Symbol>& add)
         : checker_(checker) {
+      auto& interner = GTypeInterner::instance();
       for (Symbol u : add) {
-        if (checker_.psi_.insert(u)) added_.push_back(u);
+        if (checker_.psi_.insert(u)) {
+          checker_.psi_bits_.set(interner.index_of(u));
+          added_.push_back(u);
+        }
       }
     }
     ~ScopedPsi() {
-      for (Symbol u : added_) checker_.psi_.erase(u);
+      auto& interner = GTypeInterner::instance();
+      for (Symbol u : added_) {
+        checker_.psi_.erase(u);
+        checker_.psi_bits_.clear(interner.index_of(u));
+      }
     }
     ScopedPsi(const ScopedPsi&) = delete;
     ScopedPsi& operator=(const ScopedPsi&) = delete;
@@ -283,7 +334,13 @@ class DfChecker {
 
   DiagnosticEngine& diags_;
   OrderedSet<Symbol> psi_;
+  // Matches the parser/normalizer depth budgets: trips well before an
+  // 8 MiB stack does, even with sanitizer-inflated frames.
+  static constexpr std::size_t kMaxCheckDepth = 2'000;
+  std::size_t depth_ = 0;
+  SymbolBitset psi_bits_;  // psi_ mirrored over the interner index
   std::unordered_map<Symbol, GraphKind> gvars_;
+  std::unordered_map<std::uint64_t, GraphKind> closed_memo_;
 };
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "gtdl/detect/gml_baseline.hpp"
 
 #include "gtdl/graph/graph.hpp"
+#include "gtdl/gtype/intern.hpp"
 #include "gtdl/gtype/subst.hpp"
 #include "gtdl/support/overloaded.hpp"
 #include "gtdl/support/string_util.hpp"
@@ -8,6 +9,9 @@
 namespace gtdl {
 
 GTypePtr expand_recursion(const GTypePtr& g, unsigned k) {
+  // μ-free subtrees expand to themselves; the cached constructor counts
+  // make that a field read, skipping whole-subtree rebuilds.
+  if (g->facts != nullptr && g->facts->stats.mu_bindings == 0) return g;
   return std::visit(
       Overloaded{
           [&](const GTEmpty&) { return g; },

@@ -1,21 +1,28 @@
 #include "gtdl/detect/new_push.hpp"
 
+#include <cstdint>
 #include <unordered_map>
 
+#include "gtdl/gtype/intern.hpp"
 #include "gtdl/support/overloaded.hpp"
 
 namespace gtdl {
 
 namespace {
 
-// Pushing asks "is u free in this subtree?" once per ν binder per level;
-// memoizing free-vertex sets by node identity turns the repeated O(|G|)
-// traversals into cache hits (rebuilt nodes created by the rewrite are
-// cached on first query too).
+// Pushing asks "is u free in this subtree?" once per ν binder per level.
+// Interned nodes carry their free-vertex set as a cached bitset, so the
+// query is a single bit test; the transform itself is memoized on node
+// identity (it is context-free), so shared subterms are rewritten once.
 class Pusher {
  public:
   GTypePtr transform(const GTypePtr& g) {
-    return std::visit(
+    const GTypeFacts* facts = g->facts;
+    if (facts != nullptr) {
+      auto it = memo_.find(facts->id);
+      if (it != memo_.end()) return it->second;
+    }
+    GTypePtr result = std::visit(
         Overloaded{
             [&](const GTEmpty&) { return g; },
             [&](const GTSeq& node) {
@@ -45,70 +52,17 @@ class Pusher {
             },
         },
         g->node);
+    if (facts != nullptr) memo_.emplace(facts->id, result);
+    return result;
   }
 
  private:
-  // The cache keys on node identity but must RETAIN the nodes: rewrite
-  // temporaries die during the run and their addresses get recycled, so
-  // a raw-pointer key would alias distinct nodes.
-  struct PtrHash {
-    std::size_t operator()(const GTypePtr& g) const noexcept {
-      return std::hash<const GType*>{}(g.get());
+  static bool is_free_in(Symbol u, const GTypePtr& g) {
+    if (g->facts != nullptr) {
+      const std::size_t idx = GTypeInterner::instance().find_index(u);
+      return idx != GTypeInterner::npos && g->facts->free_vertices.test(idx);
     }
-  };
-  struct PtrEq {
-    bool operator()(const GTypePtr& a, const GTypePtr& b) const noexcept {
-      return a.get() == b.get();
-    }
-  };
-
-  const OrderedSet<Symbol>& free_of(const GTypePtr& g) {
-    auto [it, inserted] = free_cache_.try_emplace(g);
-    if (!inserted) return it->second;
-    OrderedSet<Symbol> out = std::visit(
-        Overloaded{
-            [&](const GTEmpty&) { return OrderedSet<Symbol>{}; },
-            [&](const GTSeq& node) {
-              return free_of(node.lhs).set_union(free_of(node.rhs));
-            },
-            [&](const GTOr& node) {
-              return free_of(node.lhs).set_union(free_of(node.rhs));
-            },
-            [&](const GTSpawn& node) {
-              OrderedSet<Symbol> s = free_of(node.body);
-              s.insert(node.vertex);
-              return s;
-            },
-            [&](const GTTouch& node) {
-              return OrderedSet<Symbol>{node.vertex};
-            },
-            [&](const GTRec& node) { return free_of(node.body); },
-            [&](const GTVar&) { return OrderedSet<Symbol>{}; },
-            [&](const GTNew& node) {
-              OrderedSet<Symbol> s = free_of(node.body);
-              s.erase(node.vertex);
-              return s;
-            },
-            [&](const GTPi& node) {
-              OrderedSet<Symbol> s = free_of(node.body);
-              for (Symbol u : node.spawn_params) s.erase(u);
-              for (Symbol u : node.touch_params) s.erase(u);
-              return s;
-            },
-            [&](const GTApp& node) {
-              OrderedSet<Symbol> s = free_of(node.fn);
-              for (Symbol u : node.spawn_args) s.insert(u);
-              for (Symbol u : node.touch_args) s.insert(u);
-              return s;
-            },
-        },
-        g->node);
-    // Recursive free_of calls may have rehashed the map; re-find.
-    return free_cache_.insert_or_assign(g, std::move(out)).first->second;
-  }
-
-  bool is_free_in(Symbol u, const GTypePtr& g) {
-    return free_of(g).contains(u);
+    return free_vertices(*g).contains(u);
   }
 
   // Places νu around `body`, pushed as deep as the rewrites allow (see
@@ -146,8 +100,7 @@ class Pusher {
         body->node);
   }
 
-  std::unordered_map<GTypePtr, OrderedSet<Symbol>, PtrHash, PtrEq>
-      free_cache_;
+  std::unordered_map<std::uint64_t, GTypePtr> memo_;
 };
 
 }  // namespace

@@ -325,7 +325,12 @@ class Inferencer {
               (void)walk_expr(*node.cond, state, pieces);
               const GTypePtr then_graph = walk_block(node.then_block, state);
               const GTypePtr else_graph = walk_block(node.else_block, state);
-              pieces.push_back(gt::alt(then_graph, else_graph));
+              // Interning makes structurally equal graphs the same node;
+              // identical branches need no disjunction (Norm(G∨G) =
+              // Norm(G), and DF:OR's equal-spawns condition is trivial).
+              pieces.push_back(then_graph.get() == else_graph.get()
+                                   ? then_graph
+                                   : gt::alt(then_graph, else_graph));
             },
             [&](const SWhile&) {
               // Rejected by check_tail_discipline already.

@@ -2,21 +2,20 @@
 
 #include <unordered_map>
 
+#include "gtdl/gtype/intern.hpp"
 #include "gtdl/support/overloaded.hpp"
 #include "gtdl/support/string_util.hpp"
 
 namespace gtdl {
 namespace gt {
 
-GTypePtr empty() {
-  static const GTypePtr kEmpty =
-      std::make_shared<const GType>(GType{GTEmpty{}});
-  return kEmpty;
-}
+// All constructors canonicalize through the process-wide interner:
+// structurally identical calls return the same node (see intern.hpp).
+
+GTypePtr empty() { return GTypeInterner::instance().empty(); }
 
 GTypePtr seq(GTypePtr lhs, GTypePtr rhs) {
-  return std::make_shared<const GType>(
-      GType{GTSeq{std::move(lhs), std::move(rhs)}});
+  return GTypeInterner::instance().seq(std::move(lhs), std::move(rhs));
 }
 
 GTypePtr seq_all(std::vector<GTypePtr> parts) {
@@ -29,29 +28,25 @@ GTypePtr seq_all(std::vector<GTypePtr> parts) {
 }
 
 GTypePtr alt(GTypePtr lhs, GTypePtr rhs) {
-  return std::make_shared<const GType>(
-      GType{GTOr{std::move(lhs), std::move(rhs)}});
+  return GTypeInterner::instance().alt(std::move(lhs), std::move(rhs));
 }
 
 GTypePtr spawn(GTypePtr body, Symbol vertex) {
-  return std::make_shared<const GType>(
-      GType{GTSpawn{std::move(body), vertex}});
+  return GTypeInterner::instance().spawn(std::move(body), vertex);
 }
 
 GTypePtr touch(Symbol vertex) {
-  return std::make_shared<const GType>(GType{GTTouch{vertex}});
+  return GTypeInterner::instance().touch(vertex);
 }
 
 GTypePtr rec(Symbol var, GTypePtr body) {
-  return std::make_shared<const GType>(GType{GTRec{var, std::move(body)}});
+  return GTypeInterner::instance().rec(var, std::move(body));
 }
 
-GTypePtr var(Symbol v) {
-  return std::make_shared<const GType>(GType{GTVar{v}});
-}
+GTypePtr var(Symbol v) { return GTypeInterner::instance().var(v); }
 
 GTypePtr nu(Symbol vertex, GTypePtr body) {
-  return std::make_shared<const GType>(GType{GTNew{vertex, std::move(body)}});
+  return GTypeInterner::instance().nu(vertex, std::move(body));
 }
 
 GTypePtr nu_all(const std::vector<Symbol>& vertices, GTypePtr body) {
@@ -64,14 +59,15 @@ GTypePtr nu_all(const std::vector<Symbol>& vertices, GTypePtr body) {
 
 GTypePtr pi(std::vector<Symbol> spawn_params, std::vector<Symbol> touch_params,
             GTypePtr body) {
-  return std::make_shared<const GType>(GType{
-      GTPi{std::move(spawn_params), std::move(touch_params), std::move(body)}});
+  return GTypeInterner::instance().pi(std::move(spawn_params),
+                                      std::move(touch_params),
+                                      std::move(body));
 }
 
 GTypePtr app(GTypePtr fn, std::vector<Symbol> spawn_args,
              std::vector<Symbol> touch_args) {
-  return std::make_shared<const GType>(GType{
-      GTApp{std::move(fn), std::move(spawn_args), std::move(touch_args)}});
+  return GTypeInterner::instance().app(std::move(fn), std::move(spawn_args),
+                                       std::move(touch_args));
 }
 
 }  // namespace gt
@@ -175,6 +171,9 @@ void collect_free_gvars(const GType& g, OrderedSet<Symbol>& bound,
 }  // namespace
 
 OrderedSet<Symbol> free_vertices(const GType& g) {
+  // Interned nodes carry the answer; the walk remains as the fallback for
+  // hand-assembled nodes (and as the reference implementation in tests).
+  if (g.facts != nullptr) return bitset_symbols(g.facts->free_vertices);
   OrderedSet<Symbol> bound;
   OrderedSet<Symbol> out;
   collect_free_vertices(g, bound, out);
@@ -182,6 +181,7 @@ OrderedSet<Symbol> free_vertices(const GType& g) {
 }
 
 OrderedSet<Symbol> free_gvars(const GType& g) {
+  if (g.facts != nullptr) return bitset_symbols(g.facts->free_gvars);
   OrderedSet<Symbol> bound;
   OrderedSet<Symbol> out;
   collect_free_gvars(g, bound, out);
@@ -231,6 +231,7 @@ void accumulate(const GType& g, GTypeStats& s) {
 }  // namespace
 
 GTypeStats stats(const GType& g) {
+  if (g.facts != nullptr) return g.facts->stats;
   GTypeStats s;
   accumulate(g, s);
   return s;
@@ -385,12 +386,42 @@ bool alpha_eq(const GType& a, const GType& b, AlphaEnv& env) {
 }  // namespace
 
 bool alpha_equal(const GType& a, const GType& b) {
+  // Fast paths on interned values: identical nodes are alpha-equal; terms
+  // with different free-name sets or different de-Bruijn-canonical hashes
+  // cannot be. Only then pay for the environment-threading walk.
+  if (a.facts != nullptr && b.facts != nullptr) {
+    GTypeInterner& interner = GTypeInterner::instance();
+    if (a.facts->id == b.facts->id) {
+      interner.note_alpha(0);
+      return true;
+    }
+    if (interner.memoization_enabled()) {
+      if (a.node.index() != b.node.index() ||
+          !(a.facts->free_vertices == b.facts->free_vertices) ||
+          !(a.facts->free_gvars == b.facts->free_gvars) ||
+          a.facts->stats.nodes != b.facts->stats.nodes) {
+        interner.note_alpha(1);
+        return false;
+      }
+      const std::uint64_t ha = interner.alpha_hash(a);
+      const std::uint64_t hb = interner.alpha_hash(b);
+      if (ha != 0 && hb != 0 && ha != hb) {
+        interner.note_alpha(1);
+        return false;
+      }
+    }
+    interner.note_alpha(2);
+  }
   AlphaEnv env;
   return alpha_eq(a, b, env);
 }
 
 bool structurally_equal(const GType& a, const GType& b) {
   if (&a == &b) return true;
+  // Interned values are canonical: equal structure ⇔ same node ⇔ same id.
+  if (a.facts != nullptr && b.facts != nullptr) {
+    return a.facts->id == b.facts->id;
+  }
   if (a.node.index() != b.node.index()) return false;
   return std::visit(
       Overloaded{

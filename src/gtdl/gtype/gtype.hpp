@@ -99,10 +99,15 @@ struct GTApp {
   std::vector<Symbol> touch_args;
 };
 
+struct GTypeFacts;  // cached structural facts; see intern.hpp
+
 struct GType {
   std::variant<GTEmpty, GTSeq, GTOr, GTSpawn, GTTouch, GTRec, GTVar, GTNew,
                GTPi, GTApp>
       node;
+  // Filled by the GTypeInterner (never null for gt::-built values); owned
+  // by the interner for the process lifetime.
+  const GTypeFacts* facts = nullptr;
 };
 
 namespace gt {

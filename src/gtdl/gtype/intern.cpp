@@ -1,0 +1,544 @@
+#include "gtdl/gtype/intern.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "gtdl/gtype/subst.hpp"
+#include "gtdl/support/overloaded.hpp"
+
+namespace gtdl {
+
+namespace {
+
+// splitmix64-style mixing; good avalanche for id-based keys.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t combine(std::uint64_t seed, std::uint64_t v) {
+  return mix(seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2)));
+}
+
+// A node's identity for hash-consing: constructor tag + child ids +
+// symbol payload, flattened to words. Children are already canonical, so
+// one level of ids fully determines the subtree.
+using NodeKey = std::vector<std::uint64_t>;
+
+struct NodeKeyHash {
+  std::size_t operator()(const NodeKey& key) const noexcept {
+    std::uint64_t h = 0x2545f4914f6cdd1dull;
+    for (std::uint64_t w : key) h = combine(h, w);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+std::uint64_t id_of(const GTypePtr& g) {
+  assert(g != nullptr && g->facts != nullptr &&
+         "interner children must themselves be interned");
+  return g->facts->id;
+}
+
+}  // namespace
+
+struct GTypeInterner::Impl {
+  mutable std::shared_mutex mu;
+  std::unordered_map<NodeKey, GTypePtr, NodeKeyHash> table;
+  std::deque<GTypeFacts> facts;  // stable addresses
+  std::unordered_map<Symbol, std::size_t> sym_index;
+  std::vector<Symbol> sym_rev;
+  std::uint64_t next_id = 1;
+
+  std::mutex unroll_mu;
+  std::unordered_map<std::uint64_t, GTypePtr> unroll_cache;
+
+  std::mutex alpha_mu;
+  std::unordered_map<std::uint64_t, std::uint64_t> alpha_cache;
+
+  std::atomic<bool> memo_enabled{true};
+
+  std::atomic<std::uint64_t> intern_hits{0};
+  std::atomic<std::uint64_t> intern_misses{0};
+  std::atomic<std::uint64_t> unroll_hits{0};
+  std::atomic<std::uint64_t> unroll_misses{0};
+  std::atomic<std::uint64_t> subst_identity_hits{0};
+  std::atomic<std::uint64_t> subst_memo_hits{0};
+  std::atomic<std::uint64_t> subst_memo_misses{0};
+  std::atomic<std::uint64_t> norm_memo_hits{0};
+  std::atomic<std::uint64_t> norm_memo_misses{0};
+  std::atomic<std::uint64_t> alpha_fast_accepts{0};
+  std::atomic<std::uint64_t> alpha_fast_rejects{0};
+  std::atomic<std::uint64_t> alpha_full_walks{0};
+
+  // Callers hold `mu` exclusively.
+  std::size_t index_locked(Symbol s) {
+    auto [it, inserted] = sym_index.try_emplace(s, sym_rev.size());
+    if (inserted) sym_rev.push_back(s);
+    return it->second;
+  }
+
+  GTypePtr intern(NodeKey key, GType&& proto);
+};
+
+GTypePtr GTypeInterner::Impl::intern(NodeKey key, GType&& proto) {
+  {
+    std::shared_lock lock(mu);
+    auto it = table.find(key);
+    if (it != table.end()) {
+      intern_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  std::unique_lock lock(mu);
+  auto it = table.find(key);
+  if (it != table.end()) {
+    intern_hits.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  intern_misses.fetch_add(1, std::memory_order_relaxed);
+
+  GTypeFacts& f = facts.emplace_back();
+  f.id = next_id++;
+  f.hash = NodeKeyHash{}(key);
+  f.stats.nodes = 1;
+
+  // Incremental facts from the (already interned) children. The lambdas
+  // below only read child fact blocks — O(children + set sizes).
+  const auto absorb = [&](const GTypePtr& child) {
+    const GTypeFacts& c = *child->facts;
+    f.height = std::max(f.height, c.height + 1);
+    f.stats.nodes += c.stats.nodes;
+    f.stats.mu_bindings += c.stats.mu_bindings;
+    f.stats.applications += c.stats.applications;
+    f.stats.nu_bindings += c.stats.nu_bindings;
+    f.stats.spawns += c.stats.spawns;
+    f.stats.touches += c.stats.touches;
+    f.free_vertices.unite(c.free_vertices);
+    f.free_gvars.unite(c.free_gvars);
+    f.bound_vertices.unite(c.bound_vertices);
+  };
+  std::visit(
+      Overloaded{
+          [&](const GTEmpty&) {},
+          [&](const GTSeq& node) {
+            absorb(node.lhs);
+            absorb(node.rhs);
+          },
+          [&](const GTOr& node) {
+            absorb(node.lhs);
+            absorb(node.rhs);
+          },
+          [&](const GTSpawn& node) {
+            absorb(node.body);
+            ++f.stats.spawns;
+            f.free_vertices.set(index_locked(node.vertex));
+          },
+          [&](const GTTouch& node) {
+            ++f.stats.touches;
+            f.free_vertices.set(index_locked(node.vertex));
+          },
+          [&](const GTRec& node) {
+            absorb(node.body);
+            ++f.stats.mu_bindings;
+            f.free_gvars.clear(index_locked(node.var));
+          },
+          [&](const GTVar& node) {
+            f.free_gvars.set(index_locked(node.var));
+          },
+          [&](const GTNew& node) {
+            absorb(node.body);
+            ++f.stats.nu_bindings;
+            const std::size_t idx = index_locked(node.vertex);
+            f.free_vertices.clear(idx);
+            f.bound_vertices.set(idx);
+          },
+          [&](const GTPi& node) {
+            absorb(node.body);
+            for (Symbol u : node.spawn_params) {
+              const std::size_t idx = index_locked(u);
+              f.free_vertices.clear(idx);
+              f.bound_vertices.set(idx);
+            }
+            for (Symbol u : node.touch_params) {
+              const std::size_t idx = index_locked(u);
+              f.free_vertices.clear(idx);
+              f.bound_vertices.set(idx);
+            }
+          },
+          [&](const GTApp& node) {
+            absorb(node.fn);
+            ++f.stats.applications;
+            for (Symbol u : node.spawn_args) {
+              f.free_vertices.set(index_locked(u));
+            }
+            for (Symbol u : node.touch_args) {
+              f.free_vertices.set(index_locked(u));
+            }
+          },
+      },
+      proto.node);
+
+  proto.facts = &f;
+  GTypePtr interned = std::make_shared<const GType>(std::move(proto));
+  table.emplace(std::move(key), interned);
+  return interned;
+}
+
+GTypeInterner& GTypeInterner::instance() {
+  // Deliberately immortal: node addresses and fact pointers stay valid
+  // for the whole process, and teardown of deep DAGs never runs.
+  static GTypeInterner* interner = new GTypeInterner();
+  return *interner;
+}
+
+GTypeInterner::GTypeInterner() : impl_(new Impl()) {}
+GTypeInterner::~GTypeInterner() { delete impl_; }
+
+namespace {
+
+enum Tag : std::uint64_t {
+  kEmpty,
+  kSeq,
+  kOr,
+  kSpawn,
+  kTouch,
+  kRec,
+  kVar,
+  kNew,
+  kPi,
+  kApp,
+};
+
+}  // namespace
+
+GTypePtr GTypeInterner::empty() {
+  return impl_->intern({Tag::kEmpty}, GType{GTEmpty{}});
+}
+
+GTypePtr GTypeInterner::seq(GTypePtr lhs, GTypePtr rhs) {
+  NodeKey key{Tag::kSeq, id_of(lhs), id_of(rhs)};
+  return impl_->intern(std::move(key),
+                       GType{GTSeq{std::move(lhs), std::move(rhs)}});
+}
+
+GTypePtr GTypeInterner::alt(GTypePtr lhs, GTypePtr rhs) {
+  NodeKey key{Tag::kOr, id_of(lhs), id_of(rhs)};
+  return impl_->intern(std::move(key),
+                       GType{GTOr{std::move(lhs), std::move(rhs)}});
+}
+
+GTypePtr GTypeInterner::spawn(GTypePtr body, Symbol vertex) {
+  NodeKey key{Tag::kSpawn, id_of(body), vertex.raw()};
+  return impl_->intern(std::move(key),
+                       GType{GTSpawn{std::move(body), vertex}});
+}
+
+GTypePtr GTypeInterner::touch(Symbol vertex) {
+  return impl_->intern({Tag::kTouch, vertex.raw()}, GType{GTTouch{vertex}});
+}
+
+GTypePtr GTypeInterner::rec(Symbol var, GTypePtr body) {
+  NodeKey key{Tag::kRec, var.raw(), id_of(body)};
+  return impl_->intern(std::move(key), GType{GTRec{var, std::move(body)}});
+}
+
+GTypePtr GTypeInterner::var(Symbol v) {
+  return impl_->intern({Tag::kVar, v.raw()}, GType{GTVar{v}});
+}
+
+GTypePtr GTypeInterner::nu(Symbol vertex, GTypePtr body) {
+  NodeKey key{Tag::kNew, vertex.raw(), id_of(body)};
+  return impl_->intern(std::move(key), GType{GTNew{vertex, std::move(body)}});
+}
+
+GTypePtr GTypeInterner::pi(std::vector<Symbol> spawn_params,
+                           std::vector<Symbol> touch_params, GTypePtr body) {
+  NodeKey key;
+  key.reserve(4 + spawn_params.size() + touch_params.size());
+  key.push_back(Tag::kPi);
+  key.push_back(spawn_params.size());
+  key.push_back(touch_params.size());
+  for (Symbol u : spawn_params) key.push_back(u.raw());
+  for (Symbol u : touch_params) key.push_back(u.raw());
+  key.push_back(id_of(body));
+  return impl_->intern(std::move(key),
+                       GType{GTPi{std::move(spawn_params),
+                                  std::move(touch_params), std::move(body)}});
+}
+
+GTypePtr GTypeInterner::app(GTypePtr fn, std::vector<Symbol> spawn_args,
+                            std::vector<Symbol> touch_args) {
+  NodeKey key;
+  key.reserve(4 + spawn_args.size() + touch_args.size());
+  key.push_back(Tag::kApp);
+  key.push_back(id_of(fn));
+  key.push_back(spawn_args.size());
+  key.push_back(touch_args.size());
+  for (Symbol u : spawn_args) key.push_back(u.raw());
+  for (Symbol u : touch_args) key.push_back(u.raw());
+  return impl_->intern(std::move(key),
+                       GType{GTApp{std::move(fn), std::move(spawn_args),
+                                   std::move(touch_args)}});
+}
+
+std::size_t GTypeInterner::index_of(Symbol s) {
+  {
+    std::shared_lock lock(impl_->mu);
+    auto it = impl_->sym_index.find(s);
+    if (it != impl_->sym_index.end()) return it->second;
+  }
+  std::unique_lock lock(impl_->mu);
+  return impl_->index_locked(s);
+}
+
+std::size_t GTypeInterner::find_index(Symbol s) const {
+  std::shared_lock lock(impl_->mu);
+  auto it = impl_->sym_index.find(s);
+  return it == impl_->sym_index.end() ? npos : it->second;
+}
+
+Symbol GTypeInterner::symbol_of(std::size_t index) const {
+  std::shared_lock lock(impl_->mu);
+  return index < impl_->sym_rev.size() ? impl_->sym_rev[index] : Symbol{};
+}
+
+GTypePtr GTypeInterner::cached_unroll(const GTypePtr& g) {
+  if (!impl_->memo_enabled.load(std::memory_order_relaxed)) {
+    impl_->unroll_misses.fetch_add(1, std::memory_order_relaxed);
+    return unroll_rec(g);
+  }
+  const std::uint64_t id = id_of(g);
+  {
+    std::lock_guard lock(impl_->unroll_mu);
+    auto it = impl_->unroll_cache.find(id);
+    if (it != impl_->unroll_cache.end()) {
+      impl_->unroll_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  impl_->unroll_misses.fetch_add(1, std::memory_order_relaxed);
+  // Computed outside the lock: unrolling re-enters the interner. A lost
+  // race recomputes the same canonical node — harmless.
+  GTypePtr unrolled = unroll_rec(g);
+  std::lock_guard lock(impl_->unroll_mu);
+  return impl_->unroll_cache.try_emplace(id, std::move(unrolled))
+      .first->second;
+}
+
+// --- Alpha-canonical hashing ------------------------------------------------
+
+namespace {
+
+// De-Bruijn canonicalization: bound names hash as their binder level,
+// free names as their (interned) spelling. Alpha-equal terms therefore
+// hash identically; a hash mismatch refutes alpha equality. Beyond
+// kMaxAlphaDepth the walk bails out (0 = "no hash") rather than risk the
+// stack; callers fall back to the ordinary comparison.
+constexpr unsigned kMaxAlphaDepth = 4'000;
+
+struct AlphaHasher {
+  std::unordered_map<Symbol, unsigned> env;
+  unsigned next_level = 0;
+  bool overflow = false;
+
+  std::uint64_t name(Symbol s) {
+    auto it = env.find(s);
+    if (it != env.end()) return combine(1, it->second);
+    return combine(2, s.raw());
+  }
+
+  std::uint64_t walk(const GType& g, unsigned depth) {
+    if (depth > kMaxAlphaDepth) {
+      overflow = true;
+      return 0;
+    }
+    return std::visit(
+        Overloaded{
+            [&](const GTEmpty&) -> std::uint64_t { return mix(Tag::kEmpty); },
+            [&](const GTSeq& node) {
+              std::uint64_t h = mix(Tag::kSeq);
+              h = combine(h, walk(*node.lhs, depth + 1));
+              return combine(h, walk(*node.rhs, depth + 1));
+            },
+            [&](const GTOr& node) {
+              std::uint64_t h = mix(Tag::kOr);
+              h = combine(h, walk(*node.lhs, depth + 1));
+              return combine(h, walk(*node.rhs, depth + 1));
+            },
+            [&](const GTSpawn& node) {
+              std::uint64_t h = mix(Tag::kSpawn);
+              h = combine(h, walk(*node.body, depth + 1));
+              return combine(h, name(node.vertex));
+            },
+            [&](const GTTouch& node) {
+              return combine(mix(Tag::kTouch), name(node.vertex));
+            },
+            [&](const GTRec& node) {
+              return binder(Tag::kRec, {node.var}, *node.body, depth);
+            },
+            [&](const GTVar& node) {
+              return combine(mix(Tag::kVar), name(node.var));
+            },
+            [&](const GTNew& node) {
+              return binder(Tag::kNew, {node.vertex}, *node.body, depth);
+            },
+            [&](const GTPi& node) {
+              std::vector<Symbol> bound = node.spawn_params;
+              bound.insert(bound.end(), node.touch_params.begin(),
+                           node.touch_params.end());
+              std::uint64_t h = binder(Tag::kPi, bound, *node.body, depth);
+              h = combine(h, node.spawn_params.size());
+              return combine(h, node.touch_params.size());
+            },
+            [&](const GTApp& node) {
+              std::uint64_t h = mix(Tag::kApp);
+              h = combine(h, walk(*node.fn, depth + 1));
+              h = combine(h, node.spawn_args.size());
+              for (Symbol u : node.spawn_args) h = combine(h, name(u));
+              h = combine(h, node.touch_args.size());
+              for (Symbol u : node.touch_args) h = combine(h, name(u));
+              return h;
+            },
+        },
+        g.node);
+  }
+
+  // Binds `names` in order (later entries shadow, matching AlphaBinding's
+  // pairwise binding order), walks the body, restores the env.
+  std::uint64_t binder(std::uint64_t tag, const std::vector<Symbol>& names,
+                       const GType& body, unsigned depth) {
+    std::vector<std::pair<Symbol, std::optional<unsigned>>> saved;
+    saved.reserve(names.size());
+    for (Symbol s : names) {
+      auto it = env.find(s);
+      saved.emplace_back(s, it == env.end()
+                                ? std::nullopt
+                                : std::optional<unsigned>(it->second));
+      env[s] = next_level++;
+    }
+    std::uint64_t h = combine(mix(tag), names.size());
+    h = combine(h, walk(body, depth + 1));
+    for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+      if (it->second) {
+        env[it->first] = *it->second;
+      } else {
+        env.erase(it->first);
+      }
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+std::uint64_t GTypeInterner::alpha_hash(const GType& g) {
+  assert(g.facts != nullptr);
+  const std::uint64_t id = g.facts->id;
+  {
+    std::lock_guard lock(impl_->alpha_mu);
+    auto it = impl_->alpha_cache.find(id);
+    if (it != impl_->alpha_cache.end()) return it->second;
+  }
+  AlphaHasher hasher;
+  std::uint64_t h = hasher.walk(g, 0);
+  if (hasher.overflow) {
+    h = 0;
+  } else if (h == 0) {
+    h = 1;  // reserve 0 for "no hash"
+  }
+  std::lock_guard lock(impl_->alpha_mu);
+  return impl_->alpha_cache.try_emplace(id, h).first->second;
+}
+
+// --- Stats ------------------------------------------------------------------
+
+GTypeInterner::Stats GTypeInterner::stats() const {
+  Stats s;
+  {
+    std::shared_lock lock(impl_->mu);
+    s.nodes = impl_->table.size();
+  }
+  s.intern_hits = impl_->intern_hits.load();
+  s.intern_misses = impl_->intern_misses.load();
+  s.unroll_hits = impl_->unroll_hits.load();
+  s.unroll_misses = impl_->unroll_misses.load();
+  s.subst_identity_hits = impl_->subst_identity_hits.load();
+  s.subst_memo_hits = impl_->subst_memo_hits.load();
+  s.subst_memo_misses = impl_->subst_memo_misses.load();
+  s.norm_memo_hits = impl_->norm_memo_hits.load();
+  s.norm_memo_misses = impl_->norm_memo_misses.load();
+  s.alpha_fast_accepts = impl_->alpha_fast_accepts.load();
+  s.alpha_fast_rejects = impl_->alpha_fast_rejects.load();
+  s.alpha_full_walks = impl_->alpha_full_walks.load();
+  return s;
+}
+
+void GTypeInterner::reset_counters() {
+  impl_->intern_hits = 0;
+  impl_->intern_misses = 0;
+  impl_->unroll_hits = 0;
+  impl_->unroll_misses = 0;
+  impl_->subst_identity_hits = 0;
+  impl_->subst_memo_hits = 0;
+  impl_->subst_memo_misses = 0;
+  impl_->norm_memo_hits = 0;
+  impl_->norm_memo_misses = 0;
+  impl_->alpha_fast_accepts = 0;
+  impl_->alpha_fast_rejects = 0;
+  impl_->alpha_full_walks = 0;
+}
+
+bool GTypeInterner::set_memoization(bool enabled) {
+  return impl_->memo_enabled.exchange(enabled);
+}
+
+bool GTypeInterner::memoization_enabled() const {
+  return impl_->memo_enabled.load(std::memory_order_relaxed);
+}
+
+void GTypeInterner::note_subst_identity_hit() {
+  impl_->subst_identity_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+void GTypeInterner::note_subst_memo(bool hit) {
+  (hit ? impl_->subst_memo_hits : impl_->subst_memo_misses)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
+void GTypeInterner::note_norm_memo(bool hit) {
+  (hit ? impl_->norm_memo_hits : impl_->norm_memo_misses)
+      .fetch_add(1, std::memory_order_relaxed);
+}
+
+void GTypeInterner::note_alpha(int kind) {
+  switch (kind) {
+    case 0:
+      impl_->alpha_fast_accepts.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case 1:
+      impl_->alpha_fast_rejects.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      impl_->alpha_full_walks.fetch_add(1, std::memory_order_relaxed);
+      break;
+  }
+}
+
+OrderedSet<Symbol> bitset_symbols(const SymbolBitset& bits) {
+  std::vector<Symbol> symbols;
+  symbols.reserve(bits.count());
+  GTypeInterner& interner = GTypeInterner::instance();
+  bits.for_each([&](std::size_t index) {
+    symbols.push_back(interner.symbol_of(index));
+  });
+  return OrderedSet<Symbol>(std::move(symbols));
+}
+
+}  // namespace gtdl

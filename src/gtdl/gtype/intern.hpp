@@ -1,0 +1,232 @@
+// Hash-consed graph-type core.
+//
+// Every constructor in namespace `gt` routes through the process-wide
+// GTypeInterner: structurally identical subterms are canonicalized to ONE
+// immutable node with a stable 64-bit id. Because children are interned
+// before their parents, the interner maintains, per node, a fact block
+// computed incrementally (O(children), never a full re-walk):
+//
+//   * a structural subtree hash (children identified by id),
+//   * constructor counts (GTypeStats),
+//   * free vertex / free graph-variable sets as bitsets over a dense
+//     per-interner symbol index,
+//   * the set of vertex names bound anywhere in the subtree (used by the
+//     analyses to decide when a closed subterm's verdict is reusable).
+//
+// Consequences relied on throughout the stack:
+//
+//   * structurally_equal is pointer/id comparison — O(1);
+//   * free_vertices / free_gvars / stats are cache reads — O(1) (plus
+//     set materialization where an OrderedSet is requested);
+//   * node addresses are STABLE for the process lifetime (the interner
+//     retains every node), so memo tables may key on ids without the
+//     retain-the-key dance the pre-interning caches needed;
+//   * destruction of arbitrarily deep types never recurses: every node is
+//     individually owned by the interner's table.
+//
+// Thread-safety contract: interning, fact queries, the unroll cache and
+// the alpha-hash cache are safe to use from multiple threads (shared
+// mutex; lock-free fact reads once a pointer is obtained).
+// set_memoization() is a benchmarking toggle and must not be flipped
+// while other threads are interning.
+
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "gtdl/gtype/gtype.hpp"
+
+namespace gtdl {
+
+// Bitset over the interner's dense symbol index. Word-level operations
+// make the free-set algebra (union, intersection tests) cheap even for
+// types mentioning many vertices.
+class SymbolBitset {
+ public:
+  void set(std::size_t bit) {
+    const std::size_t word = bit / 64;
+    if (word >= words_.size()) words_.resize(word + 1, 0);
+    words_[word] |= (std::uint64_t{1} << (bit % 64));
+  }
+
+  void clear(std::size_t bit) {
+    const std::size_t word = bit / 64;
+    if (word < words_.size()) {
+      words_[word] &= ~(std::uint64_t{1} << (bit % 64));
+    }
+  }
+
+  [[nodiscard]] bool test(std::size_t bit) const {
+    const std::size_t word = bit / 64;
+    return word < words_.size() &&
+           (words_[word] >> (bit % 64)) & std::uint64_t{1};
+  }
+
+  [[nodiscard]] bool empty() const {
+    for (std::uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool intersects(const SymbolBitset& other) const {
+    const std::size_t n = std::min(words_.size(), other.words_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((words_[i] & other.words_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  void unite(const SymbolBitset& other) {
+    if (other.words_.size() > words_.size()) {
+      words_.resize(other.words_.size(), 0);
+    }
+    for (std::size_t i = 0; i < other.words_.size(); ++i) {
+      words_[i] |= other.words_[i];
+    }
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += std::popcount(w);
+    return n;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      std::uint64_t w = words_[i];
+      while (w != 0) {
+        const int bit = std::countr_zero(w);
+        fn(i * 64 + static_cast<std::size_t>(bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const SymbolBitset& a, const SymbolBitset& b) {
+    const std::size_t n = std::max(a.words_.size(), b.words_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t wa = i < a.words_.size() ? a.words_[i] : 0;
+      const std::uint64_t wb = i < b.words_.size() ? b.words_[i] : 0;
+      if (wa != wb) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+// Per-node cached structural facts. Owned by the interner; valid for the
+// process lifetime. Bitset indices are dense symbol indices — translate
+// with GTypeInterner::symbol_of / index_of.
+struct GTypeFacts {
+  std::uint64_t id = 0;        // 1-based; stable and unique per structure
+  std::uint64_t hash = 0;      // structural subtree hash
+  std::uint32_t height = 0;    // longest path to a leaf
+  GTypeStats stats;            // constructor counts, O(1) instead of a walk
+  SymbolBitset free_vertices;  // vertex names free in the subtree
+  SymbolBitset free_gvars;     // graph variables free in the subtree
+  SymbolBitset bound_vertices; // vertex names bound by any ν/Π below
+};
+
+class GTypeInterner {
+ public:
+  // The process-wide default instance used by the gt:: constructors.
+  static GTypeInterner& instance();
+
+  // Canonicalizing constructors; structurally identical calls return the
+  // SAME node. Children must already be interned (all gt:: values are).
+  GTypePtr empty();
+  GTypePtr seq(GTypePtr lhs, GTypePtr rhs);
+  GTypePtr alt(GTypePtr lhs, GTypePtr rhs);
+  GTypePtr spawn(GTypePtr body, Symbol vertex);
+  GTypePtr touch(Symbol vertex);
+  GTypePtr rec(Symbol var, GTypePtr body);
+  GTypePtr var(Symbol v);
+  GTypePtr nu(Symbol vertex, GTypePtr body);
+  GTypePtr pi(std::vector<Symbol> spawn_params,
+              std::vector<Symbol> touch_params, GTypePtr body);
+  GTypePtr app(GTypePtr fn, std::vector<Symbol> spawn_args,
+               std::vector<Symbol> touch_args);
+
+  // Dense index for `s`, allocating one on first use.
+  std::size_t index_of(Symbol s);
+  // Index lookup without allocation; returns npos if `s` never appeared
+  // in an interned type (hence cannot be free/bound in any of them).
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t find_index(Symbol s) const;
+  [[nodiscard]] Symbol symbol_of(std::size_t index) const;
+
+  // One-step μ-unrolling with a process-wide memo: for g = μγ.B returns
+  // B[μγ.B/γ], computed once per distinct rec node. Non-μ input throws
+  // std::invalid_argument (same contract as unroll_rec).
+  GTypePtr cached_unroll(const GTypePtr& g);
+
+  // De-Bruijn-canonicalized hash of `g` (bound names replaced by binder
+  // levels): equal for alpha-equal terms, so a mismatch refutes alpha
+  // equality without a walk. Cached per node; `g` must be interned.
+  // Returns 0 (the "no hash" sentinel) for terms too deep to canonicalize
+  // safely.
+  std::uint64_t alpha_hash(const GType& g);
+
+  // Cache hit/miss counters, all cumulative since process start (or the
+  // last reset_counters). Rates of the form hits/(hits+misses).
+  struct Stats {
+    std::uint64_t nodes = 0;           // live interned nodes
+    std::uint64_t intern_hits = 0;     // constructor calls that reused a node
+    std::uint64_t intern_misses = 0;   // constructor calls that allocated
+    std::uint64_t unroll_hits = 0;
+    std::uint64_t unroll_misses = 0;
+    std::uint64_t subst_identity_hits = 0;  // subtree untouched, returned as-is
+    std::uint64_t subst_memo_hits = 0;
+    std::uint64_t subst_memo_misses = 0;
+    std::uint64_t norm_memo_hits = 0;
+    std::uint64_t norm_memo_misses = 0;
+    std::uint64_t alpha_fast_accepts = 0;   // decided by id equality
+    std::uint64_t alpha_fast_rejects = 0;   // decided by facts/hash mismatch
+    std::uint64_t alpha_full_walks = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+  void reset_counters();
+
+  // Benchmarking toggle: gates the unroll cache, the substitution and
+  // normalization memo tables, and the alpha fast paths (hash-consing
+  // itself stays on — node identity must remain canonical). Returns the
+  // previous value.
+  bool set_memoization(bool enabled);
+  [[nodiscard]] bool memoization_enabled() const;
+
+  // Internal counter hooks for the passes that keep their memo tables
+  // locally but report through this instance.
+  void note_subst_identity_hit();
+  void note_subst_memo(bool hit);
+  void note_norm_memo(bool hit);
+  void note_alpha(int kind);  // 0 = fast accept, 1 = fast reject, 2 = walk
+
+ private:
+  GTypeInterner();
+  ~GTypeInterner();
+  GTypeInterner(const GTypeInterner&) = delete;
+  GTypeInterner& operator=(const GTypeInterner&) = delete;
+
+  struct Impl;
+  Impl* impl_;
+};
+
+// Facts for an interned node; every gt::-constructed value has them.
+[[nodiscard]] inline const GTypeFacts* facts_of(const GType& g) {
+  return g.facts;
+}
+[[nodiscard]] inline const GTypeFacts* facts_of(const GTypePtr& g) {
+  return g ? g->facts : nullptr;
+}
+
+// Materializes a facts bitset as an OrderedSet of symbols.
+[[nodiscard]] OrderedSet<Symbol> bitset_symbols(const SymbolBitset& bits);
+
+}  // namespace gtdl

@@ -3,7 +3,9 @@
 #include <limits>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
+#include "gtdl/gtype/intern.hpp"
 #include "gtdl/gtype/subst.hpp"
 #include "gtdl/support/overloaded.hpp"
 
@@ -61,12 +63,84 @@ std::string canonical_key(const GraphExpr& g) {
   return out;
 }
 
+// Rewrites cached result graphs for reuse at a second occurrence of the
+// same (node, fuel): every vertex that is NOT free in the originating
+// graph type is a ν-instantiation and gets a brand-new fresh name, so the
+// reused copy cannot collide with the stored one (e.g. when both end up
+// seq-composed into a single graph). One mapping covers the whole result
+// vector — graphs in a result set deliberately share instantiations (the
+// ⊕ rule pairs one lhs graph with many rhs graphs) and the copy preserves
+// that sharing via a per-node memo.
+class FreshNameRefresher {
+ public:
+  explicit FreshNameRefresher(const GTypeFacts& facts) : facts_(facts) {}
+
+  std::vector<GraphExprPtr> refresh(const std::vector<GraphExprPtr>& graphs) {
+    std::vector<GraphExprPtr> out;
+    out.reserve(graphs.size());
+    for (const GraphExprPtr& g : graphs) out.push_back(copy(g));
+    return out;
+  }
+
+ private:
+  GraphExprPtr copy(const GraphExprPtr& g) {
+    auto [it, inserted] = copied_.try_emplace(g.get());
+    if (!inserted) return it->second;
+    GraphExprPtr result = std::visit(
+        Overloaded{
+            [&](const GESingleton&) { return g; },
+            [&](const GESeq& node) {
+              GraphExprPtr lhs = copy(node.lhs);
+              GraphExprPtr rhs = copy(node.rhs);
+              if (lhs.get() == node.lhs.get() && rhs.get() == node.rhs.get()) {
+                return g;
+              }
+              return ge::seq(std::move(lhs), std::move(rhs));
+            },
+            [&](const GESpawn& node) {
+              GraphExprPtr body = copy(node.body);
+              const Symbol vertex = mapped(node.vertex);
+              if (body.get() == node.body.get() && vertex == node.vertex) {
+                return g;
+              }
+              return ge::spawn(std::move(body), vertex);
+            },
+            [&](const GETouch& node) {
+              const Symbol vertex = mapped(node.vertex);
+              return vertex == node.vertex ? g : ge::touch(vertex);
+            },
+        },
+        g->node);
+    copied_[g.get()] = result;
+    return result;
+  }
+
+  Symbol mapped(Symbol v) {
+    auto it = rename_.find(v);
+    if (it != rename_.end()) return it->second;
+    const std::size_t idx = GTypeInterner::instance().find_index(v);
+    const bool is_free =
+        idx != GTypeInterner::npos && facts_.free_vertices.test(idx);
+    const Symbol out = is_free ? v : Symbol::fresh(v.view());
+    rename_.emplace(v, out);
+    return out;
+  }
+
+  const GTypeFacts& facts_;
+  std::unordered_map<Symbol, Symbol> rename_;
+  std::unordered_map<const GraphExpr*, GraphExprPtr> copied_;
+};
+
 class Normalizer {
  public:
-  explicit Normalizer(const NormalizeLimits& limits) : limits_(limits) {}
+  explicit Normalizer(const NormalizeLimits& limits)
+      : limits_(limits),
+        use_memo_(limits.enable_memo &&
+                  GTypeInterner::instance().memoization_enabled()) {}
 
-  std::vector<GraphExprPtr> norm(const GTypePtr& g, unsigned n) {
-    std::vector<GraphExprPtr> out = norm_node(g, n);
+  std::vector<GraphExprPtr> norm(const GTypePtr& g, unsigned n,
+                                 std::size_t depth) {
+    std::vector<GraphExprPtr> out = norm_node(g, n, depth);
     // Deduplicate alpha-equivalent graphs EAGERLY, at every node: the μ
     // rule's "unroll or not" union and the ν rule's fresh renaming
     // otherwise materialize exponentially many copies of the same graph
@@ -75,21 +149,49 @@ class Normalizer {
     return out;
   }
 
-  std::vector<GraphExprPtr> norm_node(const GTypePtr& g, unsigned n) {
+  std::vector<GraphExprPtr> norm_node(const GTypePtr& g, unsigned n,
+                                      std::size_t depth) {
     if (truncated_ || n == 0) return {};
+    if (depth > limits_.max_depth) {
+      truncated_ = true;
+      depth_limited_ = true;
+      return {};
+    }
     if (++steps_ > limits_.max_steps) {
       truncated_ = true;
       return {};
     }
-    return std::visit(
+    // Memoize the expensive constructors — μ (whose rule recomputes the
+    // same (rec, fuel) pair once per occurrence of the recursion variable),
+    // applications, and ν bodies. Hash-consing makes structurally equal
+    // subterms the SAME node, so the (id, fuel) key collapses all of them.
+    const GTypeFacts* facts = g->facts;
+    const bool memoizable =
+        use_memo_ && facts != nullptr &&
+        (std::holds_alternative<GTRec>(g->node) ||
+         std::holds_alternative<GTApp>(g->node) ||
+         std::holds_alternative<GTNew>(g->node));
+    MemoKey key{};
+    if (memoizable) {
+      key = {facts->id, n};
+      auto it = memo_.find(key);
+      if (it != memo_.end()) {
+        GTypeInterner::instance().note_norm_memo(true);
+        return FreshNameRefresher(*facts).refresh(it->second);
+      }
+      GTypeInterner::instance().note_norm_memo(false);
+    }
+    std::vector<GraphExprPtr> result = std::visit(
         Overloaded{
             [&](const GTEmpty&) {
               return std::vector<GraphExprPtr>{ge::singleton()};
             },
             [&](const GTSeq& node) {
-              const std::vector<GraphExprPtr> lhs = norm(node.lhs, n);
+              const std::vector<GraphExprPtr> lhs =
+                  norm(node.lhs, n, depth + 1);
               if (lhs.empty()) return std::vector<GraphExprPtr>{};
-              const std::vector<GraphExprPtr> rhs = norm(node.rhs, n);
+              const std::vector<GraphExprPtr> rhs =
+                  norm(node.rhs, n, depth + 1);
               std::vector<GraphExprPtr> out;
               out.reserve(lhs.size() * rhs.size());
               for (const GraphExprPtr& a : lhs) {
@@ -104,8 +206,8 @@ class Normalizer {
               return out;
             },
             [&](const GTOr& node) {
-              std::vector<GraphExprPtr> out = norm(node.lhs, n);
-              std::vector<GraphExprPtr> rhs = norm(node.rhs, n);
+              std::vector<GraphExprPtr> out = norm(node.lhs, n, depth + 1);
+              std::vector<GraphExprPtr> rhs = norm(node.rhs, n, depth + 1);
               for (GraphExprPtr& g2 : rhs) {
                 if (out.size() >= limits_.max_graphs) {
                   truncated_ = true;
@@ -116,7 +218,7 @@ class Normalizer {
               return out;
             },
             [&](const GTSpawn& node) {
-              std::vector<GraphExprPtr> bodies = norm(node.body, n);
+              std::vector<GraphExprPtr> bodies = norm(node.body, n, depth + 1);
               std::vector<GraphExprPtr> out;
               out.reserve(bodies.size());
               for (GraphExprPtr& body : bodies) {
@@ -129,8 +231,9 @@ class Normalizer {
             },
             [&](const GTRec&) {
               // Norm_n(μγ.G) = Norm_{n-1}(G[μγ.G/γ]) ∪ Norm_{n-1}(μγ.G)
-              std::vector<GraphExprPtr> out = norm(cached_unroll(g), n - 1);
-              std::vector<GraphExprPtr> keep = norm(g, n - 1);
+              std::vector<GraphExprPtr> out =
+                  norm(cached_unroll(g), n - 1, depth + 1);
+              std::vector<GraphExprPtr> keep = norm(g, n - 1, depth + 1);
               for (GraphExprPtr& g2 : keep) {
                 if (out.size() >= limits_.max_graphs) {
                   truncated_ = true;
@@ -149,7 +252,7 @@ class Normalizer {
               const Symbol fresh = Symbol::fresh(node.vertex.view());
               const GTypePtr body = substitute_vertices(
                   node.body, VertexSubst{{node.vertex, fresh}});
-              return norm(body, n);
+              return norm(body, n, depth + 1);
             },
             [&](const GTPi&) {
               // A bare Π has kind Πūf;ūt.*, not *; it has no graphs until
@@ -184,23 +287,26 @@ class Normalizer {
                 // ill-formed types; emplace keeps the first binding.
                 subst.emplace(pi.touch_params[i], node.touch_args[i]);
               }
-              return norm(substitute_vertices(pi.body, subst), fuel);
+              return norm(substitute_vertices(pi.body, subst), fuel,
+                          depth + 1);
             },
         },
         g->node);
+    // Only complete results are reusable: a truncated subcomputation's
+    // vector is an arbitrary subset and would silently propagate.
+    if (memoizable && !truncated_) {
+      memo_.emplace(key, result);
+    }
+    return result;
   }
 
   [[nodiscard]] bool truncated() const noexcept { return truncated_; }
+  [[nodiscard]] bool depth_limited() const noexcept { return depth_limited_; }
   [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
 
  private:
-  // Keyed on the shared_ptr (not the raw pointer) so the cache RETAINS
-  // every key: normalization substitutes freely and temporaries would
-  // otherwise be freed and their addresses recycled, aliasing entries.
-  const GTypePtr& cached_unroll(const GTypePtr& g) {
-    auto [it, inserted] = unroll_cache_.try_emplace(g);
-    if (inserted) it->second = unroll_rec(g);
-    return it->second;
+  GTypePtr cached_unroll(const GTypePtr& g) {
+    return GTypeInterner::instance().cached_unroll(g);
   }
 
   static void dedup_in_place(std::vector<GraphExprPtr>& graphs) {
@@ -216,21 +322,20 @@ class Normalizer {
     graphs = std::move(unique);
   }
 
-  struct PtrHash {
-    std::size_t operator()(const GTypePtr& g) const noexcept {
-      return std::hash<const GType*>{}(g.get());
-    }
-  };
-  struct PtrEq {
-    bool operator()(const GTypePtr& a, const GTypePtr& b) const noexcept {
-      return a.get() == b.get();
+  using MemoKey = std::pair<std::uint64_t, unsigned>;
+  struct MemoKeyHash {
+    std::size_t operator()(const MemoKey& k) const noexcept {
+      return std::hash<std::uint64_t>{}(k.first) ^
+             (std::hash<unsigned>{}(k.second) * 0x9e3779b97f4a7c15ull);
     }
   };
 
   const NormalizeLimits& limits_;
+  const bool use_memo_;
   std::size_t steps_ = 0;
   bool truncated_ = false;
-  std::unordered_map<GTypePtr, GTypePtr, PtrHash, PtrEq> unroll_cache_;
+  bool depth_limited_ = false;
+  std::unordered_map<MemoKey, std::vector<GraphExprPtr>, MemoKeyHash> memo_;
 };
 
 }  // namespace
@@ -240,8 +345,9 @@ NormalizeResult normalize(const GTypePtr& g, unsigned depth,
   Normalizer normalizer(limits);
   NormalizeResult result;
   // norm() deduplicates at every node when limits.dedup_alpha is set.
-  result.graphs = normalizer.norm(g, depth);
+  result.graphs = normalizer.norm(g, depth, 0);
   result.truncated = normalizer.truncated();
+  result.depth_limited = normalizer.depth_limited();
   result.steps = normalizer.steps();
   return result;
 }
@@ -260,37 +366,43 @@ std::uint64_t sat_mul(std::uint64_t a, std::uint64_t b) {
   return a * b;
 }
 
-struct PtrDepthHash {
-  std::size_t operator()(const std::pair<const GType*, unsigned>& k) const {
-    return std::hash<const GType*>{}(k.first) ^
+struct IdDepthHash {
+  std::size_t operator()(const std::pair<std::uint64_t, unsigned>& k) const {
+    return std::hash<std::uint64_t>{}(k.first) ^
            (std::hash<unsigned>{}(k.second) * 0x9e3779b97f4a7c15ull);
   }
 };
 
 class Counter {
  public:
-  std::uint64_t count(const GTypePtr& g, unsigned n) {
+  std::uint64_t count(const GTypePtr& g, unsigned n, std::size_t depth) {
     if (n == 0) return 0;
-    const std::pair<const GType*, unsigned> key{g.get(), n};
+    // The count is a diagnostic; past the safe recursion depth report
+    // saturation rather than risking the stack.
+    if (depth > kMaxDepth) return kSat;
+    const std::pair<std::uint64_t, unsigned> key{node_id(g), n};
     if (auto it = memo_.find(key); it != memo_.end()) return it->second;
     const std::uint64_t result = std::visit(
         Overloaded{
             [&](const GTEmpty&) -> std::uint64_t { return 1; },
             [&](const GTSeq& node) {
-              return sat_mul(count(node.lhs, n), count(node.rhs, n));
+              return sat_mul(count(node.lhs, n, depth + 1),
+                             count(node.rhs, n, depth + 1));
             },
             [&](const GTOr& node) {
-              return sat_add(count(node.lhs, n), count(node.rhs, n));
+              return sat_add(count(node.lhs, n, depth + 1),
+                             count(node.rhs, n, depth + 1));
             },
-            [&](const GTSpawn& node) { return count(node.body, n); },
+            [&](const GTSpawn& node) { return count(node.body, n, depth + 1); },
             [&](const GTTouch&) -> std::uint64_t { return 1; },
             [&](const GTRec&) {
-              return sat_add(count(cached_unroll(g), n - 1), count(g, n - 1));
+              return sat_add(count(cached_unroll(g), n - 1, depth + 1),
+                             count(g, n - 1, depth + 1));
             },
             [&](const GTVar&) -> std::uint64_t { return 0; },
             [&](const GTNew& node) {
               // Fresh renaming does not change the count.
-              return count(node.body, n);
+              return count(node.body, n, depth + 1);
             },
             [&](const GTPi&) -> std::uint64_t { return 0; },
             [&](const GTApp& node) -> std::uint64_t {
@@ -309,7 +421,7 @@ class Counter {
                 return 0;
               }
               // Argument renaming does not change the count.
-              return count(pi.body, fuel);
+              return count(pi.body, fuel, depth + 1);
             },
         },
         g->node);
@@ -318,34 +430,31 @@ class Counter {
   }
 
  private:
-  struct PtrHash {
-    std::size_t operator()(const GTypePtr& g) const noexcept {
-      return std::hash<const GType*>{}(g.get());
-    }
-  };
-  struct PtrEq {
-    bool operator()(const GTypePtr& a, const GTypePtr& b) const noexcept {
-      return a.get() == b.get();
-    }
-  };
+  static constexpr std::size_t kMaxDepth = 2'000;
 
-  const GTypePtr& cached_unroll(const GTypePtr& g) {
-    auto [it, inserted] = unroll_cache_.try_emplace(g);
-    if (inserted) it->second = unroll_rec(g);
-    return it->second;
+  static std::uint64_t node_id(const GTypePtr& g) {
+    // All gt::-built values are interned; the pointer fallback only covers
+    // hand-rolled nodes and cannot collide with the small interner ids.
+    return g->facts != nullptr
+               ? g->facts->id
+               : static_cast<std::uint64_t>(
+                     reinterpret_cast<std::uintptr_t>(g.get()));
   }
 
-  std::unordered_map<std::pair<const GType*, unsigned>, std::uint64_t,
-                     PtrDepthHash>
+  GTypePtr cached_unroll(const GTypePtr& g) {
+    return GTypeInterner::instance().cached_unroll(g);
+  }
+
+  std::unordered_map<std::pair<std::uint64_t, unsigned>, std::uint64_t,
+                     IdDepthHash>
       memo_;
-  std::unordered_map<GTypePtr, GTypePtr, PtrHash, PtrEq> unroll_cache_;
 };
 
 }  // namespace
 
 std::uint64_t count_normalizations(const GTypePtr& g, unsigned depth) {
   Counter counter;
-  return counter.count(g, depth);
+  return counter.count(g, depth, 0);
 }
 
 }  // namespace gtdl

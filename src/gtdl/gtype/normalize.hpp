@@ -32,14 +32,24 @@ struct NormalizeLimits {
   std::size_t max_graphs = 1u << 18;
   // Abort after this many internal combinator steps.
   std::size_t max_steps = 20'000'000;
+  // Maximum recursion depth of the normalizer walk. Types nested deeper
+  // report depth_limited truncation instead of overflowing the stack.
+  // Sized so the guard trips well before 8 MiB stacks do, even with
+  // sanitizer-inflated frames; real inference output nests far shallower.
+  std::size_t max_depth = 2'000;
   // Collapse alpha-equivalent results (see header comment).
   bool dedup_alpha = true;
+  // Reuse per-(node, fuel) result sets within the call, refreshing the
+  // ν-instantiated fresh names on every reuse. Also subject to the global
+  // GTypeInterner::set_memoization toggle.
+  bool enable_memo = true;
 };
 
 struct NormalizeResult {
   std::vector<GraphExprPtr> graphs;
-  bool truncated = false;   // a limit was hit; `graphs` is a subset
-  std::size_t steps = 0;    // internal work performed
+  bool truncated = false;      // a limit was hit; `graphs` is a subset
+  bool depth_limited = false;  // specifically, max_depth was exceeded
+  std::size_t steps = 0;       // internal work performed
 };
 
 // Norm_n(g). Precondition: g has no free graph variables (free vertices
@@ -52,7 +62,9 @@ struct NormalizeResult {
 // deduplication and without materializing graphs. Saturates at
 // UINT64_MAX. This counts exactly what Fig. 3 counts: the ν rule does not
 // multiply, disjunction adds, sequencing multiplies, μ adds its
-// unrolled-and-not-unrolled alternatives.
+// unrolled-and-not-unrolled alternatives. Types nested deeper than the
+// counter can walk safely also saturate (the count is a diagnostic, and
+// "too deep to count" reads the same as "too many to count").
 [[nodiscard]] std::uint64_t count_normalizations(const GTypePtr& g,
                                                  unsigned depth);
 

@@ -203,8 +203,23 @@ class Parser {
     }
   }
 
-  // Lowest precedence: '|'.
+  // Lowest precedence: '|'. Every recursive-descent cycle passes through
+  // here (binder bodies and parenthesized atoms), so this is the single
+  // place to bound nesting depth: chains of ';'/'|'/postfix are parsed
+  // iteratively and remain depth-1, only nested binders/parens count.
   GTypePtr parse_or() {
+    if (depth_ >= kMaxNestingDepth) {
+      error("graph type nested too deeply (limit " +
+            std::to_string(kMaxNestingDepth) + " levels)");
+      return nullptr;
+    }
+    ++depth_;
+    GTypePtr result = parse_or_body();
+    --depth_;
+    return result;
+  }
+
+  GTypePtr parse_or_body() {
     GTypePtr lhs = parse_seq();
     if (lhs == nullptr) return nullptr;
     while (accept(TokKind::kPipe)) {
@@ -304,10 +319,16 @@ class Parser {
     }
   }
 
+  // Generous for real types (inference emits nesting proportional to
+  // program structure) while keeping the recursion well inside typical
+  // 8 MiB stacks even with sanitizer-inflated frames.
+  static constexpr std::size_t kMaxNestingDepth = 2'000;
+
   Lexer lexer_;
   DiagnosticEngine& diags_;
   Token current_;
   bool failed_ = false;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

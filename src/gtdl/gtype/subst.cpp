@@ -1,7 +1,11 @@
 #include "gtdl/gtype/subst.hpp"
 
+#include <cstdint>
 #include <stdexcept>
+#include <unordered_map>
+#include <utility>
 
+#include "gtdl/gtype/intern.hpp"
 #include "gtdl/support/overloaded.hpp"
 
 namespace gtdl {
@@ -31,213 +35,321 @@ bool in_range(const VertexSubst& subst, Symbol u) {
   return false;
 }
 
-GTypePtr subst_vertices(const GTypePtr& g, VertexSubst& subst);
+// Stateful vertex substitution over the interned DAG.
+//
+// Two interner-enabled shortcuts:
+//   * identity fast path — if the substitution's domain does not intersect
+//     the node's cached free-vertex set, the node IS the result;
+//   * memo table keyed on (node id, epoch). The epoch changes whenever a
+//     binder modifies the working map (shadowing or capture renames) and is
+//     restored with it, so equal epochs guarantee equal map contents and
+//     shared subterms are rewritten once instead of once per path.
+struct VertexSubstituter {
+  VertexSubst subst;
+  SymbolBitset domain;  // dense-index bitset of subst's keys
+  std::uint64_t epoch = 0;
+  std::uint64_t epoch_counter = 0;
+  // node id -> (epoch at store time, result)
+  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, GTypePtr>> memo;
+  bool use_memo = false;
 
-// Handles a vertex binder (ν or the Π parameter lists): removes shadowed
-// entries, renames the binder if it would capture, recurses, and restores
-// the substitution. `rebind` rebuilds the node with new names and body.
-template <typename Rebind>
-GTypePtr subst_under_vertex_binder(std::vector<Symbol> bound,
-                                   const GTypePtr& body, VertexSubst& subst,
-                                   const Rebind& rebind) {
-  // Save entries shadowed by the binder and remove them.
-  std::vector<std::pair<Symbol, Symbol>> saved;
-  for (Symbol u : bound) {
-    auto it = subst.find(u);
-    if (it != subst.end()) {
-      saved.emplace_back(it->first, it->second);
-      subst.erase(it);
+  GTypePtr walk(const GTypePtr& g) {
+    if (subst.empty()) return g;
+    const GTypeFacts* facts = g->facts;
+    auto& interner = GTypeInterner::instance();
+    if (use_memo && facts != nullptr) {
+      if (!domain.intersects(facts->free_vertices)) {
+        interner.note_subst_identity_hit();
+        return g;
+      }
+      auto it = memo.find(facts->id);
+      if (it != memo.end() && it->second.first == epoch) {
+        interner.note_subst_memo(true);
+        return it->second.second;
+      }
+      interner.note_subst_memo(false);
     }
-  }
-  // Alpha-rename binders that would capture a substituted-in name.
-  std::vector<std::pair<Symbol, Symbol>> renames;
-  for (Symbol& u : bound) {
-    if (in_range(subst, u)) {
-      const Symbol fresh = Symbol::fresh(u.view());
-      renames.emplace_back(u, fresh);
-      u = fresh;
+    GTypePtr result = std::visit(
+        Overloaded{
+            [&](const GTEmpty&) { return g; },
+            [&](const GTSeq& node) {
+              return gt::seq(walk(node.lhs), walk(node.rhs));
+            },
+            [&](const GTOr& node) {
+              return gt::alt(walk(node.lhs), walk(node.rhs));
+            },
+            [&](const GTSpawn& node) {
+              return gt::spawn(walk(node.body),
+                               apply_subst(subst, node.vertex));
+            },
+            [&](const GTTouch& node) {
+              return gt::touch(apply_subst(subst, node.vertex));
+            },
+            [&](const GTRec& node) {
+              return gt::rec(node.var, walk(node.body));
+            },
+            [&](const GTVar&) { return g; },
+            [&](const GTNew& node) {
+              return under_binder({node.vertex}, node.body,
+                                  [](std::vector<Symbol> bound,
+                                     GTypePtr body) {
+                                    return gt::nu(bound.front(),
+                                                  std::move(body));
+                                  });
+            },
+            [&](const GTPi& node) {
+              const std::size_t n_spawn = node.spawn_params.size();
+              std::vector<Symbol> bound = node.spawn_params;
+              bound.insert(bound.end(), node.touch_params.begin(),
+                           node.touch_params.end());
+              return under_binder(
+                  std::move(bound), node.body,
+                  [n_spawn](std::vector<Symbol> names, GTypePtr body) {
+                    std::vector<Symbol> spawn(
+                        names.begin(),
+                        names.begin() + static_cast<std::ptrdiff_t>(n_spawn));
+                    std::vector<Symbol> touch(
+                        names.begin() + static_cast<std::ptrdiff_t>(n_spawn),
+                        names.end());
+                    return gt::pi(std::move(spawn), std::move(touch),
+                                  std::move(body));
+                  });
+            },
+            [&](const GTApp& node) {
+              return gt::app(walk(node.fn), apply_all(subst, node.spawn_args),
+                             apply_all(subst, node.touch_args));
+            },
+        },
+        g->node);
+    if (use_memo && facts != nullptr) {
+      memo[facts->id] = {epoch, result};
     }
+    return result;
   }
-  for (const auto& [from, to] : renames) subst.emplace(from, to);
 
-  GTypePtr new_body = subst_vertices(body, subst);
+  // Handles a vertex binder (ν or the Π parameter lists): removes shadowed
+  // entries, renames the binder if it would capture, recurses, and restores
+  // the substitution (including the memo epoch). `rebind` rebuilds the node
+  // with new names and body.
+  template <typename Rebind>
+  GTypePtr under_binder(std::vector<Symbol> bound, const GTypePtr& body,
+                        const Rebind& rebind) {
+    // Save entries shadowed by the binder and remove them.
+    std::vector<std::pair<Symbol, Symbol>> saved;
+    for (Symbol u : bound) {
+      auto it = subst.find(u);
+      if (it != subst.end()) {
+        saved.emplace_back(it->first, it->second);
+        subst.erase(it);
+      }
+    }
+    // Alpha-rename binders that would capture a substituted-in name.
+    std::vector<std::pair<Symbol, Symbol>> renames;
+    for (Symbol& u : bound) {
+      if (in_range(subst, u)) {
+        const Symbol fresh = Symbol::fresh(u.view());
+        renames.emplace_back(u, fresh);
+        u = fresh;
+      }
+    }
+    for (const auto& [from, to] : renames) subst.emplace(from, to);
 
-  for (const auto& [from, to] : renames) {
-    (void)to;
-    subst.erase(from);
+    const std::uint64_t saved_epoch = epoch;
+    const bool changed = !saved.empty() || !renames.empty();
+    if (changed && use_memo) {
+      auto& interner = GTypeInterner::instance();
+      for (const auto& [from, to] : saved) {
+        (void)to;
+        domain.clear(interner.index_of(from));
+      }
+      for (const auto& [from, to] : renames) {
+        (void)to;
+        domain.set(interner.index_of(from));
+      }
+      epoch = ++epoch_counter;
+    }
+
+    GTypePtr new_body = walk(body);
+
+    for (const auto& [from, to] : renames) {
+      (void)to;
+      subst.erase(from);
+    }
+    for (const auto& [from, to] : saved) subst.emplace(from, to);
+    if (changed && use_memo) {
+      auto& interner = GTypeInterner::instance();
+      for (const auto& [from, to] : renames) {
+        (void)to;
+        domain.clear(interner.index_of(from));
+      }
+      for (const auto& [from, to] : saved) {
+        (void)to;
+        domain.set(interner.index_of(from));
+      }
+      epoch = saved_epoch;
+    }
+    return rebind(std::move(bound), std::move(new_body));
   }
-  for (const auto& [from, to] : saved) subst.emplace(from, to);
-  return rebind(std::move(bound), std::move(new_body));
-}
-
-GTypePtr subst_vertices(const GTypePtr& g, VertexSubst& subst) {
-  if (subst.empty()) return g;
-  return std::visit(
-      Overloaded{
-          [&](const GTEmpty&) { return g; },
-          [&](const GTSeq& node) {
-            return gt::seq(subst_vertices(node.lhs, subst),
-                           subst_vertices(node.rhs, subst));
-          },
-          [&](const GTOr& node) {
-            return gt::alt(subst_vertices(node.lhs, subst),
-                           subst_vertices(node.rhs, subst));
-          },
-          [&](const GTSpawn& node) {
-            return gt::spawn(subst_vertices(node.body, subst),
-                             apply_subst(subst, node.vertex));
-          },
-          [&](const GTTouch& node) {
-            return gt::touch(apply_subst(subst, node.vertex));
-          },
-          [&](const GTRec& node) {
-            return gt::rec(node.var, subst_vertices(node.body, subst));
-          },
-          [&](const GTVar&) { return g; },
-          [&](const GTNew& node) {
-            return subst_under_vertex_binder(
-                {node.vertex}, node.body, subst,
-                [](std::vector<Symbol> bound, GTypePtr body) {
-                  return gt::nu(bound.front(), std::move(body));
-                });
-          },
-          [&](const GTPi& node) {
-            const std::size_t n_spawn = node.spawn_params.size();
-            std::vector<Symbol> bound = node.spawn_params;
-            bound.insert(bound.end(), node.touch_params.begin(),
-                         node.touch_params.end());
-            return subst_under_vertex_binder(
-                std::move(bound), node.body, subst,
-                [n_spawn](std::vector<Symbol> names, GTypePtr body) {
-                  std::vector<Symbol> spawn(
-                      names.begin(),
-                      names.begin() + static_cast<std::ptrdiff_t>(n_spawn));
-                  std::vector<Symbol> touch(
-                      names.begin() + static_cast<std::ptrdiff_t>(n_spawn),
-                      names.end());
-                  return gt::pi(std::move(spawn), std::move(touch),
-                                std::move(body));
-                });
-          },
-          [&](const GTApp& node) {
-            return gt::app(subst_vertices(node.fn, subst),
-                           apply_all(subst, node.spawn_args),
-                           apply_all(subst, node.touch_args));
-          },
-      },
-      g->node);
-}
+};
 
 }  // namespace
 
 GTypePtr substitute_vertices(const GTypePtr& g, const VertexSubst& subst) {
-  VertexSubst working = subst;
-  return subst_vertices(g, working);
+  VertexSubstituter s;
+  s.subst = subst;
+  auto& interner = GTypeInterner::instance();
+  s.use_memo = interner.memoization_enabled();
+  if (s.use_memo) {
+    for (const auto& [from, to] : subst) {
+      (void)to;
+      s.domain.set(interner.index_of(from));
+    }
+  }
+  return s.walk(g);
 }
 
 namespace {
 
-struct GVarSubst {
+// Stateful graph-variable substitution G[replacement/var].
+//
+// The context (var, replacement) is constant for the whole call, so the
+// memo is keyed on the node id alone. The identity fast path uses the
+// cached free-gvar bitset: a subterm that does not mention `var` free IS
+// its own result — this alone collapses μ-unrolling of wide bodies from
+// O(paths) to O(distinct nodes).
+struct GVarSubstituter {
   Symbol var;
   GTypePtr replacement;
   // Vertex names free in `replacement`; vertex binders over an occurrence
   // of `var` must avoid these.
   OrderedSet<Symbol> replacement_free_vertices;
-};
+  std::size_t var_index = GTypeInterner::npos;  // dense index of `var`
+  bool use_memo = false;
+  std::unordered_map<std::uint64_t, GTypePtr> memo;
 
-GTypePtr subst_gvar(const GTypePtr& g, const GVarSubst& ctx);
-
-// Renames the bound vertices `bound` inside `body` if they appear free in
-// the replacement, then substitutes the graph variable in the body.
-template <typename Rebind>
-GTypePtr gvar_under_vertex_binder(std::vector<Symbol> bound,
-                                  const GTypePtr& body, const GVarSubst& ctx,
-                                  const Rebind& rebind) {
-  // Only rename when the binder body actually mentions the graph variable
-  // (otherwise substitution below is the identity and capture is moot).
-  VertexSubst renames;
-  for (Symbol& u : bound) {
-    if (ctx.replacement_free_vertices.contains(u)) {
-      const Symbol fresh = Symbol::fresh(u.view());
-      renames.emplace(u, fresh);
-      u = fresh;
+  GTypePtr walk(const GTypePtr& g) {
+    const GTypeFacts* facts = g->facts;
+    auto& interner = GTypeInterner::instance();
+    if (use_memo && facts != nullptr) {
+      if (var_index == GTypeInterner::npos ||
+          !facts->free_gvars.test(var_index)) {
+        interner.note_subst_identity_hit();
+        return g;
+      }
+      auto it = memo.find(facts->id);
+      if (it != memo.end()) {
+        interner.note_subst_memo(true);
+        return it->second;
+      }
+      interner.note_subst_memo(false);
     }
+    GTypePtr result = std::visit(
+        Overloaded{
+            [&](const GTEmpty&) { return g; },
+            [&](const GTSeq& node) {
+              return gt::seq(walk(node.lhs), walk(node.rhs));
+            },
+            [&](const GTOr& node) {
+              return gt::alt(walk(node.lhs), walk(node.rhs));
+            },
+            [&](const GTSpawn& node) {
+              return gt::spawn(walk(node.body), node.vertex);
+            },
+            [&](const GTTouch&) { return g; },
+            [&](const GTRec& node) {
+              if (node.var == var) return g;  // shadowed
+              // μ binds graph variables only; graph variables free in the
+              // replacement must not be captured.
+              if (replacement_mentions_gvar(node.var)) {
+                const Symbol fresh = Symbol::fresh(node.var.view());
+                const GTypePtr renamed_body =
+                    substitute_gvar(node.body, node.var, gt::var(fresh));
+                return gt::rec(fresh, walk(renamed_body));
+              }
+              return gt::rec(node.var, walk(node.body));
+            },
+            [&](const GTVar& node) {
+              return node.var == var ? replacement : g;
+            },
+            [&](const GTNew& node) {
+              return under_binder({node.vertex}, node.body,
+                                  [](std::vector<Symbol> bound,
+                                     GTypePtr body) {
+                                    return gt::nu(bound.front(),
+                                                  std::move(body));
+                                  });
+            },
+            [&](const GTPi& node) {
+              const std::size_t n_spawn = node.spawn_params.size();
+              std::vector<Symbol> bound = node.spawn_params;
+              bound.insert(bound.end(), node.touch_params.begin(),
+                           node.touch_params.end());
+              return under_binder(
+                  std::move(bound), node.body,
+                  [n_spawn](std::vector<Symbol> names, GTypePtr body) {
+                    std::vector<Symbol> spawn(
+                        names.begin(),
+                        names.begin() + static_cast<std::ptrdiff_t>(n_spawn));
+                    std::vector<Symbol> touch(
+                        names.begin() + static_cast<std::ptrdiff_t>(n_spawn),
+                        names.end());
+                    return gt::pi(std::move(spawn), std::move(touch),
+                                  std::move(body));
+                  });
+            },
+            [&](const GTApp& node) {
+              return gt::app(walk(node.fn), node.spawn_args, node.touch_args);
+            },
+        },
+        g->node);
+    if (use_memo && facts != nullptr) {
+      memo.emplace(facts->id, result);
+    }
+    return result;
   }
-  GTypePtr new_body =
-      renames.empty() ? body : substitute_vertices(body, renames);
-  return rebind(std::move(bound), subst_gvar(new_body, ctx));
-}
 
-GTypePtr subst_gvar(const GTypePtr& g, const GVarSubst& ctx) {
-  return std::visit(
-      Overloaded{
-          [&](const GTEmpty&) { return g; },
-          [&](const GTSeq& node) {
-            return gt::seq(subst_gvar(node.lhs, ctx),
-                           subst_gvar(node.rhs, ctx));
-          },
-          [&](const GTOr& node) {
-            return gt::alt(subst_gvar(node.lhs, ctx),
-                           subst_gvar(node.rhs, ctx));
-          },
-          [&](const GTSpawn& node) {
-            return gt::spawn(subst_gvar(node.body, ctx), node.vertex);
-          },
-          [&](const GTTouch&) { return g; },
-          [&](const GTRec& node) {
-            if (node.var == ctx.var) return g;  // shadowed
-            // μ binds graph variables only; graph variables free in the
-            // replacement must not be captured.
-            if (free_gvars(*ctx.replacement).contains(node.var)) {
-              const Symbol fresh = Symbol::fresh(node.var.view());
-              const GTypePtr renamed_body =
-                  substitute_gvar(node.body, node.var, gt::var(fresh));
-              return gt::rec(fresh, subst_gvar(renamed_body, ctx));
-            }
-            return gt::rec(node.var, subst_gvar(node.body, ctx));
-          },
-          [&](const GTVar& node) {
-            return node.var == ctx.var ? ctx.replacement : g;
-          },
-          [&](const GTNew& node) {
-            return gvar_under_vertex_binder(
-                {node.vertex}, node.body, ctx,
-                [](std::vector<Symbol> bound, GTypePtr body) {
-                  return gt::nu(bound.front(), std::move(body));
-                });
-          },
-          [&](const GTPi& node) {
-            const std::size_t n_spawn = node.spawn_params.size();
-            std::vector<Symbol> bound = node.spawn_params;
-            bound.insert(bound.end(), node.touch_params.begin(),
-                         node.touch_params.end());
-            return gvar_under_vertex_binder(
-                std::move(bound), node.body, ctx,
-                [n_spawn](std::vector<Symbol> names, GTypePtr body) {
-                  std::vector<Symbol> spawn(
-                      names.begin(),
-                      names.begin() + static_cast<std::ptrdiff_t>(n_spawn));
-                  std::vector<Symbol> touch(
-                      names.begin() + static_cast<std::ptrdiff_t>(n_spawn),
-                      names.end());
-                  return gt::pi(std::move(spawn), std::move(touch),
-                                std::move(body));
-                });
-          },
-          [&](const GTApp& node) {
-            return gt::app(subst_gvar(node.fn, ctx), node.spawn_args,
-                           node.touch_args);
-          },
-      },
-      g->node);
-}
+  [[nodiscard]] bool replacement_mentions_gvar(Symbol gv) const {
+    if (replacement->facts != nullptr) {
+      const std::size_t idx = GTypeInterner::instance().find_index(gv);
+      return idx != GTypeInterner::npos &&
+             replacement->facts->free_gvars.test(idx);
+    }
+    return free_gvars(*replacement).contains(gv);
+  }
+
+  // Renames the bound vertices `bound` inside `body` if they appear free in
+  // the replacement, then substitutes the graph variable in the body.
+  template <typename Rebind>
+  GTypePtr under_binder(std::vector<Symbol> bound, const GTypePtr& body,
+                        const Rebind& rebind) {
+    // Only rename when the binder body actually mentions the graph variable
+    // (otherwise substitution below is the identity and capture is moot).
+    VertexSubst renames;
+    for (Symbol& u : bound) {
+      if (replacement_free_vertices.contains(u)) {
+        const Symbol fresh = Symbol::fresh(u.view());
+        renames.emplace(u, fresh);
+        u = fresh;
+      }
+    }
+    GTypePtr new_body =
+        renames.empty() ? body : substitute_vertices(body, renames);
+    return rebind(std::move(bound), walk(new_body));
+  }
+};
 
 }  // namespace
 
 GTypePtr substitute_gvar(const GTypePtr& g, Symbol var,
                          const GTypePtr& replacement) {
-  GVarSubst ctx{var, replacement, free_vertices(*replacement)};
-  return subst_gvar(g, ctx);
+  GVarSubstituter s;
+  s.var = var;
+  s.replacement = replacement;
+  s.replacement_free_vertices = free_vertices(*replacement);
+  auto& interner = GTypeInterner::instance();
+  s.use_memo = interner.memoization_enabled();
+  if (s.use_memo) s.var_index = interner.find_index(var);
+  return s.walk(g);
 }
 
 GTypePtr unroll_rec(const GTypePtr& g) {

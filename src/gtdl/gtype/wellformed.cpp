@@ -3,6 +3,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "gtdl/gtype/intern.hpp"
 #include "gtdl/support/overloaded.hpp"
 
 namespace gtdl {
@@ -22,6 +23,40 @@ class WfChecker {
   // vertex names visible for touching. Returns nullopt after reporting on
   // failure.
   std::optional<Outcome> check(const GTypePtr& g, OrderedSet<Symbol> avail) {
+    // Closed-subterm memo. A subterm with no free vertices and no free
+    // graph variables is checked independently of avail/scope_/gvars_ and
+    // consumes nothing — UNLESS one of its binders collides with a name
+    // already in scope (the shadowing rejection below is context-
+    // sensitive), hence the bound_vertices guard. Hash-consing makes every
+    // repeated occurrence the same node, so the id key collapses them all.
+    const GTypeFacts* facts = g->facts;
+    const bool closed = facts != nullptr &&
+                        GTypeInterner::instance().memoization_enabled() &&
+                        facts->free_vertices.empty() &&
+                        facts->free_gvars.empty() &&
+                        !facts->bound_vertices.intersects(scope_bits_);
+    if (closed) {
+      if (auto it = closed_memo_.find(facts->id); it != closed_memo_.end()) {
+        return Outcome{it->second, {}};
+      }
+    }
+    // Chains of ';'/'|' parse iteratively, so syntactically valid input
+    // can nest arbitrarily deep trees; report instead of overflowing.
+    if (depth_ >= kMaxCheckDepth) {
+      fail("graph type nested too deeply to check (limit " +
+           std::to_string(kMaxCheckDepth) + " levels)");
+      return std::nullopt;
+    }
+    ++depth_;
+    auto result = check_uncached(g, std::move(avail));
+    --depth_;
+    // Only successes are reusable (failures must re-report diagnostics).
+    if (closed && result) closed_memo_.emplace(facts->id, result->kind);
+    return result;
+  }
+
+  std::optional<Outcome> check_uncached(const GTypePtr& g,
+                                        OrderedSet<Symbol> avail) {
     return std::visit(
         Overloaded{
             [&](const GTEmpty&) {
@@ -152,9 +187,14 @@ class WfChecker {
         return;
       }
       checker_.scope_.insert(vertex);
+      checker_.scope_bits_.set(GTypeInterner::instance().index_of(vertex));
     }
     ~ScopedVertex() {
-      if (ok_) checker_.scope_.erase(vertex_);
+      if (ok_) {
+        checker_.scope_.erase(vertex_);
+        checker_.scope_bits_.clear(
+            GTypeInterner::instance().index_of(vertex_));
+      }
     }
     ScopedVertex(const ScopedVertex&) = delete;
     ScopedVertex& operator=(const ScopedVertex&) = delete;
@@ -259,7 +299,13 @@ class WfChecker {
 
   DiagnosticEngine& diags_;
   OrderedSet<Symbol> scope_;
+  // Matches the parser/normalizer depth budgets: trips well before an
+  // 8 MiB stack does, even with sanitizer-inflated frames.
+  static constexpr std::size_t kMaxCheckDepth = 2'000;
+  std::size_t depth_ = 0;
+  SymbolBitset scope_bits_;  // scope_ mirrored over the interner index
   std::unordered_map<Symbol, GraphKind> gvars_;
+  std::unordered_map<std::uint64_t, GraphKind> closed_memo_;
 };
 
 }  // namespace

@@ -163,12 +163,18 @@ class Inferencer {
               std::vector<GTypePtr> else_pieces;
               const AbstractVal else_val =
                   walk(*node.else_branch, state, else_pieces);
-              pieces.push_back(gt::alt(
+              const GTypePtr then_graph =
                   then_pieces.empty() ? gt::empty()
-                                      : gt::seq_all(std::move(then_pieces)),
-                  else_pieces.empty()
-                      ? gt::empty()
-                      : gt::seq_all(std::move(else_pieces))));
+                                      : gt::seq_all(std::move(then_pieces));
+              const GTypePtr else_graph =
+                  else_pieces.empty() ? gt::empty()
+                                      : gt::seq_all(std::move(else_pieces));
+              // Interning makes structurally equal graphs the same node;
+              // identical branches need no disjunction (Norm(G∨G) =
+              // Norm(G), and DF:OR's equal-spawns condition is trivial).
+              pieces.push_back(then_graph.get() == else_graph.get()
+                                   ? then_graph
+                                   : gt::alt(then_graph, else_graph));
               return merge(then_val, else_val, *expr.type);
             },
             [&](const MCall& node) { return call(expr, node, state, pieces); },
@@ -229,12 +235,16 @@ class Inferencer {
               const AbstractVal cons_val =
                   walk(*node.cons_case, state, cons_pieces);
               state.env.pop_back();
-              pieces.push_back(gt::alt(
+              const GTypePtr nil_graph =
                   nil_pieces.empty() ? gt::empty()
-                                     : gt::seq_all(std::move(nil_pieces)),
-                  cons_pieces.empty()
-                      ? gt::empty()
-                      : gt::seq_all(std::move(cons_pieces))));
+                                     : gt::seq_all(std::move(nil_pieces));
+              const GTypePtr cons_graph =
+                  cons_pieces.empty() ? gt::empty()
+                                      : gt::seq_all(std::move(cons_pieces));
+              // Same branch-collapse as MIf above.
+              pieces.push_back(nil_graph.get() == cons_graph.get()
+                                   ? nil_graph
+                                   : gt::alt(nil_graph, cons_graph));
               return merge(nil_val, cons_val, *expr.type);
             },
             [&](const MBin& node) {

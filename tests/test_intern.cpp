@@ -1,0 +1,547 @@
+// Differential and invariant tests for the hash-consed graph-type core:
+// interned construction must preserve every observable (printing, stats,
+// free sets, equality relations) against reference recomputation done with
+// independent walkers, and the interner's structural invariants (same id
+// iff structurally equal, fact caches exact, hit counters moving) must
+// hold on randomly generated types. Also the recursion-depth regressions:
+// pathologically deep inputs produce diagnostics/truncation, not crashes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gtdl/detect/deadlock.hpp"
+#include "gtdl/graph/graph_expr.hpp"
+#include "gtdl/gtype/gtype.hpp"
+#include "gtdl/gtype/wellformed.hpp"
+#include "gtdl/gtype/intern.hpp"
+#include "gtdl/gtype/normalize.hpp"
+#include "gtdl/gtype/parse.hpp"
+#include "gtdl/gtype/subst.hpp"
+#include "gtdl/support/overloaded.hpp"
+
+namespace gtdl {
+namespace {
+
+Symbol S(const char* s) { return Symbol::intern(s); }
+
+// --- Reference walkers (independent of the cached fact blocks) -------------
+
+void ref_free_vertices(const GType& g, OrderedSet<Symbol>& bound,
+                       OrderedSet<Symbol>& out) {
+  std::visit(
+      Overloaded{
+          [&](const GTEmpty&) {},
+          [&](const GTSeq& node) {
+            ref_free_vertices(*node.lhs, bound, out);
+            ref_free_vertices(*node.rhs, bound, out);
+          },
+          [&](const GTOr& node) {
+            ref_free_vertices(*node.lhs, bound, out);
+            ref_free_vertices(*node.rhs, bound, out);
+          },
+          [&](const GTSpawn& node) {
+            if (!bound.contains(node.vertex)) out.insert(node.vertex);
+            ref_free_vertices(*node.body, bound, out);
+          },
+          [&](const GTTouch& node) {
+            if (!bound.contains(node.vertex)) out.insert(node.vertex);
+          },
+          [&](const GTRec& node) {
+            ref_free_vertices(*node.body, bound, out);
+          },
+          [&](const GTVar&) {},
+          [&](const GTNew& node) {
+            const bool added = bound.insert(node.vertex);
+            ref_free_vertices(*node.body, bound, out);
+            if (added) bound.erase(node.vertex);
+          },
+          [&](const GTPi& node) {
+            std::vector<Symbol> added;
+            for (Symbol u : node.spawn_params) {
+              if (bound.insert(u)) added.push_back(u);
+            }
+            for (Symbol u : node.touch_params) {
+              if (bound.insert(u)) added.push_back(u);
+            }
+            ref_free_vertices(*node.body, bound, out);
+            for (Symbol u : added) bound.erase(u);
+          },
+          [&](const GTApp& node) {
+            ref_free_vertices(*node.fn, bound, out);
+            for (Symbol u : node.spawn_args) {
+              if (!bound.contains(u)) out.insert(u);
+            }
+            for (Symbol u : node.touch_args) {
+              if (!bound.contains(u)) out.insert(u);
+            }
+          },
+      },
+      g.node);
+}
+
+OrderedSet<Symbol> ref_free_vertices(const GType& g) {
+  OrderedSet<Symbol> bound;
+  OrderedSet<Symbol> out;
+  ref_free_vertices(g, bound, out);
+  return out;
+}
+
+void ref_free_gvars(const GType& g, OrderedSet<Symbol>& bound,
+                    OrderedSet<Symbol>& out) {
+  std::visit(
+      Overloaded{
+          [&](const GTEmpty&) {},
+          [&](const GTSeq& node) {
+            ref_free_gvars(*node.lhs, bound, out);
+            ref_free_gvars(*node.rhs, bound, out);
+          },
+          [&](const GTOr& node) {
+            ref_free_gvars(*node.lhs, bound, out);
+            ref_free_gvars(*node.rhs, bound, out);
+          },
+          [&](const GTSpawn& node) { ref_free_gvars(*node.body, bound, out); },
+          [&](const GTTouch&) {},
+          [&](const GTRec& node) {
+            const bool added = bound.insert(node.var);
+            ref_free_gvars(*node.body, bound, out);
+            if (added) bound.erase(node.var);
+          },
+          [&](const GTVar& node) {
+            if (!bound.contains(node.var)) out.insert(node.var);
+          },
+          [&](const GTNew& node) { ref_free_gvars(*node.body, bound, out); },
+          [&](const GTPi& node) { ref_free_gvars(*node.body, bound, out); },
+          [&](const GTApp& node) { ref_free_gvars(*node.fn, bound, out); },
+      },
+      g.node);
+}
+
+OrderedSet<Symbol> ref_free_gvars(const GType& g) {
+  OrderedSet<Symbol> bound;
+  OrderedSet<Symbol> out;
+  ref_free_gvars(g, bound, out);
+  return out;
+}
+
+void ref_stats(const GType& g, GTypeStats& out) {
+  ++out.nodes;
+  std::visit(Overloaded{
+                 [&](const GTEmpty&) {},
+                 [&](const GTSeq& node) {
+                   ref_stats(*node.lhs, out);
+                   ref_stats(*node.rhs, out);
+                 },
+                 [&](const GTOr& node) {
+                   ref_stats(*node.lhs, out);
+                   ref_stats(*node.rhs, out);
+                 },
+                 [&](const GTSpawn& node) {
+                   ++out.spawns;
+                   ref_stats(*node.body, out);
+                 },
+                 [&](const GTTouch&) { ++out.touches; },
+                 [&](const GTRec& node) {
+                   ++out.mu_bindings;
+                   ref_stats(*node.body, out);
+                 },
+                 [&](const GTVar&) {},
+                 [&](const GTNew& node) {
+                   ++out.nu_bindings;
+                   ref_stats(*node.body, out);
+                 },
+                 [&](const GTPi& node) { ref_stats(*node.body, out); },
+                 [&](const GTApp& node) {
+                   ++out.applications;
+                   ref_stats(*node.fn, out);
+                 },
+             },
+             g.node);
+}
+
+GTypeStats ref_stats(const GType& g) {
+  GTypeStats out;
+  ref_stats(g, out);
+  return out;
+}
+
+bool ref_structurally_equal(const GType& a, const GType& b) {
+  if (a.node.index() != b.node.index()) return false;
+  return std::visit(
+      Overloaded{
+          [&](const GTEmpty&) { return true; },
+          [&](const GTSeq& x) {
+            const auto& y = std::get<GTSeq>(b.node);
+            return ref_structurally_equal(*x.lhs, *y.lhs) &&
+                   ref_structurally_equal(*x.rhs, *y.rhs);
+          },
+          [&](const GTOr& x) {
+            const auto& y = std::get<GTOr>(b.node);
+            return ref_structurally_equal(*x.lhs, *y.lhs) &&
+                   ref_structurally_equal(*x.rhs, *y.rhs);
+          },
+          [&](const GTSpawn& x) {
+            const auto& y = std::get<GTSpawn>(b.node);
+            return x.vertex == y.vertex &&
+                   ref_structurally_equal(*x.body, *y.body);
+          },
+          [&](const GTTouch& x) {
+            return x.vertex == std::get<GTTouch>(b.node).vertex;
+          },
+          [&](const GTRec& x) {
+            const auto& y = std::get<GTRec>(b.node);
+            return x.var == y.var && ref_structurally_equal(*x.body, *y.body);
+          },
+          [&](const GTVar& x) {
+            return x.var == std::get<GTVar>(b.node).var;
+          },
+          [&](const GTNew& x) {
+            const auto& y = std::get<GTNew>(b.node);
+            return x.vertex == y.vertex &&
+                   ref_structurally_equal(*x.body, *y.body);
+          },
+          [&](const GTPi& x) {
+            const auto& y = std::get<GTPi>(b.node);
+            return x.spawn_params == y.spawn_params &&
+                   x.touch_params == y.touch_params &&
+                   ref_structurally_equal(*x.body, *y.body);
+          },
+          [&](const GTApp& x) {
+            const auto& y = std::get<GTApp>(b.node);
+            return x.spawn_args == y.spawn_args &&
+                   x.touch_args == y.touch_args &&
+                   ref_structurally_equal(*x.fn, *y.fn);
+          },
+      },
+      a.node);
+}
+
+// --- Random graph-type generator -------------------------------------------
+
+// Generates mostly-well-scoped types from a small name pool so that
+// structurally equal subterms recur often (exercising the interner) and
+// free/bound interactions are frequent.
+class Gen {
+ public:
+  explicit Gen(std::uint32_t seed) : rng_(seed) {}
+
+  GTypePtr type(int depth) {
+    if (depth <= 0) return leaf();
+    switch (pick(9)) {
+      case 0:
+        return leaf();
+      case 1:
+        return gt::seq(type(depth - 1), type(depth - 1));
+      case 2:
+        return gt::alt(type(depth - 1), type(depth - 1));
+      case 3:
+        return gt::spawn(type(depth - 1), vertex());
+      case 4: {
+        const Symbol v = gvar();
+        gvars_.push_back(v);
+        GTypePtr body = type(depth - 1);
+        gvars_.pop_back();
+        return gt::rec(v, std::move(body));
+      }
+      case 5: {
+        const Symbol u = vertex();
+        return gt::nu(u, type(depth - 1));
+      }
+      case 6: {
+        std::vector<Symbol> spawn_params{vertex()};
+        std::vector<Symbol> touch_params{vertex()};
+        return gt::pi(std::move(spawn_params), std::move(touch_params),
+                      type(depth - 1));
+      }
+      case 7:
+        return gt::app(type(depth - 1), {vertex()}, {vertex()});
+      default:
+        return gt::seq(type(depth - 1), leaf());
+    }
+  }
+
+ private:
+  GTypePtr leaf() {
+    switch (pick(4)) {
+      case 0:
+        return gt::empty();
+      case 1:
+        return gt::touch(vertex());
+      case 2:
+        return gvars_.empty() ? gt::empty() : gt::var(gvars_.back());
+      default:
+        return gt::spawn(gt::empty(), vertex());
+    }
+  }
+
+  Symbol vertex() {
+    static const char* kNames[] = {"u", "v", "w", "x", "y"};
+    return S(kNames[pick(5)]);
+  }
+
+  Symbol gvar() {
+    static const char* kNames[] = {"f", "g", "h"};
+    return S(kNames[pick(3)]);
+  }
+
+  unsigned pick(unsigned n) {
+    return std::uniform_int_distribution<unsigned>(0, n - 1)(rng_);
+  }
+
+  std::mt19937 rng_;
+  std::vector<Symbol> gvars_;
+};
+
+// --- Differential properties ------------------------------------------------
+
+TEST(InternDifferential, CachedFactsMatchReferenceWalkers) {
+  Gen gen(20260805);
+  for (int i = 0; i < 300; ++i) {
+    const GTypePtr g = gen.type(5);
+    ASSERT_NE(facts_of(g), nullptr);
+    EXPECT_EQ(free_vertices(*g), ref_free_vertices(*g)) << to_string(*g);
+    EXPECT_EQ(free_gvars(*g), ref_free_gvars(*g)) << to_string(*g);
+    const GTypeStats cached = stats(*g);
+    const GTypeStats reference = ref_stats(*g);
+    EXPECT_EQ(cached.nodes, reference.nodes) << to_string(*g);
+    EXPECT_EQ(cached.mu_bindings, reference.mu_bindings);
+    EXPECT_EQ(cached.applications, reference.applications);
+    EXPECT_EQ(cached.nu_bindings, reference.nu_bindings);
+    EXPECT_EQ(cached.spawns, reference.spawns);
+    EXPECT_EQ(cached.touches, reference.touches);
+  }
+}
+
+TEST(InternDifferential, SameIdIffStructurallyEqual) {
+  Gen gen(7);
+  std::vector<GTypePtr> types;
+  for (int i = 0; i < 60; ++i) types.push_back(gen.type(4));
+  for (const GTypePtr& a : types) {
+    for (const GTypePtr& b : types) {
+      const bool ref = ref_structurally_equal(*a, *b);
+      EXPECT_EQ(facts_of(a)->id == facts_of(b)->id, ref)
+          << to_string(*a) << " vs " << to_string(*b);
+      EXPECT_EQ(structurally_equal(*a, *b), ref);
+      // Interning makes structural equality pointer equality.
+      EXPECT_EQ(a.get() == b.get(), ref);
+    }
+  }
+}
+
+TEST(InternDifferential, PrintParseReturnsTheSameNode) {
+  Gen gen(99);
+  for (int i = 0; i < 200; ++i) {
+    const GTypePtr g = gen.type(5);
+    const GTypePtr reparsed = parse_gtype_or_throw(to_string(*g));
+    // Round-tripping through the printer must produce the IDENTICAL node,
+    // not merely an equal one.
+    EXPECT_EQ(g.get(), reparsed.get()) << to_string(*g);
+  }
+}
+
+TEST(InternDifferential, AlphaEqualAgreesWithFullWalkOnVariants) {
+  // Alpha-variants made by consistently renaming binders in the text.
+  const char* kPairs[][2] = {
+      {"rec g. new u. 1 | g / u ; g ; ~u", "rec h. new w. 1 | h / w ; h ; ~w"},
+      {"new u. (1 ; ~u) / u", "new v. (1 ; ~v) / v"},
+      {"rec g. pi[a; x]. new u. 1 | ~x ; 1 / a ; g[u; u]",
+       "rec k. pi[b; y]. new w. 1 | ~y ; 1 / b ; k[w; w]"},
+  };
+  for (const auto& pair : kPairs) {
+    const GTypePtr a = parse_gtype_or_throw(pair[0]);
+    const GTypePtr b = parse_gtype_or_throw(pair[1]);
+    EXPECT_TRUE(alpha_equal(*a, *b)) << pair[0] << " vs " << pair[1];
+    EXPECT_TRUE(alpha_equal(*b, *a));
+  }
+  // And inequivalent pairs must stay inequivalent through the fast paths.
+  const char* kDistinct[][2] = {
+      {"rec g. new u. 1 | g / u ; g ; ~u", "rec g. new u. 1 | g / u ; ~u"},
+      {"new u. (1 ; ~u) / u", "new u. (1 ; ~u) / u ; 1"},
+      {"new u. ~u ; ~v", "new u. ~u ; ~w"},  // differ in a FREE name
+  };
+  for (const auto& pair : kDistinct) {
+    const GTypePtr a = parse_gtype_or_throw(pair[0]);
+    const GTypePtr b = parse_gtype_or_throw(pair[1]);
+    EXPECT_FALSE(alpha_equal(*a, *b)) << pair[0] << " vs " << pair[1];
+  }
+}
+
+TEST(InternDifferential, SubstitutionAgreesWithMemoizationOff) {
+  auto& interner = GTypeInterner::instance();
+  Gen gen(4242);
+  for (int i = 0; i < 150; ++i) {
+    const GTypePtr g = gen.type(5);
+    const VertexSubst subst{{S("u"), S("z")}, {S("v"), S("u")}};
+    const GTypePtr fast = substitute_vertices(g, subst);
+    ASSERT_TRUE(interner.set_memoization(false));
+    const GTypePtr slow = substitute_vertices(g, subst);
+    interner.set_memoization(true);
+    // Capture-avoiding renames pick fresh names, so compare up to alpha.
+    EXPECT_TRUE(alpha_equal(*fast, *slow)) << to_string(*g);
+
+    const GTypePtr replacement = parse_gtype_or_throw("new u. (1 ; ~u) / u");
+    const GTypePtr gfast = substitute_gvar(g, S("g"), replacement);
+    interner.set_memoization(false);
+    const GTypePtr gslow = substitute_gvar(g, S("g"), replacement);
+    interner.set_memoization(true);
+    EXPECT_TRUE(alpha_equal(*gfast, *gslow)) << to_string(*g);
+  }
+}
+
+// Canonical spelling of a ground graph with vertex names numbered by first
+// occurrence — the graphs themselves carry call-specific fresh names.
+std::string canon(const GraphExpr& g,
+                  std::unordered_map<Symbol, unsigned>& numbering) {
+  return std::visit(
+      Overloaded{
+          [&](const GESingleton&) { return std::string("1"); },
+          [&](const GESeq& node) {
+            std::string lhs = canon(*node.lhs, numbering);
+            return "(" + lhs + ";" + canon(*node.rhs, numbering) + ")";
+          },
+          [&](const GESpawn& node) {
+            std::string body = canon(*node.body, numbering);
+            const auto [it, inserted] = numbering.try_emplace(
+                node.vertex, static_cast<unsigned>(numbering.size()));
+            (void)inserted;
+            return "(" + body + "/" + std::to_string(it->second) + ")";
+          },
+          [&](const GETouch& node) {
+            const auto [it, inserted] = numbering.try_emplace(
+                node.vertex, static_cast<unsigned>(numbering.size()));
+            (void)inserted;
+            return "~" + std::to_string(it->second);
+          },
+      },
+      g.node);
+}
+
+std::vector<std::string> canonical_keys(const NormalizeResult& result) {
+  std::vector<std::string> keys;
+  keys.reserve(result.graphs.size());
+  for (const GraphExprPtr& g : result.graphs) {
+    std::unordered_map<Symbol, unsigned> numbering;
+    keys.push_back(canon(*g, numbering));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+TEST(InternDifferential, NormalizationAgreesWithMemoizationOff) {
+  const char* kTypes[] = {
+      "rec g. new u. 1 | g / u ; g ; ~u",
+      "new u. (1 ; ~u) / u ; (new w. 1 / w ; ~w)",
+      "rec g. 1 | (new u. g / u ; ~u)",
+      // Shared ν subterm seq-composed with itself: the memo must refresh
+      // fresh names or the two copies collide.
+      "(new u. 1 / u ; ~u) ; (new u. 1 / u ; ~u)",
+  };
+  for (const char* text : kTypes) {
+    const GTypePtr g = parse_gtype_or_throw(text);
+    for (unsigned n = 1; n <= 5; ++n) {
+      NormalizeLimits with_memo;
+      const NormalizeResult fast = normalize(g, n, with_memo);
+      NormalizeLimits without_memo;
+      without_memo.enable_memo = false;
+      const NormalizeResult slow = normalize(g, n, without_memo);
+      EXPECT_EQ(fast.truncated, slow.truncated) << text << " n=" << n;
+      EXPECT_EQ(canonical_keys(fast), canonical_keys(slow))
+          << text << " n=" << n;
+      EXPECT_EQ(count_normalizations(g, n) == 0, fast.graphs.empty());
+      // Fresh names must stay globally unique: no graph may spawn the
+      // same designated vertex twice.
+      for (const GraphExprPtr& graph : fast.graphs) {
+        std::vector<Symbol> spawned = spawned_vertices(*graph);
+        OrderedSet<Symbol> unique(spawned);
+        EXPECT_EQ(unique.size(), spawned.size()) << to_string(*graph);
+      }
+    }
+  }
+}
+
+// --- Interner invariants ----------------------------------------------------
+
+TEST(InternInvariants, HitCountersMoveOnSharedSubterms) {
+  auto& interner = GTypeInterner::instance();
+  interner.reset_counters();
+  const GTypePtr shared = parse_gtype_or_throw("new u. (1 ; ~u) / u ; 1 ; 1");
+  const GTypePtr twice = gt::seq(shared, shared);
+  const GTypePtr again =
+      parse_gtype_or_throw("new u. (1 ; ~u) / u ; 1 ; 1");  // all hits
+  EXPECT_EQ(shared.get(), again.get());
+  const GTypeInterner::Stats s = interner.stats();
+  EXPECT_GT(s.intern_hits, 0u);
+  EXPECT_GT(s.nodes, 0u);
+  (void)twice;
+}
+
+TEST(InternInvariants, FactsAreSharedAcrossEqualSubterms) {
+  const GTypePtr a = gt::seq(gt::empty(), gt::touch(S("u")));
+  const GTypePtr b = gt::seq(gt::empty(), gt::touch(S("u")));
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(facts_of(a), facts_of(b));
+  EXPECT_EQ(facts_of(a)->stats.nodes, 3u);
+  EXPECT_EQ(facts_of(a)->height, 1u);
+}
+
+TEST(InternInvariants, UnrollCacheReturnsStableResult) {
+  const GTypePtr g = parse_gtype_or_throw("rec g. new u. 1 | g / u ; g ; ~u");
+  auto& interner = GTypeInterner::instance();
+  const GTypePtr once = interner.cached_unroll(g);
+  const GTypePtr twice = interner.cached_unroll(g);
+  EXPECT_EQ(once.get(), twice.get());
+  EXPECT_TRUE(alpha_equal(*once, *unroll_rec(g)));
+}
+
+// --- Depth-limit regressions ------------------------------------------------
+
+TEST(DepthLimits, HundredThousandDeepSeqChainDoesNotCrash) {
+  // ';' chains parse iteratively, so this must parse fine...
+  std::string text = "1";
+  for (int i = 0; i < 100'000; ++i) text += " ; ~u";
+  const GTypePtr g = parse_gtype_or_throw(text);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(stats(*g).nodes, 200'001u);
+  // ...while the recursive walks bail out with truncation diagnostics
+  // instead of overflowing the stack.
+  const NormalizeResult result = normalize(g, 3);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_TRUE(result.depth_limited);
+  EXPECT_EQ(count_normalizations(g, 3),
+            std::numeric_limits<std::uint64_t>::max());
+  const WellformedResult wf = check_wellformed(g);
+  EXPECT_FALSE(wf.ok);
+  EXPECT_NE(wf.diags.render().find("nested too deeply"), std::string::npos);
+  const DeadlockVerdict df = check_deadlock_freedom(g);
+  EXPECT_FALSE(df.deadlock_free);
+}
+
+TEST(DepthLimits, DeeplyNestedParensProduceDiagnosticNotCrash) {
+  std::string text(50'000, '(');
+  text += "1";
+  text += std::string(50'000, ')');
+  DiagnosticEngine diags;
+  const GTypePtr g = parse_gtype(text, diags);
+  EXPECT_EQ(g, nullptr);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.render().find("nested too deeply"), std::string::npos);
+}
+
+TEST(DepthLimits, DeeplyNestedBindersProduceDiagnosticNotCrash) {
+  std::string text;
+  for (int i = 0; i < 50'000; ++i) text += "new u. (";
+  text += "1";
+  for (int i = 0; i < 50'000; ++i) text += ")";
+  DiagnosticEngine diags;
+  const GTypePtr g = parse_gtype(text, diags);
+  EXPECT_EQ(g, nullptr);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+}  // namespace
+}  // namespace gtdl
