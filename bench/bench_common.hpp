@@ -6,16 +6,60 @@
 
 #pragma once
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "gtdl/frontend/driver.hpp"
 
 namespace gtdl::bench {
+
+// Machine/build provenance for benchmark JSON. Numbers without the
+// hardware and build type they were measured on are not comparable across
+// checkouts — in particular, parallel speedup curves are meaningless
+// without knowing how many hardware threads the host actually had.
+struct BenchEnv {
+  std::string hostname = "unknown";
+  unsigned hardware_threads = 0;
+  std::string build_type =
+#ifdef GTDL_BUILD_TYPE
+      GTDL_BUILD_TYPE;
+#else
+      "unknown";
+#endif
+};
+
+inline BenchEnv bench_env() {
+  BenchEnv env;
+#if defined(__unix__) || defined(__APPLE__)
+  char host[256] = {};
+  if (gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0') {
+    env.hostname = host;
+  }
+#endif
+  env.hardware_threads = std::thread::hardware_concurrency();
+  return env;
+}
+
+// Writes the env block as a JSON object member (no trailing comma):
+//   "env": {"hostname": ..., "hardware_threads": ..., "build_type": ...}
+inline void write_json_env(std::FILE* json) {
+  const BenchEnv env = bench_env();
+  std::fprintf(json,
+               "  \"env\": {\"hostname\": \"%s\", \"hardware_threads\": %u, "
+               "\"build_type\": \"%s\"}",
+               env.hostname.c_str(), env.hardware_threads,
+               env.build_type.c_str());
+}
 
 inline std::string programs_dir() {
 #ifdef GTDL_PROGRAMS_DIR

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "gtdl/detect/counterexample.hpp"
 #include "gtdl/detect/gml_baseline.hpp"
 #include "gtdl/gtype/intern.hpp"
@@ -247,6 +248,8 @@ int main() {
                  rows[i].speedup(), i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(json, "  ],\n");
+  gtdl::bench::write_json_env(json);
+  std::fprintf(json, ",\n");
   print_interner_stats(json);
   std::fprintf(json, "}\n");
   std::fclose(json);

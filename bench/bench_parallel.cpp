@@ -1,0 +1,178 @@
+// E-parallel — per-thread-count speedup curves for the work-pooled
+// analysis engine of src/gtdl/par/.
+//
+// Four workload families, each timed with Engine(t) for t in {1,2,4,8}:
+//   * materializing Norm_8 on the §3 counterexample family (m = 1..3),
+//   * the 16-branch alt of the m = 4 family member (memo-heavy; the
+//     parallel memo turns 15 of the 16 branches into owner/waiter pairs),
+//   * the GML finite-unrolling baseline on the m = 6 family member with
+//     the engine threaded through its per-bound normalizations and the
+//     chunked ground-deadlock scan,
+//   * whole-corpus deadlock checking of the six Table-1 programs via
+//     drive_corpus (file-level fan-out, shared interner).
+//
+// t = 1 is the exact sequential path (Engine(1) delegates to
+// gtdl::normalize; drive_corpus with jobs = 1 loops inline), so every
+// speedup is measured against the true pre-PR baseline, not against a
+// pool with one worker. Results go to stdout and bench_parallel.json,
+// including the host env block — speedup curves are meaningless without
+// knowing how many hardware threads the host actually had, and on a
+// single-core host every curve is expected to be flat (~1.0x).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gtdl/detect/counterexample.hpp"
+#include "gtdl/detect/gml_baseline.hpp"
+#include "gtdl/gtype/normalize.hpp"
+#include "gtdl/par/corpus.hpp"
+#include "gtdl/par/engine.hpp"
+
+namespace {
+
+using namespace gtdl;
+
+constexpr unsigned kDefaultDepth = 8;  // bench_intern's bench depth
+const std::vector<unsigned> kThreadCounts{1, 2, 4, 8};
+
+// Best-of-N wall time in milliseconds.
+template <typename Fn>
+double time_ms(Fn&& fn, int reps = 3) {
+  double best = 0;
+  for (int i = 0; i < reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (i == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+struct Point {
+  unsigned threads = 1;
+  double ms = 0;
+  double speedup = 1.0;  // vs the threads = 1 point of the same curve
+};
+
+struct Curve {
+  std::string name;
+  std::vector<Point> series;
+};
+
+// Times fn(threads) for each configured thread count; the t = 1 run goes
+// first so interner-level caches (unroll, subst) are warm and identical
+// for every subsequent configuration.
+template <typename Fn>
+Curve sweep(std::string name, Fn&& fn) {
+  Curve curve;
+  curve.name = std::move(name);
+  std::printf("%-46s", curve.name.c_str());
+  for (unsigned t : kThreadCounts) {
+    Point p;
+    p.threads = t;
+    p.ms = time_ms([&] { fn(t); });
+    p.speedup = curve.series.empty() || p.ms <= 0
+                    ? 1.0
+                    : curve.series.front().ms / p.ms;
+    std::printf(" %9.3f ms (%4.2fx)", p.ms, p.speedup);
+    curve.series.push_back(p);
+  }
+  std::printf("\n");
+  return curve;
+}
+
+}  // namespace
+
+int main() {
+  const bench::BenchEnv env = bench::bench_env();
+  std::printf("host %s, %u hardware threads, %s build\n", env.hostname.c_str(),
+              env.hardware_threads, env.build_type.c_str());
+  if (env.hardware_threads <= 1) {
+    std::printf(
+        "NOTE: single-core host; expect flat (~1.0x) curves. Rerun on a\n"
+        "multi-core machine for meaningful parallel speedups.\n");
+  }
+  std::printf("%-46s", "workload");
+  for (unsigned t : kThreadCounts) std::printf("      t=%-2u           ", t);
+  std::printf("\n");
+
+  std::vector<Curve> curves;
+  const NormalizeLimits limits;
+
+  for (unsigned m = 1; m <= 3; ++m) {
+    const GTypePtr g = counterexample_gtype(m);
+    curves.push_back(
+        sweep("normalize sec.3 family m=" + std::to_string(m) + " n=" +
+                  std::to_string(kDefaultDepth),
+              [&](unsigned t) {
+                Engine engine(t);
+                (void)engine.normalize(g, kDefaultDepth, limits);
+              }));
+  }
+
+  // Sixteen interned-identical branches: the parallel memo serves 15 of
+  // them as waiter hits of the one owner computation, exactly mirroring
+  // the sequential memo's 15 hits.
+  GTypePtr alt_chain = counterexample_gtype(4);
+  {
+    const GTypePtr branch = alt_chain;
+    for (int i = 0; i < 15; ++i) alt_chain = gt::alt(alt_chain, branch);
+  }
+  curves.push_back(sweep(
+      "normalize 16-branch alt of sec.3 m=4 n=" + std::to_string(kDefaultDepth),
+      [&](unsigned t) {
+        Engine engine(t);
+        (void)engine.normalize(alt_chain, kDefaultDepth, limits);
+      }));
+
+  const GTypePtr family_m6 = counterexample_gtype(6);
+  curves.push_back(
+      sweep("gml_baseline sec.3 family m=6 bound 8", [&](unsigned t) {
+        Engine engine(t);
+        GmlBaselineOptions options;
+        options.unrolls_per_binding = 8;
+        options.engine = &engine;
+        (void)gml_baseline_check(family_m6, options);
+      }));
+
+  std::vector<std::string> corpus_files;
+  for (const bench::EvalProgram& p : bench::eval_programs()) {
+    corpus_files.push_back(bench::programs_dir() + "/" + p.file);
+  }
+  curves.push_back(
+      sweep("corpus: 6 Table-1 programs (drive_corpus)", [&](unsigned t) {
+        CorpusOptions options;
+        options.jobs = t;
+        (void)drive_corpus(corpus_files, options);
+      }));
+
+  std::FILE* json = std::fopen("bench_parallel.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write bench_parallel.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"curves\": [\n");
+  for (std::size_t i = 0; i < curves.size(); ++i) {
+    std::fprintf(json, "    {\"name\": \"%s\", \"series\": [",
+                 curves[i].name.c_str());
+    for (std::size_t j = 0; j < curves[i].series.size(); ++j) {
+      const Point& p = curves[i].series[j];
+      std::fprintf(json,
+                   "%s\n      {\"threads\": %u, \"ms\": %.3f, "
+                   "\"speedup\": %.2f}",
+                   j == 0 ? "" : ",", p.threads, p.ms, p.speedup);
+    }
+    std::fprintf(json, "\n    ]}%s\n", i + 1 < curves.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  bench::write_json_env(json);
+  std::fprintf(json, "\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote bench_parallel.json\n");
+  return 0;
+}

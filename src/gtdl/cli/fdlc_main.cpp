@@ -6,8 +6,15 @@
 //   fdlc program.mml                  analyze a MiniML program (by extension)
 //   fdlc --gtype 'new u. 1/u ; ~u'    analyze a graph type directly
 //   fdlc --gtype-file type.gt         ... from a file
+//   fdlc --jobs 8 a.fut b.mml c.gt    batched corpus mode: analyze every
+//                                     file, N-way parallel, over one
+//                                     shared interner; reports print in
+//                                     input order and the exit code is
+//                                     the worst per-file code
 //
 // Options:
+//   --jobs N            analysis parallelism (default 1); N > 1 or more
+//                       than one input file selects corpus mode
 //   --dump-gtype        print the inferred (and new-pushed) graph types
 //   --no-new-push       disable the §5 "new pushing" transformation
 //   --max-iters N       Mycroft iteration cap for inference (default 2,
@@ -38,6 +45,7 @@
 #include "gtdl/frontend/driver.hpp"
 #include "gtdl/frontend/interp.hpp"
 #include "gtdl/mml/driver.hpp"
+#include "gtdl/par/corpus.hpp"
 #include "gtdl/graph/graph.hpp"
 #include "gtdl/gtype/parse.hpp"
 #include "gtdl/gtype/wellformed.hpp"
@@ -46,7 +54,8 @@
 namespace {
 
 struct CliOptions {
-  std::string program_file;
+  std::vector<std::string> program_files;
+  unsigned jobs = 1;
   std::string gtype_text;
   std::string gtype_file;
   bool dump_gtype = false;
@@ -63,11 +72,12 @@ struct CliOptions {
 
 void usage() {
   std::cerr <<
-      "usage: fdlc <program.fut> [options]\n"
+      "usage: fdlc <program.fut> [<more files>...] [options]\n"
       "       fdlc --gtype '<graph type>' [options]\n"
       "       fdlc --gtype-file <file> [options]\n"
-      "options: --dump-gtype --no-new-push --max-iters N --baseline\n"
-      "         --unrolls N --run --rand a,b,c --seed N --dot FILE --trace\n";
+      "options: --jobs N --dump-gtype --no-new-push --max-iters N\n"
+      "         --baseline --unrolls N --run --rand a,b,c --seed N\n"
+      "         --dot FILE --trace\n";
 }
 
 std::optional<CliOptions> parse_args(int argc, char** argv) {
@@ -91,6 +101,11 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       opts.run = true;
     } else if (arg == "--trace") {
       opts.print_trace = true;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opts.jobs = static_cast<unsigned>(std::stoul(v));
+      if (opts.jobs == 0) opts.jobs = 1;
     } else if (arg == "--max-iters") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
@@ -126,22 +141,21 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "fdlc: unknown option " << arg << "\n";
       return std::nullopt;
-    } else if (opts.program_file.empty()) {
-      opts.program_file = arg;
     } else {
-      std::cerr << "fdlc: multiple input files\n";
-      return std::nullopt;
+      opts.program_files.push_back(arg);
     }
   }
-  const int inputs = (!opts.program_file.empty() ? 1 : 0) +
+  const int inputs = (!opts.program_files.empty() ? 1 : 0) +
                      (!opts.gtype_text.empty() ? 1 : 0) +
                      (!opts.gtype_file.empty() ? 1 : 0);
   if (inputs != 1) {
     usage();
     return std::nullopt;
   }
-  if (opts.run && opts.program_file.empty()) {
-    std::cerr << "fdlc: --run requires a FutLang program\n";
+  if (opts.run &&
+      (opts.program_files.size() != 1 || opts.jobs > 1)) {
+    std::cerr << "fdlc: --run requires exactly one FutLang program (no "
+                 "corpus mode)\n";
     return std::nullopt;
   }
   return opts;
@@ -266,7 +280,35 @@ int main(int argc, char** argv) {
     return analyze_gtype(gtype, *opts);
   }
 
-  const auto source = read_file(opts->program_file);
+  // Corpus mode: several files and/or --jobs. Files are analyzed over
+  // one shared interner with jobs-way parallelism; reports print in
+  // input order regardless of which finished first.
+  if (opts->program_files.size() > 1 || opts->jobs > 1) {
+    CorpusOptions corpus_options;
+    corpus_options.jobs = opts->jobs;
+    corpus_options.new_push = opts->new_push;
+    corpus_options.max_iters = opts->max_iters;
+    corpus_options.baseline = opts->baseline;
+    corpus_options.unrolls = opts->unrolls;
+    corpus_options.dump_gtype = opts->dump_gtype;
+    const CorpusReport corpus =
+        drive_corpus(opts->program_files, corpus_options);
+    for (const FileReport& file : corpus.files) {
+      if (corpus.files.size() > 1) {
+        std::cout << "=== " << file.path << " ===\n";
+      }
+      std::cout << file.text;
+    }
+    if (corpus.files.size() > 1) {
+      std::cout << corpus.files.size() << " files analyzed ("
+                << opts->jobs << " jobs), worst exit code "
+                << corpus.exit_code << "\n";
+    }
+    return corpus.exit_code;
+  }
+
+  const std::string& program_file = opts->program_files.front();
+  const auto source = read_file(program_file);
   if (!source) return 2;
   DiagnosticEngine diags;
   InferOptions infer_options;
@@ -274,16 +316,15 @@ int main(int argc, char** argv) {
 
   // MiniML input, selected by extension (static analysis only).
   const bool is_mml =
-      opts->program_file.size() > 4 &&
-      opts->program_file.compare(opts->program_file.size() - 4, 4, ".mml") ==
-          0;
+      program_file.size() > 4 &&
+      program_file.compare(program_file.size() - 4, 4, ".mml") == 0;
   if (is_mml) {
     auto compiled = mml::compile_mml(*source, diags, infer_options);
     if (!compiled) {
       std::cerr << "fdlc: compilation failed\n" << diags.render();
       return 2;
     }
-    std::cout << "compiled " << opts->program_file << " (MiniML, "
+    std::cout << "compiled " << program_file << " (MiniML, "
               << compiled->program.defs.size() << " definitions)\n";
     if (opts->run) {
       std::cerr << "fdlc: --run is not available for MiniML (static "
@@ -297,7 +338,7 @@ int main(int argc, char** argv) {
     std::cerr << "fdlc: compilation failed\n" << diags.render();
     return 2;
   }
-  std::cout << "compiled " << opts->program_file << " ("
+  std::cout << "compiled " << program_file << " ("
             << compiled->program.functions.size() << " functions)\n";
   const int verdict = analyze_gtype(compiled->inferred.program_gtype, *opts);
   if (opts->run) (void)run_program(compiled->program, *opts);

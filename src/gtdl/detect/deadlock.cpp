@@ -7,6 +7,8 @@
 #include "gtdl/detect/new_push.hpp"
 #include "gtdl/gtype/intern.hpp"
 #include "gtdl/gtype/wellformed.hpp"
+#include "gtdl/par/engine.hpp"
+#include "gtdl/par/thread_pool.hpp"
 #include "gtdl/support/overloaded.hpp"
 #include "gtdl/support/string_util.hpp"
 
@@ -345,6 +347,35 @@ class DfChecker {
 
 }  // namespace
 
+namespace {
+
+// The DF kinding proper: new pushing + Fig. 4 check, diagnostics into
+// `verdict`. Factored out so the parallel driver can run it speculatively
+// against a scratch verdict while the WF gate runs on the pool.
+void run_df_kinding(const GTypePtr& g, const DetectOptions& options,
+                    DeadlockVerdict& verdict) {
+  verdict.analyzed = options.new_pushing ? push_new_bindings(g) : g;
+  DfChecker checker(verdict.diags);
+  auto outcome = checker.check(verdict.analyzed, OrderedSet<Symbol>{});
+  if (!outcome || verdict.diags.has_errors()) {
+    verdict.deadlock_free = false;
+    return;
+  }
+  // Leftover consumption is impossible at the top level: the initial
+  // spawn context is empty, so consumed ⊆ ∅.
+  verdict.deadlock_free = true;
+  verdict.kind = outcome->kind;
+}
+
+void reject_ill_formed(const WellformedResult& wf, DeadlockVerdict& verdict) {
+  verdict.diags.error("graph type is not well-formed:");
+  for (const Diagnostic& d : wf.diags.all()) {
+    verdict.diags.report(d.severity, d.loc, d.message);
+  }
+}
+
+}  // namespace
+
 DeadlockVerdict check_deadlock_freedom(const GTypePtr& g,
                                        const DetectOptions& options) {
   DeadlockVerdict verdict;
@@ -352,27 +383,34 @@ DeadlockVerdict check_deadlock_freedom(const GTypePtr& g,
     verdict.diags.error("null graph type");
     return verdict;
   }
+  ThreadPool* pool =
+      options.engine != nullptr ? options.engine->pool() : nullptr;
+  if (pool != nullptr && options.require_wellformed) {
+    // Overlap the WF gate with a speculative DF kinding. Both passes are
+    // read-only over the interned DAG (their memos are per-call), so they
+    // may run concurrently; the DF result is thrown away when the gate
+    // rejects, which reproduces the sequential fail-fast output exactly.
+    GTypeInterner::ScopedAnalysis analysis_guard;
+    WellformedResult wf;
+    TaskGroup group(*pool);
+    group.run([&g, &wf] { wf = check_wellformed(g); });
+    DeadlockVerdict speculative;
+    run_df_kinding(g, options, speculative);
+    group.wait();
+    if (!wf.ok) {
+      reject_ill_formed(wf, verdict);
+      return verdict;
+    }
+    return speculative;
+  }
   if (options.require_wellformed) {
     WellformedResult wf = check_wellformed(g);
     if (!wf.ok) {
-      verdict.diags.error("graph type is not well-formed:");
-      for (const Diagnostic& d : wf.diags.all()) {
-        verdict.diags.report(d.severity, d.loc, d.message);
-      }
+      reject_ill_formed(wf, verdict);
       return verdict;
     }
   }
-  verdict.analyzed = options.new_pushing ? push_new_bindings(g) : g;
-  DfChecker checker(verdict.diags);
-  auto outcome = checker.check(verdict.analyzed, OrderedSet<Symbol>{});
-  if (!outcome || verdict.diags.has_errors()) {
-    verdict.deadlock_free = false;
-    return verdict;
-  }
-  // Leftover consumption is impossible at the top level: the initial
-  // spawn context is empty, so consumed ⊆ ∅.
-  verdict.deadlock_free = true;
-  verdict.kind = outcome->kind;
+  run_df_kinding(g, options, verdict);
   return verdict;
 }
 

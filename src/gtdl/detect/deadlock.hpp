@@ -51,12 +51,21 @@
 
 namespace gtdl {
 
+class Engine;  // par/engine.hpp
+
 struct DetectOptions {
   // Run the affine well-formedness kinding first and fail fast if the
   // type is not even well-formed.
   bool require_wellformed = true;
   // Apply new pushing (§5) before checking.
   bool new_pushing = true;
+  // Optional parallel engine (par/engine.hpp, not owned). When set and
+  // backed by a pool, the well-formedness gate overlaps with a
+  // speculative new-push + DF kinding; the speculative result is
+  // discarded if the gate rejects, so the verdict and diagnostics are
+  // identical to the sequential path. Null (or a 1-thread engine) means
+  // strictly sequential checking.
+  Engine* engine = nullptr;
 };
 
 struct DeadlockVerdict {

@@ -27,10 +27,19 @@
 
 namespace gtdl {
 
+class Engine;  // par/engine.hpp
+
 struct GmlBaselineOptions {
   // Per-binding unroll bound; the paper's GML uses 2.
   unsigned unrolls_per_binding = 2;
   NormalizeLimits limits;
+  // Optional parallel engine (par/engine.hpp, not owned): normalization
+  // of the expanded type runs through Engine::normalize, and the
+  // per-graph ground-deadlock scan fans out over the pool. The reported
+  // witness is deterministic regardless of thread count — always the
+  // first offending graph in normalization order, as in the sequential
+  // scan. Null (or a 1-thread engine) means strictly sequential.
+  Engine* engine = nullptr;
 };
 
 struct GmlBaselineReport {

@@ -219,7 +219,10 @@ void accumulate(const GType& g, GTypeStats& s) {
                    ++s.nu_bindings;
                    accumulate(*node.body, s);
                  },
-                 [&](const GTPi& node) { accumulate(*node.body, s); },
+                 [&](const GTPi& node) {
+                   ++s.pi_bindings;
+                   accumulate(*node.body, s);
+                 },
                  [&](const GTApp& node) {
                    ++s.applications;
                    accumulate(*node.fn, s);

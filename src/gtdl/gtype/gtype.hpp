@@ -147,6 +147,7 @@ struct GTypeStats {
   std::size_t mu_bindings = 0;
   std::size_t applications = 0;
   std::size_t nu_bindings = 0;
+  std::size_t pi_bindings = 0;
   std::size_t spawns = 0;
   std::size_t touches = 0;
 };

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "gtdl/gtype/subst.hpp"
@@ -49,12 +50,29 @@ std::uint64_t id_of(const GTypePtr& g) {
 }  // namespace
 
 struct GTypeInterner::Impl {
-  mutable std::shared_mutex mu;
-  std::unordered_map<NodeKey, GTypePtr, NodeKeyHash> table;
-  std::deque<GTypeFacts> facts;  // stable addresses
+  // The node table is SHARDED by structural hash: parallel normalization
+  // interns constantly (every ν instantiation substitutes a fresh name
+  // through the subtree, allocating new nodes), and a single table mutex
+  // would serialize exactly the workload the engine fans out. A node's
+  // shard is a pure function of its key, so the double-checked
+  // find-or-insert never needs more than one shard's lock; ids come from
+  // one shared atomic and remain unique and stable (NOT dense per shard,
+  // which nothing relies on).
+  static constexpr std::size_t kInternShards = 16;
+  struct alignas(64) NodeShard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<NodeKey, GTypePtr, NodeKeyHash> table;
+    std::deque<GTypeFacts> facts;  // stable addresses
+  };
+  NodeShard shards[kInternShards];
+  std::atomic<std::uint64_t> next_id{1};
+
+  // The dense symbol index is its own lock domain. Lock order where both
+  // are held: shard.mu, THEN sym_mu (intern() resolves symbol payloads
+  // while inserting); no path acquires them in the other order.
+  mutable std::shared_mutex sym_mu;
   std::unordered_map<Symbol, std::size_t> sym_index;
   std::vector<Symbol> sym_rev;
-  std::uint64_t next_id = 1;
 
   std::mutex unroll_mu;
   std::unordered_map<std::uint64_t, GTypePtr> unroll_cache;
@@ -63,6 +81,8 @@ struct GTypeInterner::Impl {
   std::unordered_map<std::uint64_t, std::uint64_t> alpha_cache;
 
   std::atomic<bool> memo_enabled{true};
+  // Live ScopedAnalysis guards; set_memoization refuses while nonzero.
+  std::atomic<std::size_t> active_analyses{0};
 
   std::atomic<std::uint64_t> intern_hits{0};
   std::atomic<std::uint64_t> intern_misses{0};
@@ -77,8 +97,13 @@ struct GTypeInterner::Impl {
   std::atomic<std::uint64_t> alpha_fast_rejects{0};
   std::atomic<std::uint64_t> alpha_full_walks{0};
 
-  // Callers hold `mu` exclusively.
-  std::size_t index_locked(Symbol s) {
+  std::size_t index_of_symbol(Symbol s) {
+    {
+      std::shared_lock lock(sym_mu);
+      auto it = sym_index.find(s);
+      if (it != sym_index.end()) return it->second;
+    }
+    std::unique_lock lock(sym_mu);
     auto [it, inserted] = sym_index.try_emplace(s, sym_rev.size());
     if (inserted) sym_rev.push_back(s);
     return it->second;
@@ -88,25 +113,27 @@ struct GTypeInterner::Impl {
 };
 
 GTypePtr GTypeInterner::Impl::intern(NodeKey key, GType&& proto) {
+  const std::uint64_t hash = NodeKeyHash{}(key);
+  NodeShard& shard = shards[hash % kInternShards];
   {
-    std::shared_lock lock(mu);
-    auto it = table.find(key);
-    if (it != table.end()) {
+    std::shared_lock lock(shard.mu);
+    auto it = shard.table.find(key);
+    if (it != shard.table.end()) {
       intern_hits.fetch_add(1, std::memory_order_relaxed);
       return it->second;
     }
   }
-  std::unique_lock lock(mu);
-  auto it = table.find(key);
-  if (it != table.end()) {
+  std::unique_lock lock(shard.mu);
+  auto it = shard.table.find(key);
+  if (it != shard.table.end()) {
     intern_hits.fetch_add(1, std::memory_order_relaxed);
     return it->second;
   }
   intern_misses.fetch_add(1, std::memory_order_relaxed);
 
-  GTypeFacts& f = facts.emplace_back();
-  f.id = next_id++;
-  f.hash = NodeKeyHash{}(key);
+  GTypeFacts& f = shard.facts.emplace_back();
+  f.id = next_id.fetch_add(1, std::memory_order_relaxed);
+  f.hash = hash;
   f.stats.nodes = 1;
 
   // Incremental facts from the (already interned) children. The lambdas
@@ -118,6 +145,7 @@ GTypePtr GTypeInterner::Impl::intern(NodeKey key, GType&& proto) {
     f.stats.mu_bindings += c.stats.mu_bindings;
     f.stats.applications += c.stats.applications;
     f.stats.nu_bindings += c.stats.nu_bindings;
+    f.stats.pi_bindings += c.stats.pi_bindings;
     f.stats.spawns += c.stats.spawns;
     f.stats.touches += c.stats.touches;
     f.free_vertices.unite(c.free_vertices);
@@ -138,36 +166,37 @@ GTypePtr GTypeInterner::Impl::intern(NodeKey key, GType&& proto) {
           [&](const GTSpawn& node) {
             absorb(node.body);
             ++f.stats.spawns;
-            f.free_vertices.set(index_locked(node.vertex));
+            f.free_vertices.set(index_of_symbol(node.vertex));
           },
           [&](const GTTouch& node) {
             ++f.stats.touches;
-            f.free_vertices.set(index_locked(node.vertex));
+            f.free_vertices.set(index_of_symbol(node.vertex));
           },
           [&](const GTRec& node) {
             absorb(node.body);
             ++f.stats.mu_bindings;
-            f.free_gvars.clear(index_locked(node.var));
+            f.free_gvars.clear(index_of_symbol(node.var));
           },
           [&](const GTVar& node) {
-            f.free_gvars.set(index_locked(node.var));
+            f.free_gvars.set(index_of_symbol(node.var));
           },
           [&](const GTNew& node) {
             absorb(node.body);
             ++f.stats.nu_bindings;
-            const std::size_t idx = index_locked(node.vertex);
+            const std::size_t idx = index_of_symbol(node.vertex);
             f.free_vertices.clear(idx);
             f.bound_vertices.set(idx);
           },
           [&](const GTPi& node) {
             absorb(node.body);
+            ++f.stats.pi_bindings;
             for (Symbol u : node.spawn_params) {
-              const std::size_t idx = index_locked(u);
+              const std::size_t idx = index_of_symbol(u);
               f.free_vertices.clear(idx);
               f.bound_vertices.set(idx);
             }
             for (Symbol u : node.touch_params) {
-              const std::size_t idx = index_locked(u);
+              const std::size_t idx = index_of_symbol(u);
               f.free_vertices.clear(idx);
               f.bound_vertices.set(idx);
             }
@@ -176,10 +205,10 @@ GTypePtr GTypeInterner::Impl::intern(NodeKey key, GType&& proto) {
             absorb(node.fn);
             ++f.stats.applications;
             for (Symbol u : node.spawn_args) {
-              f.free_vertices.set(index_locked(u));
+              f.free_vertices.set(index_of_symbol(u));
             }
             for (Symbol u : node.touch_args) {
-              f.free_vertices.set(index_locked(u));
+              f.free_vertices.set(index_of_symbol(u));
             }
           },
       },
@@ -187,7 +216,7 @@ GTypePtr GTypeInterner::Impl::intern(NodeKey key, GType&& proto) {
 
   proto.facts = &f;
   GTypePtr interned = std::make_shared<const GType>(std::move(proto));
-  table.emplace(std::move(key), interned);
+  shard.table.emplace(std::move(key), interned);
   return interned;
 }
 
@@ -289,23 +318,17 @@ GTypePtr GTypeInterner::app(GTypePtr fn, std::vector<Symbol> spawn_args,
 }
 
 std::size_t GTypeInterner::index_of(Symbol s) {
-  {
-    std::shared_lock lock(impl_->mu);
-    auto it = impl_->sym_index.find(s);
-    if (it != impl_->sym_index.end()) return it->second;
-  }
-  std::unique_lock lock(impl_->mu);
-  return impl_->index_locked(s);
+  return impl_->index_of_symbol(s);
 }
 
 std::size_t GTypeInterner::find_index(Symbol s) const {
-  std::shared_lock lock(impl_->mu);
+  std::shared_lock lock(impl_->sym_mu);
   auto it = impl_->sym_index.find(s);
   return it == impl_->sym_index.end() ? npos : it->second;
 }
 
 Symbol GTypeInterner::symbol_of(std::size_t index) const {
-  std::shared_lock lock(impl_->mu);
+  std::shared_lock lock(impl_->sym_mu);
   return index < impl_->sym_rev.size() ? impl_->sym_rev[index] : Symbol{};
 }
 
@@ -461,9 +484,9 @@ std::uint64_t GTypeInterner::alpha_hash(const GType& g) {
 
 GTypeInterner::Stats GTypeInterner::stats() const {
   Stats s;
-  {
-    std::shared_lock lock(impl_->mu);
-    s.nodes = impl_->table.size();
+  for (const Impl::NodeShard& shard : impl_->shards) {
+    std::shared_lock lock(shard.mu);
+    s.nodes += shard.table.size();
   }
   s.intern_hits = impl_->intern_hits.load();
   s.intern_misses = impl_->intern_misses.load();
@@ -496,7 +519,32 @@ void GTypeInterner::reset_counters() {
 }
 
 bool GTypeInterner::set_memoization(bool enabled) {
+  // Analyses sample the flag once at entry (Normalizer/ParNormalizer cache
+  // it in use_memo_) and require it stable until they finish; flipping it
+  // mid-flight desynchronizes the unroll cache from the per-analysis memo
+  // tables and, in the parallel engine, lets workers of one normalization
+  // disagree on policy. Guarded rather than just documented.
+  if (impl_->active_analyses.load(std::memory_order_acquire) != 0) {
+    throw std::logic_error(
+        "GTypeInterner::set_memoization: refusing to flip the memoization "
+        "toggle while an analysis is in flight (active ScopedAnalysis "
+        "guards exist); toggle only between analyses");
+  }
   return impl_->memo_enabled.exchange(enabled);
+}
+
+GTypeInterner::ScopedAnalysis::ScopedAnalysis() {
+  GTypeInterner::instance().impl_->active_analyses.fetch_add(
+      1, std::memory_order_acq_rel);
+}
+
+GTypeInterner::ScopedAnalysis::~ScopedAnalysis() {
+  GTypeInterner::instance().impl_->active_analyses.fetch_sub(
+      1, std::memory_order_acq_rel);
+}
+
+std::size_t GTypeInterner::active_analyses() const {
+  return impl_->active_analyses.load(std::memory_order_acquire);
 }
 
 bool GTypeInterner::memoization_enabled() const {

@@ -25,10 +25,24 @@
 //     individually owned by the interner's table.
 //
 // Thread-safety contract: interning, fact queries, the unroll cache and
-// the alpha-hash cache are safe to use from multiple threads (shared
-// mutex; lock-free fact reads once a pointer is obtained).
-// set_memoization() is a benchmarking toggle and must not be flipped
-// while other threads are interning.
+// the alpha-hash cache are safe to use from multiple threads. The node
+// table is sharded by structural hash (parallel normalization interns
+// fresh-named nodes constantly; one table mutex would serialize it), ids
+// come from a shared atomic, and fact reads are lock-free once a pointer
+// is obtained.
+//
+// set_memoization() is a benchmarking toggle, NOT a runtime switch. An
+// analysis samples the flag once at entry (e.g. the normalizer caches
+// `memoization_enabled()` in a `use_memo_` member) and then relies on it
+// being stable: flipping it mid-analysis would let the unroll cache and
+// the per-analysis memo tables disagree about which results exist, and —
+// with the parallel engine — let two workers of ONE normalization pick
+// different policies, so a memo entry one worker published is never
+// found by another and the claim-back join protocol can wait on a key
+// nobody owns. The toggle therefore must only be flipped while no
+// analysis is in flight. This is enforced, not just documented: every
+// engine/normalize entry point holds a ScopedAnalysis for its duration,
+// and set_memoization() throws std::logic_error while any are active.
 
 #pragma once
 
@@ -197,9 +211,25 @@ class GTypeInterner {
   // Benchmarking toggle: gates the unroll cache, the substitution and
   // normalization memo tables, and the alpha fast paths (hash-consing
   // itself stays on — node identity must remain canonical). Returns the
-  // previous value.
+  // previous value. Throws std::logic_error if any ScopedAnalysis is
+  // active — analyses sample the flag once at entry and require it to be
+  // stable until they finish (see the header comment).
   bool set_memoization(bool enabled);
   [[nodiscard]] bool memoization_enabled() const;
+
+  // RAII marker for an in-flight analysis that sampled the memoization
+  // flag. While any are live, set_memoization() refuses to flip the flag.
+  // Normalization entry points (gtdl::normalize callers go through the
+  // detect/engine layers, which hold one) construct these; bench drivers
+  // toggle memoization only between, never inside, such scopes.
+  class ScopedAnalysis {
+   public:
+    ScopedAnalysis();
+    ~ScopedAnalysis();
+    ScopedAnalysis(const ScopedAnalysis&) = delete;
+    ScopedAnalysis& operator=(const ScopedAnalysis&) = delete;
+  };
+  [[nodiscard]] std::size_t active_analyses() const;
 
   // Internal counter hooks for the passes that keep their memo tables
   // locally but report through this instance.

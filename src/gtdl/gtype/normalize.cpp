@@ -52,17 +52,6 @@ void canonical_spelling(const GraphExpr& g,
              g.node);
 }
 
-// Numbering caveat: vertices free in the original graph type (Π-style
-// open normalization) are also numbered by first occurrence; since both
-// graphs being compared draw those from the same type, the numbering is
-// still canonical for our use (dedup within one normalize call).
-std::string canonical_key(const GraphExpr& g) {
-  std::unordered_map<Symbol, unsigned> numbering;
-  std::string out;
-  canonical_spelling(g, numbering, out);
-  return out;
-}
-
 // Rewrites cached result graphs for reuse at a second occurrence of the
 // same (node, fuel): every vertex that is NOT free in the originating
 // graph type is a ν-instantiation and gets a brand-new fresh name, so the
@@ -131,6 +120,39 @@ class FreshNameRefresher {
   std::unordered_map<const GraphExpr*, GraphExprPtr> copied_;
 };
 
+}  // namespace
+
+// Numbering caveat: vertices free in the original graph type (Π-style
+// open normalization) are also numbered by first occurrence; since both
+// graphs being compared draw those from the same type, the numbering is
+// still canonical for our use (dedup within one normalize call).
+std::string graph_alpha_key(const GraphExpr& g) {
+  std::unordered_map<Symbol, unsigned> numbering;
+  std::string out;
+  canonical_spelling(g, numbering, out);
+  return out;
+}
+
+void dedup_alpha_graphs(std::vector<GraphExprPtr>& graphs) {
+  std::unordered_set<std::string> seen;
+  seen.reserve(graphs.size());
+  std::vector<GraphExprPtr> unique;
+  unique.reserve(graphs.size());
+  for (GraphExprPtr& graph : graphs) {
+    if (seen.insert(graph_alpha_key(*graph)).second) {
+      unique.push_back(std::move(graph));
+    }
+  }
+  graphs = std::move(unique);
+}
+
+std::vector<GraphExprPtr> refresh_instantiations(
+    const GTypeFacts& facts, const std::vector<GraphExprPtr>& graphs) {
+  return FreshNameRefresher(facts).refresh(graphs);
+}
+
+namespace {
+
 class Normalizer {
  public:
   explicit Normalizer(const NormalizeLimits& limits)
@@ -145,7 +167,7 @@ class Normalizer {
     // rule's "unroll or not" union and the ν rule's fresh renaming
     // otherwise materialize exponentially many copies of the same graph
     // (set semantics collapses them; a vector must do so explicitly).
-    if (limits_.dedup_alpha && out.size() > 1) dedup_in_place(out);
+    if (limits_.dedup_alpha && out.size() > 1) dedup_alpha_graphs(out);
     return out;
   }
 
@@ -177,7 +199,7 @@ class Normalizer {
       auto it = memo_.find(key);
       if (it != memo_.end()) {
         GTypeInterner::instance().note_norm_memo(true);
-        return FreshNameRefresher(*facts).refresh(it->second);
+        return refresh_instantiations(*facts, it->second);
       }
       GTypeInterner::instance().note_norm_memo(false);
     }
@@ -309,19 +331,6 @@ class Normalizer {
     return GTypeInterner::instance().cached_unroll(g);
   }
 
-  static void dedup_in_place(std::vector<GraphExprPtr>& graphs) {
-    std::unordered_set<std::string> seen;
-    seen.reserve(graphs.size());
-    std::vector<GraphExprPtr> unique;
-    unique.reserve(graphs.size());
-    for (GraphExprPtr& graph : graphs) {
-      if (seen.insert(canonical_key(*graph)).second) {
-        unique.push_back(std::move(graph));
-      }
-    }
-    graphs = std::move(unique);
-  }
-
   using MemoKey = std::pair<std::uint64_t, unsigned>;
   struct MemoKeyHash {
     std::size_t operator()(const MemoKey& k) const noexcept {
@@ -342,6 +351,9 @@ class Normalizer {
 
 NormalizeResult normalize(const GTypePtr& g, unsigned depth,
                           const NormalizeLimits& limits) {
+  // Pins the memoization toggle for the duration (see intern.hpp): the
+  // Normalizer samples it once, in its constructor.
+  GTypeInterner::ScopedAnalysis analysis_guard;
   Normalizer normalizer(limits);
   NormalizeResult result;
   // norm() deduplicates at every node when limits.dedup_alpha is set.

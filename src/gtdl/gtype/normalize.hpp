@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "gtdl/graph/graph_expr.hpp"
@@ -57,6 +58,32 @@ struct NormalizeResult {
 // normalizes open-vertex types).
 [[nodiscard]] NormalizeResult normalize(const GTypePtr& g, unsigned depth,
                                         const NormalizeLimits& limits = {});
+
+// Canonical spelling of a ground graph with interior names erased:
+// designated vertices are numbered in first-occurrence order, so two
+// graphs differing only in the choice of fresh (ν-instantiated) names
+// render identically. Equal keys <=> alpha-equal graphs (within one
+// normalization, where free names come from the same type). Exposed for
+// the parallel engine's dedup and for differential tests.
+[[nodiscard]] std::string graph_alpha_key(const GraphExpr& g);
+
+// Collapses alpha-equivalent graphs in place, keeping the first
+// occurrence of each key (the order the sequential normalizer keeps).
+void dedup_alpha_graphs(std::vector<GraphExprPtr>& graphs);
+
+struct GTypeFacts;  // intern.hpp
+
+// Rewrites a memoized result set for reuse at a second occurrence of the
+// same (node, fuel) key: every vertex NOT free in the originating graph
+// type (`facts`) is a ν-instantiation and receives a brand-new fresh
+// name, so the reused copy cannot collide with the stored one. One
+// renaming covers the whole vector — graphs in a result set deliberately
+// share instantiations (the ⊕ rule pairs one lhs graph with many rhs
+// graphs) and the copy preserves that sharing. Thread-confined: the
+// renaming map lives on the calling thread; only Symbol::fresh is shared
+// (and internally synchronized).
+[[nodiscard]] std::vector<GraphExprPtr> refresh_instantiations(
+    const GTypeFacts& facts, const std::vector<GraphExprPtr>& graphs);
 
 // |Norm_n(g)| computed per the paper's definition *without* alpha
 // deduplication and without materializing graphs. Saturates at

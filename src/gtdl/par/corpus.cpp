@@ -1,0 +1,169 @@
+#include "gtdl/par/corpus.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string_view>
+#include <utility>
+
+#include "gtdl/detect/deadlock.hpp"
+#include "gtdl/detect/gml_baseline.hpp"
+#include "gtdl/frontend/driver.hpp"
+#include "gtdl/gtype/parse.hpp"
+#include "gtdl/gtype/wellformed.hpp"
+#include "gtdl/mml/driver.hpp"
+#include "gtdl/par/thread_pool.hpp"
+
+namespace gtdl {
+
+namespace {
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool has_extension(const std::string& path, const char* ext) {
+  const std::string_view suffix(ext);
+  return path.size() > suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+// The fdlc analysis block, rendered into `out` instead of stdout so a
+// concurrently analyzed corpus can still print file reports in input
+// order.
+int analyze_gtype(const GTypePtr& gtype, const CorpusOptions& options,
+                  Engine* engine, std::ostringstream& out) {
+  if (options.dump_gtype) {
+    out << "graph type: " << to_string(gtype) << "\n";
+  }
+  const WellformedResult wf = check_wellformed(gtype);
+  if (!wf.ok) {
+    out << "well-formedness: REJECTED\n" << wf.diags.render();
+    return 1;
+  }
+  out << "well-formedness: ok (kind " << to_string(wf.kind) << ")\n";
+
+  DetectOptions detect;
+  detect.new_pushing = options.new_push;
+  detect.engine = engine;
+  const DeadlockVerdict verdict = check_deadlock_freedom(gtype, detect);
+  if (options.dump_gtype && options.new_push) {
+    out << "after new pushing: " << to_string(verdict.analyzed) << "\n";
+  }
+  if (verdict.deadlock_free) {
+    out << "deadlock analysis: DEADLOCK-FREE (accepted)\n";
+  } else {
+    out << "deadlock analysis: POSSIBLE DEADLOCK (rejected)\n"
+        << verdict.diags.render();
+  }
+
+  if (options.baseline) {
+    GmlBaselineOptions baseline_options;
+    baseline_options.unrolls_per_binding = options.unrolls;
+    baseline_options.engine = engine;
+    const GmlBaselineReport report =
+        gml_baseline_check(gtype, baseline_options);
+    out << "gml baseline (" << report.unrolls_per_binding
+        << " unrolls/binding, " << report.graphs_checked << " graphs"
+        << (report.truncated ? ", TRUNCATED" : "") << "): "
+        << (report.deadlock_reported ? "reports deadlock"
+                                     : "reports deadlock-free")
+        << "\n";
+    if (report.deadlock_reported) {
+      out << "  witness: " << report.witness << "\n";
+    }
+  }
+  return verdict.deadlock_free ? 0 : 1;
+}
+
+}  // namespace
+
+FileReport analyze_file(const std::string& path, const CorpusOptions& options,
+                        Engine* engine) {
+  FileReport report;
+  report.path = path;
+  std::ostringstream out;
+  const auto finish = [&](int code) {
+    report.exit_code = code;
+    report.text = out.str();
+    return report;
+  };
+
+  const auto source = read_file(path);
+  if (!source) {
+    out << "cannot open '" << path << "'\n";
+    return finish(2);
+  }
+
+  DiagnosticEngine diags;
+  InferOptions infer_options;
+  infer_options.max_signature_iterations = options.max_iters;
+
+  if (has_extension(path, ".mml")) {
+    auto compiled = mml::compile_mml(*source, diags, infer_options);
+    if (!compiled) {
+      out << "compilation failed\n" << diags.render();
+      return finish(2);
+    }
+    out << "compiled " << path << " (MiniML, "
+        << compiled->program.defs.size() << " definitions)\n";
+    return finish(analyze_gtype(compiled->inferred.program_gtype, options,
+                                engine, out));
+  }
+  if (has_extension(path, ".fut")) {
+    auto compiled = compile_futlang(*source, diags, infer_options);
+    if (!compiled) {
+      out << "compilation failed\n" << diags.render();
+      return finish(2);
+    }
+    out << "compiled " << path << " ("
+        << compiled->program.functions.size() << " functions)\n";
+    return finish(analyze_gtype(compiled->inferred.program_gtype, options,
+                                engine, out));
+  }
+  // Anything else is a textual graph type (.gt by convention).
+  const GTypePtr gtype = parse_gtype(*source, diags);
+  if (gtype == nullptr) {
+    out << "graph type parse error\n" << diags.render();
+    return finish(2);
+  }
+  return finish(analyze_gtype(gtype, options, engine, out));
+}
+
+CorpusReport drive_corpus(const std::vector<std::string>& files,
+                          const CorpusOptions& options) {
+  CorpusReport corpus;
+  corpus.files.resize(files.size());
+  const unsigned jobs = std::max(1u, options.jobs);
+  Engine engine(jobs);
+  if (engine.pool() == nullptr) {
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      corpus.files[i] = analyze_file(files[i], options, &engine);
+    }
+  } else {
+    // One claimable task per file; slots are indexed, so completion order
+    // never shows in the report. Compilation interns into the shared
+    // table concurrently (the interner is internally synchronized), and
+    // each file's detect passes may fan out further through the same
+    // engine — nested tasks land on the running worker's own deque.
+    TaskGroup group(*engine.pool());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      group.run([&, i] {
+        corpus.files[i] = analyze_file(files[i], options, &engine);
+      });
+    }
+    group.wait();
+  }
+  for (const FileReport& file : corpus.files) {
+    corpus.exit_code = std::max(corpus.exit_code, file.exit_code);
+  }
+  return corpus;
+}
+
+}  // namespace gtdl

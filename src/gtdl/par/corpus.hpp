@@ -1,0 +1,72 @@
+// Batched whole-corpus deadlock checking.
+//
+// drive_corpus() analyzes a list of input files — FutLang (.fut), MiniML
+// (.mml) or textual graph types (.gt / anything else) — concurrently over
+// ONE shared Engine and therefore one shared interner: structurally
+// identical subterms across files intern to the same node, so analyses of
+// later files reuse facts (and, within a normalize call, memo entries)
+// established while checking earlier ones.
+//
+// Scheduling: each file is a claimable task on the engine's pool (see
+// thread_pool.hpp); within a file, the detect layer additionally overlaps
+// its passes through the same engine. With a 1-thread engine the files
+// run strictly sequentially on the calling thread — the same code path,
+// task by task.
+//
+// Determinism: every file's report (rendered text, verdict, exit code) is
+// independent of the number of jobs — per-file analysis shares only
+// immutable interned state with its siblings, and output is assembled in
+// input order, never in completion order. The corpus-level exit code is
+// the MAXIMUM of the per-file codes (so one compile error dominates
+// deadlock reports, which dominate clean runs — the fdlc convention).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gtdl/par/engine.hpp"
+
+namespace gtdl {
+
+struct CorpusOptions {
+  // Total worker parallelism (calling thread included). 0 → 1.
+  unsigned jobs = 1;
+  // Forwarded to every file's analysis, as the identically named fdlc
+  // flags would be.
+  bool new_push = true;
+  unsigned max_iters = 2;
+  bool baseline = false;
+  unsigned unrolls = 2;
+  bool dump_gtype = false;
+};
+
+struct FileReport {
+  std::string path;
+  // fdlc convention: 0 = deadlock-free, 1 = possible deadlock reported,
+  // 2 = could not read/compile the file.
+  int exit_code = 2;
+  // The complete rendered per-file report, ready to print. Deterministic
+  // up to fresh-name spellings (which never appear in verdicts).
+  std::string text;
+};
+
+struct CorpusReport {
+  std::vector<FileReport> files;  // input order, one entry per input
+  int exit_code = 0;              // max over files; 0 for an empty corpus
+};
+
+// Analyzes every file with `options.jobs`-way parallelism. The Engine is
+// constructed internally; use the lower-level detect APIs directly to
+// share an engine across calls.
+[[nodiscard]] CorpusReport drive_corpus(const std::vector<std::string>& files,
+                                        const CorpusOptions& options = {});
+
+// Single-file front half shared with the fdlc driver: reads, compiles
+// (dispatching on extension) and analyzes one input through `engine`
+// (which may be null for the sequential path).
+[[nodiscard]] FileReport analyze_file(const std::string& path,
+                                      const CorpusOptions& options,
+                                      Engine* engine);
+
+}  // namespace gtdl

@@ -1,0 +1,452 @@
+#include "gtdl/par/engine.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "gtdl/gtype/intern.hpp"
+#include "gtdl/gtype/subst.hpp"
+#include "gtdl/par/thread_pool.hpp"
+#include "gtdl/support/overloaded.hpp"
+
+namespace gtdl {
+
+namespace {
+
+using MemoKey = std::pair<std::uint64_t, unsigned>;
+
+struct MemoKeyHash {
+  std::size_t operator()(const MemoKey& k) const noexcept {
+    return std::hash<std::uint64_t>{}(k.first) ^
+           (std::hash<unsigned>{}(k.second) * 0x9e3779b97f4a7c15ull);
+  }
+};
+
+// True iff Norm_n of the subterm is provably nonempty for every n >= 1:
+// with no free graph variables and no μ/Π/application below, every
+// normalization rule contributes at least one graph, and that property is
+// preserved by the ν rule's vertex substitution. Used to decide when the
+// rhs of a ⊕ may be forked speculatively — the sequential normalizer
+// skips the rhs entirely when the lhs normalizes to ∅, and a speculative
+// fork must not burn step budget on work the sequential path never does.
+bool provably_nonempty(const GTypeFacts* facts) {
+  return facts != nullptr && facts->free_gvars.empty() &&
+         facts->stats.mu_bindings == 0 && facts->stats.applications == 0 &&
+         facts->stats.pi_bindings == 0;
+}
+
+// Worth submitting to the pool: only subterms that unroll (μ or
+// application below) do enough work to pay for a task cell.
+bool worth_forking(const GTypeFacts* facts) {
+  return facts != nullptr && (facts->stats.mu_bindings > 0 ||
+                              facts->stats.applications > 0);
+}
+
+// The task-DAG evaluation of the Norm_n recursion. One instance per
+// normalize() call; shared between the calling thread and the pool
+// workers executing its forked subtasks, so every member is either
+// immutable after construction, atomic, or guarded (shards, task cells).
+class ParNormalizer {
+ public:
+  ParNormalizer(ThreadPool& pool, unsigned threads,
+                const NormalizeLimits& limits)
+      : pool_(pool),
+        limits_(limits),
+        use_memo_(limits.enable_memo &&
+                  GTypeInterner::instance().memoization_enabled()),
+        fork_budget_(static_cast<std::size_t>(threads) * 8) {}
+
+  NormalizeResult run(const GTypePtr& g, unsigned n) {
+    NormalizeResult result;
+    result.graphs = norm(g, n, 0);
+    result.truncated = truncated_.load(std::memory_order_relaxed);
+    result.depth_limited = depth_limited_.load(std::memory_order_relaxed);
+    result.steps = steps_.load(std::memory_order_relaxed);
+    return result;
+  }
+
+ private:
+  // A forked Norm subproblem. Executed exactly once: claimed either by a
+  // pool worker or by the joining thread (claim-back), so an unclaimed
+  // task never blocks its joiner. Joins block only on tasks some worker
+  // is actively running; dependencies strictly decrease the well-founded
+  // (fuel, term size) measure, so waits cannot cycle.
+  struct Task {
+    std::mutex mu;
+    std::condition_variable cv;
+    enum class State { kPending, kRunning, kDone } state = State::kPending;
+    GTypePtr g;
+    unsigned fuel = 0;
+    std::size_t depth = 0;
+    std::vector<GraphExprPtr> graphs;
+    std::exception_ptr error;
+  };
+  using TaskPtr = std::shared_ptr<Task>;
+
+  // One (id, fuel) subproblem in the sharded memo. The first thread to
+  // need the key computes it; concurrent askers block on the cell and
+  // then reuse the stored graphs through the thread-confined fresh-name
+  // refresh, exactly like the sequential memo's second occurrence.
+  struct MemoEntry {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    // Only complete results are reusable; a result computed while a limit
+    // tripped elsewhere is an arbitrary subset (cf. the sequential memo,
+    // which simply declines to store it).
+    bool valid = false;
+    std::vector<GraphExprPtr> graphs;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<MemoKey, std::shared_ptr<MemoEntry>, MemoKeyHash> map;
+  };
+  static constexpr std::size_t kShards = 32;
+
+  // RAII join: guarantees the forked task is executed-and-joined before
+  // the frame unwinds (a queued closure must never outlive `this`).
+  class ForkHandle {
+   public:
+    ForkHandle(ParNormalizer& owner, TaskPtr task)
+        : owner_(owner), task_(std::move(task)) {}
+    ~ForkHandle() {
+      if (task_ == nullptr) return;
+      try {
+        (void)owner_.join_task(task_);
+      } catch (...) {
+        // Unwinding already; the first exception wins.
+      }
+    }
+    ForkHandle(const ForkHandle&) = delete;
+    ForkHandle& operator=(const ForkHandle&) = delete;
+
+    std::vector<GraphExprPtr> join() {
+      TaskPtr task = std::move(task_);
+      return owner_.join_task(task);
+    }
+
+   private:
+    ParNormalizer& owner_;
+    TaskPtr task_;
+  };
+
+  std::optional<ForkHandle> maybe_fork(const GTypePtr& g, unsigned fuel,
+                                       std::size_t depth) {
+    if (pool_.size() == 0 || fuel == 0 || !worth_forking(g->facts)) {
+      return std::nullopt;
+    }
+    if (live_forks_.load(std::memory_order_relaxed) >= fork_budget_) {
+      return std::nullopt;
+    }
+    live_forks_.fetch_add(1, std::memory_order_relaxed);
+    auto task = std::make_shared<Task>();
+    task->g = g;
+    task->fuel = fuel;
+    task->depth = depth;
+    pool_.submit([this, task] {
+      {
+        std::lock_guard lock(task->mu);
+        // Stale closure: the joiner claimed the task back. `this` may be
+        // gone by now, but then no task of its run is still pending, so
+        // this branch is the only one taken.
+        if (task->state != Task::State::kPending) return;
+        task->state = Task::State::kRunning;
+      }
+      run_task(task);
+    });
+    return std::optional<ForkHandle>(std::in_place, *this, std::move(task));
+  }
+
+  void run_task(const TaskPtr& task) {
+    std::vector<GraphExprPtr> graphs;
+    std::exception_ptr error;
+    try {
+      graphs = norm(task->g, task->fuel, task->depth);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(task->mu);
+      task->graphs = std::move(graphs);
+      task->error = error;
+      task->state = Task::State::kDone;
+    }
+    task->cv.notify_all();
+  }
+
+  std::vector<GraphExprPtr> join_task(const TaskPtr& task) {
+    bool claimed = false;
+    {
+      std::lock_guard lock(task->mu);
+      if (task->state == Task::State::kPending) {
+        task->state = Task::State::kRunning;
+        claimed = true;
+      }
+    }
+    if (claimed) run_task(task);
+    std::unique_lock lock(task->mu);
+    task->cv.wait(lock, [&] { return task->state == Task::State::kDone; });
+    live_forks_.fetch_sub(1, std::memory_order_relaxed);
+    if (task->error) std::rethrow_exception(task->error);
+    return std::move(task->graphs);
+  }
+
+  std::vector<GraphExprPtr> norm(const GTypePtr& g, unsigned n,
+                                 std::size_t depth) {
+    std::vector<GraphExprPtr> out = norm_node(g, n, depth);
+    // Eager alpha-dedup at every node, as in the sequential normalizer.
+    if (limits_.dedup_alpha && out.size() > 1) dedup_alpha_graphs(out);
+    return out;
+  }
+
+  std::vector<GraphExprPtr> norm_node(const GTypePtr& g, unsigned n,
+                                      std::size_t depth) {
+    if (truncated_.load(std::memory_order_relaxed) || n == 0) return {};
+    if (depth > limits_.max_depth) {
+      depth_limited_.store(true, std::memory_order_relaxed);
+      truncated_.store(true, std::memory_order_relaxed);
+      return {};
+    }
+    if (steps_.fetch_add(1, std::memory_order_relaxed) + 1 >
+        limits_.max_steps) {
+      truncated_.store(true, std::memory_order_relaxed);
+      return {};
+    }
+    const GTypeFacts* facts = g->facts;
+    const bool memoizable =
+        use_memo_ && facts != nullptr &&
+        (std::holds_alternative<GTRec>(g->node) ||
+         std::holds_alternative<GTApp>(g->node) ||
+         std::holds_alternative<GTNew>(g->node));
+    std::shared_ptr<MemoEntry> owned;  // set iff this thread computes it
+    if (memoizable) {
+      const MemoKey key{facts->id, n};
+      Shard& shard = shards_[MemoKeyHash{}(key) % kShards];
+      std::shared_ptr<MemoEntry> entry;
+      bool owner = false;
+      {
+        std::lock_guard lock(shard.mu);
+        auto [it, inserted] = shard.map.try_emplace(key);
+        if (inserted) it->second = std::make_shared<MemoEntry>();
+        entry = it->second;
+        owner = inserted;
+      }
+      auto& interner = GTypeInterner::instance();
+      if (owner) {
+        interner.note_norm_memo(false);
+        owned = std::move(entry);
+      } else {
+        std::vector<GraphExprPtr> stored;
+        bool valid = false;
+        {
+          std::unique_lock lock(entry->mu);
+          entry->cv.wait(lock, [&] { return entry->done; });
+          valid = entry->valid;
+          if (valid) stored = entry->graphs;  // shares structure; refresh
+        }                                     // below builds fresh copies
+        interner.note_norm_memo(valid);
+        if (valid) return refresh_instantiations(*facts, stored);
+        // The stored result was truncated; recompute inline (the global
+        // truncated_ flag makes this unwind quickly).
+      }
+    }
+    std::vector<GraphExprPtr> result;
+    try {
+      result = eval(g, n, depth);
+    } catch (...) {
+      if (owned) publish(*owned, {}, false);
+      throw;
+    }
+    if (owned) {
+      const bool valid = !truncated_.load(std::memory_order_relaxed);
+      publish(*owned, result, valid);
+    }
+    return result;
+  }
+
+  static void publish(MemoEntry& entry, std::vector<GraphExprPtr> graphs,
+                      bool valid) {
+    {
+      std::lock_guard lock(entry.mu);
+      entry.graphs = std::move(graphs);
+      entry.valid = valid;
+      entry.done = true;
+    }
+    entry.cv.notify_all();
+  }
+
+  // The Fig. 3 rules, structured exactly like the sequential
+  // Normalizer::norm_node visitor; ∨, μ and (provably reachable) ⊕
+  // children are submitted as subtasks.
+  std::vector<GraphExprPtr> eval(const GTypePtr& g, unsigned n,
+                                 std::size_t depth) {
+    return std::visit(
+        Overloaded{
+            [&](const GTEmpty&) {
+              return std::vector<GraphExprPtr>{ge::singleton()};
+            },
+            [&](const GTSeq& node) {
+              // Fork the rhs only when the sequential path provably
+              // reaches it (it short-circuits when the lhs is ∅).
+              std::optional<ForkHandle> rhs_fork =
+                  [&]() -> std::optional<ForkHandle> {
+                if (!provably_nonempty(node.lhs->facts)) return std::nullopt;
+                return maybe_fork(node.rhs, n, depth + 1);
+              }();
+              const std::vector<GraphExprPtr> lhs =
+                  norm(node.lhs, n, depth + 1);
+              if (lhs.empty()) return std::vector<GraphExprPtr>{};
+              const std::vector<GraphExprPtr> rhs =
+                  rhs_fork ? rhs_fork->join() : norm(node.rhs, n, depth + 1);
+              std::vector<GraphExprPtr> out;
+              out.reserve(lhs.size() * rhs.size());
+              for (const GraphExprPtr& a : lhs) {
+                for (const GraphExprPtr& b : rhs) {
+                  if (out.size() >= limits_.max_graphs) {
+                    truncated_.store(true, std::memory_order_relaxed);
+                    return out;
+                  }
+                  out.push_back(ge::seq(a, b));
+                }
+              }
+              return out;
+            },
+            [&](const GTOr& node) {
+              // Both alternatives are always evaluated; fork freely.
+              std::optional<ForkHandle> rhs_fork =
+                  maybe_fork(node.rhs, n, depth + 1);
+              std::vector<GraphExprPtr> out = norm(node.lhs, n, depth + 1);
+              std::vector<GraphExprPtr> rhs =
+                  rhs_fork ? rhs_fork->join() : norm(node.rhs, n, depth + 1);
+              for (GraphExprPtr& g2 : rhs) {
+                if (out.size() >= limits_.max_graphs) {
+                  truncated_.store(true, std::memory_order_relaxed);
+                  break;
+                }
+                out.push_back(std::move(g2));
+              }
+              return out;
+            },
+            [&](const GTSpawn& node) {
+              std::vector<GraphExprPtr> bodies = norm(node.body, n, depth + 1);
+              std::vector<GraphExprPtr> out;
+              out.reserve(bodies.size());
+              for (GraphExprPtr& body : bodies) {
+                out.push_back(ge::spawn(std::move(body), node.vertex));
+              }
+              return out;
+            },
+            [&](const GTTouch& node) {
+              return std::vector<GraphExprPtr>{ge::touch(node.vertex)};
+            },
+            [&](const GTRec&) {
+              // Norm_n(μγ.G) = Norm_{n-1}(G[μγ.G/γ]) ∪ Norm_{n-1}(μγ.G).
+              // The two subproblems are independent; fork the
+              // not-unrolled one while unrolling here.
+              std::optional<ForkHandle> keep_fork =
+                  maybe_fork(g, n - 1, depth + 1);
+              std::vector<GraphExprPtr> out =
+                  norm(cached_unroll(g), n - 1, depth + 1);
+              std::vector<GraphExprPtr> keep =
+                  keep_fork ? keep_fork->join() : norm(g, n - 1, depth + 1);
+              for (GraphExprPtr& g2 : keep) {
+                if (out.size() >= limits_.max_graphs) {
+                  truncated_.store(true, std::memory_order_relaxed);
+                  break;
+                }
+                out.push_back(std::move(g2));
+              }
+              return out;
+            },
+            [&](const GTVar&) { return std::vector<GraphExprPtr>{}; },
+            [&](const GTNew& node) {
+              // Norm_n(νu.G) = Norm_n(G[u'/u]), u' fresh.
+              const Symbol fresh = Symbol::fresh(node.vertex.view());
+              const GTypePtr body = substitute_vertices(
+                  node.body, VertexSubst{{node.vertex, fresh}});
+              return norm(body, n, depth + 1);
+            },
+            [&](const GTPi&) { return std::vector<GraphExprPtr>{}; },
+            [&](const GTApp& node) {
+              GTypePtr fn = node.fn;
+              unsigned fuel = n;
+              while (!std::holds_alternative<GTPi>(fn->node)) {
+                if (!std::holds_alternative<GTRec>(fn->node) || fuel == 0) {
+                  return std::vector<GraphExprPtr>{};
+                }
+                fn = cached_unroll(fn);
+                --fuel;
+              }
+              const auto& pi = std::get<GTPi>(fn->node);
+              if (pi.spawn_params.size() != node.spawn_args.size() ||
+                  pi.touch_params.size() != node.touch_args.size()) {
+                return std::vector<GraphExprPtr>{};
+              }
+              VertexSubst subst;
+              for (std::size_t i = 0; i < pi.spawn_params.size(); ++i) {
+                subst.emplace(pi.spawn_params[i], node.spawn_args[i]);
+              }
+              for (std::size_t i = 0; i < pi.touch_params.size(); ++i) {
+                subst.emplace(pi.touch_params[i], node.touch_args[i]);
+              }
+              return norm(substitute_vertices(pi.body, subst), fuel,
+                          depth + 1);
+            },
+        },
+        g->node);
+  }
+
+  static GTypePtr cached_unroll(const GTypePtr& g) {
+    return GTypeInterner::instance().cached_unroll(g);
+  }
+
+  ThreadPool& pool_;
+  const NormalizeLimits limits_;
+  const bool use_memo_;
+  const std::size_t fork_budget_;  // soft cap on in-flight subtasks
+  std::atomic<std::size_t> live_forks_{0};
+  std::atomic<std::size_t> steps_{0};
+  std::atomic<bool> truncated_{false};
+  std::atomic<bool> depth_limited_{false};
+  Shard shards_[kShards];
+};
+
+}  // namespace
+
+struct Engine::Impl {
+  unsigned threads = 1;
+  std::unique_ptr<ThreadPool> pool;  // threads - 1 workers; null if 0
+};
+
+Engine::Engine(unsigned threads) : impl_(std::make_unique<Impl>()) {
+  impl_->threads = threads == 0 ? 1 : threads;
+  if (impl_->threads > 1) {
+    impl_->pool = std::make_unique<ThreadPool>(impl_->threads - 1);
+  }
+}
+
+Engine::~Engine() = default;
+
+unsigned Engine::threads() const noexcept { return impl_->threads; }
+
+ThreadPool* Engine::pool() noexcept { return impl_->pool.get(); }
+
+NormalizeResult Engine::normalize(const GTypePtr& g, unsigned depth,
+                                  const NormalizeLimits& limits) {
+  GTypeInterner::ScopedAnalysis active;
+  if (impl_->pool == nullptr) {
+    // The sequential code path, not a 1-thread re-implementation of it.
+    return gtdl::normalize(g, depth, limits);
+  }
+  ParNormalizer normalizer(*impl_->pool, impl_->threads, limits);
+  return normalizer.run(g, depth);
+}
+
+}  // namespace gtdl

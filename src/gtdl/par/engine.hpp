@@ -1,0 +1,71 @@
+// Parallel analysis engine: work-pooled Norm_n over the interned DAG.
+//
+// PR 1's hash-consed graph-type core made every node immutable with a
+// stable 64-bit id, which makes Norm_n subproblems at distinct
+// (node id, fuel) keys independent: they share no mutable state beyond
+// the process-wide interners (which are internally synchronized). The
+// Engine collects the payoff — it evaluates the normalization recursion
+// as a task DAG over a fixed-size work-stealing thread pool:
+//
+//   * a node's expensive children are submitted as claimable subtasks
+//     (thread_pool.hpp); the parent joins them by claim-back-or-block,
+//     which is deadlock-free because subproblem dependencies strictly
+//     decrease the well-founded lexicographic measure (fuel, term size);
+//   * results join through a SHARDED memo table keyed on (id, fuel):
+//     the first thread to need a key computes it, later threads block on
+//     that key's cell and then reuse the stored result;
+//   * the ν-bound fresh-name refresh applied on every memo reuse stays
+//     thread-confined exactly as in the sequential normalizer — the
+//     renaming map is local to the reusing thread, and Symbol::fresh is
+//     the only shared touch point (internally synchronized).
+//
+// Determinism: for workloads that complete within the limits, the engine
+// produces graphs pairwise alpha-equal to the sequential normalizer's, in
+// the same order (result assembly is order-preserving regardless of task
+// completion timing; only the fresh-name spellings differ). Workloads
+// that trip max_steps/max_graphs report truncation just like the
+// sequential path, but the surviving subset may differ with thread count
+// (the step counter is a global atomic, so the trip point depends on
+// interleaving).
+//
+// An Engine with threads() == 1 creates no pool and routes normalize()
+// through gtdl::normalize — the sequential code path, byte for byte.
+
+#pragma once
+
+#include <memory>
+
+#include "gtdl/gtype/gtype.hpp"
+#include "gtdl/gtype/normalize.hpp"
+
+namespace gtdl {
+
+class ThreadPool;
+
+class Engine {
+ public:
+  // `threads` is the total parallelism of one query: the calling thread
+  // plus threads-1 pool workers. 0 is normalized to 1.
+  explicit Engine(unsigned threads);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] unsigned threads() const noexcept;
+
+  // Norm_n(g) with the semantics of gtdl::normalize (same limits, same
+  // truncation reporting). threads() == 1 IS gtdl::normalize.
+  [[nodiscard]] NormalizeResult normalize(const GTypePtr& g, unsigned depth,
+                                          const NormalizeLimits& limits = {});
+
+  // The underlying pool, for file-level fan-out (corpus.hpp) and two-way
+  // forks inside detection queries. Null when threads() == 1.
+  [[nodiscard]] ThreadPool* pool() noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace gtdl

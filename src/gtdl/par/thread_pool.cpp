@@ -1,0 +1,155 @@
+#include "gtdl/par/thread_pool.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace gtdl {
+
+namespace {
+
+// Identity of the worker currently running on this thread, if any. A
+// plain pair instead of a map: a thread belongs to at most one pool.
+thread_local const ThreadPool* tl_pool = nullptr;
+thread_local unsigned tl_worker = 0;
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned workers) : workers_(workers) {
+  queues_.reserve(workers_);
+  for (unsigned i = 0; i < workers_; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(workers_);
+  for (unsigned i = 0; i < workers_; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(idle_mu_);
+    stop_ = true;
+  }
+  idle_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool ThreadPool::on_worker_thread() const noexcept { return tl_pool == this; }
+
+void ThreadPool::submit(std::function<void()> fn) {
+  if (tl_pool == this) {
+    std::lock_guard lock(queues_[tl_worker]->mu);
+    queues_[tl_worker]->tasks.push_back(std::move(fn));
+  } else {
+    std::lock_guard lock(inject_mu_);
+    injected_.push_back(std::move(fn));
+  }
+  idle_cv_.notify_one();
+}
+
+bool ThreadPool::try_pop(unsigned index, std::function<void()>& out) {
+  // Own deque, newest first: the task DAG unfolds depth-first locally.
+  {
+    WorkerQueue& own = *queues_[index];
+    std::lock_guard lock(own.mu);
+    if (!own.tasks.empty()) {
+      out = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  {
+    std::lock_guard lock(inject_mu_);
+    if (!injected_.empty()) {
+      out = std::move(injected_.front());
+      injected_.pop_front();
+      return true;
+    }
+  }
+  // Steal oldest-first from siblings: the shallowest (largest) subtrees.
+  for (unsigned step = 1; step < workers_; ++step) {
+    WorkerQueue& victim = *queues_[(index + step) % workers_];
+    std::lock_guard lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      out = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  tl_pool = this;
+  tl_worker = index;
+  std::function<void()> task;
+  for (;;) {
+    if (try_pop(index, task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock lock(idle_mu_);
+    if (stop_) return;
+    // Re-check under the idle lock is pointless (queues have their own
+    // locks); instead sleep briefly waking on every submit. A spurious
+    // wake rescans and goes back to sleep.
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(50));
+    if (stop_) return;
+  }
+}
+
+void TaskGroup::execute(const std::shared_ptr<Cell>& cell) {
+  std::function<void()> fn;
+  {
+    std::lock_guard lock(cell->mu);
+    if (cell->state != Cell::State::kPending) return;
+    cell->state = Cell::State::kRunning;
+    fn = std::move(cell->fn);
+  }
+  std::exception_ptr error;
+  try {
+    fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    std::lock_guard lock(cell->mu);
+    cell->state = Cell::State::kDone;
+    cell->error = error;
+  }
+  cell->cv.notify_all();
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  auto cell = std::make_shared<Cell>();
+  cell->fn = std::move(fn);
+  cells_.push_back(cell);
+  pool_.submit([cell] { execute(cell); });
+}
+
+void TaskGroup::wait() {
+  std::exception_ptr first_error;
+  // Newest first: the tasks least likely to have been picked up yet, so
+  // the joiner claims them back instead of blocking.
+  for (auto it = cells_.rbegin(); it != cells_.rend(); ++it) {
+    const std::shared_ptr<Cell>& cell = *it;
+    execute(cell);  // no-op unless still pending
+    std::unique_lock lock(cell->mu);
+    cell->cv.wait(lock, [&] { return cell->state == Cell::State::kDone; });
+    if (cell->error && !first_error) first_error = cell->error;
+  }
+  cells_.clear();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void TaskGroup::wait_nothrow() noexcept {
+  try {
+    wait();
+  } catch (...) {
+    // Destructor context: the exception was already captured by the first
+    // wait() if the caller wanted it.
+  }
+}
+
+}  // namespace gtdl

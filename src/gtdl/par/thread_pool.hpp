@@ -1,0 +1,120 @@
+// Fixed-size work-stealing thread pool.
+//
+// The pool is the substrate of the parallel analysis engine (engine.hpp):
+// a fixed set of workers, each owning a deque of tasks. Work submitted
+// from inside a worker goes to that worker's own deque (LIFO end — the
+// depth-first order the normalizer's task DAG wants for cache locality);
+// work submitted from outside goes to a shared injection queue. An idle
+// worker drains its own deque first, then the injection queue, then
+// steals from the FIFO end of a sibling's deque — the classic
+// help-locally/steal-breadth-first discipline.
+//
+// Blocking-join protocol. Analysis tasks form DAGs where a parent needs
+// its children's results. To make joins deadlock-free without bounding
+// stack growth by "helping" (running unrelated stolen tasks on top of an
+// arbitrarily deep frame), joins follow the claim-back rule implemented
+// by TaskGroup and the engine's task cells:
+//
+//   * every task is executed exactly once, either by a pool worker or
+//     INLINE by the thread that joins it;
+//   * a joiner first tries to claim the task (atomically Pending ->
+//     Running); on success it runs the task on its own stack — an
+//     unclaimed task can therefore never block anyone;
+//   * if the task was already claimed, the joiner blocks on the task's
+//     condition variable. The claimant is a live thread, and task
+//     dependencies form a DAG (the engine's subproblems strictly decrease
+//     a well-founded (fuel, size) measure), so waits cannot cycle.
+//
+// All queues are mutex-guarded; there is no lock-free cleverness to
+// verify under TSan beyond the standard library's.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gtdl {
+
+class ThreadPool {
+ public:
+  // Spawns `workers` threads (0 is allowed: submit() then queues tasks
+  // that only ever run when a joiner claims them back).
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();  // drains nothing: outstanding tasks must be joined first
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept { return workers_; }
+
+  // Enqueues `fn` for execution by some worker. Called from a worker
+  // thread, the task lands in that worker's own deque; otherwise in the
+  // shared injection queue.
+  void submit(std::function<void()> fn);
+
+  // True iff the calling thread is one of this pool's workers.
+  [[nodiscard]] bool on_worker_thread() const noexcept;
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(unsigned index);
+  bool try_pop(unsigned index, std::function<void()>& out);
+
+  unsigned workers_ = 0;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+
+  std::mutex inject_mu_;
+  std::deque<std::function<void()>> injected_;
+
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  bool stop_ = false;
+};
+
+// A batch of independent tasks joined as a unit: TaskGroup::wait() claims
+// still-pending tasks back and runs them inline, blocks on tasks a worker
+// is running, and rethrows the first captured exception. Used for
+// file-level corpus fan-out and two-way forks inside one query.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  ~TaskGroup() { wait_nothrow(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  // Submits `fn` to the pool as a claimable task.
+  void run(std::function<void()> fn);
+
+  // Blocks until every task ran; rethrows the first task exception.
+  void wait();
+
+ private:
+  struct Cell {
+    std::mutex mu;
+    std::condition_variable cv;
+    enum class State { kPending, kRunning, kDone } state = State::kPending;
+    std::function<void()> fn;
+    std::exception_ptr error;
+  };
+
+  static void execute(const std::shared_ptr<Cell>& cell);
+  void wait_nothrow() noexcept;
+
+  ThreadPool& pool_;
+  std::vector<std::shared_ptr<Cell>> cells_;
+};
+
+}  // namespace gtdl

@@ -155,7 +155,10 @@ void ref_stats(const GType& g, GTypeStats& out) {
                    ++out.nu_bindings;
                    ref_stats(*node.body, out);
                  },
-                 [&](const GTPi& node) { ref_stats(*node.body, out); },
+                 [&](const GTPi& node) {
+                   ++out.pi_bindings;
+                   ref_stats(*node.body, out);
+                 },
                  [&](const GTApp& node) {
                    ++out.applications;
                    ref_stats(*node.fn, out);
@@ -312,6 +315,7 @@ TEST(InternDifferential, CachedFactsMatchReferenceWalkers) {
     EXPECT_EQ(cached.mu_bindings, reference.mu_bindings);
     EXPECT_EQ(cached.applications, reference.applications);
     EXPECT_EQ(cached.nu_bindings, reference.nu_bindings);
+    EXPECT_EQ(cached.pi_bindings, reference.pi_bindings);
     EXPECT_EQ(cached.spawns, reference.spawns);
     EXPECT_EQ(cached.touches, reference.touches);
   }

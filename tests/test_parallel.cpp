@@ -1,0 +1,318 @@
+// Differential tests for the parallel analysis engine (par/engine.hpp):
+// the engine's contract is that, for workloads completing within the
+// limits, its output is pairwise alpha-equal to the sequential
+// normalizer's IN THE SAME ORDER, with the same truncation flags and step
+// count — regardless of thread count. Fresh-name spellings are the only
+// permitted difference, so comparisons go through graph_alpha_key (which
+// erases them).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <regex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gtdl/detect/counterexample.hpp"
+#include "gtdl/detect/deadlock.hpp"
+#include "gtdl/gtype/gtype.hpp"
+#include "gtdl/gtype/intern.hpp"
+#include "gtdl/gtype/normalize.hpp"
+#include "gtdl/par/corpus.hpp"
+#include "gtdl/par/engine.hpp"
+#include "gtdl/par/thread_pool.hpp"
+
+namespace gtdl {
+namespace {
+
+std::vector<std::string> alpha_keys(const NormalizeResult& result) {
+  std::vector<std::string> keys;
+  keys.reserve(result.graphs.size());
+  for (const GraphExprPtr& g : result.graphs) {
+    keys.push_back(graph_alpha_key(*g));
+  }
+  return keys;
+}
+
+// Sequential vs engine(threads), element by element.
+void expect_differential_equal(const GTypePtr& g, unsigned fuel,
+                               unsigned threads,
+                               const NormalizeLimits& limits = {}) {
+  const NormalizeResult seq = normalize(g, fuel, limits);
+  Engine engine(threads);
+  const NormalizeResult par = engine.normalize(g, fuel, limits);
+  ASSERT_FALSE(seq.truncated) << "test workload must fit the limits";
+  EXPECT_FALSE(par.truncated);
+  EXPECT_EQ(par.depth_limited, seq.depth_limited);
+  EXPECT_EQ(par.graphs.size(), seq.graphs.size());
+  // Untruncated runs do identical work: every node visit happens in both
+  // schedules, memo owners/waiters pair up with sequential misses/hits.
+  EXPECT_EQ(par.steps, seq.steps);
+  EXPECT_EQ(alpha_keys(par), alpha_keys(seq));
+}
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 100; ++i) {
+    group.run([&ran] { ran.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ZeroWorkersRunEverythingAtJoin) {
+  // With no workers, tasks stay pending until the joiner claims them.
+  ThreadPool pool(0);
+  std::atomic<int> ran{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 10; ++i) {
+    group.run([&ran] { ran.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.run([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+}
+
+TEST(Engine, OneThreadIsTheSequentialPath) {
+  Engine engine(1);
+  EXPECT_EQ(engine.threads(), 1u);
+  EXPECT_EQ(engine.pool(), nullptr);
+  for (unsigned m = 1; m <= 3; ++m) {
+    const GTypePtr g = counterexample_gtype(m);
+    const unsigned fuel = counterexample_cycle_depth(m) + 1;
+    const NormalizeResult seq = normalize(g, fuel);
+    const NormalizeResult par = engine.normalize(g, fuel);
+    EXPECT_EQ(par.graphs.size(), seq.graphs.size());
+    EXPECT_EQ(par.steps, seq.steps);
+    EXPECT_EQ(par.truncated, seq.truncated);
+    EXPECT_EQ(alpha_keys(par), alpha_keys(seq));
+  }
+}
+
+TEST(Engine, ZeroThreadsNormalizedToOne) {
+  Engine engine(0);
+  EXPECT_EQ(engine.threads(), 1u);
+  EXPECT_EQ(engine.pool(), nullptr);
+}
+
+TEST(Engine, DifferentialOnCounterexampleFamily) {
+  for (unsigned m = 1; m <= 3; ++m) {
+    const GTypePtr g = counterexample_gtype(m);
+    for (unsigned fuel = counterexample_cycle_depth(m);
+         fuel <= counterexample_cycle_depth(m) + 2; ++fuel) {
+      for (unsigned threads : {2u, 4u, 8u}) {
+        SCOPED_TRACE("m=" + std::to_string(m) +
+                     " fuel=" + std::to_string(fuel) +
+                     " threads=" + std::to_string(threads));
+        expect_differential_equal(g, fuel, threads);
+      }
+    }
+  }
+}
+
+TEST(Engine, DifferentialWithoutMemoization) {
+  // enable_memo=false exercises the no-memo-table path (every subproblem
+  // computed where encountered, forks still active).
+  NormalizeLimits limits;
+  limits.enable_memo = false;
+  const GTypePtr g = counterexample_gtype(2);
+  expect_differential_equal(g, counterexample_cycle_depth(2) + 1, 4, limits);
+}
+
+TEST(Engine, DifferentialWithoutAlphaDedup) {
+  NormalizeLimits limits;
+  limits.dedup_alpha = false;
+  const GTypePtr g = counterexample_gtype(1);
+  expect_differential_equal(g, 4, 4, limits);
+}
+
+// A deterministic pseudo-random closed graph type: μ variables are only
+// referenced under their binder, vertices come from a small pool (free
+// vertices are legal in normalize).
+class TypeFuzzer {
+ public:
+  explicit TypeFuzzer(std::uint32_t seed) : rng_(seed) {}
+
+  GTypePtr make(unsigned depth) { return build(depth); }
+
+ private:
+  GTypePtr build(unsigned depth) {
+    if (depth == 0) return leaf();
+    switch (rng_() % 8) {
+      case 0:
+        return gt::seq(build(depth - 1), build(depth - 1));
+      case 1:
+        return gt::alt(build(depth - 1), build(depth - 1));
+      case 2:
+        return gt::spawn(build(depth - 1), vertex());
+      case 3: {
+        const Symbol v = Symbol::intern("g" + std::to_string(rng_() % 100));
+        mu_vars_.push_back(v);
+        GTypePtr body = build(depth - 1);
+        mu_vars_.pop_back();
+        // Guarantee the variable occurs, so the μ actually recurses.
+        return gt::rec(v, gt::alt(body, gt::seq(gt::var(v), gt::empty())));
+      }
+      case 4:
+        return gt::nu(vertex(), build(depth - 1));
+      case 5:
+        if (!mu_vars_.empty()) {
+          return gt::var(mu_vars_[rng_() % mu_vars_.size()]);
+        }
+        return leaf();
+      case 6:
+        return gt::seq(gt::touch(vertex()), build(depth - 1));
+      default:
+        return leaf();
+    }
+  }
+
+  GTypePtr leaf() {
+    switch (rng_() % 3) {
+      case 0:
+        return gt::empty();
+      case 1:
+        return gt::touch(vertex());
+      default:
+        return gt::spawn(gt::empty(), vertex());
+    }
+  }
+
+  Symbol vertex() {
+    return Symbol::intern("v" + std::to_string(rng_() % 6));
+  }
+
+  std::mt19937 rng_;
+  std::vector<Symbol> mu_vars_;
+};
+
+TEST(Engine, DifferentialOnFuzzedTypes) {
+  for (std::uint32_t seed = 1; seed <= 24; ++seed) {
+    TypeFuzzer fuzzer(seed);
+    const GTypePtr g = fuzzer.make(5);
+    // μ-free gvar occurrences the fuzzer closed over binders; the type
+    // may still be open in vertices, which normalize allows.
+    ASSERT_TRUE(g->facts != nullptr);
+    if (!g->facts->free_gvars.empty()) continue;
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " type=" + to_string(g));
+    NormalizeLimits limits;
+    limits.max_graphs = 1u << 14;
+    const NormalizeResult probe = normalize(g, 3, limits);
+    if (probe.truncated) continue;  // differential contract needs completion
+    expect_differential_equal(g, 3, 4, limits);
+  }
+}
+
+TEST(Engine, ParallelDetectMatchesSequential) {
+  Engine engine(4);
+  for (unsigned m = 1; m <= 3; ++m) {
+    const GTypePtr g = counterexample_gtype(m);
+    DetectOptions seq_options;
+    const DeadlockVerdict seq = check_deadlock_freedom(g, seq_options);
+    DetectOptions par_options;
+    par_options.engine = &engine;
+    const DeadlockVerdict par = check_deadlock_freedom(g, par_options);
+    EXPECT_EQ(par.deadlock_free, seq.deadlock_free);
+    EXPECT_EQ(par.diags.render(), seq.diags.render());
+  }
+}
+
+// --- Corpus determinism -----------------------------------------------------
+
+// Fresh-name suffixes ("u$17") depend on the global fresh counter, which
+// advances across runs in one process; strip them before comparing.
+std::string strip_fresh_suffixes(const std::string& text) {
+  static const std::regex suffix("\\$[0-9]+");
+  return std::regex_replace(text, suffix, "$");
+}
+
+class CorpusDeterminism : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    write("corpus_ok.gt", "new u. (1/u ; ~u)");
+    write("corpus_dl.gt", "new u. (~u ; 1/u)");
+    write("corpus_bad.gt", "new u. (1/u ; ~");
+    write("corpus_ce.fut", counterexample_futlang(1));
+    files_ = {dir_ + "/corpus_ok.gt", dir_ + "/corpus_dl.gt",
+              dir_ + "/corpus_bad.gt", dir_ + "/corpus_ce.fut"};
+  }
+
+  void TearDown() override {
+    for (const std::string& f : files_) std::remove(f.c_str());
+  }
+
+  void write(const std::string& name, const std::string& contents) {
+    std::ofstream out(dir_ + "/" + name);
+    ASSERT_TRUE(out.is_open());
+    out << contents;
+  }
+
+  std::string dir_ = ::testing::TempDir();
+  std::vector<std::string> files_;
+};
+
+TEST_F(CorpusDeterminism, SameDiagnosticsRegardlessOfJobs) {
+  CorpusOptions base;
+  base.baseline = true;
+  CorpusOptions one = base;
+  one.jobs = 1;
+  CorpusOptions four = base;
+  four.jobs = 4;
+  const CorpusReport seq = drive_corpus(files_, one);
+  const CorpusReport par = drive_corpus(files_, four);
+  ASSERT_EQ(seq.files.size(), files_.size());
+  ASSERT_EQ(par.files.size(), files_.size());
+  EXPECT_EQ(par.exit_code, seq.exit_code);
+  EXPECT_EQ(seq.exit_code, 2);  // the unparsable file dominates
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    SCOPED_TRACE(files_[i]);
+    EXPECT_EQ(par.files[i].path, seq.files[i].path);
+    EXPECT_EQ(par.files[i].exit_code, seq.files[i].exit_code);
+    EXPECT_EQ(strip_fresh_suffixes(par.files[i].text),
+              strip_fresh_suffixes(seq.files[i].text));
+  }
+}
+
+TEST_F(CorpusDeterminism, RepeatedParallelRunsAgree) {
+  CorpusOptions options;
+  options.jobs = 4;
+  const CorpusReport a = drive_corpus(files_, options);
+  const CorpusReport b = drive_corpus(files_, options);
+  ASSERT_EQ(a.files.size(), b.files.size());
+  for (std::size_t i = 0; i < a.files.size(); ++i) {
+    EXPECT_EQ(a.files[i].exit_code, b.files[i].exit_code);
+    EXPECT_EQ(strip_fresh_suffixes(a.files[i].text),
+              strip_fresh_suffixes(b.files[i].text));
+  }
+}
+
+// --- set_memoization guard (intern.hpp contract) ----------------------------
+
+TEST(ScopedAnalysis, SetMemoizationThrowsWhileAnalysisActive) {
+  auto& interner = GTypeInterner::instance();
+  const bool before = interner.memoization_enabled();
+  {
+    GTypeInterner::ScopedAnalysis guard;
+    EXPECT_GE(interner.active_analyses(), 1u);
+    EXPECT_THROW((void)interner.set_memoization(!before), std::logic_error);
+    // The failed toggle must not have changed the flag.
+    EXPECT_EQ(interner.memoization_enabled(), before);
+  }
+  // Guard released: toggling works again.
+  EXPECT_EQ(interner.set_memoization(!before), before);
+  EXPECT_EQ(interner.set_memoization(before), !before);
+}
+
+}  // namespace
+}  // namespace gtdl
