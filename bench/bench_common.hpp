@@ -20,6 +20,7 @@
 #endif
 
 #include "gtdl/frontend/driver.hpp"
+#include "gtdl/obs/metrics.hpp"
 
 namespace gtdl::bench {
 
@@ -59,6 +60,19 @@ inline void write_json_env(std::FILE* json) {
                "\"build_type\": \"%s\"}",
                env.hostname.c_str(), env.hardware_threads,
                env.build_type.c_str());
+}
+
+// Writes the process-wide metrics registry as a JSON object member (no
+// trailing comma):
+//   "metrics": {"detect.checks": 12, ...}
+// Counters only populate while stats collection is on, so benches call
+// obs::set_stats_enabled(true) before the workload they want described.
+// The block records the LAST workload state at write time — reset with
+// MetricsRegistry::reset() between phases if that matters.
+inline void write_json_metrics(std::FILE* json) {
+  const std::string body =
+      obs::MetricsRegistry::instance().render_json("  ");
+  std::fprintf(json, "  \"metrics\": %s", body.c_str());
 }
 
 inline std::string programs_dir() {

@@ -151,6 +151,9 @@ void print_interner_stats(std::FILE* json) {
 }  // namespace
 
 int main() {
+  // Populate the process-wide registry so the JSON gains a "metrics"
+  // block describing the instrumented workloads.
+  gtdl::obs::set_stats_enabled(true);
   std::vector<Row> rows;
   std::printf("%-44s %13s %13s %9s\n", "workload", "before", "after",
               "speedup");
@@ -251,7 +254,9 @@ int main() {
   gtdl::bench::write_json_env(json);
   std::fprintf(json, ",\n");
   print_interner_stats(json);
-  std::fprintf(json, "}\n");
+  std::fprintf(json, ",\n");
+  gtdl::bench::write_json_metrics(json);
+  std::fprintf(json, "\n}\n");
   std::fclose(json);
   std::printf("\nwrote bench_intern.json\n");
   return 0;

@@ -89,6 +89,9 @@ Curve sweep(std::string name, Fn&& fn) {
 }  // namespace
 
 int main() {
+  // Populate the process-wide registry so the JSON gains a "metrics"
+  // block (engine fork decisions, pool steals, detect counters).
+  obs::set_stats_enabled(true);
   const bench::BenchEnv env = bench::bench_env();
   std::printf("host %s, %u hardware threads, %s build\n", env.hostname.c_str(),
               env.hardware_threads, env.build_type.c_str());
@@ -171,6 +174,8 @@ int main() {
   }
   std::fprintf(json, "  ],\n");
   bench::write_json_env(json);
+  std::fprintf(json, ",\n");
+  bench::write_json_metrics(json);
   std::fprintf(json, "\n}\n");
   std::fclose(json);
   std::printf("\nwrote bench_parallel.json\n");

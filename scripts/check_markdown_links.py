@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Fail CI when an intra-repo markdown link points at a missing target.
+
+Checks every ``[text](target)`` and ``[text]: target`` reference in the
+repo's markdown files:
+
+  * relative file links must resolve to an existing file or directory
+    (relative to the file containing the link);
+  * fragment-only links (``#section``) must match a heading in the same
+    file; ``file.md#section`` must match a heading in the target file;
+  * external links (http/https/mailto) are NOT fetched — this gate is
+    about keeping the repo's own cross-references honest, not about the
+    health of the internet.
+
+Usage: scripts/check_markdown_links.py [root]
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+IMAGE_RE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)\)")
+REFDEF_RE = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+SKIP_DIRS = {".git", "build", "node_modules", ".claude"}
+
+
+def heading_anchor(text):
+    """GitHub's anchor algorithm, close enough for our headings."""
+    text = re.sub(r"[`*_]", "", text.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        try:
+            with open(path, encoding="utf-8") as f:
+                body = CODE_FENCE_RE.sub("", f.read())
+        except OSError:
+            cache[path] = set()
+        else:
+            cache[path] = {heading_anchor(m) for m in HEADING_RE.findall(body)}
+    return cache[path]
+
+
+def check_file(md_path, root):
+    errors = []
+    with open(md_path, encoding="utf-8") as f:
+        raw = f.read()
+    body = CODE_FENCE_RE.sub("", raw)
+    targets = (
+        LINK_RE.findall(body) + IMAGE_RE.findall(body) + REFDEF_RE.findall(body)
+    )
+    base = os.path.dirname(md_path)
+    rel = os.path.relpath(md_path, root)
+    for target in targets:
+        if target.startswith(EXTERNAL_PREFIXES) or target.startswith("<"):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            resolved = os.path.normpath(os.path.join(base, path_part))
+            if not os.path.exists(resolved):
+                errors.append(f"{rel}: broken link '{target}' "
+                              f"(no such file: {path_part})")
+                continue
+            anchor_file = resolved
+        else:
+            anchor_file = md_path
+        if fragment and anchor_file.endswith(".md"):
+            if heading_anchor(fragment) not in anchors_of(anchor_file):
+                errors.append(f"{rel}: broken anchor '{target}' "
+                              f"(no heading #{fragment})")
+    return errors
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    all_errors = []
+    count = 0
+    for md_path in sorted(markdown_files(root)):
+        count += 1
+        all_errors.extend(check_file(md_path, root))
+    for error in all_errors:
+        print(error, file=sys.stderr)
+    print(f"checked {count} markdown files: "
+          f"{len(all_errors)} broken intra-repo links")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,9 +12,11 @@
 //                                     input order and the exit code is
 //                                     the worst per-file code
 //
-// Options:
-//   --jobs N            analysis parallelism (default 1); N > 1 or more
-//                       than one input file selects corpus mode
+// Options (the full reference with examples lives in README "CLI
+// reference" and docs/OBSERVABILITY.md):
+//   --jobs N            analysis parallelism (default 1). With one input
+//                       the parallel engine runs inside its analysis;
+//                       with several inputs it fans out across files
 //   --dump-gtype        print the inferred (and new-pushed) graph types
 //   --no-new-push       disable the §5 "new pushing" transformation
 //   --max-iters N       Mycroft iteration cap for inference (default 2,
@@ -26,12 +28,19 @@
 //   --rand a,b,c        rand() script for --run
 //   --seed N            rand() fallback seed for --run
 //   --dot FILE          write the executed dependency graph as Graphviz
-//   --trace             print the executed trace
+//   --print-trace       print the executed trace (was --trace before the
+//                       observability layer claimed that name)
+//   --stats             end-of-run metrics summary on stderr
+//   --stats=json        ... as JSON on stderr
+//   --stats=json:FILE   ... as JSON into FILE
+//   --trace FILE        write a Chrome-trace/Perfetto JSON of the run
 //
 // Exit code: 0 = analyzed deadlock-free, 1 = possible deadlock reported,
 // 2 = usage/compile error.
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -45,13 +54,18 @@
 #include "gtdl/frontend/driver.hpp"
 #include "gtdl/frontend/interp.hpp"
 #include "gtdl/mml/driver.hpp"
+#include "gtdl/obs/metrics.hpp"
+#include "gtdl/obs/trace.hpp"
 #include "gtdl/par/corpus.hpp"
+#include "gtdl/par/engine.hpp"
 #include "gtdl/graph/graph.hpp"
 #include "gtdl/gtype/parse.hpp"
 #include "gtdl/gtype/wellformed.hpp"
 #include "gtdl/tj/join_policy.hpp"
 
 namespace {
+
+enum class StatsMode { kOff, kText, kJson };
 
 struct CliOptions {
   std::vector<std::string> program_files;
@@ -68,6 +82,9 @@ struct CliOptions {
   std::uint64_t seed = 1;
   std::string dot_file;
   bool print_trace = false;
+  StatsMode stats = StatsMode::kOff;
+  std::string stats_file;  // empty = stderr
+  std::string trace_file;  // empty = tracing off
 };
 
 void usage() {
@@ -77,7 +94,48 @@ void usage() {
       "       fdlc --gtype-file <file> [options]\n"
       "options: --jobs N --dump-gtype --no-new-push --max-iters N\n"
       "         --baseline --unrolls N --run --rand a,b,c --seed N\n"
-      "         --dot FILE --trace\n";
+      "         --dot FILE --print-trace --stats[=json[:FILE]]\n"
+      "         --trace FILE\n";
+}
+
+// Strict numeric parsing: std::stoul would abort fdlc with an uncaught
+// exception on `--jobs foo` and silently accept `--jobs 8x`.
+bool parse_u64(const std::string& flag, const char* v, std::uint64_t& out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long x = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE ||
+      std::strchr(v, '-') != nullptr) {
+    std::cerr << "fdlc: invalid number '" << v << "' for " << flag << "\n";
+    return false;
+  }
+  out = x;
+  return true;
+}
+
+bool parse_u32(const std::string& flag, const char* v, unsigned& out) {
+  std::uint64_t x = 0;
+  if (!parse_u64(flag, v, x) || x > 0xffffffffull) {
+    if (x > 0xffffffffull) {
+      std::cerr << "fdlc: value '" << v << "' for " << flag
+                << " is out of range\n";
+    }
+    return false;
+  }
+  out = static_cast<unsigned>(x);
+  return true;
+}
+
+bool parse_i64(const std::string& flag, const char* v, std::int64_t& out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long x = std::strtoll(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE) {
+    std::cerr << "fdlc: invalid number '" << v << "' for " << flag << "\n";
+    return false;
+  }
+  out = x;
+  return true;
 }
 
 std::optional<CliOptions> parse_args(int argc, char** argv) {
@@ -99,32 +157,52 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       opts.baseline = true;
     } else if (arg == "--run") {
       opts.run = true;
-    } else if (arg == "--trace") {
+    } else if (arg == "--print-trace") {
       opts.print_trace = true;
-    } else if (arg == "--jobs") {
+    } else if (arg == "--stats") {
+      opts.stats = StatsMode::kText;
+    } else if (arg.rfind("--stats=", 0) == 0) {
+      const std::string value = arg.substr(8);
+      if (value == "json") {
+        opts.stats = StatsMode::kJson;
+      } else if (value.rfind("json:", 0) == 0 && value.size() > 5) {
+        opts.stats = StatsMode::kJson;
+        opts.stats_file = value.substr(5);
+      } else {
+        std::cerr << "fdlc: bad --stats format '" << value
+                  << "' (expected json or json:FILE)\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--trace") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
-      opts.jobs = static_cast<unsigned>(std::stoul(v));
+      opts.trace_file = v;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr || !parse_u32(arg, v, opts.jobs)) return std::nullopt;
       if (opts.jobs == 0) opts.jobs = 1;
     } else if (arg == "--max-iters") {
       const char* v = next();
-      if (v == nullptr) return std::nullopt;
-      opts.max_iters = static_cast<unsigned>(std::stoul(v));
+      if (v == nullptr || !parse_u32(arg, v, opts.max_iters)) {
+        return std::nullopt;
+      }
     } else if (arg == "--unrolls") {
       const char* v = next();
-      if (v == nullptr) return std::nullopt;
-      opts.unrolls = static_cast<unsigned>(std::stoul(v));
+      if (v == nullptr || !parse_u32(arg, v, opts.unrolls)) {
+        return std::nullopt;
+      }
     } else if (arg == "--seed") {
       const char* v = next();
-      if (v == nullptr) return std::nullopt;
-      opts.seed = std::stoull(v);
+      if (v == nullptr || !parse_u64(arg, v, opts.seed)) return std::nullopt;
     } else if (arg == "--rand") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
       std::stringstream ss(v);
       std::string item;
       while (std::getline(ss, item, ',')) {
-        opts.rand_script.push_back(std::stoll(item));
+        std::int64_t x = 0;
+        if (!parse_i64(arg, item.c_str(), x)) return std::nullopt;
+        opts.rand_script.push_back(x);
       }
     } else if (arg == "--dot") {
       const char* v = next();
@@ -152,8 +230,7 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     usage();
     return std::nullopt;
   }
-  if (opts.run &&
-      (opts.program_files.size() != 1 || opts.jobs > 1)) {
+  if (opts.run && opts.program_files.size() != 1) {
     std::cerr << "fdlc: --run requires exactly one FutLang program (no "
                  "corpus mode)\n";
     return std::nullopt;
@@ -172,7 +249,8 @@ std::optional<std::string> read_file(const std::string& path) {
   return out.str();
 }
 
-int analyze_gtype(const gtdl::GTypePtr& gtype, const CliOptions& opts) {
+int analyze_gtype(const gtdl::GTypePtr& gtype, const CliOptions& opts,
+                  gtdl::Engine* engine) {
   using namespace gtdl;
   if (opts.dump_gtype) {
     std::cout << "graph type: " << to_string(gtype) << "\n";
@@ -186,6 +264,7 @@ int analyze_gtype(const gtdl::GTypePtr& gtype, const CliOptions& opts) {
 
   DetectOptions detect;
   detect.new_pushing = opts.new_push;
+  detect.engine = engine;
   const DeadlockVerdict verdict = check_deadlock_freedom(gtype, detect);
   if (opts.dump_gtype && opts.new_push) {
     std::cout << "after new pushing: " << to_string(verdict.analyzed)
@@ -201,6 +280,7 @@ int analyze_gtype(const gtdl::GTypePtr& gtype, const CliOptions& opts) {
   if (opts.baseline) {
     GmlBaselineOptions baseline_options;
     baseline_options.unrolls_per_binding = opts.unrolls;
+    baseline_options.engine = engine;
     const GmlBaselineReport report =
         gml_baseline_check(gtype, baseline_options);
     std::cout << "gml baseline (" << report.unrolls_per_binding
@@ -219,6 +299,7 @@ int analyze_gtype(const gtdl::GTypePtr& gtype, const CliOptions& opts) {
 
 int run_program(const gtdl::Program& program, const CliOptions& opts) {
   using namespace gtdl;
+  gtdl::obs::Span span("cli", "run_program");
   InterpOptions interp_options;
   interp_options.rand_script = opts.rand_script;
   interp_options.seed = opts.seed;
@@ -256,18 +337,16 @@ int run_program(const gtdl::Program& program, const CliOptions& opts) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run_cli(const CliOptions& opts) {
   using namespace gtdl;
-  const auto opts = parse_args(argc, argv);
-  if (!opts) return 2;
 
-  // Direct graph-type input (the paper's hand-coded-AST path).
-  if (!opts->gtype_text.empty() || !opts->gtype_file.empty()) {
-    std::string text = opts->gtype_text;
-    if (!opts->gtype_file.empty()) {
-      auto contents = read_file(opts->gtype_file);
+  // Direct graph-type input (the paper's hand-coded-AST path). An Engine
+  // carries --jobs parallelism INTO the single analysis (speculative
+  // WF/DF overlap, parallel baseline unrolling).
+  if (!opts.gtype_text.empty() || !opts.gtype_file.empty()) {
+    std::string text = opts.gtype_text;
+    if (!opts.gtype_file.empty()) {
+      auto contents = read_file(opts.gtype_file);
       if (!contents) return 2;
       text = *contents;
     }
@@ -277,42 +356,44 @@ int main(int argc, char** argv) {
       std::cerr << "fdlc: graph type parse error\n" << diags.render();
       return 2;
     }
-    return analyze_gtype(gtype, *opts);
+    Engine engine(opts.jobs);
+    return analyze_gtype(gtype, opts, &engine);
   }
 
-  // Corpus mode: several files and/or --jobs. Files are analyzed over
-  // one shared interner with jobs-way parallelism; reports print in
-  // input order regardless of which finished first.
-  if (opts->program_files.size() > 1 || opts->jobs > 1) {
+  // Corpus mode: several files. They are analyzed over one shared
+  // interner with jobs-way parallelism; reports print in input order
+  // regardless of which finished first, and files that failed to
+  // analyze at all (exit >= 2) are additionally flagged on stderr.
+  if (opts.program_files.size() > 1) {
     CorpusOptions corpus_options;
-    corpus_options.jobs = opts->jobs;
-    corpus_options.new_push = opts->new_push;
-    corpus_options.max_iters = opts->max_iters;
-    corpus_options.baseline = opts->baseline;
-    corpus_options.unrolls = opts->unrolls;
-    corpus_options.dump_gtype = opts->dump_gtype;
+    corpus_options.jobs = opts.jobs;
+    corpus_options.new_push = opts.new_push;
+    corpus_options.max_iters = opts.max_iters;
+    corpus_options.baseline = opts.baseline;
+    corpus_options.unrolls = opts.unrolls;
+    corpus_options.dump_gtype = opts.dump_gtype;
     const CorpusReport corpus =
-        drive_corpus(opts->program_files, corpus_options);
+        drive_corpus(opts.program_files, corpus_options);
     for (const FileReport& file : corpus.files) {
-      if (corpus.files.size() > 1) {
-        std::cout << "=== " << file.path << " ===\n";
-      }
+      std::cout << "=== " << file.path << " ===\n";
       std::cout << file.text;
+      if (file.exit_code >= 2) {
+        std::cerr << "fdlc: error analyzing '" << file.path << "': "
+                  << file.text;
+      }
     }
-    if (corpus.files.size() > 1) {
-      std::cout << corpus.files.size() << " files analyzed ("
-                << opts->jobs << " jobs), worst exit code "
-                << corpus.exit_code << "\n";
-    }
+    std::cout << corpus.files.size() << " files analyzed (" << opts.jobs
+              << " jobs), worst exit code " << corpus.exit_code << "\n";
     return corpus.exit_code;
   }
 
-  const std::string& program_file = opts->program_files.front();
+  const std::string& program_file = opts.program_files.front();
   const auto source = read_file(program_file);
   if (!source) return 2;
   DiagnosticEngine diags;
   InferOptions infer_options;
-  infer_options.max_signature_iterations = opts->max_iters;
+  infer_options.max_signature_iterations = opts.max_iters;
+  Engine engine(opts.jobs);
 
   // MiniML input, selected by extension (static analysis only).
   const bool is_mml =
@@ -326,11 +407,11 @@ int main(int argc, char** argv) {
     }
     std::cout << "compiled " << program_file << " (MiniML, "
               << compiled->program.defs.size() << " definitions)\n";
-    if (opts->run) {
+    if (opts.run) {
       std::cerr << "fdlc: --run is not available for MiniML (static "
                    "pipeline only)\n";
     }
-    return analyze_gtype(compiled->inferred.program_gtype, *opts);
+    return analyze_gtype(compiled->inferred.program_gtype, opts, &engine);
   }
 
   auto compiled = compile_futlang(*source, diags, infer_options);
@@ -340,7 +421,53 @@ int main(int argc, char** argv) {
   }
   std::cout << "compiled " << program_file << " ("
             << compiled->program.functions.size() << " functions)\n";
-  const int verdict = analyze_gtype(compiled->inferred.program_gtype, *opts);
-  if (opts->run) (void)run_program(compiled->program, *opts);
+  const int verdict =
+      analyze_gtype(compiled->inferred.program_gtype, opts, &engine);
+  if (opts.run) (void)run_program(compiled->program, opts);
   return verdict;
+}
+
+// End-of-run observability reports. Must run after every Engine/pool has
+// quiesced (run_cli returned), so the rings and counters are stable.
+void write_reports(const CliOptions& opts) {
+  using gtdl::obs::MetricsRegistry;
+  if (opts.stats == StatsMode::kText) {
+    std::cerr << MetricsRegistry::instance().render_text();
+  } else if (opts.stats == StatsMode::kJson) {
+    const std::string json = MetricsRegistry::instance().render_json();
+    if (opts.stats_file.empty()) {
+      std::cerr << json << "\n";
+    } else {
+      std::ofstream out(opts.stats_file);
+      if (!out) {
+        std::cerr << "fdlc: cannot write stats to '" << opts.stats_file
+                  << "'\n";
+        return;
+      }
+      out << json << "\n";
+      std::cerr << "fdlc: wrote metrics to " << opts.stats_file << "\n";
+    }
+  }
+  if (!opts.trace_file.empty()) {
+    std::ofstream out(opts.trace_file);
+    if (!out) {
+      std::cerr << "fdlc: cannot write trace to '" << opts.trace_file
+                << "'\n";
+      return;
+    }
+    gtdl::obs::write_chrome_trace(out);
+    std::cerr << "fdlc: wrote trace to " << opts.trace_file << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = parse_args(argc, argv);
+  if (!opts) return 2;
+  if (opts->stats != StatsMode::kOff) gtdl::obs::set_stats_enabled(true);
+  if (!opts->trace_file.empty()) gtdl::obs::set_trace_enabled(true);
+  const int exit_code = run_cli(*opts);
+  write_reports(*opts);
+  return exit_code;
 }

@@ -7,6 +7,8 @@
 #include "gtdl/detect/new_push.hpp"
 #include "gtdl/gtype/intern.hpp"
 #include "gtdl/gtype/wellformed.hpp"
+#include "gtdl/obs/metrics.hpp"
+#include "gtdl/obs/trace.hpp"
 #include "gtdl/par/engine.hpp"
 #include "gtdl/par/thread_pool.hpp"
 #include "gtdl/support/overloaded.hpp"
@@ -19,6 +21,40 @@ namespace {
 std::string render_set(const OrderedSet<Symbol>& set) {
   return "{" + join(set, ", ", [](Symbol s) { return s.str(); }) + "}";
 }
+
+struct DetectMetrics {
+  obs::Counter& checks;
+  obs::Counter& accepts;
+  obs::Counter& rejects;
+  obs::Counter& spec_wins;
+  obs::Counter& spec_losses;
+  obs::Counter& closed_memo_hits;
+  obs::Counter& closed_memo_misses;
+
+  static DetectMetrics& get() {
+    static DetectMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::instance();
+      auto c = [&reg](const char* name, const char* unit,
+                      const char* help) -> obs::Counter& {
+        return reg.counter(obs::MetricDesc{name, "detect", unit, help});
+      };
+      return new DetectMetrics{
+          c("detect.checks", "checks", "check_deadlock_freedom calls"),
+          c("detect.accepts", "checks", "verdicts: deadlock-free"),
+          c("detect.rejects", "checks", "verdicts: possible deadlock"),
+          c("detect.speculation.wins", "checks",
+            "speculative DF kindings kept (WF gate passed)"),
+          c("detect.speculation.losses", "checks",
+            "speculative DF kindings discarded (WF gate failed)"),
+          c("detect.df.closed_memo_hits", "lookups",
+            "DF closed-subterm memo hits"),
+          c("detect.df.closed_memo_misses", "lookups",
+            "DF closed-subterm kinds computed and cached"),
+      };
+    }();
+    return *m;
+  }
+};
 
 class DfChecker {
  public:
@@ -55,6 +91,7 @@ class DfChecker {
     }
     if (closed) {
       if (auto it = closed_memo_.find(facts->id); it != closed_memo_.end()) {
+        DetectMetrics::get().closed_memo_hits.add();
         return Outcome{it->second, {}};
       }
     }
@@ -69,7 +106,10 @@ class DfChecker {
     auto result = check_uncached(g, std::move(avail));
     --depth_;
     // Only successes are reusable (failures must re-report diagnostics).
-    if (closed && result) closed_memo_.emplace(facts->id, result->kind);
+    if (closed && result) {
+      DetectMetrics::get().closed_memo_misses.add();
+      closed_memo_.emplace(facts->id, result->kind);
+    }
     return result;
   }
 
@@ -354,6 +394,7 @@ namespace {
 // against a scratch verdict while the WF gate runs on the pool.
 void run_df_kinding(const GTypePtr& g, const DetectOptions& options,
                     DeadlockVerdict& verdict) {
+  obs::Span span("detect", "df_kinding");
   verdict.analyzed = options.new_pushing ? push_new_bindings(g) : g;
   DfChecker checker(verdict.diags);
   auto outcome = checker.check(verdict.analyzed, OrderedSet<Symbol>{});
@@ -378,9 +419,16 @@ void reject_ill_formed(const WellformedResult& wf, DeadlockVerdict& verdict) {
 
 DeadlockVerdict check_deadlock_freedom(const GTypePtr& g,
                                        const DetectOptions& options) {
+  DetectMetrics& dm = DetectMetrics::get();
+  dm.checks.add();
+  obs::Span span("detect", "check_deadlock_freedom");
+  const auto record_verdict = [&dm](const DeadlockVerdict& v) {
+    (v.deadlock_free ? dm.accepts : dm.rejects).add();
+  };
   DeadlockVerdict verdict;
   if (g == nullptr) {
     verdict.diags.error("null graph type");
+    record_verdict(verdict);
     return verdict;
   }
   ThreadPool* pool =
@@ -398,19 +446,26 @@ DeadlockVerdict check_deadlock_freedom(const GTypePtr& g,
     run_df_kinding(g, options, speculative);
     group.wait();
     if (!wf.ok) {
+      dm.spec_losses.add();
       reject_ill_formed(wf, verdict);
+      record_verdict(verdict);
       return verdict;
     }
+    dm.spec_wins.add();
+    record_verdict(speculative);
     return speculative;
   }
   if (options.require_wellformed) {
+    obs::Span wf_span("detect", "wellformed_gate");
     WellformedResult wf = check_wellformed(g);
     if (!wf.ok) {
       reject_ill_formed(wf, verdict);
+      record_verdict(verdict);
       return verdict;
     }
   }
   run_df_kinding(g, options, verdict);
+  record_verdict(verdict);
   return verdict;
 }
 

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "gtdl/gtype/intern.hpp"
+#include "gtdl/obs/trace.hpp"
 #include "gtdl/support/overloaded.hpp"
 
 namespace gtdl {
@@ -106,6 +107,7 @@ class Pusher {
 }  // namespace
 
 GTypePtr push_new_bindings(const GTypePtr& g) {
+  obs::Span span("detect", "push_new_bindings");
   Pusher pusher;
   return pusher.transform(g);
 }

@@ -6,6 +6,8 @@
 #include <variant>
 
 #include "gtdl/frontend/typecheck.hpp"
+#include "gtdl/obs/metrics.hpp"
+#include "gtdl/obs/trace.hpp"
 #include "gtdl/support/overloaded.hpp"
 
 namespace gtdl {
@@ -113,12 +115,45 @@ struct Flow {
   Value value = Value::unit();
 };
 
+// The interpreter IS the dynamic futures scheduler for fdlc --run (the
+// threaded FutureRuntime is a separate, library-level runtime), so its
+// events publish under the "runtime" layer alongside it.
+struct InterpMetrics {
+  obs::Counter& executions;
+  obs::Counter& futures_forced;
+  obs::Counter& touches;
+  obs::Counter& deadlocks;
+
+  static InterpMetrics& get() {
+    static InterpMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::instance();
+      auto c = [&reg](const char* name, const char* unit,
+                      const char* help) -> obs::Counter& {
+        return reg.counter(obs::MetricDesc{name, "runtime", unit, help});
+      };
+      return new InterpMetrics{
+          c("runtime.interp.executions", "runs",
+            "programs executed by the canonical-schedule interpreter"),
+          c("runtime.interp.futures_forced", "futures",
+            "future bodies run to completion by the interpreter"),
+          c("runtime.interp.touches", "touches",
+            "touch operations executed by the interpreter"),
+          c("runtime.interp.deadlocks", "events",
+            "dynamic deadlocks signaled by the interpreter"),
+      };
+    }();
+    return *m;
+  }
+};
+
 class Interp {
  public:
   Interp(const Program& program, const InterpOptions& options)
       : program_(program), options_(options), rng_(options.seed) {}
 
   InterpResult run() {
+    InterpMetrics::get().executions.add();
+    obs::Span span("runtime", "interp.execute");
     InterpResult result;
     auto main_builder = std::make_shared<GraphBuilder>();
     builders_.push_back(main_builder);
@@ -131,6 +166,7 @@ class Interp {
       force_all_pending();
       result.completed = true;
     } catch (const DeadlockSignal& dl) {
+      InterpMetrics::get().deadlocks.add();
       result.deadlock = dl.reason;
     } catch (const RuntimeErrorSignal& err) {
       result.error = err.reason;
@@ -192,6 +228,10 @@ class Interp {
   // --- futures ---
 
   void force(const FuturePtr& cell) {
+    InterpMetrics::get().futures_forced.add();
+    obs::Span span("runtime", obs::trace_enabled()
+                                  ? "force:" + cell->vertex.str()
+                                  : std::string());
     cell->state = FutureState::kRunning;
     builders_.push_back(cell->graph);
     ++call_depth_;
@@ -224,6 +264,10 @@ class Interp {
   }
 
   Value touch(const FuturePtr& cell, SrcLoc loc) {
+    InterpMetrics::get().touches.add();
+    if (obs::trace_enabled()) {
+      obs::emit_instant("runtime", "touch:" + cell->vertex.str());
+    }
     builder().nodes.push_back(GraphBuilder::TouchNode{cell->vertex});
     switch (cell->state) {
       case FutureState::kDone:

@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "gtdl/gtype/subst.hpp"
+#include "gtdl/obs/metrics.hpp"
 #include "gtdl/support/overloaded.hpp"
 
 namespace gtdl {
@@ -86,6 +87,12 @@ struct GTypeInterner::Impl {
 
   std::atomic<std::uint64_t> intern_hits{0};
   std::atomic<std::uint64_t> intern_misses{0};
+  // Times the find-or-insert upgrade path found its shard's unique lock
+  // already held — the direct signal for "shard the table further".
+  std::atomic<std::uint64_t> shard_lock_waits{0};
+  // Canonical nodes created, by constructor tag (indexed by the Tag enum
+  // value carried in the node key's first word).
+  std::atomic<std::uint64_t> nodes_by_tag[10] = {};
   std::atomic<std::uint64_t> unroll_hits{0};
   std::atomic<std::uint64_t> unroll_misses{0};
   std::atomic<std::uint64_t> subst_identity_hits{0};
@@ -123,13 +130,18 @@ GTypePtr GTypeInterner::Impl::intern(NodeKey key, GType&& proto) {
       return it->second;
     }
   }
-  std::unique_lock lock(shard.mu);
+  std::unique_lock lock(shard.mu, std::defer_lock);
+  if (!lock.try_lock()) {
+    shard_lock_waits.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
   auto it = shard.table.find(key);
   if (it != shard.table.end()) {
     intern_hits.fetch_add(1, std::memory_order_relaxed);
     return it->second;
   }
   intern_misses.fetch_add(1, std::memory_order_relaxed);
+  nodes_by_tag[key[0]].fetch_add(1, std::memory_order_relaxed);
 
   GTypeFacts& f = shard.facts.emplace_back();
   f.id = next_id.fetch_add(1, std::memory_order_relaxed);
@@ -227,7 +239,64 @@ GTypeInterner& GTypeInterner::instance() {
   return *interner;
 }
 
-GTypeInterner::GTypeInterner() : impl_(new Impl()) {}
+GTypeInterner::GTypeInterner() : impl_(new Impl()) {
+  // The interner keeps its own always-on tallies (Stats) because they
+  // predate the obs layer and several tests assert on them directly; a
+  // snapshot-time collector mirrors them into the registry so --stats
+  // and bench `metrics` blocks see them under the shared catalog. The
+  // interner is immortal, so capturing `this` is safe.
+  obs::MetricsRegistry::instance().register_collector([this] {
+    auto& reg = obs::MetricsRegistry::instance();
+    auto g = [&reg](const char* name, const char* unit,
+                    const char* help) -> obs::Gauge& {
+      return reg.gauge(obs::MetricDesc{name, "gtype", unit, help});
+    };
+    const Stats s = stats();
+    g("gtype.intern.nodes", "nodes", "live hash-consed nodes")
+        .set(static_cast<std::int64_t>(s.nodes));
+    g("gtype.intern.hits", "lookups", "find-or-insert found existing node")
+        .set(static_cast<std::int64_t>(s.intern_hits));
+    g("gtype.intern.misses", "lookups", "find-or-insert created a node")
+        .set(static_cast<std::int64_t>(s.intern_misses));
+    g("gtype.intern.shard_lock_waits", "waits",
+      "shard unique-lock upgrades that had to block")
+        .set(static_cast<std::int64_t>(
+            impl_->shard_lock_waits.load(std::memory_order_relaxed)));
+    g("gtype.unroll.hits", "lookups", "rec-unroll cache hits")
+        .set(static_cast<std::int64_t>(s.unroll_hits));
+    g("gtype.unroll.misses", "lookups", "rec-unroll cache misses")
+        .set(static_cast<std::int64_t>(s.unroll_misses));
+    g("gtype.subst.identity_hits", "lookups",
+      "substitutions skipped via free-name bitsets")
+        .set(static_cast<std::int64_t>(s.subst_identity_hits));
+    g("gtype.subst.memo_hits", "lookups", "substitution memo hits")
+        .set(static_cast<std::int64_t>(s.subst_memo_hits));
+    g("gtype.subst.memo_misses", "lookups", "substitution memo misses")
+        .set(static_cast<std::int64_t>(s.subst_memo_misses));
+    g("gtype.norm.memo_hits", "lookups", "Norm_n (id, fuel) memo hits")
+        .set(static_cast<std::int64_t>(s.norm_memo_hits));
+    g("gtype.norm.memo_misses", "lookups", "Norm_n (id, fuel) memo misses")
+        .set(static_cast<std::int64_t>(s.norm_memo_misses));
+    g("gtype.alpha.fast_accepts", "checks",
+      "alpha equality decided by pointer identity")
+        .set(static_cast<std::int64_t>(s.alpha_fast_accepts));
+    g("gtype.alpha.fast_rejects", "checks",
+      "alpha equality refuted by cached de-Bruijn hash")
+        .set(static_cast<std::int64_t>(s.alpha_fast_rejects));
+    g("gtype.alpha.full_walks", "checks",
+      "alpha equality needing the full structural walk")
+        .set(static_cast<std::int64_t>(s.alpha_full_walks));
+    static const char* kTagNames[10] = {"empty", "seq",  "or",  "spawn",
+                                        "touch", "rec",  "var", "new",
+                                        "pi",    "app"};
+    for (int t = 0; t < 10; ++t) {
+      g((std::string("gtype.intern.nodes_by.") + kTagNames[t]).c_str(),
+        "nodes", "canonical nodes created, by constructor")
+          .set(static_cast<std::int64_t>(
+              impl_->nodes_by_tag[t].load(std::memory_order_relaxed)));
+    }
+  });
+}
 GTypeInterner::~GTypeInterner() { delete impl_; }
 
 namespace {

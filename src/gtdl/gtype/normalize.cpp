@@ -7,6 +7,7 @@
 
 #include "gtdl/gtype/intern.hpp"
 #include "gtdl/gtype/subst.hpp"
+#include "gtdl/obs/trace.hpp"
 #include "gtdl/support/overloaded.hpp"
 
 namespace gtdl {
@@ -354,6 +355,7 @@ NormalizeResult normalize(const GTypePtr& g, unsigned depth,
   // Pins the memoization toggle for the duration (see intern.hpp): the
   // Normalizer samples it once, in its constructor.
   GTypeInterner::ScopedAnalysis analysis_guard;
+  obs::Span span("gtype", "normalize");
   Normalizer normalizer(limits);
   NormalizeResult result;
   // norm() deduplicates at every node when limits.dedup_alpha is set.

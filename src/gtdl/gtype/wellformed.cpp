@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "gtdl/gtype/intern.hpp"
+#include "gtdl/obs/trace.hpp"
 #include "gtdl/support/overloaded.hpp"
 
 namespace gtdl {
@@ -311,6 +312,7 @@ class WfChecker {
 }  // namespace
 
 WellformedResult check_wellformed(const GTypePtr& g) {
+  obs::Span span("gtype", "check_wellformed");
   WellformedResult result;
   if (g == nullptr) {
     result.diags.error("null graph type");

@@ -1,0 +1,261 @@
+#include "gtdl/obs/metrics.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace gtdl::obs {
+
+namespace {
+
+// JSON string escaping for metric names/units (they are ASCII in
+// practice, but the writer must not be able to emit malformed output).
+void append_json_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+struct MetricsRegistry::Impl {
+  struct Entry {
+    MetricDesc desc;
+    MetricType type;
+    // Exactly one is live, chosen by `type`; deque storage keeps the
+    // address stable for the `static Counter&` references held by
+    // instrumentation sites.
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    Histogram* histogram = nullptr;
+  };
+
+  std::mutex mu;  // guards registration + collector list, not mutation
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  std::deque<Entry> entries;  // registration order
+  std::unordered_map<std::string, Entry*> by_name;
+  std::vector<std::function<void()>> collectors;
+
+  Entry& find_or_create(MetricDesc desc, MetricType type) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = by_name.find(desc.name);
+    if (it != by_name.end()) {
+      if (it->second->type != type) {
+        throw std::logic_error("metric '" + desc.name +
+                               "' re-registered with a different type");
+      }
+      return *it->second;
+    }
+    entries.push_back(Entry{std::move(desc), type});
+    Entry& e = entries.back();
+    switch (type) {
+      case MetricType::kCounter:
+        counters.emplace_back();
+        e.counter = &counters.back();
+        break;
+      case MetricType::kGauge:
+        gauges.emplace_back();
+        e.gauge = &gauges.back();
+        break;
+      case MetricType::kHistogram:
+        histograms.emplace_back();
+        e.histogram = &histograms.back();
+        break;
+    }
+    by_name.emplace(e.desc.name, &e);
+    return e;
+  }
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() {
+  // Immortal, like GTypeInterner::instance(): instrumentation sites in
+  // static destructors of other TUs may still reference instruments, so
+  // the registry is deliberately never destroyed.
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* reg = new MetricsRegistry();
+  return *reg;
+}
+
+Counter& MetricsRegistry::counter(MetricDesc desc) {
+  return *impl().find_or_create(std::move(desc), MetricType::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(MetricDesc desc) {
+  return *impl().find_or_create(std::move(desc), MetricType::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(MetricDesc desc) {
+  return *impl()
+              .find_or_create(std::move(desc), MetricType::kHistogram)
+              .histogram;
+}
+
+void MetricsRegistry::register_collector(std::function<void()> fn) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.collectors.push_back(std::move(fn));
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() {
+  Impl& im = impl();
+  // Copy the collector list out so collectors can register metrics
+  // (taking im.mu) without deadlocking.
+  std::vector<std::function<void()>> collectors;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    collectors = im.collectors;
+  }
+  for (auto& fn : collectors) fn();
+
+  std::vector<MetricSample> out;
+  std::lock_guard<std::mutex> lock(im.mu);
+  out.reserve(im.entries.size());
+  for (const auto& e : im.entries) {
+    MetricSample s;
+    s.desc = e.desc;
+    s.type = e.type;
+    switch (e.type) {
+      case MetricType::kCounter:
+        s.value = e.counter->get();
+        break;
+      case MetricType::kGauge:
+        s.gauge = e.gauge->get();
+        break;
+      case MetricType::kHistogram: {
+        s.value = e.histogram->count();
+        s.sum = e.histogram->sum();
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+          std::uint64_t n = e.histogram->bucket(i);
+          if (n != 0) s.buckets.emplace_back(Histogram::bucket_bound(i), n);
+        }
+        break;
+      }
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::render_text(bool include_zeroes) {
+  std::vector<MetricSample> samples = snapshot();
+  // Group by layer, keeping registration order within each group.
+  std::map<std::string, std::vector<const MetricSample*>> by_layer;
+  for (const auto& s : samples) by_layer[s.desc.layer].push_back(&s);
+
+  std::ostringstream os;
+  os << "=== gtdl metrics ===\n";
+  for (const auto& [layer, group] : by_layer) {
+    bool header_emitted = false;
+    for (const MetricSample* s : group) {
+      bool zero = false;
+      switch (s->type) {
+        case MetricType::kCounter: zero = s->value == 0; break;
+        case MetricType::kGauge: zero = s->gauge == 0; break;
+        case MetricType::kHistogram: zero = s->value == 0; break;
+      }
+      if (zero && !include_zeroes) continue;
+      if (!header_emitted) {
+        os << "[" << layer << "]\n";
+        header_emitted = true;
+      }
+      os << "  " << s->desc.name << " = ";
+      switch (s->type) {
+        case MetricType::kCounter:
+          os << s->value;
+          break;
+        case MetricType::kGauge:
+          os << s->gauge;
+          break;
+        case MetricType::kHistogram: {
+          os << s->value << " samples, sum " << s->sum;
+          if (s->value != 0) {
+            os << ", mean " << (s->sum / s->value);
+            os << ", buckets {";
+            bool first = true;
+            for (const auto& [bound, n] : s->buckets) {
+              if (!first) os << ", ";
+              first = false;
+              os << "<=" << bound << ": " << n;
+            }
+            os << "}";
+          }
+          break;
+        }
+      }
+      if (!s->desc.unit.empty()) os << " " << s->desc.unit;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::render_json(const std::string& indent) {
+  std::vector<MetricSample> samples = snapshot();
+  std::string out = "{";
+  bool first = true;
+  for (const auto& s : samples) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n" + indent + "  ";
+    append_json_escaped(out, s.desc.name);
+    out += ": ";
+    switch (s.type) {
+      case MetricType::kCounter:
+        out += std::to_string(s.value);
+        break;
+      case MetricType::kGauge:
+        out += std::to_string(s.gauge);
+        break;
+      case MetricType::kHistogram: {
+        out += "{\"count\": " + std::to_string(s.value) +
+               ", \"sum\": " + std::to_string(s.sum) + ", \"buckets\": [";
+        bool bfirst = true;
+        for (const auto& [bound, n] : s.buckets) {
+          if (!bfirst) out += ", ";
+          bfirst = false;
+          out += "[" + std::to_string(bound) + ", " + std::to_string(n) + "]";
+        }
+        out += "]}";
+        break;
+      }
+    }
+  }
+  out += "\n" + indent + "}";
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  for (auto& c : im.counters) c.reset();
+  for (auto& g : im.gauges) g.reset();
+  for (auto& h : im.histograms) h.reset();
+}
+
+}  // namespace gtdl::obs

@@ -1,0 +1,220 @@
+// Process-wide metrics registry: the measurement substrate for every
+// analysis layer (DESIGN.md "Observability layer", docs/OBSERVABILITY.md
+// for the full metric catalog).
+//
+// Design constraints, in order:
+//
+//   1. DORMANT COST ~ ZERO. Instrumentation sites live in the hottest
+//      loops we have (the interner's find-or-insert, the engine's fork
+//      guards, the pool's queue ops). Every mutation primitive therefore
+//      checks ONE process-global relaxed atomic flag and branches away
+//      before touching its own cache line; with stats disabled (the
+//      default) an instrumented call is a predictable not-taken branch.
+//      bench_obs measures this directly (<5% end-to-end, typically well
+//      under 1%).
+//   2. Instruments are REGISTERED ONCE and referenced forever: a site
+//      does `static obs::Counter& c = registry.counter(...)` so the
+//      name lookup happens on first execution only; afterwards the site
+//      holds a stable reference (instruments are deque-backed and never
+//      move or die).
+//   3. CONCURRENT MUTATION IS THE NORM, not the exception. Counters and
+//      histograms are plain relaxed atomics — engine workers, pool
+//      threads and the futures runtime all hit them simultaneously, and
+//      a snapshot taken mid-run is a consistent-enough view (each cell
+//      individually atomic; cross-cell skew is acceptable for
+//      monitoring, exact totals are read after the workload quiesces).
+//
+// Layers that already keep their own tallies (the interner's
+// GTypeInterner::Stats) publish them through a COLLECTOR: a callback,
+// registered once, that copies the source-of-truth values into gauges
+// when a snapshot is taken. Collectors run at snapshot time only, so
+// they may take locks the hot path never would.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gtdl::obs {
+
+namespace detail {
+// The process-global "is anyone watching" flag, shared by every Counter /
+// Histogram mutation. Inline so the hot-path load compiles to one memory
+// read against a known address in every TU.
+inline std::atomic<bool> g_stats_enabled{false};
+}  // namespace detail
+
+[[nodiscard]] inline bool stats_enabled() noexcept {
+  return detail::g_stats_enabled.load(std::memory_order_relaxed);
+}
+
+// Returns the previous value. Flip freely at runtime; sites observe the
+// change on their next execution (relaxed visibility — fine for a
+// monitoring toggle, asserted precisely only around quiescent points).
+inline bool set_stats_enabled(bool enabled) noexcept {
+  return detail::g_stats_enabled.exchange(enabled,
+                                          std::memory_order_relaxed);
+}
+
+// Monotonic event counter. add() is gated on the global flag; use
+// force_add() only from snapshot-time collectors that must write
+// regardless (none of the shipped layers need it on a hot path).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if (!stats_enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void force_add(std::uint64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t get() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// Point-in-time value. set() is NOT gated: gauges are written by
+// snapshot-time collectors (and the occasional cold path), never from
+// hot loops, and a collector must be able to publish while the caller
+// is rendering a report with stats nominally off.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t v) noexcept {
+    value_.fetch_add(v, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t get() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Log2-bucketed histogram over uint64 samples: bucket i counts samples
+// with bit_width(v) == i (bucket 0 is v == 0), so the full 64-bit range
+// fits in 65 fixed cells with no configuration. Good enough to answer
+// "are queue depths ~2 or ~2000" — the questions this layer exists for.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void observe(std::uint64_t v) noexcept {
+    if (!stats_enabled()) return;
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t v) noexcept {
+    std::size_t b = 0;
+    while (v != 0) {
+      ++b;
+      v >>= 1;
+    }
+    return b;
+  }
+  // Inclusive upper bound of bucket `i` (lower bound is the previous
+  // bucket's bound + 1); bucket 0 holds exactly the value 0.
+  [[nodiscard]] static std::uint64_t bucket_bound(std::size_t i) noexcept {
+    if (i == 0) return 0;
+    if (i >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+enum class MetricType : unsigned char { kCounter, kGauge, kHistogram };
+
+// Catalog entry: identity and documentation for one instrument. `layer`
+// is the owning subsystem ("gtype", "par", "detect", "runtime", "corpus",
+// "cli") and doubles as the grouping key of the rendered reports.
+struct MetricDesc {
+  std::string name;   // dotted, layer-prefixed: "par.pool.steals"
+  std::string layer;  // owning layer
+  std::string unit;   // "events", "tasks", "files", ...
+  std::string help;   // one-liner for the catalog
+};
+
+// A rendered point-in-time view of one instrument.
+struct MetricSample {
+  MetricDesc desc;
+  MetricType type = MetricType::kCounter;
+  std::uint64_t value = 0;  // counter value or histogram count
+  std::int64_t gauge = 0;   // gauge value
+  std::uint64_t sum = 0;    // histogram only
+  // Histogram only: (inclusive upper bound, count) for nonempty buckets.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  // Find-or-register by name; the desc of the first registration wins.
+  // Returned references are valid for the process lifetime. Asking for
+  // an existing name with a different instrument type throws
+  // std::logic_error (a catalog bug, not a runtime condition).
+  Counter& counter(MetricDesc desc);
+  Gauge& gauge(MetricDesc desc);
+  Histogram& histogram(MetricDesc desc);
+
+  // Registers a snapshot-time callback that publishes externally owned
+  // tallies into gauges (e.g. the interner's Stats). Runs under no
+  // registry lock, so it may itself call gauge().
+  void register_collector(std::function<void()> fn);
+
+  // Runs collectors, then samples every instrument. Safe while workers
+  // are still mutating (per-cell atomic reads).
+  [[nodiscard]] std::vector<MetricSample> snapshot();
+
+  // Human-readable end-of-run summary (--stats): instruments grouped by
+  // layer, zero-valued counters elided unless `include_zeroes`.
+  [[nodiscard]] std::string render_text(bool include_zeroes = false);
+
+  // One JSON object {"metric.name": value | {histogram}} — the
+  // fdlc --stats=json payload and the bench_*.json "metrics" block.
+  // The indent prefixes every line after the first (for embedding).
+  [[nodiscard]] std::string render_json(const std::string& indent = "");
+
+  // Zeroes every counter/gauge/histogram (descriptors and collectors
+  // stay). For tests and the bench drivers' phase boundaries.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+  struct Impl;
+  Impl& impl();
+};
+
+}  // namespace gtdl::obs

@@ -1,0 +1,212 @@
+#include "gtdl/obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace gtdl::obs {
+
+namespace {
+
+struct TraceEvent {
+  std::string name;
+  const char* cat;
+  std::uint64_t ts_ns;
+  std::uint64_t dur_ns;  // 0 for instants
+  char ph;               // 'X' or 'i'
+};
+
+// Each thread owns one ring; the global registry keeps every ring alive
+// past thread exit (shared_ptr) so the end-of-run writer can still read
+// events from threads that have already joined (pool workers are gone
+// by the time fdlc writes the trace file).
+struct ThreadRing {
+  static constexpr std::size_t kCapacity = 1 << 16;  // 64Ki events/thread
+
+  std::mutex mu;
+  std::vector<TraceEvent> events;  // append-only up to kCapacity
+  std::uint64_t dropped = 0;
+  int tid = 0;  // small stable id for the trace file, not the OS tid
+
+  void push(TraceEvent ev) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (events.size() >= kCapacity) {
+      ++dropped;
+      return;
+    }
+    events.push_back(std::move(ev));
+  }
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  int next_tid = 1;
+};
+
+TraceState& state() {
+  static TraceState* s = new TraceState();
+  return *s;
+}
+
+ThreadRing& this_thread_ring() {
+  thread_local std::shared_ptr<ThreadRing> ring = [] {
+    auto r = std::make_shared<ThreadRing>();
+    TraceState& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    r->tid = s.next_tid++;
+    s.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+std::chrono::steady_clock::time_point trace_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+void append_json_string(std::string& out, std::string_view sv) {
+  out.push_back('"');
+  for (char c : sv) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+bool set_trace_enabled(bool enabled) noexcept {
+  // Pin the epoch before the first event so ts values are small
+  // positive offsets, the way trace viewers like them.
+  if (enabled) (void)trace_epoch();
+  return detail::g_trace_enabled.exchange(enabled,
+                                          std::memory_order_relaxed);
+}
+
+std::uint64_t trace_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - trace_epoch())
+          .count());
+}
+
+void emit_complete(const char* cat, std::string name, std::uint64_t ts_ns,
+                   std::uint64_t dur_ns) {
+  if (!trace_enabled()) return;
+  this_thread_ring().push(
+      TraceEvent{std::move(name), cat, ts_ns, dur_ns, 'X'});
+}
+
+void emit_instant(const char* cat, std::string name) {
+  if (!trace_enabled()) return;
+  this_thread_ring().push(
+      TraceEvent{std::move(name), cat, trace_now_ns(), 0, 'i'});
+}
+
+std::uint64_t trace_dropped_events() noexcept {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::uint64_t total = 0;
+  for (const auto& r : s.rings) {
+    std::lock_guard<std::mutex> rlock(r->mu);
+    total += r->dropped;
+  }
+  return total;
+}
+
+void trace_clear() {
+  TraceState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  for (const auto& r : s.rings) {
+    std::lock_guard<std::mutex> rlock(r->mu);
+    r->events.clear();
+    r->dropped = 0;
+  }
+}
+
+void write_chrome_trace(std::ostream& os) {
+  // Snapshot every ring under its lock, then sort the merged stream by
+  // timestamp; stable ordering keeps viewer nesting deterministic.
+  struct Tagged {
+    const TraceEvent* ev;
+    int tid;
+  };
+  TraceState& s = state();
+  std::vector<std::shared_ptr<ThreadRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    rings = s.rings;
+  }
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(rings.size());
+  std::vector<Tagged> merged;
+  std::uint64_t dropped = 0;
+  for (const auto& r : rings) {
+    locks.emplace_back(r->mu);
+    dropped += r->dropped;
+    for (const auto& ev : r->events) merged.push_back(Tagged{&ev, r->tid});
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     return a.ev->ts_ns < b.ev->ts_ns;
+                   });
+
+  // Chrome trace ts/dur are MICROseconds; fractional values are legal
+  // JSON numbers and Perfetto keeps the sub-µs precision.
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const Tagged& t : merged) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"name\": ";
+    append_json_string(out, t.ev->name);
+    out += ", \"cat\": ";
+    append_json_string(out, t.ev->cat ? t.ev->cat : "misc");
+    out += ", \"ph\": \"";
+    out.push_back(t.ev->ph);
+    out += "\", \"pid\": 1, \"tid\": " + std::to_string(t.tid);
+    out += ", \"ts\": " + std::to_string(t.ev->ts_ns / 1000) + "." +
+           [&] {
+             char buf[4];
+             std::snprintf(buf, sizeof buf, "%03u",
+                           static_cast<unsigned>(t.ev->ts_ns % 1000));
+             return std::string(buf);
+           }();
+    if (t.ev->ph == 'X') {
+      out += ", \"dur\": " + std::to_string(t.ev->dur_ns / 1000) + "." +
+             [&] {
+               char buf[4];
+               std::snprintf(buf, sizeof buf, "%03u",
+                             static_cast<unsigned>(t.ev->dur_ns % 1000));
+               return std::string(buf);
+             }();
+    }
+    if (t.ev->ph == 'i') out += ", \"s\": \"t\"";
+    out += "}";
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\", \"otherData\": {\"tool\": "
+         "\"fdlc\", \"dropped_events\": " +
+         std::to_string(dropped) + "}}\n";
+  os << out;
+}
+
+}  // namespace gtdl::obs

@@ -1,0 +1,93 @@
+// Event tracing: per-thread ring buffers of timestamped spans, written
+// out as Chrome trace / Perfetto JSON ("catapult" format). Load the
+// output at https://ui.perfetto.dev or chrome://tracing.
+//
+// The hot-path contract mirrors metrics.hpp: a dormant Span is one
+// relaxed atomic load and a branch (the ctor reads the global flag, the
+// dtor reads a bool member). When tracing IS on, each event append takes
+// the calling thread's OWN ring mutex — uncontended in steady state
+// (only the end-of-run writer ever takes someone else's), which keeps
+// the sink TSan-clean without atomics gymnastics.
+//
+// Event model: we emit Chrome "complete" events (ph:"X", one record
+// carrying both start and duration) for spans and ph:"i" instants for
+// point events. Nesting is implicit: Chrome/Perfetto nest "X" events on
+// the same tid by time containment, which RAII scoping guarantees.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace gtdl::obs {
+
+namespace detail {
+inline std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+[[nodiscard]] inline bool trace_enabled() noexcept {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+// Returns the previous value.
+bool set_trace_enabled(bool enabled) noexcept;
+
+// Nanoseconds since the process trace epoch (a steady_clock anchor
+// captured on first use). Exposed for tests; sites use Span/instant.
+[[nodiscard]] std::uint64_t trace_now_ns() noexcept;
+
+// Appends one complete event to the calling thread's ring. `name` is
+// copied; `cat` must be a string literal (stored by pointer). Spans are
+// dropped (and counted) once a thread's ring is full — tracing is a
+// diagnostic surface, it must never block or grow unboundedly.
+void emit_complete(const char* cat, std::string name, std::uint64_t ts_ns,
+                   std::uint64_t dur_ns);
+void emit_instant(const char* cat, std::string name);
+
+// RAII span: construction samples the clock iff tracing is enabled;
+// destruction emits one ph:"X" event covering the scope. `cat` and, for
+// the two-literal constructor, `name` must outlive the span (string
+// literals in practice).
+class Span {
+ public:
+  Span(const char* cat, const char* name) noexcept
+      : cat_(cat), name_(name), armed_(trace_enabled()) {
+    if (armed_) start_ns_ = trace_now_ns();
+  }
+  // Dynamic-name variant (e.g. corpus per-file spans). The string is
+  // only materialized when tracing is on; pass via this ctor's callee.
+  Span(const char* cat, std::string name) noexcept
+      : cat_(cat), armed_(trace_enabled()), dyn_name_(std::move(name)) {
+    if (armed_) start_ns_ = trace_now_ns();
+  }
+  ~Span() {
+    if (!armed_) return;
+    std::uint64_t end = trace_now_ns();
+    emit_complete(cat_, name_ ? std::string(name_) : std::move(dyn_name_),
+                  start_ns_, end - start_ns_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* cat_ = nullptr;
+  const char* name_ = nullptr;
+  bool armed_ = false;
+  std::uint64_t start_ns_ = 0;
+  std::string dyn_name_;
+};
+
+// Serializes every thread's ring (merged, time-sorted) as one
+// {"traceEvents": [...]} document. Call after the traced workload has
+// quiesced — events appended concurrently with the write may be missed.
+void write_chrome_trace(std::ostream& os);
+
+// Events dropped because some ring was full (diagnostic; also emitted
+// into the trace metadata).
+[[nodiscard]] std::uint64_t trace_dropped_events() noexcept;
+
+// Discards all buffered events (rings stay registered). For tests.
+void trace_clear();
+
+}  // namespace gtdl::obs

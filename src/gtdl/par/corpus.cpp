@@ -13,6 +13,8 @@
 #include "gtdl/gtype/parse.hpp"
 #include "gtdl/gtype/wellformed.hpp"
 #include "gtdl/mml/driver.hpp"
+#include "gtdl/obs/metrics.hpp"
+#include "gtdl/obs/trace.hpp"
 #include "gtdl/par/thread_pool.hpp"
 
 namespace gtdl {
@@ -82,14 +84,36 @@ int analyze_gtype(const GTypePtr& gtype, const CorpusOptions& options,
   return verdict.deadlock_free ? 0 : 1;
 }
 
-}  // namespace
+struct CorpusMetrics {
+  obs::Counter& files;
+  obs::Counter& errors;
 
-FileReport analyze_file(const std::string& path, const CorpusOptions& options,
-                        Engine* engine) {
+  static CorpusMetrics& get() {
+    static CorpusMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::instance();
+      return new CorpusMetrics{
+          reg.counter(obs::MetricDesc{"corpus.files", "corpus", "files",
+                                      "files analyzed in corpus mode"}),
+          reg.counter(obs::MetricDesc{
+              "corpus.errors", "corpus", "files",
+              "corpus files that failed to open, compile, or parse"}),
+      };
+    }();
+    return *m;
+  }
+};
+
+FileReport analyze_file_unguarded(const std::string& path,
+                                  const CorpusOptions& options,
+                                  Engine* engine) {
   FileReport report;
   report.path = path;
   std::ostringstream out;
+  obs::Span span("corpus", obs::trace_enabled() ? "file:" + path
+                                                : std::string());
+  CorpusMetrics::get().files.add();
   const auto finish = [&](int code) {
+    if (code >= 2) CorpusMetrics::get().errors.add();
     report.exit_code = code;
     report.text = out.str();
     return report;
@@ -134,6 +158,29 @@ FileReport analyze_file(const std::string& path, const CorpusOptions& options,
     return finish(2);
   }
   return finish(analyze_gtype(gtype, options, engine, out));
+}
+
+}  // namespace
+
+FileReport analyze_file(const std::string& path, const CorpusOptions& options,
+                        Engine* engine) {
+  // A corpus run must never lose the whole batch to one bad file: an
+  // exception escaping any layer below (a parser depth guard, bad_alloc
+  // on a pathological type, a frontend bug) used to propagate through
+  // TaskGroup::wait() and abort fdlc with an unhandled exception. Fold
+  // it into the per-file report instead; main prints exit>=2 reports to
+  // stderr and the worst-exit-code logic does the rest.
+  try {
+    return analyze_file_unguarded(path, options, engine);
+  } catch (const std::exception& e) {
+    CorpusMetrics::get().errors.add();
+    FileReport report;
+    report.path = path;
+    report.exit_code = 2;
+    report.text =
+        "internal error analyzing '" + path + "': " + e.what() + "\n";
+    return report;
+  }
 }
 
 CorpusReport drive_corpus(const std::vector<std::string>& files,

@@ -13,12 +13,55 @@
 
 #include "gtdl/gtype/intern.hpp"
 #include "gtdl/gtype/subst.hpp"
+#include "gtdl/obs/metrics.hpp"
+#include "gtdl/obs/trace.hpp"
 #include "gtdl/par/thread_pool.hpp"
 #include "gtdl/support/overloaded.hpp"
 
 namespace gtdl {
 
 namespace {
+
+// Fork-decision accounting (docs/OBSERVABILITY.md "par" section). One
+// immortal bundle so each site pays a guard-variable check, never a
+// registry lookup; every add() is gated on the global stats flag.
+struct EngineMetrics {
+  obs::Counter& forks;
+  obs::Counter& forks_inlined;
+  obs::Counter& forks_pool_run;
+  obs::Counter& reject_no_pool;
+  obs::Counter& reject_no_fuel;
+  obs::Counter& reject_not_worth;
+  obs::Counter& reject_budget;
+  obs::Counter& memo_waits;
+
+  static EngineMetrics& get() {
+    static EngineMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::instance();
+      auto c = [&reg](const char* name, const char* help) -> obs::Counter& {
+        return reg.counter(obs::MetricDesc{name, "par", "tasks", help});
+      };
+      return new EngineMetrics{
+          c("par.engine.forks", "Norm subproblems submitted to the pool"),
+          c("par.engine.forks_inlined",
+            "forked subproblems claimed back and run by their joiner"),
+          c("par.engine.forks_pool_run",
+            "forked subproblems actually executed by a pool worker"),
+          c("par.engine.fork_reject.no_pool",
+            "fork sites declined: no worker threads"),
+          c("par.engine.fork_reject.no_fuel",
+            "fork sites declined: fuel exhausted"),
+          c("par.engine.fork_reject.not_worth",
+            "fork sites declined: subterm too cheap (no mu/application)"),
+          c("par.engine.fork_reject.budget",
+            "fork sites declined: live-fork budget reached"),
+          c("par.engine.memo_waits",
+            "threads that blocked on another thread's in-flight memo cell"),
+      };
+    }();
+    return *m;
+  }
+};
 
 using MemoKey = std::pair<std::uint64_t, unsigned>;
 
@@ -139,12 +182,24 @@ class ParNormalizer {
 
   std::optional<ForkHandle> maybe_fork(const GTypePtr& g, unsigned fuel,
                                        std::size_t depth) {
-    if (pool_.size() == 0 || fuel == 0 || !worth_forking(g->facts)) {
+    EngineMetrics& em = EngineMetrics::get();
+    if (pool_.size() == 0) {
+      em.reject_no_pool.add();
+      return std::nullopt;
+    }
+    if (fuel == 0) {
+      em.reject_no_fuel.add();
+      return std::nullopt;
+    }
+    if (!worth_forking(g->facts)) {
+      em.reject_not_worth.add();
       return std::nullopt;
     }
     if (live_forks_.load(std::memory_order_relaxed) >= fork_budget_) {
+      em.reject_budget.add();
       return std::nullopt;
     }
+    em.forks.add();
     live_forks_.fetch_add(1, std::memory_order_relaxed);
     auto task = std::make_shared<Task>();
     task->g = g;
@@ -159,6 +214,7 @@ class ParNormalizer {
         if (task->state != Task::State::kPending) return;
         task->state = Task::State::kRunning;
       }
+      EngineMetrics::get().forks_pool_run.add();
       run_task(task);
     });
     return std::optional<ForkHandle>(std::in_place, *this, std::move(task));
@@ -190,7 +246,10 @@ class ParNormalizer {
         claimed = true;
       }
     }
-    if (claimed) run_task(task);
+    if (claimed) {
+      EngineMetrics::get().forks_inlined.add();
+      run_task(task);
+    }
     std::unique_lock lock(task->mu);
     task->cv.wait(lock, [&] { return task->state == Task::State::kDone; });
     live_forks_.fetch_sub(1, std::memory_order_relaxed);
@@ -247,6 +306,7 @@ class ParNormalizer {
         bool valid = false;
         {
           std::unique_lock lock(entry->mu);
+          if (!entry->done) EngineMetrics::get().memo_waits.add();
           entry->cv.wait(lock, [&] { return entry->done; });
           valid = entry->valid;
           if (valid) stored = entry->graphs;  // shares structure; refresh
@@ -445,6 +505,7 @@ NormalizeResult Engine::normalize(const GTypePtr& g, unsigned depth,
     // The sequential code path, not a 1-thread re-implementation of it.
     return gtdl::normalize(g, depth, limits);
   }
+  obs::Span span("par", "engine.normalize");
   ParNormalizer normalizer(*impl_->pool, impl_->threads, limits);
   return normalizer.run(g, depth);
 }

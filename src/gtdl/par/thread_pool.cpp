@@ -3,6 +3,8 @@
 #include <chrono>
 #include <utility>
 
+#include "gtdl/obs/metrics.hpp"
+
 namespace gtdl {
 
 namespace {
@@ -11,6 +13,37 @@ namespace {
 // plain pair instead of a map: a thread belongs to at most one pool.
 thread_local const ThreadPool* tl_pool = nullptr;
 thread_local unsigned tl_worker = 0;
+
+// Where did each executed task come from? own = depth-first local pop,
+// inject = submitted from outside the pool, steal = lifted off a
+// sibling. A healthy run is own-dominated; steal-heavy means the fork
+// guards are starving some workers.
+struct PoolMetrics {
+  obs::Counter& submits;
+  obs::Counter& own_pops;
+  obs::Counter& inject_pops;
+  obs::Counter& steals;
+  obs::Histogram& queue_depth;
+
+  static PoolMetrics& get() {
+    static PoolMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::instance();
+      auto c = [&reg](const char* name, const char* help) -> obs::Counter& {
+        return reg.counter(obs::MetricDesc{name, "par", "tasks", help});
+      };
+      return new PoolMetrics{
+          c("par.pool.submits", "closures handed to the pool"),
+          c("par.pool.own_pops", "tasks popped from the worker's own deque"),
+          c("par.pool.inject_pops", "tasks taken from the inject queue"),
+          c("par.pool.steals", "tasks stolen from a sibling worker"),
+          reg.histogram(obs::MetricDesc{
+              "par.pool.queue_depth", "par", "tasks",
+              "target queue depth observed at each submit"}),
+      };
+    }();
+    return *m;
+  }
+};
 
 }  // namespace
 
@@ -37,17 +70,22 @@ ThreadPool::~ThreadPool() {
 bool ThreadPool::on_worker_thread() const noexcept { return tl_pool == this; }
 
 void ThreadPool::submit(std::function<void()> fn) {
+  PoolMetrics& pm = PoolMetrics::get();
+  pm.submits.add();
   if (tl_pool == this) {
     std::lock_guard lock(queues_[tl_worker]->mu);
     queues_[tl_worker]->tasks.push_back(std::move(fn));
+    pm.queue_depth.observe(queues_[tl_worker]->tasks.size());
   } else {
     std::lock_guard lock(inject_mu_);
     injected_.push_back(std::move(fn));
+    pm.queue_depth.observe(injected_.size());
   }
   idle_cv_.notify_one();
 }
 
 bool ThreadPool::try_pop(unsigned index, std::function<void()>& out) {
+  PoolMetrics& pm = PoolMetrics::get();
   // Own deque, newest first: the task DAG unfolds depth-first locally.
   {
     WorkerQueue& own = *queues_[index];
@@ -55,6 +93,7 @@ bool ThreadPool::try_pop(unsigned index, std::function<void()>& out) {
     if (!own.tasks.empty()) {
       out = std::move(own.tasks.back());
       own.tasks.pop_back();
+      pm.own_pops.add();
       return true;
     }
   }
@@ -63,6 +102,7 @@ bool ThreadPool::try_pop(unsigned index, std::function<void()>& out) {
     if (!injected_.empty()) {
       out = std::move(injected_.front());
       injected_.pop_front();
+      pm.inject_pops.add();
       return true;
     }
   }
@@ -73,6 +113,7 @@ bool ThreadPool::try_pop(unsigned index, std::function<void()>& out) {
     if (!victim.tasks.empty()) {
       out = std::move(victim.tasks.front());
       victim.tasks.pop_front();
+      pm.steals.add();
       return true;
     }
   }

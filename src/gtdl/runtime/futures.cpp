@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "gtdl/obs/metrics.hpp"
+#include "gtdl/obs/trace.hpp"
 #include "gtdl/support/string_util.hpp"
 
 namespace gtdl {
@@ -14,6 +16,43 @@ namespace {
 thread_local detail::FutureCore* g_current_core = nullptr;
 
 const Symbol kMainName = Symbol::intern("main");
+
+// The runtime keeps per-instance RuntimeStats under mu_; these are the
+// process-wide equivalents for --stats (a run may create several
+// runtimes, e.g. the interpreter plus the examples).
+struct RuntimeMetrics {
+  obs::Counter& spawns;
+  obs::Counter& touches;
+  obs::Counter& touch_blocks;
+  obs::Counter& policy_checks;
+  obs::Counter& policy_violations;
+  obs::Counter& deadlocks;
+  obs::Counter& poisoned;
+
+  static RuntimeMetrics& get() {
+    static RuntimeMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::instance();
+      auto c = [&reg](const char* name, const char* unit,
+                      const char* help) -> obs::Counter& {
+        return reg.counter(obs::MetricDesc{name, "runtime", unit, help});
+      };
+      return new RuntimeMetrics{
+          c("runtime.spawns", "futures", "futures spawned"),
+          c("runtime.touches", "touches", "touch operations"),
+          c("runtime.touch_blocks", "touches",
+            "touches that had to block on an unfinished future"),
+          c("runtime.policy_checks", "checks",
+            "TJ/KJ monitor consultations at spawn/touch"),
+          c("runtime.policy_violations", "checks",
+            "operations forbidden by the active TJ/KJ policy"),
+          c("runtime.deadlocks_detected", "events",
+            "waits-for cycles or global quiescence deadlocks found"),
+          c("runtime.poisoned", "futures", "futures poisoned"),
+      };
+    }();
+    return *m;
+  }
+};
 
 }  // namespace
 
@@ -74,6 +113,7 @@ void FutureRuntime::poison(const detail::CorePtr& core, std::string reason) {
   core->state = detail::FutureState::kPoisoned;
   core->poison_reason = std::move(reason);
   ++stats_.futures_poisoned;
+  RuntimeMetrics::get().poisoned.add();
   cv_.notify_all();
 }
 
@@ -88,6 +128,8 @@ bool FutureRuntime::detect_cycle(const detail::CorePtr& from) {
     if (visited.count(node.get()) != 0) {
       // Cycle: everything on the path can never be satisfied.
       ++stats_.deadlocks_detected;
+      RuntimeMetrics::get().deadlocks.add();
+      obs::emit_instant("runtime", "deadlock:waits-for-cycle");
       std::string cycle_desc =
           join(path, " -> ",
                [](const detail::CorePtr& c) { return c->name.str(); }) +
@@ -141,7 +183,11 @@ void FutureRuntime::check_quiescence() {
            "deadlock: no runnable thread can ever complete future '" +
                main_waiting_on_->name.str() + "'");
   }
-  if (any) ++stats_.deadlocks_detected;
+  if (any) {
+    ++stats_.deadlocks_detected;
+    RuntimeMetrics::get().deadlocks.add();
+    obs::emit_instant("runtime", "deadlock:quiescence");
+  }
 }
 
 void FutureRuntime::spawn_erased(const detail::CorePtr& core,
@@ -152,9 +198,11 @@ void FutureRuntime::spawn_erased(const detail::CorePtr& core,
   }
   const Symbol cur = current_thread_name();
   if (monitor_ != nullptr) {
+    RuntimeMetrics::get().policy_checks.add();
     const PolicyStep step = monitor_->on_fork(cur, core->name);
     if (!step.ok()) {
       ++stats_.policy_violations;
+      RuntimeMetrics::get().policy_violations.add();
       throw PolicyViolationError(monitor_->policy_name() +
                                  " forbids this spawn: " + step.reason);
     }
@@ -167,6 +215,10 @@ void FutureRuntime::spawn_erased(const detail::CorePtr& core,
   core->has_thread = true;
   ++stats_.futures_spawned;
   ++live_unblocked_;  // counted before the thread starts
+  RuntimeMetrics::get().spawns.add();
+  if (obs::trace_enabled()) {
+    obs::emit_instant("runtime", "spawn:" + core->name.str());
+  }
   record(Action::fork(cur, core->name));
   threads_.emplace_back([this, core, fn = std::move(body)]() mutable {
     run_body(core, std::move(fn));
@@ -216,13 +268,16 @@ std::any FutureRuntime::touch_erased(const detail::CorePtr& core) {
   }
   const Symbol cur = current_thread_name();
   if (monitor_ != nullptr) {
+    RuntimeMetrics::get().policy_checks.add();
     const PolicyStep step = monitor_->on_join(cur, core->name);
     if (!step.ok()) {
       ++stats_.policy_violations;
+      RuntimeMetrics::get().policy_violations.add();
       throw PolicyViolationError(monitor_->policy_name() +
                                  " forbids this touch: " + step.reason);
     }
   }
+  RuntimeMetrics::get().touches.add();
   record(Action::join(cur, core->name));
 
   detail::FutureCore* self = g_current_core;
@@ -235,6 +290,10 @@ std::any FutureRuntime::touch_erased(const detail::CorePtr& core) {
     }
     // About to block: register the waits-for edge and let the detectors
     // look at the world.
+    RuntimeMetrics::get().touch_blocks.add();
+    obs::Span block_span("runtime", obs::trace_enabled()
+                                        ? "touch_wait:" + core->name.str()
+                                        : std::string());
     if (self != nullptr) {
       self->blocked = true;
       self->waiting_on = core;

@@ -1,0 +1,414 @@
+// Tests for the observability layer (src/gtdl/obs/): gating semantics,
+// registry behavior, exact counter values for hand-traced workloads,
+// Chrome-trace JSON structure, and data-race freedom when engine/pool
+// threads mutate the registry concurrently (this suite runs under the
+// TSan CI job alongside test_intern/test_parallel).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtdl/detect/deadlock.hpp"
+#include "gtdl/frontend/interp.hpp"
+#include "gtdl/frontend/parser.hpp"
+#include "gtdl/frontend/typecheck.hpp"
+#include "gtdl/gtype/parse.hpp"
+#include "gtdl/obs/metrics.hpp"
+#include "gtdl/obs/trace.hpp"
+#include "gtdl/par/corpus.hpp"
+#include "gtdl/par/engine.hpp"
+
+namespace gtdl {
+namespace {
+
+// Every test leaves the process-global flags the way it found them
+// (other suites in this binary must not observe stats/trace on).
+class ObsFlagGuard {
+ public:
+  ObsFlagGuard()
+      : stats_(obs::stats_enabled()), trace_(obs::trace_enabled()) {}
+  ~ObsFlagGuard() {
+    obs::set_stats_enabled(stats_);
+    obs::set_trace_enabled(trace_);
+  }
+
+ private:
+  bool stats_;
+  bool trace_;
+};
+
+obs::Counter& named_counter(const char* name) {
+  return obs::MetricsRegistry::instance().counter(
+      obs::MetricDesc{name, "test", "events", "test counter"});
+}
+
+// Reads an already-registered production counter by its catalog name.
+std::uint64_t counter_value(const char* name) {
+  return obs::MetricsRegistry::instance()
+      .counter(obs::MetricDesc{name, "", "", ""})
+      .get();
+}
+
+TEST(ObsMetrics, CounterGatedByGlobalFlag) {
+  ObsFlagGuard guard;
+  obs::Counter& c = named_counter("test.obs.gated_counter");
+  c.reset();
+
+  obs::set_stats_enabled(false);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.get(), 0u) << "disabled counters must not move";
+  c.force_add(5);
+  EXPECT_EQ(c.get(), 5u) << "force_add bypasses the gate";
+
+  obs::set_stats_enabled(true);
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.get(), 10u);
+}
+
+TEST(ObsMetrics, HistogramGatingAndBuckets) {
+  ObsFlagGuard guard;
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Histogram& h = reg.histogram(obs::MetricDesc{
+      "test.obs.gated_histogram", "test", "events", "test histogram"});
+  h.reset();
+
+  obs::set_stats_enabled(false);
+  h.observe(7);
+  EXPECT_EQ(h.count(), 0u);
+
+  obs::set_stats_enabled(true);
+  h.observe(0);
+  h.observe(1);
+  h.observe(2);
+  h.observe(3);
+  h.observe(1000);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1006u);
+  EXPECT_EQ(h.bucket(obs::Histogram::bucket_of(0)), 1u);
+  EXPECT_EQ(h.bucket(obs::Histogram::bucket_of(1)), 1u);
+  EXPECT_EQ(h.bucket(obs::Histogram::bucket_of(2)), 2u);  // 2 and 3
+  EXPECT_EQ(h.bucket(obs::Histogram::bucket_of(1000)), 1u);
+
+  // Log2 bucket geometry: 0 | 1 | 2-3 | 4-7 | ...
+  EXPECT_EQ(obs::Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_bound(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_bound(2), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_bound(3), 7u);
+}
+
+TEST(ObsMetrics, RegistryFindOrRegisterIsStable) {
+  obs::Counter& a = named_counter("test.obs.same_name");
+  obs::Counter& b = named_counter("test.obs.same_name");
+  EXPECT_EQ(&a, &b) << "same name must resolve to the same instrument";
+
+  // Re-registering an existing name as a different instrument type is a
+  // catalog bug and must fail loudly.
+  auto& reg = obs::MetricsRegistry::instance();
+  EXPECT_THROW(reg.gauge(obs::MetricDesc{"test.obs.same_name", "test", "",
+                                         ""}),
+               std::logic_error);
+}
+
+TEST(ObsMetrics, RenderTextGroupsByLayerAndElidesZeroes) {
+  ObsFlagGuard guard;
+  obs::set_stats_enabled(true);
+  obs::Counter& c = named_counter("test.obs.render_me");
+  c.reset();
+  c.add(3);
+  named_counter("test.obs.stay_zero").reset();
+
+  auto& reg = obs::MetricsRegistry::instance();
+  const std::string text = reg.render_text();
+  EXPECT_NE(text.find("[test]"), std::string::npos);
+  EXPECT_NE(text.find("test.obs.render_me = 3"), std::string::npos);
+  EXPECT_EQ(text.find("test.obs.stay_zero"), std::string::npos)
+      << "zero-valued counters are elided by default";
+  EXPECT_NE(reg.render_text(true).find("test.obs.stay_zero"),
+            std::string::npos);
+
+  const std::string json = reg.render_json();
+  EXPECT_NE(json.find("\"test.obs.render_me\": 3"), std::string::npos);
+}
+
+// Hand-traced: one check_deadlock_freedom call bumps detect.checks by
+// exactly one and exactly one of accepts/rejects, independent of any
+// memoization underneath.
+TEST(ObsMetrics, HandTracedDetectCounters) {
+  ObsFlagGuard guard;
+  obs::set_stats_enabled(true);
+
+  const std::uint64_t checks0 = counter_value("detect.checks");
+  const std::uint64_t accepts0 = counter_value("detect.accepts");
+  const std::uint64_t rejects0 = counter_value("detect.rejects");
+
+  EXPECT_TRUE(check_deadlock_freedom(
+                  parse_gtype_or_throw("new u. 1 / u ; ~u"))
+                  .deadlock_free);
+  EXPECT_EQ(counter_value("detect.checks"), checks0 + 1);
+  EXPECT_EQ(counter_value("detect.accepts"), accepts0 + 1);
+  EXPECT_EQ(counter_value("detect.rejects"), rejects0);
+
+  EXPECT_FALSE(check_deadlock_freedom(
+                   parse_gtype_or_throw("new u. ~u ; 1 / u"))
+                   .deadlock_free);
+  EXPECT_EQ(counter_value("detect.checks"), checks0 + 2);
+  EXPECT_EQ(counter_value("detect.accepts"), accepts0 + 1);
+  EXPECT_EQ(counter_value("detect.rejects"), rejects0 + 1);
+}
+
+// Hand-traced: the canonical-schedule interpreter forces each spawned
+// future exactly once and counts every touch expression it executes.
+TEST(ObsMetrics, HandTracedInterpCounters) {
+  ObsFlagGuard guard;
+  obs::set_stats_enabled(true);
+
+  Program program = parse_program_or_throw(R"(
+    fun main() {
+      let a = new_future[int]();
+      let b = new_future[int]();
+      spawn a { return 1; }
+      spawn b { return touch(a) + 1; }
+      print(int_to_string(touch(b) + touch(a)));
+    }
+  )");
+  DiagnosticEngine diags;
+  ASSERT_TRUE(typecheck_program(program, diags)) << diags.render();
+
+  const std::uint64_t runs0 = counter_value("runtime.interp.executions");
+  const std::uint64_t forced0 =
+      counter_value("runtime.interp.futures_forced");
+  const std::uint64_t touches0 = counter_value("runtime.interp.touches");
+  const std::uint64_t deadlocks0 =
+      counter_value("runtime.interp.deadlocks");
+
+  const InterpResult r = interpret(program, {});
+  ASSERT_TRUE(r.completed) << r.error.value_or("") + r.deadlock.value_or("");
+  EXPECT_EQ(r.output, "3\n");
+
+  EXPECT_EQ(counter_value("runtime.interp.executions"), runs0 + 1);
+  // Two futures, each forced once — the second touch of `a` finds it
+  // already done.
+  EXPECT_EQ(counter_value("runtime.interp.futures_forced"), forced0 + 2);
+  // Three touch expressions execute: touch(b), touch(a) in main, and
+  // touch(a) inside b's body.
+  EXPECT_EQ(counter_value("runtime.interp.touches"), touches0 + 3);
+  EXPECT_EQ(counter_value("runtime.interp.deadlocks"), deadlocks0);
+}
+
+TEST(ObsMetrics, CorpusErrorCounterAndReport) {
+  ObsFlagGuard guard;
+  obs::set_stats_enabled(true);
+  const std::uint64_t errors0 = counter_value("corpus.errors");
+
+  const FileReport report =
+      analyze_file("/nonexistent/definitely_missing.fut", {}, nullptr);
+  EXPECT_EQ(report.exit_code, 2);
+  EXPECT_NE(report.text.find("cannot open"), std::string::npos);
+  EXPECT_EQ(counter_value("corpus.errors"), errors0 + 1);
+}
+
+// --- trace ------------------------------------------------------------
+
+// Scans JSON for balanced braces/brackets outside string literals — the
+// cheap in-process "parses" check (CI additionally json.load()s real
+// fdlc trace output).
+bool json_balanced(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{':
+      case '[': ++depth; break;
+      case '}':
+      case ']':
+        if (--depth < 0) return false;
+        break;
+      default: break;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+std::string rendered_trace() {
+  std::ostringstream out;
+  obs::write_chrome_trace(out);
+  return out.str();
+}
+
+TEST(ObsTrace, DisabledEmitsNothing) {
+  ObsFlagGuard guard;
+  obs::set_trace_enabled(false);
+  obs::trace_clear();
+  {
+    obs::Span span("test", "should_not_appear");
+    obs::emit_instant("test", "also_not");
+  }
+  const std::string json = rendered_trace();
+  EXPECT_EQ(json.find("should_not_appear"), std::string::npos);
+  EXPECT_EQ(json.find("also_not"), std::string::npos);
+}
+
+TEST(ObsTrace, SpanEmitsCompleteEventAndJsonIsBalanced) {
+  ObsFlagGuard guard;
+  obs::set_trace_enabled(true);
+  obs::trace_clear();
+  {
+    obs::Span outer("test", "outer_span");
+    {
+      obs::Span inner("test", std::string("inner \"quoted\" span"));
+    }
+    obs::emit_instant("test", "marker");
+  }
+  obs::set_trace_enabled(false);
+  const std::string json = rendered_trace();
+
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"outer_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"inner \\\"quoted\\\" span\""),
+            std::string::npos)
+      << "quotes in dynamic span names must be escaped";
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"test\""), std::string::npos);
+  obs::trace_clear();
+}
+
+// Nesting in the Chrome trace format is implicit: a viewer nests event B
+// under A iff [ts_B, ts_B+dur_B] lies inside [ts_A, ts_A+dur_A] on the
+// same tid. Emit events with pinned timestamps and verify the writer
+// preserves interval containment exactly (µs with three decimals).
+TEST(ObsTrace, PinnedTimestampsNestByContainment) {
+  ObsFlagGuard guard;
+  obs::set_trace_enabled(true);
+  obs::trace_clear();
+  obs::emit_complete("test", "outer_pinned", 1'000, 100'000);
+  obs::emit_complete("test", "inner_pinned", 2'500, 1'000);
+  obs::set_trace_enabled(false);
+  const std::string json = rendered_trace();
+
+  const std::regex event_re(
+      "\\{\"name\": \"(\\w+)\", [^}]*\"ts\": ([0-9.]+), "
+      "\"dur\": ([0-9.]+)\\}");
+  double outer_ts = -1, outer_end = -1, inner_ts = -1, inner_end = -1;
+  for (std::sregex_iterator it(json.begin(), json.end(), event_re), end;
+       it != end; ++it) {
+    const double ts = std::stod((*it)[2]);
+    const double end_ts = ts + std::stod((*it)[3]);
+    if ((*it)[1] == "outer_pinned") {
+      outer_ts = ts;
+      outer_end = end_ts;
+    } else if ((*it)[1] == "inner_pinned") {
+      inner_ts = ts;
+      inner_end = end_ts;
+    }
+  }
+  ASSERT_GE(outer_ts, 0) << json;
+  ASSERT_GE(inner_ts, 0) << json;
+  EXPECT_DOUBLE_EQ(outer_ts, 1.0);     // 1000 ns = 1.000 µs
+  EXPECT_DOUBLE_EQ(inner_ts, 2.5);     // 2500 ns = 2.500 µs
+  EXPECT_DOUBLE_EQ(inner_end, 3.5);
+  EXPECT_DOUBLE_EQ(outer_end, 101.0);
+  EXPECT_GT(inner_ts, outer_ts);
+  EXPECT_LT(inner_end, outer_end);
+  obs::trace_clear();
+}
+
+// --- concurrency (the TSan job runs this binary) ----------------------
+
+TEST(ObsConcurrency, RegistryIsRaceFreeUnderDirectHammering) {
+  ObsFlagGuard guard;
+  obs::set_stats_enabled(true);
+  obs::set_trace_enabled(true);
+  obs::trace_clear();
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 5'000;
+  obs::Counter& shared = named_counter("test.obs.hammered");
+  shared.reset();
+  auto& reg = obs::MetricsRegistry::instance();
+  obs::Histogram& hist = reg.histogram(obs::MetricDesc{
+      "test.obs.hammered_hist", "test", "events", "race test"});
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load()) {
+      }
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        shared.add();
+        hist.observe(static_cast<std::uint64_t>(i));
+        if (i % 512 == 0) {
+          // Concurrent registration of fresh names while others mutate.
+          reg.counter(obs::MetricDesc{
+              "test.obs.race." + std::to_string(t) + "." +
+                  std::to_string(i),
+              "test", "events", "registered mid-race"});
+          obs::emit_instant("test", "hammer");
+        }
+      }
+    });
+  }
+  go.store(true);
+  // Snapshot + render while the workers mutate: the reader side of the
+  // race test.
+  for (int i = 0; i < 20; ++i) {
+    (void)reg.snapshot();
+    (void)reg.render_json();
+    (void)rendered_trace();
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(shared.get(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  obs::set_trace_enabled(false);
+  obs::trace_clear();
+}
+
+TEST(ObsConcurrency, EngineThreadsMutateRegistryRaceFree) {
+  ObsFlagGuard guard;
+  obs::set_stats_enabled(true);
+  obs::set_trace_enabled(true);
+  obs::trace_clear();
+
+  // Real instrumented code paths from pool threads: the engine's fork
+  // guards, the pool's queue counters, and the corpus driver's spans all
+  // fire concurrently here.
+  const GTypePtr g = parse_gtype_or_throw(
+      "new a. new b. 1 / a ; (~a) / b ; (~b | ~b ; ~a)");
+  Engine engine(4);
+  for (int i = 0; i < 4; ++i) {
+    (void)engine.normalize(g, 6, {});
+  }
+  const std::string json = rendered_trace();
+  EXPECT_TRUE(json_balanced(json)) << json;
+
+  obs::set_trace_enabled(false);
+  obs::trace_clear();
+}
+
+}  // namespace
+}  // namespace gtdl
