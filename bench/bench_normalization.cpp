@@ -8,14 +8,26 @@
 // that a detector would actually have to check. Both grow exponentially;
 // materializing them is what makes deeper unrolling bounds impractical,
 // motivating the paper's normalization-free kind system.
+//
+// The first-witness table then pits the streamed enumeration
+// (for_each_graph + CSR scan, stopping at the first deadlocked graph)
+// against the materialized path (normalize into a vector, then scan) on
+// the counterexample at depths past the cycle's manifestation. Results —
+// including the stream's buffered-graph high-water mark, which stays
+// bounded by NormalizeLimits::stream_materialize_cap while the
+// materialized set keeps growing — go to bench_normalization.json.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <inttypes.h>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "gtdl/detect/counterexample.hpp"
+#include "gtdl/graph/csr.hpp"
+#include "gtdl/graph/graph.hpp"
 #include "gtdl/gtype/normalize.hpp"
 #include "gtdl/gtype/parse.hpp"
 
@@ -45,6 +57,162 @@ void print_series(const char* label, const GTypePtr& g, unsigned max_depth) {
   std::printf("\n");
 }
 
+// --- first-witness vs exhaustive ------------------------------------------
+
+// §3-style ⊕-alternation family with an early witness: n independent
+// "maybe spawn v_i" factors followed by a touch-before-spawn cycle on u.
+//
+//   new u, v1..vn. (1 | 1/v1) ; ... ; (1 | 1/vn) ; ~u ; 1/u
+//
+// The factors are pairwise alpha-distinct (each subset of spawns keeps
+// its seq-tree position), so |Norm_1| = 2^n even after dedup — and every
+// member contains the cycle, so a first-witness scan is done after ONE
+// graph while the materialized path builds all 2^n first.
+GTypePtr alternation_family(unsigned n) {
+  std::vector<Symbol> binders;
+  std::vector<GTypePtr> parts;
+  for (unsigned i = 1; i <= n; ++i) {
+    const Symbol v = Symbol::intern("v" + std::to_string(i));
+    binders.push_back(v);
+    parts.push_back(gt::alt(gt::empty(), gt::spawn(gt::empty(), v)));
+  }
+  const Symbol u = Symbol::intern("u");
+  binders.push_back(u);
+  parts.push_back(gt::touch(u));
+  parts.push_back(gt::spawn(gt::empty(), u));
+  return gt::nu_all(binders, gt::seq_all(std::move(parts)));
+}
+
+struct WitnessRow {
+  unsigned n = 0;  // family member / depth, per table
+  unsigned depth = 0;
+  std::size_t materialized_graphs = 0;  // |Norm_n| after alpha-dedup
+  double materialized_ms = 0;           // normalize-all + scan to first hit
+  double first_witness_ms = 0;          // streamed, stop at first hit
+  double speedup = 0;
+  std::size_t streamed = 0;           // graphs enumerated before the stop
+  std::size_t peak_materialized = 0;  // stream buffer high-water
+  bool deadlock = false;
+};
+
+NormalizeLimits witness_limits() {
+  NormalizeLimits limits;
+  limits.max_graphs = 1u << 22;
+  limits.max_steps = 500'000'000;
+  return limits;
+}
+
+template <typename Fn>
+double min_ms_of_3(Fn&& fn) {
+  double best = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+WitnessRow measure_first_witness(const GTypePtr& g, unsigned n,
+                                 unsigned depth) {
+  const NormalizeLimits limits = witness_limits();
+  WitnessRow row;
+  row.n = n;
+  row.depth = depth;
+
+  // Materialized path: what gml_baseline_check did before streaming —
+  // build the whole graph vector, then scan it front to back.
+  row.materialized_ms = min_ms_of_3([&] {
+    const NormalizeResult materialized = normalize(g, depth, limits);
+    row.materialized_graphs = materialized.graphs.size();
+    GraphArena arena;
+    for (const GraphExprPtr& graph : materialized.graphs) {
+      if (find_ground_deadlock(*graph, arena).any()) break;
+    }
+  });
+
+  // Streamed path: stop the enumeration at the first offending graph.
+  row.first_witness_ms = min_ms_of_3([&] {
+    GraphArena arena;
+    bool found = false;
+    const StreamStats stats =
+        for_each_graph(g, depth, limits, [&](const GraphExprPtr& graph) {
+          if (find_ground_deadlock(*graph, arena).any()) {
+            found = true;
+            return false;
+          }
+          return true;
+        });
+    row.streamed = stats.emitted;
+    row.peak_materialized = stats.peak_materialized;
+    row.deadlock = found;
+  });
+
+  row.speedup = row.first_witness_ms > 0
+                    ? row.materialized_ms / row.first_witness_ms
+                    : 0;
+  return row;
+}
+
+void print_witness_rows(const char* title,
+                        const std::vector<WitnessRow>& rows) {
+  std::printf(
+      "first-witness (streamed) vs exhaustive (materialize + scan), %s\n"
+      "%-5s %14s %14s %14s %9s %10s %10s %9s\n",
+      title, "n", "|Norm|", "material. ms", "1st-wit. ms", "speedup",
+      "streamed", "peak-buf", "deadlock");
+  for (const WitnessRow& row : rows) {
+    std::printf("%-5u %14zu %14.3f %14.3f %8.1fx %10zu %10zu %9s\n", row.n,
+                row.materialized_graphs, row.materialized_ms,
+                row.first_witness_ms, row.speedup, row.streamed,
+                row.peak_materialized, row.deadlock ? "yes" : "no");
+  }
+  std::printf(
+      "(peak-buf is the enumerator's buffered-graph high-water mark — "
+      "bounded by stream_materialize_cap, not by |Norm|)\n\n");
+}
+
+void write_witness_rows(std::FILE* json, const char* key,
+                        const std::vector<WitnessRow>& rows) {
+  std::fprintf(json, "  \"%s\": [", key);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const WitnessRow& r = rows[i];
+    std::fprintf(json,
+                 "%s\n    {\"n\": %u, \"depth\": %u, "
+                 "\"materialized_graphs\": %zu, "
+                 "\"materialized_ms\": %.3f, \"first_witness_ms\": %.3f, "
+                 "\"speedup\": %.2f, \"streamed\": %zu, "
+                 "\"peak_materialized\": %zu, \"deadlock\": %s}",
+                 i == 0 ? "" : ",", r.n, r.depth, r.materialized_graphs,
+                 r.materialized_ms, r.first_witness_ms, r.speedup,
+                 r.streamed, r.peak_materialized,
+                 r.deadlock ? "true" : "false");
+  }
+  std::fprintf(json, "\n  ],\n");
+}
+
+int write_witness_json(const std::vector<WitnessRow>& alternation,
+                       const std::vector<WitnessRow>& counterexample) {
+  std::FILE* json = std::fopen("bench_normalization.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write bench_normalization.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  write_witness_rows(json, "alternation_family", alternation);
+  write_witness_rows(json, "counterexample_m1", counterexample);
+  bench::write_json_env(json);
+  std::fprintf(json, ",\n");
+  bench::write_json_metrics(json);
+  std::fprintf(json, "\n}\n");
+  std::fclose(json);
+  std::printf("wrote bench_normalization.json\n");
+  return 0;
+}
+
 void BM_CountNormalizations(benchmark::State& state) {
   const unsigned depth = static_cast<unsigned>(state.range(0));
   for (auto _ : state) {
@@ -71,6 +239,21 @@ int main(int argc, char** argv) {
   print_series("divide-and-conquer type  rec g. new u. 1 | g/u ; g ; ~u",
                dnc_type(), 12);
   print_series("S3 counterexample (m = 1)", counterexample_gtype(1), 12);
+  obs::set_stats_enabled(true);
+  std::vector<WitnessRow> alternation;
+  for (unsigned n = 4; n <= 14; n += 2) {
+    alternation.push_back(measure_first_witness(alternation_family(n), n, 1));
+  }
+  print_witness_rows("S3-style alternation family (|Norm_1| = 2^n)",
+                     alternation);
+  std::vector<WitnessRow> counterexample;
+  for (unsigned depth = 4; depth <= 10; ++depth) {
+    counterexample.push_back(
+        measure_first_witness(counterexample_gtype(1), depth, depth));
+  }
+  print_witness_rows("S3 counterexample m = 1 at fuel n", counterexample);
+  obs::set_stats_enabled(false);
+  if (write_witness_json(alternation, counterexample) != 0) return 1;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -7,16 +7,24 @@
 //   program). "Correct" below compares each verdict with the executed
 //   ground truth.
 //
+// The GML section also compares the streamed first-witness scan against
+// the old materialize-then-scan path per program and records both (with
+// the stream's peak buffered-graph count) in bench_table1.json.
+//
 // The google-benchmark section times each analysis per program.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "gtdl/detect/deadlock.hpp"
 #include "gtdl/detect/gml_baseline.hpp"
 #include "gtdl/frontend/interp.hpp"
+#include "gtdl/graph/csr.hpp"
+#include "gtdl/graph/graph.hpp"
 #include "gtdl/tj/join_policy.hpp"
 
 namespace {
@@ -75,6 +83,109 @@ void print_table1() {
       "Joins wrong on Fibonacci)\n\n");
 }
 
+// --- GML first-witness vs materialized --------------------------------------
+
+struct GmlRow {
+  const char* name = "";
+  std::size_t graphs = 0;  // graphs consumed by the streamed check
+  double materialized_ms = 0;
+  double first_witness_ms = 0;
+  double speedup = 0;
+  std::size_t peak_buffered = 0;
+  bool deadlock = false;
+};
+
+template <typename Fn>
+double min_ms_of_3(Fn&& fn) {
+  double best = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+GmlRow measure_gml(const EvalProgram& p) {
+  const CompiledProgram compiled = compile_file(p.file);
+  const GTypePtr gtype = compiled.inferred.program_gtype;
+  GmlRow row;
+  row.name = p.name;
+
+  // What gml_baseline_check did before streaming: materialize the whole
+  // normalization of the 2-unroll expansion, then scan front to back.
+  row.materialized_ms = min_ms_of_3([&] {
+    const GTypePtr expanded = expand_recursion(gtype, 2);
+    const NormalizeResult normalized = normalize(expanded, 1);
+    GraphArena arena;
+    for (const GraphExprPtr& graph : normalized.graphs) {
+      if (find_ground_deadlock(*graph, arena).any()) break;
+    }
+  });
+
+  row.first_witness_ms = min_ms_of_3([&] {
+    const GmlBaselineReport report = gml_baseline_check(gtype);
+    row.graphs = report.graphs_checked;
+    row.peak_buffered = report.peak_buffered;
+    row.deadlock = report.deadlock_reported;
+  });
+
+  row.speedup = row.first_witness_ms > 0
+                    ? row.materialized_ms / row.first_witness_ms
+                    : 0;
+  return row;
+}
+
+std::vector<GmlRow> print_gml_comparison() {
+  std::printf(
+      "GML baseline: first-witness (streamed) vs materialize + scan\n"
+      "%-12s %8s %14s %14s %9s %9s %9s\n",
+      "Program", "graphs", "material. ms", "1st-wit. ms", "speedup",
+      "peak-buf", "deadlock");
+  std::vector<GmlRow> rows;
+  for (const EvalProgram& p : eval_programs()) {
+    const GmlRow row = measure_gml(p);
+    std::printf("%-12s %8zu %14.3f %14.3f %8.1fx %9zu %9s\n", row.name,
+                row.graphs, row.materialized_ms, row.first_witness_ms,
+                row.speedup, row.peak_buffered,
+                row.deadlock ? "yes" : "no");
+    rows.push_back(row);
+  }
+  std::printf("\n");
+  return rows;
+}
+
+int write_table1_json(const std::vector<GmlRow>& rows) {
+  std::FILE* json = std::fopen("bench_table1.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write bench_table1.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"gml_first_witness_vs_materialized\": [");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const GmlRow& r = rows[i];
+    std::fprintf(json,
+                 "%s\n    {\"program\": \"%s\", \"graphs\": %zu, "
+                 "\"materialized_ms\": %.3f, \"first_witness_ms\": %.3f, "
+                 "\"speedup\": %.2f, \"peak_materialized\": %zu, "
+                 "\"deadlock\": %s}",
+                 i == 0 ? "" : ",", r.name, r.graphs, r.materialized_ms,
+                 r.first_witness_ms, r.speedup, r.peak_buffered,
+                 r.deadlock ? "true" : "false");
+  }
+  std::fprintf(json, "\n  ],\n");
+  bench::write_json_env(json);
+  std::fprintf(json, ",\n");
+  bench::write_json_metrics(json);
+  std::fprintf(json, "\n}\n");
+  std::fclose(json);
+  std::printf("wrote bench_table1.json\n");
+  return 0;
+}
+
 // --- timing section ---------------------------------------------------------
 
 void BM_OurAnalysis(benchmark::State& state, const EvalProgram program) {
@@ -108,6 +219,10 @@ void BM_KnownJoinsTrace(benchmark::State& state, const EvalProgram program) {
 
 int main(int argc, char** argv) {
   print_table1();
+  obs::set_stats_enabled(true);
+  const std::vector<GmlRow> gml_rows = print_gml_comparison();
+  obs::set_stats_enabled(false);
+  if (write_table1_json(gml_rows) != 0) return 1;
   for (const EvalProgram& p : eval_programs()) {
     benchmark::RegisterBenchmark(
         (std::string("BM_OurAnalysis/") + p.name).c_str(),

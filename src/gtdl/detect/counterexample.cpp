@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "gtdl/graph/csr.hpp"
+#include "gtdl/graph/graph.hpp"
 #include "gtdl/gtype/intern.hpp"
 
 namespace gtdl {
@@ -114,6 +116,28 @@ std::string counterexample_futlang(unsigned m) {
   }
   src += ");\n}\n";
   return src;
+}
+
+bool normalization_has_deadlock(const GTypePtr& g, unsigned depth,
+                                const NormalizeLimits& limits) {
+  GraphArena arena;
+  bool found = false;
+  for_each_graph(g, depth, limits, [&](const GraphExprPtr& graph) {
+    if (find_ground_deadlock(*graph, arena).any()) {
+      found = true;
+      return false;  // first witness: stop the enumeration
+    }
+    return true;
+  });
+  return found;
+}
+
+unsigned deadlock_manifestation_depth(const GTypePtr& g, unsigned max_depth,
+                                      const NormalizeLimits& limits) {
+  for (unsigned depth = 1; depth <= max_depth; ++depth) {
+    if (normalization_has_deadlock(g, depth, limits)) return depth;
+  }
+  return 0;
 }
 
 }  // namespace gtdl

@@ -26,6 +26,7 @@
 #include <string>
 
 #include "gtdl/gtype/gtype.hpp"
+#include "gtdl/gtype/normalize.hpp"
 
 namespace gtdl {
 
@@ -46,5 +47,19 @@ namespace gtdl {
 [[nodiscard]] constexpr unsigned counterexample_cycle_depth(unsigned m) {
   return m + 1;
 }
+
+// True iff some graph in Norm_depth(g) has a ground deadlock (cycle or
+// unspawned touch). Streams the enumeration and stops at the first
+// witness — the graph set is never materialized, which is what makes
+// probing the family at the depths where |Norm_n| is exponential cheap.
+[[nodiscard]] bool normalization_has_deadlock(
+    const GTypePtr& g, unsigned depth, const NormalizeLimits& limits = {});
+
+// The smallest depth in [1, max_depth] at which a deadlock manifests in
+// Norm_depth(g), or 0 if none does within the bound. For member m of the
+// family this is m + 3 (m + 2 recursive-call unrollings plus the
+// application-fuel step).
+[[nodiscard]] unsigned deadlock_manifestation_depth(
+    const GTypePtr& g, unsigned max_depth, const NormalizeLimits& limits = {});
 
 }  // namespace gtdl

@@ -1,13 +1,12 @@
 #include "gtdl/detect/gml_baseline.hpp"
 
-#include <algorithm>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "gtdl/graph/graph.hpp"
+#include "gtdl/obs/trace.hpp"
 #include "gtdl/par/engine.hpp"
-#include "gtdl/par/thread_pool.hpp"
+#include "gtdl/par/stream_scan.hpp"
 #include "gtdl/gtype/intern.hpp"
 #include "gtdl/gtype/subst.hpp"
 #include "gtdl/support/overloaded.hpp"
@@ -71,51 +70,6 @@ std::string render_witness(const GroundDeadlock& verdict,
          " in graph: " + to_string(graph);
 }
 
-// Fans the per-graph ground-deadlock scan out over the pool. Chunked so a
-// task amortizes its cell over many cheap scans; the witness is reduced
-// to the MINIMUM graph index across chunks, which is exactly the graph
-// the sequential early-exit loop would have reported.
-std::size_t parallel_scan(const std::vector<GraphExprPtr>& graphs,
-                          ThreadPool& pool, unsigned threads,
-                          GroundDeadlock& first_verdict) {
-  const std::size_t chunks =
-      std::min<std::size_t>(graphs.size(),
-                            static_cast<std::size_t>(threads) * 4);
-  const std::size_t chunk_len = (graphs.size() + chunks - 1) / chunks;
-  std::mutex mu;
-  std::size_t best = graphs.size();  // index of first offending graph
-  GroundDeadlock best_verdict;
-  {
-    TaskGroup group(pool);
-    for (std::size_t c = 0; c < chunks; ++c) {
-      const std::size_t begin = c * chunk_len;
-      const std::size_t end = std::min(begin + chunk_len, graphs.size());
-      if (begin >= end) break;
-      group.run([&, begin, end] {
-        for (std::size_t i = begin; i < end; ++i) {
-          {
-            // A hit in an earlier chunk makes this whole chunk moot.
-            std::lock_guard lock(mu);
-            if (best <= begin) return;
-          }
-          const GroundDeadlock verdict = find_ground_deadlock(*graphs[i]);
-          if (verdict.any()) {
-            std::lock_guard lock(mu);
-            if (i < best) {
-              best = i;
-              best_verdict = verdict;
-            }
-            return;  // later graphs in this chunk cannot beat index i
-          }
-        }
-      });
-    }
-    group.wait();
-  }
-  first_verdict = best_verdict;
-  return best;
-}
-
 }  // namespace
 
 GmlBaselineReport gml_baseline_check(const GTypePtr& g,
@@ -124,33 +78,32 @@ GmlBaselineReport gml_baseline_check(const GTypePtr& g,
   report.unrolls_per_binding = options.unrolls_per_binding;
   const GTypePtr expanded =
       expand_recursion(g, options.unrolls_per_binding);
-  // The expanded type is μ-free and all applications target Π binders
-  // directly, so depth 1 normalizes it completely.
-  const NormalizeResult normalized =
-      options.engine != nullptr
-          ? options.engine->normalize(expanded, 1, options.limits)
-          : normalize(expanded, 1, options.limits);
-  report.truncated = normalized.truncated;
-  report.graphs_checked = normalized.graphs.size();
-  ThreadPool* pool =
+
+  // First-witness mode: the expanded type is μ-free and all applications
+  // target Π binders directly, so depth 1 enumerates it completely — one
+  // graph at a time, scanned in scan_batch-sized windows, stopping at
+  // the first batch containing a deadlock. The full graph list is never
+  // materialized.
+  obs::Span span("detect", "gml_scan");
+  GroundDeadlockScanner::Options scan_options;
+  scan_options.pool =
       options.engine != nullptr ? options.engine->pool() : nullptr;
-  if (pool != nullptr && normalized.graphs.size() > 1) {
-    GroundDeadlock verdict;
-    const std::size_t index = parallel_scan(
-        normalized.graphs, *pool, options.engine->threads(), verdict);
-    if (index < normalized.graphs.size()) {
-      report.deadlock_reported = true;
-      report.witness = render_witness(verdict, *normalized.graphs[index]);
-    }
-    return report;
-  }
-  for (const GraphExprPtr& graph : normalized.graphs) {
-    const GroundDeadlock verdict = find_ground_deadlock(*graph);
-    if (verdict.any()) {
-      report.deadlock_reported = true;
-      report.witness = render_witness(verdict, *graph);
-      break;
-    }
+  scan_options.threads =
+      options.engine != nullptr ? options.engine->threads() : 1;
+  scan_options.batch_size = options.scan_batch;
+  GroundDeadlockScanner scanner(scan_options);
+  const StreamStats stats = for_each_graph(
+      expanded, 1, options.limits,
+      [&](const GraphExprPtr& graph) { return scanner.push(graph); });
+  scanner.finish();
+
+  report.graphs_checked = scanner.pushed();
+  report.truncated = stats.truncated;
+  report.peak_buffered = stats.peak_materialized;
+  if (scanner.found()) {
+    report.deadlock_reported = true;
+    report.witness =
+        render_witness(scanner.verdict(), *scanner.offending_graph());
   }
   return report;
 }

@@ -33,13 +33,17 @@ struct GmlBaselineOptions {
   // Per-binding unroll bound; the paper's GML uses 2.
   unsigned unrolls_per_binding = 2;
   NormalizeLimits limits;
-  // Optional parallel engine (par/engine.hpp, not owned): normalization
-  // of the expanded type runs through Engine::normalize, and the
-  // per-graph ground-deadlock scan fans out over the pool. The reported
+  // Optional parallel engine (par/engine.hpp, not owned): each batch of
+  // streamed graphs is scanned fanned out over the pool. The reported
   // witness is deterministic regardless of thread count — always the
   // first offending graph in normalization order, as in the sequential
   // scan. Null (or a 1-thread engine) means strictly sequential.
   Engine* engine = nullptr;
+  // Graphs buffered per scan batch. This bounds peak materialization of
+  // the check (the graph stream is never collected into a list) and is
+  // the determinism unit: a deadlock found anywhere in a batch stops the
+  // stream at that batch's boundary, independent of thread count.
+  std::size_t scan_batch = 512;
 };
 
 struct GmlBaselineReport {
@@ -48,8 +52,18 @@ struct GmlBaselineReport {
   // §3 family.
   bool deadlock_reported = false;
   unsigned unrolls_per_binding = 0;
+  // Graphs consumed from the normalization stream. When no deadlock is
+  // found this is the full normalization count; on a hit the stream
+  // stops at the scan-batch boundary just past the first offending
+  // graph, so the count is smaller but still independent of thread
+  // count.
   std::size_t graphs_checked = 0;
   bool truncated = false;
+  // High-water mark of graphs the enumerator held buffered at once
+  // (⊕-product rhs caches and memo captures). Bounded by
+  // NormalizeLimits::stream_materialize_cap, NOT by the product size —
+  // the evidence that the check no longer materializes Norm_n.
+  std::size_t peak_buffered = 0;
   // Human-readable witness (offending graph and why), empty if none.
   std::string witness;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "gtdl/graph/csr.hpp"
 #include "gtdl/support/string_util.hpp"
 
 namespace gtdl {
@@ -12,9 +13,12 @@ std::optional<bool> mhp_in_graph(const GraphExpr& g, Symbol u, Symbol w) {
     return std::find(spawned.begin(), spawned.end(), v) != spawned.end();
   };
   if (!has(u) || !has(w) || u == w) return std::nullopt;
-  const Graph graph = lower_to_graph(g);
+  GraphArena arena;
+  const CsrGraph graph = lower_to_csr(g, arena);
+  const VertexId uv = graph.find_vertex(u);
+  const VertexId wv = graph.find_vertex(w);
   // u ∥ w iff neither end vertex is ordered before the other.
-  return !graph.reachable(u, w) && !graph.reachable(w, u);
+  return !graph.reachable(uv, wv) && !graph.reachable(wv, uv);
 }
 
 bool is_vertex_instance(Symbol concrete, Symbol binder) {
@@ -31,6 +35,7 @@ MhpResult mhp_in_type(const GTypePtr& g, Symbol u, Symbol w, unsigned depth,
   result.depth = depth;
   const NormalizeResult normalized = normalize(g, depth, limits);
   result.truncated = normalized.truncated;
+  GraphArena arena;
   for (const GraphExprPtr& graph : normalized.graphs) {
     const std::vector<Symbol> spawned = spawned_vertices(*graph);
     std::vector<Symbol> us;
@@ -40,8 +45,9 @@ MhpResult mhp_in_type(const GTypePtr& g, Symbol u, Symbol w, unsigned depth,
       if (is_vertex_instance(v, w)) ws.push_back(v);
     }
     if (us.empty() || ws.empty()) continue;
-    // Lower once per graph, then test every instance pair.
-    const Graph lowered = lower_to_graph(*graph);
+    // Lower once per graph (reusing the arena across graphs), then test
+    // every instance pair on the numeric ids.
+    const CsrGraph lowered = lower_to_csr(*graph, arena);
     bool counted = false;
     for (Symbol a : us) {
       for (Symbol b : ws) {
@@ -50,7 +56,9 @@ MhpResult mhp_in_type(const GTypePtr& g, Symbol u, Symbol w, unsigned depth,
           ++result.witnesses_checked;
           counted = true;
         }
-        if (!lowered.reachable(a, b) && !lowered.reachable(b, a)) {
+        const VertexId av = lowered.find_vertex(a);
+        const VertexId bv = lowered.find_vertex(b);
+        if (!lowered.reachable(av, bv) && !lowered.reachable(bv, av)) {
           result.may_happen_in_parallel = true;
           return result;
         }

@@ -1,0 +1,281 @@
+#include "gtdl/graph/csr.hpp"
+
+#include <algorithm>
+
+#include "gtdl/obs/metrics.hpp"
+#include "gtdl/support/overloaded.hpp"
+
+namespace gtdl {
+
+namespace {
+
+struct GraphMetrics {
+  obs::Counter& lowered;
+  obs::Counter& vertices;
+
+  static GraphMetrics& get() {
+    static GraphMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::instance();
+      return new GraphMetrics{
+          reg.counter(obs::MetricDesc{"graph.lowered", "graph", "graphs",
+                                      "ground graphs lowered to CSR form"}),
+          reg.counter(obs::MetricDesc{"graph.vertices", "graph", "vertices",
+                                      "vertices across all CSR lowerings"}),
+      };
+    }();
+    return *m;
+  }
+};
+
+struct Ends {
+  VertexId start;
+  VertexId end;
+};
+
+}  // namespace
+
+// One pass over the expression: ids in traversal order (matching the
+// note-order of the Symbol lowering, so cycle reports pick the same
+// vertices), edges appended flat. No interning, no hashing beyond the
+// designated-name map.
+class CsrLowering {
+ public:
+  explicit CsrLowering(GraphArena& arena) : a_(arena) {}
+
+  Ends walk(const GraphExpr& expr) {
+    return std::visit(
+        Overloaded{
+            [&](const GESingleton&) {
+              const VertexId v = interior();
+              return Ends{v, v};
+            },
+            [&](const GESeq& node) {
+              const Ends lhs = walk(*node.lhs);
+              const Ends rhs = walk(*node.rhs);
+              a_.edges_.emplace_back(lhs.end, rhs.start);
+              return Ends{lhs.start, rhs.end};
+            },
+            [&](const GESpawn& node) {
+              // (V,E,s,t) /u = (V ∪ {u,u'}, E ∪ {(u',s), (t,u)}, u', u')
+              const VertexId main_vertex = interior();
+              const Ends body = walk(*node.body);
+              const VertexId designated = named(node.vertex);
+              ++a_.declared_count_[designated];
+              a_.edges_.emplace_back(main_vertex, body.start);
+              a_.edges_.emplace_back(body.end, designated);
+              return Ends{main_vertex, main_vertex};
+            },
+            [&](const GETouch& node) {
+              // ᵘ\ = ({u'}, {(u,u')}, u', u'); u may never be spawned.
+              const VertexId main_vertex = interior();
+              const VertexId target = named(node.vertex);
+              if (a_.touched_[target] == 0) {
+                a_.touched_[target] = 1;
+                a_.touch_order_.push_back(target);
+              }
+              a_.edges_.emplace_back(target, main_vertex);
+              return Ends{main_vertex, main_vertex};
+            },
+        },
+        expr.node);
+  }
+
+ private:
+  VertexId interior() {
+    const VertexId v = static_cast<VertexId>(a_.names_.size());
+    a_.names_.emplace_back();
+    a_.declared_count_.push_back(0);
+    a_.touched_.push_back(0);
+    return v;
+  }
+
+  VertexId named(Symbol s) {
+    const auto [it, inserted] =
+        a_.by_name_.try_emplace(s, static_cast<VertexId>(a_.names_.size()));
+    if (inserted) {
+      a_.names_.push_back(s);
+      a_.declared_count_.push_back(0);
+      a_.touched_.push_back(0);
+    }
+    return it->second;
+  }
+
+  GraphArena& a_;
+};
+
+void GraphArena::reset() {
+  edges_.clear();
+  names_.clear();
+  declared_count_.clear();
+  touched_.clear();
+  by_name_.clear();
+  touch_order_.clear();
+  unspawned_.clear();
+}
+
+CsrGraph lower_to_csr(const GraphExpr& expr, GraphArena& arena) {
+  arena.reset();
+  CsrLowering lowering(arena);
+  const Ends main_thread = lowering.walk(expr);
+
+  // Situation (1), derived from the walk's own records: touched but never
+  // spawned, in first-touch order (what unspawned_touch_targets reports).
+  for (const VertexId v : arena.touch_order_) {
+    if (arena.declared_count_[v] == 0) {
+      arena.unspawned_.push_back(arena.names_[v]);
+    }
+  }
+
+  // CSR rows by counting sort; per-source successor order is edge
+  // insertion order, matching the adjacency-list build.
+  const std::size_t n = arena.names_.size();
+  arena.row_.assign(n + 1, 0);
+  for (const auto& e : arena.edges_) ++arena.row_[e.first + 1];
+  for (std::size_t i = 0; i < n; ++i) arena.row_[i + 1] += arena.row_[i];
+  arena.cursor_.assign(arena.row_.begin(), arena.row_.end() - 1);
+  arena.col_.resize(arena.edges_.size());
+  for (const auto& e : arena.edges_) {
+    arena.col_[arena.cursor_[e.first]++] = e.second;
+  }
+
+  GraphMetrics& gm = GraphMetrics::get();
+  gm.lowered.add();
+  gm.vertices.add(n);
+
+  CsrGraph g;
+  g.arena_ = &arena;
+  g.start_ = main_thread.start;
+  g.end_ = main_thread.end;
+  return g;
+}
+
+std::uint32_t CsrGraph::vertex_count() const noexcept {
+  return static_cast<std::uint32_t>(arena_->names_.size());
+}
+
+std::uint32_t CsrGraph::edge_count() const noexcept {
+  return static_cast<std::uint32_t>(arena_->edges_.size());
+}
+
+Symbol CsrGraph::symbol_of(VertexId v) const { return arena_->names_[v]; }
+
+bool CsrGraph::is_designated(VertexId v) const {
+  return arena_->names_[v].valid();
+}
+
+std::uint32_t CsrGraph::declared_count(VertexId v) const {
+  return arena_->declared_count_[v];
+}
+
+VertexId CsrGraph::find_vertex(Symbol s) const {
+  const auto it = arena_->by_name_.find(s);
+  return it != arena_->by_name_.end() ? it->second : kNoVertex;
+}
+
+const std::vector<std::pair<VertexId, VertexId>>& CsrGraph::edge_list()
+    const noexcept {
+  return arena_->edges_;
+}
+
+std::pair<const VertexId*, const VertexId*> CsrGraph::successors(
+    VertexId v) const {
+  const VertexId* base = arena_->col_.data();
+  return {base + arena_->row_[v], base + arena_->row_[v + 1]};
+}
+
+const std::vector<Symbol>& CsrGraph::unspawned_touches() const noexcept {
+  return arena_->unspawned_;
+}
+
+namespace {
+
+// Mark bytes for the traversals.
+enum : std::uint8_t { kUnvisited = 0, kOnStack = 1, kDone = 2 };
+
+}  // namespace
+
+std::optional<std::vector<VertexId>> CsrGraph::find_cycle() const {
+  GraphArena& a = *arena_;
+  const std::uint32_t n = vertex_count();
+  a.marks_.assign(n, kUnvisited);
+  for (VertexId root = 0; root < n; ++root) {
+    if (a.marks_[root] != kUnvisited) continue;
+    a.stack_.clear();
+    a.stack_.push_back({root, a.row_[root]});
+    a.marks_[root] = kOnStack;
+    while (!a.stack_.empty()) {
+      GraphArena::Frame& frame = a.stack_.back();
+      if (frame.next_edge < a.row_[frame.vertex + 1]) {
+        const VertexId next = a.col_[frame.next_edge++];
+        std::uint8_t& mark = a.marks_[next];
+        if (mark == kUnvisited) {
+          mark = kOnStack;
+          a.stack_.push_back({next, a.row_[next]});
+        } else if (mark == kOnStack) {
+          // Back edge: the cycle is the DFS-path suffix from `next`.
+          std::vector<VertexId> cycle;
+          auto it = std::find_if(
+              a.stack_.begin(), a.stack_.end(),
+              [&](const GraphArena::Frame& f) { return f.vertex == next; });
+          for (; it != a.stack_.end(); ++it) cycle.push_back(it->vertex);
+          return cycle;
+        }
+      } else {
+        a.marks_[frame.vertex] = kDone;
+        a.stack_.pop_back();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool CsrGraph::has_cycle() const { return find_cycle().has_value(); }
+
+bool CsrGraph::reachable(VertexId from, VertexId to) const {
+  const std::uint32_t n = vertex_count();
+  if (from >= n) return false;
+  if (from == to) return true;
+  GraphArena& a = *arena_;
+  a.marks_.assign(n, kUnvisited);
+  a.worklist_.clear();
+  a.marks_[from] = kDone;
+  a.worklist_.push_back(from);
+  while (!a.worklist_.empty()) {
+    const VertexId v = a.worklist_.back();
+    a.worklist_.pop_back();
+    for (std::uint32_t i = a.row_[v]; i < a.row_[v + 1]; ++i) {
+      const VertexId next = a.col_[i];
+      if (next == to) return true;
+      if (a.marks_[next] == kUnvisited) {
+        a.marks_[next] = kDone;
+        a.worklist_.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+std::optional<std::vector<VertexId>> CsrGraph::topological_order() const {
+  GraphArena& a = *arena_;
+  const std::uint32_t n = vertex_count();
+  a.indegree_.assign(n, 0);
+  for (const auto& e : a.edges_) ++a.indegree_[e.second];
+  a.worklist_.clear();
+  for (VertexId v = 0; v < n; ++v) {
+    if (a.indegree_[v] == 0) a.worklist_.push_back(v);
+  }
+  std::vector<VertexId> order;
+  order.reserve(n);
+  while (!a.worklist_.empty()) {
+    const VertexId v = a.worklist_.back();
+    a.worklist_.pop_back();
+    order.push_back(v);
+    for (std::uint32_t i = a.row_[v]; i < a.row_[v + 1]; ++i) {
+      if (--a.indegree_[a.col_[i]] == 0) a.worklist_.push_back(a.col_[i]);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+}  // namespace gtdl

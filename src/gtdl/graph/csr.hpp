@@ -1,0 +1,134 @@
+// Arena-backed CSR form of one lowered ground graph.
+//
+// The Symbol-keyed Graph class (graph.hpp) is convenient for hand-built
+// graphs and DOT rendering, but on the detector hot path — where the GML
+// baseline lowers MILLIONS of normalized ground graphs just to ask "any
+// cycle? any unspawned touch?" — it pays a Symbol::fresh interning per
+// interior vertex plus hash-map adjacency. This header is the streaming
+// counterpart: lowering assigns dense uint32_t vertex ids directly in ONE
+// pass over the GraphExpr (interior vertices are never named at all;
+// designated vertices keep their Symbol only as a per-id annotation), the
+// adjacency is built as compressed sparse rows by counting sort, and the
+// traversals run over flat arrays with byte-vector marks.
+//
+// All storage lives in a caller-provided GraphArena that is reused across
+// lowerings, so a scan loop settles into zero allocation once the
+// high-water capacity is reached. A CsrGraph is a VIEW into its arena:
+// valid until the arena is handed to the next lower_to_csr call.
+//
+// Deliberately no Symbol::fresh anywhere in this layer — witness symbols
+// for interior vertices are minted only when a report is actually
+// rendered (graph.cpp).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "gtdl/graph/graph_expr.hpp"
+#include "gtdl/support/symbol.hpp"
+
+namespace gtdl {
+
+using VertexId = std::uint32_t;
+inline constexpr VertexId kNoVertex = 0xffffffffu;
+
+class CsrGraph;
+
+// Reusable backing store for CSR lowerings and their traversals. Not
+// thread-safe; use one arena per thread (find_ground_deadlock keeps a
+// thread_local one for exactly that reason).
+class GraphArena {
+ public:
+  GraphArena() = default;
+  GraphArena(const GraphArena&) = delete;
+  GraphArena& operator=(const GraphArena&) = delete;
+
+ private:
+  friend class CsrGraph;
+  friend class CsrLowering;  // the walk in csr.cpp
+  friend CsrGraph lower_to_csr(const GraphExpr& expr, GraphArena& arena);
+
+  void reset();
+
+  // Filled by the lowering walk.
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+  std::vector<Symbol> names_;  // per vertex; default Symbol for interior
+  std::vector<std::uint32_t> declared_count_;  // spawns per vertex
+  std::vector<std::uint8_t> touched_;          // 0/1 per vertex
+  std::unordered_map<Symbol, VertexId> by_name_;
+  std::vector<VertexId> touch_order_;  // designated ids, first-touch order
+  std::vector<Symbol> unspawned_;      // derived after the walk
+  // CSR adjacency.
+  std::vector<std::uint32_t> row_;  // n+1 offsets into col_
+  std::vector<std::uint32_t> cursor_;
+  std::vector<VertexId> col_;
+  // Traversal scratch.
+  std::vector<std::uint8_t> marks_;
+  struct Frame {
+    VertexId vertex;
+    std::uint32_t next_edge;
+  };
+  std::vector<Frame> stack_;
+  std::vector<VertexId> worklist_;
+  std::vector<std::uint32_t> indegree_;
+};
+
+class CsrGraph {
+ public:
+  [[nodiscard]] std::uint32_t vertex_count() const noexcept;
+  [[nodiscard]] std::uint32_t edge_count() const noexcept;
+  [[nodiscard]] VertexId start() const noexcept { return start_; }
+  [[nodiscard]] VertexId end() const noexcept { return end_; }
+
+  // Designated vertices carry their Symbol; interior vertices return the
+  // default (empty) Symbol.
+  [[nodiscard]] Symbol symbol_of(VertexId v) const;
+  [[nodiscard]] bool is_designated(VertexId v) const;
+  // Times `v` appeared as a spawn's designated vertex (0 for touched-only
+  // and interior vertices; >1 flags a duplicate spawn).
+  [[nodiscard]] std::uint32_t declared_count(VertexId v) const;
+  // Id of the designated vertex named `s`, or kNoVertex.
+  [[nodiscard]] VertexId find_vertex(Symbol s) const;
+
+  // Edges in lowering order (the order Graph::edges() would hold).
+  [[nodiscard]] const std::vector<std::pair<VertexId, VertexId>>& edge_list()
+      const noexcept;
+  [[nodiscard]] std::pair<const VertexId*, const VertexId*> successors(
+      VertexId v) const;
+
+  // Touched designated vertices that are never spawned, in first-touch
+  // order — the paper's deadlock situation (1), precomputed during the
+  // lowering walk (no second pass over the expression).
+  [[nodiscard]] const std::vector<Symbol>& unspawned_touches() const noexcept;
+
+  // A cycle as ids v0 -> v1 -> ... -> v0 (closing edge implicit), or
+  // nullopt. Deterministic: DFS roots in id (= lowering) order, edges in
+  // insertion order — the same cycle Graph::find_cycle reports.
+  [[nodiscard]] std::optional<std::vector<VertexId>> find_cycle() const;
+  [[nodiscard]] bool has_cycle() const;
+
+  [[nodiscard]] bool reachable(VertexId from, VertexId to) const;
+
+  // Topological order over all vertices, or nullopt if cyclic.
+  [[nodiscard]] std::optional<std::vector<VertexId>> topological_order() const;
+
+ private:
+  friend CsrGraph lower_to_csr(const GraphExpr& expr, GraphArena& arena);
+
+  GraphArena* arena_ = nullptr;
+  VertexId start_ = kNoVertex;
+  VertexId end_ = kNoVertex;
+};
+
+// Lowers a ground graph expression per Fig. 2 (same shape as
+// lower_to_graph) in a single pass: vertex ids are assigned in traversal
+// order, edges are recorded flat, and the CSR rows are built by counting
+// sort. The returned view aliases `arena` and is invalidated by the next
+// lowering into the same arena.
+[[nodiscard]] CsrGraph lower_to_csr(const GraphExpr& expr, GraphArena& arena);
+
+}  // namespace gtdl

@@ -1,9 +1,10 @@
 #include "gtdl/graph/graph.hpp"
 
 #include <algorithm>
+#include <string_view>
 #include <unordered_set>
 
-#include "gtdl/support/overloaded.hpp"
+#include "gtdl/graph/csr.hpp"
 
 namespace gtdl {
 
@@ -24,10 +25,15 @@ bool Graph::add_vertex(Symbol v) {
 }
 
 void Graph::add_edge(Symbol from, Symbol to) {
-  note_endpoint(from);
+  // One lookup for `from`: create-or-find the adjacency slot and keep the
+  // element reference (stable across the rehash note_endpoint(to) may
+  // trigger — only iterators are invalidated).
+  const auto [it, inserted] = adjacency_.try_emplace(from);
+  if (inserted) seen_order_.push_back(from);
+  std::vector<Symbol>& successors = it->second;
   note_endpoint(to);
   edges_.push_back(Edge{from, to});
-  adjacency_[from].push_back(to);
+  successors.push_back(to);
 }
 
 std::vector<Symbol> Graph::undeclared_vertices() const {
@@ -138,16 +144,34 @@ std::optional<std::vector<Symbol>> Graph::topological_order() const {
   return order;
 }
 
+namespace {
+
+// DOT quoted-string escaping: a bare `"` would terminate the id and a
+// bare `\` would start an escape sequence, mangling the rendering for
+// vertex names containing either.
+std::string dot_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
 std::string Graph::to_dot(const std::string& name) const {
   std::string out = "digraph " + name + " {\n";
   for (Symbol v : seen_order_) {
+    const std::string escaped = dot_escape(v.view());
     out += "  \"";
-    out += v.view();
+    out += escaped;
     out += '"';
     if (v == start_) {
-      out += " [shape=diamond,label=\"" + v.str() + " (start)\"]";
+      out += " [shape=diamond,label=\"" + escaped + " (start)\"]";
     } else if (v == end_) {
-      out += " [shape=doublecircle,label=\"" + v.str() + " (end)\"]";
+      out += " [shape=doublecircle,label=\"" + escaped + " (end)\"]";
     }
     const bool undeclared =
         declared_count_.find(v) == declared_count_.end();
@@ -156,81 +180,72 @@ std::string Graph::to_dot(const std::string& name) const {
   }
   for (const Edge& e : edges_) {
     out += "  \"";
-    out += e.from.view();
+    out += dot_escape(e.from.view());
     out += "\" -> \"";
-    out += e.to.view();
+    out += dot_escape(e.to.view());
     out += "\";\n";
   }
   out += "}\n";
   return out;
 }
 
-namespace {
-
-struct Endpoints {
-  Symbol start;
-  Symbol end;
-};
-
-Endpoints lower_into(const GraphExpr& expr, Graph& graph) {
-  return std::visit(
-      Overloaded{
-          [&](const GESingleton&) {
-            const Symbol v = Symbol::fresh("v");
-            graph.add_vertex(v);
-            return Endpoints{v, v};
-          },
-          [&](const GESeq& node) {
-            const Endpoints lhs = lower_into(*node.lhs, graph);
-            const Endpoints rhs = lower_into(*node.rhs, graph);
-            graph.add_edge(lhs.end, rhs.start);
-            return Endpoints{lhs.start, rhs.end};
-          },
-          [&](const GESpawn& node) {
-            // (V,E,s,t) /u = (V ∪ {u,u'}, E ∪ {(u',s), (t,u)}, u', u')
-            const Symbol main_vertex = Symbol::fresh("v");
-            graph.add_vertex(main_vertex);
-            const Endpoints body = lower_into(*node.body, graph);
-            graph.add_vertex(node.vertex);
-            graph.add_edge(main_vertex, body.start);
-            graph.add_edge(body.end, node.vertex);
-            return Endpoints{main_vertex, main_vertex};
-          },
-          [&](const GETouch& node) {
-            // ᵘ\ = ({u'}, {(u,u')}, u', u'); u may be declared elsewhere.
-            const Symbol main_vertex = Symbol::fresh("v");
-            graph.add_vertex(main_vertex);
-            graph.add_edge(node.vertex, main_vertex);
-            return Endpoints{main_vertex, main_vertex};
-          },
-      },
-      expr.node);
-}
-
-}  // namespace
-
 Graph lower_to_graph(const GraphExpr& expr) {
+  GraphArena arena;
+  const CsrGraph csr = lower_to_csr(expr, arena);
+  const std::uint32_t n = csr.vertex_count();
+
+  // Symbolization replay. CSR ids are assigned at the same traversal
+  // points the Symbol lowering declared or first saw each vertex, so
+  // walking ids in order reproduces the old first-seen order and mints
+  // the same sequence of fresh interior names.
+  std::vector<Symbol> names(n);
   Graph graph;
-  const Endpoints main_thread = lower_into(expr, graph);
-  graph.set_start(main_thread.start);
-  graph.set_end(main_thread.end);
+  for (VertexId v = 0; v < n; ++v) {
+    Symbol s = csr.symbol_of(v);
+    if (!s.valid()) s = Symbol::fresh("v");
+    names[v] = s;
+    if (csr.is_designated(v) && csr.declared_count(v) == 0) {
+      // Touched but never spawned: seen here, never declared.
+      graph.note_endpoint(s);
+      continue;
+    }
+    const std::uint32_t declared =
+        csr.is_designated(v) ? csr.declared_count(v) : 1;
+    for (std::uint32_t i = 0; i < declared; ++i) graph.add_vertex(s);
+  }
+  for (const auto& [from, to] : csr.edge_list()) {
+    graph.add_edge(names[from], names[to]);
+  }
+  graph.set_start(names[csr.start()]);
+  graph.set_end(names[csr.end()]);
   return graph;
 }
 
-GroundDeadlock find_ground_deadlock(const GraphExpr& expr) {
+GroundDeadlock find_ground_deadlock(const GraphExpr& expr, GraphArena& arena) {
   GroundDeadlock verdict;
-  const OrderedSet<Symbol> unspawned = unspawned_touch_targets(expr);
+  const CsrGraph graph = lower_to_csr(expr, arena);
+  const std::vector<Symbol>& unspawned = graph.unspawned_touches();
   if (!unspawned.empty()) {
     verdict.unspawned_touch = true;
-    verdict.witness.assign(unspawned.begin(), unspawned.end());
+    verdict.witness = unspawned;
     return verdict;
   }
-  const Graph graph = lower_to_graph(expr);
   if (auto cycle = graph.find_cycle()) {
     verdict.cycle = true;
-    verdict.witness = std::move(*cycle);
+    verdict.witness.reserve(cycle->size());
+    for (const VertexId v : *cycle) {
+      // Witness symbols are minted only now that a deadlock is being
+      // reported; the scan itself never names interior vertices.
+      const Symbol s = graph.symbol_of(v);
+      verdict.witness.push_back(s.valid() ? s : Symbol::fresh("v"));
+    }
   }
   return verdict;
+}
+
+GroundDeadlock find_ground_deadlock(const GraphExpr& expr) {
+  thread_local GraphArena arena;
+  return find_ground_deadlock(expr, arena);
 }
 
 }  // namespace gtdl

@@ -86,6 +86,10 @@ class Graph {
   [[nodiscard]] std::string to_dot(const std::string& name = "g") const;
 
  private:
+  // The lowering replay needs note_endpoint to place touched-but-never-
+  // spawned vertices at their first-seen position without declaring them.
+  friend Graph lower_to_graph(const GraphExpr& expr);
+
   // Ensures v has an adjacency slot without declaring it.
   void note_endpoint(Symbol v);
 
@@ -105,8 +109,11 @@ class Graph {
 //   g /u     => fresh main vertex u'; edges (u', s_g) and (t_g, u);
 //               u is declared as the future's designated end vertex
 //   ᵘ\       => fresh main vertex u'; edge (u, u'); u may be undeclared
-// Fresh interior vertices are drawn from Symbol::fresh so repeated
-// lowerings never collide.
+// Implemented as a symbolization of the numeric CSR lowering (csr.hpp):
+// interior vertices get Symbol::fresh names only HERE, at rendering time
+// — the detector hot path uses lower_to_csr and never names them. Meant
+// for cold paths (DOT output, MHP queries on named vertices, tests);
+// repeated lowerings never collide.
 [[nodiscard]] Graph lower_to_graph(const GraphExpr& expr);
 
 // Convenience verdict used by the GML-style baseline detector and by the
@@ -120,6 +127,15 @@ struct GroundDeadlock {
   [[nodiscard]] bool any() const noexcept { return cycle || unspawned_touch; }
 };
 
+// Scans via the arena-backed CSR lowering (csr.hpp): one pass assigns
+// numeric vertex ids — no Symbol interning — and the verdict's witness
+// symbols are rendered only when a deadlock is actually found. The
+// single-argument form keeps a thread_local arena, so concurrent scans
+// from pool workers are safe and allocation-free at steady state; pass an
+// explicit arena to control reuse.
+class GraphArena;  // csr.hpp
 [[nodiscard]] GroundDeadlock find_ground_deadlock(const GraphExpr& expr);
+[[nodiscard]] GroundDeadlock find_ground_deadlock(const GraphExpr& expr,
+                                                  GraphArena& arena);
 
 }  // namespace gtdl

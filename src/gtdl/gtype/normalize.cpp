@@ -1,12 +1,14 @@
 #include "gtdl/gtype/normalize.hpp"
 
 #include <limits>
+#include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
 #include "gtdl/gtype/intern.hpp"
 #include "gtdl/gtype/subst.hpp"
+#include "gtdl/obs/metrics.hpp"
 #include "gtdl/obs/trace.hpp"
 #include "gtdl/support/overloaded.hpp"
 
@@ -364,6 +366,352 @@ NormalizeResult normalize(const GTypePtr& g, unsigned depth,
   result.depth_limited = normalizer.depth_limited();
   result.steps = normalizer.steps();
   return result;
+}
+
+namespace {
+
+struct StreamMetrics {
+  obs::Counter& streamed;
+  obs::Counter& short_circuits;
+
+  static StreamMetrics& get() {
+    static StreamMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::instance();
+      return new StreamMetrics{
+          reg.counter(obs::MetricDesc{
+              "gtype.enumerate.streamed", "gtype", "graphs",
+              "graphs delivered by the streaming enumerator"}),
+          reg.counter(obs::MetricDesc{
+              "gtype.enumerate.short_circuits", "gtype", "runs",
+              "streaming enumerations stopped early by the visitor"}),
+      };
+    }();
+    return *m;
+  }
+};
+
+// Non-owning callable reference used for the streaming enumerator's
+// continuations: each node wires its children's emissions into local
+// stack functors (dedup filters, pair builders, capture buffers), and a
+// type-erased thin pointer avoids one std::function allocation per node.
+class EmitRef {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cv_t<F>, EmitRef>>>
+  explicit EmitRef(F& fn)
+      : obj_(&fn), call_([](void* o, const GraphExprPtr& g) {
+          return (*static_cast<F*>(o))(g);
+        }) {}
+
+  bool operator()(const GraphExprPtr& g) const { return call_(obj_, g); }
+
+ private:
+  void* obj_;
+  bool (*call_)(void*, const GraphExprPtr&);
+};
+
+// Streaming counterpart of Normalizer: same rules, same eager
+// alpha-deduplication semantics, but results flow through continuations
+// instead of vectors. Where Normalizer deduplicates EVERY node's result
+// vector, the stream only needs filters at the nodes whose rule can
+// introduce duplicates into already-deduplicated child streams — ⊕
+// (pairs may collide), ∨ and μ (unions may overlap) — plus memo capture:
+// the •/~u singleton rules cannot collide, and the spawn/ν/app rules are
+// key-injective maps over one child stream, so filtering there would
+// never drop anything.
+class StreamingNormalizer {
+ public:
+  explicit StreamingNormalizer(const NormalizeLimits& limits)
+      : limits_(limits),
+        use_memo_(limits.enable_memo &&
+                  GTypeInterner::instance().memoization_enabled()) {}
+
+  StreamStats run(const GTypePtr& g, unsigned n, EmitRef visit) {
+    auto top = [&](const GraphExprPtr& gr) -> bool {
+      if (emitted_ >= limits_.max_graphs) {
+        truncated_ = true;
+        return false;
+      }
+      ++emitted_;
+      if (!visit(gr)) {
+        stopped_ = true;
+        return false;
+      }
+      return true;
+    };
+    EmitRef top_ref(top);
+    stream(g, n, 0, top_ref);
+    StreamStats stats;
+    stats.emitted = emitted_;
+    stats.steps = steps_;
+    stats.peak_materialized = peak_buffered_;
+    stats.stopped = stopped_;
+    stats.truncated = truncated_;
+    stats.depth_limited = depth_limited_;
+    return stats;
+  }
+
+ private:
+  // Emits every graph of Norm_n(g) into `out`, deduplicated exactly as
+  // Normalizer::norm would. Returns false iff enumeration must unwind
+  // (the consumer stopped or a limit tripped) — an EMPTY result set
+  // returns true.
+  bool stream(const GTypePtr& g, unsigned n, std::size_t depth,
+              EmitRef out) {
+    if (stopped_ || truncated_) return false;
+    if (n == 0) return true;
+    if (depth > limits_.max_depth) {
+      truncated_ = true;
+      depth_limited_ = true;
+      return false;
+    }
+    if (++steps_ > limits_.max_steps) {
+      truncated_ = true;
+      return false;
+    }
+    const GTypeFacts* facts = g->facts;
+    const bool memoizable =
+        use_memo_ && facts != nullptr &&
+        (std::holds_alternative<GTRec>(g->node) ||
+         std::holds_alternative<GTApp>(g->node) ||
+         std::holds_alternative<GTNew>(g->node));
+    if (!memoizable) return stream_node(g, n, depth, out);
+    const MemoKey key{facts->id, n};
+    if (auto it = memo_.find(key); it != memo_.end()) {
+      GTypeInterner::instance().note_norm_memo(true);
+      // Replay the captured (already deduplicated) stream with the
+      // ν-instantiated names refreshed, exactly like the vector path.
+      const std::vector<GraphExprPtr> refreshed =
+          refresh_instantiations(*facts, it->second);
+      for (const GraphExprPtr& gr : refreshed) {
+        if (!out(gr)) return false;
+      }
+      return true;
+    }
+    GTypeInterner::instance().note_norm_memo(false);
+    // Capture the subterm's stream while it flows past, so later
+    // occurrences of the same (node, fuel) replay it instead of
+    // re-deriving. The capture respects the global materialization
+    // budget: on overflow it is abandoned and the subterm will simply be
+    // re-streamed on reuse.
+    std::vector<GraphExprPtr> buffer;
+    bool overflow = false;
+    auto capture = [&](const GraphExprPtr& gr) -> bool {
+      if (!overflow && !buffer_push(buffer, gr)) {
+        overflow = true;
+        buffer_release(buffer);
+      }
+      return out(gr);
+    };
+    EmitRef capture_ref(capture);
+    const bool cont = stream_node(g, n, depth, capture_ref);
+    if (cont && !truncated_ && !stopped_ && !overflow) {
+      // Complete enumeration: reusable. The buffered graphs stay charged
+      // against the budget for the life of this call, like the memo they
+      // now live in.
+      memo_.emplace(key, std::move(buffer));
+    } else if (!overflow) {
+      buffer_release(buffer);
+    }
+    return cont;
+  }
+
+  bool stream_node(const GTypePtr& g, unsigned n, std::size_t depth,
+                   EmitRef out) {
+    return std::visit(
+        Overloaded{
+            [&](const GTEmpty&) { return out(ge::singleton()); },
+            [&](const GTSeq& node) {
+              return stream_seq(node, n, depth, out);
+            },
+            [&](const GTOr& node) {
+              DedupFilter filter{this, out, {}};
+              EmitRef filter_ref(filter);
+              return stream(node.lhs, n, depth + 1, filter_ref) &&
+                     stream(node.rhs, n, depth + 1, filter_ref);
+            },
+            [&](const GTSpawn& node) {
+              auto wrap = [&](const GraphExprPtr& body) {
+                return out(ge::spawn(body, node.vertex));
+              };
+              EmitRef wrap_ref(wrap);
+              return stream(node.body, n, depth + 1, wrap_ref);
+            },
+            [&](const GTTouch& node) { return out(ge::touch(node.vertex)); },
+            [&](const GTRec&) {
+              // Norm_n(μγ.G) = Norm_{n-1}(G[μγ.G/γ]) ∪ Norm_{n-1}(μγ.G)
+              DedupFilter filter{this, out, {}};
+              EmitRef filter_ref(filter);
+              return stream(cached_unroll(g), n - 1, depth + 1,
+                            filter_ref) &&
+                     stream(g, n - 1, depth + 1, filter_ref);
+            },
+            [&](const GTVar&) { return true; },
+            [&](const GTNew& node) {
+              // Norm_n(νu.G) = Norm_n(G[u'/u]), u' fresh.
+              const Symbol fresh = Symbol::fresh(node.vertex.view());
+              const GTypePtr body = substitute_vertices(
+                  node.body, VertexSubst{{node.vertex, fresh}});
+              return stream(body, n, depth + 1, out);
+            },
+            [&](const GTPi&) { return true; },
+            [&](const GTApp& node) {
+              GTypePtr fn = node.fn;
+              unsigned fuel = n;
+              while (!std::holds_alternative<GTPi>(fn->node)) {
+                if (!std::holds_alternative<GTRec>(fn->node) || fuel == 0) {
+                  return true;
+                }
+                fn = cached_unroll(fn);
+                --fuel;
+              }
+              const auto& pi = std::get<GTPi>(fn->node);
+              if (pi.spawn_params.size() != node.spawn_args.size() ||
+                  pi.touch_params.size() != node.touch_args.size()) {
+                return true;
+              }
+              VertexSubst subst;
+              for (std::size_t i = 0; i < pi.spawn_params.size(); ++i) {
+                subst.emplace(pi.spawn_params[i], node.spawn_args[i]);
+              }
+              for (std::size_t i = 0; i < pi.touch_params.size(); ++i) {
+                subst.emplace(pi.touch_params[i], node.touch_args[i]);
+              }
+              return stream(substitute_vertices(pi.body, subst), fuel,
+                            depth + 1, out);
+            },
+        },
+        g->node);
+  }
+
+  // The ⊕ rule without the product vector: the lhs is streamed once; the
+  // FIRST lhs graph drives a full rhs enumeration whose graphs are
+  // buffered (budget permitting) so every later lhs graph pairs against
+  // the buffer — sharing rhs structure exactly like the materialized
+  // product does. If the rhs overflows the budget it is re-streamed per
+  // lhs graph instead: slower, but peak memory stays capped.
+  bool stream_seq(const GTSeq& node, unsigned n, std::size_t depth,
+                  EmitRef out) {
+    DedupFilter filter{this, out, {}};
+    enum class RhsState { kUnknown, kCached, kTooBig };
+    RhsState rhs_state = RhsState::kUnknown;
+    std::vector<GraphExprPtr> rhs_cache;
+    bool keep_going = true;
+    auto on_lhs = [&](const GraphExprPtr& a) -> bool {
+      auto pair_out = [&](const GraphExprPtr& b) {
+        return filter(ge::seq(a, b));
+      };
+      switch (rhs_state) {
+        case RhsState::kUnknown: {
+          bool overflow = false;
+          auto first_pass = [&](const GraphExprPtr& b) -> bool {
+            if (!overflow && !buffer_push(rhs_cache, b)) {
+              overflow = true;
+              buffer_release(rhs_cache);
+            }
+            return pair_out(b);
+          };
+          EmitRef first_ref(first_pass);
+          keep_going = stream(node.rhs, n, depth + 1, first_ref);
+          if (!keep_going) return false;
+          rhs_state = overflow ? RhsState::kTooBig : RhsState::kCached;
+          return true;
+        }
+        case RhsState::kCached: {
+          for (const GraphExprPtr& b : rhs_cache) {
+            if (!pair_out(b)) {
+              keep_going = false;
+              return false;
+            }
+          }
+          return true;
+        }
+        case RhsState::kTooBig: {
+          EmitRef pair_ref(pair_out);
+          keep_going = stream(node.rhs, n, depth + 1, pair_ref);
+          return keep_going;
+        }
+      }
+      return false;  // unreachable
+    };
+    EmitRef lhs_ref(on_lhs);
+    const bool cont = stream(node.lhs, n, depth + 1, lhs_ref) && keep_going;
+    buffer_release(rhs_cache);
+    return cont;
+  }
+
+  // Keeps the first occurrence of each alpha-key, mirroring
+  // dedup_alpha_graphs over a vector. Duplicates are swallowed (the
+  // stream continues); only a downstream stop propagates false.
+  struct DedupFilter {
+    StreamingNormalizer* self;
+    EmitRef next;
+    std::unordered_set<std::string> seen;
+
+    bool operator()(const GraphExprPtr& g) {
+      if (self->limits_.dedup_alpha &&
+          !seen.insert(graph_alpha_key(*g)).second) {
+        return true;
+      }
+      return next(g);
+    }
+  };
+
+  bool buffer_push(std::vector<GraphExprPtr>& buffer,
+                   const GraphExprPtr& g) {
+    if (live_buffered_ >= limits_.stream_materialize_cap) return false;
+    buffer.push_back(g);
+    ++live_buffered_;
+    if (live_buffered_ > peak_buffered_) peak_buffered_ = live_buffered_;
+    return true;
+  }
+
+  void buffer_release(std::vector<GraphExprPtr>& buffer) {
+    live_buffered_ -= buffer.size();
+    buffer.clear();
+    buffer.shrink_to_fit();
+  }
+
+  GTypePtr cached_unroll(const GTypePtr& g) {
+    return GTypeInterner::instance().cached_unroll(g);
+  }
+
+  using MemoKey = std::pair<std::uint64_t, unsigned>;
+  struct MemoKeyHash {
+    std::size_t operator()(const MemoKey& k) const noexcept {
+      return std::hash<std::uint64_t>{}(k.first) ^
+             (std::hash<unsigned>{}(k.second) * 0x9e3779b97f4a7c15ull);
+    }
+  };
+
+  const NormalizeLimits& limits_;
+  const bool use_memo_;
+  std::size_t steps_ = 0;
+  std::size_t emitted_ = 0;
+  std::size_t live_buffered_ = 0;
+  std::size_t peak_buffered_ = 0;
+  bool stopped_ = false;
+  bool truncated_ = false;
+  bool depth_limited_ = false;
+  std::unordered_map<MemoKey, std::vector<GraphExprPtr>, MemoKeyHash> memo_;
+};
+
+}  // namespace
+
+StreamStats for_each_graph(
+    const GTypePtr& g, unsigned depth, const NormalizeLimits& limits,
+    const std::function<bool(const GraphExprPtr&)>& visit) {
+  GTypeInterner::ScopedAnalysis analysis_guard;
+  obs::Span span("gtype", "for_each_graph");
+  StreamingNormalizer normalizer(limits);
+  auto call_visit = [&](const GraphExprPtr& gr) { return visit(gr); };
+  EmitRef visit_ref(call_visit);
+  const StreamStats stats = normalizer.run(g, depth, visit_ref);
+  StreamMetrics& metrics = StreamMetrics::get();
+  metrics.streamed.add(stats.emitted);
+  if (stats.stopped) metrics.short_circuits.add();
+  return stats;
 }
 
 namespace {

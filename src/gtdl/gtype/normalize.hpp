@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,13 @@ struct NormalizeLimits {
   // ν-instantiated fresh names on every reuse. Also subject to the global
   // GTypeInterner::set_memoization toggle.
   bool enable_memo = true;
+  // for_each_graph only: hard budget on graphs the streaming enumerator
+  // may hold materialized at once, across every internal buffer (the ⊕
+  // rule's reusable rhs set and the opportunistic (node, fuel) memo
+  // captures). Buffers that would exceed the budget are abandoned and the
+  // subterm is re-enumerated instead, trading time for the guarantee that
+  // peak memory is bounded by this constant — never by the product size.
+  std::size_t stream_materialize_cap = 1u << 14;
 };
 
 struct NormalizeResult {
@@ -58,6 +66,37 @@ struct NormalizeResult {
 // normalizes open-vertex types).
 [[nodiscard]] NormalizeResult normalize(const GTypePtr& g, unsigned depth,
                                         const NormalizeLimits& limits = {});
+
+// Outcome of one streaming enumeration (for_each_graph below).
+struct StreamStats {
+  std::size_t emitted = 0;  // graphs delivered to the visitor
+  std::size_t steps = 0;    // internal combinator steps (see caveat below)
+  // High-water mark of graphs held in internal buffers; bounded by
+  // NormalizeLimits::stream_materialize_cap by construction.
+  std::size_t peak_materialized = 0;
+  bool stopped = false;        // the visitor returned false (short-circuit)
+  bool truncated = false;      // a limit was hit; the stream is a prefix
+  bool depth_limited = false;  // specifically, max_depth was exceeded
+};
+
+// Streaming counterpart of normalize(): enumerates Norm_depth(g) lazily,
+// invoking `visit` once per graph in EXACTLY the order (and with exactly
+// the alpha-deduplicated multiset) normalize() would store in
+// NormalizeResult::graphs — without ever materializing the top-level ⊕
+// cross-product. `visit` returns false to stop the enumeration early
+// (first-witness mode); that sets `stopped`, not `truncated`.
+//
+// Subterm result sets are still reused through the (node id, fuel) memo:
+// complete subterm streams are captured opportunistically while they are
+// enumerated and replayed (fresh-names refreshed) on later occurrences,
+// but only while the total buffered graphs stay within
+// limits.stream_materialize_cap — beyond that the subterm is re-streamed,
+// so peak memory is bounded by the cap regardless of product size. One
+// consequence: `steps` counts re-enumerations and is therefore not
+// comparable to NormalizeResult::steps; the graph sequence is.
+StreamStats for_each_graph(const GTypePtr& g, unsigned depth,
+                           const NormalizeLimits& limits,
+                           const std::function<bool(const GraphExprPtr&)>& visit);
 
 // Canonical spelling of a ground graph with interior names erased:
 // designated vertices are numbered in first-occurrence order, so two

@@ -1,0 +1,98 @@
+#include "gtdl/par/stream_scan.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "gtdl/graph/csr.hpp"
+#include "gtdl/par/thread_pool.hpp"
+
+namespace gtdl {
+
+GroundDeadlockScanner::GroundDeadlockScanner(const Options& options)
+    : options_(options) {
+  if (options_.batch_size == 0) options_.batch_size = 1;
+  batch_.reserve(options_.batch_size);
+}
+
+bool GroundDeadlockScanner::push(GraphExprPtr graph) {
+  if (found_) return false;
+  batch_.push_back(std::move(graph));
+  ++pushed_;
+  if (batch_.size() >= options_.batch_size) flush();
+  return !found_;
+}
+
+void GroundDeadlockScanner::finish() {
+  if (!found_ && !batch_.empty()) flush();
+}
+
+void GroundDeadlockScanner::flush() {
+  const bool parallel = options_.pool != nullptr && batch_.size() > 1;
+  if (parallel) {
+    flush_parallel();
+  } else {
+    flush_sequential();
+  }
+  batch_start_ += batch_.size();
+  batch_.clear();
+}
+
+void GroundDeadlockScanner::flush_sequential() {
+  for (const GraphExprPtr& graph : batch_) {
+    const GroundDeadlock verdict = find_ground_deadlock(*graph, arena_);
+    if (verdict.any()) {
+      found_ = true;
+      verdict_ = verdict;
+      offending_ = graph;
+      return;
+    }
+  }
+}
+
+void GroundDeadlockScanner::flush_parallel() {
+  // Chunked min-index reduction (the shape gml_baseline's materialized
+  // scan used): a task amortizes its sync cell over many cheap scans and
+  // the winner is the smallest batch index — exactly what the sequential
+  // early-exit loop reports. Workers use the thread_local arena inside
+  // find_ground_deadlock, so no scan state is shared.
+  const std::size_t chunks = std::min<std::size_t>(
+      batch_.size(), static_cast<std::size_t>(options_.threads) * 4);
+  const std::size_t chunk_len = (batch_.size() + chunks - 1) / chunks;
+  std::mutex mu;
+  std::size_t best = batch_.size();
+  GroundDeadlock best_verdict;
+  {
+    TaskGroup group(*options_.pool);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * chunk_len;
+      const std::size_t end = std::min(begin + chunk_len, batch_.size());
+      if (begin >= end) break;
+      group.run([&, begin, end] {
+        for (std::size_t i = begin; i < end; ++i) {
+          {
+            // A hit in an earlier chunk makes this whole chunk moot.
+            std::lock_guard lock(mu);
+            if (best <= begin) return;
+          }
+          const GroundDeadlock verdict = find_ground_deadlock(*batch_[i]);
+          if (verdict.any()) {
+            std::lock_guard lock(mu);
+            if (i < best) {
+              best = i;
+              best_verdict = verdict;
+            }
+            return;  // later graphs in this chunk cannot beat index i
+          }
+        }
+      });
+    }
+    group.wait();
+  }
+  if (best < batch_.size()) {
+    found_ = true;
+    verdict_ = best_verdict;
+    offending_ = batch_[best];
+  }
+}
+
+}  // namespace gtdl

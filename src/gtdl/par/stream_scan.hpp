@@ -1,0 +1,78 @@
+// Order-preserving batched ground-deadlock scan over a graph stream.
+//
+// The GML baseline asks one question of every normalized ground graph:
+// any cycle, any unspawned touch? With the streaming enumerator
+// (gtype/normalize.hpp) graphs arrive one at a time, so the scanner
+// buffers them into fixed-size batches and scans each batch either
+// sequentially (early exit) or fanned out over a thread pool with a
+// minimum-index reduction. Either way the reported witness is the FIRST
+// offending graph in stream order, and the number of graphs consumed
+// before stopping depends only on the batch size — never on the thread
+// count — so reports are deterministic across --jobs settings.
+//
+// Peak materialization is one batch (default 512 graphs) regardless of
+// how many graphs the stream would produce.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "gtdl/graph/csr.hpp"
+#include "gtdl/graph/graph.hpp"
+#include "gtdl/graph/graph_expr.hpp"
+
+namespace gtdl {
+
+class ThreadPool;
+
+class GroundDeadlockScanner {
+ public:
+  struct Options {
+    // Null pool means each batch is scanned on the calling thread.
+    ThreadPool* pool = nullptr;
+    unsigned threads = 1;
+    // Batch and fan-out granularity; also the determinism unit — a hit
+    // anywhere in a batch stops the stream at that batch's boundary.
+    std::size_t batch_size = 512;
+  };
+
+  explicit GroundDeadlockScanner(const Options& options);
+
+  // Feeds the next graph in stream order. Returns false once a deadlock
+  // has been found (the caller should stop streaming); graphs pushed
+  // after that are ignored.
+  bool push(GraphExprPtr graph);
+
+  // Scans whatever partial batch remains. Call once, after the stream.
+  void finish();
+
+  [[nodiscard]] bool found() const noexcept { return found_; }
+  [[nodiscard]] const GroundDeadlock& verdict() const noexcept {
+    return verdict_;
+  }
+  // The first offending graph in stream order (null until found()).
+  [[nodiscard]] const GraphExprPtr& offending_graph() const noexcept {
+    return offending_;
+  }
+  // Graphs accepted from the stream. On a hit this is the batch
+  // boundary just past the offending graph — a deterministic function
+  // of the stream and batch_size alone.
+  [[nodiscard]] std::size_t pushed() const noexcept { return pushed_; }
+
+ private:
+  void flush();
+  void flush_sequential();
+  void flush_parallel();
+
+  Options options_;
+  std::vector<GraphExprPtr> batch_;
+  GraphArena arena_;  // sequential-scan scratch, reused across batches
+  std::size_t pushed_ = 0;
+  std::size_t batch_start_ = 0;  // stream index of batch_[0]
+  bool found_ = false;
+  GroundDeadlock verdict_;
+  GraphExprPtr offending_;
+};
+
+}  // namespace gtdl

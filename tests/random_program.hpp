@@ -1,0 +1,85 @@
+// Random-but-always-well-typed FutLang program generator, shared by the
+// end-to-end soundness fuzz (test_e2e_fuzz.cpp) and the streaming
+// enumeration differential suite (test_streaming.cpp).
+//
+// The generator emits straight-line main() bodies over a pool of future
+// handles with new/spawn/touch in arbitrary (often unsafe) orders, plus
+// spawn bodies that may touch earlier handles — including touch-before-
+// spawn, double-touch, never-spawned, conditional regions, and nested
+// spawn bodies.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace gtdl::fuzz {
+
+class RandomProgram {
+ public:
+  explicit RandomProgram(std::uint64_t seed) : rng_(seed) {}
+
+  std::string generate() {
+    const unsigned handles = 2 + pick(3);  // 2..4 handles
+    std::string body;
+    for (unsigned h = 0; h < handles; ++h) {
+      body += "  let h" + std::to_string(h) + " = new_future[int]();\n";
+    }
+    // A shuffled multiset of operations over the handles.
+    std::vector<std::string> ops;
+    for (unsigned h = 0; h < handles; ++h) {
+      // Most handles get spawned (sometimes twice-attempted programs are
+      // invalid at runtime, so exactly once here); some never.
+      if (pick(10) != 0) ops.push_back(spawn_stmt(h, handles));
+      const unsigned touches = pick(3);  // 0..2 touches
+      for (unsigned t = 0; t < touches; ++t) {
+        ops.push_back("  let v" + fresh() + " = touch(h" +
+                      std::to_string(h) + ");\n");
+      }
+    }
+    std::shuffle(ops.begin(), ops.end(), rng_);
+    for (std::string& op : ops) body += op;
+    return "fun main() {\n" + body + "}\n";
+  }
+
+ private:
+  unsigned pick(unsigned bound) {
+    return std::uniform_int_distribution<unsigned>(0, bound - 1)(rng_);
+  }
+
+  std::string fresh() { return std::to_string(counter_++); }
+
+  std::string spawn_stmt(unsigned h, unsigned handles) {
+    std::string body;
+    switch (pick(3)) {
+      case 0:
+        body = "return " + std::to_string(pick(100)) + ";";
+        break;
+      case 1: {
+        // Touch some other handle from inside the future body.
+        const unsigned other = pick(handles);
+        if (other == h) {
+          body = "return 1;";
+        } else {
+          body = "return touch(h" + std::to_string(other) + ") + 1;";
+        }
+        break;
+      }
+      default: {
+        // A conditional body.
+        body = "if rand() % 2 == 0 { return 0; } else { return " +
+               std::to_string(pick(50)) + "; }";
+        break;
+      }
+    }
+    return "  spawn h" + std::to_string(h) + " { " + body + " }\n";
+  }
+
+  std::mt19937_64 rng_;
+  unsigned counter_ = 0;
+};
+
+}  // namespace gtdl::fuzz

@@ -16,85 +16,17 @@
 
 #include <gtest/gtest.h>
 
-#include <random>
-
 #include "gtdl/detect/deadlock.hpp"
 #include "gtdl/detect/gml_baseline.hpp"
 #include "gtdl/frontend/driver.hpp"
 #include "gtdl/frontend/interp.hpp"
 #include "gtdl/tj/join_policy.hpp"
+#include "random_program.hpp"
 
 namespace gtdl {
 namespace {
 
-// Emits a random but always well-typed FutLang main(). Handle h<k> may be
-// new'd, spawned (body touching a random earlier handle or returning a
-// constant), and touched, in shuffled orders — including touch-before-
-// spawn, double-touch, never-spawned, conditional regions, and nested
-// spawn bodies.
-class RandomProgram {
- public:
-  explicit RandomProgram(std::uint64_t seed) : rng_(seed) {}
-
-  std::string generate() {
-    const unsigned handles = 2 + pick(3);  // 2..4 handles
-    std::string body;
-    for (unsigned h = 0; h < handles; ++h) {
-      body += "  let h" + std::to_string(h) + " = new_future[int]();\n";
-    }
-    // A shuffled multiset of operations over the handles.
-    std::vector<std::string> ops;
-    for (unsigned h = 0; h < handles; ++h) {
-      // Most handles get spawned (sometimes twice-attempted programs are
-      // invalid at runtime, so exactly once here); some never.
-      if (pick(10) != 0) ops.push_back(spawn_stmt(h, handles));
-      const unsigned touches = pick(3);  // 0..2 touches
-      for (unsigned t = 0; t < touches; ++t) {
-        ops.push_back("  let v" + fresh() + " = touch(h" +
-                      std::to_string(h) + ");\n");
-      }
-    }
-    std::shuffle(ops.begin(), ops.end(), rng_);
-    for (std::string& op : ops) body += op;
-    return "fun main() {\n" + body + "}\n";
-  }
-
- private:
-  unsigned pick(unsigned bound) {
-    return std::uniform_int_distribution<unsigned>(0, bound - 1)(rng_);
-  }
-
-  std::string fresh() { return std::to_string(counter_++); }
-
-  std::string spawn_stmt(unsigned h, unsigned handles) {
-    std::string body;
-    switch (pick(3)) {
-      case 0:
-        body = "return " + std::to_string(pick(100)) + ";";
-        break;
-      case 1: {
-        // Touch some other handle from inside the future body.
-        const unsigned other = pick(handles);
-        if (other == h) {
-          body = "return 1;";
-        } else {
-          body = "return touch(h" + std::to_string(other) + ") + 1;";
-        }
-        break;
-      }
-      default: {
-        // A conditional body.
-        body = "if rand() % 2 == 0 { return 0; } else { return " +
-               std::to_string(pick(50)) + "; }";
-        break;
-      }
-    }
-    return "  spawn h" + std::to_string(h) + " { " + body + " }\n";
-  }
-
-  std::mt19937_64 rng_;
-  unsigned counter_ = 0;
-};
+using fuzz::RandomProgram;
 
 struct FuzzStats {
   unsigned accepted = 0;

@@ -217,6 +217,25 @@ TEST(GroundDeadlock, CleanGraphHasNone) {
   EXPECT_FALSE(find_ground_deadlock(*g).any());
 }
 
+TEST(Graph, DotExportEscapesQuotesAndBackslashes) {
+  // A vertex name containing `"` or `\` must not terminate the quoted
+  // DOT id early or start a stray escape sequence.
+  Graph g;
+  g.add_vertex(S("a\"b"));
+  g.add_vertex(S("c\\d"));
+  g.add_edge(S("a\"b"), S("c\\d"));
+  g.set_start(S("a\"b"));
+  g.set_end(S("c\\d"));
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("\"a\\\"b\""), std::string::npos) << dot;
+  EXPECT_NE(dot.find("\"c\\\\d\""), std::string::npos) << dot;
+  EXPECT_NE(dot.find("label=\"a\\\"b (start)\""), std::string::npos) << dot;
+  EXPECT_NE(dot.find("\"a\\\"b\" -> \"c\\\\d\""), std::string::npos) << dot;
+  // No bare inner quote survives: every `"` is either a delimiter next
+  // to punctuation or preceded by a backslash.
+  EXPECT_EQ(dot.find("\"a\"b\""), std::string::npos) << dot;
+}
+
 TEST(Graph, DotExportMentionsAllVertices) {
   Graph g;
   g.add_vertex(S("a"));

@@ -1,0 +1,295 @@
+// Differential suite for the streaming enumerator (for_each_graph): the
+// stream must visit EXACTLY the graphs the materialized normalizer
+// stores — same alpha-key multiset, same order, same first-witness index
+// — over the §3 counterexample family, hand-written types, the example
+// programs, and the e2e fuzz generator; plus determinism of the streamed
+// GML baseline across --jobs N and the peak-materialization bound.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtdl/detect/counterexample.hpp"
+#include "gtdl/detect/gml_baseline.hpp"
+#include "gtdl/frontend/driver.hpp"
+#include "gtdl/graph/graph.hpp"
+#include "gtdl/gtype/normalize.hpp"
+#include "gtdl/gtype/parse.hpp"
+#include "gtdl/par/engine.hpp"
+#include "random_program.hpp"
+
+namespace gtdl {
+namespace {
+
+std::vector<std::string> keys_of(const std::vector<GraphExprPtr>& graphs) {
+  std::vector<std::string> keys;
+  keys.reserve(graphs.size());
+  for (const auto& g : graphs) keys.push_back(graph_alpha_key(*g));
+  return keys;
+}
+
+struct StreamRun {
+  std::vector<std::string> keys;
+  StreamStats stats;
+};
+
+StreamRun stream_all(const GTypePtr& g, unsigned fuel,
+                     const NormalizeLimits& limits = {}) {
+  StreamRun run;
+  run.stats = for_each_graph(g, fuel, limits, [&](const GraphExprPtr& gr) {
+    run.keys.push_back(graph_alpha_key(*gr));
+    return true;
+  });
+  return run;
+}
+
+// The streamed sequence must equal the materialized sequence exactly
+// (same graphs, same order). Only meaningful for untruncated workloads —
+// truncation keeps different subsets by design.
+void expect_stream_matches(const GTypePtr& g, unsigned fuel,
+                           const NormalizeLimits& limits = {}) {
+  const NormalizeResult materialized = normalize(g, fuel, limits);
+  ASSERT_FALSE(materialized.truncated)
+      << "differential fixture must not truncate (fuel " << fuel << ")";
+  const StreamRun streamed = stream_all(g, fuel, limits);
+  EXPECT_FALSE(streamed.stats.truncated);
+  EXPECT_FALSE(streamed.stats.stopped);
+  EXPECT_EQ(streamed.keys, keys_of(materialized.graphs))
+      << "stream diverged from materialized path at fuel " << fuel;
+  EXPECT_EQ(streamed.stats.emitted, materialized.graphs.size());
+}
+
+TEST(Streaming, MatchesMaterializedOnCounterexampleFamily) {
+  for (unsigned m = 1; m <= 3; ++m) {
+    const GTypePtr g = counterexample_gtype(m);
+    for (unsigned fuel = 1; fuel <= m + 4; ++fuel) {
+      SCOPED_TRACE("m=" + std::to_string(m) +
+                   " fuel=" + std::to_string(fuel));
+      expect_stream_matches(g, fuel);
+    }
+  }
+}
+
+TEST(Streaming, MatchesMaterializedOnParsedTypes) {
+  const char* sources[] = {
+      "1",
+      "~u",
+      "new u. 1 / u ; ~u",
+      "new u. ~u ; 1 / u",
+      "new u. ~u",
+      "(1 | ~a) ; (1 | ~b)",
+      "rec g. 1 | 1 ; g",
+      "rec g. 1 | (1 ; g)",
+      "rec g. new u. 1 | (1 / u ; g ; ~u)",
+      "(rec g. 1 | 1 ; g) ; (rec h. 1 | ~a ; h)",
+      "new u. (1 / u ; (rec g. 1 | ~u ; g))",
+      "rec g. (1 | g) ; (1 | new u. 1 / u)",
+  };
+  for (const char* src : sources) {
+    const GTypePtr g = parse_gtype_or_throw(src);
+    for (unsigned fuel : {1u, 2u, 3u, 6u}) {
+      SCOPED_TRACE(std::string(src) + " fuel=" + std::to_string(fuel));
+      expect_stream_matches(g, fuel);
+    }
+  }
+}
+
+TEST(Streaming, MatchesMaterializedOnGmlExpandedTypes) {
+  // The GML baseline's exact workload: μ-expanded (hence heavily shared)
+  // types normalized at depth 1 — the memo-replay path gets exercised.
+  for (unsigned m = 1; m <= 2; ++m) {
+    const GTypePtr g = counterexample_gtype(m);
+    for (unsigned k = 2; k <= 5; ++k) {
+      SCOPED_TRACE("m=" + std::to_string(m) + " k=" + std::to_string(k));
+      expect_stream_matches(expand_recursion(g, k), 1);
+    }
+  }
+}
+
+TEST(Streaming, MatchesMaterializedOnFuzzPrograms) {
+  unsigned compiled_count = 0;
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    fuzz::RandomProgram generator(seed);
+    const std::string source = generator.generate();
+    DiagnosticEngine diags;
+    auto compiled = compile_futlang(source, diags);
+    ASSERT_TRUE(compiled.has_value()) << "seed " << seed << "\n" << source;
+    ++compiled_count;
+    const GTypePtr g = compiled->inferred.program_gtype;
+    for (unsigned fuel : {2u, 3u}) {
+      SCOPED_TRACE("seed " + std::to_string(seed) +
+                   " fuel=" + std::to_string(fuel));
+      expect_stream_matches(g, fuel);
+    }
+  }
+  EXPECT_GT(compiled_count, 0u);
+}
+
+TEST(Streaming, MatchesMaterializedOnExamplePrograms) {
+  unsigned checked = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(GTDL_PROGRAMS_DIR)) {
+    if (entry.path().extension() != ".fut") continue;
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in.good()) << entry.path();
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    DiagnosticEngine diags;
+    auto compiled = compile_futlang(buf.str(), diags);
+    // Some gallery programs intentionally fail inference (footnote-3
+    // reproductions); the differential property applies to the rest.
+    if (!compiled.has_value()) continue;
+    ++checked;
+    SCOPED_TRACE(entry.path().filename().string());
+    expect_stream_matches(compiled->inferred.program_gtype, 3);
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(Streaming, FirstWitnessIndexMatchesMaterializedScan) {
+  // Short-circuit mode must stop at exactly the graph the materialized
+  // scan would report first, having enumerated nothing beyond it.
+  const unsigned m = 1;
+  const GTypePtr g = counterexample_gtype(m);
+  const unsigned fuel = m + 3;  // cycle manifests here (counterexample.hpp)
+  const NormalizeResult materialized = normalize(g, fuel);
+  ASSERT_FALSE(materialized.truncated);
+  std::size_t first = materialized.graphs.size();
+  for (std::size_t i = 0; i < materialized.graphs.size(); ++i) {
+    if (find_ground_deadlock(*materialized.graphs[i]).any()) {
+      first = i;
+      break;
+    }
+  }
+  ASSERT_LT(first, materialized.graphs.size());
+
+  std::size_t streamed_first = 0;
+  std::string witness_key;
+  const StreamStats stats =
+      for_each_graph(g, fuel, {}, [&](const GraphExprPtr& gr) {
+        if (find_ground_deadlock(*gr).any()) {
+          witness_key = graph_alpha_key(*gr);
+          return false;
+        }
+        ++streamed_first;
+        return true;
+      });
+  EXPECT_TRUE(stats.stopped);
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_EQ(streamed_first, first);
+  EXPECT_EQ(stats.emitted, first + 1);
+  EXPECT_EQ(witness_key, graph_alpha_key(*materialized.graphs[first]));
+}
+
+TEST(Streaming, VisitorStopIsNotTruncation) {
+  const GTypePtr g = parse_gtype_or_throw("(1 | ~a) ; (1 | ~b)");
+  std::size_t seen = 0;
+  const StreamStats stats =
+      for_each_graph(g, 1, {}, [&](const GraphExprPtr&) {
+        ++seen;
+        return seen < 2;
+      });
+  EXPECT_EQ(seen, 2u);
+  EXPECT_TRUE(stats.stopped);
+  EXPECT_FALSE(stats.truncated);
+  EXPECT_EQ(stats.emitted, 2u);
+}
+
+TEST(Streaming, HonorsMaxGraphs) {
+  NormalizeLimits limits;
+  limits.max_graphs = 8;
+  limits.dedup_alpha = false;
+  const GTypePtr g = parse_gtype_or_throw(
+      "(1 | ~a | ~b | ~c) ; (1 | ~d | ~e | ~f)");  // 16 raw graphs
+  const StreamRun run = stream_all(g, 1, limits);
+  EXPECT_TRUE(run.stats.truncated);
+  EXPECT_FALSE(run.stats.stopped);
+  EXPECT_EQ(run.stats.emitted, 8u);
+}
+
+TEST(Streaming, PeakMaterializedBoundedByCap) {
+  // An 8x8 product of structurally DISTINCT alternatives (chains of
+  // different lengths — free-vertex touches would all be alpha-equal):
+  // the full rhs set does not fit a cap of 4, so the enumerator must
+  // fall back to re-streaming — peak memory stays under the cap while
+  // the emitted sequence is unchanged.
+  std::string chains = "1";
+  std::string chain = "1";
+  for (int i = 1; i < 8; ++i) {
+    chain += " ; 1";
+    chains += " | (" + chain + ")";
+  }
+  const GTypePtr g = parse_gtype_or_throw("(" + chains + ") ; (" + chains +
+                                          ")");
+  NormalizeLimits tiny;
+  tiny.stream_materialize_cap = 4;
+  const StreamRun capped = stream_all(g, 1, tiny);
+  EXPECT_LE(capped.stats.peak_materialized, 4u);
+  EXPECT_EQ(capped.stats.emitted, 64u);
+
+  const StreamRun roomy = stream_all(g, 1);
+  EXPECT_EQ(capped.keys, roomy.keys);
+  expect_stream_matches(g, 1, tiny);
+}
+
+TEST(Streaming, MemoCapForcesReenumerationWithSameStream) {
+  // μ-expanded types replay subterm sets through the memo; with a cap of
+  // 1 every capture is abandoned and the subterms re-stream. The output
+  // must not change.
+  const GTypePtr expanded =
+      expand_recursion(counterexample_gtype(1), 4);
+  NormalizeLimits tiny;
+  tiny.stream_materialize_cap = 1;
+  const StreamRun capped = stream_all(expanded, 1, tiny);
+  const StreamRun roomy = stream_all(expanded, 1);
+  EXPECT_EQ(capped.keys, roomy.keys);
+  EXPECT_LE(capped.stats.peak_materialized, 1u);
+}
+
+// Fresh-name spellings differ run to run (a process-global counter), so
+// witness strings are compared with the numeric suffixes erased.
+std::string erase_fresh_suffixes(const std::string& s) {
+  return std::regex_replace(s, std::regex("\\$\\d+"), "$$");
+}
+
+TEST(Streaming, GmlBaselineDeterministicAcrossJobs) {
+  struct Case {
+    GTypePtr g;
+    unsigned unrolls;
+  };
+  const std::vector<Case> cases = {
+      {counterexample_gtype(1), 4},        // deadlock: early witness
+      {parse_gtype_or_throw("rec g. 1 | 1 ; g"), 6},  // deadlock-free
+      {parse_gtype_or_throw("new u. ~u ; 1 / u"), 2},  // cycle, 1 graph
+      {expand_recursion(counterexample_gtype(2), 3), 2},  // df at k=3
+  };
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    SCOPED_TRACE("case " + std::to_string(i));
+    GmlBaselineOptions sequential;
+    sequential.unrolls_per_binding = cases[i].unrolls;
+    const GmlBaselineReport base = gml_baseline_check(cases[i].g, sequential);
+    for (unsigned jobs : {2u, 4u}) {
+      Engine engine(jobs);
+      GmlBaselineOptions parallel = sequential;
+      parallel.engine = &engine;
+      const GmlBaselineReport report =
+          gml_baseline_check(cases[i].g, parallel);
+      EXPECT_EQ(report.deadlock_reported, base.deadlock_reported)
+          << "jobs=" << jobs;
+      EXPECT_EQ(report.graphs_checked, base.graphs_checked)
+          << "jobs=" << jobs;
+      EXPECT_EQ(report.truncated, base.truncated) << "jobs=" << jobs;
+      EXPECT_EQ(erase_fresh_suffixes(report.witness),
+                erase_fresh_suffixes(base.witness))
+          << "jobs=" << jobs;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gtdl
