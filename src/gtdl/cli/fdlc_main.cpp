@@ -34,9 +34,18 @@
 //   --stats=json        ... as JSON on stderr
 //   --stats=json:FILE   ... as JSON into FILE
 //   --trace FILE        write a Chrome-trace/Perfetto JSON of the run
+//   --timeout-ms N      per-input wall-clock deadline; past it the
+//                       analysis stops and reports UNKNOWN (exit 3)
+//   --budget-steps N    per-input analysis step quota (same semantics)
+//   --budget-mb N       per-input analysis arena memory quota (same)
+//   --fault P:R:S       arm the deterministic fault-injection harness at
+//                       point P with rate R and seed S (testing; the
+//                       GTDL_FAULT env var is the equivalent)
 //
 // Exit code: 0 = analyzed deadlock-free, 1 = possible deadlock reported,
-// 2 = usage/compile error.
+// 2 = usage/compile error, 3 = analysis gave up (resource budget
+// exhausted; the verdict is unknown). Corpus mode exits with the maximum
+// over its files.
 
 #include <cerrno>
 #include <cstdio>
@@ -47,6 +56,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "gtdl/detect/deadlock.hpp"
@@ -61,6 +71,8 @@
 #include "gtdl/graph/graph.hpp"
 #include "gtdl/gtype/parse.hpp"
 #include "gtdl/gtype/wellformed.hpp"
+#include "gtdl/support/budget.hpp"
+#include "gtdl/support/fault.hpp"
 #include "gtdl/tj/join_policy.hpp"
 
 namespace {
@@ -85,7 +97,25 @@ struct CliOptions {
   StatsMode stats = StatsMode::kOff;
   std::string stats_file;  // empty = stderr
   std::string trace_file;  // empty = tracing off
+  // Resource budget, per input (per file in corpus mode); 0 = unlimited.
+  std::uint64_t timeout_ms = 0;
+  std::uint64_t budget_steps = 0;
+  std::uint64_t budget_mb = 0;
+  std::string fault_spec;  // point:rate:seed; empty = unarmed
 };
+
+bool has_budget(const CliOptions& opts) {
+  return opts.timeout_ms != 0 || opts.budget_steps != 0 ||
+         opts.budget_mb != 0;
+}
+
+gtdl::Budget::Limits budget_limits(const CliOptions& opts) {
+  gtdl::Budget::Limits limits;
+  limits.deadline_ms = opts.timeout_ms;
+  limits.max_steps = opts.budget_steps;
+  limits.max_bytes = opts.budget_mb * 1024 * 1024;
+  return limits;
+}
 
 void usage() {
   std::cerr <<
@@ -95,7 +125,11 @@ void usage() {
       "options: --jobs N --dump-gtype --no-new-push --max-iters N\n"
       "         --baseline --unrolls N --run --rand a,b,c --seed N\n"
       "         --dot FILE --print-trace --stats[=json[:FILE]]\n"
-      "         --trace FILE\n";
+      "         --trace FILE --timeout-ms N --budget-steps N\n"
+      "         --budget-mb N --fault POINT:RATE:SEED\n"
+      "notes:   --jobs 0 means \"one worker per hardware thread\";\n"
+      "         --max-iters must be >= 1 (0 is rejected: zero Mycroft\n"
+      "         iterations cannot infer any signature)\n";
 }
 
 // Strict numeric parsing: std::stoul would abort fdlc with an uncaught
@@ -180,12 +214,41 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     } else if (arg == "--jobs") {
       const char* v = next();
       if (v == nullptr || !parse_u32(arg, v, opts.jobs)) return std::nullopt;
-      if (opts.jobs == 0) opts.jobs = 1;
+      if (opts.jobs == 0) {
+        // Documented meaning (see usage()): one worker per hardware
+        // thread. hardware_concurrency may itself report 0 (unknown);
+        // fall back to 1 rather than guessing.
+        opts.jobs = std::max(1u, std::thread::hardware_concurrency());
+      }
     } else if (arg == "--max-iters") {
       const char* v = next();
       if (v == nullptr || !parse_u32(arg, v, opts.max_iters)) {
         return std::nullopt;
       }
+      if (opts.max_iters == 0) {
+        std::cerr << "fdlc: --max-iters must be >= 1 (zero Mycroft "
+                     "iterations cannot infer any signature)\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--timeout-ms") {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(arg, v, opts.timeout_ms)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--budget-steps") {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(arg, v, opts.budget_steps)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--budget-mb") {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(arg, v, opts.budget_mb)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--fault") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opts.fault_spec = v;
     } else if (arg == "--unrolls") {
       const char* v = next();
       if (v == nullptr || !parse_u32(arg, v, opts.unrolls)) {
@@ -249,13 +312,25 @@ std::optional<std::string> read_file(const std::string& path) {
   return out.str();
 }
 
+// `budget` is this input's resource budget (null = unlimited). A trip
+// prints UNKNOWN and returns 3. Budget-exhausted lines deliberately
+// exclude counts (elapsed ms, graphs scanned) so verdict text is
+// byte-identical across runs and --jobs settings.
 int analyze_gtype(const gtdl::GTypePtr& gtype, const CliOptions& opts,
-                  gtdl::Engine* engine) {
+                  gtdl::Engine* engine, gtdl::Budget* budget) {
   using namespace gtdl;
+  const auto give_up = [&](const char* stage) {
+    std::cout << stage << ": UNKNOWN ("
+              << (budget != nullptr ? budget->status().render()
+                                    : std::string("budget exhausted"))
+              << ")\n";
+    return 3;
+  };
   if (opts.dump_gtype) {
     std::cout << "graph type: " << to_string(gtype) << "\n";
   }
-  const WellformedResult wf = check_wellformed(gtype);
+  const WellformedResult wf = check_wellformed(gtype, budget);
+  if (wf.budget_exhausted) return give_up("well-formedness");
   if (!wf.ok) {
     std::cout << "well-formedness: REJECTED\n" << wf.diags.render();
     return 1;
@@ -265,7 +340,11 @@ int analyze_gtype(const gtdl::GTypePtr& gtype, const CliOptions& opts,
   DetectOptions detect;
   detect.new_pushing = opts.new_push;
   detect.engine = engine;
+  detect.budget = budget;
   const DeadlockVerdict verdict = check_deadlock_freedom(gtype, detect);
+  if (verdict.verdict == Verdict::kUnknown) {
+    return give_up("deadlock analysis");
+  }
   if (opts.dump_gtype && opts.new_push) {
     std::cout << "after new pushing: " << to_string(verdict.analyzed)
               << "\n";
@@ -277,12 +356,31 @@ int analyze_gtype(const gtdl::GTypePtr& gtype, const CliOptions& opts,
               << verdict.diags.render();
   }
 
+  int code = verdict.deadlock_free ? 0 : 1;
   if (opts.baseline) {
     GmlBaselineOptions baseline_options;
     baseline_options.unrolls_per_binding = opts.unrolls;
     baseline_options.engine = engine;
+    baseline_options.limits.budget = budget;
+    if (budget != nullptr) {
+      // With an explicit resource budget the budget governs, not the
+      // static enumeration caps — otherwise a cap would silently
+      // truncate long before the user's deadline and report a bogus
+      // "deadlock-free" over a tiny prefix.
+      baseline_options.limits.max_graphs = static_cast<std::size_t>(-1);
+      baseline_options.limits.max_steps = static_cast<std::size_t>(-1);
+    }
     const GmlBaselineReport report =
         gml_baseline_check(gtype, baseline_options);
+    if (report.unknown) {
+      std::cout << "gml baseline (" << report.unrolls_per_binding
+                << " unrolls/binding): UNKNOWN (" << report.budget.render()
+                << ")\n";
+      // A definite DF rejection stands; a clean DF verdict is demoted to
+      // unknown because the baseline scan never finished.
+      if (code == 0) code = 3;
+      return code;
+    }
     std::cout << "gml baseline (" << report.unrolls_per_binding
               << " unrolls/binding, " << report.graphs_checked
               << " graphs" << (report.truncated ? ", TRUNCATED" : "")
@@ -294,7 +392,7 @@ int analyze_gtype(const gtdl::GTypePtr& gtype, const CliOptions& opts,
       std::cout << "  witness: " << report.witness << "\n";
     }
   }
-  return verdict.deadlock_free ? 0 : 1;
+  return code;
 }
 
 int run_program(const gtdl::Program& program, const CliOptions& opts) {
@@ -303,6 +401,12 @@ int run_program(const gtdl::Program& program, const CliOptions& opts) {
   InterpOptions interp_options;
   interp_options.rand_script = opts.rand_script;
   interp_options.seed = opts.seed;
+  // The --run watchdog: the same flags that bound the static analysis
+  // bound execution (a deadline plus the step quota; arena memory does
+  // not apply to the interpreter).
+  std::optional<Budget> watchdog;
+  if (has_budget(opts)) watchdog.emplace(budget_limits(opts));
+  interp_options.budget = watchdog ? &*watchdog : nullptr;
   const InterpResult result = interpret(program, interp_options);
   if (!result.output.empty()) {
     std::cout << "--- program output ---\n" << result.output
@@ -334,7 +438,7 @@ int run_program(const gtdl::Program& program, const CliOptions& opts) {
     out << graph.to_dot("execution");
     std::cout << "wrote " << opts.dot_file << "\n";
   }
-  return 0;
+  return result.budget_exhausted ? 3 : 0;
 }
 
 int run_cli(const CliOptions& opts) {
@@ -357,7 +461,9 @@ int run_cli(const CliOptions& opts) {
       return 2;
     }
     Engine engine(opts.jobs);
-    return analyze_gtype(gtype, opts, &engine);
+    std::optional<Budget> budget;
+    if (has_budget(opts)) budget.emplace(budget_limits(opts));
+    return analyze_gtype(gtype, opts, &engine, budget ? &*budget : nullptr);
   }
 
   // Corpus mode: several files. They are analyzed over one shared
@@ -372,14 +478,20 @@ int run_cli(const CliOptions& opts) {
     corpus_options.baseline = opts.baseline;
     corpus_options.unrolls = opts.unrolls;
     corpus_options.dump_gtype = opts.dump_gtype;
+    corpus_options.timeout_ms = opts.timeout_ms;
+    corpus_options.budget_steps = opts.budget_steps;
+    corpus_options.budget_mb = opts.budget_mb;
     const CorpusReport corpus =
         drive_corpus(opts.program_files, corpus_options);
     for (const FileReport& file : corpus.files) {
       std::cout << "=== " << file.path << " ===\n";
       std::cout << file.text;
-      if (file.exit_code >= 2) {
+      if (file.exit_code == 2) {
         std::cerr << "fdlc: error analyzing '" << file.path << "': "
                   << file.text;
+      } else if (file.exit_code == 3) {
+        std::cerr << "fdlc: gave up on '" << file.path << "' ("
+                  << file.budget.render() << ")\n";
       }
     }
     std::cout << corpus.files.size() << " files analyzed (" << opts.jobs
@@ -394,6 +506,9 @@ int run_cli(const CliOptions& opts) {
   InferOptions infer_options;
   infer_options.max_signature_iterations = opts.max_iters;
   Engine engine(opts.jobs);
+  std::optional<Budget> budget;
+  if (has_budget(opts)) budget.emplace(budget_limits(opts));
+  Budget* budget_ptr = budget ? &*budget : nullptr;
 
   // MiniML input, selected by extension (static analysis only).
   const bool is_mml =
@@ -411,7 +526,8 @@ int run_cli(const CliOptions& opts) {
       std::cerr << "fdlc: --run is not available for MiniML (static "
                    "pipeline only)\n";
     }
-    return analyze_gtype(compiled->inferred.program_gtype, opts, &engine);
+    return analyze_gtype(compiled->inferred.program_gtype, opts, &engine,
+                         budget_ptr);
   }
 
   auto compiled = compile_futlang(*source, diags, infer_options);
@@ -422,8 +538,14 @@ int run_cli(const CliOptions& opts) {
   std::cout << "compiled " << program_file << " ("
             << compiled->program.functions.size() << " functions)\n";
   const int verdict =
-      analyze_gtype(compiled->inferred.program_gtype, opts, &engine);
-  if (opts.run) (void)run_program(compiled->program, opts);
+      analyze_gtype(compiled->inferred.program_gtype, opts, &engine,
+                    budget_ptr);
+  if (opts.run) {
+    // The watchdog gets its own Budget (inside run_program): execution
+    // time should not be charged against the static analysis budget.
+    const int run_code = run_program(compiled->program, opts);
+    return std::max(verdict, run_code);
+  }
   return verdict;
 }
 
@@ -465,9 +587,34 @@ void write_reports(const CliOptions& opts) {
 int main(int argc, char** argv) {
   const auto opts = parse_args(argc, argv);
   if (!opts) return 2;
+  std::string fault_error;
+  if (!gtdl::fault::configure_from_env(&fault_error)) {
+    std::cerr << "fdlc: bad GTDL_FAULT: " << fault_error << "\n";
+    return 2;
+  }
+  if (!opts->fault_spec.empty() &&
+      !gtdl::fault::configure(opts->fault_spec, &fault_error)) {
+    std::cerr << "fdlc: bad --fault: " << fault_error << "\n";
+    return 2;
+  }
   if (opts->stats != StatsMode::kOff) gtdl::obs::set_stats_enabled(true);
   if (!opts->trace_file.empty()) gtdl::obs::set_trace_enabled(true);
-  const int exit_code = run_cli(*opts);
+  // Last-resort containment: anything that escapes run_cli (including
+  // injected faults outside corpus mode, where there is no per-file
+  // guard) becomes a diagnosed exit 2, never a std::terminate. The
+  // observability reports still run — a crashing configuration is
+  // exactly when the counters matter.
+  int exit_code = 2;
+  try {
+    exit_code = run_cli(*opts);
+  } catch (const gtdl::fault::FaultInjected& fault) {
+    std::cerr << "fdlc: internal error: injected fault at point '"
+              << fault.point << "'\n";
+  } catch (const std::exception& e) {
+    std::cerr << "fdlc: internal error: " << e.what() << "\n";
+  } catch (...) {
+    std::cerr << "fdlc: internal error: unknown exception\n";
+  }
   write_reports(*opts);
   return exit_code;
 }

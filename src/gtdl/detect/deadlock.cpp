@@ -26,6 +26,7 @@ struct DetectMetrics {
   obs::Counter& checks;
   obs::Counter& accepts;
   obs::Counter& rejects;
+  obs::Counter& unknowns;
   obs::Counter& spec_wins;
   obs::Counter& spec_losses;
   obs::Counter& closed_memo_hits;
@@ -42,6 +43,8 @@ struct DetectMetrics {
           c("detect.checks", "checks", "check_deadlock_freedom calls"),
           c("detect.accepts", "checks", "verdicts: deadlock-free"),
           c("detect.rejects", "checks", "verdicts: possible deadlock"),
+          c("detect.unknowns", "checks",
+            "verdicts: unknown (resource budget tripped)"),
           c("detect.speculation.wins", "checks",
             "speculative DF kindings kept (WF gate passed)"),
           c("detect.speculation.losses", "checks",
@@ -58,7 +61,10 @@ struct DetectMetrics {
 
 class DfChecker {
  public:
-  explicit DfChecker(DiagnosticEngine& diags) : diags_(diags) {}
+  DfChecker(DiagnosticEngine& diags, Budget* budget)
+      : diags_(diags), budget_(budget) {}
+
+  [[nodiscard]] bool tripped() const noexcept { return tripped_; }
 
   struct Outcome {
     GraphKind kind;
@@ -69,6 +75,12 @@ class DfChecker {
   // and on every path must — be spawned here or be consumed by an
   // enclosing sibling) and the member touch context psi_.
   std::optional<Outcome> check(const GTypePtr& g, OrderedSet<Symbol> avail) {
+    // Budget poll, once per kinding step. No diagnostic: the driver maps
+    // tripped() to Verdict::kUnknown (an abort, not a rejection).
+    if (budget_ != nullptr && budget_->checkpoint()) {
+      tripped_ = true;
+      return std::nullopt;
+    }
     // Closed-subterm memo (cf. wellformed.cpp). A subterm with no free
     // vertices/graph variables consumes nothing and judges independently
     // of Ω/Ψ — provided none of its binder names collides with a name
@@ -375,6 +387,8 @@ class DfChecker {
   void fail(std::string message) { diags_.error(std::move(message)); }
 
   DiagnosticEngine& diags_;
+  Budget* budget_ = nullptr;
+  bool tripped_ = false;
   OrderedSet<Symbol> psi_;
   // Matches the parser/normalizer depth budgets: trips well before an
   // 8 MiB stack does, even with sanitizer-inflated frames.
@@ -392,19 +406,32 @@ namespace {
 // The DF kinding proper: new pushing + Fig. 4 check, diagnostics into
 // `verdict`. Factored out so the parallel driver can run it speculatively
 // against a scratch verdict while the WF gate runs on the pool.
+// Stamps a budget-tripped verdict: neither accepted nor rejected.
+void mark_unknown(DeadlockVerdict& verdict, const Budget* budget) {
+  verdict.deadlock_free = false;
+  verdict.verdict = Verdict::kUnknown;
+  if (budget != nullptr) verdict.budget = budget->status();
+}
+
 void run_df_kinding(const GTypePtr& g, const DetectOptions& options,
                     DeadlockVerdict& verdict) {
   obs::Span span("detect", "df_kinding");
   verdict.analyzed = options.new_pushing ? push_new_bindings(g) : g;
-  DfChecker checker(verdict.diags);
+  DfChecker checker(verdict.diags, options.budget);
   auto outcome = checker.check(verdict.analyzed, OrderedSet<Symbol>{});
+  if (checker.tripped()) {
+    mark_unknown(verdict, options.budget);
+    return;
+  }
   if (!outcome || verdict.diags.has_errors()) {
     verdict.deadlock_free = false;
+    verdict.verdict = Verdict::kMayDeadlock;
     return;
   }
   // Leftover consumption is impossible at the top level: the initial
   // spawn context is empty, so consumed ⊆ ∅.
   verdict.deadlock_free = true;
+  verdict.verdict = Verdict::kDeadlockFree;
   verdict.kind = outcome->kind;
 }
 
@@ -417,13 +444,35 @@ void reject_ill_formed(const WellformedResult& wf, DeadlockVerdict& verdict) {
 
 }  // namespace
 
+const char* to_string(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::kDeadlockFree:
+      return "deadlock-free";
+    case Verdict::kMayDeadlock:
+      return "may-deadlock";
+    case Verdict::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
 DeadlockVerdict check_deadlock_freedom(const GTypePtr& g,
                                        const DetectOptions& options) {
   DetectMetrics& dm = DetectMetrics::get();
   dm.checks.add();
   obs::Span span("detect", "check_deadlock_freedom");
   const auto record_verdict = [&dm](const DeadlockVerdict& v) {
-    (v.deadlock_free ? dm.accepts : dm.rejects).add();
+    switch (v.verdict) {
+      case Verdict::kDeadlockFree:
+        dm.accepts.add();
+        break;
+      case Verdict::kMayDeadlock:
+        dm.rejects.add();
+        break;
+      case Verdict::kUnknown:
+        dm.unknowns.add();
+        break;
+    }
   };
   DeadlockVerdict verdict;
   if (g == nullptr) {
@@ -441,10 +490,18 @@ DeadlockVerdict check_deadlock_freedom(const GTypePtr& g,
     GTypeInterner::ScopedAnalysis analysis_guard;
     WellformedResult wf;
     TaskGroup group(*pool);
-    group.run([&g, &wf] { wf = check_wellformed(g); });
+    Budget* budget = options.budget;
+    group.run([&g, &wf, budget] { wf = check_wellformed(g, budget); });
     DeadlockVerdict speculative;
     run_df_kinding(g, options, speculative);
     group.wait();
+    if (wf.budget_exhausted) {
+      // The gate never finished: even a clean DF kinding proves nothing
+      // about an ill-formed type, so the combined verdict is Unknown.
+      mark_unknown(verdict, options.budget);
+      record_verdict(verdict);
+      return verdict;
+    }
     if (!wf.ok) {
       dm.spec_losses.add();
       reject_ill_formed(wf, verdict);
@@ -457,7 +514,12 @@ DeadlockVerdict check_deadlock_freedom(const GTypePtr& g,
   }
   if (options.require_wellformed) {
     obs::Span wf_span("detect", "wellformed_gate");
-    WellformedResult wf = check_wellformed(g);
+    WellformedResult wf = check_wellformed(g, options.budget);
+    if (wf.budget_exhausted) {
+      mark_unknown(verdict, options.budget);
+      record_verdict(verdict);
+      return verdict;
+    }
     if (!wf.ok) {
       reject_ill_formed(wf, verdict);
       record_verdict(verdict);

@@ -47,11 +47,25 @@
 
 #include "gtdl/gtype/gtype.hpp"
 #include "gtdl/gtype/kind.hpp"
+#include "gtdl/support/budget.hpp"
 #include "gtdl/support/diagnostics.hpp"
 
 namespace gtdl {
 
 class Engine;  // par/engine.hpp
+
+// Three-valued analysis outcome. The DF kinding is sound, so
+// kDeadlockFree is a theorem and kMayDeadlock is "could not verify"; a
+// kUnknown verdict says the analysis itself was cut short by a resource
+// budget — neither claim holds, and the BudgetStatus says which limit
+// tripped.
+enum class Verdict : unsigned char {
+  kDeadlockFree,
+  kMayDeadlock,
+  kUnknown,
+};
+
+[[nodiscard]] const char* to_string(Verdict v) noexcept;
 
 struct DetectOptions {
   // Run the affine well-formedness kinding first and fail fast if the
@@ -66,12 +80,23 @@ struct DetectOptions {
   // identical to the sequential path. Null (or a 1-thread engine) means
   // strictly sequential checking.
   Engine* engine = nullptr;
+  // Optional resource budget (support/budget.hpp, not owned; typically
+  // shared with the rest of the per-file analysis). Polled once per WF/DF
+  // kinding step; a trip yields Verdict::kUnknown.
+  Budget* budget = nullptr;
 };
 
 struct DeadlockVerdict {
   // True iff the type was accepted: every graph it represents is
   // deadlock-free (Theorem 1: its traces satisfy Transitive Joins).
+  // Redundant with `verdict == kDeadlockFree`; kept because most callers
+  // only care about the accept/not-accept boundary.
   bool deadlock_free = false;
+  // The three-valued outcome; kUnknown means the budget tripped first.
+  Verdict verdict = Verdict::kMayDeadlock;
+  // Which limit tripped, when verdict == kUnknown (reason == kNone
+  // otherwise).
+  BudgetStatus budget;
   GraphKind kind;
   // Rejection reasons (empty when accepted). As with any sound static
   // analysis, a rejection means "could not verify", not "has a deadlock".

@@ -91,6 +91,7 @@ GmlBaselineReport gml_baseline_check(const GTypePtr& g,
   scan_options.threads =
       options.engine != nullptr ? options.engine->threads() : 1;
   scan_options.batch_size = options.scan_batch;
+  scan_options.budget = options.limits.budget;
   GroundDeadlockScanner scanner(scan_options);
   const StreamStats stats = for_each_graph(
       expanded, 1, options.limits,
@@ -104,6 +105,10 @@ GmlBaselineReport gml_baseline_check(const GTypePtr& g,
     report.deadlock_reported = true;
     report.witness =
         render_witness(scanner.verdict(), *scanner.offending_graph());
+  } else if (options.limits.budget != nullptr &&
+             (scanner.aborted() || options.limits.budget->exhausted())) {
+    report.unknown = true;
+    report.budget = options.limits.budget->status();
   }
   return report;
 }

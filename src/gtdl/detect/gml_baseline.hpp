@@ -24,6 +24,7 @@
 
 #include "gtdl/gtype/gtype.hpp"
 #include "gtdl/gtype/normalize.hpp"
+#include "gtdl/support/budget.hpp"
 
 namespace gtdl {
 
@@ -64,6 +65,13 @@ struct GmlBaselineReport {
   // NormalizeLimits::stream_materialize_cap, NOT by the product size —
   // the evidence that the check no longer materializes Norm_n.
   std::size_t peak_buffered = 0;
+  // The resource budget (GmlBaselineOptions::limits.budget) tripped
+  // before the stream was exhausted AND no deadlock had been found: the
+  // scan proved nothing either way. A found deadlock always wins over a
+  // budget abort (the witness is real regardless of what was skipped).
+  bool unknown = false;
+  // Which limit tripped, when unknown (reason == kNone otherwise).
+  BudgetStatus budget;
   // Human-readable witness (offending graph and why), empty if none.
   std::string witness;
 };

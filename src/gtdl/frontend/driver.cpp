@@ -4,12 +4,14 @@
 
 #include "gtdl/frontend/parser.hpp"
 #include "gtdl/frontend/typecheck.hpp"
+#include "gtdl/support/fault.hpp"
 
 namespace gtdl {
 
 std::optional<CompiledProgram> compile_futlang(std::string_view source,
                                                DiagnosticEngine& diags,
                                                const InferOptions& options) {
+  fault::maybe_inject("parse");
   auto program = parse_program(source, diags);
   if (!program) return std::nullopt;
   if (!typecheck_program(*program, diags)) return std::nullopt;

@@ -8,6 +8,7 @@
 #include "gtdl/frontend/typecheck.hpp"
 #include "gtdl/obs/metrics.hpp"
 #include "gtdl/obs/trace.hpp"
+#include "gtdl/support/budget.hpp"
 #include "gtdl/support/overloaded.hpp"
 
 namespace gtdl {
@@ -175,6 +176,7 @@ class Interp {
     result.trace = trace_with_init(*result.graph, Symbol::intern("main"));
     result.output = std::move(output_);
     result.steps = steps_;
+    result.budget_exhausted = budget_tripped_;
     return result;
   }
 
@@ -187,6 +189,13 @@ class Interp {
           "execution step budget exhausted at line " +
           std::to_string(loc.line) +
           " (likely unbounded recursion; raise InterpOptions::max_steps)"};
+    }
+    // The --run watchdog: wall-clock/step budget shared with the caller.
+    if (options_.budget != nullptr && options_.budget->checkpoint()) {
+      budget_tripped_ = true;
+      throw RuntimeErrorSignal{"execution aborted at line " +
+                               std::to_string(loc.line) + ": " +
+                               options_.budget->status().render()};
     }
   }
 
@@ -591,6 +600,7 @@ class Interp {
   std::uint64_t rng_;
   std::size_t rand_index_ = 0;
   std::size_t steps_ = 0;
+  bool budget_tripped_ = false;
   std::size_t call_depth_ = 0;
   std::string output_;
   std::vector<std::shared_ptr<GraphBuilder>> builders_;

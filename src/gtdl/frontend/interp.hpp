@@ -40,6 +40,8 @@
 
 namespace gtdl {
 
+class Budget;  // support/budget.hpp
+
 struct InterpOptions {
   // Values returned by successive rand() calls; when exhausted, a
   // deterministic LCG seeded with `seed` takes over.
@@ -49,6 +51,10 @@ struct InterpOptions {
   std::size_t max_steps = 2'000'000;
   // FutLang call depth budget.
   std::size_t max_call_depth = 2'000;
+  // Optional resource budget (support/budget.hpp, not owned) — the
+  // --run watchdog. Polled once per execution step alongside max_steps;
+  // a trip aborts with a runtime error and budget_exhausted set.
+  Budget* budget = nullptr;
 };
 
 struct InterpResult {
@@ -66,6 +72,9 @@ struct InterpResult {
   // Everything print()ed.
   std::string output;
   std::size_t steps = 0;
+  // The watchdog budget (InterpOptions::budget) tripped; `error` then
+  // holds the watchdog message and the execution result is partial.
+  bool budget_exhausted = false;
 
   // The ground verdict of the recorded graph (cycle / unspawned touch).
   [[nodiscard]] GroundDeadlock graph_deadlock() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "gtdl/obs/metrics.hpp"
+#include "gtdl/support/fault.hpp"
 #include "gtdl/support/overloaded.hpp"
 
 namespace gtdl {
@@ -113,7 +114,42 @@ void GraphArena::reset() {
   unspawned_.clear();
 }
 
+std::size_t GraphArena::approx_bytes() const noexcept {
+  auto vec = [](const auto& v) {
+    return v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  // by_name_ is charged per current element (bucket memory is not
+  // portably observable); it is tiny next to the flat vectors anyway.
+  return vec(edges_) + vec(names_) + vec(declared_count_) + vec(touched_) +
+         vec(touch_order_) + vec(unspawned_) + vec(row_) + vec(cursor_) +
+         vec(col_) + vec(marks_) + vec(stack_) + vec(worklist_) +
+         vec(indegree_) +
+         by_name_.size() * (sizeof(Symbol) + sizeof(VertexId) + sizeof(void*));
+}
+
+void GraphArena::shrink() {
+  auto drop = [](auto& v) {
+    v.clear();
+    v.shrink_to_fit();
+  };
+  drop(edges_);
+  drop(names_);
+  drop(declared_count_);
+  drop(touched_);
+  drop(touch_order_);
+  drop(unspawned_);
+  drop(row_);
+  drop(cursor_);
+  drop(col_);
+  drop(marks_);
+  drop(stack_);
+  drop(worklist_);
+  drop(indegree_);
+  by_name_ = {};
+}
+
 CsrGraph lower_to_csr(const GraphExpr& expr, GraphArena& arena) {
+  fault::maybe_inject("alloc");
   arena.reset();
   CsrLowering lowering(arena);
   const Ends main_thread = lowering.walk(expr);

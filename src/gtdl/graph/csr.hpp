@@ -47,6 +47,16 @@ class GraphArena {
   GraphArena(const GraphArena&) = delete;
   GraphArena& operator=(const GraphArena&) = delete;
 
+  // Bytes retained by the arena's backing vectors (capacities, not
+  // sizes — reset() keeps capacity by design). This is what the memory
+  // budget charges: the scan loop's true steady-state footprint.
+  [[nodiscard]] std::size_t approx_bytes() const noexcept;
+
+  // Releases all backing storage (capacity drops to ~0). Used when a
+  // budget cancellation abandons a scan: thread-local arenas must not
+  // keep their high-water memory alive past the analysis.
+  void shrink();
+
  private:
   friend class CsrGraph;
   friend class CsrLowering;  // the walk in csr.cpp

@@ -243,9 +243,21 @@ GroundDeadlock find_ground_deadlock(const GraphExpr& expr, GraphArena& arena) {
   return verdict;
 }
 
+namespace {
+// Backing store for the single-argument overload below. Namespace-scope
+// (rather than function-local) so release_scan_arena can reach it: when a
+// budget cancellation abandons a scan, each worker drops its arena's
+// high-water capacity instead of keeping it alive for the thread's
+// lifetime.
+thread_local GraphArena t_scan_arena;
+}  // namespace
+
 GroundDeadlock find_ground_deadlock(const GraphExpr& expr) {
-  thread_local GraphArena arena;
-  return find_ground_deadlock(expr, arena);
+  return find_ground_deadlock(expr, t_scan_arena);
 }
+
+std::size_t scan_arena_bytes() noexcept { return t_scan_arena.approx_bytes(); }
+
+void release_scan_arena() noexcept { t_scan_arena.shrink(); }
 
 }  // namespace gtdl

@@ -138,4 +138,13 @@ class GraphArena;  // csr.hpp
 [[nodiscard]] GroundDeadlock find_ground_deadlock(const GraphExpr& expr,
                                                   GraphArena& arena);
 
+// Bytes retained by THIS thread's scan arena (the one the single-argument
+// find_ground_deadlock overload uses) — what the memory budget charges
+// per worker at batch boundaries.
+[[nodiscard]] std::size_t scan_arena_bytes() noexcept;
+
+// Releases this thread's scan arena. Called by cancelled scan workers so
+// a budget-aborted analysis does not pin its high-water memory.
+void release_scan_arena() noexcept;
+
 }  // namespace gtdl

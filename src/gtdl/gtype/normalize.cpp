@@ -10,6 +10,8 @@
 #include "gtdl/gtype/subst.hpp"
 #include "gtdl/obs/metrics.hpp"
 #include "gtdl/obs/trace.hpp"
+#include "gtdl/support/budget.hpp"
+#include "gtdl/support/fault.hpp"
 #include "gtdl/support/overloaded.hpp"
 
 namespace gtdl {
@@ -183,6 +185,10 @@ class Normalizer {
       return {};
     }
     if (++steps_ > limits_.max_steps) {
+      truncated_ = true;
+      return {};
+    }
+    if (limits_.budget != nullptr && limits_.budget->checkpoint()) {
       truncated_ = true;
       return {};
     }
@@ -433,6 +439,13 @@ class StreamingNormalizer {
         truncated_ = true;
         return false;
       }
+      // Per-emission budget poll, in addition to the per-step poll in
+      // stream(): memo replays emit many graphs per step, and the
+      // deadline must still be observed mid-replay.
+      if (limits_.budget != nullptr && limits_.budget->checkpoint()) {
+        truncated_ = true;
+        return false;
+      }
       ++emitted_;
       if (!visit(gr)) {
         stopped_ = true;
@@ -467,6 +480,10 @@ class StreamingNormalizer {
       return false;
     }
     if (++steps_ > limits_.max_steps) {
+      truncated_ = true;
+      return false;
+    }
+    if (limits_.budget != nullptr && limits_.budget->checkpoint()) {
       truncated_ = true;
       return false;
     }
@@ -661,6 +678,7 @@ class StreamingNormalizer {
   bool buffer_push(std::vector<GraphExprPtr>& buffer,
                    const GraphExprPtr& g) {
     if (live_buffered_ >= limits_.stream_materialize_cap) return false;
+    fault::maybe_inject("alloc");
     buffer.push_back(g);
     ++live_buffered_;
     if (live_buffered_ > peak_buffered_) peak_buffered_ = live_buffered_;

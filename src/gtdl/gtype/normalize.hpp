@@ -29,6 +29,8 @@
 
 namespace gtdl {
 
+class Budget;  // support/budget.hpp
+
 struct NormalizeLimits {
   // Stop producing graphs beyond this many (per call).
   std::size_t max_graphs = 1u << 18;
@@ -52,6 +54,14 @@ struct NormalizeLimits {
   // subterm is re-enumerated instead, trading time for the guarantee that
   // peak memory is bounded by this constant — never by the product size.
   std::size_t stream_materialize_cap = 1u << 14;
+  // Optional resource budget (support/budget.hpp, not owned; shared with
+  // the whole analysis). Polled once per combinator step, alongside
+  // max_steps. A tripped budget reports like any other truncation
+  // (truncated = true, the result is a prefix/subset); callers that need
+  // to distinguish "hit the static caps" from "ran out of budget" query
+  // budget->exhausted() after the call — the budget records the reason,
+  // the result only records that a limit cut it short.
+  Budget* budget = nullptr;
 };
 
 struct NormalizeResult {

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "gtdl/support/fault.hpp"
+
 namespace gtdl {
 
 namespace {
@@ -334,6 +336,7 @@ class Parser {
 }  // namespace
 
 GTypePtr parse_gtype(std::string_view text, DiagnosticEngine& diags) {
+  fault::maybe_inject("parse");
   Parser parser(text, diags);
   GTypePtr result = parser.parse_top();
   return diags.has_errors() ? nullptr : result;

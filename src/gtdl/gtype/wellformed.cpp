@@ -5,6 +5,7 @@
 
 #include "gtdl/gtype/intern.hpp"
 #include "gtdl/obs/trace.hpp"
+#include "gtdl/support/budget.hpp"
 #include "gtdl/support/overloaded.hpp"
 
 namespace gtdl {
@@ -13,7 +14,10 @@ namespace {
 
 class WfChecker {
  public:
-  explicit WfChecker(DiagnosticEngine& diags) : diags_(diags) {}
+  WfChecker(DiagnosticEngine& diags, Budget* budget)
+      : diags_(diags), budget_(budget) {}
+
+  [[nodiscard]] bool tripped() const noexcept { return tripped_; }
 
   struct Outcome {
     GraphKind kind;
@@ -24,6 +28,12 @@ class WfChecker {
   // vertex names visible for touching. Returns nullopt after reporting on
   // failure.
   std::optional<Outcome> check(const GTypePtr& g, OrderedSet<Symbol> avail) {
+    // Budget poll, once per kinding step. No diagnostic: the caller maps
+    // tripped() to budget_exhausted (an Unknown, not a rejection).
+    if (budget_ != nullptr && budget_->checkpoint()) {
+      tripped_ = true;
+      return std::nullopt;
+    }
     // Closed-subterm memo. A subterm with no free vertices and no free
     // graph variables is checked independently of avail/scope_/gvars_ and
     // consumes nothing — UNLESS one of its binders collides with a name
@@ -299,6 +309,8 @@ class WfChecker {
   void fail(std::string message) { diags_.error(std::move(message)); }
 
   DiagnosticEngine& diags_;
+  Budget* budget_ = nullptr;
+  bool tripped_ = false;
   OrderedSet<Symbol> scope_;
   // Matches the parser/normalizer depth budgets: trips well before an
   // 8 MiB stack does, even with sanitizer-inflated frames.
@@ -311,15 +323,16 @@ class WfChecker {
 
 }  // namespace
 
-WellformedResult check_wellformed(const GTypePtr& g) {
+WellformedResult check_wellformed(const GTypePtr& g, Budget* budget) {
   obs::Span span("gtype", "check_wellformed");
   WellformedResult result;
   if (g == nullptr) {
     result.diags.error("null graph type");
     return result;
   }
-  WfChecker checker(result.diags);
+  WfChecker checker(result.diags, budget);
   auto outcome = checker.check(g, OrderedSet<Symbol>{});
+  result.budget_exhausted = checker.tripped();
   if (!outcome || result.diags.has_errors()) {
     result.ok = false;
     return result;

@@ -20,14 +20,22 @@
 
 namespace gtdl {
 
+class Budget;  // support/budget.hpp
+
 struct WellformedResult {
   bool ok = false;
   GraphKind kind;
   DiagnosticEngine diags;
+  // The budget tripped before the kinding finished; `ok == false` then
+  // means "could not finish", not "ill-formed".
+  bool budget_exhausted = false;
 };
 
 // Checks a closed graph type (no free graph variables; free vertices are
-// rejected with a diagnostic).
-[[nodiscard]] WellformedResult check_wellformed(const GTypePtr& g);
+// rejected with a diagnostic). The budget, when given, is polled once per
+// kinding step (each subterm visit); a trip abandons the check with
+// budget_exhausted set.
+[[nodiscard]] WellformedResult check_wellformed(const GTypePtr& g,
+                                                Budget* budget = nullptr);
 
 }  // namespace gtdl

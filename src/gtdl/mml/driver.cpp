@@ -4,12 +4,14 @@
 
 #include "gtdl/mml/parser.hpp"
 #include "gtdl/mml/typecheck.hpp"
+#include "gtdl/support/fault.hpp"
 
 namespace gtdl::mml {
 
 std::optional<CompiledMml> compile_mml(std::string_view source,
                                        DiagnosticEngine& diags,
                                        const InferOptions& options) {
+  fault::maybe_inject("parse");
   auto program = parse_mml(source, diags);
   if (!program) return std::nullopt;
   if (!typecheck_mml(*program, diags)) return std::nullopt;

@@ -36,15 +36,44 @@ bool has_extension(const std::string& path, const char* ext) {
              0;
 }
 
+// Builds the per-file Budget limits from the corpus options.
+Budget::Limits budget_limits(const CorpusOptions& options) {
+  Budget::Limits limits;
+  limits.deadline_ms = options.timeout_ms;
+  limits.max_steps = options.budget_steps;
+  limits.max_bytes = options.budget_mb * 1024 * 1024;
+  return limits;
+}
+
+bool has_budget(const CorpusOptions& options) {
+  return options.timeout_ms != 0 || options.budget_steps != 0 ||
+         options.budget_mb != 0;
+}
+
 // The fdlc analysis block, rendered into `out` instead of stdout so a
 // concurrently analyzed corpus can still print file reports in input
-// order.
+// order. `budget` is the per-file budget (null when unlimited); a trip
+// yields exit 3 and fills *budget_out. Budget-exhausted lines
+// deliberately exclude counts (elapsed ms, graphs scanned) so verdict
+// text is byte-identical across runs and --jobs settings.
 int analyze_gtype(const GTypePtr& gtype, const CorpusOptions& options,
-                  Engine* engine, std::ostringstream& out) {
+                  Engine* engine, Budget* budget, std::ostringstream& out,
+                  BudgetStatus* budget_out) {
+  const auto give_up = [&](const char* stage) {
+    if (budget != nullptr && budget_out != nullptr) {
+      *budget_out = budget->status();
+    }
+    out << stage << ": UNKNOWN ("
+        << (budget != nullptr ? budget->status().render()
+                              : std::string("budget exhausted"))
+        << ")\n";
+    return 3;
+  };
   if (options.dump_gtype) {
     out << "graph type: " << to_string(gtype) << "\n";
   }
-  const WellformedResult wf = check_wellformed(gtype);
+  const WellformedResult wf = check_wellformed(gtype, budget);
+  if (wf.budget_exhausted) return give_up("well-formedness");
   if (!wf.ok) {
     out << "well-formedness: REJECTED\n" << wf.diags.render();
     return 1;
@@ -54,7 +83,11 @@ int analyze_gtype(const GTypePtr& gtype, const CorpusOptions& options,
   DetectOptions detect;
   detect.new_pushing = options.new_push;
   detect.engine = engine;
+  detect.budget = budget;
   const DeadlockVerdict verdict = check_deadlock_freedom(gtype, detect);
+  if (verdict.verdict == Verdict::kUnknown) {
+    return give_up("deadlock analysis");
+  }
   if (options.dump_gtype && options.new_push) {
     out << "after new pushing: " << to_string(verdict.analyzed) << "\n";
   }
@@ -65,12 +98,32 @@ int analyze_gtype(const GTypePtr& gtype, const CorpusOptions& options,
         << verdict.diags.render();
   }
 
+  int code = verdict.deadlock_free ? 0 : 1;
   if (options.baseline) {
     GmlBaselineOptions baseline_options;
     baseline_options.unrolls_per_binding = options.unrolls;
     baseline_options.engine = engine;
+    baseline_options.limits.budget = budget;
+    if (budget != nullptr) {
+      // With an explicit resource budget the budget governs, not the
+      // static enumeration caps — otherwise a cap would silently
+      // truncate long before the user's deadline and report a bogus
+      // "deadlock-free" over a tiny prefix.
+      baseline_options.limits.max_graphs = static_cast<std::size_t>(-1);
+      baseline_options.limits.max_steps = static_cast<std::size_t>(-1);
+    }
     const GmlBaselineReport report =
         gml_baseline_check(gtype, baseline_options);
+    if (report.unknown) {
+      if (budget_out != nullptr) *budget_out = report.budget;
+      out << "gml baseline (" << report.unrolls_per_binding
+          << " unrolls/binding): UNKNOWN (" << report.budget.render()
+          << ")\n";
+      // A definite DF rejection stands; a clean DF verdict is demoted to
+      // unknown because the baseline scan never finished.
+      if (code == 0) code = 3;
+      return code;
+    }
     out << "gml baseline (" << report.unrolls_per_binding
         << " unrolls/binding, " << report.graphs_checked << " graphs"
         << (report.truncated ? ", TRUNCATED" : "") << "): "
@@ -81,7 +134,7 @@ int analyze_gtype(const GTypePtr& gtype, const CorpusOptions& options,
       out << "  witness: " << report.witness << "\n";
     }
   }
-  return verdict.deadlock_free ? 0 : 1;
+  return code;
 }
 
 struct CorpusMetrics {
@@ -112,8 +165,13 @@ FileReport analyze_file_unguarded(const std::string& path,
   obs::Span span("corpus", obs::trace_enabled() ? "file:" + path
                                                 : std::string());
   CorpusMetrics::get().files.add();
+  // Fresh per-file budget: one slow file trips ITS deadline and reports
+  // unknown; its siblings are unaffected.
+  std::optional<Budget> budget;
+  if (has_budget(options)) budget.emplace(budget_limits(options));
+  Budget* budget_ptr = budget ? &*budget : nullptr;
   const auto finish = [&](int code) {
-    if (code >= 2) CorpusMetrics::get().errors.add();
+    if (code == 2) CorpusMetrics::get().errors.add();
     report.exit_code = code;
     report.text = out.str();
     return report;
@@ -138,7 +196,7 @@ FileReport analyze_file_unguarded(const std::string& path,
     out << "compiled " << path << " (MiniML, "
         << compiled->program.defs.size() << " definitions)\n";
     return finish(analyze_gtype(compiled->inferred.program_gtype, options,
-                                engine, out));
+                                engine, budget_ptr, out, &report.budget));
   }
   if (has_extension(path, ".fut")) {
     auto compiled = compile_futlang(*source, diags, infer_options);
@@ -149,7 +207,7 @@ FileReport analyze_file_unguarded(const std::string& path,
     out << "compiled " << path << " ("
         << compiled->program.functions.size() << " functions)\n";
     return finish(analyze_gtype(compiled->inferred.program_gtype, options,
-                                engine, out));
+                                engine, budget_ptr, out, &report.budget));
   }
   // Anything else is a textual graph type (.gt by convention).
   const GTypePtr gtype = parse_gtype(*source, diags);
@@ -157,7 +215,8 @@ FileReport analyze_file_unguarded(const std::string& path,
     out << "graph type parse error\n" << diags.render();
     return finish(2);
   }
-  return finish(analyze_gtype(gtype, options, engine, out));
+  return finish(analyze_gtype(gtype, options, engine, budget_ptr, out,
+                              &report.budget));
 }
 
 }  // namespace
@@ -179,6 +238,18 @@ FileReport analyze_file(const std::string& path, const CorpusOptions& options,
     report.exit_code = 2;
     report.text =
         "internal error analyzing '" + path + "': " + e.what() + "\n";
+    return report;
+  } catch (...) {
+    // Not every failure derives from std::exception — the fault-injection
+    // harness deliberately throws a non-std type to prove this path, and
+    // third-party code below could too. Same contract as above: fold into
+    // a per-file exit-2 report, never lose the batch.
+    CorpusMetrics::get().errors.add();
+    FileReport report;
+    report.path = path;
+    report.exit_code = 2;
+    report.text = "internal error analyzing '" + path +
+                  "': unknown exception\n";
     return report;
   }
 }

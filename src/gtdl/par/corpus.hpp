@@ -22,10 +22,12 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "gtdl/par/engine.hpp"
+#include "gtdl/support/budget.hpp"
 
 namespace gtdl {
 
@@ -39,13 +41,22 @@ struct CorpusOptions {
   bool baseline = false;
   unsigned unrolls = 2;
   bool dump_gtype = false;
+  // Per-FILE resource budget (each file gets a fresh Budget); 0 means
+  // unlimited. Mirrors fdlc --timeout-ms / --budget-steps / --budget-mb.
+  // A tripped budget yields a partial report with exit code 3 (unknown).
+  std::uint64_t timeout_ms = 0;
+  std::uint64_t budget_steps = 0;
+  std::uint64_t budget_mb = 0;
 };
 
 struct FileReport {
   std::string path;
   // fdlc convention: 0 = deadlock-free, 1 = possible deadlock reported,
-  // 2 = could not read/compile the file.
+  // 2 = could not read/compile the file, 3 = analysis gave up (resource
+  // budget exhausted; the report is partial, the verdict unknown).
   int exit_code = 2;
+  // Which limit tripped, when exit_code == 3 (reason == kNone otherwise).
+  BudgetStatus budget;
   // The complete rendered per-file report, ready to print. Deterministic
   // up to fresh-name spellings (which never appear in verdicts).
   std::string text;

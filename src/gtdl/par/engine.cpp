@@ -16,6 +16,8 @@
 #include "gtdl/obs/metrics.hpp"
 #include "gtdl/obs/trace.hpp"
 #include "gtdl/par/thread_pool.hpp"
+#include "gtdl/support/budget.hpp"
+#include "gtdl/support/fault.hpp"
 #include "gtdl/support/overloaded.hpp"
 
 namespace gtdl {
@@ -224,7 +226,13 @@ class ParNormalizer {
     std::vector<GraphExprPtr> graphs;
     std::exception_ptr error;
     try {
-      graphs = norm(task->g, task->fuel, task->depth);
+      // Task-start poll: a worker picking up a task queued before the
+      // budget tripped must notice before doing any real work.
+      if (limits_.budget != nullptr && limits_.budget->checkpoint()) {
+        truncated_.store(true, std::memory_order_relaxed);
+      } else {
+        graphs = norm(task->g, task->fuel, task->depth);
+      }
     } catch (...) {
       error = std::current_exception();
     }
@@ -278,6 +286,10 @@ class ParNormalizer {
       truncated_.store(true, std::memory_order_relaxed);
       return {};
     }
+    if (limits_.budget != nullptr && limits_.budget->checkpoint()) {
+      truncated_.store(true, std::memory_order_relaxed);
+      return {};
+    }
     const GTypeFacts* facts = g->facts;
     const bool memoizable =
         use_memo_ && facts != nullptr &&
@@ -325,6 +337,15 @@ class ParNormalizer {
       throw;
     }
     if (owned) {
+      // Fault point "memo": dying here (before the successful publish)
+      // exercises the owner-failure protocol above — publish-invalid so
+      // waiters wake, then rethrow.
+      try {
+        fault::maybe_inject("memo");
+      } catch (...) {
+        publish(*owned, {}, false);
+        throw;
+      }
       const bool valid = !truncated_.load(std::memory_order_relaxed);
       publish(*owned, result, valid);
     }

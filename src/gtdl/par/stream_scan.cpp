@@ -5,6 +5,7 @@
 
 #include "gtdl/graph/csr.hpp"
 #include "gtdl/par/thread_pool.hpp"
+#include "gtdl/support/budget.hpp"
 
 namespace gtdl {
 
@@ -15,18 +16,29 @@ GroundDeadlockScanner::GroundDeadlockScanner(const Options& options)
 }
 
 bool GroundDeadlockScanner::push(GraphExprPtr graph) {
-  if (found_) return false;
+  if (found_ || aborted_) return false;
   batch_.push_back(std::move(graph));
   ++pushed_;
   if (batch_.size() >= options_.batch_size) flush();
-  return !found_;
+  return !found_ && !aborted_;
 }
 
 void GroundDeadlockScanner::finish() {
-  if (!found_ && !batch_.empty()) flush();
+  if (!found_ && !aborted_ && !batch_.empty()) flush();
 }
 
 void GroundDeadlockScanner::flush() {
+  // Batch-boundary budget poll: one step per buffered graph. A tripped
+  // budget abandons the batch unscanned (the stream is cut at a batch
+  // boundary, preserving the determinism unit) and drops the scan
+  // scratch so an aborted analysis does not pin its high-water memory.
+  if (options_.budget != nullptr &&
+      options_.budget->checkpoint(batch_.size())) {
+    aborted_ = true;
+    arena_.shrink();
+    batch_.clear();
+    return;
+  }
   const bool parallel = options_.pool != nullptr && batch_.size() > 1;
   if (parallel) {
     flush_parallel();
@@ -35,6 +47,11 @@ void GroundDeadlockScanner::flush() {
   }
   batch_start_ += batch_.size();
   batch_.clear();
+  if (options_.budget != nullptr && !found_ &&
+      options_.budget->exhausted()) {
+    aborted_ = true;
+    arena_.shrink();
+  }
 }
 
 void GroundDeadlockScanner::flush_sequential() {
@@ -46,6 +63,12 @@ void GroundDeadlockScanner::flush_sequential() {
       offending_ = graph;
       return;
     }
+  }
+  // Charge the scan scratch against the memory limit once per batch (the
+  // arena only grows at lowering time, so per-batch granularity is
+  // exact enough); a trip surfaces as aborted_ in flush().
+  if (options_.budget != nullptr) {
+    options_.budget->check_memory(arena_.approx_bytes());
   }
 }
 
@@ -68,6 +91,13 @@ void GroundDeadlockScanner::flush_parallel() {
       const std::size_t end = std::min(begin + chunk_len, batch_.size());
       if (begin >= end) break;
       group.run([&, begin, end] {
+        // Cancelled mid-batch: drop this worker's arena and bail. The
+        // batch result is discarded by flush() anyway (aborted_), so
+        // skipping graphs here cannot change a reported verdict.
+        if (options_.budget != nullptr && options_.budget->exhausted()) {
+          release_scan_arena();
+          return;
+        }
         for (std::size_t i = begin; i < end; ++i) {
           {
             // A hit in an earlier chunk makes this whole chunk moot.
@@ -83,6 +113,12 @@ void GroundDeadlockScanner::flush_parallel() {
             }
             return;  // later graphs in this chunk cannot beat index i
           }
+        }
+        // Per-worker memory charge: peak tracking is a max across
+        // threads, matching the "largest single arena" the budget means
+        // to bound.
+        if (options_.budget != nullptr) {
+          options_.budget->check_memory(scan_arena_bytes());
         }
       });
     }

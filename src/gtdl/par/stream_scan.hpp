@@ -24,6 +24,7 @@
 
 namespace gtdl {
 
+class Budget;  // support/budget.hpp
 class ThreadPool;
 
 class GroundDeadlockScanner {
@@ -35,6 +36,11 @@ class GroundDeadlockScanner {
     // Batch and fan-out granularity; also the determinism unit — a hit
     // anywhere in a batch stops the stream at that batch's boundary.
     std::size_t batch_size = 512;
+    // Optional resource budget (not owned). Charged one step per graph
+    // at each batch boundary; arena bytes are charged against the memory
+    // limit after each batch. A trip aborts the scan at the boundary —
+    // aborted() distinguishes "gave up" from "scanned everything clean".
+    Budget* budget = nullptr;
   };
 
   explicit GroundDeadlockScanner(const Options& options);
@@ -48,6 +54,9 @@ class GroundDeadlockScanner {
   void finish();
 
   [[nodiscard]] bool found() const noexcept { return found_; }
+  // True when the budget tripped before the stream was fully scanned; a
+  // clean (not-found) verdict is then Unknown, not DeadlockFree.
+  [[nodiscard]] bool aborted() const noexcept { return aborted_; }
   [[nodiscard]] const GroundDeadlock& verdict() const noexcept {
     return verdict_;
   }
@@ -71,6 +80,7 @@ class GroundDeadlockScanner {
   std::size_t pushed_ = 0;
   std::size_t batch_start_ = 0;  // stream index of batch_[0]
   bool found_ = false;
+  bool aborted_ = false;
   GroundDeadlock verdict_;
   GraphExprPtr offending_;
 };

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "gtdl/obs/metrics.hpp"
+#include "gtdl/support/fault.hpp"
 
 namespace gtdl {
 
@@ -70,6 +71,10 @@ ThreadPool::~ThreadPool() {
 bool ThreadPool::on_worker_thread() const noexcept { return tl_pool == this; }
 
 void ThreadPool::submit(std::function<void()> fn) {
+  // Fault point "task": before any queue state changes, so a throwing
+  // submit leaves the pool consistent (the closure is simply never
+  // enqueued and the caller unwinds).
+  fault::maybe_inject("task");
   PoolMetrics& pm = PoolMetrics::get();
   pm.submits.add();
   if (tl_pool == this) {
@@ -163,6 +168,9 @@ void TaskGroup::execute(const std::shared_ptr<Cell>& cell) {
 }
 
 void TaskGroup::run(std::function<void()> fn) {
+  // Fault point "task": before the cell joins cells_, so wait() never
+  // sees a half-registered task.
+  fault::maybe_inject("task");
   auto cell = std::make_shared<Cell>();
   cell->fn = std::move(fn);
   cells_.push_back(cell);

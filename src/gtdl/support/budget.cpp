@@ -1,0 +1,195 @@
+#include "gtdl/support/budget.hpp"
+
+#include "gtdl/obs/metrics.hpp"
+#include "gtdl/obs/trace.hpp"
+
+namespace gtdl {
+
+namespace {
+
+// docs/OBSERVABILITY.md "support" section. One immortal bundle; every
+// add() is gated on the global stats flag, so a dormant checkpoint pays
+// one relaxed load here.
+struct BudgetMetrics {
+  obs::Counter& checkpoints;
+  obs::Counter& cancelled_deadline;
+  obs::Counter& cancelled_steps;
+  obs::Counter& cancelled_memory;
+  obs::Counter& cancelled_external;
+
+  static BudgetMetrics& get() {
+    static BudgetMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::instance();
+      auto c = [&reg](const char* name, const char* unit,
+                      const char* help) -> obs::Counter& {
+        return reg.counter(obs::MetricDesc{name, "support", unit, help});
+      };
+      return new BudgetMetrics{
+          c("budget.checkpoints", "polls",
+            "budget checkpoint polls across all analysis loops"),
+          c("budget.cancelled.deadline", "budgets",
+            "budgets tripped by the wall-clock deadline"),
+          c("budget.cancelled.steps", "budgets",
+            "budgets tripped by the step quota"),
+          c("budget.cancelled.memory", "budgets",
+            "budgets tripped by the arena-byte quota"),
+          c("budget.cancelled.external", "budgets",
+            "budgets cancelled externally (caller or fault harness)"),
+      };
+    }();
+    return *m;
+  }
+};
+
+obs::Counter& cancel_counter(BudgetReason reason) {
+  BudgetMetrics& bm = BudgetMetrics::get();
+  switch (reason) {
+    case BudgetReason::kDeadline:
+      return bm.cancelled_deadline;
+    case BudgetReason::kSteps:
+      return bm.cancelled_steps;
+    case BudgetReason::kMemory:
+      return bm.cancelled_memory;
+    case BudgetReason::kNone:
+    case BudgetReason::kCancelled:
+      break;
+  }
+  return bm.cancelled_external;
+}
+
+}  // namespace
+
+const char* to_string(BudgetReason reason) noexcept {
+  switch (reason) {
+    case BudgetReason::kNone:
+      return "none";
+    case BudgetReason::kDeadline:
+      return "deadline";
+    case BudgetReason::kSteps:
+      return "steps";
+    case BudgetReason::kMemory:
+      return "memory";
+    case BudgetReason::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+std::string BudgetStatus::render() const {
+  if (reason == BudgetReason::kNone) return "within budget";
+  std::string out = "budget exhausted: ";
+  out += to_string(reason);
+  if (limit != 0) {
+    out += " (limit ";
+    out += std::to_string(limit);
+    switch (reason) {
+      case BudgetReason::kDeadline:
+        out += " ms";
+        break;
+      case BudgetReason::kSteps:
+        out += " steps";
+        break;
+      case BudgetReason::kMemory:
+        out += " bytes";
+        break;
+      case BudgetReason::kNone:
+      case BudgetReason::kCancelled:
+        break;
+    }
+    out += ")";
+  }
+  return out;
+}
+
+Budget::Budget(const Limits& limits)
+    : limits_(limits), start_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t Budget::elapsed_ms() const noexcept {
+  const auto now = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - start_)
+          .count());
+}
+
+void Budget::trip(BudgetReason reason) noexcept {
+  // First trip wins; the emitted span and counter fire only for the
+  // winner (cancel() is a CAS, but concurrent same-reason trips are
+  // indistinguishable anyway, so counting each attempt is harmless and
+  // simpler than reading back who won).
+  if (token_.cancelled()) return;
+  obs::Span span("support", "cancel");
+  cancel_counter(reason).add();
+  token_.cancel(reason);
+}
+
+void Budget::cancel(BudgetReason reason) noexcept {
+  if (token_.cancelled()) return;
+  cancel_counter(reason).add();
+  token_.cancel(reason);
+}
+
+bool Budget::checkpoint(std::uint64_t n) noexcept {
+  BudgetMetrics::get().checkpoints.add();
+  if (token_.cancelled()) return true;
+  const std::uint64_t after =
+      steps_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (limits_.max_steps != 0 && after > limits_.max_steps) {
+    trip(BudgetReason::kSteps);
+    return true;
+  }
+  if (limits_.deadline_ms != 0) {
+    // Read the clock only when the charged step count crosses a stride
+    // boundary, so per-step polling costs atomics, not syscalls. A
+    // charge of n >= kClockStride always crosses.
+    const std::uint64_t before = after - n;
+    if ((before / kClockStride) != (after / kClockStride)) {
+      if (elapsed_ms() > limits_.deadline_ms) {
+        trip(BudgetReason::kDeadline);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool Budget::check_memory(std::uint64_t bytes) noexcept {
+  // High-water max, kept for status() reporting even when unlimited.
+  std::uint64_t seen = peak_bytes_.load(std::memory_order_relaxed);
+  while (bytes > seen && !peak_bytes_.compare_exchange_weak(
+                             seen, bytes, std::memory_order_relaxed)) {
+  }
+  if (token_.cancelled()) return true;
+  if (limits_.max_bytes != 0 && bytes > limits_.max_bytes) {
+    trip(BudgetReason::kMemory);
+    return true;
+  }
+  return false;
+}
+
+BudgetStatus Budget::status() const noexcept {
+  BudgetStatus s;
+  s.reason = token_.reason();
+  switch (s.reason) {
+    case BudgetReason::kNone:
+      break;
+    case BudgetReason::kDeadline:
+      s.spent = elapsed_ms();
+      s.limit = limits_.deadline_ms;
+      break;
+    case BudgetReason::kSteps:
+      s.spent = steps();
+      s.limit = limits_.max_steps;
+      break;
+    case BudgetReason::kMemory:
+      s.spent = peak_bytes_.load(std::memory_order_relaxed);
+      s.limit = limits_.max_bytes;
+      break;
+    case BudgetReason::kCancelled:
+      s.spent = steps();
+      s.limit = 0;
+      break;
+  }
+  return s;
+}
+
+}  // namespace gtdl

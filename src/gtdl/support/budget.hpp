@@ -1,0 +1,155 @@
+// Resource governance for long-running analyses.
+//
+// A Budget bundles the three resources a pathological input can exhaust —
+// wall-clock time, analysis steps, and arena bytes — behind one cheap,
+// thread-safe poll. Analysis loops call checkpoint() at their natural
+// step granularity (normalize steps, stream emissions, scan batches,
+// engine task starts, kind-check recursion); the first limit to trip
+// cancels the budget's CancelToken, and every subsequent poll on every
+// thread observes the cancellation and unwinds cooperatively, by
+// returning truncated results — never by throwing across the concurrent
+// core. Layers report the outcome as a three-valued verdict: the analysis
+// either finished (DeadlockFree / MayDeadlock) or it did not, and then
+// the result is Unknown{reason}, not a wrong answer (the shape Kroening
+// et al.'s sound deadlock analyzer uses for solver timeouts).
+//
+// Cost discipline: with no limits configured, checkpoint() is two relaxed
+// atomic operations and a never-taken branch; the steady_clock is read at
+// most once per 1024 steps even when a deadline IS set, so per-step
+// polling stays measurably under 2% of the normalize hot path
+// (bench_budget enforces this bound).
+//
+// A Budget is shared by reference across every thread of one analysis; it
+// is safe to poll concurrently. It is NOT reusable across analyses — make
+// a fresh one per query (the corpus driver makes one per file).
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace gtdl {
+
+// Why a budget-governed analysis stopped early. kNone means it did not.
+enum class BudgetReason : std::uint8_t {
+  kNone = 0,
+  kDeadline,   // wall-clock deadline exceeded
+  kSteps,      // step quota exceeded
+  kMemory,     // arena-byte quota exceeded
+  kCancelled,  // cancelled externally (caller, fault harness, Ctrl-C path)
+};
+
+[[nodiscard]] const char* to_string(BudgetReason reason) noexcept;
+
+// First-cancel-wins cancellation flag, shared across threads. Exists
+// separately from Budget so a caller can cancel an analysis for reasons
+// of its own (shutdown, a sibling query already answered) through the
+// same cooperative polling the resource limits use.
+class CancelToken {
+ public:
+  // Requests cancellation; the first recorded reason wins.
+  void cancel(BudgetReason reason = BudgetReason::kCancelled) noexcept {
+    std::uint8_t expected = 0;
+    reason_.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(reason),
+        std::memory_order_release, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return reason_.load(std::memory_order_relaxed) != 0;
+  }
+
+  [[nodiscard]] BudgetReason reason() const noexcept {
+    return static_cast<BudgetReason>(
+        reason_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::atomic<std::uint8_t> reason_{0};
+};
+
+// Snapshot of a budget's outcome, carried in verdicts and per-file
+// reports. `spent` and `limit` are in the reason's unit (ms, steps, or
+// bytes); both are 0 when reason == kNone or the budget was unlimited.
+struct BudgetStatus {
+  BudgetReason reason = BudgetReason::kNone;
+  std::uint64_t spent = 0;
+  std::uint64_t limit = 0;
+
+  [[nodiscard]] bool exhausted() const noexcept {
+    return reason != BudgetReason::kNone;
+  }
+
+  // Verdict-grade rendering: reason and limit only. `spent` is
+  // deliberately excluded so repeated runs of the same command produce
+  // byte-identical verdict lines (spent varies run to run; it is
+  // reported through --stats instead).
+  [[nodiscard]] std::string render() const;
+};
+
+// The budget proper. All limits are 0-means-unlimited; a
+// default-constructed Budget never trips on its own but still supports
+// external cancellation through token().
+class Budget {
+ public:
+  struct Limits {
+    std::uint64_t deadline_ms = 0;  // wall clock from construction
+    std::uint64_t max_steps = 0;    // checkpoint() units
+    std::uint64_t max_bytes = 0;    // check_memory() high-water bytes
+  };
+
+  Budget() : Budget(Limits{}) {}
+  explicit Budget(const Limits& limits);
+
+  Budget(const Budget&) = delete;
+  Budget& operator=(const Budget&) = delete;
+
+  // The poll. Charges `n` steps and returns true iff the analysis must
+  // stop (a limit tripped now or earlier, or the token was cancelled).
+  // Thread-safe; the deadline clock is read at most once per
+  // kClockStride charged steps across all threads.
+  bool checkpoint(std::uint64_t n = 1) noexcept;
+
+  // Reports the current high-water memory use of one consumer (callers
+  // pass their arena's approx_bytes at batch boundaries). Returns true
+  // iff the analysis must stop. Totals are not summed across consumers —
+  // the largest single report is the high-water mark recorded.
+  bool check_memory(std::uint64_t bytes) noexcept;
+
+  // Cancels the budget externally (counts under budget.cancelled).
+  void cancel(BudgetReason reason = BudgetReason::kCancelled) noexcept;
+
+  [[nodiscard]] bool exhausted() const noexcept {
+    return token_.cancelled();
+  }
+  [[nodiscard]] BudgetReason reason() const noexcept {
+    return token_.reason();
+  }
+  [[nodiscard]] CancelToken& token() noexcept { return token_; }
+
+  [[nodiscard]] std::uint64_t steps() const noexcept {
+    return steps_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t elapsed_ms() const noexcept;
+  [[nodiscard]] const Limits& limits() const noexcept { return limits_; }
+
+  // Outcome snapshot: reason, spent-in-the-reason's-unit, limit.
+  [[nodiscard]] BudgetStatus status() const noexcept;
+
+  // Deadline polling stride: the steady_clock is consulted when the
+  // charged step count crosses a multiple of this. Power of two.
+  static constexpr std::uint64_t kClockStride = 1024;
+
+ private:
+  void trip(BudgetReason reason) noexcept;
+
+  const Limits limits_;
+  const std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> steps_{0};
+  std::atomic<std::uint64_t> peak_bytes_{0};
+  CancelToken token_;
+};
+
+}  // namespace gtdl

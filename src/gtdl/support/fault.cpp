@@ -1,0 +1,141 @@
+#include "gtdl/support/fault.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "gtdl/obs/metrics.hpp"
+
+namespace gtdl::fault {
+
+namespace {
+
+struct Config {
+  std::string point;
+  // Injection threshold over the full u64 range: decision is
+  // splitmix64(seed ^ arrival) <= threshold. 0 disables even when armed
+  // (rate 0); UINT64_MAX injects always (rate 1).
+  std::uint64_t threshold = 0;
+  std::uint64_t seed = 0;
+  obs::Counter* injected_metric = nullptr;
+};
+
+// Guarded configuration: written only by configure()/clear() (cold, test
+// setup), read by armed hot paths. A mutex on the read side would be
+// unacceptable, so the active config is published through an atomic
+// pointer to an immutable heap object; old configs are intentionally
+// leaked (configuration happens O(1) times per process, and leaking them
+// keeps readers free of lifetime games — same idiom as the immortal
+// metrics bundles).
+std::atomic<const Config*> g_config{nullptr};
+std::atomic<std::uint64_t> g_arrivals{0};
+std::atomic<std::uint64_t> g_injected{0};
+std::mutex g_configure_mu;
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+namespace detail {
+
+bool should_inject(const char* point) noexcept {
+  const Config* config = g_config.load(std::memory_order_acquire);
+  if (config == nullptr) return false;
+  if (config->point != point) return false;
+  if (config->threshold == 0) return false;
+  const std::uint64_t arrival =
+      g_arrivals.fetch_add(1, std::memory_order_relaxed);
+  return splitmix64(config->seed ^ arrival) <= config->threshold;
+}
+
+void inject(const char* point) {
+  g_injected.fetch_add(1, std::memory_order_relaxed);
+  const Config* config = g_config.load(std::memory_order_acquire);
+  if (config != nullptr && config->injected_metric != nullptr) {
+    config->injected_metric->add();
+  }
+  throw FaultInjected{point};
+}
+
+}  // namespace detail
+
+bool configure(std::string_view spec, std::string* error) {
+  const std::size_t c1 = spec.find(':');
+  const std::size_t c2 =
+      c1 == std::string_view::npos ? c1 : spec.find(':', c1 + 1);
+  if (c1 == std::string_view::npos || c2 == std::string_view::npos) {
+    return fail(error, "fault spec must be point:rate:seed, got '" +
+                           std::string(spec) + "'");
+  }
+  const std::string point(spec.substr(0, c1));
+  const std::string rate_text(spec.substr(c1 + 1, c2 - c1 - 1));
+  const std::string seed_text(spec.substr(c2 + 1));
+  if (point.empty()) return fail(error, "fault spec has an empty point");
+
+  errno = 0;
+  char* end = nullptr;
+  const double rate = std::strtod(rate_text.c_str(), &end);
+  if (end == rate_text.c_str() || *end != '\0' || errno == ERANGE ||
+      rate < 0.0 || rate > 1.0) {
+    return fail(error,
+                "fault rate must be a number in [0, 1], got '" +
+                    rate_text + "'");
+  }
+  errno = 0;
+  end = nullptr;
+  const unsigned long long seed =
+      std::strtoull(seed_text.c_str(), &end, 10);
+  if (end == seed_text.c_str() || *end != '\0' || errno == ERANGE ||
+      std::strchr(seed_text.c_str(), '-') != nullptr) {
+    return fail(error, "fault seed must be a u64, got '" + seed_text + "'");
+  }
+
+  auto* config = new Config;
+  config->point = point;
+  config->seed = seed;
+  config->threshold =
+      rate >= 1.0 ? ~std::uint64_t{0}
+                  : static_cast<std::uint64_t>(
+                        rate * 18446744073709551616.0 /* 2^64 */);
+  config->injected_metric = &obs::MetricsRegistry::instance().counter(
+      obs::MetricDesc{"fault.injected." + point, "support", "faults",
+                      "injected faults at point '" + point + "'"});
+
+  std::lock_guard lock(g_configure_mu);
+  g_arrivals.store(0, std::memory_order_relaxed);
+  g_injected.store(0, std::memory_order_relaxed);
+  g_config.store(config, std::memory_order_release);  // leak the old one
+  detail::g_armed.store(true, std::memory_order_release);
+  return true;
+}
+
+bool configure_from_env(std::string* error) {
+  const char* spec = std::getenv("GTDL_FAULT");
+  if (spec == nullptr || *spec == '\0') return true;
+  return configure(spec, error);
+}
+
+void clear() noexcept {
+  std::lock_guard lock(g_configure_mu);
+  detail::g_armed.store(false, std::memory_order_release);
+  g_config.store(nullptr, std::memory_order_release);
+  g_arrivals.store(0, std::memory_order_relaxed);
+  g_injected.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t injected_count() noexcept {
+  return g_injected.load(std::memory_order_relaxed);
+}
+
+}  // namespace gtdl::fault

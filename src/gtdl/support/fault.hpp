@@ -1,0 +1,88 @@
+// Deterministic fault injection for the recovery-path test suite.
+//
+// The resource-governance layer promises that a failure anywhere in the
+// concurrent core — an allocation that throws, a task that dies, a memo
+// owner that never publishes, a parser that gives up — unwinds to a
+// per-file exit-2 report instead of a hang or a crash. This harness makes
+// those failures reproducible: instrumented points call
+// fault::maybe_inject("point"), which throws FaultInjected according to a
+// configured (point, rate, seed) triple.
+//
+// Configuration: the GTDL_FAULT environment variable or fdlc --fault,
+// both in the form `point:rate:seed` (e.g. `memo:1:42`); programmatic
+// configure()/clear() for tests. Exactly one point is armed at a time —
+// the suites exercise one failure mode per run, at rate 1.0 for
+// exhaustive coverage and fractional rates for determinism checks.
+//
+// Determinism: the decision for the k-th arrival at a point is
+// splitmix64(seed ^ k) < rate * 2^64 — a pure function of (seed, point,
+// arrival index). Single-threaded runs therefore inject at exactly the
+// same calls every time; multi-threaded runs see the same NUMBER of
+// injections for a given arrival count (the per-point arrival counter is
+// atomic) with rate 1.0 injecting at every arrival regardless of
+// interleaving.
+//
+// Instrumented points (docs/ROBUSTNESS.md "Fault-point catalog"):
+//   parse  entry of parse_gtype and the FutLang/MiniML compilers
+//   alloc  CSR lowering and the stream enumerator's buffer growth
+//   task   thread-pool submission (ThreadPool::submit, TaskGroup::run),
+//          before any queue or cell state changes
+//   memo   the parallel engine's memo-owner publish path, before the
+//          successful publish (exercises the owner-failure protocol:
+//          publish-invalid, rethrow, waiters wake and recompute)
+//
+// Zero cost when unarmed: every site checks one process-global relaxed
+// atomic and branches away.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gtdl::fault {
+
+// Deliberately NOT derived from std::exception: a non-std throw is
+// exactly the escape the corpus driver's catch-all fallback exists for,
+// and the fault suite must be able to exercise that path.
+struct FaultInjected {
+  const char* point;  // static string: the armed point's name
+};
+
+namespace detail {
+// "Is any fault armed" — the only thing an unarmed hot path reads.
+inline std::atomic<bool> g_armed{false};
+[[noreturn]] void inject(const char* point);
+bool should_inject(const char* point) noexcept;
+}  // namespace detail
+
+// Arms the harness from a `point:rate:seed` spec. rate is a decimal in
+// [0, 1]; seed a u64. Returns false (and fills *error when given) on a
+// malformed spec. Reconfiguring replaces the previous fault and resets
+// the arrival counter.
+bool configure(std::string_view spec, std::string* error = nullptr);
+
+// Arms from the GTDL_FAULT environment variable if set. Returns false
+// only when the variable is present but malformed.
+bool configure_from_env(std::string* error = nullptr);
+
+// Disarms and resets counters.
+void clear() noexcept;
+
+[[nodiscard]] inline bool armed() noexcept {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+// Total faults injected since the last configure()/clear().
+[[nodiscard]] std::uint64_t injected_count() noexcept;
+
+// The instrumented-point probe. Unarmed: one relaxed load. Armed: if
+// `point` matches the configured point, charges one arrival and throws
+// FaultInjected according to the configured rate.
+inline void maybe_inject(const char* point) {
+  if (!armed()) return;
+  if (detail::should_inject(point)) detail::inject(point);
+}
+
+}  // namespace gtdl::fault

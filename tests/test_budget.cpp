@@ -1,0 +1,303 @@
+// Tests for the resource-governance layer (support/budget.hpp): the
+// Budget/CancelToken primitives, the three-valued verdicts they induce in
+// the detect and baseline layers, the parallel engine's cooperative
+// cancellation, and the interpreter's --run watchdog.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "gtdl/detect/deadlock.hpp"
+#include "gtdl/detect/gml_baseline.hpp"
+#include "gtdl/frontend/interp.hpp"
+#include "gtdl/frontend/parser.hpp"
+#include "gtdl/frontend/typecheck.hpp"
+#include "gtdl/gtype/normalize.hpp"
+#include "gtdl/gtype/parse.hpp"
+#include "gtdl/gtype/wellformed.hpp"
+#include "gtdl/par/engine.hpp"
+#include "gtdl/support/budget.hpp"
+
+namespace gtdl {
+namespace {
+
+// The §2.3 divide-and-conquer type: exponentially many graphs per
+// depth, so even modest step quotas trip mid-normalization.
+const GTypePtr& dnc() {
+  static const GTypePtr g =
+      parse_gtype_or_throw("rec g. new u. 1 | g / u ; g ; ~u");
+  return g;
+}
+
+TEST(Budget, UnlimitedNeverTrips) {
+  Budget budget;
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_FALSE(budget.checkpoint());
+  }
+  EXPECT_FALSE(budget.check_memory(1ull << 40));
+  EXPECT_FALSE(budget.exhausted());
+  EXPECT_EQ(budget.reason(), BudgetReason::kNone);
+  EXPECT_EQ(budget.status().render(), "within budget");
+}
+
+TEST(Budget, StepQuotaTrips) {
+  Budget::Limits limits;
+  limits.max_steps = 5;
+  Budget budget(limits);
+  EXPECT_FALSE(budget.checkpoint(5));  // exactly at the quota: still fine
+  EXPECT_TRUE(budget.checkpoint(1));   // first step past it trips
+  EXPECT_TRUE(budget.checkpoint(1));   // and stays tripped
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_EQ(budget.reason(), BudgetReason::kSteps);
+  const BudgetStatus status = budget.status();
+  EXPECT_EQ(status.limit, 5u);
+  EXPECT_GE(status.spent, 6u);
+  EXPECT_EQ(status.render(), "budget exhausted: steps (limit 5 steps)");
+}
+
+TEST(Budget, DeadlineTrips) {
+  Budget::Limits limits;
+  limits.deadline_ms = 1;
+  Budget budget(limits);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // A charge of kClockStride always crosses a stride boundary, so the
+  // clock is guaranteed to be consulted on this poll.
+  EXPECT_TRUE(budget.checkpoint(Budget::kClockStride));
+  EXPECT_EQ(budget.reason(), BudgetReason::kDeadline);
+  EXPECT_EQ(budget.status().render(),
+            "budget exhausted: deadline (limit 1 ms)");
+}
+
+TEST(Budget, DeadlineClockReadIsStrided) {
+  Budget::Limits limits;
+  limits.deadline_ms = 1;
+  Budget budget(limits);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // Sub-stride polling must not consult the clock: the deadline is long
+  // past, but no stride boundary has been crossed yet.
+  EXPECT_FALSE(budget.checkpoint(1));
+  EXPECT_FALSE(budget.exhausted());
+}
+
+TEST(Budget, MemoryQuotaTrips) {
+  Budget::Limits limits;
+  limits.max_bytes = 1000;
+  Budget budget(limits);
+  EXPECT_FALSE(budget.check_memory(500));
+  EXPECT_TRUE(budget.check_memory(2000));
+  EXPECT_EQ(budget.reason(), BudgetReason::kMemory);
+  const BudgetStatus status = budget.status();
+  EXPECT_EQ(status.spent, 2000u);  // high-water mark
+  EXPECT_EQ(status.limit, 1000u);
+  EXPECT_EQ(status.render(),
+            "budget exhausted: memory (limit 1000 bytes)");
+}
+
+TEST(Budget, ExternalCancelObservedByCheckpoint) {
+  Budget budget;  // unlimited — only the token can stop it
+  EXPECT_FALSE(budget.checkpoint());
+  budget.cancel();
+  EXPECT_TRUE(budget.checkpoint());
+  EXPECT_EQ(budget.reason(), BudgetReason::kCancelled);
+  EXPECT_EQ(budget.status().limit, 0u);
+  EXPECT_EQ(budget.status().render(), "budget exhausted: cancelled");
+}
+
+TEST(Budget, FirstCancelReasonWins) {
+  CancelToken token;
+  token.cancel(BudgetReason::kDeadline);
+  token.cancel(BudgetReason::kMemory);
+  EXPECT_EQ(token.reason(), BudgetReason::kDeadline);
+
+  Budget::Limits limits;
+  limits.max_steps = 1;
+  Budget budget(limits);
+  budget.cancel(BudgetReason::kCancelled);
+  budget.checkpoint(100);  // would trip kSteps, but the cancel came first
+  EXPECT_EQ(budget.reason(), BudgetReason::kCancelled);
+}
+
+TEST(Budget, ReasonNamesAreStable) {
+  EXPECT_STREQ(to_string(BudgetReason::kNone), "none");
+  EXPECT_STREQ(to_string(BudgetReason::kDeadline), "deadline");
+  EXPECT_STREQ(to_string(BudgetReason::kSteps), "steps");
+  EXPECT_STREQ(to_string(BudgetReason::kMemory), "memory");
+  EXPECT_STREQ(to_string(BudgetReason::kCancelled), "cancelled");
+}
+
+// --- three-valued verdicts ------------------------------------------------
+
+TEST(Budget, DetectReturnsUnknownWhenBudgetExhausted) {
+  Budget budget;
+  budget.cancel();  // already spent before the query even starts
+  DetectOptions options;
+  options.budget = &budget;
+  const DeadlockVerdict v =
+      check_deadlock_freedom(parse_gtype_or_throw("new u. 1 / u ; ~u"),
+                             options);
+  EXPECT_EQ(v.verdict, Verdict::kUnknown);
+  EXPECT_FALSE(v.deadlock_free);  // unknown is never a freedom claim
+  EXPECT_EQ(v.budget.reason, BudgetReason::kCancelled);
+  EXPECT_STREQ(to_string(v.verdict), "unknown");
+}
+
+TEST(Budget, DetectUnaffectedByGenerousBudget) {
+  Budget::Limits limits;
+  limits.max_steps = 1'000'000;
+  Budget budget(limits);
+  DetectOptions options;
+  options.budget = &budget;
+  const DeadlockVerdict v =
+      check_deadlock_freedom(parse_gtype_or_throw("new u. 1 / u ; ~u"),
+                             options);
+  EXPECT_EQ(v.verdict, Verdict::kDeadlockFree);
+  EXPECT_TRUE(v.deadlock_free);
+  EXPECT_FALSE(budget.exhausted());
+}
+
+TEST(Budget, WellformednessReportsTrippedBudget) {
+  Budget budget;
+  budget.cancel();
+  const WellformedResult wf =
+      check_wellformed(parse_gtype_or_throw("1"), &budget);
+  EXPECT_TRUE(wf.budget_exhausted);
+  EXPECT_FALSE(wf.ok);
+}
+
+TEST(Budget, BaselineReportsUnknownOnStepQuota) {
+  Budget::Limits limits;
+  limits.max_steps = 10;
+  Budget budget(limits);
+  GmlBaselineOptions options;
+  options.limits.budget = &budget;
+  const GmlBaselineReport report = gml_baseline_check(dnc(), options);
+  EXPECT_TRUE(report.unknown);
+  EXPECT_FALSE(report.deadlock_reported);
+  EXPECT_EQ(report.budget.reason, BudgetReason::kSteps);
+}
+
+TEST(Budget, BaselineDeadlockWitnessBeatsBudgetAbort) {
+  // The very first graph deadlocks; the memory quota is hopeless. The
+  // witness is real regardless of what was skipped, so it must win.
+  Budget::Limits limits;
+  limits.max_bytes = 1;
+  Budget budget(limits);
+  GmlBaselineOptions options;
+  options.limits.budget = &budget;
+  const GmlBaselineReport report =
+      gml_baseline_check(parse_gtype_or_throw("new u. ~u ; 1 / u"),
+                         options);
+  EXPECT_TRUE(report.deadlock_reported);
+  EXPECT_FALSE(report.unknown);
+}
+
+TEST(Budget, BaselineUnknownVerdictIsDeterministic) {
+  // Two fresh budgets with the same step quota must render the same
+  // verdict text — BudgetStatus::render() excludes run-varying counts.
+  std::string renders[2];
+  for (std::string& render : renders) {
+    Budget::Limits limits;
+    limits.max_steps = 10;
+    Budget budget(limits);
+    GmlBaselineOptions options;
+    options.limits.budget = &budget;
+    const GmlBaselineReport report = gml_baseline_check(dnc(), options);
+    ASSERT_TRUE(report.unknown);
+    render = report.budget.render();
+  }
+  EXPECT_EQ(renders[0], renders[1]);
+}
+
+// --- concurrent core ------------------------------------------------------
+
+TEST(Budget, SequentialNormalizeHonorsBudget) {
+  Budget::Limits blimits;
+  blimits.max_steps = 20;
+  Budget budget(blimits);
+  NormalizeLimits limits;
+  limits.budget = &budget;
+  const NormalizeResult result = normalize(dnc(), 6, limits);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_EQ(budget.reason(), BudgetReason::kSteps);
+}
+
+TEST(Budget, ParallelEngineCancelsCooperatively) {
+  // A tripped budget must wind the whole task DAG down — memo waiters
+  // wake, the group drains, normalize() returns truncated. The test's
+  // real assertion is that it returns at all.
+  Engine engine(4);
+  Budget::Limits blimits;
+  blimits.max_steps = 20;
+  Budget budget(blimits);
+  NormalizeLimits limits;
+  limits.budget = &budget;
+  const NormalizeResult result = engine.normalize(dnc(), 6, limits);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_TRUE(budget.exhausted());
+
+  // The engine survives the cancellation: a fresh un-budgeted query on
+  // the same pool still completes and agrees with the sequential path.
+  const NormalizeResult clean = engine.normalize(dnc(), 2);
+  const NormalizeResult reference = normalize(dnc(), 2);
+  EXPECT_FALSE(clean.truncated);
+  EXPECT_EQ(clean.graphs.size(), reference.graphs.size());
+}
+
+TEST(Budget, StreamingEnumerationHonorsBudget) {
+  Budget::Limits blimits;
+  blimits.max_steps = 20;
+  Budget budget(blimits);
+  NormalizeLimits limits;
+  limits.budget = &budget;
+  const StreamStats stats = for_each_graph(
+      dnc(), 6, limits, [](const GraphExprPtr&) { return true; });
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_TRUE(budget.exhausted());
+}
+
+// --- interpreter watchdog -------------------------------------------------
+
+TEST(Budget, InterpreterWatchdogAbortsRunawayProgram) {
+  Program program = parse_program_or_throw(R"(
+    fun spin(n: int) -> int {
+      if n == 0 { return 0; } else { return spin(n - 1); }
+    }
+    fun main() { let x = spin(1000000); }
+  )");
+  DiagnosticEngine diags;
+  ASSERT_TRUE(typecheck_program(program, diags)) << diags.render();
+  Budget::Limits limits;
+  limits.max_steps = 1000;
+  Budget budget(limits);
+  InterpOptions options;
+  options.budget = &budget;
+  const InterpResult result = interpret(program, options);
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_FALSE(result.completed);
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_NE(result.error->find("execution aborted"), std::string::npos);
+  EXPECT_NE(result.error->find("budget exhausted: steps"),
+            std::string::npos);
+}
+
+TEST(Budget, InterpreterUnaffectedByGenerousWatchdog) {
+  Program program = parse_program_or_throw(R"(
+    fun main() { print("ok"); }
+  )");
+  DiagnosticEngine diags;
+  ASSERT_TRUE(typecheck_program(program, diags)) << diags.render();
+  Budget::Limits limits;
+  limits.deadline_ms = 60'000;
+  Budget budget(limits);
+  InterpOptions options;
+  options.budget = &budget;
+  const InterpResult result = interpret(program, options);
+  EXPECT_TRUE(result.completed);
+  EXPECT_FALSE(result.budget_exhausted);
+  EXPECT_EQ(result.output, "ok\n");
+}
+
+}  // namespace
+}  // namespace gtdl

@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 namespace {
@@ -15,9 +16,10 @@ struct CliRun {
   std::string output;
 };
 
-CliRun run_fdlc(const std::string& args) {
+CliRun run_fdlc(const std::string& args,
+                const std::string& env_prefix = std::string()) {
   const std::string command =
-      std::string(GTDL_FDLC_PATH) + " " + args + " 2>&1";
+      env_prefix + std::string(GTDL_FDLC_PATH) + " " + args + " 2>&1";
   std::array<char, 4096> buffer{};
   CliRun result;
   FILE* pipe = popen(command.c_str(), "r");
@@ -90,6 +92,145 @@ TEST(Cli, UsageErrors) {
   EXPECT_EQ(run_fdlc("--no-such-flag").exit_code, 2);
   EXPECT_EQ(run_fdlc("/nonexistent/path.fut").exit_code, 2);
   EXPECT_EQ(run_fdlc("--gtype '1 ; ;'").exit_code, 2);
+}
+
+// --- resource budgets (docs/ROBUSTNESS.md) --------------------------------
+
+// Deadlock-FREE §3-style alternation family: u is spawned before its
+// touch, and each of the n optional spawns doubles |Norm_1|. The kind
+// system accepts it instantly; an exhaustive baseline scan must grind
+// through all 2^n graphs — which is what a wall-clock deadline exists to
+// interrupt.
+std::string alternation_literal(unsigned n) {
+  std::string news = "new u.";
+  std::string body = "1/u";
+  for (unsigned i = 1; i <= n; ++i) {
+    news += " new v" + std::to_string(i) + ".";
+    body += " ; (1 | 1/v" + std::to_string(i) + ")";
+  }
+  return news + " " + body + " ; ~u";
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(),
+            static_cast<std::streamoff>(bytes.size()));
+}
+
+TEST(Cli, BudgetDeadlineYieldsUnknownExitThree) {
+  const CliRun r = run_fdlc("--gtype '" + alternation_literal(20) +
+                            "' --baseline --timeout-ms 500");
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("UNKNOWN"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("deadline"), std::string::npos) << r.output;
+  // The kind system's own verdict still finished — only the baseline
+  // scan gave up.
+  EXPECT_NE(r.output.find("DEADLOCK-FREE"), std::string::npos) << r.output;
+}
+
+TEST(Cli, BudgetStepQuotaYieldsUnknownExitThree) {
+  const CliRun r = run_fdlc(
+      "--gtype 'rec g. new u. 1 | g / u ; g ; ~u' --budget-steps 10");
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("UNKNOWN"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("steps"), std::string::npos) << r.output;
+}
+
+TEST(Cli, BudgetVerdictIsByteIdenticalAcrossJobs) {
+  const std::string args = "--gtype '" + alternation_literal(20) +
+                           "' --baseline --timeout-ms 500 --jobs ";
+  const CliRun one = run_fdlc(args + "1");
+  const CliRun eight = run_fdlc(args + "8");
+  EXPECT_EQ(one.exit_code, 3) << one.output;
+  EXPECT_EQ(eight.exit_code, 3) << eight.output;
+  EXPECT_EQ(one.output, eight.output);
+}
+
+TEST(Cli, JobsZeroMeansOneWorkerPerHardwareThread) {
+  const CliRun r = run_fdlc("--gtype 'new u. 1 / u ; ~u' --jobs 0");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(Cli, MaxItersZeroRejected) {
+  const CliRun r = run_fdlc("--gtype '1' --max-iters 0");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("--max-iters must be >= 1"), std::string::npos)
+      << r.output;
+}
+
+// --- fault injection ------------------------------------------------------
+
+TEST(Cli, FaultFlagIsContainedAsInternalError) {
+  const CliRun r = run_fdlc("--gtype '1' --fault parse:1:1");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("injected fault at point 'parse'"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(Cli, FaultFlagRejectsMalformedSpec) {
+  const CliRun r = run_fdlc("--gtype '1' --fault bogus");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("bad --fault"), std::string::npos) << r.output;
+}
+
+TEST(Cli, FaultEnvVarHonoredAndValidated) {
+  const CliRun injected =
+      run_fdlc("--gtype '1'", "GTDL_FAULT=parse:1:7 ");
+  EXPECT_EQ(injected.exit_code, 2) << injected.output;
+  EXPECT_NE(injected.output.find("injected fault"), std::string::npos)
+      << injected.output;
+
+  const CliRun bad = run_fdlc("--gtype '1'", "GTDL_FAULT=nope ");
+  EXPECT_EQ(bad.exit_code, 2) << bad.output;
+  EXPECT_NE(bad.output.find("bad GTDL_FAULT"), std::string::npos)
+      << bad.output;
+}
+
+TEST(Cli, FaultInjectionIsDeterministicGivenSeed) {
+  const std::string args = "--gtype '" + alternation_literal(4) +
+                           "' --baseline --fault alloc:0.5:1234";
+  const CliRun first = run_fdlc(args);
+  const CliRun second = run_fdlc(args);
+  EXPECT_EQ(first.exit_code, second.exit_code);
+  EXPECT_EQ(first.output, second.output);
+}
+
+// --- malformed inputs (fuzz-found shapes) ---------------------------------
+
+TEST(Cli, MalformedInputsRejectedWithDiagnostics) {
+  // Truncated input: dies mid-token, must produce a located diagnostic.
+  write_file("cli_fuzz_trunc.gt", "new u. 1 /");
+  const CliRun trunc = run_fdlc("--gtype-file cli_fuzz_trunc.gt");
+  EXPECT_EQ(trunc.exit_code, 2) << trunc.output;
+  EXPECT_NE(trunc.output.find("error"), std::string::npos) << trunc.output;
+
+  // Nesting past the parser's depth guard: must be the guard's
+  // diagnostic, not a stack overflow.
+  write_file("cli_fuzz_deep.gt",
+             std::string(3000, '(') + "1" + std::string(3000, ')'));
+  const CliRun deep = run_fdlc("--gtype-file cli_fuzz_deep.gt");
+  EXPECT_EQ(deep.exit_code, 2) << deep.output;
+  EXPECT_NE(deep.output.find("nested too deeply"), std::string::npos)
+      << deep.output;
+
+  // Non-UTF8 bytes where a name should be.
+  write_file("cli_fuzz_bin.gt", "new \xff\xfe. 1\n");
+  const CliRun bin = run_fdlc("--gtype-file cli_fuzz_bin.gt");
+  EXPECT_EQ(bin.exit_code, 2) << bin.output;
+  EXPECT_NE(bin.output.find("error"), std::string::npos) << bin.output;
+
+  // The same garbage as a program file goes through the FutLang parser
+  // and must fail just as cleanly.
+  write_file("cli_fuzz_trunc.fut", "fun main() { let x = ");
+  const CliRun fut = run_fdlc("cli_fuzz_trunc.fut");
+  EXPECT_EQ(fut.exit_code, 2) << fut.output;
+  EXPECT_NE(fut.output.find("error"), std::string::npos) << fut.output;
+
+  std::remove("cli_fuzz_trunc.gt");
+  std::remove("cli_fuzz_deep.gt");
+  std::remove("cli_fuzz_bin.gt");
+  std::remove("cli_fuzz_trunc.fut");
 }
 
 }  // namespace
