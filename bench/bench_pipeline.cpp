@@ -1,0 +1,287 @@
+// E12 — collection-aware graph types (VecSpawn / TouchAll / TouchIdx /
+// Pipe) over the pipeline/family example programs.
+//
+// Three claims, each with a printed table and a JSON series:
+//
+//   1. Precision: over the ISSUE-6 example family the kind system and
+//      the GML baseline agree with the executed ground truth (a
+//      Table-1-style precision table).
+//   2. Width-independence: the family-as-unit kinding rule makes the
+//      deadlock-freedom check O(1) in the family width, while the
+//      enumeration side (which must unroll ū@0..ū@n-1 member vertices)
+//      grows linearly — the whole point of keeping families symbolic in
+//      the type.
+//   3. Stage composition: Pipe chains kind-check through their desugared
+//      form with cost linear in the stage count.
+//
+// Prints tables first, then writes bench_pipeline.json (env + metrics
+// blocks included), then runs google-benchmark timings — so the CI
+// smoke (--benchmark_filter=__smoke_none__) regenerates the tables and
+// JSON without the slow timing section.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gtdl/detect/deadlock.hpp"
+#include "gtdl/detect/gml_baseline.hpp"
+#include "gtdl/frontend/interp.hpp"
+#include "gtdl/graph/graph.hpp"
+#include "gtdl/gtype/gtype.hpp"
+#include "gtdl/gtype/normalize.hpp"
+
+namespace {
+
+using namespace gtdl;
+using namespace gtdl::bench;
+
+// The ISSUE-6 pipeline/family evaluation programs, in table order.
+struct AdtProgram {
+  const char* name;
+  const char* file;
+  bool has_deadlock;
+};
+
+const std::vector<AdtProgram>& adt_programs() {
+  static const std::vector<AdtProgram> programs{
+      {"VecReduce", "vec_reduce.fut", false},
+      {"VecIndexed", "vec_indexed.fut", false},
+      {"VecPipeline", "vec_pipeline.fut", false},
+      {"PipeBuffer", "pipeline_buffer.fut", false},
+      {"PipeSource", "pipeline_source.fut", false},
+      {"VecSkipDL", "vec_skip_dl.fut", true},
+      {"PipeDL", "pipeline_dl.fut", true},
+  };
+  return programs;
+}
+
+struct PrecisionRow {
+  const char* name;
+  bool has_deadlock;
+  bool ours_accepts;
+  bool gml_reports_dl;
+  bool executed_deadlock;
+};
+
+std::vector<PrecisionRow> run_precision_table() {
+  std::vector<PrecisionRow> rows;
+  std::printf(
+      "E12 precision — collection constructors (accept = proved "
+      "deadlock-free):\n"
+      "%-12s %-6s | %-8s %-10s %s\n", "Program", "DL?", "ours",
+      "GML", "executed");
+  for (const AdtProgram& p : adt_programs()) {
+    const CompiledProgram compiled = compile_file(p.file);
+    const bool ours =
+        check_deadlock_freedom(compiled.inferred.program_gtype)
+            .deadlock_free;
+    const bool gml =
+        gml_baseline_check(compiled.inferred.program_gtype)
+            .deadlock_reported;
+    const InterpResult run = interpret(compiled.program);
+    const bool executed_dl = run.deadlock.has_value();
+    std::printf("%-12s %-6s | %-8s %-10s %s\n", p.name,
+                p.has_deadlock ? "yes" : "no",
+                ours ? "accept" : "reject",
+                gml ? "deadlock" : "clean",
+                executed_dl ? "deadlocked" : "completed");
+    rows.push_back({p.name, p.has_deadlock, ours, gml, executed_dl});
+  }
+  std::printf(
+      "(expected: verdict columns track the DL? column exactly — no\n"
+      " false positives on the deadlock-free family/pipeline programs)\n\n");
+  return rows;
+}
+
+// --- width sweep -------------------------------------------------------
+
+// new fs. (vec[fs; width]. 1) ; touchall[fs; width]
+GTypePtr family_type(std::uint32_t width) {
+  const Symbol fs = Symbol::intern("fs");
+  return gt::nu(fs, gt::seq(gt::vecspawn(gt::empty(), fs, width),
+                            gt::touch_all(fs, width)));
+}
+
+// 1 |> 1 |> ... ({stages} empties), left-associated like the parser.
+GTypePtr pipe_type(unsigned stages) {
+  GTypePtr g = gt::empty();
+  for (unsigned s = 1; s < stages; ++s) g = gt::pipe(g, gt::empty());
+  return g;
+}
+
+template <typename Fn>
+double time_us(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(stop - start).count();
+}
+
+struct WidthRow {
+  std::uint32_t width;
+  double kind_check_us;   // deadlock-freedom check: should be ~flat
+  double enumerate_us;    // streamed unrolling: grows with width
+  std::size_t graph_nodes;  // nodes in the (single) unrolled graph
+};
+
+std::vector<WidthRow> run_width_sweep() {
+  std::vector<WidthRow> rows;
+  std::printf(
+      "Family-width sweep over  new fs. (vec[fs; n]. 1) ; touchall[fs; n]\n"
+      "%-8s %-16s %-16s %s\n", "width", "kind check (us)",
+      "enumerate (us)", "graph nodes");
+  // 512 keeps the unrolled member chain under the normalizer's 2000-level
+  // nesting guard; the kind check itself never unrolls, so it would take
+  // any width.
+  for (const std::uint32_t width : {1u, 8u, 64u, 256u, 512u}) {
+    const GTypePtr g = family_type(width);
+    WidthRow row{width, 0.0, 0.0, 0};
+    row.kind_check_us = time_us([&] {
+      if (!check_deadlock_freedom(g).deadlock_free) std::abort();
+    });
+    row.enumerate_us = time_us([&] {
+      (void)for_each_graph(g, 1, {}, [&](const GraphExprPtr& gr) {
+        row.graph_nodes = lower_to_graph(*gr).vertex_count();
+        return true;
+      });
+    });
+    std::printf("%-8u %-16.1f %-16.1f %zu\n", width, row.kind_check_us,
+                row.enumerate_us, row.graph_nodes);
+    rows.push_back(row);
+  }
+  std::printf(
+      "(expected: the kind-check column stays flat while enumeration\n"
+      " and graph size grow linearly — families stay symbolic in the "
+      "type)\n\n");
+  return rows;
+}
+
+struct StageRow {
+  unsigned stages;
+  double kind_check_us;
+};
+
+std::vector<StageRow> run_stage_sweep() {
+  std::vector<StageRow> rows;
+  std::printf("Pipe-depth sweep over  1 |> 1 |> ... (n stages)\n"
+              "%-8s %s\n", "stages", "kind check (us)");
+  // Each desugared stage adds a handful of nesting levels, so 256 stays
+  // under the well-formedness checker's 2000-level guard (deeper chains
+  // are rejected conservatively by design).
+  for (const unsigned stages : {2u, 8u, 32u, 128u, 256u}) {
+    const GTypePtr g = pipe_type(stages);
+    StageRow row{stages, 0.0};
+    row.kind_check_us = time_us([&] {
+      if (!check_deadlock_freedom(g).deadlock_free) std::abort();
+    });
+    std::printf("%-8u %.1f\n", stages, row.kind_check_us);
+    rows.push_back(row);
+  }
+  std::printf("\n");
+  return rows;
+}
+
+int write_json(const std::vector<PrecisionRow>& precision,
+               const std::vector<WidthRow>& widths,
+               const std::vector<StageRow>& stages) {
+  std::FILE* json = std::fopen("bench_pipeline.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write bench_pipeline.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"precision\": [");
+  for (std::size_t i = 0; i < precision.size(); ++i) {
+    const PrecisionRow& r = precision[i];
+    std::fprintf(json,
+                 "%s\n    {\"program\": \"%s\", \"has_deadlock\": %s, "
+                 "\"ours_accepts\": %s, \"gml_reports_deadlock\": %s, "
+                 "\"executed_deadlock\": %s}",
+                 i == 0 ? "" : ",", r.name,
+                 r.has_deadlock ? "true" : "false",
+                 r.ours_accepts ? "true" : "false",
+                 r.gml_reports_dl ? "true" : "false",
+                 r.executed_deadlock ? "true" : "false");
+  }
+  std::fprintf(json, "\n  ],\n  \"family_width_sweep\": [");
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    const WidthRow& r = widths[i];
+    std::fprintf(json,
+                 "%s\n    {\"width\": %u, \"kind_check_us\": %.1f, "
+                 "\"enumerate_us\": %.1f, \"graph_nodes\": %zu}",
+                 i == 0 ? "" : ",", r.width, r.kind_check_us,
+                 r.enumerate_us, r.graph_nodes);
+  }
+  std::fprintf(json, "\n  ],\n  \"pipe_depth_sweep\": [");
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const StageRow& r = stages[i];
+    std::fprintf(json,
+                 "%s\n    {\"stages\": %u, \"kind_check_us\": %.1f}",
+                 i == 0 ? "" : ",", r.stages, r.kind_check_us);
+  }
+  std::fprintf(json, "\n  ],\n");
+  bench::write_json_env(json);
+  std::fprintf(json, ",\n");
+  bench::write_json_metrics(json);
+  std::fprintf(json, "\n}\n");
+  std::fclose(json);
+  std::printf("wrote bench_pipeline.json\n");
+  return 0;
+}
+
+// --- google-benchmark timings -----------------------------------------
+
+void BM_KindCheckFamily(benchmark::State& state) {
+  const GTypePtr g = family_type(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_deadlock_freedom(g).deadlock_free);
+  }
+}
+
+void BM_EnumerateFamily(benchmark::State& state) {
+  const GTypePtr g = family_type(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    std::size_t nodes = 0;
+    (void)for_each_graph(g, 1, {}, [&](const GraphExprPtr& gr) {
+      nodes += lower_to_graph(*gr).vertex_count();
+      return true;
+    });
+    benchmark::DoNotOptimize(nodes);
+  }
+}
+
+void BM_KindCheckPipe(benchmark::State& state) {
+  const GTypePtr g = pipe_type(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_deadlock_freedom(g).deadlock_free);
+  }
+}
+
+BENCHMARK(BM_KindCheckFamily)->RangeMultiplier(8)->Range(1, 512);
+BENCHMARK(BM_EnumerateFamily)->RangeMultiplier(8)->Range(1, 512);
+BENCHMARK(BM_KindCheckPipe)->RangeMultiplier(4)->Range(2, 256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::set_stats_enabled(true);
+  const std::vector<PrecisionRow> precision = run_precision_table();
+  const std::vector<WidthRow> widths = run_width_sweep();
+  const std::vector<StageRow> stages = run_stage_sweep();
+  if (write_json(precision, widths, stages) != 0) return 1;
+  // The precision table IS a gate: any disagreement with ground truth is
+  // a regression in the collection constructors.
+  for (const PrecisionRow& r : precision) {
+    if (r.ours_accepts == r.has_deadlock ||
+        r.gml_reports_dl != r.has_deadlock ||
+        r.executed_deadlock != r.has_deadlock) {
+      std::fprintf(stderr, "precision regression on %s\n", r.name);
+      return 1;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

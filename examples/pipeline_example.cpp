@@ -1,17 +1,19 @@
 // Pipelining with futures (Blelloch & Reid-Miller style; GML's
-// motivating example and §5's Pipeline benchmark): each stage's future
-// touches the previous stage's future, forming a chain that overlaps the
-// production of element k with the consumption of element k-1.
+// motivating example and §5's Pipeline benchmark), upgraded to the
+// collection-aware constructors: the surface programs use the
+// `pipeline { stage ... }` and `spawn_vec`/`touch_all` forms (lowered to
+// the Pipe / VecSpawn / TouchAll graph-type constructors), and the
+// runtime half drives a whole future family through the vector-spawn
+// helpers instead of hand-rolled loops.
 //
-// This example runs the pipeline both through the static pipeline
-// (FutLang -> graph type -> verdict) and on the real threaded runtime —
-// including a *sabotaged* variant whose stages touch forward instead of
-// backward, which the static analysis rejects and the runtime's
-// waits-for detector catches as a live deadlock.
+// Every static verdict is asserted, not just printed: the example exits
+// non-zero if the analyzer disagrees with the expected outcome.
 //
 // Build & run:  ./build/examples/pipeline_example
 
+#include <cstdlib>
 #include <iostream>
+#include <numeric>
 #include <vector>
 
 #include "gtdl/detect/deadlock.hpp"
@@ -20,92 +22,106 @@
 
 namespace {
 
-constexpr const char* kPipeline = R"(
-fun pipe(xs: list[int], prev: future[int]) -> int {
-  if length(xs) == 0 {
-    return touch(prev);
-  } else {
-    let next = new_future[int]();
-    spawn next { return touch(prev) + head(xs); }
-    return pipe(tail(xs), next);
-  }
-}
+// The staged pipeline in the new surface syntax: each `stage` runs as
+// its own future and implicitly touches its predecessor, i.e. the Pipe
+// constructor G1 |> G2 |> G3.
+constexpr const char* kStagedPipeline = R"(
 fun main() {
-  let src = new_future[int]();
-  spawn src { return 0; }
-  print(concat("total = ", int_to_string(pipe(range(1, 33), src))));
+  pipeline {
+    stage { print("produce"); }
+    stage { print("transform"); }
+    stage { print("consume"); }
+  }
 }
 )";
 
-// Broken variant: the head of the chain is touched although no stage is
-// ever spawned into it — every stage then waits on a handle that can
-// never be filled. The kind system rejects it because the touch argument
-// is not provably spawned.
-constexpr const char* kBrokenPipeline = R"(
-fun pipe(xs: list[int], ahead: future[int]) -> int {
-  if length(xs) == 0 {
-    return 0;
-  } else {
-    let upstream = touch(ahead);
-    let mine = new_future[int]();
-    spawn mine { return upstream + head(xs); }
-    let rest = pipe(tail(xs), mine);
-    return rest + touch(mine);
-  }
+// A worker family spawned with one body and joined as a unit:
+// VecSpawn / TouchAll in the graph type.
+constexpr const char* kFamilyPipeline = R"(
+fun sum(xs: list[int]) -> int {
+  if length(xs) == 0 { return 0; }
+  else { return head(xs) + sum(tail(xs)); }
 }
 fun main() {
-  let first = new_future[int]();
-  let total = pipe(range(1, 9), first);
-  print(int_to_string(total));
+  let fs = spawn_vec[int] 8 { return 4; }
+  print(concat("family total = ", int_to_string(sum(touch_all(fs)))));
 }
 )";
+
+// Broken variant: stage 1 touches a future that is only spawned after
+// the pipeline — the touch is not provably after its spawn, so the kind
+// system rejects the Pipe graph.
+constexpr const char* kBrokenPipeline = R"(
+fun main() {
+  let late = new_future[int]();
+  pipeline {
+    stage { print(int_to_string(touch(late))); }
+    stage { print("never reached"); }
+  }
+  spawn late { return 7; }
+}
+)";
+
+// Compiles `source` and asserts the analyzer's verdict matches
+// `expect_deadlock_free`; exits the process on disagreement.
+void expect_verdict(const char* name, const char* source,
+                    bool expect_deadlock_free) {
+  const gtdl::CompiledProgram compiled =
+      gtdl::compile_futlang_or_throw(source);
+  const gtdl::DeadlockVerdict verdict =
+      gtdl::check_deadlock_freedom(compiled.inferred.program_gtype);
+  std::cout << name << ": "
+            << (verdict.deadlock_free ? "accepted (deadlock-free)"
+                                      : "rejected")
+            << "\n";
+  if (verdict.deadlock_free != expect_deadlock_free) {
+    std::cerr << "FAIL: expected "
+              << (expect_deadlock_free ? "accept" : "reject") << " for "
+              << name << "\n"
+              << verdict.diags.render();
+    std::exit(1);
+  }
+}
 
 }  // namespace
 
 int main() {
   using namespace gtdl;
 
-  // --- static verdicts ---
-  const CompiledProgram ok = compile_futlang_or_throw(kPipeline);
-  std::cout << "pipeline:        "
-            << (check_deadlock_freedom(ok.inferred.program_gtype)
-                        .deadlock_free
-                    ? "accepted (deadlock-free)"
-                    : "rejected")
-            << "\n";
+  // --- static verdicts (asserted) ---
+  expect_verdict("staged pipeline", kStagedPipeline, true);
+  expect_verdict("family pipeline", kFamilyPipeline, true);
+  expect_verdict("broken pipeline", kBrokenPipeline, false);
 
-  const CompiledProgram broken = compile_futlang_or_throw(kBrokenPipeline);
-  const DeadlockVerdict broken_verdict =
-      check_deadlock_freedom(broken.inferred.program_gtype);
-  std::cout << "broken pipeline: "
-            << (broken_verdict.deadlock_free ? "accepted"
-                                             : "rejected (as it should be)")
-            << "\n" << broken_verdict.diags.render();
-
-  // --- the real thing ---
+  // --- the real thing: a future family on the threaded runtime ---
   FutureRuntime rt;
-  constexpr int kStages = 32;
-  std::vector<FutureHandle<int>> stages;
-  stages.reserve(kStages + 1);
-  stages.push_back(rt.new_future<int>("stage"));
-  stages.back().spawn([] { return 0; });
-  for (int k = 1; k <= kStages; ++k) {
-    auto prev = stages.back();
-    stages.push_back(rt.new_future<int>("stage"));
-    stages.back().spawn([prev, k]() mutable { return prev.touch() + k; });
+  constexpr std::size_t kWidth = 32;
+  auto family = new_future_vec<int>(rt, kWidth, "stage");
+  // One body parameterized by the member index, exactly like the
+  // surface `spawn_vec` form (member k contributes k+1).
+  spawn_vec(family, [](std::size_t k) { return static_cast<int>(k) + 1; });
+  const std::vector<int> values = touch_all(family);
+  const int total = std::accumulate(values.begin(), values.end(), 0);
+  const int expected = static_cast<int>(kWidth * (kWidth + 1)) / 2;
+  std::cout << "runtime family total = " << total << " (expected "
+            << expected << ")\n";
+  if (total != expected) {
+    std::cerr << "FAIL: wrong family total\n";
+    return 1;
   }
-  std::cout << "runtime pipeline total = " << stages.back().touch()
-            << " (expected " << (kStages * (kStages + 1)) / 2 << ")\n";
 
-  // And the sabotaged version on real threads: the detector poisons the
-  // cycle instead of hanging.
-  auto a = rt.new_future<int>("fwd_a");
-  auto b = rt.new_future<int>("fwd_b");
-  a.spawn([b]() mutable { return b.touch(); });
-  b.spawn([a]() mutable { return a.touch(); });
+  // And a sabotaged family on real threads: member 0 waits forward on
+  // member 1 and vice versa; the waits-for detector poisons the cycle
+  // instead of hanging.
+  auto fwd = new_future_vec<int>(rt, 2, "fwd");
+  auto b = fwd[1];
+  auto a = fwd[0];
+  fwd[0].spawn([b]() mutable { return b.touch(); });
+  fwd[1].spawn([a]() mutable { return a.touch(); });
   try {
-    (void)a.touch();
-    std::cout << "unexpected: forward chain completed\n";
+    (void)fwd[0].touch();
+    std::cerr << "FAIL: forward family completed\n";
+    return 1;
   } catch (const DeadlockError& e) {
     std::cout << "runtime detector: " << e.what() << "\n";
   }

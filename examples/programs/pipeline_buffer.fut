@@ -1,0 +1,16 @@
+# Bounded-buffer style staged pipeline (ISSUE 6 example family).
+#
+# `pipeline { stage A stage B ... }` lowers to the Pipe constructor
+# (A |> B |> ...): each stage runs as its own future and implicitly
+# touches its predecessor before finishing, so stage k+1 cannot complete
+# before stage k — the classic producer/filter/consumer buffer handoff.
+# Deadlock-free: the implicit touch chain always points backwards.
+
+fun main() {
+  pipeline {
+    stage { print("produce: fill slot"); }
+    stage { print("filter: transform slot"); }
+    stage { print("consume: drain slot"); }
+  }
+  print("buffer drained");
+}

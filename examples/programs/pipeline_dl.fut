@@ -1,0 +1,15 @@
+# Deadlocking stage-skip pipeline (ISSUE 6 example family).
+#
+# Stage 1 touches `late`, but `late` is only spawned after the pipeline
+# statement — which itself blocks on the last stage, which waits on
+# stage 1. Nobody can make progress: the kind system rejects the Pipe
+# graph, and the interpreter's deadlock detector fires at runtime.
+
+fun main() {
+  let late = new_future[int]();
+  pipeline {
+    stage { print(int_to_string(touch(late))); }
+    stage { print("never reached"); }
+  }
+  spawn late { return 7; }
+}

@@ -1,0 +1,14 @@
+# Pipeline fed by an external source future (ISSUE 6 example family).
+#
+# A future spawned BEFORE the pipeline may be touched inside any stage:
+# the touch is justified because the spawn precedes the whole Pipe graph
+# in sequence. Deadlock-free.
+
+fun main() {
+  let src = new_future[int]();
+  spawn src { return 42; }
+  pipeline {
+    stage { print(concat("stage 1 reads ", int_to_string(touch(src)))); }
+    stage { print("stage 2 done"); }
+  }
+}

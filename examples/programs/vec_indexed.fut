@@ -1,0 +1,14 @@
+# Indexed touch into a future family (ISSUE 6 example family).
+#
+# `fs[i]` selects one member handle out of an fvec; touching it emits the
+# indexed-touch constructor `touchidx[fs; n; i]` instead of joining the
+# whole family. Only members 0 and 2 are ever joined — the analysis
+# still accepts, because joining a subset of an already-spawned family
+# cannot create a cycle.
+
+fun main() {
+  let fs = spawn_vec[int] 3 { return 5; }
+  let first = touch(fs[0]);
+  let last = touch(fs[2]);
+  print(concat("first+last = ", int_to_string(first + last)));
+}

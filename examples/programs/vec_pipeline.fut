@@ -1,0 +1,15 @@
+# Family + pipeline combined (ISSUE 6 example family).
+#
+# A worker family is spawned and fully joined before a staged pipeline
+# post-processes the results: VecSpawn / TouchAll compose in sequence
+# with Pipe. Deadlock-free.
+
+fun main() {
+  let fs = spawn_vec[int] 3 { return 2; }
+  let n = length(touch_all(fs));
+  print(concat("joined members: ", int_to_string(n)));
+  pipeline {
+    stage { print("post: normalize"); }
+    stage { print("post: publish"); }
+  }
+}

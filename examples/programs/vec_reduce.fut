@@ -1,0 +1,22 @@
+# Fan-in reducer over a future family (ISSUE 6 example family).
+#
+# `spawn_vec` creates a family of worker futures with one body;
+# `touch_all` joins the whole family in index order and yields the list
+# of results, which a plain recursive fold then reduces. The inferred
+# graph type uses the collection constructors directly:
+#   main : . new fs. (vec[fs; 4]. ...) ; touchall[fs; 4] ; ...
+# Deadlock-free: every member is spawned before any is touched.
+
+fun sum(xs: list[int]) -> int {
+  if length(xs) == 0 {
+    return 0;
+  } else {
+    return head(xs) + sum(tail(xs));
+  }
+}
+
+fun main() {
+  let fs = spawn_vec[int] 4 { return 10; }
+  let parts = sum(touch_all(fs));
+  print(concat("reduced = ", int_to_string(parts)));
+}

@@ -1,0 +1,16 @@
+# Deadlocking family variant (ISSUE 6 example family).
+#
+# Every member of the family touches `a`, but `a` is only spawned AFTER
+# `touch_all` joins the family — so each member blocks forever on a
+# future whose body can never start. The kind system rejects this
+# (touching `a` inside the vec body is not justified), the GML baseline
+# renders a concrete cycle witness through a family member, and the
+# interpreter's quiescence detector reports the deadlock at runtime.
+
+fun main() {
+  let a = new_future[int]();
+  let fs = spawn_vec[int] 2 { return touch(a); }
+  let xs = touch_all(fs);
+  spawn a { return 1; }
+  print(int_to_string(length(xs)));
+}

@@ -285,6 +285,59 @@ class DfChecker {
               }
               return Outcome{GraphKind::star(), std::move(consumed)};
             },
+            [&](const GTVecSpawn& node) -> std::optional<Outcome> {
+              // DF:VECSPAWN — the sized family is ONE linear resource;
+              // all members are spawned here at once. The shared member
+              // body touches only what was touchable before the family
+              // existed (Ψ unchanged), so a member can never touch a
+              // sibling of its own family — conservative, and sound: the
+              // family enters Ψ only via DF:SEQ, after every member is
+              // provably spawned.
+              if (!avail.contains(node.family)) {
+                fail("family '" + node.family.str() +
+                     "' is not spawnable here (unbound, already spawned, or "
+                     "captured by a recursive binding)");
+                return std::nullopt;
+              }
+              avail.erase(node.family);
+              auto body = check_star(node.body, std::move(avail));
+              if (!body) return std::nullopt;
+              OrderedSet<Symbol> consumed = body->consumed;
+              consumed.insert(node.family);
+              return Outcome{GraphKind::star(), std::move(consumed)};
+            },
+            [&](const GTTouchAll& node) -> std::optional<Outcome> {
+              // DF:TOUCHALL — touching every member is safe exactly when
+              // the family as a whole is provably spawned to the left.
+              if (!psi_.contains(node.family)) {
+                fail("touch-all of family '" + node.family.str() +
+                     "' is not provably after its spawn; a member touch "
+                     "could block forever or close a cycle");
+                return std::nullopt;
+              }
+              return std::optional<Outcome>(Outcome{GraphKind::star(), {}});
+            },
+            [&](const GTTouchIdx& node) -> std::optional<Outcome> {
+              if (!psi_.contains(node.family)) {
+                fail("indexed touch of family '" + node.family.str() +
+                     "' is not provably after its spawn; the touch could "
+                     "block forever or close a cycle");
+                return std::nullopt;
+              }
+              if (node.index >= node.width) {
+                fail("family index " + std::to_string(node.index) +
+                     " is out of bounds for '" + node.family.str() +
+                     "' of width " + std::to_string(node.width));
+                return std::nullopt;
+              }
+              return std::optional<Outcome>(Outcome{GraphKind::star(), {}});
+            },
+            [&](const GTPipe&) -> std::optional<Outcome> {
+              // DF:PIPE — judge the desugared form; the stage vertices
+              // are ordinary ν-bound names, so DF:NEW's linearity proves
+              // every stage is spawned and DF:SEQ orders the handoffs.
+              return check(pipe_desugar(g), std::move(avail));
+            },
         },
         g->node);
   }

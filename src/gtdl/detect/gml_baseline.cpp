@@ -56,6 +56,16 @@ GTypePtr expand_recursion(const GTypePtr& g, unsigned k) {
             return gt::app(expand_recursion(node.fn, k), node.spawn_args,
                            node.touch_args);
           },
+          [&](const GTVecSpawn& node) {
+            return gt::vecspawn(expand_recursion(node.body, k), node.family,
+                                node.width);
+          },
+          [&](const GTTouchAll&) { return g; },
+          [&](const GTTouchIdx&) { return g; },
+          [&](const GTPipe& node) {
+            return gt::pipe(expand_recursion(node.lhs, k),
+                            expand_recursion(node.rhs, k));
+          },
       },
       g->node);
 }

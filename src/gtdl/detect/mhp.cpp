@@ -25,8 +25,11 @@ bool is_vertex_instance(Symbol concrete, Symbol binder) {
   if (concrete == binder) return true;
   const std::string_view c = concrete.view();
   const std::string_view b = binder.view();
+  // `binder$n` is a ν-instantiation; `binder@i` is a member of the touch
+  // family `binder` (and `binder$n@i` a member of an instantiated family,
+  // matched by the same '$' prefix test).
   return c.size() > b.size() + 1 && c.substr(0, b.size()) == b &&
-         c[b.size()] == '$';
+         (c[b.size()] == '$' || c[b.size()] == '@');
 }
 
 MhpResult mhp_in_type(const GTypePtr& g, Symbol u, Symbol w, unsigned depth,

@@ -51,6 +51,15 @@ class Pusher {
               return gt::app(transform(node.fn), node.spawn_args,
                              node.touch_args);
             },
+            [&](const GTVecSpawn& node) {
+              return gt::vecspawn(transform(node.body), node.family,
+                                  node.width);
+            },
+            [&](const GTTouchAll&) { return g; },
+            [&](const GTTouchIdx&) { return g; },
+            [&](const GTPipe& node) {
+              return gt::pipe(transform(node.lhs), transform(node.rhs));
+            },
         },
         g->node);
     if (facts != nullptr) memo_.emplace(facts->id, result);
@@ -94,8 +103,16 @@ class Pusher {
               if (node.vertex == u) return gt::nu(u, body);  // shadowed
               return gt::nu(node.vertex, push_binder(u, node.body));
             },
-            // Everything else (touch, μ, Π, application, variables, •) is
-            // a boundary the binder must not cross.
+            [&](const GTVecSpawn&) {
+              // Boundary: pushing νu inside the member body would turn
+              // one shared instantiation of u into `width` distinct ones
+              // (every member normalizes the body separately) — not a
+              // semantics-preserving rewrite.
+              return gt::nu(u, body);
+            },
+            // Everything else (touch, touch families, μ, Π, application,
+            // pipes, variables, •) is a boundary the binder must not
+            // cross.
             [&](const auto&) { return gt::nu(u, body); },
         },
         body->node);

@@ -92,10 +92,36 @@ struct EUnary {
   UnaryOp op;
   ExprPtr operand;
 };
+// spawn_vec[T] n { ... }: creates AND spawns a vector of n futures, each
+// running the block. Evaluates to fvec[T]; the graph type is a VecSpawn
+// family, so n must be an integer literal for inference.
+struct ESpawnVec {
+  TypePtr element;
+  ExprPtr width;
+  Block body;
+};
+// touch_all(fs): touches every member in index order; evaluates to
+// list[T] of the members' values (the TouchAll family touch).
+struct ETouchAll {
+  ExprPtr handle;
+};
+// fs[i]: the i-th member's handle, future[T]. Touching it is the indexed
+// family touch; inference requires i to be an integer literal.
+struct EIndex {
+  ExprPtr handle;
+  ExprPtr index;
+};
+// pipeline { stage { ... } stage { ... } ... }: each stage runs as a
+// future that first waits for the previous stage (G₁ ▷ G₂ composition);
+// the whole expression waits for the last stage. Unit-valued.
+struct EPipeline {
+  std::vector<Block> stages;
+};
 
 struct Expr {
   std::variant<EIntLit, EBoolLit, EStringLit, EUnitLit, ENilLit, EVar, ECall,
-               ENewFuture, ETouch, ESpawn, EBinary, EUnary>
+               ENewFuture, ETouch, ESpawn, EBinary, EUnary, ESpawnVec,
+               ETouchAll, EIndex, EPipeline>
       node;
   SrcLoc loc;
   // Filled by the type checker.

@@ -37,17 +37,32 @@ bool FunctionGraphInfo::has_classified_params() const {
 namespace {
 
 // Abstract value of an expression during inference: not a future, a
-// future with a known vertex, or a future whose identity was lost.
+// future with a known vertex, a touch family (fvec) with a known width,
+// one indexed member of a family, or a future whose identity was lost.
 struct AbstractVal {
-  enum class Kind : unsigned char { kNotFuture, kVertex, kOpaque };
+  enum class Kind : unsigned char {
+    kNotFuture,
+    kVertex,
+    kFamily,
+    kMember,
+    kOpaque,
+  };
   Kind kind = Kind::kNotFuture;
-  Symbol vertex;
+  Symbol vertex;  // the vertex (kVertex) or family symbol (kFamily/kMember)
+  std::uint32_t width = 0;
+  std::uint32_t index = 0;
 
   static AbstractVal not_future() { return {}; }
   static AbstractVal of_vertex(Symbol v) {
-    return {Kind::kVertex, v};
+    return {Kind::kVertex, v, 0, 0};
   }
-  static AbstractVal opaque() { return {Kind::kOpaque, Symbol{}}; }
+  static AbstractVal of_family(Symbol f, std::uint32_t w) {
+    return {Kind::kFamily, f, w, 0};
+  }
+  static AbstractVal of_member(Symbol f, std::uint32_t w, std::uint32_t i) {
+    return {Kind::kMember, f, w, i};
+  }
+  static AbstractVal opaque() { return {Kind::kOpaque, Symbol{}, 0, 0}; }
 };
 
 class Inferencer {
@@ -201,6 +216,22 @@ class Inferencer {
                    [&](const ESpawn& node) {
                      found = calls_self_expr(*node.handle, self) ||
                              calls_self(node.body, self);
+                   },
+                   [&](const ESpawnVec& node) {
+                     found = calls_self_expr(*node.width, self) ||
+                             calls_self(node.body, self);
+                   },
+                   [&](const ETouchAll& node) {
+                     found = calls_self_expr(*node.handle, self);
+                   },
+                   [&](const EIndex& node) {
+                     found = calls_self_expr(*node.handle, self) ||
+                             calls_self_expr(*node.index, self);
+                   },
+                   [&](const EPipeline& node) {
+                     for (const Block& stage : node.stages) {
+                       found = found || calls_self(stage, self);
+                     }
                    },
                    [&](const EBinary& node) {
                      found = calls_self_expr(*node.lhs, self) ||
@@ -408,6 +439,18 @@ class Inferencer {
             [&](const ETouch& node) {
               const AbstractVal handle =
                   walk_expr(*node.handle, state, pieces);
+              if (handle.kind == AbstractVal::Kind::kMember) {
+                pieces.push_back(gt::touch_idx(handle.vertex, handle.width,
+                                               handle.index));
+                return AbstractVal::not_future();
+              }
+              if (handle.kind == AbstractVal::Kind::kFamily) {
+                fail(expr.loc,
+                     "touch expects a single future; use touch_all for an "
+                     "fvec",
+                     state);
+                return AbstractVal::not_future();
+              }
               if (handle.kind != AbstractVal::Kind::kVertex) {
                 fail(expr.loc,
                      "cannot statically identify the future being touched",
@@ -421,6 +464,14 @@ class Inferencer {
             [&](const ESpawn& node) {
               const AbstractVal handle =
                   walk_expr(*node.handle, state, pieces);
+              if (handle.kind == AbstractVal::Kind::kMember ||
+                  handle.kind == AbstractVal::Kind::kFamily) {
+                fail(expr.loc,
+                     "family members are spawned by spawn_vec and cannot be "
+                     "spawned again",
+                     state);
+                return AbstractVal::not_future();
+              }
               if (handle.kind != AbstractVal::Kind::kVertex) {
                 fail(expr.loc,
                      "cannot statically identify the future being spawned",
@@ -434,6 +485,93 @@ class Inferencer {
               mark_param(handle.vertex, /*spawned=*/true, state);
               const GTypePtr body_graph = walk_block(node.body, state);
               pieces.push_back(gt::spawn(body_graph, handle.vertex));
+              return AbstractVal::not_future();
+            },
+            [&](const ESpawnVec& node) {
+              const auto* width_lit = std::get_if<EIntLit>(&node.width->node);
+              if (width_lit == nullptr || width_lit->value < 0 ||
+                  width_lit->value > 0xffffffff) {
+                fail(expr.loc,
+                     "spawn_vec width must be a non-negative integer "
+                     "literal for graph inference",
+                     state);
+                return AbstractVal::not_future();
+              }
+              const auto width =
+                  static_cast<std::uint32_t>(width_lit->value);
+              if (!check_tail_discipline(node.body)) {
+                state.failed = true;
+                return AbstractVal::not_future();
+              }
+              // Like new_future: the family binding νfs hoists to the top
+              // of the function body; the VecSpawn node is the use.
+              const Symbol family =
+                  Symbol::fresh(state.fn->name.str() + "_fs");
+              state.nu_list.push_back(family);
+              const GTypePtr body_graph = walk_block(node.body, state);
+              pieces.push_back(gt::vecspawn(body_graph, family, width));
+              return AbstractVal::of_family(family, width);
+            },
+            [&](const ETouchAll& node) {
+              const AbstractVal handle =
+                  walk_expr(*node.handle, state, pieces);
+              if (handle.kind != AbstractVal::Kind::kFamily) {
+                fail(expr.loc,
+                     "cannot statically identify the family being "
+                     "touch_all'd",
+                     state);
+                return AbstractVal::not_future();
+              }
+              pieces.push_back(gt::touch_all(handle.vertex, handle.width));
+              return AbstractVal::not_future();
+            },
+            [&](const EIndex& node) {
+              const AbstractVal handle =
+                  walk_expr(*node.handle, state, pieces);
+              const auto* index_lit = std::get_if<EIntLit>(&node.index->node);
+              if (handle.kind != AbstractVal::Kind::kFamily) {
+                fail(expr.loc,
+                     "cannot statically identify the family being indexed",
+                     state);
+                return AbstractVal::opaque();
+              }
+              if (index_lit == nullptr) {
+                fail(expr.loc,
+                     "fvec indices must be integer literals for graph "
+                     "inference",
+                     state);
+                return AbstractVal::opaque();
+              }
+              if (index_lit->value < 0 ||
+                  index_lit->value >= static_cast<std::int64_t>(handle.width)) {
+                fail(expr.loc,
+                     "fvec index " + std::to_string(index_lit->value) +
+                         " is out of bounds for a family of width " +
+                         std::to_string(handle.width),
+                     state);
+                return AbstractVal::opaque();
+              }
+              return AbstractVal::of_member(
+                  handle.vertex, handle.width,
+                  static_cast<std::uint32_t>(index_lit->value));
+            },
+            [&](const EPipeline& node) {
+              // Left-associated stage composition G₁ ▷ G₂ ▷ … — the
+              // desugaring into ν-bound stage futures happens inside the
+              // graph-type normalizers.
+              GTypePtr chain;
+              for (const Block& stage : node.stages) {
+                if (!check_tail_discipline(stage)) {
+                  state.failed = true;
+                  return AbstractVal::not_future();
+                }
+                GTypePtr stage_graph = walk_block(stage, state);
+                chain = chain == nullptr
+                            ? std::move(stage_graph)
+                            : gt::pipe(std::move(chain),
+                                       std::move(stage_graph));
+              }
+              if (chain != nullptr) pieces.push_back(std::move(chain));
               return AbstractVal::not_future();
             },
             [&](const ECall& node) { return walk_call(expr, node, state, pieces); },

@@ -25,11 +25,15 @@ struct FutureCell;
 struct Value;
 using ListPtr = std::shared_ptr<const std::vector<Value>>;
 using FuturePtr = std::shared_ptr<FutureCell>;
+// A spawn_vec family: the member handles in index order.
+using FvecPtr = std::shared_ptr<const std::vector<FuturePtr>>;
 
 struct Unit {};
 
 struct Value {
-  std::variant<Unit, std::int64_t, bool, std::string, ListPtr, FuturePtr> v;
+  std::variant<Unit, std::int64_t, bool, std::string, ListPtr, FuturePtr,
+               FvecPtr>
+      v;
 
   static Value unit() { return {Unit{}}; }
   static Value of_int(std::int64_t x) { return {x}; }
@@ -37,6 +41,7 @@ struct Value {
   static Value of_string(std::string s) { return {std::move(s)}; }
   static Value of_list(ListPtr l) { return {std::move(l)}; }
   static Value of_future(FuturePtr f) { return {std::move(f)}; }
+  static Value of_fvec(FvecPtr f) { return {std::move(f)}; }
 
   [[nodiscard]] std::int64_t as_int() const { return std::get<std::int64_t>(v); }
   [[nodiscard]] bool as_bool() const { return std::get<bool>(v); }
@@ -47,6 +52,7 @@ struct Value {
   [[nodiscard]] const FuturePtr& as_future() const {
     return std::get<FuturePtr>(v);
   }
+  [[nodiscard]] const FvecPtr& as_fvec() const { return std::get<FvecPtr>(v); }
 };
 
 // Mutable lexical scopes; spawn bodies capture the chain, so assignments
@@ -100,6 +106,10 @@ struct FutureCell {
   EnvPtr env;
   Value result = Value::unit();
   std::shared_ptr<GraphBuilder> graph = std::make_shared<GraphBuilder>();
+  // Pipeline stages wait for the previous stage before running their
+  // block (the ~p prefix of the ▷ desugaring); null for ordinary futures.
+  FuturePtr pre_touch;
+  SrcLoc pre_touch_loc;
 };
 
 struct DeadlockSignal {
@@ -247,6 +257,11 @@ class Interp {
     if (call_depth_ > options_.max_call_depth) {
       throw RuntimeErrorSignal{"call depth budget exhausted while forcing "
                                "futures"};
+    }
+    // A pipeline stage blocks on its predecessor first; the touch records
+    // into THIS cell's graph (the stage body is ~p ; G).
+    if (cell->pre_touch != nullptr) {
+      (void)touch(cell->pre_touch, cell->pre_touch_loc);
     }
     auto inner = std::make_shared<EnvScope>();
     inner->parent = cell->env;
@@ -430,6 +445,78 @@ class Interp {
                   GraphBuilder::SpawnNode{cell->vertex, cell->graph});
               return Value::unit();
             },
+            [&](const ESpawnVec& node) {
+              const std::int64_t width = eval(*node.width, env).as_int();
+              if (width < 0) {
+                throw RuntimeErrorSignal{
+                    "spawn_vec width is negative (line " +
+                    std::to_string(expr.loc.line) + ")"};
+              }
+              const Symbol family = Symbol::fresh("fs");
+              auto members = std::make_shared<std::vector<FuturePtr>>();
+              members->reserve(static_cast<std::size_t>(width));
+              for (std::int64_t i = 0; i < width; ++i) {
+                auto cell = std::make_shared<FutureCell>();
+                cell->vertex = Symbol::intern(family.str() + "@" +
+                                              std::to_string(i));
+                cell->state = FutureState::kPending;
+                cell->body = &node.body;
+                cell->env = env;
+                registered_.push_back(cell);
+                builder().nodes.push_back(
+                    GraphBuilder::SpawnNode{cell->vertex, cell->graph});
+                members->push_back(std::move(cell));
+              }
+              return Value::of_fvec(std::move(members));
+            },
+            [&](const ETouchAll& node) {
+              const Value handle = eval(*node.handle, env);
+              const FvecPtr& members = handle.as_fvec();
+              std::vector<Value> values;
+              values.reserve(members->size());
+              for (const FuturePtr& cell : *members) {
+                values.push_back(touch(cell, expr.loc));
+              }
+              return Value::of_list(std::make_shared<const std::vector<Value>>(
+                  std::move(values)));
+            },
+            [&](const EIndex& node) {
+              const Value handle = eval(*node.handle, env);
+              const std::int64_t index = eval(*node.index, env).as_int();
+              const FvecPtr& members = handle.as_fvec();
+              if (index < 0 ||
+                  index >= static_cast<std::int64_t>(members->size())) {
+                throw RuntimeErrorSignal{
+                    "fvec index " + std::to_string(index) +
+                    " out of bounds for width " +
+                    std::to_string(members->size()) + " (line " +
+                    std::to_string(expr.loc.line) + ")"};
+              }
+              return Value::of_future((*members)[static_cast<std::size_t>(
+                  index)]);
+            },
+            [&](const EPipeline& node) {
+              // The ▷ desugaring, executed directly: spawn each stage with
+              // a wait on its predecessor, then touch the final stage.
+              FuturePtr prev;
+              FuturePtr last;
+              for (const Block& stage : node.stages) {
+                auto cell = std::make_shared<FutureCell>();
+                cell->vertex = Symbol::fresh("stg");
+                cell->state = FutureState::kPending;
+                cell->body = &stage;
+                cell->env = env;
+                cell->pre_touch = prev;
+                cell->pre_touch_loc = expr.loc;
+                registered_.push_back(cell);
+                builder().nodes.push_back(
+                    GraphBuilder::SpawnNode{cell->vertex, cell->graph});
+                prev = cell;
+                last = std::move(cell);
+              }
+              if (last != nullptr) (void)touch(last, expr.loc);
+              return Value::unit();
+            },
             [&](const EBinary& node) { return eval_binary(expr, node, env); },
             [&](const EUnary& node) {
               const Value operand = eval(*node.operand, env);
@@ -500,6 +587,7 @@ class Interp {
             [&](const std::string& x) { return x == b.as_string(); },
             [](const ListPtr&) { return false; },
             [](const FuturePtr&) { return false; },
+            [](const FvecPtr&) { return false; },
         },
         a.v);
   }

@@ -14,8 +14,9 @@ enum class Tok : unsigned char {
   kIdent, kInt, kString,
   // keywords
   kFun, kLet, kReturn, kIf, kElse, kWhile, kSpawn, kTouch, kNewFuture,
+  kSpawnVec, kTouchAll, kPipeline, kStage,
   kTrue, kFalse, kNil,
-  kTyInt, kTyBool, kTyUnit, kTyString, kTyList, kTyFuture,
+  kTyInt, kTyBool, kTyUnit, kTyString, kTyList, kTyFuture, kTyFvec,
   // punctuation
   kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
   kComma, kSemi, kColon, kDot, kArrow, kAssign,
@@ -39,11 +40,15 @@ const std::unordered_map<std::string_view, Tok>& keywords() {
       {"else", Tok::kElse},      {"while", Tok::kWhile},
       {"spawn", Tok::kSpawn},    {"touch", Tok::kTouch},
       {"new_future", Tok::kNewFuture},
+      {"spawn_vec", Tok::kSpawnVec},
+      {"touch_all", Tok::kTouchAll},
+      {"pipeline", Tok::kPipeline},
+      {"stage", Tok::kStage},
       {"true", Tok::kTrue},      {"false", Tok::kFalse},
       {"nil", Tok::kNil},        {"int", Tok::kTyInt},
       {"bool", Tok::kTyBool},    {"unit", Tok::kTyUnit},
       {"string", Tok::kTyString},{"list", Tok::kTyList},
-      {"future", Tok::kTyFuture},
+      {"future", Tok::kTyFuture},{"fvec", Tok::kTyFvec},
   };
   return table;
 }
@@ -298,6 +303,14 @@ class Parser {
         if (!expect(Tok::kRBracket, "']'")) return nullptr;
         return ty::future(std::move(element));
       }
+      case Tok::kTyFvec: {
+        advance();
+        if (!expect(Tok::kLBracket, "'[' after 'fvec'")) return nullptr;
+        TypePtr element = parse_type();
+        if (element == nullptr) return nullptr;
+        if (!expect(Tok::kRBracket, "']'")) return nullptr;
+        return ty::fvec(std::move(element));
+      }
       default:
         error("expected a type");
         return nullptr;
@@ -368,7 +381,14 @@ class Parser {
         if (!expect(Tok::kAssign, "'='")) return std::nullopt;
         ExprPtr init = parse_expr();
         if (init == nullptr) return std::nullopt;
-        if (!expect(Tok::kSemi, "';'")) return std::nullopt;
+        // Block-terminated initializers read like declarations; the ';'
+        // is optional after their '}' (matching 'spawn h { ... }').
+        if (std::holds_alternative<ESpawnVec>(init->node) ||
+            std::holds_alternative<EPipeline>(init->node)) {
+          accept(Tok::kSemi);
+        } else if (!expect(Tok::kSemi, "';'")) {
+          return std::nullopt;
+        }
         return make_stmt(SLet{*name, std::move(declared), std::move(init)},
                          loc);
       }
@@ -402,6 +422,12 @@ class Parser {
         ExprPtr spawn = make_expr(ESpawn{std::move(handle), std::move(*body)},
                                   loc);
         return make_stmt(SExpr{std::move(spawn)}, loc);
+      }
+      case Tok::kPipeline: {
+        ExprPtr pipe = parse_pipeline();
+        if (pipe == nullptr) return std::nullopt;
+        accept(Tok::kSemi);  // optional trailing ';'
+        return make_stmt(SExpr{std::move(pipe)}, loc);
       }
       default: {
         // Assignment (IDENT '=' ...) or expression statement. The
@@ -550,9 +576,16 @@ class Parser {
 
   ExprPtr parse_postfix() {
     ExprPtr expr = parse_primary();
-    while (expr != nullptr && at(Tok::kDot)) {
+    while (expr != nullptr && (at(Tok::kDot) || at(Tok::kLBracket))) {
       const SrcLoc loc = current_.loc;
-      advance();
+      if (accept(Tok::kLBracket)) {
+        ExprPtr index = parse_expr();
+        if (index == nullptr) return nullptr;
+        if (!expect(Tok::kRBracket, "']'")) return nullptr;
+        expr = make_expr(EIndex{std::move(expr), std::move(index)}, loc);
+        continue;
+      }
+      advance();  // '.'
       if (accept(Tok::kTouch)) {
         if (!expect(Tok::kLParen, "'(' after '.touch'")) return nullptr;
         if (!expect(Tok::kRParen, "')'")) return nullptr;
@@ -567,6 +600,25 @@ class Parser {
       }
     }
     return expr;
+  }
+
+  // pipeline { stage { ... } stage { ... } ... }
+  ExprPtr parse_pipeline() {
+    const SrcLoc loc = current_.loc;
+    advance();  // 'pipeline'
+    if (!expect(Tok::kLBrace, "'{' after 'pipeline'")) return nullptr;
+    std::vector<Block> stages;
+    while (!accept(Tok::kRBrace)) {
+      if (!expect(Tok::kStage, "'stage' or '}'")) return nullptr;
+      auto body = parse_block();
+      if (!body) return nullptr;
+      stages.push_back(std::move(*body));
+    }
+    if (stages.size() < 2) {
+      diags_.error(loc, "a pipeline needs at least two stages");
+      return nullptr;
+    }
+    return make_expr(EPipeline{std::move(stages)}, loc);
   }
 
   ExprPtr parse_primary() {
@@ -617,6 +669,30 @@ class Parser {
         if (!expect(Tok::kRParen, "')'")) return nullptr;
         return make_expr(ETouch{std::move(handle)}, loc);
       }
+      case Tok::kTouchAll: {
+        advance();
+        if (!expect(Tok::kLParen, "'(' after 'touch_all'")) return nullptr;
+        ExprPtr handle = parse_expr();
+        if (handle == nullptr) return nullptr;
+        if (!expect(Tok::kRParen, "')'")) return nullptr;
+        return make_expr(ETouchAll{std::move(handle)}, loc);
+      }
+      case Tok::kSpawnVec: {
+        advance();
+        if (!expect(Tok::kLBracket, "'[' after 'spawn_vec'")) return nullptr;
+        TypePtr element = parse_type();
+        if (element == nullptr) return nullptr;
+        if (!expect(Tok::kRBracket, "']'")) return nullptr;
+        ExprPtr width = parse_postfix();
+        if (width == nullptr) return nullptr;
+        auto body = parse_block();
+        if (!body) return nullptr;
+        return make_expr(
+            ESpawnVec{std::move(element), std::move(width), std::move(*body)},
+            loc);
+      }
+      case Tok::kPipeline:
+        return parse_pipeline();
       case Tok::kIdent: {
         const Symbol name = Symbol::intern(current_.text);
         advance();

@@ -46,7 +46,7 @@ class Checker {
         diags_.error(fn.loc,
                      "duplicate function name '" + fn.name.str() + "'");
       }
-      if (is_future(*fn.return_type)) {
+      if (is_future(*fn.return_type) || is_fvec(*fn.return_type)) {
         diags_.error(fn.loc, "function '" + fn.name.str() +
                                  "' returns a future; graph inference "
                                  "cannot track escaping handles");
@@ -55,6 +55,13 @@ class Checker {
       for (const Param& p : fn.params) {
         if (!param_names.insert(p.name).second) {
           diags_.error(p.loc, "duplicate parameter '" + p.name.str() + "'");
+        }
+        // Touch families stay function-local: Π binders carry scalar
+        // vertices only, so an fvec crossing a call boundary would have
+        // no graph-type binding form.
+        if (is_fvec(*p.type)) {
+          diags_.error(p.loc, "fvec parameters are not supported; pass "
+                              "individual future handles instead");
         }
         check_type_wellformed(*p.type, p.loc);
       }
@@ -66,7 +73,7 @@ class Checker {
     std::visit(Overloaded{
                    [](const TPrim&) {},
                    [&](const TList& l) {
-                     if (is_future(*l.element)) {
+                     if (is_future(*l.element) || is_fvec(*l.element)) {
                        diags_.error(loc,
                                     "list of futures is not supported "
                                     "(handles must stay in variables)");
@@ -74,12 +81,22 @@ class Checker {
                      check_type_wellformed(*l.element, loc);
                    },
                    [&](const TFuture& f) {
-                     if (is_future(*f.element)) {
+                     if (is_future(*f.element) || is_fvec(*f.element)) {
                        diags_.error(loc, "future of future is not supported");
                      }
                      if (is_list(*f.element) ||
                          !std::holds_alternative<TPrim>(f.element->node)) {
                        // futures of lists are fine; recurse for nesting
+                     }
+                     check_type_wellformed(*f.element, loc);
+                   },
+                   [&](const TFvec& f) {
+                     // Family members hold first-order values only; handle
+                     // types inside a family would let members escape the
+                     // VecSpawn discipline.
+                     if (!std::holds_alternative<TPrim>(f.element->node)) {
+                       diags_.error(loc,
+                                    "fvec elements must be primitive types");
                      }
                      check_type_wellformed(*f.element, loc);
                    },
@@ -283,6 +300,51 @@ class Checker {
                                  to_string(*element) + " on every path");
               }
               return_types_.pop_back();
+              return ty::unit();
+            },
+            [&](ESpawnVec& node) -> TypePtr {
+              const TypePtr t = ty::fvec(node.element);
+              check_type_wellformed(*t, expr.loc);
+              expect_type(*node.width, ty::intt(), "spawn_vec width");
+              return_types_.push_back(node.element);
+              check_block(node.body);
+              if (!is_prim(*node.element, PrimKind::kUnit) &&
+                  !block_returns(node.body)) {
+                diags_.error(expr.loc,
+                             "spawn_vec body must return a value of type " +
+                                 to_string(*node.element) + " on every path");
+              }
+              return_types_.pop_back();
+              return t;
+            },
+            [&](ETouchAll& node) -> TypePtr {
+              const TypePtr handle = check_expr(*node.handle, nullptr);
+              if (handle == nullptr) return nullptr;
+              if (!is_fvec(*handle)) {
+                diags_.error(expr.loc,
+                             "touch_all expects an fvec handle, got " +
+                                 to_string(*handle));
+                return nullptr;
+              }
+              return ty::list(element_type(*handle));
+            },
+            [&](EIndex& node) -> TypePtr {
+              const TypePtr handle = check_expr(*node.handle, nullptr);
+              expect_type(*node.index, ty::intt(), "fvec index");
+              if (handle == nullptr) return nullptr;
+              if (!is_fvec(*handle)) {
+                diags_.error(expr.loc, "indexing expects an fvec, got " +
+                                           to_string(*handle));
+                return nullptr;
+              }
+              return ty::future(element_type(*handle));
+            },
+            [&](EPipeline& node) -> TypePtr {
+              for (Block& stage : node.stages) {
+                return_types_.push_back(ty::unit());
+                check_block(stage);
+                return_types_.pop_back();
+              }
               return ty::unit();
             },
             [&](EBinary& node) { return check_binary(expr, node); },

@@ -33,6 +33,9 @@ TypePtr list(TypePtr element) {
 TypePtr future(TypePtr element) {
   return std::make_shared<const Type>(Type{TFuture{std::move(element)}});
 }
+TypePtr fvec(TypePtr element) {
+  return std::make_shared<const Type>(Type{TFvec{std::move(element)}});
+}
 
 }  // namespace ty
 
@@ -50,6 +53,9 @@ bool type_equal(const Type& a, const Type& b) {
             return type_equal(*fa.element,
                               *std::get<TFuture>(b.node).element);
           },
+          [&](const TFvec& fa) {
+            return type_equal(*fa.element, *std::get<TFvec>(b.node).element);
+          },
       },
       a.node);
 }
@@ -57,6 +63,7 @@ bool type_equal(const Type& a, const Type& b) {
 bool is_future(const Type& t) {
   return std::holds_alternative<TFuture>(t.node);
 }
+bool is_fvec(const Type& t) { return std::holds_alternative<TFvec>(t.node); }
 bool is_list(const Type& t) { return std::holds_alternative<TList>(t.node); }
 bool is_prim(const Type& t, PrimKind kind) {
   const auto* p = std::get_if<TPrim>(&t.node);
@@ -66,6 +73,7 @@ bool is_prim(const Type& t, PrimKind kind) {
 TypePtr element_type(const Type& t) {
   if (const auto* l = std::get_if<TList>(&t.node)) return l->element;
   if (const auto* f = std::get_if<TFuture>(&t.node)) return f->element;
+  if (const auto* v = std::get_if<TFvec>(&t.node)) return v->element;
   return nullptr;
 }
 
@@ -89,6 +97,7 @@ std::string to_string(const Type& t) {
           [](const TFuture& f) {
             return "future[" + to_string(*f.element) + "]";
           },
+          [](const TFvec& f) { return "fvec[" + to_string(*f.element) + "]"; },
       },
       t.node);
 }

@@ -28,9 +28,15 @@ struct TList {
 struct TFuture {
   TypePtr element;
 };
+// A vector of future handles created as one unit by spawn_vec; the
+// static counterpart of the VecSpawn graph-type family. The width is a
+// property of the value (tracked during inference), not the type.
+struct TFvec {
+  TypePtr element;
+};
 
 struct Type {
-  std::variant<TPrim, TList, TFuture> node;
+  std::variant<TPrim, TList, TFuture, TFvec> node;
 };
 
 namespace ty {
@@ -40,10 +46,12 @@ namespace ty {
 [[nodiscard]] TypePtr string();
 [[nodiscard]] TypePtr list(TypePtr element);
 [[nodiscard]] TypePtr future(TypePtr element);
+[[nodiscard]] TypePtr fvec(TypePtr element);
 }  // namespace ty
 
 [[nodiscard]] bool type_equal(const Type& a, const Type& b);
 [[nodiscard]] bool is_future(const Type& t);
+[[nodiscard]] bool is_fvec(const Type& t);
 [[nodiscard]] bool is_list(const Type& t);
 [[nodiscard]] bool is_prim(const Type& t, PrimKind kind);
 // Element type of a list or future; nullptr otherwise.

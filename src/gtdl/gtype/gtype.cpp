@@ -70,7 +70,61 @@ GTypePtr app(GTypePtr fn, std::vector<Symbol> spawn_args,
                                        std::move(touch_args));
 }
 
+GTypePtr vecspawn(GTypePtr body, Symbol family, std::uint32_t width) {
+  return GTypeInterner::instance().vecspawn(std::move(body), family, width);
+}
+
+GTypePtr touch_all(Symbol family, std::uint32_t width) {
+  return GTypeInterner::instance().touch_all(family, width);
+}
+
+GTypePtr touch_idx(Symbol family, std::uint32_t width, std::uint32_t index) {
+  return GTypeInterner::instance().touch_idx(family, width, index);
+}
+
+GTypePtr pipe(GTypePtr lhs, GTypePtr rhs) {
+  return GTypeInterner::instance().pipe(std::move(lhs), std::move(rhs));
+}
+
 }  // namespace gt
+
+Symbol family_member(Symbol family, std::uint32_t index) {
+  return Symbol::intern(family.str() + "@" + std::to_string(index));
+}
+
+GTypePtr vecspawn_unroll(const GTVecSpawn& node) {
+  std::vector<GTypePtr> parts;
+  parts.reserve(node.width);
+  for (std::uint32_t i = 0; i < node.width; ++i) {
+    parts.push_back(gt::spawn(node.body, family_member(node.family, i)));
+  }
+  return gt::seq_all(std::move(parts));
+}
+
+GTypePtr touch_all_unroll(const GTTouchAll& node) {
+  std::vector<GTypePtr> parts;
+  parts.reserve(node.width);
+  for (std::uint32_t i = 0; i < node.width; ++i) {
+    parts.push_back(gt::touch(family_member(node.family, i)));
+  }
+  return gt::seq_all(std::move(parts));
+}
+
+GTypePtr pipe_desugar(const GTypePtr& pipe) {
+  const auto& node = std::get<GTPipe>(pipe->node);
+  // Binder names carry the pipe node's id: hash-consing guarantees the
+  // id is stable across re-desugarings (determinism for memo tables and
+  // for --jobs N reproducibility), and distinct nested pipes get
+  // distinct names (the WF checker rejects ν-shadowing).
+  const std::uint64_t id = pipe->facts != nullptr ? pipe->facts->id : 0;
+  const Symbol p = Symbol::intern("pst$" + std::to_string(id));
+  const Symbol q = Symbol::intern("out$" + std::to_string(id));
+  return gt::nu(
+      p, gt::nu(q, gt::seq(gt::seq(gt::spawn(node.lhs, p),
+                                   gt::spawn(gt::seq(gt::touch(p), node.rhs),
+                                             q)),
+                           gt::touch(q))));
+}
 
 // ---------------------------------------------------------------------------
 // Free variables
@@ -126,6 +180,20 @@ void collect_free_vertices(const GType& g, OrderedSet<Symbol>& bound,
               if (!bound.contains(u)) out.insert(u);
             }
           },
+          [&](const GTVecSpawn& node) {
+            if (!bound.contains(node.family)) out.insert(node.family);
+            collect_free_vertices(*node.body, bound, out);
+          },
+          [&](const GTTouchAll& node) {
+            if (!bound.contains(node.family)) out.insert(node.family);
+          },
+          [&](const GTTouchIdx& node) {
+            if (!bound.contains(node.family)) out.insert(node.family);
+          },
+          [&](const GTPipe& node) {
+            collect_free_vertices(*node.lhs, bound, out);
+            collect_free_vertices(*node.rhs, bound, out);
+          },
       },
       g.node);
 }
@@ -163,6 +231,15 @@ void collect_free_gvars(const GType& g, OrderedSet<Symbol>& bound,
           },
           [&](const GTApp& node) {
             collect_free_gvars(*node.fn, bound, out);
+          },
+          [&](const GTVecSpawn& node) {
+            collect_free_gvars(*node.body, bound, out);
+          },
+          [](const GTTouchAll&) {},
+          [](const GTTouchIdx&) {},
+          [&](const GTPipe& node) {
+            collect_free_gvars(*node.lhs, bound, out);
+            collect_free_gvars(*node.rhs, bound, out);
           },
       },
       g.node);
@@ -226,6 +303,24 @@ void accumulate(const GType& g, GTypeStats& s) {
                  [&](const GTApp& node) {
                    ++s.applications;
                    accumulate(*node.fn, s);
+                 },
+                 [&](const GTVecSpawn& node) {
+                   ++s.vecspawn_bindings;
+                   s.spawns += node.width;
+                   accumulate(*node.body, s);
+                 },
+                 [&](const GTTouchAll& node) {
+                   ++s.family_touches;
+                   s.touches += node.width;
+                 },
+                 [&](const GTTouchIdx&) {
+                   ++s.family_touches;
+                   ++s.touches;
+                 },
+                 [&](const GTPipe& node) {
+                   ++s.pipes;
+                   accumulate(*node.lhs, s);
+                   accumulate(*node.rhs, s);
                  },
              },
              g.node);
@@ -382,6 +477,27 @@ bool alpha_eq(const GType& a, const GType& b, AlphaEnv& env) {
             }
             return true;
           },
+          [&](const GTVecSpawn& na) {
+            const auto& nb = std::get<GTVecSpawn>(b.node);
+            return na.width == nb.width &&
+                   env.names_match(na.family, nb.family) &&
+                   alpha_eq(*na.body, *nb.body, env);
+          },
+          [&](const GTTouchAll& na) {
+            const auto& nb = std::get<GTTouchAll>(b.node);
+            return na.width == nb.width &&
+                   env.names_match(na.family, nb.family);
+          },
+          [&](const GTTouchIdx& na) {
+            const auto& nb = std::get<GTTouchIdx>(b.node);
+            return na.width == nb.width && na.index == nb.index &&
+                   env.names_match(na.family, nb.family);
+          },
+          [&](const GTPipe& na) {
+            const auto& nb = std::get<GTPipe>(b.node);
+            return alpha_eq(*na.lhs, *nb.lhs, env) &&
+                   alpha_eq(*na.rhs, *nb.rhs, env);
+          },
       },
       a.node);
 }
@@ -471,6 +587,25 @@ bool structurally_equal(const GType& a, const GType& b) {
                    na.touch_args == nb.touch_args &&
                    structurally_equal(*na.fn, *nb.fn);
           },
+          [&](const GTVecSpawn& na) {
+            const auto& nb = std::get<GTVecSpawn>(b.node);
+            return na.family == nb.family && na.width == nb.width &&
+                   structurally_equal(*na.body, *nb.body);
+          },
+          [&](const GTTouchAll& na) {
+            const auto& nb = std::get<GTTouchAll>(b.node);
+            return na.family == nb.family && na.width == nb.width;
+          },
+          [&](const GTTouchIdx& na) {
+            const auto& nb = std::get<GTTouchIdx>(b.node);
+            return na.family == nb.family && na.width == nb.width &&
+                   na.index == nb.index;
+          },
+          [&](const GTPipe& na) {
+            const auto& nb = std::get<GTPipe>(b.node);
+            return structurally_equal(*na.lhs, *nb.lhs) &&
+                   structurally_equal(*na.rhs, *nb.rhs);
+          },
       },
       a.node);
 }
@@ -480,7 +615,8 @@ bool structurally_equal(const GType& a, const GType& b) {
 
 namespace {
 
-// Precedence levels: | = 0, ; = 1, postfix (/ and [..]) = 2, atom = 3.
+// Precedence levels: |> = 0, | = 1, ; = 2, postfix (/ and [..]) = 3,
+// atom = 4.
 // `tail` marks positions where the expression extends to the end of the
 // enclosing context: a binder (rec/new/pi) swallows everything to its
 // right, so in a NON-tail position it needs parentheses even at the
@@ -508,25 +644,25 @@ void print(const GType& g, std::string& out, int min_prec, bool tail) {
       Overloaded{
           [&](const GTEmpty&) { out += '1'; },
           [&](const GTSeq& node) {
-            const bool parens = min_prec > 1;
+            const bool parens = min_prec > 2;
             if (parens) out += '(';
-            print(*node.lhs, out, 1, false);
+            print(*node.lhs, out, 2, false);
             out += " ; ";
-            print(*node.rhs, out, 2, tail && !parens);
+            print(*node.rhs, out, 3, tail && !parens);
             if (parens) out += ')';
           },
           [&](const GTOr& node) {
-            const bool parens = min_prec > 0;
+            const bool parens = min_prec > 1;
             if (parens) out += '(';
-            print(*node.lhs, out, 0, false);
+            print(*node.lhs, out, 1, false);
             out += " | ";
-            print(*node.rhs, out, 1, tail && !parens);
+            print(*node.rhs, out, 2, tail && !parens);
             if (parens) out += ')';
           },
           [&](const GTSpawn& node) {
-            const bool parens = min_prec > 2;
+            const bool parens = min_prec > 3;
             if (parens) out += '(';
-            print(*node.body, out, 3, false);
+            print(*node.body, out, 4, false);
             out += " / ";
             out += node.vertex.view();
             if (parens) out += ')';
@@ -565,10 +701,45 @@ void print(const GType& g, std::string& out, int min_prec, bool tail) {
                 node.body);
           },
           [&](const GTApp& node) {
-            const bool parens = min_prec > 2;
+            const bool parens = min_prec > 3;
             if (parens) out += '(';
-            print(*node.fn, out, 3, false);
+            print(*node.fn, out, 4, false);
             print_vertex_list(node.spawn_args, node.touch_args, out);
+            if (parens) out += ')';
+          },
+          [&](const GTVecSpawn& node) {
+            print_binder(
+                [&] {
+                  out += "vec[";
+                  out += node.family.view();
+                  out += "; ";
+                  out += std::to_string(node.width);
+                  out += "]. ";
+                },
+                node.body);
+          },
+          [&](const GTTouchAll& node) {
+            out += "touchall[";
+            out += node.family.view();
+            out += "; ";
+            out += std::to_string(node.width);
+            out += ']';
+          },
+          [&](const GTTouchIdx& node) {
+            out += "touchidx[";
+            out += node.family.view();
+            out += "; ";
+            out += std::to_string(node.width);
+            out += "; ";
+            out += std::to_string(node.index);
+            out += ']';
+          },
+          [&](const GTPipe& node) {
+            const bool parens = min_prec > 0;
+            if (parens) out += '(';
+            print(*node.lhs, out, 0, false);
+            out += " |> ";
+            print(*node.rhs, out, 1, tail && !parens);
             if (parens) out += ')';
           },
       },

@@ -15,11 +15,18 @@
 //       | Πūf;ūt.G          parameterized by spawnable (ūf) and touchable
 //                           (ūt) vertex vectors
 //       | G[ūf';ūt']        instantiation of a parameterized graph type
+//       | VecSpawn(n, G)/ū  spawn a sized family ū of n futures, each
+//                           with body G (futures-in-collections; Rinaldi
+//                           et al., arXiv 2311.06984)
+//       | TouchAll(ū)       touch every member of the family ū in order
+//       | ū[i]              touch the i-th member of the family ū
+//       | G1 ▷ G2           pipeline stage composition
 //
 // The textual (ASCII) syntax used by the printer and parser is:
 //
 //   1    G1 ; G2    G / u    ~u    G1 | G2    rec g. G    g
 //   new u. G    pi[u1,u2; u3]. G    G[u1,u2; u3]
+//   vec[u;n]. G    touchall[u;n]    touchidx[u;n;i]    G1 |> G2
 //
 // Nodes are immutable and shared (structural sharing keeps whole-program
 // types produced by inference small even when callee types are inlined at
@@ -27,6 +34,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <variant>
@@ -99,11 +107,53 @@ struct GTApp {
   std::vector<Symbol> touch_args;
 };
 
+// --- Collection constructors (Rinaldi et al., "Pipelines and Beyond":
+// graph types for futures stored in data structures). A *touch family*
+// `family` stands for a sized vector of future handles; normalization
+// unrolls it into `width` member vertices spelled `family@0 … family@w-1`
+// (the '@' separator cannot appear in source identifiers or in
+// Symbol::fresh output, so members never collide with scalar vertices).
+// The family symbol itself scopes, substitutes, and ν-binds exactly like
+// a scalar vertex; the members exist only in ground graphs.
+
+// VecSpawn(n, G) — spawn a family of `width` futures, each body G. In the
+// ground graphs this is (G /u@0) ⊕ … ⊕ (G /u@w-1).
+struct GTVecSpawn {
+  GTypePtr body;
+  Symbol family;
+  std::uint32_t width = 0;
+};
+
+// TouchAll(ū) — touch every member of the family in index order:
+// ~u@0 ⊕ … ⊕ ~u@w-1.
+struct GTTouchAll {
+  Symbol family;
+  std::uint32_t width = 0;
+};
+
+// ū[i] — touch one member of the family: ~u@i. Requires i < width.
+struct GTTouchIdx {
+  Symbol family;
+  std::uint32_t width = 0;
+  std::uint32_t index = 0;
+};
+
+// G1 ▷ G2 — pipeline stage composition: the producer stage G1 runs as a
+// spawned future, the consumer stage G2 runs as a second spawned future
+// that first touches the producer's completion vertex, and the composed
+// graph ends by touching the consumer. Kinding and normalization use the
+// desugaring (binder names derived deterministically from the node)
+//   νp. νq. (G1 /p) ⊕ ((~p ⊕ G2) /q) ⊕ ~q
+struct GTPipe {
+  GTypePtr lhs;
+  GTypePtr rhs;
+};
+
 struct GTypeFacts;  // cached structural facts; see intern.hpp
 
 struct GType {
   std::variant<GTEmpty, GTSeq, GTOr, GTSpawn, GTTouch, GTRec, GTVar, GTNew,
-               GTPi, GTApp>
+               GTPi, GTApp, GTVecSpawn, GTTouchAll, GTTouchIdx, GTPipe>
       node;
   // Filled by the GTypeInterner (never null for gt::-built values); owned
   // by the interner for the process lifetime.
@@ -129,8 +179,35 @@ namespace gt {
                           std::vector<Symbol> touch_params, GTypePtr body);
 [[nodiscard]] GTypePtr app(GTypePtr fn, std::vector<Symbol> spawn_args,
                            std::vector<Symbol> touch_args);
+[[nodiscard]] GTypePtr vecspawn(GTypePtr body, Symbol family,
+                                std::uint32_t width);
+[[nodiscard]] GTypePtr touch_all(Symbol family, std::uint32_t width);
+[[nodiscard]] GTypePtr touch_idx(Symbol family, std::uint32_t width,
+                                 std::uint32_t index);
+[[nodiscard]] GTypePtr pipe(GTypePtr lhs, GTypePtr rhs);
 
 }  // namespace gt
+
+// The member vertex `family@index` of a touch family; see GTVecSpawn.
+[[nodiscard]] Symbol family_member(Symbol family, std::uint32_t index);
+
+// --- Collection-constructor expansions --------------------------------------
+// The analyses share ONE definition of what the collection constructors
+// mean in terms of the scalar core, so the normalizer, the kind checkers
+// and the detectors cannot drift apart.
+
+// (G /ū@0) ⊕ … ⊕ (G /ū@w-1); • when the family is empty.
+[[nodiscard]] GTypePtr vecspawn_unroll(const GTVecSpawn& node);
+
+// ~ū@0 ⊕ … ⊕ ~ū@w-1; • when the family is empty.
+[[nodiscard]] GTypePtr touch_all_unroll(const GTTouchAll& node);
+
+// Desugars `pipe` (which must hold a GTPipe) to
+//   νp. νq. (G1 /p) ⊕ ((~p ⊕ G2) /q) ⊕ ~q
+// with binder names derived deterministically from the pipe node's
+// interner id, so the same node always desugars to the same (interned)
+// term and nested pipes never shadow each other.
+[[nodiscard]] GTypePtr pipe_desugar(const GTypePtr& pipe);
 
 // --- Structural queries -----------------------------------------------------
 
@@ -150,6 +227,9 @@ struct GTypeStats {
   std::size_t pi_bindings = 0;
   std::size_t spawns = 0;
   std::size_t touches = 0;
+  std::size_t vecspawn_bindings = 0;  // VecSpawn nodes
+  std::size_t family_touches = 0;     // TouchAll + TouchIdx nodes
+  std::size_t pipes = 0;              // Pipe nodes
 };
 [[nodiscard]] GTypeStats stats(const GType& g);
 

@@ -92,7 +92,7 @@ struct GTypeInterner::Impl {
   std::atomic<std::uint64_t> shard_lock_waits{0};
   // Canonical nodes created, by constructor tag (indexed by the Tag enum
   // value carried in the node key's first word).
-  std::atomic<std::uint64_t> nodes_by_tag[10] = {};
+  std::atomic<std::uint64_t> nodes_by_tag[14] = {};
   std::atomic<std::uint64_t> unroll_hits{0};
   std::atomic<std::uint64_t> unroll_misses{0};
   std::atomic<std::uint64_t> subst_identity_hits{0};
@@ -160,6 +160,9 @@ GTypePtr GTypeInterner::Impl::intern(NodeKey key, GType&& proto) {
     f.stats.pi_bindings += c.stats.pi_bindings;
     f.stats.spawns += c.stats.spawns;
     f.stats.touches += c.stats.touches;
+    f.stats.vecspawn_bindings += c.stats.vecspawn_bindings;
+    f.stats.family_touches += c.stats.family_touches;
+    f.stats.pipes += c.stats.pipes;
     f.free_vertices.unite(c.free_vertices);
     f.free_gvars.unite(c.free_gvars);
     f.bound_vertices.unite(c.bound_vertices);
@@ -222,6 +225,27 @@ GTypePtr GTypeInterner::Impl::intern(NodeKey key, GType&& proto) {
             for (Symbol u : node.touch_args) {
               f.free_vertices.set(index_of_symbol(u));
             }
+          },
+          [&](const GTVecSpawn& node) {
+            absorb(node.body);
+            ++f.stats.vecspawn_bindings;
+            f.stats.spawns += node.width;
+            f.free_vertices.set(index_of_symbol(node.family));
+          },
+          [&](const GTTouchAll& node) {
+            ++f.stats.family_touches;
+            f.stats.touches += node.width;
+            f.free_vertices.set(index_of_symbol(node.family));
+          },
+          [&](const GTTouchIdx& node) {
+            ++f.stats.family_touches;
+            ++f.stats.touches;
+            f.free_vertices.set(index_of_symbol(node.family));
+          },
+          [&](const GTPipe& node) {
+            absorb(node.lhs);
+            absorb(node.rhs);
+            ++f.stats.pipes;
           },
       },
       proto.node);
@@ -286,10 +310,11 @@ GTypeInterner::GTypeInterner() : impl_(new Impl()) {
     g("gtype.alpha.full_walks", "checks",
       "alpha equality needing the full structural walk")
         .set(static_cast<std::int64_t>(s.alpha_full_walks));
-    static const char* kTagNames[10] = {"empty", "seq",  "or",  "spawn",
-                                        "touch", "rec",  "var", "new",
-                                        "pi",    "app"};
-    for (int t = 0; t < 10; ++t) {
+    static const char* kTagNames[14] = {
+        "empty",    "seq",      "or",       "spawn", "touch",
+        "rec",      "var",      "new",      "pi",    "app",
+        "vecspawn", "touchall", "touchidx", "pipe"};
+    for (int t = 0; t < 14; ++t) {
       g((std::string("gtype.intern.nodes_by.") + kTagNames[t]).c_str(),
         "nodes", "canonical nodes created, by constructor")
           .set(static_cast<std::int64_t>(
@@ -312,6 +337,10 @@ enum Tag : std::uint64_t {
   kNew,
   kPi,
   kApp,
+  kVecSpawn,
+  kTouchAll,
+  kTouchIdx,
+  kPipe,
 };
 
 }  // namespace
@@ -384,6 +413,31 @@ GTypePtr GTypeInterner::app(GTypePtr fn, std::vector<Symbol> spawn_args,
   return impl_->intern(std::move(key),
                        GType{GTApp{std::move(fn), std::move(spawn_args),
                                    std::move(touch_args)}});
+}
+
+GTypePtr GTypeInterner::vecspawn(GTypePtr body, Symbol family,
+                                 std::uint32_t width) {
+  NodeKey key{Tag::kVecSpawn, id_of(body), family.raw(), width};
+  return impl_->intern(std::move(key),
+                       GType{GTVecSpawn{std::move(body), family, width}});
+}
+
+GTypePtr GTypeInterner::touch_all(Symbol family, std::uint32_t width) {
+  NodeKey key{Tag::kTouchAll, family.raw(), width};
+  return impl_->intern(std::move(key), GType{GTTouchAll{family, width}});
+}
+
+GTypePtr GTypeInterner::touch_idx(Symbol family, std::uint32_t width,
+                                  std::uint32_t index) {
+  NodeKey key{Tag::kTouchIdx, family.raw(), width, index};
+  return impl_->intern(std::move(key),
+                       GType{GTTouchIdx{family, width, index}});
+}
+
+GTypePtr GTypeInterner::pipe(GTypePtr lhs, GTypePtr rhs) {
+  NodeKey key{Tag::kPipe, id_of(lhs), id_of(rhs)};
+  return impl_->intern(std::move(key),
+                       GType{GTPipe{std::move(lhs), std::move(rhs)}});
 }
 
 std::size_t GTypeInterner::index_of(Symbol s) {
@@ -497,6 +551,28 @@ struct AlphaHasher {
               h = combine(h, node.touch_args.size());
               for (Symbol u : node.touch_args) h = combine(h, name(u));
               return h;
+            },
+            [&](const GTVecSpawn& node) {
+              std::uint64_t h = mix(Tag::kVecSpawn);
+              h = combine(h, walk(*node.body, depth + 1));
+              h = combine(h, name(node.family));
+              return combine(h, node.width);
+            },
+            [&](const GTTouchAll& node) {
+              std::uint64_t h = mix(Tag::kTouchAll);
+              h = combine(h, name(node.family));
+              return combine(h, node.width);
+            },
+            [&](const GTTouchIdx& node) {
+              std::uint64_t h = mix(Tag::kTouchIdx);
+              h = combine(h, name(node.family));
+              h = combine(h, node.width);
+              return combine(h, node.index);
+            },
+            [&](const GTPipe& node) {
+              std::uint64_t h = mix(Tag::kPipe);
+              h = combine(h, walk(*node.lhs, depth + 1));
+              return combine(h, walk(*node.rhs, depth + 1));
             },
         },
         g.node);

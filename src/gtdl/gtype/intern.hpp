@@ -167,6 +167,10 @@ class GTypeInterner {
               std::vector<Symbol> touch_params, GTypePtr body);
   GTypePtr app(GTypePtr fn, std::vector<Symbol> spawn_args,
                std::vector<Symbol> touch_args);
+  GTypePtr vecspawn(GTypePtr body, Symbol family, std::uint32_t width);
+  GTypePtr touch_all(Symbol family, std::uint32_t width);
+  GTypePtr touch_idx(Symbol family, std::uint32_t width, std::uint32_t index);
+  GTypePtr pipe(GTypePtr lhs, GTypePtr rhs);
 
   // Dense index for `s`, allocating one on first use.
   std::size_t index_of(Symbol s);

@@ -1,6 +1,8 @@
 #include "gtdl/gtype/normalize.hpp"
 
 #include <limits>
+#include <string>
+#include <string_view>
 #include <type_traits>
 #include <unordered_map>
 #include <unordered_set>
@@ -112,10 +114,26 @@ class FreshNameRefresher {
   Symbol mapped(Symbol v) {
     auto it = rename_.find(v);
     if (it != rename_.end()) return it->second;
-    const std::size_t idx = GTypeInterner::instance().find_index(v);
-    const bool is_free =
-        idx != GTypeInterner::npos && facts_.free_vertices.test(idx);
-    const Symbol out = is_free ? v : Symbol::fresh(v.view());
+    Symbol out = v;
+    const std::string_view name = v.view();
+    const std::size_t at = name.find('@');
+    if (at != std::string_view::npos) {
+      // Family member ū@i (never recorded in the facts bitsets — only
+      // the family symbol is): fresh iff its FAMILY is fresh, renamed
+      // consistently with it so all members of one family instantiation
+      // stay together.
+      const Symbol base = Symbol::intern(std::string(name.substr(0, at)));
+      const Symbol mapped_base = mapped(base);
+      if (mapped_base != base) {
+        out = Symbol::intern(std::string(mapped_base.view()) +
+                             std::string(name.substr(at)));
+      }
+    } else {
+      const std::size_t idx = GTypeInterner::instance().find_index(v);
+      const bool is_free =
+          idx != GTypeInterner::npos && facts_.free_vertices.test(idx);
+      if (!is_free) out = Symbol::fresh(v.view());
+    }
     rename_.emplace(v, out);
     return out;
   }
@@ -157,6 +175,50 @@ std::vector<GraphExprPtr> refresh_instantiations(
 }
 
 namespace {
+
+struct FamilyMetrics {
+  obs::Counter& unrolled;
+  obs::Histogram& width;
+
+  static FamilyMetrics& get() {
+    static FamilyMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::instance();
+      return new FamilyMetrics{
+          reg.counter(obs::MetricDesc{
+              "gtype.vecspawn.unrolled", "gtype", "families",
+              "VecSpawn families unrolled into member spawns"}),
+          reg.histogram(obs::MetricDesc{
+              "gtype.family.width", "gtype", "members",
+              "declared width of unrolled touch families"}),
+      };
+    }();
+    return *m;
+  }
+};
+
+// Memo key shared by both normalizers: (node id, fuel, family index).
+// Scalar rules use kNoFamily; the VecSpawn rule memoizes each member's
+// spawn-wrapped graphs under the member's own index, so a re-encounter
+// of the same sized family replays per member (with ν-instantiations
+// refreshed) instead of re-deriving the whole product.
+struct MemoKey {
+  std::uint64_t id = 0;
+  unsigned fuel = 0;
+  std::uint32_t family = kNoFamilyIndex;
+
+  static constexpr std::uint32_t kNoFamilyIndex = 0xffffffffu;
+
+  friend bool operator==(const MemoKey&, const MemoKey&) = default;
+};
+
+struct MemoKeyHash {
+  std::size_t operator()(const MemoKey& k) const noexcept {
+    std::size_t h = std::hash<std::uint64_t>{}(k.id);
+    h ^= std::hash<unsigned>{}(k.fuel) * 0x9e3779b97f4a7c15ull;
+    h ^= std::hash<std::uint32_t>{}(k.family) * 0xc2b2ae3d27d4eb4full;
+    return h;
+  }
+};
 
 class Normalizer {
  public:
@@ -321,6 +383,31 @@ class Normalizer {
               return norm(substitute_vertices(pi.body, subst), fuel,
                           depth + 1);
             },
+            [&](const GTVecSpawn& node) {
+              return norm_vecspawn(g, node, n, depth);
+            },
+            [&](const GTTouchAll& node) {
+              // ~ū@0 ⊕ … ⊕ ~ū@w-1 — exactly one graph (• when empty).
+              if (node.width == 0) {
+                return std::vector<GraphExprPtr>{ge::singleton()};
+              }
+              GraphExprPtr acc = ge::touch(family_member(node.family, 0));
+              for (std::uint32_t i = 1; i < node.width; ++i) {
+                acc = ge::seq(std::move(acc),
+                              ge::touch(family_member(node.family, i)));
+              }
+              return std::vector<GraphExprPtr>{std::move(acc)};
+            },
+            [&](const GTTouchIdx& node) {
+              return std::vector<GraphExprPtr>{
+                  ge::touch(family_member(node.family, node.index))};
+            },
+            [&](const GTPipe&) {
+              // Lower through the shared desugaring; its ν nodes then
+              // hit the ordinary memo on re-encounters.
+              obs::Span span("gtype", "pipeline_lower");
+              return norm(pipe_desugar(g), n, depth + 1);
+            },
         },
         g->node);
     // Only complete results are reusable: a truncated subcomputation's
@@ -336,17 +423,75 @@ class Normalizer {
   [[nodiscard]] std::size_t steps() const noexcept { return steps_; }
 
  private:
+  // Norm_n(VecSpawn(w, G)/ū) = { (g0 /ū@0) ⊕ … ⊕ (g{w-1} /ū@w-1) :
+  // gi ∈ Norm_n(G) } — the full ⊕-product, so members may take DIFFERENT
+  // ∨-branches, exactly like w independently scheduled runtime spawns.
+  // Bounded by the same max_graphs/max_steps limits as the scalar rules.
+  std::vector<GraphExprPtr> norm_vecspawn(const GTypePtr& g,
+                                          const GTVecSpawn& node, unsigned n,
+                                          std::size_t depth) {
+    FamilyMetrics& metrics = FamilyMetrics::get();
+    metrics.unrolled.add();
+    metrics.width.observe(node.width);
+    if (node.width == 0) return {ge::singleton()};
+    std::vector<GraphExprPtr> out;
+    for (std::uint32_t i = 0; i < node.width; ++i) {
+      std::vector<GraphExprPtr> member =
+          member_graphs(g, node, n, depth, i);
+      if (member.empty()) return {};  // no body graphs at this fuel
+      if (i == 0) {
+        out = std::move(member);
+        continue;
+      }
+      std::vector<GraphExprPtr> next;
+      for (const GraphExprPtr& a : out) {
+        for (const GraphExprPtr& b : member) {
+          if (next.size() >= limits_.max_graphs) {
+            truncated_ = true;
+            return next;
+          }
+          next.push_back(ge::seq(a, b));
+        }
+      }
+      out = std::move(next);
+    }
+    return out;
+  }
+
+  // One member of a VecSpawn family: Norm_n(G), spawn-wrapped with the
+  // member vertex, memoized under the family-indexed key (id, fuel, i).
+  // Replays refresh ν-instantiations but keep the member vertex (its
+  // family is free in the VecSpawn node, and members rename with their
+  // family — see FreshNameRefresher::mapped).
+  std::vector<GraphExprPtr> member_graphs(const GTypePtr& g,
+                                          const GTVecSpawn& node, unsigned n,
+                                          std::size_t depth,
+                                          std::uint32_t i) {
+    const GTypeFacts* facts = g->facts;
+    const bool memoizable = use_memo_ && facts != nullptr;
+    MemoKey key{};
+    if (memoizable) {
+      key = {facts->id, n, i};
+      if (auto it = memo_.find(key); it != memo_.end()) {
+        GTypeInterner::instance().note_norm_memo(true);
+        return refresh_instantiations(*facts, it->second);
+      }
+      GTypeInterner::instance().note_norm_memo(false);
+    }
+    std::vector<GraphExprPtr> bodies = norm(node.body, n, depth + 1);
+    const Symbol member = family_member(node.family, i);
+    std::vector<GraphExprPtr> wrapped;
+    wrapped.reserve(bodies.size());
+    for (GraphExprPtr& body : bodies) {
+      wrapped.push_back(ge::spawn(std::move(body), member));
+    }
+    if (memoizable && !truncated_) memo_.emplace(key, wrapped);
+    return wrapped;
+  }
+
   GTypePtr cached_unroll(const GTypePtr& g) {
     return GTypeInterner::instance().cached_unroll(g);
   }
-
-  using MemoKey = std::pair<std::uint64_t, unsigned>;
-  struct MemoKeyHash {
-    std::size_t operator()(const MemoKey& k) const noexcept {
-      return std::hash<std::uint64_t>{}(k.first) ^
-             (std::hash<unsigned>{}(k.second) * 0x9e3779b97f4a7c15ull);
-    }
-  };
 
   const NormalizeLimits& limits_;
   const bool use_memo_;
@@ -488,11 +633,17 @@ class StreamingNormalizer {
       return false;
     }
     const GTypeFacts* facts = g->facts;
+    // VecSpawn joins the memoizable set here: the streaming product is
+    // derived through the scalar unrolling (no per-member vectors to
+    // key), so the whole family's stream is captured at the family node
+    // instead. Replays keep the member vertices (they rename with their
+    // free family) and refresh ν-instantiations, as always.
     const bool memoizable =
         use_memo_ && facts != nullptr &&
         (std::holds_alternative<GTRec>(g->node) ||
          std::holds_alternative<GTApp>(g->node) ||
-         std::holds_alternative<GTNew>(g->node));
+         std::holds_alternative<GTNew>(g->node) ||
+         std::holds_alternative<GTVecSpawn>(g->node));
     if (!memoizable) return stream_node(g, n, depth, out);
     const MemoKey key{facts->id, n};
     if (auto it = memo_.find(key); it != memo_.end()) {
@@ -598,6 +749,25 @@ class StreamingNormalizer {
               return stream(substitute_vertices(pi.body, subst), fuel,
                             depth + 1, out);
             },
+            [&](const GTVecSpawn& node) {
+              FamilyMetrics& metrics = FamilyMetrics::get();
+              metrics.unrolled.add();
+              metrics.width.observe(node.width);
+              // Stream over the shared scalar unrolling; the ⊕ rule's
+              // rhs buffering then provides the member product without
+              // materializing it.
+              return stream(vecspawn_unroll(node), n, depth + 1, out);
+            },
+            [&](const GTTouchAll& node) {
+              return stream(touch_all_unroll(node), n, depth + 1, out);
+            },
+            [&](const GTTouchIdx& node) {
+              return out(ge::touch(family_member(node.family, node.index)));
+            },
+            [&](const GTPipe&) {
+              obs::Span span("gtype", "pipeline_lower");
+              return stream(pipe_desugar(g), n, depth + 1, out);
+            },
         },
         g->node);
   }
@@ -694,14 +864,6 @@ class StreamingNormalizer {
   GTypePtr cached_unroll(const GTypePtr& g) {
     return GTypeInterner::instance().cached_unroll(g);
   }
-
-  using MemoKey = std::pair<std::uint64_t, unsigned>;
-  struct MemoKeyHash {
-    std::size_t operator()(const MemoKey& k) const noexcept {
-      return std::hash<std::uint64_t>{}(k.first) ^
-             (std::hash<unsigned>{}(k.second) * 0x9e3779b97f4a7c15ull);
-    }
-  };
 
   const NormalizeLimits& limits_;
   const bool use_memo_;
@@ -802,6 +964,20 @@ class Counter {
               }
               // Argument renaming does not change the count.
               return count(pi.body, fuel, depth + 1);
+            },
+            [&](const GTVecSpawn& node) -> std::uint64_t {
+              // Every member draws independently from the body's set.
+              const std::uint64_t per = count(node.body, n, depth + 1);
+              std::uint64_t result = 1;
+              for (std::uint32_t i = 0; i < node.width; ++i) {
+                result = sat_mul(result, per);
+              }
+              return result;
+            },
+            [&](const GTTouchAll&) -> std::uint64_t { return 1; },
+            [&](const GTTouchIdx&) -> std::uint64_t { return 1; },
+            [&](const GTPipe&) -> std::uint64_t {
+              return count(pipe_desugar(g), n, depth + 1);
             },
         },
         g->node);

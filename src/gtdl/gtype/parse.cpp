@@ -1,6 +1,8 @@
 #include "gtdl/gtype/parse.hpp"
 
 #include <cctype>
+#include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -13,13 +15,15 @@ namespace {
 
 enum class TokKind : unsigned char {
   kEmptyGraph,  // 1
+  kNumber,      // any other digit run (widths/indices)
   kIdent,
-  kSemi,     // ;
-  kPipe,     // |
-  kSlash,    // /
-  kTilde,    // ~
-  kDot,      // .
-  kComma,    // ,
+  kSemi,       // ;
+  kPipe,       // |
+  kPipeArrow,  // |>
+  kSlash,      // /
+  kTilde,      // ~
+  kDot,        // .
+  kComma,      // ,
   kLBracket,
   kRBracket,
   kLParen,
@@ -27,6 +31,9 @@ enum class TokKind : unsigned char {
   kKwRec,
   kKwNew,
   kKwPi,
+  kKwVec,
+  kKwTouchAll,
+  kKwTouchIdx,
   kEnd,
 };
 
@@ -45,13 +52,26 @@ class Lexer {
     const SrcLoc loc{line_, column_};
     if (pos_ >= text_.size()) return Token{TokKind::kEnd, {}, loc};
     const char c = text_[pos_];
-    if (c == '1') {
-      return make(TokKind::kEmptyGraph, 1, loc);
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t end = pos_;
+      while (end < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[end]))) {
+        ++end;
+      }
+      const std::size_t len = end - pos_;
+      // A lone '1' is the empty-graph atom; any other digit run is a
+      // width/index literal (the width 1 inside 'vec[u;1]' arrives as
+      // kEmptyGraph and the number parser accepts both).
+      if (len == 1 && c == '1') return make(TokKind::kEmptyGraph, 1, loc);
+      return make(TokKind::kNumber, len, loc);
     }
     switch (c) {
       case ';':
         return make(TokKind::kSemi, 1, loc);
       case '|':
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+          return make(TokKind::kPipeArrow, 2, loc);
+        }
         return make(TokKind::kPipe, 1, loc);
       case '/':
         return make(TokKind::kSlash, 1, loc);
@@ -77,7 +97,7 @@ class Lexer {
       while (end < text_.size()) {
         const char k = text_[end];
         if (std::isalnum(static_cast<unsigned char>(k)) || k == '_' ||
-            k == '$' || k == '\'') {
+            k == '$' || k == '\'' || k == '@') {
           ++end;
         } else {
           break;
@@ -88,6 +108,9 @@ class Lexer {
       if (word == "rec") kind = TokKind::kKwRec;
       if (word == "new") kind = TokKind::kKwNew;
       if (word == "pi") kind = TokKind::kKwPi;
+      if (word == "vec") kind = TokKind::kKwVec;
+      if (word == "touchall") kind = TokKind::kKwTouchAll;
+      if (word == "touchidx") kind = TokKind::kKwTouchIdx;
       return make(kind, word.size(), loc);
     }
     // Unknown character: surface it as a one-char "identifier" so the
@@ -140,7 +163,7 @@ class Parser {
   }
 
   GTypePtr parse_top() {
-    GTypePtr g = parse_or();
+    GTypePtr g = parse_pipe();
     if (g != nullptr && current_.kind != TokKind::kEnd) {
       error("unexpected trailing input");
       return nullptr;
@@ -185,6 +208,29 @@ class Parser {
     return s;
   }
 
+  // A family width / member index. The lexer turns a lone '1' into the
+  // empty-graph atom, so both token kinds are numbers here.
+  std::optional<std::uint32_t> parse_number(const char* what) {
+    if (current_.kind == TokKind::kEmptyGraph) {
+      advance();
+      return 1u;
+    }
+    if (current_.kind != TokKind::kNumber) {
+      error(std::string("expected ") + what);
+      return std::nullopt;
+    }
+    std::uint64_t value = 0;
+    for (const char c : current_.text) {
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+      if (value > 0xffffffffull) {
+        error(std::string(what) + " is too large");
+        return std::nullopt;
+      }
+    }
+    advance();
+    return static_cast<std::uint32_t>(value);
+  }
+
   // idents ';' idents inside brackets; empty lists allowed.
   bool parse_vertex_lists(std::vector<Symbol>& spawn,
                           std::vector<Symbol>& touch) {
@@ -205,23 +251,35 @@ class Parser {
     }
   }
 
-  // Lowest precedence: '|'. Every recursive-descent cycle passes through
+  // Lowest precedence: '|>'. Every recursive-descent cycle passes through
   // here (binder bodies and parenthesized atoms), so this is the single
-  // place to bound nesting depth: chains of ';'/'|'/postfix are parsed
-  // iteratively and remain depth-1, only nested binders/parens count.
-  GTypePtr parse_or() {
+  // place to bound nesting depth: chains of '|>'/';'/'|'/postfix are
+  // parsed iteratively and remain depth-1, only nested binders/parens
+  // count.
+  GTypePtr parse_pipe() {
     if (depth_ >= kMaxNestingDepth) {
       error("graph type nested too deeply (limit " +
             std::to_string(kMaxNestingDepth) + " levels)");
       return nullptr;
     }
     ++depth_;
-    GTypePtr result = parse_or_body();
+    GTypePtr result = parse_pipe_body();
     --depth_;
     return result;
   }
 
-  GTypePtr parse_or_body() {
+  GTypePtr parse_pipe_body() {
+    GTypePtr lhs = parse_or();
+    if (lhs == nullptr) return nullptr;
+    while (accept(TokKind::kPipeArrow)) {
+      GTypePtr rhs = parse_or();
+      if (rhs == nullptr) return nullptr;
+      lhs = gt::pipe(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  GTypePtr parse_or() {
     GTypePtr lhs = parse_seq();
     if (lhs == nullptr) return nullptr;
     while (accept(TokKind::kPipe)) {
@@ -279,7 +337,7 @@ class Parser {
         auto v = parse_ident("graph variable after 'rec'");
         if (!v) return nullptr;
         if (!expect(TokKind::kDot, "'.' after binder")) return nullptr;
-        GTypePtr body = parse_or();
+        GTypePtr body = parse_pipe();
         if (body == nullptr) return nullptr;
         return gt::rec(*v, std::move(body));
       }
@@ -288,7 +346,7 @@ class Parser {
         auto v = parse_ident("vertex name after 'new'");
         if (!v) return nullptr;
         if (!expect(TokKind::kDot, "'.' after binder")) return nullptr;
-        GTypePtr body = parse_or();
+        GTypePtr body = parse_pipe();
         if (body == nullptr) return nullptr;
         return gt::nu(*v, std::move(body));
       }
@@ -298,10 +356,64 @@ class Parser {
         std::vector<Symbol> touch_params;
         if (!parse_vertex_lists(spawn_params, touch_params)) return nullptr;
         if (!expect(TokKind::kDot, "'.' after binder")) return nullptr;
-        GTypePtr body = parse_or();
+        GTypePtr body = parse_pipe();
         if (body == nullptr) return nullptr;
         return gt::pi(std::move(spawn_params), std::move(touch_params),
                       std::move(body));
+      }
+      case TokKind::kKwVec: {
+        // vec[u; n]. G
+        advance();
+        if (!expect(TokKind::kLBracket, "'[' after 'vec'")) return nullptr;
+        auto family = parse_ident("family name after 'vec['");
+        if (!family) return nullptr;
+        if (!expect(TokKind::kSemi, "';' before the family width")) {
+          return nullptr;
+        }
+        auto width = parse_number("family width");
+        if (!width) return nullptr;
+        if (!expect(TokKind::kRBracket, "']'")) return nullptr;
+        if (!expect(TokKind::kDot, "'.' after binder")) return nullptr;
+        GTypePtr body = parse_pipe();
+        if (body == nullptr) return nullptr;
+        return gt::vecspawn(std::move(body), *family, *width);
+      }
+      case TokKind::kKwTouchAll: {
+        // touchall[u; n]
+        advance();
+        if (!expect(TokKind::kLBracket, "'[' after 'touchall'")) {
+          return nullptr;
+        }
+        auto family = parse_ident("family name after 'touchall['");
+        if (!family) return nullptr;
+        if (!expect(TokKind::kSemi, "';' before the family width")) {
+          return nullptr;
+        }
+        auto width = parse_number("family width");
+        if (!width) return nullptr;
+        if (!expect(TokKind::kRBracket, "']'")) return nullptr;
+        return gt::touch_all(*family, *width);
+      }
+      case TokKind::kKwTouchIdx: {
+        // touchidx[u; n; i]
+        advance();
+        if (!expect(TokKind::kLBracket, "'[' after 'touchidx'")) {
+          return nullptr;
+        }
+        auto family = parse_ident("family name after 'touchidx['");
+        if (!family) return nullptr;
+        if (!expect(TokKind::kSemi, "';' before the family width")) {
+          return nullptr;
+        }
+        auto width = parse_number("family width");
+        if (!width) return nullptr;
+        if (!expect(TokKind::kSemi, "';' before the member index")) {
+          return nullptr;
+        }
+        auto index = parse_number("member index");
+        if (!index) return nullptr;
+        if (!expect(TokKind::kRBracket, "']'")) return nullptr;
+        return gt::touch_idx(*family, *width, *index);
       }
       case TokKind::kIdent: {
         const Symbol v = Symbol::intern(current_.text);
@@ -310,7 +422,7 @@ class Parser {
       }
       case TokKind::kLParen: {
         advance();
-        GTypePtr g = parse_or();
+        GTypePtr g = parse_pipe();
         if (g == nullptr) return nullptr;
         if (!expect(TokKind::kRParen, "')'")) return nullptr;
         return g;

@@ -119,6 +119,25 @@ struct VertexSubstituter {
               return gt::app(walk(node.fn), apply_all(subst, node.spawn_args),
                              apply_all(subst, node.touch_args));
             },
+            [&](const GTVecSpawn& node) {
+              // The family symbol substitutes like a scalar spawn vertex;
+              // member names are derived only at unroll time, so renaming
+              // the family renames every member with it.
+              return gt::vecspawn(walk(node.body),
+                                  apply_subst(subst, node.family),
+                                  node.width);
+            },
+            [&](const GTTouchAll& node) {
+              return gt::touch_all(apply_subst(subst, node.family),
+                                   node.width);
+            },
+            [&](const GTTouchIdx& node) {
+              return gt::touch_idx(apply_subst(subst, node.family),
+                                   node.width, node.index);
+            },
+            [&](const GTPipe& node) {
+              return gt::pipe(walk(node.lhs), walk(node.rhs));
+            },
         },
         g->node);
     if (use_memo && facts != nullptr) {
@@ -299,6 +318,14 @@ struct GVarSubstituter {
             },
             [&](const GTApp& node) {
               return gt::app(walk(node.fn), node.spawn_args, node.touch_args);
+            },
+            [&](const GTVecSpawn& node) {
+              return gt::vecspawn(walk(node.body), node.family, node.width);
+            },
+            [&](const GTTouchAll&) { return g; },
+            [&](const GTTouchIdx&) { return g; },
+            [&](const GTPipe& node) {
+              return gt::pipe(walk(node.lhs), walk(node.rhs));
             },
         },
         g->node);

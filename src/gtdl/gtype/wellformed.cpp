@@ -179,6 +179,52 @@ class WfChecker {
               }
               return Outcome{GraphKind::star(), std::move(consumed)};
             },
+            [&](const GTVecSpawn& node) -> std::optional<Outcome> {
+              // Family-as-unit: the whole sized family is ONE affine
+              // spawn resource; the members ū@i come into existence only
+              // when normalization unrolls them, so kinding never sees
+              // them individually.
+              if (!avail.contains(node.family)) {
+                fail("family '" + node.family.str() +
+                     "' is not available for spawning (unbound or already "
+                     "spawned)");
+                return std::nullopt;
+              }
+              avail.erase(node.family);
+              auto body = check_star(node.body, std::move(avail),
+                                     "member body of 'vec'");
+              if (!body) return std::nullopt;
+              OrderedSet<Symbol> consumed = body->consumed;
+              consumed.insert(node.family);
+              return Outcome{GraphKind::star(), std::move(consumed)};
+            },
+            [&](const GTTouchAll& node) -> std::optional<Outcome> {
+              if (!scope_.contains(node.family)) {
+                fail("touched family '" + node.family.str() +
+                     "' is not in scope");
+                return std::nullopt;
+              }
+              return std::optional<Outcome>(Outcome{GraphKind::star(), {}});
+            },
+            [&](const GTTouchIdx& node) -> std::optional<Outcome> {
+              if (!scope_.contains(node.family)) {
+                fail("touched family '" + node.family.str() +
+                     "' is not in scope");
+                return std::nullopt;
+              }
+              if (node.index >= node.width) {
+                fail("family index " + std::to_string(node.index) +
+                     " is out of bounds for '" + node.family.str() +
+                     "' of width " + std::to_string(node.width));
+                return std::nullopt;
+              }
+              return std::optional<Outcome>(Outcome{GraphKind::star(), {}});
+            },
+            [&](const GTPipe&) -> std::optional<Outcome> {
+              // Kind the desugared form: the stage vertices are ordinary
+              // ν-bound names, so the scalar rules carry the whole proof.
+              return check(pipe_desugar(g), std::move(avail));
+            },
         },
         g->node);
   }

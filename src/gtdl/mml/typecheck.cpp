@@ -79,6 +79,11 @@ class Checker {
                      }
                      check_type(*f.element, loc);
                    },
+                   [&](const TFvec&) {
+                     // fvec is FutLang-only surface syntax.
+                     diags_.error(loc,
+                                  "fvec is not supported in the MML frontend");
+                   },
                },
                t.node);
   }

@@ -65,12 +65,27 @@ struct EngineMetrics {
   }
 };
 
-using MemoKey = std::pair<std::uint64_t, unsigned>;
+// (node id, fuel, family index) — mirrors the sequential normalizer's
+// generalized key. Scalar subproblems use kNoFamilyIndex; VecSpawn nodes
+// memoize whole-family results under the scalar form of the key (the
+// engine derives the member product from the shared unrolling, so there
+// are no per-member vectors to publish).
+struct MemoKey {
+  std::uint64_t id = 0;
+  unsigned fuel = 0;
+  std::uint32_t family = kNoFamilyIndex;
+
+  static constexpr std::uint32_t kNoFamilyIndex = 0xffffffffu;
+
+  friend bool operator==(const MemoKey&, const MemoKey&) = default;
+};
 
 struct MemoKeyHash {
   std::size_t operator()(const MemoKey& k) const noexcept {
-    return std::hash<std::uint64_t>{}(k.first) ^
-           (std::hash<unsigned>{}(k.second) * 0x9e3779b97f4a7c15ull);
+    std::size_t h = std::hash<std::uint64_t>{}(k.id);
+    h ^= std::hash<unsigned>{}(k.fuel) * 0x9e3779b97f4a7c15ull;
+    h ^= std::hash<std::uint32_t>{}(k.family) * 0xc2b2ae3d27d4eb4full;
+    return h;
   }
 };
 
@@ -295,7 +310,8 @@ class ParNormalizer {
         use_memo_ && facts != nullptr &&
         (std::holds_alternative<GTRec>(g->node) ||
          std::holds_alternative<GTApp>(g->node) ||
-         std::holds_alternative<GTNew>(g->node));
+         std::holds_alternative<GTNew>(g->node) ||
+         std::holds_alternative<GTVecSpawn>(g->node));
     std::shared_ptr<MemoEntry> owned;  // set iff this thread computes it
     if (memoizable) {
       const MemoKey key{facts->id, n};
@@ -479,6 +495,32 @@ class ParNormalizer {
               }
               return norm(substitute_vertices(pi.body, subst), fuel,
                           depth + 1);
+            },
+            [&](const GTVecSpawn& node) {
+              // Normalize the shared scalar unrolling: the ⊕ arm above
+              // then forks members across the pool for free, and the
+              // member product comes out in the same order as the
+              // sequential rule's.
+              return norm(vecspawn_unroll(node), n, depth + 1);
+            },
+            [&](const GTTouchAll& node) {
+              if (node.width == 0) {
+                return std::vector<GraphExprPtr>{ge::singleton()};
+              }
+              GraphExprPtr acc = ge::touch(family_member(node.family, 0));
+              for (std::uint32_t i = 1; i < node.width; ++i) {
+                acc = ge::seq(std::move(acc),
+                              ge::touch(family_member(node.family, i)));
+              }
+              return std::vector<GraphExprPtr>{std::move(acc)};
+            },
+            [&](const GTTouchIdx& node) {
+              return std::vector<GraphExprPtr>{
+                  ge::touch(family_member(node.family, node.index))};
+            },
+            [&](const GTPipe&) {
+              obs::Span span("gtype", "pipeline_lower");
+              return norm(pipe_desugar(g), n, depth + 1);
             },
         },
         g->node);

@@ -344,4 +344,8 @@ void FutureRuntime::shutdown() {
   }
 }
 
+std::string family_member_name(std::string_view base, std::size_t index) {
+  return std::string(base) + "@" + std::to_string(index);
+}
+
 }  // namespace gtdl

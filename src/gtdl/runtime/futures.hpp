@@ -211,4 +211,46 @@ T FutureHandle<T>::touch() {
   return std::any_cast<T>(runtime_->touch_erased(core_));
 }
 
+// --- vector-spawn helpers ---------------------------------------------------
+//
+// The runtime counterparts of the VecSpawn / TouchAll graph-type
+// constructors: a family of `width` handles named base@0..base@width-1,
+// spawned with one body (parameterized by the member index) and touched
+// in index order.
+
+// The member-handle naming shared with the static layers (family@i).
+[[nodiscard]] std::string family_member_name(std::string_view base,
+                                             std::size_t index);
+
+template <typename T>
+[[nodiscard]] std::vector<FutureHandle<T>> new_future_vec(
+    FutureRuntime& runtime, std::size_t width, std::string_view base = "fs") {
+  std::vector<FutureHandle<T>> handles;
+  handles.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    handles.push_back(runtime.new_future<T>(family_member_name(base, i)));
+  }
+  return handles;
+}
+
+// Spawns every member with `body(index)`. Throws like FutureHandle::spawn.
+template <typename T, typename Body>
+void spawn_vec(std::vector<FutureHandle<T>>& handles, Body body) {
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    handles[i].spawn([body, i]() -> T { return body(i); });
+  }
+}
+
+// Touches every member in index order and returns their values. Throws
+// DeadlockError/PolicyViolationError like FutureHandle::touch.
+template <typename T>
+[[nodiscard]] std::vector<T> touch_all(std::vector<FutureHandle<T>>& handles) {
+  std::vector<T> values;
+  values.reserve(handles.size());
+  for (FutureHandle<T>& h : handles) {
+    values.push_back(h.touch());
+  }
+  return values;
+}
+
 }  // namespace gtdl

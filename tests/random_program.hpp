@@ -1,12 +1,21 @@
 // Random-but-always-well-typed FutLang program generator, shared by the
-// end-to-end soundness fuzz (test_e2e_fuzz.cpp) and the streaming
-// enumeration differential suite (test_streaming.cpp).
+// end-to-end soundness fuzz (test_e2e_fuzz.cpp), the streaming
+// enumeration differential suite (test_streaming.cpp), and the
+// collection-constructor differential suite (test_adt.cpp).
 //
 // The generator emits straight-line main() bodies over a pool of future
 // handles with new/spawn/touch in arbitrary (often unsafe) orders, plus
 // spawn bodies that may touch earlier handles — including touch-before-
 // spawn, double-touch, never-spawned, conditional regions, and nested
 // spawn bodies.
+//
+// With `collections` enabled it additionally emits the ISSUE-6 forms —
+// spawn_vec families (whose one body may touch scalar handles),
+// touch_all joins, indexed member touches fs[i], and staged pipelines —
+// wired into the same shuffled-hazard scheme, so touch-before-spawn and
+// never-spawned bugs arise through family members and stages too. The
+// flag is off by default and drawing it does not perturb the RNG stream,
+// so existing seeds keep generating byte-identical programs.
 
 #pragma once
 
@@ -20,7 +29,8 @@ namespace gtdl::fuzz {
 
 class RandomProgram {
  public:
-  explicit RandomProgram(std::uint64_t seed) : rng_(seed) {}
+  explicit RandomProgram(std::uint64_t seed, bool collections = false)
+      : rng_(seed), collections_(collections) {}
 
   std::string generate() {
     const unsigned handles = 2 + pick(3);  // 2..4 handles
@@ -39,6 +49,32 @@ class RandomProgram {
         ops.push_back("  let v" + fresh() + " = touch(h" +
                       std::to_string(h) + ");\n");
       }
+    }
+    if (collections_) {
+      // Families must be bound before their joins can reference them, so
+      // the spawn_vec statements join the header while touch_all /
+      // indexed touches enter the shuffled pool. Hazards still flow
+      // through the families: a member body may touch a scalar handle
+      // whose spawn lands after the join (or never happens at all).
+      const unsigned families = 1 + pick(2);  // 1..2 families
+      for (unsigned f = 0; f < families; ++f) {
+        const unsigned width = 2 + pick(3);  // 2..4 members
+        body += "  let fs" + std::to_string(f) + " = spawn_vec[int] " +
+                std::to_string(width) + " { " + member_body(handles) +
+                " }\n";
+        const unsigned joins = pick(3);  // 0..2 whole-family joins
+        for (unsigned j = 0; j < joins; ++j) {
+          ops.push_back("  let v" + fresh() + " = length(touch_all(fs" +
+                        std::to_string(f) + "));\n");
+        }
+        const unsigned indexed = pick(3);  // 0..2 member joins
+        for (unsigned j = 0; j < indexed; ++j) {
+          ops.push_back("  let v" + fresh() + " = touch(fs" +
+                        std::to_string(f) + "[" +
+                        std::to_string(pick(width)) + "]);\n");
+        }
+      }
+      if (pick(2) != 0) ops.push_back(pipeline_stmt(handles));
     }
     std::shuffle(ops.begin(), ops.end(), rng_);
     for (std::string& op : ops) body += op;
@@ -78,7 +114,32 @@ class RandomProgram {
     return "  spawn h" + std::to_string(h) + " { " + body + " }\n";
   }
 
+  // The one body shared by every member of a spawn_vec family.
+  std::string member_body(unsigned handles) {
+    if (pick(2) == 0) {
+      return "return " + std::to_string(pick(100)) + ";";
+    }
+    return "return touch(h" + std::to_string(pick(handles)) + ") + 1;";
+  }
+
+  // A 2..3-stage pipeline; stages may pull scalar handles in.
+  std::string pipeline_stmt(unsigned handles) {
+    const unsigned stages = 2 + pick(2);
+    std::string stmt = "  pipeline {\n";
+    for (unsigned s = 0; s < stages; ++s) {
+      if (pick(2) == 0) {
+        stmt += "    stage { let v" + fresh() + " = touch(h" +
+                std::to_string(pick(handles)) + "); }\n";
+      } else {
+        stmt += "    stage { let v" + fresh() + " = " +
+                std::to_string(pick(50)) + "; }\n";
+      }
+    }
+    return stmt + "  }\n";
+  }
+
   std::mt19937_64 rng_;
+  bool collections_ = false;
   unsigned counter_ = 0;
 };
 

@@ -81,6 +81,20 @@ void ref_free_vertices(const GType& g, OrderedSet<Symbol>& bound,
               if (!bound.contains(u)) out.insert(u);
             }
           },
+          [&](const GTVecSpawn& node) {
+            if (!bound.contains(node.family)) out.insert(node.family);
+            ref_free_vertices(*node.body, bound, out);
+          },
+          [&](const GTTouchAll& node) {
+            if (!bound.contains(node.family)) out.insert(node.family);
+          },
+          [&](const GTTouchIdx& node) {
+            if (!bound.contains(node.family)) out.insert(node.family);
+          },
+          [&](const GTPipe& node) {
+            ref_free_vertices(*node.lhs, bound, out);
+            ref_free_vertices(*node.rhs, bound, out);
+          },
       },
       g.node);
 }
@@ -118,6 +132,15 @@ void ref_free_gvars(const GType& g, OrderedSet<Symbol>& bound,
           [&](const GTNew& node) { ref_free_gvars(*node.body, bound, out); },
           [&](const GTPi& node) { ref_free_gvars(*node.body, bound, out); },
           [&](const GTApp& node) { ref_free_gvars(*node.fn, bound, out); },
+          [&](const GTVecSpawn& node) {
+            ref_free_gvars(*node.body, bound, out);
+          },
+          [&](const GTTouchAll&) {},
+          [&](const GTTouchIdx&) {},
+          [&](const GTPipe& node) {
+            ref_free_gvars(*node.lhs, bound, out);
+            ref_free_gvars(*node.rhs, bound, out);
+          },
       },
       g.node);
 }
@@ -162,6 +185,24 @@ void ref_stats(const GType& g, GTypeStats& out) {
                  [&](const GTApp& node) {
                    ++out.applications;
                    ref_stats(*node.fn, out);
+                 },
+                 [&](const GTVecSpawn& node) {
+                   ++out.vecspawn_bindings;
+                   out.spawns += node.width;
+                   ref_stats(*node.body, out);
+                 },
+                 [&](const GTTouchAll& node) {
+                   ++out.family_touches;
+                   out.touches += node.width;
+                 },
+                 [&](const GTTouchIdx&) {
+                   ++out.family_touches;
+                   ++out.touches;
+                 },
+                 [&](const GTPipe& node) {
+                   ++out.pipes;
+                   ref_stats(*node.lhs, out);
+                   ref_stats(*node.rhs, out);
                  },
              },
              g.node);
@@ -219,6 +260,25 @@ bool ref_structurally_equal(const GType& a, const GType& b) {
             return x.spawn_args == y.spawn_args &&
                    x.touch_args == y.touch_args &&
                    ref_structurally_equal(*x.fn, *y.fn);
+          },
+          [&](const GTVecSpawn& x) {
+            const auto& y = std::get<GTVecSpawn>(b.node);
+            return x.family == y.family && x.width == y.width &&
+                   ref_structurally_equal(*x.body, *y.body);
+          },
+          [&](const GTTouchAll& x) {
+            const auto& y = std::get<GTTouchAll>(b.node);
+            return x.family == y.family && x.width == y.width;
+          },
+          [&](const GTTouchIdx& x) {
+            const auto& y = std::get<GTTouchIdx>(b.node);
+            return x.family == y.family && x.width == y.width &&
+                   x.index == y.index;
+          },
+          [&](const GTPipe& x) {
+            const auto& y = std::get<GTPipe>(b.node);
+            return ref_structurally_equal(*x.lhs, *y.lhs) &&
+                   ref_structurally_equal(*x.rhs, *y.rhs);
           },
       },
       a.node);
