@@ -53,13 +53,20 @@ inline BenchEnv bench_env() {
 
 // Writes the env block as a JSON object member (no trailing comma):
 //   "env": {"hostname": ..., "hardware_threads": ..., "build_type": ...}
-inline void write_json_env(std::FILE* json) {
+// A non-null `warning` is embedded in the block so anyone reading the
+// JSON later (not just whoever watched stdout) sees why the numbers may
+// be misleading on this host.
+inline void write_json_env(std::FILE* json, const char* warning = nullptr) {
   const BenchEnv env = bench_env();
   std::fprintf(json,
                "  \"env\": {\"hostname\": \"%s\", \"hardware_threads\": %u, "
-               "\"build_type\": \"%s\"}",
+               "\"build_type\": \"%s\"",
                env.hostname.c_str(), env.hardware_threads,
                env.build_type.c_str());
+  if (warning != nullptr) {
+    std::fprintf(json, ", \"warning\": \"%s\"", warning);
+  }
+  std::fprintf(json, "}");
 }
 
 // Writes the process-wide metrics registry as a JSON object member (no

@@ -1,0 +1,346 @@
+// E13 — flat-table memos vs the map-backed baseline they replaced.
+//
+// Two experiments, both recorded in bench_memo.json:
+//
+// 1. GATED key-trace replay (the CI regression gate). The trace is the
+//    access pattern an analysis memo actually sees: a DFS over the
+//    interned DAG of the §3-style alternation family at fuels 1..8,
+//    emitting one (node id, fuel) key per visit — interner sharing makes
+//    repeat visits, which replay as memo hits. One "analysis" replays
+//    the trace 16 times (the 16-branch-alt shape: first pass misses and
+//    inserts, later passes hit). The baseline backend builds fresh
+//    32-way sharded std::unordered_maps per analysis — byte-for-byte
+//    what par/engine.cpp held before the flat tables; the flat backend
+//    generation-resets warm FlatMemo shards, which is what it holds now.
+//    Both replay identical traces and must produce identical lookup
+//    checksums (same hits, same misses). The gate: geomean speedup over
+//    n in {8, 10, 12, 14} must be >= 1.3x or main exits 1.
+//
+// 2. Ungated end-to-end sanity: whole analyses (normalize, streamed
+//    count) timed under set_flat_memo_enabled(false) vs (true), with
+//    identical results demanded — the speedup here includes all the
+//    non-memo work, so it is reported but not gated.
+
+#include <array>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <variant>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gtdl/detect/counterexample.hpp"
+#include "gtdl/gtype/gtype.hpp"
+#include "gtdl/gtype/intern.hpp"
+#include "gtdl/gtype/normalize.hpp"
+#include "gtdl/support/flat_memo.hpp"
+
+namespace {
+
+using namespace gtdl;
+
+// Mirrors the (anonymous-namespace) memo key of gtype/normalize.cpp and
+// par/engine.cpp: (interned node id, remaining fuel). The family index is
+// irrelevant here — the replay trace only exercises scalar keys.
+struct MemoKey {
+  std::uint64_t id = 0;
+  unsigned fuel = 0;
+
+  friend bool operator==(const MemoKey&, const MemoKey&) = default;
+};
+
+struct MemoKeyHash {
+  std::size_t operator()(const MemoKey& k) const noexcept {
+    std::size_t h = std::hash<std::uint64_t>{}(k.id);
+    h ^= std::hash<unsigned>{}(k.fuel) * 0x9e3779b97f4a7c15ull;
+    return h;
+  }
+};
+
+constexpr std::size_t kShards = 32;  // par/engine.cpp's shard count
+// Four walks per analysis puts the replay's hit ratio at ~83% — the
+// ballpark the real memos run at (repeat visits via interner sharing
+// plus the per-depth sweeps) — while keeping the per-analysis setup and
+// teardown cost, which is precisely what the flat tables eliminate, at
+// its true relative weight.
+constexpr int kPassesPerAnalysis = 4;
+constexpr int kAnalysesPerRep = 600;
+
+// §3-style ⊕-alternation family (bench_normalization's memo-bound
+// workload): n "maybe spawn v_i" factors, then a touch-before-spawn
+// cycle on u.
+GTypePtr alternation_family(unsigned n) {
+  std::vector<Symbol> binders;
+  std::vector<GTypePtr> parts;
+  for (unsigned i = 1; i <= n; ++i) {
+    const Symbol v = Symbol::intern("v" + std::to_string(i));
+    binders.push_back(v);
+    parts.push_back(gt::alt(gt::empty(), gt::spawn(gt::empty(), v)));
+  }
+  const Symbol u = Symbol::intern("u");
+  binders.push_back(u);
+  parts.push_back(gt::touch(u));
+  parts.push_back(gt::spawn(gt::empty(), u));
+  return gt::nu_all(binders, gt::seq_all(std::move(parts)));
+}
+
+// One (id, fuel) key per DAG node visit, children after parent, fuel
+// burned at μ exactly as the normalizers burn it. Interned sharing (every
+// `1 | 1/v_i` factor shares its • and its spawn body) produces the
+// repeat visits that replay as hits.
+void trace_walk(const GTypePtr& g, unsigned fuel,
+                std::vector<MemoKey>& out) {
+  out.push_back(MemoKey{g->facts->id, fuel});
+  if (const auto* seq = std::get_if<GTSeq>(&g->node)) {
+    trace_walk(seq->lhs, fuel, out);
+    trace_walk(seq->rhs, fuel, out);
+  } else if (const auto* alt = std::get_if<GTOr>(&g->node)) {
+    trace_walk(alt->lhs, fuel, out);
+    trace_walk(alt->rhs, fuel, out);
+  } else if (const auto* spawn = std::get_if<GTSpawn>(&g->node)) {
+    trace_walk(spawn->body, fuel, out);
+  } else if (const auto* nu = std::get_if<GTNew>(&g->node)) {
+    trace_walk(nu->body, fuel, out);
+  } else if (const auto* rec = std::get_if<GTRec>(&g->node)) {
+    if (fuel > 1) trace_walk(rec->body, fuel - 1, out);
+  }
+}
+
+// The per-depth sweeps an analysis performs: one walk per fuel bound.
+std::vector<MemoKey> build_trace(const GTypePtr& g, unsigned max_fuel) {
+  std::vector<MemoKey> trace;
+  for (unsigned fuel = 1; fuel <= max_fuel; ++fuel) {
+    trace_walk(g, fuel, trace);
+  }
+  return trace;
+}
+
+std::uint64_t value_for(const MemoKey& k) noexcept {
+  return k.id * 0x9e3779b97f4a7c15ull + k.fuel;
+}
+
+// Baseline: what one analysis cost before this change — construct 32
+// sharded unordered_maps, replay, destroy them (the per-call memo
+// lifetime every pass had).
+std::uint64_t replay_shard_maps(const std::vector<MemoKey>& trace) {
+  std::uint64_t checksum = 0;
+  for (int analysis = 0; analysis < kAnalysesPerRep; ++analysis) {
+    std::array<std::unordered_map<MemoKey, std::uint64_t, MemoKeyHash>,
+               kShards>
+        shards;
+    for (int pass = 0; pass < kPassesPerAnalysis; ++pass) {
+      for (const MemoKey& key : trace) {
+        auto& shard = shards[MemoKeyHash{}(key) % kShards];
+        auto it = shard.find(key);
+        if (it == shard.end()) {
+          shard.emplace(key, value_for(key));
+        } else {
+          checksum += it->second;
+        }
+      }
+    }
+  }
+  return checksum;
+}
+
+// Flat: what the same analysis costs now — warm tables, O(1) generation
+// reset per analysis, no per-insert node allocation.
+std::uint64_t replay_flat(
+    const std::vector<MemoKey>& trace,
+    std::array<FlatMemo<MemoKey, std::uint64_t, MemoKeyHash>, kShards>&
+        shards) {
+  std::uint64_t checksum = 0;
+  for (int analysis = 0; analysis < kAnalysesPerRep; ++analysis) {
+    for (auto& shard : shards) shard.reset();
+    for (int pass = 0; pass < kPassesPerAnalysis; ++pass) {
+      for (const MemoKey& key : trace) {
+        auto& shard = shards[MemoKeyHash{}(key) % kShards];
+        if (const std::uint64_t* hit = shard.find(key)) {
+          checksum += *hit;
+        } else {
+          shard.put(key, value_for(key));
+        }
+      }
+    }
+  }
+  return checksum;
+}
+
+template <typename Fn>
+double min_ms_of_5(Fn&& fn) {
+  double best = 0;
+  for (int rep = 0; rep < 5; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+struct ReplayRow {
+  unsigned n = 0;
+  std::size_t unique_keys = 0;
+  std::size_t ops_per_analysis = 0;
+  double map_ms = 0;
+  double flat_ms = 0;
+  double speedup = 0;
+};
+
+struct EndToEndRow {
+  std::string workload;
+  double map_ms = 0;
+  double flat_ms = 0;
+  double speedup = 0;
+};
+
+constexpr double kGate = 1.3;
+
+}  // namespace
+
+int main() {
+  // --- Part 1: gated key-trace replay ---------------------------------
+  // Stats stay off while timing so both backends run their true hot
+  // path (the obs branches are identical either way, but histogram
+  // mutation inside the loop would not be).
+  std::printf(
+      "memo replay: sec.3 alternation family, fuels 1..8, %d passes x %d "
+      "analyses\n"
+      "%-5s %12s %14s %14s %14s %9s\n",
+      kPassesPerAnalysis, kAnalysesPerRep, "n", "unique-keys", "ops/analysis",
+      "shard-map ms", "flat ms", "speedup");
+
+  std::vector<ReplayRow> rows;
+  bool checksums_agree = true;
+  for (unsigned n = 8; n <= 14; n += 2) {
+    const GTypePtr family = alternation_family(n);
+    const std::vector<MemoKey> trace = build_trace(family, 8);
+
+    std::unordered_set<MemoKey, MemoKeyHash> unique(trace.begin(),
+                                                    trace.end());
+    ReplayRow row;
+    row.n = n;
+    row.unique_keys = unique.size();
+    row.ops_per_analysis = trace.size() * kPassesPerAnalysis;
+
+    std::uint64_t map_sum = 0;
+    std::uint64_t flat_sum = 0;
+    row.map_ms = min_ms_of_5([&] { map_sum = replay_shard_maps(trace); });
+    std::array<FlatMemo<MemoKey, std::uint64_t, MemoKeyHash>, kShards>
+        flat_shards;
+    row.flat_ms =
+        min_ms_of_5([&] { flat_sum = replay_flat(trace, flat_shards); });
+    row.speedup = row.flat_ms > 0 ? row.map_ms / row.flat_ms : 0;
+
+    if (map_sum != flat_sum) {
+      checksums_agree = false;
+      std::fprintf(stderr,
+                   "FAIL n=%u: backend checksums differ (map %" PRIu64
+                   ", flat %" PRIu64 ") — hit/miss behavior diverged\n",
+                   n, map_sum, flat_sum);
+    }
+    std::printf("%-5u %12zu %14zu %14.3f %14.3f %8.2fx\n", row.n,
+                row.unique_keys, row.ops_per_analysis, row.map_ms,
+                row.flat_ms, row.speedup);
+    rows.push_back(row);
+  }
+
+  double log_sum = 0;
+  for (const ReplayRow& row : rows) log_sum += std::log(row.speedup);
+  const double geomean = std::exp(log_sum / static_cast<double>(rows.size()));
+  const bool gate_passed = checksums_agree && geomean >= kGate;
+  std::printf("geomean speedup %.2fx (gate >= %.2fx): %s\n\n", geomean,
+              kGate, gate_passed ? "PASS" : "FAIL");
+
+  // --- Part 2: ungated end-to-end comparison --------------------------
+  // Whole analyses under each backend; results must match exactly, the
+  // timing includes everything that is not the memo, so no gate.
+  obs::set_stats_enabled(true);
+  std::vector<EndToEndRow> end_to_end;
+  bool verdicts_agree = true;
+  const auto compare_modes = [&](std::string workload, auto&& fn) {
+    EndToEndRow row;
+    row.workload = std::move(workload);
+    const bool was_flat = set_flat_memo_enabled(false);
+    const std::uint64_t map_result = fn();  // warm interner caches
+    row.map_ms = min_ms_of_5([&] { (void)fn(); });
+    set_flat_memo_enabled(true);
+    const std::uint64_t flat_result = fn();
+    row.flat_ms = min_ms_of_5([&] { (void)fn(); });
+    set_flat_memo_enabled(was_flat);
+    row.speedup = row.flat_ms > 0 ? row.map_ms / row.flat_ms : 0;
+    if (map_result != flat_result) {
+      verdicts_agree = false;
+      std::fprintf(stderr,
+                   "FAIL %s: map result %" PRIu64 " != flat result %" PRIu64
+                   "\n",
+                   row.workload.c_str(), map_result, flat_result);
+    }
+    std::printf("%-44s %10.3f ms %10.3f ms %8.2fx\n", row.workload.c_str(),
+                row.map_ms, row.flat_ms, row.speedup);
+    end_to_end.push_back(row);
+  };
+
+  std::printf("%-44s %13s %13s %9s\n", "end-to-end workload", "map ms",
+              "flat ms", "speedup");
+  const NormalizeLimits limits;
+  const GTypePtr m3 = counterexample_gtype(3);
+  compare_modes("normalize sec.3 m=3 n=8", [&] {
+    return static_cast<std::uint64_t>(normalize(m3, 8, limits).graphs.size());
+  });
+  const GTypePtr m2 = counterexample_gtype(2);
+  compare_modes("count_normalizations sec.3 m=2 n=12",
+                [&] { return count_normalizations(m2, 12); });
+  const GTypePtr alt12 = alternation_family(12);
+  compare_modes("normalize alternation family n=12 depth 1", [&] {
+    return static_cast<std::uint64_t>(
+        normalize(alt12, 1, limits).graphs.size());
+  });
+  obs::set_stats_enabled(false);
+
+  // --- JSON ------------------------------------------------------------
+  std::FILE* json = std::fopen("bench_memo.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write bench_memo.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"replay\": [");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ReplayRow& r = rows[i];
+    std::fprintf(json,
+                 "%s\n    {\"n\": %u, \"unique_keys\": %zu, "
+                 "\"ops_per_analysis\": %zu, \"shard_map_ms\": %.3f, "
+                 "\"flat_ms\": %.3f, \"speedup\": %.2f}",
+                 i == 0 ? "" : ",", r.n, r.unique_keys, r.ops_per_analysis,
+                 r.map_ms, r.flat_ms, r.speedup);
+  }
+  std::fprintf(json,
+               "\n  ],\n  \"geomean_speedup\": %.2f,\n  \"gate\": %.2f,\n"
+               "  \"gate_passed\": %s,\n  \"end_to_end\": [",
+               geomean, kGate, gate_passed ? "true" : "false");
+  for (std::size_t i = 0; i < end_to_end.size(); ++i) {
+    const EndToEndRow& r = end_to_end[i];
+    std::fprintf(json,
+                 "%s\n    {\"workload\": \"%s\", \"map_ms\": %.3f, "
+                 "\"flat_ms\": %.3f, \"speedup\": %.2f}",
+                 i == 0 ? "" : ",", r.workload.c_str(), r.map_ms, r.flat_ms,
+                 r.speedup);
+  }
+  std::fprintf(json, "\n  ],\n");
+  bench::write_json_env(json);
+  std::fprintf(json, ",\n");
+  bench::write_json_metrics(json);
+  std::fprintf(json, "\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote bench_memo.json\n");
+
+  if (!verdicts_agree) return 1;
+  return gate_passed ? 0 : 1;
+}

@@ -56,7 +56,8 @@ double time_ms(Fn&& fn, int reps = 3) {
 struct Point {
   unsigned threads = 1;
   double ms = 0;
-  double speedup = 1.0;  // vs the threads = 1 point of the same curve
+  double speedup = 1.0;     // vs the threads = 1 point of the same curve
+  double efficiency = 1.0;  // speedup / threads — 1.0 is perfect scaling
 };
 
 struct Curve {
@@ -79,7 +80,9 @@ Curve sweep(std::string name, Fn&& fn) {
     p.speedup = curve.series.empty() || p.ms <= 0
                     ? 1.0
                     : curve.series.front().ms / p.ms;
-    std::printf(" %9.3f ms (%4.2fx)", p.ms, p.speedup);
+    p.efficiency = p.speedup / static_cast<double>(t);
+    std::printf(" %9.3f ms (%4.2fx/%3.0f%%)", p.ms, p.speedup,
+                p.efficiency * 100.0);
     curve.series.push_back(p);
   }
   std::printf("\n");
@@ -95,10 +98,16 @@ int main() {
   const bench::BenchEnv env = bench::bench_env();
   std::printf("host %s, %u hardware threads, %s build\n", env.hostname.c_str(),
               env.hardware_threads, env.build_type.c_str());
-  if (env.hardware_threads <= 1) {
-    std::printf(
-        "NOTE: single-core host; expect flat (~1.0x) curves. Rerun on a\n"
-        "multi-core machine for meaningful parallel speedups.\n");
+  // Mirrored into the JSON env block below: anyone comparing recorded
+  // curves must see this even if they never saw the stdout run.
+  const char* env_warning =
+      env.hardware_threads < 4
+          ? "hardware_concurrency < 4: speedup/efficiency curves are "
+            "oversubscribed at t>=hardware_threads and NOT representative; "
+            "rerun on a machine with >= 4 cores"
+          : nullptr;
+  if (env_warning != nullptr) {
+    std::printf("WARNING: %s\n", env_warning);
   }
   std::printf("%-46s", "workload");
   for (unsigned t : kThreadCounts) std::printf("      t=%-2u           ", t);
@@ -167,13 +176,14 @@ int main() {
       const Point& p = curves[i].series[j];
       std::fprintf(json,
                    "%s\n      {\"threads\": %u, \"ms\": %.3f, "
-                   "\"speedup\": %.2f}",
-                   j == 0 ? "" : ",", p.threads, p.ms, p.speedup);
+                   "\"speedup\": %.2f, \"efficiency\": %.2f}",
+                   j == 0 ? "" : ",", p.threads, p.ms, p.speedup,
+                   p.efficiency);
     }
     std::fprintf(json, "\n    ]}%s\n", i + 1 < curves.size() ? "," : "");
   }
   std::fprintf(json, "  ],\n");
-  bench::write_json_env(json);
+  bench::write_json_env(json, env_warning);
   std::fprintf(json, ",\n");
   bench::write_json_metrics(json);
   std::fprintf(json, "\n}\n");

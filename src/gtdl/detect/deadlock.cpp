@@ -11,6 +11,7 @@
 #include "gtdl/obs/trace.hpp"
 #include "gtdl/par/engine.hpp"
 #include "gtdl/par/thread_pool.hpp"
+#include "gtdl/support/flat_memo.hpp"
 #include "gtdl/support/overloaded.hpp"
 #include "gtdl/support/string_util.hpp"
 
@@ -102,9 +103,9 @@ class DfChecker {
       }
     }
     if (closed) {
-      if (auto it = closed_memo_.find(facts->id); it != closed_memo_.end()) {
+      if (const GraphKind* hit = closed_memo_.find(facts->id)) {
         DetectMetrics::get().closed_memo_hits.add();
-        return Outcome{it->second, {}};
+        return Outcome{*hit, {}};
       }
     }
     // Chains of ';'/'|' parse iteratively, so syntactically valid input
@@ -120,7 +121,7 @@ class DfChecker {
     // Only successes are reusable (failures must re-report diagnostics).
     if (closed && result) {
       DetectMetrics::get().closed_memo_misses.add();
-      closed_memo_.emplace(facts->id, result->kind);
+      closed_memo_.put(facts->id, result->kind);
     }
     return result;
   }
@@ -449,7 +450,7 @@ class DfChecker {
   std::size_t depth_ = 0;
   SymbolBitset psi_bits_;  // psi_ mirrored over the interner index
   std::unordered_map<Symbol, GraphKind> gvars_;
-  std::unordered_map<std::uint64_t, GraphKind> closed_memo_;
+  LeasedMemo<std::uint64_t, GraphKind> closed_memo_;
 };
 
 }  // namespace

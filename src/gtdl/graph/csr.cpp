@@ -13,6 +13,7 @@ namespace {
 struct GraphMetrics {
   obs::Counter& lowered;
   obs::Counter& vertices;
+  obs::Counter& arena_reuse_hits;
 
   static GraphMetrics& get() {
     static GraphMetrics* m = [] {
@@ -22,6 +23,9 @@ struct GraphMetrics {
                                       "ground graphs lowered to CSR form"}),
           reg.counter(obs::MetricDesc{"graph.vertices", "graph", "vertices",
                                       "vertices across all CSR lowerings"}),
+          reg.counter(obs::MetricDesc{
+              "arena.reuse.hits", "graph", "lowerings",
+              "CSR lowerings served by an already-warm arena"}),
       };
     }();
     return *m;
@@ -122,8 +126,8 @@ std::size_t GraphArena::approx_bytes() const noexcept {
   // portably observable); it is tiny next to the flat vectors anyway.
   return vec(edges_) + vec(names_) + vec(declared_count_) + vec(touched_) +
          vec(touch_order_) + vec(unspawned_) + vec(row_) + vec(cursor_) +
-         vec(col_) + vec(marks_) + vec(stack_) + vec(worklist_) +
-         vec(indegree_) +
+         vec(col_) + vec(visited_bits_) + vec(onstack_bits_) + vec(stack_) +
+         vec(worklist_) + vec(indegree_) +
          by_name_.size() * (sizeof(Symbol) + sizeof(VertexId) + sizeof(void*));
 }
 
@@ -141,7 +145,8 @@ void GraphArena::shrink() {
   drop(row_);
   drop(cursor_);
   drop(col_);
-  drop(marks_);
+  drop(visited_bits_);
+  drop(onstack_bits_);
   drop(stack_);
   drop(worklist_);
   drop(indegree_);
@@ -150,6 +155,12 @@ void GraphArena::shrink() {
 
 CsrGraph lower_to_csr(const GraphExpr& expr, GraphArena& arena) {
   fault::maybe_inject("alloc");
+  // A warm arena (its CSR rows still have capacity from a previous
+  // lowering) means this lowering runs allocation-free; the counter is
+  // how the thread-affine reuse policy is observed end to end.
+  if (arena.row_.capacity() != 0) {
+    GraphMetrics::get().arena_reuse_hits.add();
+  }
   arena.reset();
   CsrLowering lowering(arena);
   const Ends main_thread = lowering.walk(expr);
@@ -225,29 +236,49 @@ const std::vector<Symbol>& CsrGraph::unspawned_touches() const noexcept {
 
 namespace {
 
-// Mark bytes for the traversals.
-enum : std::uint8_t { kUnvisited = 0, kOnStack = 1, kDone = 2 };
+// Word-packed mark helpers. Colors live across the visited/onstack pair
+// (see the field comment in csr.hpp); clearing for a new graph is an
+// n/64-word fill and every color transition is one masked OR/AND-NOT —
+// no per-vertex byte writes, no branches on the mark value itself.
+inline bool bit_test(const std::vector<std::uint64_t>& bits,
+                     VertexId v) noexcept {
+  return (bits[v >> 6] >> (v & 63)) & 1u;
+}
+
+inline void bit_set(std::vector<std::uint64_t>& bits, VertexId v) noexcept {
+  bits[v >> 6] |= std::uint64_t{1} << (v & 63);
+}
+
+inline void bit_clear(std::vector<std::uint64_t>& bits, VertexId v) noexcept {
+  bits[v >> 6] &= ~(std::uint64_t{1} << (v & 63));
+}
+
+inline std::size_t mark_words(std::uint32_t n) noexcept {
+  return (static_cast<std::size_t>(n) + 63) / 64;
+}
 
 }  // namespace
 
 std::optional<std::vector<VertexId>> CsrGraph::find_cycle() const {
   GraphArena& a = *arena_;
   const std::uint32_t n = vertex_count();
-  a.marks_.assign(n, kUnvisited);
+  a.visited_bits_.assign(mark_words(n), 0);
+  a.onstack_bits_.assign(mark_words(n), 0);
   for (VertexId root = 0; root < n; ++root) {
-    if (a.marks_[root] != kUnvisited) continue;
+    if (bit_test(a.visited_bits_, root)) continue;
     a.stack_.clear();
     a.stack_.push_back({root, a.row_[root]});
-    a.marks_[root] = kOnStack;
+    bit_set(a.visited_bits_, root);
+    bit_set(a.onstack_bits_, root);
     while (!a.stack_.empty()) {
       GraphArena::Frame& frame = a.stack_.back();
       if (frame.next_edge < a.row_[frame.vertex + 1]) {
         const VertexId next = a.col_[frame.next_edge++];
-        std::uint8_t& mark = a.marks_[next];
-        if (mark == kUnvisited) {
-          mark = kOnStack;
+        if (!bit_test(a.visited_bits_, next)) {
+          bit_set(a.visited_bits_, next);
+          bit_set(a.onstack_bits_, next);
           a.stack_.push_back({next, a.row_[next]});
-        } else if (mark == kOnStack) {
+        } else if (bit_test(a.onstack_bits_, next)) {
           // Back edge: the cycle is the DFS-path suffix from `next`.
           std::vector<VertexId> cycle;
           auto it = std::find_if(
@@ -257,7 +288,7 @@ std::optional<std::vector<VertexId>> CsrGraph::find_cycle() const {
           return cycle;
         }
       } else {
-        a.marks_[frame.vertex] = kDone;
+        bit_clear(a.onstack_bits_, frame.vertex);
         a.stack_.pop_back();
       }
     }
@@ -272,9 +303,9 @@ bool CsrGraph::reachable(VertexId from, VertexId to) const {
   if (from >= n) return false;
   if (from == to) return true;
   GraphArena& a = *arena_;
-  a.marks_.assign(n, kUnvisited);
+  a.visited_bits_.assign(mark_words(n), 0);
   a.worklist_.clear();
-  a.marks_[from] = kDone;
+  bit_set(a.visited_bits_, from);
   a.worklist_.push_back(from);
   while (!a.worklist_.empty()) {
     const VertexId v = a.worklist_.back();
@@ -282,8 +313,8 @@ bool CsrGraph::reachable(VertexId from, VertexId to) const {
     for (std::uint32_t i = a.row_[v]; i < a.row_[v + 1]; ++i) {
       const VertexId next = a.col_[i];
       if (next == to) return true;
-      if (a.marks_[next] == kUnvisited) {
-        a.marks_[next] = kDone;
+      if (!bit_test(a.visited_bits_, next)) {
+        bit_set(a.visited_bits_, next);
         a.worklist_.push_back(next);
       }
     }

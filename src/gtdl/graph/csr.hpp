@@ -76,8 +76,12 @@ class GraphArena {
   std::vector<std::uint32_t> row_;  // n+1 offsets into col_
   std::vector<std::uint32_t> cursor_;
   std::vector<VertexId> col_;
-  // Traversal scratch.
-  std::vector<std::uint8_t> marks_;
+  // Traversal scratch: word-packed visit marks. A vertex's color is two
+  // bits across the pair — (visited=0) unvisited, (1, onstack=1) on the
+  // DFS stack, (1, 0) done — so clearing for a new graph touches n/8
+  // bytes instead of n and finishing a vertex is a single AND-NOT.
+  std::vector<std::uint64_t> visited_bits_;
+  std::vector<std::uint64_t> onstack_bits_;
   struct Frame {
     VertexId vertex;
     std::uint32_t next_edge;

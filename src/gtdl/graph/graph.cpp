@@ -260,4 +260,8 @@ std::size_t scan_arena_bytes() noexcept { return t_scan_arena.approx_bytes(); }
 
 void release_scan_arena() noexcept { t_scan_arena.shrink(); }
 
+void trim_scan_arena(std::size_t max_bytes) noexcept {
+  if (t_scan_arena.approx_bytes() > max_bytes) t_scan_arena.shrink();
+}
+
 }  // namespace gtdl

@@ -147,4 +147,11 @@ class GraphArena;  // csr.hpp
 // a budget-aborted analysis does not pin its high-water memory.
 void release_scan_arena() noexcept;
 
+// Releases this thread's scan arena only if it retains more than
+// `max_bytes`. Called between corpus files (and after parallel scan
+// chunks) so long-lived worker threads keep their steady-state arenas
+// warm — thread-affine reuse — while a pathological file's high-water
+// allocation is returned promptly instead of pinned for the whole run.
+void trim_scan_arena(std::size_t max_bytes) noexcept;
+
 }  // namespace gtdl

@@ -14,6 +14,7 @@
 #include "gtdl/obs/trace.hpp"
 #include "gtdl/support/budget.hpp"
 #include "gtdl/support/fault.hpp"
+#include "gtdl/support/flat_memo.hpp"
 #include "gtdl/support/overloaded.hpp"
 
 namespace gtdl {
@@ -220,12 +221,28 @@ struct MemoKeyHash {
   }
 };
 
+// True for the node kinds whose normalization is memoized under the
+// plain (id, fuel) key — shared by both normalizers and by the prefetch
+// issued for the not-yet-visited branch of a ⊕.
+bool scalar_memoizable(const GType& g) {
+  return std::holds_alternative<GTRec>(g.node) ||
+         std::holds_alternative<GTApp>(g.node) ||
+         std::holds_alternative<GTNew>(g.node);
+}
+
 class Normalizer {
  public:
   explicit Normalizer(const NormalizeLimits& limits)
       : limits_(limits),
         use_memo_(limits.enable_memo &&
                   GTypeInterner::instance().memoization_enabled()) {}
+
+  // A truncated run may hold partially-built graph vectors; destroy them
+  // eagerly instead of letting them linger in the leased table's stale
+  // slots until natural reclamation.
+  ~Normalizer() {
+    if (truncated_) memo_.purge_on_release();
+  }
 
   std::vector<GraphExprPtr> norm(const GTypePtr& g, unsigned n,
                                  std::size_t depth) {
@@ -260,17 +277,13 @@ class Normalizer {
     // subterms the SAME node, so the (id, fuel) key collapses all of them.
     const GTypeFacts* facts = g->facts;
     const bool memoizable =
-        use_memo_ && facts != nullptr &&
-        (std::holds_alternative<GTRec>(g->node) ||
-         std::holds_alternative<GTApp>(g->node) ||
-         std::holds_alternative<GTNew>(g->node));
+        use_memo_ && facts != nullptr && scalar_memoizable(*g);
     MemoKey key{};
     if (memoizable) {
       key = {facts->id, n};
-      auto it = memo_.find(key);
-      if (it != memo_.end()) {
+      if (const std::vector<GraphExprPtr>* hit = memo_.find(key)) {
         GTypeInterner::instance().note_norm_memo(true);
-        return refresh_instantiations(*facts, it->second);
+        return refresh_instantiations(*facts, *hit);
       }
       GTypeInterner::instance().note_norm_memo(false);
     }
@@ -280,6 +293,9 @@ class Normalizer {
               return std::vector<GraphExprPtr>{ge::singleton()};
             },
             [&](const GTSeq& node) {
+              // The rhs memo line will be wanted right after the lhs
+              // returns; start pulling it in now.
+              prefetch_memo(node.rhs, n);
               const std::vector<GraphExprPtr> lhs =
                   norm(node.lhs, n, depth + 1);
               if (lhs.empty()) return std::vector<GraphExprPtr>{};
@@ -299,6 +315,7 @@ class Normalizer {
               return out;
             },
             [&](const GTOr& node) {
+              prefetch_memo(node.rhs, n);
               std::vector<GraphExprPtr> out = norm(node.lhs, n, depth + 1);
               std::vector<GraphExprPtr> rhs = norm(node.rhs, n, depth + 1);
               for (GraphExprPtr& g2 : rhs) {
@@ -413,7 +430,7 @@ class Normalizer {
     // Only complete results are reusable: a truncated subcomputation's
     // vector is an arbitrary subset and would silently propagate.
     if (memoizable && !truncated_) {
-      memo_.emplace(key, result);
+      memo_.put(key, result);
     }
     return result;
   }
@@ -472,9 +489,9 @@ class Normalizer {
     MemoKey key{};
     if (memoizable) {
       key = {facts->id, n, i};
-      if (auto it = memo_.find(key); it != memo_.end()) {
+      if (const std::vector<GraphExprPtr>* hit = memo_.find(key)) {
         GTypeInterner::instance().note_norm_memo(true);
-        return refresh_instantiations(*facts, it->second);
+        return refresh_instantiations(*facts, *hit);
       }
       GTypeInterner::instance().note_norm_memo(false);
     }
@@ -485,7 +502,7 @@ class Normalizer {
     for (GraphExprPtr& body : bodies) {
       wrapped.push_back(ge::spawn(std::move(body), member));
     }
-    if (memoizable && !truncated_) memo_.emplace(key, wrapped);
+    if (memoizable && !truncated_) memo_.put(key, wrapped);
     return wrapped;
   }
 
@@ -493,12 +510,22 @@ class Normalizer {
     return GTypeInterner::instance().cached_unroll(g);
   }
 
+  // One cache-line hint for a branch whose memo entry will be looked up
+  // after a sibling subtree finishes: issued only for keys the memo
+  // would actually hold.
+  void prefetch_memo(const GTypePtr& g, unsigned n) const {
+    const GTypeFacts* facts = g->facts;
+    if (use_memo_ && facts != nullptr && scalar_memoizable(*g)) {
+      memo_.prefetch(MemoKey{facts->id, n});
+    }
+  }
+
   const NormalizeLimits& limits_;
   const bool use_memo_;
   std::size_t steps_ = 0;
   bool truncated_ = false;
   bool depth_limited_ = false;
-  std::unordered_map<MemoKey, std::vector<GraphExprPtr>, MemoKeyHash> memo_;
+  LeasedMemo<MemoKey, std::vector<GraphExprPtr>, MemoKeyHash> memo_;
 };
 
 }  // namespace
@@ -571,12 +598,24 @@ class EmitRef {
 // the •/~u singleton rules cannot collide, and the spawn/ν/app rules are
 // key-injective maps over one child stream, so filtering there would
 // never drop anything.
+// The streaming memo also captures whole VecSpawn families (see the
+// comment at its use site), so its memoizable set is one node kind wider
+// than the vector normalizer's.
+bool stream_memoizable(const GType& g) {
+  return scalar_memoizable(g) ||
+         std::holds_alternative<GTVecSpawn>(g.node);
+}
+
 class StreamingNormalizer {
  public:
   explicit StreamingNormalizer(const NormalizeLimits& limits)
       : limits_(limits),
         use_memo_(limits.enable_memo &&
                   GTypeInterner::instance().memoization_enabled()) {}
+
+  ~StreamingNormalizer() {
+    if (truncated_ || stopped_) memo_.purge_on_release();
+  }
 
   StreamStats run(const GTypePtr& g, unsigned n, EmitRef visit) {
     auto top = [&](const GraphExprPtr& gr) -> bool {
@@ -639,19 +678,15 @@ class StreamingNormalizer {
     // instead. Replays keep the member vertices (they rename with their
     // free family) and refresh ν-instantiations, as always.
     const bool memoizable =
-        use_memo_ && facts != nullptr &&
-        (std::holds_alternative<GTRec>(g->node) ||
-         std::holds_alternative<GTApp>(g->node) ||
-         std::holds_alternative<GTNew>(g->node) ||
-         std::holds_alternative<GTVecSpawn>(g->node));
+        use_memo_ && facts != nullptr && stream_memoizable(*g);
     if (!memoizable) return stream_node(g, n, depth, out);
     const MemoKey key{facts->id, n};
-    if (auto it = memo_.find(key); it != memo_.end()) {
+    if (const std::vector<GraphExprPtr>* hit = memo_.find(key)) {
       GTypeInterner::instance().note_norm_memo(true);
       // Replay the captured (already deduplicated) stream with the
       // ν-instantiated names refreshed, exactly like the vector path.
       const std::vector<GraphExprPtr> refreshed =
-          refresh_instantiations(*facts, it->second);
+          refresh_instantiations(*facts, *hit);
       for (const GraphExprPtr& gr : refreshed) {
         if (!out(gr)) return false;
       }
@@ -678,7 +713,7 @@ class StreamingNormalizer {
       // Complete enumeration: reusable. The buffered graphs stay charged
       // against the budget for the life of this call, like the memo they
       // now live in.
-      memo_.emplace(key, std::move(buffer));
+      memo_.put(key, std::move(buffer));
     } else if (!overflow) {
       buffer_release(buffer);
     }
@@ -780,6 +815,9 @@ class StreamingNormalizer {
   // lhs graph instead: slower, but peak memory stays capped.
   bool stream_seq(const GTSeq& node, unsigned n, std::size_t depth,
                   EmitRef out) {
+    // The rhs memo entry is consulted as soon as the first lhs graph
+    // arrives; hint its cache line in before the lhs stream starts.
+    prefetch_memo(node.rhs, n);
     DedupFilter filter{this, out, {}};
     enum class RhsState { kUnknown, kCached, kTooBig };
     RhsState rhs_state = RhsState::kUnknown;
@@ -865,6 +903,13 @@ class StreamingNormalizer {
     return GTypeInterner::instance().cached_unroll(g);
   }
 
+  void prefetch_memo(const GTypePtr& g, unsigned n) const {
+    const GTypeFacts* facts = g->facts;
+    if (use_memo_ && facts != nullptr && stream_memoizable(*g)) {
+      memo_.prefetch(MemoKey{facts->id, n});
+    }
+  }
+
   const NormalizeLimits& limits_;
   const bool use_memo_;
   std::size_t steps_ = 0;
@@ -874,7 +919,7 @@ class StreamingNormalizer {
   bool stopped_ = false;
   bool truncated_ = false;
   bool depth_limited_ = false;
-  std::unordered_map<MemoKey, std::vector<GraphExprPtr>, MemoKeyHash> memo_;
+  LeasedMemo<MemoKey, std::vector<GraphExprPtr>, MemoKeyHash> memo_;
 };
 
 }  // namespace
@@ -923,7 +968,7 @@ class Counter {
     // saturation rather than risking the stack.
     if (depth > kMaxDepth) return kSat;
     const std::pair<std::uint64_t, unsigned> key{node_id(g), n};
-    if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+    if (const std::uint64_t* hit = memo_.find(key)) return *hit;
     const std::uint64_t result = std::visit(
         Overloaded{
             [&](const GTEmpty&) -> std::uint64_t { return 1; },
@@ -981,7 +1026,7 @@ class Counter {
             },
         },
         g->node);
-    memo_.emplace(key, result);
+    memo_.put(key, result);
     return result;
   }
 
@@ -1001,8 +1046,7 @@ class Counter {
     return GTypeInterner::instance().cached_unroll(g);
   }
 
-  std::unordered_map<std::pair<std::uint64_t, unsigned>, std::uint64_t,
-                     IdDepthHash>
+  LeasedMemo<std::pair<std::uint64_t, unsigned>, std::uint64_t, IdDepthHash>
       memo_;
 };
 

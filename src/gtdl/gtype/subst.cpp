@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "gtdl/gtype/intern.hpp"
+#include "gtdl/support/flat_memo.hpp"
 #include "gtdl/support/overloaded.hpp"
 
 namespace gtdl {
@@ -50,7 +51,7 @@ struct VertexSubstituter {
   std::uint64_t epoch = 0;
   std::uint64_t epoch_counter = 0;
   // node id -> (epoch at store time, result)
-  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, GTypePtr>> memo;
+  LeasedMemo<std::uint64_t, std::pair<std::uint64_t, GTypePtr>> memo;
   bool use_memo = false;
 
   GTypePtr walk(const GTypePtr& g) {
@@ -62,10 +63,10 @@ struct VertexSubstituter {
         interner.note_subst_identity_hit();
         return g;
       }
-      auto it = memo.find(facts->id);
-      if (it != memo.end() && it->second.first == epoch) {
+      const auto* hit = memo.find(facts->id);
+      if (hit != nullptr && hit->first == epoch) {
         interner.note_subst_memo(true);
-        return it->second.second;
+        return hit->second;
       }
       interner.note_subst_memo(false);
     }
@@ -141,7 +142,7 @@ struct VertexSubstituter {
         },
         g->node);
     if (use_memo && facts != nullptr) {
-      memo[facts->id] = {epoch, result};
+      memo.put(facts->id, {epoch, result});
     }
     return result;
   }
@@ -244,7 +245,7 @@ struct GVarSubstituter {
   OrderedSet<Symbol> replacement_free_vertices;
   std::size_t var_index = GTypeInterner::npos;  // dense index of `var`
   bool use_memo = false;
-  std::unordered_map<std::uint64_t, GTypePtr> memo;
+  LeasedMemo<std::uint64_t, GTypePtr> memo;
 
   GTypePtr walk(const GTypePtr& g) {
     const GTypeFacts* facts = g->facts;
@@ -255,10 +256,9 @@ struct GVarSubstituter {
         interner.note_subst_identity_hit();
         return g;
       }
-      auto it = memo.find(facts->id);
-      if (it != memo.end()) {
+      if (const GTypePtr* hit = memo.find(facts->id)) {
         interner.note_subst_memo(true);
-        return it->second;
+        return *hit;
       }
       interner.note_subst_memo(false);
     }
@@ -330,7 +330,7 @@ struct GVarSubstituter {
         },
         g->node);
     if (use_memo && facts != nullptr) {
-      memo.emplace(facts->id, result);
+      memo.put(facts->id, result);
     }
     return result;
   }

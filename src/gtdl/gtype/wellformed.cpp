@@ -6,6 +6,7 @@
 #include "gtdl/gtype/intern.hpp"
 #include "gtdl/obs/trace.hpp"
 #include "gtdl/support/budget.hpp"
+#include "gtdl/support/flat_memo.hpp"
 #include "gtdl/support/overloaded.hpp"
 
 namespace gtdl {
@@ -47,8 +48,8 @@ class WfChecker {
                         facts->free_gvars.empty() &&
                         !facts->bound_vertices.intersects(scope_bits_);
     if (closed) {
-      if (auto it = closed_memo_.find(facts->id); it != closed_memo_.end()) {
-        return Outcome{it->second, {}};
+      if (const GraphKind* hit = closed_memo_.find(facts->id)) {
+        return Outcome{*hit, {}};
       }
     }
     // Chains of ';'/'|' parse iteratively, so syntactically valid input
@@ -62,7 +63,7 @@ class WfChecker {
     auto result = check_uncached(g, std::move(avail));
     --depth_;
     // Only successes are reusable (failures must re-report diagnostics).
-    if (closed && result) closed_memo_.emplace(facts->id, result->kind);
+    if (closed && result) closed_memo_.put(facts->id, result->kind);
     return result;
   }
 
@@ -364,7 +365,7 @@ class WfChecker {
   std::size_t depth_ = 0;
   SymbolBitset scope_bits_;  // scope_ mirrored over the interner index
   std::unordered_map<Symbol, GraphKind> gvars_;
-  std::unordered_map<std::uint64_t, GraphKind> closed_memo_;
+  LeasedMemo<std::uint64_t, GraphKind> closed_memo_;
 };
 
 }  // namespace

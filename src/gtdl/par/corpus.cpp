@@ -10,6 +10,7 @@
 #include "gtdl/detect/deadlock.hpp"
 #include "gtdl/detect/gml_baseline.hpp"
 #include "gtdl/frontend/driver.hpp"
+#include "gtdl/graph/graph.hpp"
 #include "gtdl/gtype/parse.hpp"
 #include "gtdl/gtype/wellformed.hpp"
 #include "gtdl/mml/driver.hpp"
@@ -221,6 +222,16 @@ FileReport analyze_file_unguarded(const std::string& path,
 
 }  // namespace
 
+namespace {
+
+// Matches GroundDeadlockScanner's default retention cap: a file task's
+// thread keeps its scan arena warm for the next file it picks up, but a
+// pathological file's high-water allocation is returned at the file
+// boundary instead of riding along for the rest of the corpus run.
+constexpr std::size_t kFileArenaTrimBytes = 8u << 20;
+
+}  // namespace
+
 FileReport analyze_file(const std::string& path, const CorpusOptions& options,
                         Engine* engine) {
   // A corpus run must never lose the whole batch to one bad file: an
@@ -230,8 +241,11 @@ FileReport analyze_file(const std::string& path, const CorpusOptions& options,
   // it into the per-file report instead; main prints exit>=2 reports to
   // stderr and the worst-exit-code logic does the rest.
   try {
-    return analyze_file_unguarded(path, options, engine);
+    FileReport report = analyze_file_unguarded(path, options, engine);
+    trim_scan_arena(kFileArenaTrimBytes);
+    return report;
   } catch (const std::exception& e) {
+    trim_scan_arena(kFileArenaTrimBytes);
     CorpusMetrics::get().errors.add();
     FileReport report;
     report.path = path;
@@ -244,6 +258,7 @@ FileReport analyze_file(const std::string& path, const CorpusOptions& options,
     // harness deliberately throws a non-std type to prove this path, and
     // third-party code below could too. Same contract as above: fold into
     // a per-file exit-2 report, never lose the batch.
+    trim_scan_arena(kFileArenaTrimBytes);
     CorpusMetrics::get().errors.add();
     FileReport report;
     report.path = path;

@@ -18,6 +18,7 @@
 #include "gtdl/par/thread_pool.hpp"
 #include "gtdl/support/budget.hpp"
 #include "gtdl/support/fault.hpp"
+#include "gtdl/support/flat_memo.hpp"
 #include "gtdl/support/overloaded.hpp"
 
 namespace gtdl {
@@ -123,6 +124,13 @@ class ParNormalizer {
                   GTypeInterner::instance().memoization_enabled()),
         fork_budget_(static_cast<std::size_t>(threads) * 8) {}
 
+  // Entry cells hold full result vectors whose validity is tied to THIS
+  // run's truncation state; destroy them with the run (the leased slot
+  // arrays themselves stay pooled and warm).
+  ~ParNormalizer() {
+    for (Shard& shard : shards_) shard.memo.purge_on_release();
+  }
+
   NormalizeResult run(const GTypePtr& g, unsigned n) {
     NormalizeResult result;
     result.graphs = norm(g, n, 0);
@@ -164,9 +172,15 @@ class ParNormalizer {
     bool valid = false;
     std::vector<GraphExprPtr> graphs;
   };
+  // The container behind each shard is the same leased flat table the
+  // sequential memos use (or the pre-flat unordered_map in compat mode);
+  // all access stays under the shard mutex, so the owner/waiter protocol
+  // is untouched. The lease is acquired and released on the thread that
+  // owns the ParNormalizer, which is also where TLS pooling keeps the
+  // slot arrays warm across corpus files.
   struct Shard {
     std::mutex mu;
-    std::unordered_map<MemoKey, std::shared_ptr<MemoEntry>, MemoKeyHash> map;
+    LeasedMemo<MemoKey, std::shared_ptr<MemoEntry>, MemoKeyHash> memo;
   };
   static constexpr std::size_t kShards = 32;
 
@@ -320,9 +334,9 @@ class ParNormalizer {
       bool owner = false;
       {
         std::lock_guard lock(shard.mu);
-        auto [it, inserted] = shard.map.try_emplace(key);
-        if (inserted) it->second = std::make_shared<MemoEntry>();
-        entry = it->second;
+        auto [slot, inserted] = shard.memo.try_emplace(key);
+        if (inserted) *slot = std::make_shared<MemoEntry>();
+        entry = *slot;
         owner = inserted;
       }
       auto& interner = GTypeInterner::instance();

@@ -35,7 +35,7 @@ void GroundDeadlockScanner::flush() {
   if (options_.budget != nullptr &&
       options_.budget->checkpoint(batch_.size())) {
     aborted_ = true;
-    arena_.shrink();
+    release_scan_arena();
     batch_.clear();
     return;
   }
@@ -50,13 +50,17 @@ void GroundDeadlockScanner::flush() {
   if (options_.budget != nullptr && !found_ &&
       options_.budget->exhausted()) {
     aborted_ = true;
-    arena_.shrink();
+    release_scan_arena();
   }
 }
 
 void GroundDeadlockScanner::flush_sequential() {
+  // The whole batch runs on this thread's scan arena: one marks/rows
+  // allocation amortized over every graph in the batch, and — because
+  // the arena is thread_local rather than scanner-owned — still warm
+  // for the next scanner this thread constructs (the next corpus file).
   for (const GraphExprPtr& graph : batch_) {
-    const GroundDeadlock verdict = find_ground_deadlock(*graph, arena_);
+    const GroundDeadlock verdict = find_ground_deadlock(*graph);
     if (verdict.any()) {
       found_ = true;
       verdict_ = verdict;
@@ -68,8 +72,9 @@ void GroundDeadlockScanner::flush_sequential() {
   // arena only grows at lowering time, so per-batch granularity is
   // exact enough); a trip surfaces as aborted_ in flush().
   if (options_.budget != nullptr) {
-    options_.budget->check_memory(arena_.approx_bytes());
+    options_.budget->check_memory(scan_arena_bytes());
   }
+  trim_scan_arena(options_.arena_trim_bytes);
 }
 
 void GroundDeadlockScanner::flush_parallel() {
@@ -120,6 +125,9 @@ void GroundDeadlockScanner::flush_parallel() {
         if (options_.budget != nullptr) {
           options_.budget->check_memory(scan_arena_bytes());
         }
+        // Pool workers outlive this scan; keep their arenas warm for the
+        // next batch/file but never above the retention cap.
+        trim_scan_arena(options_.arena_trim_bytes);
       });
     }
     group.wait();

@@ -41,6 +41,12 @@ class GroundDeadlockScanner {
     // limit after each batch. A trip aborts the scan at the boundary —
     // aborted() distinguishes "gave up" from "scanned everything clean".
     Budget* budget = nullptr;
+    // Per-thread scan-arena retention cap. Scans run on the thread_local
+    // arena (so a worker's warm arena persists across batches, scanner
+    // instances, and corpus files); after each batch any arena grown past
+    // this cap is released so one pathological graph cannot pin its
+    // high-water bytes for the rest of the run.
+    std::size_t arena_trim_bytes = 8u << 20;
   };
 
   explicit GroundDeadlockScanner(const Options& options);
@@ -76,7 +82,6 @@ class GroundDeadlockScanner {
 
   Options options_;
   std::vector<GraphExprPtr> batch_;
-  GraphArena arena_;  // sequential-scan scratch, reused across batches
   std::size_t pushed_ = 0;
   std::size_t batch_start_ = 0;  // stream index of batch_[0]
   bool found_ = false;

@@ -1,0 +1,412 @@
+// Flat open-addressing memo tables with generation tags — the hot-path
+// replacement for the node-based std::unordered_map memos that every
+// analysis pass used to rebuild per call.
+//
+// Three properties drive the design (cf. the SP-order engineering of
+// Utterback et al., "Efficient Race Detection with Futures"):
+//
+//   1. FLAT STORAGE, LINEAR PROBING. One contiguous slot array, keys and
+//      values inline, probe sequence h, h+1, h+2, ... — a memo lookup is
+//      one cache line touch in the common case instead of a bucket
+//      pointer chase plus a node allocation per insert. At the enforced
+//      load bound (used slots <= 3/4 of capacity) the expected probe
+//      length of a successful lookup is (1 + 1/(1-alpha))/2 ~ 2.5 and of
+//      an insert (1 + 1/(1-alpha)^2)/2 ~ 8.5 — constants, independent of
+//      table size (Knuth TAOCP 6.4). The observed distribution is
+//      exported as the `memo.probe_len` histogram.
+//
+//   2. GENERATION TAGS, O(1) RESET. Every slot carries the generation it
+//      was written in; a table "clears" by bumping its current
+//      generation, instantly invalidating every live entry without
+//      touching a single slot. A fresh analysis therefore starts on a
+//      warm, already-sized table at zero cost — where the per-call
+//      unordered_map paid a full allocate/rehash/destroy cycle every
+//      time. Stale slots are reclaimed lazily: an insert reuses the
+//      first stale slot on its probe path, and a rehash (triggered by
+//      the load bound counting BOTH live and stale slots, which also
+//      guarantees probe termination) drops stale entries wholesale.
+//
+//   3. THREAD-AFFINE REUSE. Analyses lease tables from a thread_local
+//      pool (LeasedMemo below): the table a normalization warmed up
+//      stays with its worker thread and is handed, generation-bumped, to
+//      the next analysis that thread runs. Corpus runs settle into zero
+//      memo allocation per file.
+//
+// Values with nontrivial payload (the normalizer's graph vectors) are
+// destroyed lazily with their slots. So stale generations cannot pin
+// unbounded memory, each table tracks an inserted-payload hint
+// (flat_memo_payload_hint below) and the lease purges all values on
+// release once the hint crosses a threshold — or when the caller asks
+// (budget-cancelled analyses purge eagerly).
+//
+// The previous map-backed behavior remains available for differential
+// testing and benchmarking via set_flat_memo_enabled(false): call sites
+// sample the flag once per analysis (like GTypeInterner memoization) and
+// fall back to the exact pre-flat containers. Flat and map modes are
+// semantically identical — same hits, same misses, same verdicts — which
+// tests/test_flat_memo.cpp asserts and bench/bench_memo.cpp measures.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "gtdl/obs/metrics.hpp"
+
+namespace gtdl {
+
+namespace detail {
+// Process-wide toggle mirroring obs::g_stats_enabled: one relaxed load,
+// sampled once per analysis. Default on; tests and bench_memo flip it to
+// compare against the map-backed baseline.
+inline std::atomic<bool> g_flat_memo_enabled{true};
+}  // namespace detail
+
+[[nodiscard]] inline bool flat_memo_enabled() noexcept {
+  return detail::g_flat_memo_enabled.load(std::memory_order_relaxed);
+}
+
+// Returns the previous value. Like GTypeInterner::set_memoization this is
+// a between-analyses switch: flipping it mid-analysis is harmless for
+// correctness (each analysis sampled its mode at entry) but makes
+// hit/miss accounting incomparable.
+inline bool set_flat_memo_enabled(bool enabled) noexcept {
+  return detail::g_flat_memo_enabled.exchange(enabled,
+                                              std::memory_order_relaxed);
+}
+
+namespace memo_detail {
+
+// Shared instruments for every flat table in the process (one catalog
+// entry each; see docs/OBSERVABILITY.md "support" section). Mutations are
+// gated on the global stats flag inside obs, so the dormant cost is the
+// usual predictable branch.
+struct MemoInstruments {
+  obs::Histogram& probe_len;
+  obs::Counter& generation_resets;
+  obs::Counter& rehashes;
+  obs::Histogram& load_factor;
+
+  static MemoInstruments& get() {
+    static MemoInstruments* m = [] {
+      auto& reg = obs::MetricsRegistry::instance();
+      return new MemoInstruments{
+          reg.histogram(obs::MetricDesc{
+              "memo.probe_len", "support", "slots",
+              "linear-probe distance per flat-memo lookup"}),
+          reg.counter(obs::MetricDesc{
+              "memo.generation.resets", "support", "resets",
+              "O(1) generation bumps standing in for full memo clears"}),
+          reg.counter(obs::MetricDesc{
+              "memo.rehashes", "support", "tables",
+              "flat-memo rehashes (growth or stale-slot reclamation)"}),
+          reg.histogram(obs::MetricDesc{
+              "memo.load_factor", "support", "percent",
+              "live-slot load factor (percent) observed at each rehash"}),
+      };
+    }();
+    return *m;
+  }
+};
+
+}  // namespace memo_detail
+
+// Payload hints: how many "heavy" elements a value pins while its slot is
+// stale. The lease purges a table whose cumulative hint crosses
+// kPurgeHintThreshold. Scalar values pin nothing.
+template <typename T>
+std::size_t flat_memo_payload_hint(const T&) noexcept {
+  return 0;
+}
+template <typename T, typename A>
+std::size_t flat_memo_payload_hint(const std::vector<T, A>& v) noexcept {
+  return v.size();
+}
+
+// Open-addressing linear-probe hash table with generation-tagged slots.
+// Not thread-safe; shard externally (par/engine.cpp) or keep per-thread
+// (TlsMemoLease). Key must be equality-comparable and cheap to copy.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class FlatMemo {
+ public:
+  FlatMemo() = default;
+  FlatMemo(const FlatMemo&) = delete;
+  FlatMemo& operator=(const FlatMemo&) = delete;
+
+  // Pointer to the live value for `key`, or null. Stable until the next
+  // insert (which may rehash).
+  [[nodiscard]] Value* find(const Key& key) {
+    if (slots_.empty()) return nullptr;
+    std::size_t i = Hash{}(key) & mask_;
+    std::uint64_t probes = 0;
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.gen == 0) break;  // never-written: key absent
+      if (s.gen == gen_ && s.key == key) {
+        instruments_.probe_len.observe(probes);
+        return &s.value;
+      }
+      i = (i + 1) & mask_;
+      ++probes;
+    }
+    instruments_.probe_len.observe(probes);
+    return nullptr;
+  }
+
+  // Inserts or overwrites. Returns the stored value.
+  Value& put(const Key& key, Value value) {
+    auto [slot, inserted] = locate_for_insert(key);
+    if (inserted) {
+      payload_hint_ += flat_memo_payload_hint(value);
+    }
+    slot->key = key;
+    slot->value = std::move(value);  // move-assign frees any stale payload
+    return slot->value;
+  }
+
+  // Find-or-default-construct; `second` is true iff the entry is new.
+  // Matches unordered_map::try_emplace with no args — what the engine's
+  // owner-election needs under its shard lock.
+  std::pair<Value*, bool> try_emplace(const Key& key) {
+    auto [slot, inserted] = locate_for_insert(key);
+    if (inserted) {
+      slot->key = key;
+      slot->value = Value{};
+    }
+    return {&slot->value, inserted};
+  }
+
+  // O(1) logical clear: every live entry becomes stale. Values are
+  // reclaimed lazily by slot reuse / rehash / purge.
+  void reset() {
+    instruments_.generation_resets.add();
+    observe_load();
+    if (gen_ == ~std::uint32_t{0}) {
+      // Generation counter exhausted (2^32 - 1 resets): the one case
+      // where a full wipe is needed to keep tags unambiguous.
+      purge();
+      return;
+    }
+    ++gen_;
+    live_ = 0;
+  }
+
+  // Destroys every value and slot (capacity is kept so the table stays
+  // warm for its next lease). Used when lazily-pinned payload must go
+  // away NOW: budget-cancelled analyses, oversized retained payload.
+  void purge() {
+    for (Slot& s : slots_) {
+      if (s.gen != 0) s = Slot{};
+    }
+    used_ = 0;
+    live_ = 0;
+    gen_ = 1;
+    payload_hint_ = 0;
+  }
+
+  // One prefetch of the key's home slot — issued by the streaming
+  // normalizer for the rhs of a ⊕ before the lhs is enumerated, so the
+  // memo line is resident by the time the rhs lookup happens.
+  void prefetch(const Key& key) const {
+    if (slots_.empty()) return;
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&slots_[Hash{}(key) & mask_]);
+#endif
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return slots_.size();
+  }
+  [[nodiscard]] std::size_t payload_hint() const noexcept {
+    return payload_hint_;
+  }
+
+ private:
+  struct Slot {
+    Key key{};
+    std::uint32_t gen = 0;  // 0 = never written; == gen_ = live; else stale
+    Value value{};
+  };
+
+  static constexpr std::size_t kInitialCapacity = 64;
+
+  // Probe for `key`; if absent, claim the first reusable (stale or empty)
+  // slot on its probe path, rehashing first when the load bound would be
+  // crossed. Returns (slot, inserted).
+  std::pair<Slot*, bool> locate_for_insert(const Key& key) {
+    if (slots_.empty()) grow(kInitialCapacity);
+    // Load bound counts live AND stale slots: it both keeps probes short
+    // and guarantees a gen==0 slot always exists, so every probe loop
+    // terminates.
+    if ((used_ + 1) * 4 > slots_.size() * 3) {
+      grow(live_ * 2 >= slots_.size() ? slots_.size() * 2 : slots_.size());
+    }
+    std::size_t i = Hash{}(key) & mask_;
+    Slot* reusable = nullptr;
+    std::uint64_t probes = 0;
+    for (;;) {
+      Slot& s = slots_[i];
+      if (s.gen == 0) {
+        instruments_.probe_len.observe(probes);
+        ++live_;
+        if (reusable != nullptr) {
+          reusable->gen = gen_;
+          return {reusable, true};
+        }
+        ++used_;
+        s.gen = gen_;
+        return {&s, true};
+      }
+      if (s.gen == gen_) {
+        if (s.key == key) {
+          instruments_.probe_len.observe(probes);
+          return {&s, false};
+        }
+      } else if (reusable == nullptr) {
+        reusable = &s;  // stale: reclaim unless the key shows up live
+      }
+      i = (i + 1) & mask_;
+      ++probes;
+    }
+  }
+
+  void grow(std::size_t new_capacity) {
+    instruments_.rehashes.add();
+    observe_load();
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_capacity, Slot{});
+    mask_ = new_capacity - 1;
+    used_ = 0;
+    live_ = 0;
+    payload_hint_ = 0;
+    const std::uint32_t live_gen = gen_;
+    gen_ = 1;
+    for (Slot& s : old) {
+      if (s.gen != live_gen) continue;  // stale entries die with `old`
+      std::size_t i = Hash{}(s.key) & mask_;
+      while (slots_[i].gen != 0) i = (i + 1) & mask_;
+      slots_[i].key = s.key;
+      slots_[i].gen = gen_;
+      slots_[i].value = std::move(s.value);
+      ++used_;
+      ++live_;
+      payload_hint_ += flat_memo_payload_hint(slots_[i].value);
+    }
+  }
+
+  void observe_load() {
+    if (!slots_.empty()) {
+      instruments_.load_factor.observe(live_ * 100 / slots_.size());
+    }
+  }
+
+  // Resolved once per table: the function-local-static guard inside
+  // MemoInstruments::get() is an acquire load, too expensive to repeat on
+  // every probe. Tables are pooled, so construction is rare.
+  memo_detail::MemoInstruments& instruments_ =
+      memo_detail::MemoInstruments::get();
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t used_ = 0;  // slots with gen != 0 (live + stale)
+  std::size_t live_ = 0;  // slots with gen == gen_
+  std::uint32_t gen_ = 1;
+  std::size_t payload_hint_ = 0;  // heavy elements inserted since purge
+};
+
+// What analysis passes actually hold: a flat table leased from a
+// per-thread pool by default, or the exact pre-flat std::unordered_map
+// when set_flat_memo_enabled(false) — the mode is sampled once, at
+// construction, like every other per-analysis toggle. The facade narrows
+// the interface to the four operations the call sites share so the two
+// backends stay behaviorally interchangeable (differential-tested in
+// tests/test_flat_memo.cpp).
+//
+// Leasing: construction pops a warm table from the thread's free list
+// (generation-bumped so it starts logically empty) or allocates the
+// pool's next table; destruction returns it. Nested analyses on one
+// thread (substitution re-enters itself under binders) each lease their
+// own table. Release purges when the retained-payload hint is too big or
+// the caller flagged the run as cancelled — otherwise release is O(1)
+// and the table stays warm for the thread's next analysis.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LeasedMemo {
+ public:
+  using Table = FlatMemo<Key, Value, Hash>;
+
+  // Retained graph vectors past this many elements are eagerly destroyed
+  // on release; below it, lazy reclamation is cheaper than the walk.
+  static constexpr std::size_t kPurgeHintThreshold = 1u << 16;
+
+  LeasedMemo() {
+    if (!flat_memo_enabled()) return;  // map mode: table_ stays null
+    auto& free_list = pool();
+    if (free_list.empty()) {
+      table_ = std::make_unique<Table>();
+    } else {
+      table_ = std::move(free_list.back());
+      free_list.pop_back();
+      table_->reset();
+    }
+  }
+
+  ~LeasedMemo() {
+    if (table_ == nullptr) return;
+    if (purge_on_release_ ||
+        table_->payload_hint() >= kPurgeHintThreshold) {
+      table_->purge();
+    }
+    auto& free_list = pool();
+    if (free_list.size() < kMaxPooled) {
+      free_list.push_back(std::move(table_));
+    }
+  }
+
+  LeasedMemo(const LeasedMemo&) = delete;
+  LeasedMemo& operator=(const LeasedMemo&) = delete;
+
+  [[nodiscard]] Value* find(const Key& key) {
+    if (table_) return table_->find(key);
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  Value& put(const Key& key, Value value) {
+    if (table_) return table_->put(key, std::move(value));
+    return map_.insert_or_assign(key, std::move(value)).first->second;
+  }
+
+  std::pair<Value*, bool> try_emplace(const Key& key) {
+    if (table_) return table_->try_emplace(key);
+    auto [it, inserted] = map_.try_emplace(key);
+    return {&it->second, inserted};
+  }
+
+  void prefetch(const Key& key) const {
+    if (table_) table_->prefetch(key);
+  }
+
+  // Mark the leased table for eager value destruction on release — set
+  // when an analysis is cancelled mid-flight and its partial results
+  // must not linger in stale slots. No-op in map mode: the map dies
+  // with the facade anyway.
+  void purge_on_release() noexcept { purge_on_release_ = true; }
+
+ private:
+  static constexpr std::size_t kMaxPooled = 8;
+
+  static std::vector<std::unique_ptr<Table>>& pool() {
+    thread_local std::vector<std::unique_ptr<Table>> free_list;
+    return free_list;
+  }
+
+  std::unique_ptr<Table> table_;
+  bool purge_on_release_ = false;
+  std::unordered_map<Key, Value, Hash> map_;
+};
+
+}  // namespace gtdl

@@ -1,0 +1,441 @@
+// Differential tests for the flat open-addressing memo tables
+// (support/flat_memo.hpp). The contract under test: the flat backend and
+// the map backend it replaced are behaviorally interchangeable — same
+// lookup results at the container level, same verdicts / graph sets /
+// memo hit counts at the analysis level — and a generation reset after a
+// truncated or budget-cancelled run leaves no stale state behind for the
+// next analysis on the same thread.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gtdl/detect/counterexample.hpp"
+#include "gtdl/detect/deadlock.hpp"
+#include "gtdl/frontend/driver.hpp"
+#include "gtdl/gtype/gtype.hpp"
+#include "gtdl/gtype/intern.hpp"
+#include "gtdl/gtype/normalize.hpp"
+#include "gtdl/obs/metrics.hpp"
+#include "gtdl/par/corpus.hpp"
+#include "gtdl/par/engine.hpp"
+#include "gtdl/support/budget.hpp"
+#include "gtdl/support/flat_memo.hpp"
+
+namespace gtdl {
+namespace {
+
+// Restores the backend toggle on scope exit so a failing assertion in
+// one test cannot leak map mode into the rest of the binary.
+class ScopedFlatMemo {
+ public:
+  explicit ScopedFlatMemo(bool enabled)
+      : previous_(set_flat_memo_enabled(enabled)) {}
+  ~ScopedFlatMemo() { set_flat_memo_enabled(previous_); }
+  ScopedFlatMemo(const ScopedFlatMemo&) = delete;
+  ScopedFlatMemo& operator=(const ScopedFlatMemo&) = delete;
+
+ private:
+  bool previous_;
+};
+
+// --- FlatMemo container level ----------------------------------------------
+
+TEST(FlatMemo, FindOnEmptyTableMisses) {
+  FlatMemo<std::uint64_t, int> memo;
+  EXPECT_EQ(memo.find(7), nullptr);
+  EXPECT_EQ(memo.size(), 0u);
+}
+
+TEST(FlatMemo, PutThenFindAndOverwrite) {
+  FlatMemo<std::uint64_t, int> memo;
+  memo.put(7, 70);
+  ASSERT_NE(memo.find(7), nullptr);
+  EXPECT_EQ(*memo.find(7), 70);
+  memo.put(7, 71);  // insert_or_assign semantics
+  EXPECT_EQ(*memo.find(7), 71);
+  EXPECT_EQ(memo.size(), 1u);
+}
+
+TEST(FlatMemo, TryEmplaceElectsOneOwner) {
+  FlatMemo<std::uint64_t, int> memo;
+  auto [first, inserted_first] = memo.try_emplace(42);
+  EXPECT_TRUE(inserted_first);
+  *first = 5;
+  auto [second, inserted_second] = memo.try_emplace(42);
+  EXPECT_FALSE(inserted_second);
+  EXPECT_EQ(*second, 5);
+}
+
+TEST(FlatMemo, GenerationResetInvalidatesEverything) {
+  FlatMemo<std::uint64_t, int> memo;
+  for (std::uint64_t k = 0; k < 40; ++k) memo.put(k, static_cast<int>(k));
+  EXPECT_EQ(memo.size(), 40u);
+  memo.reset();
+  EXPECT_EQ(memo.size(), 0u);
+  for (std::uint64_t k = 0; k < 40; ++k) {
+    EXPECT_EQ(memo.find(k), nullptr) << "stale key " << k << " survived";
+  }
+  // The table is immediately reusable, and fresh writes win over the
+  // stale slots they reclaim.
+  memo.put(3, 33);
+  ASSERT_NE(memo.find(3), nullptr);
+  EXPECT_EQ(*memo.find(3), 33);
+}
+
+TEST(FlatMemo, GrowthKeepsLiveEntriesAndDropsStale) {
+  FlatMemo<std::uint64_t, std::uint64_t> memo;
+  for (std::uint64_t k = 0; k < 100; ++k) memo.put(k, k * 2);
+  memo.reset();  // 100 stale entries
+  // Enough live inserts to force growth past the stale population.
+  for (std::uint64_t k = 1000; k < 1800; ++k) memo.put(k, k * 3);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(memo.find(k), nullptr);
+  }
+  for (std::uint64_t k = 1000; k < 1800; ++k) {
+    ASSERT_NE(memo.find(k), nullptr) << k;
+    EXPECT_EQ(*memo.find(k), k * 3);
+  }
+}
+
+TEST(FlatMemo, ManyResetsStayCoherent) {
+  // The generation tag is the entire reset mechanism; hammer it.
+  FlatMemo<std::uint64_t, std::uint64_t> memo;
+  for (std::uint64_t round = 0; round < 1000; ++round) {
+    memo.put(round % 7, round);
+    ASSERT_NE(memo.find(round % 7), nullptr);
+    EXPECT_EQ(*memo.find(round % 7), round);
+    EXPECT_EQ(memo.size(), 1u);
+    memo.reset();
+    EXPECT_EQ(memo.find(round % 7), nullptr);
+  }
+}
+
+TEST(FlatMemo, PayloadHintTracksVectorInserts) {
+  FlatMemo<std::uint64_t, std::vector<int>> memo;
+  memo.put(1, std::vector<int>(100));
+  memo.put(2, std::vector<int>(50));
+  EXPECT_EQ(memo.payload_hint(), 150u);
+  memo.purge();
+  EXPECT_EQ(memo.payload_hint(), 0u);
+  EXPECT_EQ(memo.find(1), nullptr);
+  EXPECT_EQ(memo.find(2), nullptr);
+}
+
+// Differential fuzz against std::unordered_map: identical random op
+// sequences, identical observable results — including across resets,
+// which the reference models by clearing.
+TEST(FlatMemo, MatchesUnorderedMapOnRandomOps) {
+  std::mt19937_64 rng(0xf1a7);
+  FlatMemo<std::uint64_t, std::uint64_t> flat;
+  std::unordered_map<std::uint64_t, std::uint64_t> reference;
+  for (int op = 0; op < 20000; ++op) {
+    const std::uint64_t key = rng() % 512;  // enough collisions to matter
+    switch (rng() % 4) {
+      case 0: {  // put
+        const std::uint64_t value = rng();
+        flat.put(key, value);
+        reference.insert_or_assign(key, value);
+        break;
+      }
+      case 1: {  // try_emplace
+        auto [slot, inserted] = flat.try_emplace(key);
+        auto [it, ref_inserted] = reference.try_emplace(key);
+        ASSERT_EQ(inserted, ref_inserted) << "op " << op;
+        if (inserted) *slot = it->second = rng();
+        ASSERT_EQ(*slot, it->second) << "op " << op;
+        break;
+      }
+      case 2: {  // find
+        const std::uint64_t* hit = flat.find(key);
+        auto it = reference.find(key);
+        ASSERT_EQ(hit != nullptr, it != reference.end()) << "op " << op;
+        if (hit != nullptr) {
+          ASSERT_EQ(*hit, it->second) << "op " << op;
+        }
+        break;
+      }
+      case 3: {  // occasional epoch boundary
+        if (rng() % 64 == 0) {
+          flat.reset();
+          reference.clear();
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(flat.size(), reference.size());
+}
+
+// --- LeasedMemo facade ------------------------------------------------------
+
+TEST(LeasedMemo, FlatAndMapModesAgree) {
+  std::mt19937_64 rng(0x5eed);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ops;
+  for (int i = 0; i < 2000; ++i) ops.emplace_back(rng() % 128, rng());
+
+  const auto run = [&](bool flat_mode) {
+    ScopedFlatMemo mode(flat_mode);
+    LeasedMemo<std::uint64_t, std::uint64_t> memo;
+    std::vector<std::uint64_t> observations;
+    for (const auto& [key, value] : ops) {
+      if (const std::uint64_t* hit = memo.find(key)) {
+        observations.push_back(*hit);
+      } else {
+        observations.push_back(memo.put(key, value));
+      }
+    }
+    return observations;
+  };
+
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(LeasedMemo, LeaseStartsLogicallyEmptyAcrossReuse) {
+  ScopedFlatMemo mode(true);
+  {
+    LeasedMemo<std::uint64_t, int> first;
+    first.put(11, 1);
+  }
+  // The pooled table comes back warm but generation-bumped: nothing from
+  // the previous lease may be visible.
+  LeasedMemo<std::uint64_t, int> second;
+  EXPECT_EQ(second.find(11), nullptr);
+}
+
+TEST(LeasedMemo, NestedLeasesAreIndependent) {
+  ScopedFlatMemo mode(true);
+  LeasedMemo<std::uint64_t, int> outer;
+  outer.put(1, 10);
+  {
+    LeasedMemo<std::uint64_t, int> inner;  // distinct table from the pool
+    EXPECT_EQ(inner.find(1), nullptr);
+    inner.put(1, 20);
+    EXPECT_EQ(*outer.find(1), 10);
+  }
+  EXPECT_EQ(*outer.find(1), 10);
+}
+
+// --- Analysis level ---------------------------------------------------------
+
+// §3-style ⊕-alternation family (the memo-bound workload bench_memo
+// gates on): n "maybe spawn v_i" factors, then a touch-before-spawn
+// cycle on u.
+GTypePtr alternation_family(unsigned n) {
+  std::vector<Symbol> binders;
+  std::vector<GTypePtr> parts;
+  for (unsigned i = 1; i <= n; ++i) {
+    const Symbol v = Symbol::intern("v" + std::to_string(i));
+    binders.push_back(v);
+    parts.push_back(gt::alt(gt::empty(), gt::spawn(gt::empty(), v)));
+  }
+  const Symbol u = Symbol::intern("u");
+  binders.push_back(u);
+  parts.push_back(gt::touch(u));
+  parts.push_back(gt::spawn(gt::empty(), u));
+  return gt::nu_all(binders, gt::seq_all(std::move(parts)));
+}
+
+std::vector<std::string> alpha_keys(const NormalizeResult& result) {
+  std::vector<std::string> keys;
+  keys.reserve(result.graphs.size());
+  for (const GraphExprPtr& g : result.graphs) {
+    keys.push_back(graph_alpha_key(*g));
+  }
+  return keys;
+}
+
+std::uint64_t counter_value(const char* name) {
+  return obs::MetricsRegistry::instance()
+      .counter(obs::MetricDesc{name, "", "", ""})
+      .get();
+}
+
+struct MemoTraffic {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  friend bool operator==(const MemoTraffic&, const MemoTraffic&) = default;
+};
+
+// Runs `fn` with stats on and returns the norm-memo hit/miss deltas.
+template <typename Fn>
+MemoTraffic norm_memo_traffic(Fn&& fn) {
+  const bool was = obs::set_stats_enabled(true);
+  const std::uint64_t hits0 = counter_value("gtype.norm.memo_hits");
+  const std::uint64_t misses0 = counter_value("gtype.norm.memo_misses");
+  fn();
+  MemoTraffic traffic;
+  traffic.hits = counter_value("gtype.norm.memo_hits") - hits0;
+  traffic.misses = counter_value("gtype.norm.memo_misses") - misses0;
+  obs::set_stats_enabled(was);
+  return traffic;
+}
+
+TEST(FlatMemoAnalysis, SameGraphsAndMemoTrafficOnAlternationFamily) {
+  for (unsigned n : {4u, 8u}) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    const GTypePtr g = alternation_family(n);
+
+    NormalizeResult flat_result;
+    MemoTraffic flat_traffic;
+    {
+      ScopedFlatMemo mode(true);
+      flat_traffic =
+          norm_memo_traffic([&] { flat_result = normalize(g, 1); });
+    }
+    NormalizeResult map_result;
+    MemoTraffic map_traffic;
+    {
+      ScopedFlatMemo mode(false);
+      map_traffic =
+          norm_memo_traffic([&] { map_result = normalize(g, 1); });
+    }
+
+    ASSERT_FALSE(flat_result.truncated);
+    ASSERT_FALSE(map_result.truncated);
+    EXPECT_EQ(flat_result.steps, map_result.steps);
+    EXPECT_EQ(alpha_keys(flat_result), alpha_keys(map_result));
+    // Not just the same answer: the same memo behavior — every hit in
+    // one backend is a hit in the other.
+    EXPECT_EQ(flat_traffic, map_traffic);
+  }
+}
+
+TEST(FlatMemoAnalysis, SameVerdictsOnExamplePrograms) {
+  unsigned checked = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(GTDL_PROGRAMS_DIR)) {
+    if (entry.path().extension() != ".fut") continue;
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in.good()) << entry.path();
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    DiagnosticEngine diags;
+    auto compiled = compile_futlang(buf.str(), diags);
+    if (!compiled.has_value()) continue;  // gallery inference failures
+    ++checked;
+    SCOPED_TRACE(entry.path().filename().string());
+    const GTypePtr g = compiled->inferred.program_gtype;
+
+    DeadlockVerdict flat_verdict;
+    {
+      ScopedFlatMemo mode(true);
+      flat_verdict = check_deadlock_freedom(g);
+    }
+    DeadlockVerdict map_verdict;
+    {
+      ScopedFlatMemo mode(false);
+      map_verdict = check_deadlock_freedom(g);
+    }
+    EXPECT_EQ(flat_verdict.deadlock_free, map_verdict.deadlock_free);
+    EXPECT_EQ(flat_verdict.verdict, map_verdict.verdict);
+    // Byte-identical rejection text, not just the same boolean.
+    EXPECT_EQ(flat_verdict.diags.render(), map_verdict.diags.render());
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(FlatMemoAnalysis, TruncatedRunLeavesNoStaleStateBehind) {
+  ScopedFlatMemo mode(true);
+  const GTypePtr g = counterexample_gtype(2);
+
+  // Map-mode reference, computed first so the flat runs below cannot
+  // influence it.
+  NormalizeResult reference;
+  {
+    ScopedFlatMemo map_mode(false);
+    reference = normalize(g, 8);
+  }
+  ASSERT_FALSE(reference.truncated);
+
+  // A truncated analysis purges its leased memo on release (partial
+  // results under a cut-off stream are not valid for reuse) ...
+  NormalizeLimits tiny;
+  tiny.max_steps = 10;
+  const NormalizeResult truncated = normalize(g, 8, tiny);
+  EXPECT_TRUE(truncated.truncated);
+
+  // ... so the next analysis on this thread, which leases the same
+  // pooled table, must reproduce the reference exactly.
+  const NormalizeResult full = normalize(g, 8);
+  ASSERT_FALSE(full.truncated);
+  EXPECT_EQ(full.steps, reference.steps);
+  EXPECT_EQ(alpha_keys(full), alpha_keys(reference));
+}
+
+TEST(FlatMemoAnalysis, BudgetCancelledDetectRecoversOnRerun) {
+  ScopedFlatMemo mode(true);
+  const GTypePtr g = counterexample_gtype(2);
+
+  Budget::Limits limits;
+  limits.max_steps = 3;  // trips inside the WF/DF kinding
+  Budget budget(limits);
+  DetectOptions cancelled_options;
+  cancelled_options.budget = &budget;
+  const DeadlockVerdict cancelled = check_deadlock_freedom(g, cancelled_options);
+  EXPECT_EQ(cancelled.verdict, Verdict::kUnknown);
+
+  // The cancelled run's memos (wellformed + DF closed-kind tables) were
+  // released mid-analysis; the unbudgeted rerun must still match the
+  // map-backed reference byte for byte.
+  const DeadlockVerdict rerun = check_deadlock_freedom(g);
+  DeadlockVerdict reference;
+  {
+    ScopedFlatMemo map_mode(false);
+    reference = check_deadlock_freedom(g);
+  }
+  EXPECT_EQ(rerun.verdict, reference.verdict);
+  EXPECT_EQ(rerun.deadlock_free, reference.deadlock_free);
+  EXPECT_EQ(rerun.diags.render(), reference.diags.render());
+}
+
+// Fresh-name suffixes ("u$17") depend on the global fresh counter, which
+// advances across runs in one process; strip them before comparing (the
+// same normalization test_parallel's corpus determinism tests use — in
+// separate processes the reports are byte-identical, suffixes included).
+std::string strip_fresh_suffixes(const std::string& text) {
+  static const std::regex suffix("\\$[0-9]+");
+  return std::regex_replace(text, suffix, "$");
+}
+
+TEST(FlatMemoAnalysis, EngineVerdictsByteIdenticalAcrossJobs) {
+  ScopedFlatMemo mode(true);
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(GTDL_PROGRAMS_DIR)) {
+    if (entry.path().extension() == ".fut" ||
+        entry.path().extension() == ".mml") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_FALSE(files.empty());
+
+  CorpusOptions jobs1;
+  jobs1.jobs = 1;
+  const CorpusReport report1 = drive_corpus(files, jobs1);
+  CorpusOptions jobs4;
+  jobs4.jobs = 4;
+  const CorpusReport report4 = drive_corpus(files, jobs4);
+
+  ASSERT_EQ(report1.files.size(), report4.files.size());
+  EXPECT_EQ(report1.exit_code, report4.exit_code);
+  for (std::size_t i = 0; i < report1.files.size(); ++i) {
+    SCOPED_TRACE(report1.files[i].path);
+    EXPECT_EQ(report1.files[i].exit_code, report4.files[i].exit_code);
+    EXPECT_EQ(strip_fresh_suffixes(report1.files[i].text),
+              strip_fresh_suffixes(report4.files[i].text));
+  }
+}
+
+}  // namespace
+}  // namespace gtdl
