@@ -1,0 +1,245 @@
+// Trace-ingestion throughput — E14 (EXPERIMENTS.md).
+//
+// `fdlc --ingest` is meant to sit in the inner loop of a trace-driven
+// workflow (run the suite, dump every execution, ingest the lot), so
+// its merge cost is a budgeted quantity like any analysis. This bench
+// prices the full reader path — shard parse, seq-sort, validation,
+// bottom-up stitch, CSR lowering + deadlock scan — on synthetic
+// multi-shard dump sets of two adversarial shapes:
+//
+//   wide    a two-level spawn tree (root spawns √N group threads, each
+//           spawning/touching √N workers): per-record parse cost
+//           dominates, stitching is broad and shallow;
+//   chain   future k spawned by future k-1, touched on the way back:
+//           maximally nested stitching, every spawn crosses shards
+//           (first-appearance sharding scatters parent and child).
+//
+// Reported per shape/size: parse+merge wall time (min of 5), sustained
+// records/sec, and the process peak-RSS delta across the merge — the
+// resident high-water cost of holding one dump set's records + graph.
+// Results go to bench_ingest.json (Release bench smoke uploads it).
+
+#include <benchmark/benchmark.h>
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gtdl/graph/graph.hpp"
+#include "gtdl/ingest/ingest.hpp"
+#include "gtdl/ingest/trace_writer.hpp"
+#include "gtdl/support/symbol.hpp"
+
+namespace {
+
+using namespace gtdl;
+namespace fs = std::filesystem;
+
+constexpr unsigned kShards = 8;
+constexpr int kRepeats = 5;
+
+long peak_rss_kb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // KiB on Linux
+}
+
+// Writes a dump set under `base` and returns its shard paths. The
+// `groups` × `per_group` spawn tree keeps every thread's action list
+// modest — the GESeq chain a thread's body folds into is binary, so
+// per-thread action count, not total records, bounds the rebuilt
+// expression's depth.
+std::vector<std::string> write_wide(const std::string& base,
+                                    std::size_t groups,
+                                    std::size_t per_group) {
+  ingest::TraceDumpWriter::Options options;
+  options.shards = kShards;
+  ingest::TraceDumpWriter writer(base, options);
+  const Symbol main_thread = Symbol::intern("main");
+  std::vector<Symbol> group_names;
+  group_names.reserve(groups);
+  for (std::size_t g = 0; g < groups; ++g) {
+    group_names.push_back(Symbol::intern("g" + std::to_string(g)));
+    writer.record_spawn(main_thread, group_names.back());
+    std::vector<Symbol> workers;
+    workers.reserve(per_group);
+    for (std::size_t w = 0; w < per_group; ++w) {
+      workers.push_back(
+          Symbol::intern("g" + std::to_string(g) + "w" + std::to_string(w)));
+      writer.record_spawn(group_names.back(), workers.back());
+    }
+    for (const Symbol& worker : workers) {
+      writer.record_touch(group_names.back(), worker);
+      writer.record_resolve(worker);
+    }
+    writer.record_resolve(group_names.back());
+  }
+  for (const Symbol& name : group_names) {
+    writer.record_touch(main_thread, name);
+  }
+  std::string error;
+  auto paths = writer.flush(&error);
+  if (!error.empty()) throw std::runtime_error(error);
+  return paths;
+}
+
+std::vector<std::string> write_chain(const std::string& base,
+                                     std::size_t depth) {
+  ingest::TraceDumpWriter::Options options;
+  options.shards = kShards;
+  ingest::TraceDumpWriter writer(base, options);
+  std::vector<Symbol> names;
+  names.reserve(depth + 1);
+  names.push_back(Symbol::intern("main"));
+  for (std::size_t i = 1; i <= depth; ++i) {
+    names.push_back(Symbol::intern("c" + std::to_string(i)));
+    writer.record_spawn(names[i - 1], names[i]);
+  }
+  for (std::size_t i = depth; i >= 1; --i) {
+    writer.record_touch(names[i - 1], names[i]);
+    writer.record_resolve(names[i]);
+  }
+  std::string error;
+  auto paths = writer.flush(&error);
+  if (!error.empty()) throw std::runtime_error(error);
+  return paths;
+}
+
+struct IngestRow {
+  const char* shape;
+  std::size_t futures;
+  std::size_t records;
+  double merge_ms;          // min over kRepeats
+  double records_per_sec;   // at the min
+  long peak_rss_delta_kb;   // RSS high-water growth across the repeats
+};
+
+IngestRow measure(const char* shape, std::size_t futures,
+                  const std::vector<std::string>& files) {
+  IngestRow row{shape, futures, 0, 1e300, 0.0, 0};
+  const long rss_before = peak_rss_kb();
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const ingest::MergedTrace merged = ingest::merge_trace_dumps(files);
+    const auto stop = std::chrono::steady_clock::now();
+    if (!merged.ok) throw std::runtime_error(merged.diags.render());
+    if (find_ground_deadlock(*merged.graph).any()) {
+      throw std::runtime_error("synthetic dump must be deadlock-free");
+    }
+    row.records = merged.records;
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (ms < row.merge_ms) row.merge_ms = ms;
+  }
+  row.records_per_sec =
+      static_cast<double>(row.records) / (row.merge_ms / 1000.0);
+  row.peak_rss_delta_kb = peak_rss_kb() - rss_before;
+  return row;
+}
+
+void print_rows(const std::vector<IngestRow>& rows) {
+  std::printf("E14: ingest merge throughput (%u shards, min of %d)\n\n",
+              kShards, kRepeats);
+  std::printf("%-8s %10s %10s %12s %14s %14s\n", "shape", "futures",
+              "records", "merge ms", "records/sec", "peakRSS dKiB");
+  for (const IngestRow& r : rows) {
+    std::printf("%-8s %10zu %10zu %12.3f %14.0f %14ld\n", r.shape,
+                r.futures, r.records, r.merge_ms, r.records_per_sec,
+                r.peak_rss_delta_kb);
+  }
+  std::printf("\n");
+}
+
+int write_json(const std::vector<IngestRow>& rows) {
+  std::FILE* json = std::fopen("bench_ingest.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write bench_ingest.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"shards\": %u,\n  \"workloads\": [", kShards);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const IngestRow& r = rows[i];
+    std::fprintf(json,
+                 "%s\n    {\"shape\": \"%s\", \"futures\": %zu, "
+                 "\"records\": %zu, \"merge_ms\": %.3f, "
+                 "\"records_per_sec\": %.0f, \"peak_rss_delta_kb\": %ld}",
+                 i == 0 ? "" : ",", r.shape, r.futures, r.records,
+                 r.merge_ms, r.records_per_sec, r.peak_rss_delta_kb);
+  }
+  std::fprintf(json, "\n  ],\n");
+  bench::write_json_env(json);
+  std::fprintf(json, ",\n");
+  bench::write_json_metrics(json);
+  std::fprintf(json, "\n}\n");
+  std::fclose(json);
+  std::printf("wrote bench_ingest.json\n");
+  return 0;
+}
+
+// google-benchmark micro view of the same path, small fixed set.
+std::vector<std::string>& micro_files() {
+  static std::vector<std::string>* files = [] {
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("gtdl_bench_ingest_micro_" + std::to_string(::getpid()));
+    fs::create_directories(dir);
+    return new std::vector<std::string>(
+        write_wide((dir / "micro").string(), 16, 16));
+  }();
+  return *files;
+}
+
+void BM_MergeWide256(benchmark::State& state) {
+  const std::vector<std::string>& files = micro_files();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ingest::merge_trace_dumps(files));
+  }
+}
+BENCHMARK(BM_MergeWide256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const fs::path dir = fs::temp_directory_path() /
+                       ("gtdl_bench_ingest_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+
+  std::vector<IngestRow> rows;
+  try {
+    for (const std::size_t side : {32UL, 100UL, 224UL}) {  // ~1k/10k/50k
+      const std::size_t futures = side * side + side;
+      const std::string base =
+          (dir / ("wide" + std::to_string(futures))).string();
+      rows.push_back(measure("wide", futures, write_wide(base, side, side)));
+    }
+    // Chain depth caps at 4k: the nesting of the rebuilt GraphExpr equals
+    // the spawn depth, and the downstream scanners recurse over that tree
+    // (no real runtime nests futures deeper; the stitcher itself is
+    // iterative and has no such cap).
+    for (const std::size_t n : {500UL, 2'000UL, 4'000UL}) {
+      const std::string base = (dir / ("chain" + std::to_string(n))).string();
+      rows.push_back(measure("chain", n, write_chain(base, n)));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_ingest: %s\n", e.what());
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+    return 1;
+  }
+  print_rows(rows);
+  const int rc = write_json(rows);
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  if (rc != 0) return rc;
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

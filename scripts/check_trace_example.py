@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Execute docs/TRACE_FORMAT.md's worked example verbatim and diff it.
+
+The spec's worked example carries three shard files (fenced ``json``
+blocks introduced by ``File `dump.K.json`:``) and a ``console``
+transcript of ingesting them. This script writes the shards to a temp
+directory, runs the documented ``fdlc --ingest`` command against them,
+and fails if stdout or the exit code differ from the transcript — so
+the normative document cannot drift from the implementation.
+
+Usage: scripts/check_trace_example.py path/to/fdlc [path/to/TRACE_FORMAT.md]
+"""
+
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SHARD_RE = re.compile(
+    r"File `(dump\.\d+\.json)`:\s*\n\n```json\n(.*?)```", re.DOTALL
+)
+CONSOLE_RE = re.compile(
+    r"```console\n\$ fdlc --ingest '([^']+)'\n(.*?)\$ echo \$\?\n(\d+)\n```",
+    re.DOTALL,
+)
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip().splitlines()[-1], file=sys.stderr)
+        return 2
+    fdlc = Path(sys.argv[1]).resolve()
+    doc = Path(
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else Path(__file__).resolve().parent.parent / "docs" / "TRACE_FORMAT.md"
+    )
+    text = doc.read_text(encoding="utf-8")
+
+    shards = SHARD_RE.findall(text)
+    if len(shards) != 3:
+        print(f"{doc}: expected 3 worked-example shard blocks, found "
+              f"{len(shards)}", file=sys.stderr)
+        return 1
+    transcript = CONSOLE_RE.search(text)
+    if not transcript:
+        print(f"{doc}: no console transcript block found", file=sys.stderr)
+        return 1
+    pattern, expected_out, expected_exit = transcript.groups()
+
+    with tempfile.TemporaryDirectory(prefix="gtdl-trace-example-") as tmp:
+        for name, body in shards:
+            (Path(tmp) / name).write_text(body, encoding="utf-8")
+        proc = subprocess.run(
+            [str(fdlc), "--ingest", pattern],
+            cwd=tmp,
+            capture_output=True,
+            text=True,
+        )
+
+    ok = True
+    if proc.stdout != expected_out:
+        ok = False
+        print("worked example output drifted from the implementation:",
+              file=sys.stderr)
+        print("--- documented ---", file=sys.stderr)
+        sys.stderr.write(expected_out)
+        print("--- actual ---", file=sys.stderr)
+        sys.stderr.write(proc.stdout)
+    if proc.returncode != int(expected_exit):
+        ok = False
+        print(f"worked example exit code drifted: documented {expected_exit}, "
+              f"actual {proc.returncode}", file=sys.stderr)
+    if ok:
+        print(f"{doc.name}: worked example verified against {fdlc.name} "
+              f"(exit {proc.returncode})")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,11 @@
 //                                     shared interner; reports print in
 //                                     input order and the exit code is
 //                                     the worst per-file code
+//   fdlc --ingest 'dump.*.json'       merge a runtime trace dump
+//                                     (docs/TRACE_FORMAT.md) and judge
+//                                     the OBSERVED dependency graph;
+//                                     several patterns = one dump set
+//                                     each, --jobs N parallel
 //
 // Options (the full reference with examples lives in README "CLI
 // reference" and docs/OBSERVABILITY.md):
@@ -25,6 +30,10 @@
 //   --unrolls N         baseline per-binding unroll bound (default 2)
 //   --run               execute the program; report the dynamic verdict
 //                       and judge the trace under Transitive/Known Joins
+//   --trace-graph BASE  with --run: dump the execution's dependency
+//                       trace as BASE.<k>.json shards (the
+//                       GTDL_GRAPH_DUMP env var is the equivalent, and
+//                       also works for FutureRuntime embedders)
 //   --rand a,b,c        rand() script for --run
 //   --seed N            rand() fallback seed for --run
 //   --dot FILE          write the executed dependency graph as Graphviz
@@ -45,7 +54,10 @@
 // Exit code: 0 = analyzed deadlock-free, 1 = possible deadlock reported,
 // 2 = usage/compile error, 3 = analysis gave up (resource budget
 // exhausted; the verdict is unknown). Corpus mode exits with the maximum
-// over its files.
+// over its files. In --ingest mode the same codes read OBSERVED: 0 = no
+// deadlock observed (one execution; not a freedom proof), 1 = the traced
+// execution deadlocked, 2 = malformed dump, 3 = budget exhausted — the
+// full table lives in README "CLI reference".
 
 #include <cerrno>
 #include <cstdio>
@@ -71,6 +83,8 @@
 #include "gtdl/graph/graph.hpp"
 #include "gtdl/gtype/parse.hpp"
 #include "gtdl/gtype/wellformed.hpp"
+#include "gtdl/ingest/ingest.hpp"
+#include "gtdl/ingest/trace_writer.hpp"
 #include "gtdl/support/budget.hpp"
 #include "gtdl/support/fault.hpp"
 #include "gtdl/tj/join_policy.hpp"
@@ -90,6 +104,11 @@ struct CliOptions {
   bool baseline = false;
   unsigned unrolls = 2;
   bool run = false;
+  // --ingest: program_files holds dump-set glob patterns, not sources.
+  bool ingest = false;
+  // --trace-graph BASE (with --run): dump the execution's dependency
+  // trace as BASE.<k>.json.
+  std::string trace_graph_base;
   std::vector<std::int64_t> rand_script;
   std::uint64_t seed = 1;
   std::string dot_file;
@@ -122,11 +141,12 @@ void usage() {
       "usage: fdlc <program.fut> [<more files>...] [options]\n"
       "       fdlc --gtype '<graph type>' [options]\n"
       "       fdlc --gtype-file <file> [options]\n"
+      "       fdlc --ingest '<dump.*.json>' [<more patterns>...] [options]\n"
       "options: --jobs N --dump-gtype --no-new-push --max-iters N\n"
       "         --baseline --unrolls N --run --rand a,b,c --seed N\n"
-      "         --dot FILE --print-trace --stats[=json[:FILE]]\n"
-      "         --trace FILE --timeout-ms N --budget-steps N\n"
-      "         --budget-mb N --fault POINT:RATE:SEED\n"
+      "         --trace-graph BASE --dot FILE --print-trace\n"
+      "         --stats[=json[:FILE]] --trace FILE --timeout-ms N\n"
+      "         --budget-steps N --budget-mb N --fault POINT:RATE:SEED\n"
       "notes:   --jobs 0 means \"one worker per hardware thread\";\n"
       "         --max-iters must be >= 1 (0 is rejected: zero Mycroft\n"
       "         iterations cannot infer any signature)\n";
@@ -191,6 +211,12 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       opts.baseline = true;
     } else if (arg == "--run") {
       opts.run = true;
+    } else if (arg == "--ingest") {
+      opts.ingest = true;
+    } else if (arg == "--trace-graph") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opts.trace_graph_base = v;
     } else if (arg == "--print-trace") {
       opts.print_trace = true;
     } else if (arg == "--stats") {
@@ -293,9 +319,32 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     usage();
     return std::nullopt;
   }
+  if (opts.ingest) {
+    if (opts.run || opts.baseline || !opts.gtype_text.empty() ||
+        !opts.gtype_file.empty() || !opts.trace_graph_base.empty()) {
+      std::cerr << "fdlc: --ingest takes dump patterns only (not combinable "
+                   "with --run/--baseline/--gtype/--trace-graph)\n";
+      return std::nullopt;
+    }
+    if (opts.program_files.empty()) {
+      std::cerr << "fdlc: --ingest needs at least one dump pattern, e.g. "
+                   "'graphdump.*.json'\n";
+      return std::nullopt;
+    }
+    if (!opts.dot_file.empty() && opts.program_files.size() != 1) {
+      std::cerr << "fdlc: --dot with --ingest requires exactly one dump "
+                   "set\n";
+      return std::nullopt;
+    }
+  }
   if (opts.run && opts.program_files.size() != 1) {
     std::cerr << "fdlc: --run requires exactly one FutLang program (no "
                  "corpus mode)\n";
+    return std::nullopt;
+  }
+  if (!opts.trace_graph_base.empty() && !opts.run) {
+    std::cerr << "fdlc: --trace-graph requires --run (it dumps the "
+                 "executed dependency trace)\n";
     return std::nullopt;
   }
   return opts;
@@ -407,6 +456,23 @@ int run_program(const gtdl::Program& program, const CliOptions& opts) {
   std::optional<Budget> watchdog;
   if (has_budget(opts)) watchdog.emplace(budget_limits(opts));
   interp_options.budget = watchdog ? &*watchdog : nullptr;
+  // --trace-graph (or the GTDL_GRAPH_DUMP env equivalent): record the
+  // execution's dependency trace for later `fdlc --ingest`. A deadlocked
+  // execution still flushes a complete, re-ingestable dump.
+  std::string dump_base = opts.trace_graph_base;
+  if (dump_base.empty()) {
+    if (const char* env = std::getenv("GTDL_GRAPH_DUMP");
+        env != nullptr && *env != '\0') {
+      dump_base = env;
+    }
+  }
+  std::optional<ingest::TraceDumpWriter> dump;
+  if (!dump_base.empty()) {
+    ingest::TraceDumpWriter::Options dump_options;
+    dump_options.program = opts.program_files.front();
+    dump.emplace(dump_base, dump_options);
+    interp_options.graph_dump = &*dump;
+  }
   const InterpResult result = interpret(program, interp_options);
   if (!result.output.empty()) {
     std::cout << "--- program output ---\n" << result.output
@@ -438,11 +504,62 @@ int run_program(const gtdl::Program& program, const CliOptions& opts) {
     out << graph.to_dot("execution");
     std::cout << "wrote " << opts.dot_file << "\n";
   }
+  if (dump.has_value()) {
+    std::string flush_error;
+    const std::vector<std::string> shards = dump->flush(&flush_error);
+    if (!flush_error.empty()) {
+      std::cerr << "fdlc: --trace-graph: " << flush_error << "\n";
+      return 2;
+    }
+    std::cout << "wrote trace dump: " << shards.size() << " shards at "
+              << dump_base << ".*.json (" << dump->record_count()
+              << " records)\n";
+  }
   return result.budget_exhausted ? 3 : 0;
+}
+
+// --ingest mode: every positional argument is one dump-set glob pattern.
+// The per-set report text is fully rendered inside the ingest layer from
+// the dump's own stable ids, so output is byte-identical across --jobs.
+int run_ingest(const CliOptions& opts) {
+  using namespace gtdl;
+  ingest::IngestOptions ingest_options;
+  ingest_options.jobs = std::max(1u, opts.jobs);
+  ingest_options.print_trace = opts.print_trace;
+  ingest_options.dot_file = opts.dot_file;
+  ingest_options.timeout_ms = opts.timeout_ms;
+  ingest_options.budget_steps = opts.budget_steps;
+  ingest_options.budget_mb = opts.budget_mb;
+  if (opts.program_files.size() == 1) {
+    const ingest::IngestReport report =
+        ingest_dump_set(opts.program_files.front(), ingest_options);
+    std::cout << report.text;
+    return report.exit_code;
+  }
+  const ingest::IngestCorpusReport corpus =
+      drive_ingest(opts.program_files, ingest_options);
+  for (const ingest::IngestReport& set : corpus.sets) {
+    std::cout << "=== " << set.pattern << " ===\n" << set.text;
+    if (set.exit_code == 2) {
+      std::cerr << "fdlc: malformed dump set '" << set.pattern << "'\n";
+    } else if (set.exit_code == 3) {
+      std::cerr << "fdlc: gave up on '" << set.pattern << "' ("
+                << set.budget.render() << ")\n";
+    }
+  }
+  // No jobs count here (unlike corpus mode): the ingest summary is part
+  // of the byte-identical-across---jobs contract.
+  std::cout << corpus.sets.size() << " dump sets ingested, worst exit code "
+            << corpus.exit_code << "\n";
+  return corpus.exit_code;
 }
 
 int run_cli(const CliOptions& opts) {
   using namespace gtdl;
+
+  // Observed-graph input: merge runtime trace dumps and judge what the
+  // execution actually did (exit codes read "observed", not "proved").
+  if (opts.ingest) return run_ingest(opts);
 
   // Direct graph-type input (the paper's hand-coded-AST path). An Engine
   // carries --jobs parallelism INTO the single analysis (speculative

@@ -6,6 +6,7 @@
 #include <variant>
 
 #include "gtdl/frontend/typecheck.hpp"
+#include "gtdl/ingest/trace_writer.hpp"
 #include "gtdl/obs/metrics.hpp"
 #include "gtdl/obs/trace.hpp"
 #include "gtdl/support/budget.hpp"
@@ -160,7 +161,9 @@ struct InterpMetrics {
 class Interp {
  public:
   Interp(const Program& program, const InterpOptions& options)
-      : program_(program), options_(options), rng_(options.seed) {}
+      : program_(program), options_(options), rng_(options.seed) {
+    thread_names_.push_back(Symbol::intern("main"));
+  }
 
   InterpResult run() {
     InterpMetrics::get().executions.add();
@@ -211,6 +214,37 @@ class Interp {
 
   GraphBuilder& builder() { return *builders_.back(); }
 
+  // --- trace emission (--trace-graph; docs/TRACE_FORMAT.md) ---
+  //
+  // The record stream mirrors the GraphBuilder pushes one-to-one, so
+  // ingesting the dump reconstructs exactly the graph freeze() returns.
+  // `thread_names_` parallels `builders_`: the acting thread is the
+  // future whose graph is currently being recorded.
+
+  Symbol cur_thread() const { return thread_names_.back(); }
+
+  void emit_spawn(Symbol vertex) {
+    if (options_.graph_dump != nullptr) {
+      options_.graph_dump->record_spawn(cur_thread(), vertex);
+    }
+  }
+
+  void emit_touch(Symbol vertex, bool blocks) {
+    if (options_.graph_dump != nullptr) {
+      options_.graph_dump->record_touch(cur_thread(), vertex);
+      // In the parallel semantics the toucher blocks whenever the value
+      // is not already available; the canonical schedule runs the body
+      // inline instead, but the waits-for fact is the same.
+      if (blocks) options_.graph_dump->record_block(cur_thread(), vertex);
+    }
+  }
+
+  void emit_resolve(Symbol vertex) {
+    if (options_.graph_dump != nullptr) {
+      options_.graph_dump->record_resolve(vertex);
+    }
+  }
+
   std::int64_t next_rand() {
     if (rand_index_ < options_.rand_script.size()) {
       return options_.rand_script[rand_index_++];
@@ -253,6 +287,7 @@ class Interp {
                                   : std::string());
     cell->state = FutureState::kRunning;
     builders_.push_back(cell->graph);
+    thread_names_.push_back(cell->vertex);
     ++call_depth_;
     if (call_depth_ > options_.max_call_depth) {
       throw RuntimeErrorSignal{"call depth budget exhausted while forcing "
@@ -268,7 +303,9 @@ class Interp {
     const Flow flow = exec_block(*cell->body, inner);
     cell->result = flow.value;
     cell->state = FutureState::kDone;
+    emit_resolve(cell->vertex);
     --call_depth_;
+    thread_names_.pop_back();
     builders_.pop_back();
   }
 
@@ -293,6 +330,7 @@ class Interp {
       obs::emit_instant("runtime", "touch:" + cell->vertex.str());
     }
     builder().nodes.push_back(GraphBuilder::TouchNode{cell->vertex});
+    emit_touch(cell->vertex, cell->state != FutureState::kDone);
     switch (cell->state) {
       case FutureState::kDone:
         return cell->result;
@@ -443,6 +481,7 @@ class Interp {
               registered_.push_back(cell);
               builder().nodes.push_back(
                   GraphBuilder::SpawnNode{cell->vertex, cell->graph});
+              emit_spawn(cell->vertex);
               return Value::unit();
             },
             [&](const ESpawnVec& node) {
@@ -465,6 +504,7 @@ class Interp {
                 registered_.push_back(cell);
                 builder().nodes.push_back(
                     GraphBuilder::SpawnNode{cell->vertex, cell->graph});
+                emit_spawn(cell->vertex);
                 members->push_back(std::move(cell));
               }
               return Value::of_fvec(std::move(members));
@@ -511,6 +551,7 @@ class Interp {
                 registered_.push_back(cell);
                 builder().nodes.push_back(
                     GraphBuilder::SpawnNode{cell->vertex, cell->graph});
+                emit_spawn(cell->vertex);
                 prev = cell;
                 last = std::move(cell);
               }
@@ -692,6 +733,7 @@ class Interp {
   std::size_t call_depth_ = 0;
   std::string output_;
   std::vector<std::shared_ptr<GraphBuilder>> builders_;
+  std::vector<Symbol> thread_names_;  // parallels builders_
   std::vector<FuturePtr> registered_;
 };
 

@@ -42,6 +42,10 @@ namespace gtdl {
 
 class Budget;  // support/budget.hpp
 
+namespace ingest {
+class TraceDumpWriter;  // ingest/trace_writer.hpp
+}
+
 struct InterpOptions {
   // Values returned by successive rand() calls; when exhausted, a
   // deterministic LCG seeded with `seed` takes over.
@@ -55,6 +59,11 @@ struct InterpOptions {
   // --run watchdog. Polled once per execution step alongside max_steps;
   // a trip aborts with a runtime error and budget_exhausted set.
   Budget* budget = nullptr;
+  // Optional dependency-trace sink (not owned) — the --trace-graph
+  // switch. Every spawn/touch/block/resolve of the execution is recorded
+  // in the docs/TRACE_FORMAT.md schema; the caller flushes the shards.
+  // A deadlocked execution still leaves a complete (re-ingestable) dump.
+  ingest::TraceDumpWriter* graph_dump = nullptr;
 };
 
 struct InterpResult {

@@ -1,0 +1,746 @@
+#include "gtdl/ingest/ingest.hpp"
+
+#include <glob.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "gtdl/graph/csr.hpp"
+#include "gtdl/graph/graph.hpp"
+#include "gtdl/ingest/trace_writer.hpp"
+#include "gtdl/obs/metrics.hpp"
+#include "gtdl/obs/trace.hpp"
+#include "gtdl/support/string_util.hpp"
+#include "gtdl/tj/join_policy.hpp"
+#include "gtdl/tj/trace.hpp"
+
+namespace gtdl::ingest {
+
+namespace {
+
+// Stop collecting diagnostics past this many: adversarial dumps should
+// produce a bounded report, not megabytes of repeated complaints.
+constexpr std::size_t kMaxDiagnostics = 20;
+
+struct IngestMetrics {
+  obs::Counter& sets;
+  obs::Counter& records;
+  obs::Counter& shards;
+  obs::Counter& vertices;
+  obs::Counter& malformed;
+
+  static IngestMetrics& get() {
+    static IngestMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::instance();
+      auto c = [&reg](const char* name, const char* unit,
+                      const char* help) -> obs::Counter& {
+        return reg.counter(obs::MetricDesc{name, "ingest", unit, help});
+      };
+      return new IngestMetrics{
+          c("ingest.sets", "sets", "dump sets ingested"),
+          c("ingest.records", "records", "trace records parsed"),
+          c("ingest.shards", "files", "shard files read"),
+          c("ingest.vertices", "vertices",
+            "vertices in merged observed graphs (CSR lowering)"),
+          c("ingest.malformed", "sets", "dump sets rejected as malformed"),
+      };
+    }();
+    return *m;
+  }
+};
+
+// --- minimal JSON-line parsing ---------------------------------------------
+//
+// The v1 schema is flat one-line objects with string and nonnegative-
+// integer values only (docs/TRACE_FORMAT.md "Record grammar"), which this
+// hand-rolled parser accepts STRICTLY: nested values, floats, negative
+// numbers and trailing garbage are malformed-dump diagnostics, not
+// silently coerced. Unknown KEYS are ignored (the spec's forward-compat
+// rule); unknown record kinds are not.
+
+struct JsonField {
+  std::string key;
+  bool is_string = false;
+  std::string str;
+  std::uint64_t num = 0;
+};
+
+class LineParser {
+ public:
+  explicit LineParser(std::string_view s) : s_(s) {}
+
+  // Parses the whole line as one flat object. On failure returns false
+  // and sets `err` (position included).
+  bool parse(std::vector<JsonField>& out, std::string& err) {
+    skip_ws();
+    if (!eat('{')) return fail(err, "expected '{'");
+    skip_ws();
+    if (eat('}')) return finish(err);
+    for (;;) {
+      JsonField field;
+      if (!parse_string(field.key, err)) return false;
+      skip_ws();
+      if (!eat(':')) return fail(err, "expected ':' after key");
+      skip_ws();
+      if (peek() == '"') {
+        field.is_string = true;
+        if (!parse_string(field.str, err)) return false;
+      } else {
+        if (!parse_number(field.num, err)) return false;
+      }
+      out.push_back(std::move(field));
+      skip_ws();
+      if (eat(',')) {
+        skip_ws();
+        continue;
+      }
+      if (eat('}')) return finish(err);
+      return fail(err, "expected ',' or '}'");
+    }
+  }
+
+ private:
+  [[nodiscard]] char peek() const {
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool fail(std::string& err, std::string_view what) const {
+    err = std::string(what) + " at column " + std::to_string(pos_ + 1);
+    return false;
+  }
+  bool finish(std::string& err) {
+    skip_ws();
+    if (pos_ != s_.size()) return fail(err, "trailing garbage after '}'");
+    return true;
+  }
+
+  bool parse_string(std::string& out, std::string& err) {
+    if (!eat('"')) return fail(err, "expected '\"'");
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return fail(err, "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail(err, "bad hex digit in \\u escape");
+          }
+          if (code >= 0xd800 && code <= 0xdfff) {
+            return fail(err, "surrogate \\u escapes are not supported");
+          }
+          // UTF-8 encode the BMP code point.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default:
+          return fail(err, "unknown string escape");
+      }
+    }
+    return fail(err, "unterminated string");
+  }
+
+  bool parse_number(std::uint64_t& out, std::string& err) {
+    if (peek() == '-') return fail(err, "negative numbers are not allowed");
+    if (peek() < '0' || peek() > '9') return fail(err, "expected a value");
+    std::uint64_t v = 0;
+    while (peek() >= '0' && peek() <= '9') {
+      const std::uint64_t digit = static_cast<std::uint64_t>(s_[pos_] - '0');
+      if (v > (~std::uint64_t{0} - digit) / 10) {
+        return fail(err, "integer out of range");
+      }
+      v = v * 10 + digit;
+      ++pos_;
+    }
+    if (peek() == '.' || peek() == 'e' || peek() == 'E') {
+      return fail(err, "floating-point numbers are not allowed");
+    }
+    out = v;
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+// --- record stream ----------------------------------------------------------
+
+enum class RecordKind : unsigned char { kSpawn, kTouch, kBlock, kResolve };
+
+struct TraceRecord {
+  RecordKind kind = RecordKind::kSpawn;
+  std::uint64_t seq = 0;
+  Symbol thread;
+  Symbol vertex;
+  std::uint32_t file = 0;  // index into MergeState::files
+  std::uint32_t line = 0;  // 1-based
+};
+
+struct ShardMeta {
+  std::uint64_t shard = 0;
+  std::uint64_t shards = 0;
+  std::string root;
+};
+
+class Merger {
+ public:
+  Merger(const std::vector<std::string>& files, Budget* budget)
+      : files_(files), budget_(budget) {}
+
+  MergedTrace run() {
+    for (std::uint32_t i = 0; i < files_.size() && !give_up(); ++i) {
+      parse_file(i);
+    }
+    if (!result_.budget_exhausted && result_.diags.error_count() == 0) {
+      validate_set();
+    }
+    if (!result_.budget_exhausted && result_.diags.error_count() == 0) {
+      stitch();
+    }
+    result_.shards = files_.size();
+    result_.ok = !result_.budget_exhausted &&
+                 result_.diags.error_count() == 0 && result_.graph != nullptr;
+    return std::move(result_);
+  }
+
+ private:
+  [[nodiscard]] bool give_up() const {
+    return result_.budget_exhausted ||
+           result_.diags.error_count() >= kMaxDiagnostics;
+  }
+
+  void error_at(std::uint32_t file, std::uint32_t line, std::string msg) {
+    if (result_.diags.error_count() >= kMaxDiagnostics) return;
+    result_.diags.error(files_[file] + ":" + std::to_string(line) + ": " +
+                        std::move(msg));
+    if (result_.diags.error_count() == kMaxDiagnostics) {
+      result_.diags.error("too many malformed records; giving up");
+    }
+  }
+
+  bool checkpoint() {
+    if (budget_ != nullptr && budget_->checkpoint()) {
+      result_.budget_exhausted = true;
+      return true;
+    }
+    return false;
+  }
+
+  static const JsonField* find(const std::vector<JsonField>& fields,
+                               std::string_view key) {
+    for (const JsonField& f : fields) {
+      if (f.key == key) return &f;
+    }
+    return nullptr;
+  }
+
+  // Returns false (after diagnosing) unless `key` exists with the
+  // expected type; strings must additionally be nonempty.
+  bool require(const std::vector<JsonField>& fields, std::string_view key,
+               bool string, std::uint32_t file, std::uint32_t line,
+               const JsonField*& out) {
+    out = find(fields, key);
+    if (out == nullptr) {
+      error_at(file, line, "missing required field '" + std::string(key) + "'");
+      return false;
+    }
+    if (out->is_string != string) {
+      error_at(file, line, "field '" + std::string(key) + "' must be a " +
+                               (string ? "string" : "nonnegative integer"));
+      return false;
+    }
+    if (string && out->str.empty()) {
+      error_at(file, line, "field '" + std::string(key) + "' must be nonempty");
+      return false;
+    }
+    return true;
+  }
+
+  void parse_file(std::uint32_t file) {
+    std::ifstream in(files_[file], std::ios::binary);
+    if (!in) {
+      error_at(file, 0, "cannot open shard file");
+      return;
+    }
+    std::string line;
+    std::uint32_t lineno = 0;
+    bool saw_meta = false;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (checkpoint() || give_up()) return;
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      std::vector<JsonField> fields;
+      std::string err;
+      if (!LineParser(line).parse(fields, err)) {
+        error_at(file, lineno, "malformed JSON record: " + err);
+        continue;
+      }
+      const JsonField* kind = nullptr;
+      if (!require(fields, "kind", true, file, lineno, kind)) continue;
+      if (const JsonField* version = find(fields, "trace_version");
+          version != nullptr &&
+          (version->is_string || version->num != kTraceVersion)) {
+        error_at(file, lineno,
+                 "unsupported trace_version (this reader speaks version " +
+                     std::to_string(kTraceVersion) + ")");
+        continue;
+      }
+      if (kind->str == "meta") {
+        if (saw_meta) {
+          error_at(file, lineno, "duplicate meta record in shard");
+          continue;
+        }
+        if (lineno != 1) {
+          error_at(file, lineno, "meta record must be the first line");
+          continue;
+        }
+        saw_meta = true;
+        parse_meta(fields, file, lineno);
+        continue;
+      }
+      if (!saw_meta) {
+        error_at(file, lineno,
+                 "first record of a shard must be the meta record");
+        return;
+      }
+      parse_event(fields, *kind, file, lineno);
+    }
+    if (!saw_meta && result_.diags.error_count() == 0) {
+      error_at(file, lineno, "shard file has no meta record");
+    }
+  }
+
+  void parse_meta(const std::vector<JsonField>& fields, std::uint32_t file,
+                  std::uint32_t lineno) {
+    const JsonField* version = nullptr;
+    const JsonField* shard = nullptr;
+    const JsonField* shards = nullptr;
+    const JsonField* root = nullptr;
+    if (!require(fields, "trace_version", false, file, lineno, version) ||
+        !require(fields, "shard", false, file, lineno, shard) ||
+        !require(fields, "shards", false, file, lineno, shards) ||
+        !require(fields, "root", true, file, lineno, root)) {
+      return;
+    }
+    if (shards->num == 0 || shard->num >= shards->num) {
+      error_at(file, lineno,
+               "shard index " + std::to_string(shard->num) +
+                   " out of range for " + std::to_string(shards->num) +
+                   " shards");
+      return;
+    }
+    metas_.emplace_back(file,
+                        ShardMeta{shard->num, shards->num, root->str});
+  }
+
+  void parse_event(const std::vector<JsonField>& fields, const JsonField& kind,
+                   std::uint32_t file, std::uint32_t lineno) {
+    RecordKind rk;
+    if (kind.str == "spawn") rk = RecordKind::kSpawn;
+    else if (kind.str == "touch") rk = RecordKind::kTouch;
+    else if (kind.str == "block") rk = RecordKind::kBlock;
+    else if (kind.str == "resolve") rk = RecordKind::kResolve;
+    else {
+      error_at(file, lineno, "unknown record kind '" + kind.str + "'");
+      return;
+    }
+    const JsonField* seq = nullptr;
+    const JsonField* thread = nullptr;
+    const JsonField* vertex = nullptr;
+    if (!require(fields, "seq", false, file, lineno, seq) ||
+        !require(fields, "thread", true, file, lineno, thread) ||
+        !require(fields, "vertex", true, file, lineno, vertex)) {
+      return;
+    }
+    records_.push_back(TraceRecord{rk, seq->num, Symbol::intern(thread->str),
+                                   Symbol::intern(vertex->str), file, lineno});
+  }
+
+  // Cross-shard consistency: every declared shard present exactly once,
+  // all meta lines agreeing on the set shape, no colliding seq numbers.
+  void validate_set() {
+    if (metas_.empty()) return;
+    const ShardMeta& first = metas_.front().second;
+    std::vector<std::uint32_t> seen_shard(first.shards, 0xffffffffu);
+    for (const auto& [file, meta] : metas_) {
+      if (meta.shards != first.shards || meta.root != first.root) {
+        error_at(file, 1,
+                 "shard disagrees with '" + files_[metas_.front().first] +
+                     "' about the dump set (shards/root mismatch — are these "
+                     "files from the same run?)");
+        return;
+      }
+      if (meta.shard < seen_shard.size() &&
+          seen_shard[meta.shard] != 0xffffffffu) {
+        error_at(file, 1,
+                 "duplicate shard index " + std::to_string(meta.shard) +
+                     " (also in '" + files_[seen_shard[meta.shard]] + "')");
+        return;
+      }
+      seen_shard[meta.shard] = file;
+    }
+    if (metas_.size() != first.shards) {
+      error_at(metas_.front().first, 1,
+               "dump set declares " + std::to_string(first.shards) +
+                   " shards but " + std::to_string(metas_.size()) +
+                   " matched the pattern (incomplete set?)");
+      return;
+    }
+    result_.root = Symbol::intern(first.root);
+    std::stable_sort(records_.begin(), records_.end(),
+                     [](const TraceRecord& a, const TraceRecord& b) {
+                       return a.seq < b.seq;
+                     });
+    for (std::size_t i = 1; i < records_.size(); ++i) {
+      if (records_[i].seq == records_[i - 1].seq) {
+        const TraceRecord& dup = records_[i];
+        const TraceRecord& prev = records_[i - 1];
+        error_at(dup.file, dup.line,
+                 "duplicate seq " + std::to_string(dup.seq) + " (first at " +
+                     files_[prev.file] + ":" + std::to_string(prev.line) +
+                     ")");
+        return;
+      }
+    }
+  }
+
+  // Walks the merged stream in seq order, checks the actor/spawn rules,
+  // and groups each thread's structural actions; then rebuilds the
+  // GraphExpr from the root down — the cross-shard edge stitching.
+  void stitch() {
+    struct ThreadActions {
+      // spawn child (child thread id) or touch (vertex id).
+      struct Act {
+        bool is_spawn = false;
+        Symbol vertex;
+      };
+      std::vector<Act> acts;
+    };
+    std::unordered_map<Symbol, ThreadActions> threads;
+    std::unordered_map<Symbol, const TraceRecord*> spawned;
+    OrderedSet<Symbol> futures;
+    if (result_.root == Symbol{}) result_.root = Symbol::intern("main");
+    threads.emplace(result_.root, ThreadActions{});
+    for (const TraceRecord& rec : records_) {
+      if (checkpoint() || give_up()) return;
+      // The actor must exist by now: the root, or a future whose spawn
+      // has a smaller seq. A violation is the "dangling edge" class of
+      // malformed dump — a record stitched to nothing.
+      if (rec.thread != result_.root &&
+          spawned.find(rec.thread) == spawned.end()) {
+        error_at(rec.file, rec.line,
+                 "record acted by thread '" + rec.thread.str() +
+                     "' before (or without) its spawn — dangling record");
+        continue;
+      }
+      switch (rec.kind) {
+        case RecordKind::kSpawn: {
+          if (rec.vertex == result_.root) {
+            error_at(rec.file, rec.line,
+                     "the root thread '" + rec.vertex.str() +
+                         "' cannot be spawned");
+            continue;
+          }
+          const auto [it, inserted] = spawned.emplace(rec.vertex, &rec);
+          if (!inserted) {
+            const TraceRecord& prev = *it->second;
+            error_at(rec.file, rec.line,
+                     "duplicate spawn of vertex '" + rec.vertex.str() +
+                         "' (first at " + files_[prev.file] + ":" +
+                         std::to_string(prev.line) + ")");
+            continue;
+          }
+          futures.insert(rec.vertex);
+          threads.emplace(rec.vertex, ThreadActions{});
+          threads[rec.thread].acts.push_back({true, rec.vertex});
+          break;
+        }
+        case RecordKind::kTouch:
+          futures.insert(rec.vertex);
+          threads[rec.thread].acts.push_back({false, rec.vertex});
+          break;
+        case RecordKind::kBlock:
+          // Informational (a touch that actually blocked); the waits-for
+          // edge is already in the graph via its touch record.
+          break;
+        case RecordKind::kResolve:
+          if (spawned.find(rec.vertex) == spawned.end()) {
+            error_at(rec.file, rec.line,
+                     "resolve of vertex '" + rec.vertex.str() +
+                         "' which is never spawned");
+          }
+          break;
+      }
+    }
+    if (result_.budget_exhausted || result_.diags.error_count() != 0) return;
+
+    // Rebuild bottom-up in reverse spawn-seq order: a spawn acted by
+    // thread T carries a larger seq than T's own spawn, so walking
+    // spawns largest-seq-first assembles every child before the thread
+    // that spawned it. No recursion — adversarially deep nesting costs
+    // a vector, not stack frames.
+    std::vector<std::pair<Symbol, const TraceRecord*>> order(spawned.begin(),
+                                                             spawned.end());
+    std::sort(order.begin(), order.end(),
+              [](const auto& a, const auto& b) {
+                return a.second->seq > b.second->seq;
+              });
+    std::unordered_map<Symbol, GraphExprPtr> built;
+    const auto freeze = [&](Symbol thread) -> GraphExprPtr {
+      const ThreadActions& t = threads[thread];
+      std::vector<GraphExprPtr> pieces;
+      pieces.reserve(t.acts.size());
+      for (const ThreadActions::Act& act : t.acts) {
+        if (act.is_spawn) {
+          pieces.push_back(ge::spawn(built.at(act.vertex), act.vertex));
+        } else {
+          pieces.push_back(ge::touch(act.vertex));
+        }
+      }
+      return pieces.empty() ? ge::singleton() : ge::seq_all(std::move(pieces));
+    };
+    for (const auto& [vertex, rec] : order) {
+      if (checkpoint()) return;
+      (void)rec;
+      built.emplace(vertex, freeze(vertex));
+    }
+    result_.graph = freeze(result_.root);
+    result_.records = records_.size();
+    result_.threads = 1 + spawned.size();
+    result_.futures = futures.size();
+  }
+
+  const std::vector<std::string>& files_;
+  Budget* budget_;
+  MergedTrace result_;
+  std::vector<std::pair<std::uint32_t, ShardMeta>> metas_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace
+
+std::vector<std::string> expand_dump_glob(const std::string& pattern,
+                                          std::string* error) {
+  glob_t g{};
+  const int rc = ::glob(pattern.c_str(), 0, nullptr, &g);
+  std::vector<std::string> files;
+  if (rc == 0) {
+    files.assign(g.gl_pathv, g.gl_pathv + g.gl_pathc);
+  } else if (rc == GLOB_NOMATCH) {
+    if (error != nullptr) *error = "no files match '" + pattern + "'";
+  } else {
+    if (error != nullptr) *error = "glob failed for '" + pattern + "'";
+  }
+  ::globfree(&g);
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+MergedTrace merge_trace_dumps(const std::vector<std::string>& files,
+                              Budget* budget) {
+  MergedTrace merged = Merger(files, budget).run();
+  IngestMetrics::get().shards.add(merged.shards);
+  IngestMetrics::get().records.add(merged.records);
+  if (!merged.ok && !merged.budget_exhausted) {
+    IngestMetrics::get().malformed.add();
+  }
+  return merged;
+}
+
+namespace {
+
+// Renders the designated (named) vertices of a CSR cycle in cycle order.
+// Every observed cycle passes through at least one designated vertex —
+// the only back edges the Fig. 2 lowering produces start at one.
+std::string render_cycle(const CsrGraph& csr,
+                         const std::vector<VertexId>& cycle) {
+  std::vector<std::string> names;
+  for (const VertexId v : cycle) {
+    if (csr.is_designated(v)) names.push_back(csr.symbol_of(v).str());
+  }
+  if (names.empty()) {
+    return "(cycle of " + std::to_string(cycle.size()) +
+           " interior vertices)";
+  }
+  names.push_back(names.front());  // close the loop visually
+  return join(names, " -> ", [](const std::string& s) { return s; });
+}
+
+}  // namespace
+
+IngestReport ingest_dump_set(const std::string& pattern,
+                             const IngestOptions& options) {
+  obs::Span span("ingest", "ingest_dump_set");
+  IngestMetrics::get().sets.add();
+  IngestReport report;
+  report.pattern = pattern;
+
+  std::string glob_error;
+  const std::vector<std::string> files =
+      expand_dump_glob(pattern, &glob_error);
+  if (files.empty()) {
+    report.exit_code = 2;
+    report.text = "error: " + glob_error + "\n";
+    IngestMetrics::get().malformed.add();
+    return report;
+  }
+
+  std::optional<Budget> budget;
+  if (options.timeout_ms != 0 || options.budget_steps != 0 ||
+      options.budget_mb != 0) {
+    Budget::Limits limits;
+    limits.deadline_ms = options.timeout_ms;
+    limits.max_steps = options.budget_steps;
+    limits.max_bytes = options.budget_mb * 1024 * 1024;
+    budget.emplace(limits);
+  }
+
+  MergedTrace merged =
+      merge_trace_dumps(files, budget ? &*budget : nullptr);
+  if (merged.budget_exhausted) {
+    report.exit_code = 3;
+    report.budget = budget->status();
+    // Like the static give-up lines, no counts: byte-identical whenever
+    // the same limit trips, whatever was merged before it did.
+    report.text =
+        "observed analysis: UNKNOWN (" + report.budget.render() + ")\n";
+    return report;
+  }
+  if (!merged.ok) {
+    report.exit_code = 2;
+    report.text = merged.diags.render();
+    return report;
+  }
+
+  std::ostringstream out;
+  out << "ingested " << merged.shards << " shards (" << merged.records
+      << " records, " << merged.threads << " threads, " << merged.futures
+      << " futures)\n";
+
+  // The merged graph goes through the same arena-backed CSR layer the
+  // static detectors scan (csr.hpp): dense ids, flat adjacency, bitset
+  // marks.
+  GraphArena arena;
+  const CsrGraph csr = lower_to_csr(*merged.graph, arena);
+  IngestMetrics::get().vertices.add(csr.vertex_count());
+  const std::optional<std::vector<VertexId>> cycle = csr.find_cycle();
+  const std::vector<Symbol>& unspawned = csr.unspawned_touches();
+  const bool deadlock = cycle.has_value() || !unspawned.empty();
+  out << "observed graph: "
+      << (deadlock ? "contains a deadlock" : "deadlock-free") << " ("
+      << csr.vertex_count() << " vertices, " << csr.edge_count()
+      << " edges)\n";
+  if (cycle.has_value()) {
+    out << "  witness (observed cyclic wait): " << render_cycle(csr, *cycle)
+        << "\n";
+  }
+  for (const Symbol& v : unspawned) {
+    out << "  witness (touch of never-spawned future): " << v.str() << "\n";
+  }
+
+  const Trace trace = trace_with_init(*merged.graph, merged.root);
+  const TraceVerdict tj = check_transitive_joins(trace);
+  const TraceVerdict kj = check_known_joins(trace);
+  out << "transitive joins (observed): "
+      << (tj.valid ? "valid" : "INVALID: " + tj.reason) << "\n";
+  out << "known joins (observed): "
+      << (kj.valid ? "valid" : "INVALID: " + kj.reason) << "\n";
+  if (options.print_trace) {
+    out << "trace: " << to_string(trace) << "\n";
+  }
+  if (!options.dot_file.empty()) {
+    const Graph graph = lower_to_graph(*merged.graph);
+    std::ofstream dot(options.dot_file);
+    dot << graph.to_dot("observed");
+    out << "wrote " << options.dot_file << "\n";
+  }
+  // The observed verdict is about ONE execution. The wording (and the
+  // README exit-code table) keeps it apart from the static analysis:
+  // exit 0 here is weaker than the kind system's DEADLOCK-FREE.
+  if (deadlock) {
+    out << "observed verdict: DEADLOCK OBSERVED (this execution deadlocked "
+           "or can never complete)\n";
+  } else {
+    out << "observed verdict: NO DEADLOCK OBSERVED (one execution only — "
+           "not a deadlock-freedom proof)\n";
+  }
+  report.deadlock_observed = deadlock;
+  report.exit_code = deadlock ? 1 : 0;
+  report.text = out.str();
+  return report;
+}
+
+IngestCorpusReport drive_ingest(const std::vector<std::string>& patterns,
+                                const IngestOptions& options) {
+  obs::Span span("ingest", "drive_ingest");
+  IngestCorpusReport corpus;
+  corpus.sets.resize(patterns.size());
+  const unsigned jobs = std::max(
+      1u, std::min<unsigned>(options.jobs,
+                             static_cast<unsigned>(patterns.size())));
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= patterns.size()) return;
+      corpus.sets[i] = ingest_dump_set(patterns[i], options);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(jobs - 1);
+  for (unsigned t = 1; t < jobs; ++t) threads.emplace_back(worker);
+  worker();
+  for (std::thread& t : threads) t.join();
+  for (const IngestReport& set : corpus.sets) {
+    corpus.exit_code = std::max(corpus.exit_code, set.exit_code);
+  }
+  return corpus;
+}
+
+}  // namespace gtdl::ingest

@@ -1,0 +1,108 @@
+// Runtime-trace ingestion: observed dependency graphs as a first-class
+// input path (docs/TRACE_FORMAT.md is the normative format spec).
+//
+// `fdlc --ingest 'graphdump.*.json'` reads the per-thread JSON-lines
+// shards a traced execution dumped (trace_writer.hpp; Seastar's deadlock
+// tooling pioneered the shape), merges them back into ONE dependency
+// graph, and runs the same detectors the static pipeline uses:
+//
+//   shard files --parse--> records --merge by seq--> per-thread action
+//   lists --stitch--> GraphExpr --lower_to_csr--> cycle / unspawned-touch
+//   scan, plus the Fig. 6 trace for the TJ/KJ validity judgments.
+//
+// The verdict over an observed graph is intentionally asymmetric to the
+// static one and the reports say so: a cycle or an unspawned touch in the
+// trace IS a deadlock of that execution (exit 1), but a clean trace is
+// evidence about one schedule only, never a deadlock-freedom proof — the
+// clean verdict reads "NO DEADLOCK OBSERVED", not "DEADLOCK-FREE", and
+// exit 0 in ingest mode carries that weaker meaning (README exit table).
+//
+// Malformed dumps are rejected with file:line provenance (exit 2): the
+// format is a public contract and a record this layer cannot account for
+// must never silently shift a verdict. Resource budgets bound the merge
+// like any analysis (exit 3, verdict unknown).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtdl/graph/graph_expr.hpp"
+#include "gtdl/support/budget.hpp"
+#include "gtdl/support/diagnostics.hpp"
+#include "gtdl/support/symbol.hpp"
+
+namespace gtdl::ingest {
+
+// Expands a dump-set glob pattern (also accepts a plain path) into the
+// sorted list of matching files. Empty result + *error when nothing
+// matches or the glob itself fails.
+[[nodiscard]] std::vector<std::string> expand_dump_glob(
+    const std::string& pattern, std::string* error);
+
+// The merged, validated form of one dump set.
+struct MergedTrace {
+  // False when any record was malformed; `diags` then explains every
+  // problem with file:line provenance and `graph` is null.
+  bool ok = false;
+  // The per-set budget tripped mid-merge; verdict unknown.
+  bool budget_exhausted = false;
+  Symbol root;          // the dump's declared root thread
+  GraphExprPtr graph;   // the stitched observed dependency graph
+  std::size_t shards = 0;
+  std::size_t records = 0;
+  std::size_t threads = 0;   // root + spawned futures
+  std::size_t futures = 0;   // distinct designated vertices (spawned ∪ touched)
+  DiagnosticEngine diags;
+};
+
+// Parses every shard file, validates the record stream against the v1
+// schema, and stitches the cross-shard spawn/touch structure back into a
+// GraphExpr. `budget` (optional) is polled once per record.
+[[nodiscard]] MergedTrace merge_trace_dumps(
+    const std::vector<std::string>& files, Budget* budget = nullptr);
+
+struct IngestOptions {
+  // Parallelism across dump SETS (drive_ingest); one set is sequential.
+  unsigned jobs = 1;
+  // Render the observed Fig. 6 trace into the report.
+  bool print_trace = false;
+  // Write the merged graph as Graphviz (single set only); "" = off.
+  std::string dot_file;
+  // Per-SET resource budget; 0 = unlimited (fdlc --timeout-ms etc.).
+  std::uint64_t timeout_ms = 0;
+  std::uint64_t budget_steps = 0;
+  std::uint64_t budget_mb = 0;
+};
+
+struct IngestReport {
+  std::string pattern;
+  // Observed-mode exit codes: 0 = no deadlock observed (NOT a static
+  // guarantee), 1 = the traced execution deadlocked (witness in text),
+  // 2 = malformed/unreadable dump, 3 = budget exhausted (unknown).
+  int exit_code = 2;
+  BudgetStatus budget;  // which limit tripped, when exit_code == 3
+  bool deadlock_observed = false;
+  // The complete rendered report. Deterministic: built solely from the
+  // dump's own stable vertex ids, so it is byte-identical across runs
+  // and --jobs settings.
+  std::string text;
+};
+
+struct IngestCorpusReport {
+  std::vector<IngestReport> sets;  // input order, one per pattern
+  int exit_code = 0;               // max over sets; 0 for an empty list
+};
+
+// Ingests one dump set end-to-end: glob, merge, CSR scan, TJ/KJ, render.
+[[nodiscard]] IngestReport ingest_dump_set(const std::string& pattern,
+                                           const IngestOptions& options = {});
+
+// Ingests every pattern with `options.jobs`-way parallelism. Reports are
+// assembled in input order regardless of completion order.
+[[nodiscard]] IngestCorpusReport drive_ingest(
+    const std::vector<std::string>& patterns,
+    const IngestOptions& options = {});
+
+}  // namespace gtdl::ingest

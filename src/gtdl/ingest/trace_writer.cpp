@@ -1,0 +1,140 @@
+#include "gtdl/ingest/trace_writer.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace gtdl::ingest {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+TraceDumpWriter::TraceDumpWriter(std::string base)
+    : TraceDumpWriter(std::move(base), Options{}) {}
+
+TraceDumpWriter::TraceDumpWriter(std::string base, Options options)
+    : base_(std::move(base)), options_(std::move(options)) {
+  if (options_.shards == 0) options_.shards = 1;
+  buffers_.resize(options_.shards);
+  // The root thread claims ordinal 0, so its records (the spine of the
+  // graph) land in shard 0 and child threads scatter from shard 1 on.
+  thread_ordinal_.emplace(Symbol::intern(options_.root), 0);
+  for (unsigned k = 0; k < options_.shards; ++k) {
+    std::string& buf = buffers_[k];
+    buf += "{\"trace_version\":";
+    buf += std::to_string(kTraceVersion);
+    buf += ",\"kind\":\"meta\",\"shard\":";
+    buf += std::to_string(k);
+    buf += ",\"shards\":";
+    buf += std::to_string(options_.shards);
+    buf += ",\"root\":\"";
+    buf += json_escape(options_.root);
+    buf += "\"";
+    if (!options_.program.empty()) {
+      buf += ",\"program\":\"";
+      buf += json_escape(options_.program);
+      buf += "\"";
+    }
+    buf += "}\n";
+  }
+}
+
+std::size_t TraceDumpWriter::shard_of(Symbol thread) {
+  const auto [it, inserted] =
+      thread_ordinal_.emplace(thread, thread_ordinal_.size());
+  (void)inserted;
+  return it->second % options_.shards;
+}
+
+void TraceDumpWriter::append(std::size_t shard, std::string_view kind,
+                             Symbol thread, Symbol vertex) {
+  std::string& buf = buffers_[shard];
+  buf += "{\"kind\":\"";
+  buf += kind;
+  buf += "\",\"seq\":";
+  buf += std::to_string(next_seq_++);
+  buf += ",\"thread\":\"";
+  buf += json_escape(thread.view());
+  buf += "\",\"vertex\":\"";
+  buf += json_escape(vertex.view());
+  buf += "\"}\n";
+}
+
+void TraceDumpWriter::record_spawn(Symbol thread, Symbol vertex) {
+  std::lock_guard<std::mutex> lock(mu_);
+  append(shard_of(thread), "spawn", thread, vertex);
+}
+
+void TraceDumpWriter::record_touch(Symbol thread, Symbol vertex) {
+  std::lock_guard<std::mutex> lock(mu_);
+  append(shard_of(thread), "touch", thread, vertex);
+}
+
+void TraceDumpWriter::record_block(Symbol thread, Symbol vertex) {
+  std::lock_guard<std::mutex> lock(mu_);
+  append(shard_of(thread), "block", thread, vertex);
+}
+
+void TraceDumpWriter::record_resolve(Symbol vertex) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A future is resolved by its own thread, which shares its name.
+  append(shard_of(vertex), "resolve", vertex, vertex);
+}
+
+std::size_t TraceDumpWriter::record_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::size_t>(next_seq_);
+}
+
+std::vector<std::string> TraceDumpWriter::flush(std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> written;
+  for (unsigned k = 0; k < options_.shards; ++k) {
+    const std::string path =
+        base_ + "." + std::to_string(k) + ".json";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      if (error != nullptr) *error = "cannot write '" + path + "'";
+      return written;
+    }
+    out << buffers_[k];
+    if (!out.flush()) {
+      if (error != nullptr) *error = "short write to '" + path + "'";
+      return written;
+    }
+    written.push_back(path);
+  }
+  return written;
+}
+
+}  // namespace gtdl::ingest

@@ -1,0 +1,100 @@
+// Runtime dependency-trace emission (docs/TRACE_FORMAT.md, version 1).
+//
+// A TraceDumpWriter records the graph-relevant events of one execution —
+// spawn / touch / block / resolve — as JSON-lines records sharded across
+// `shards` output files (`BASE.<k>.json`). The record stream is the
+// public observed-graph contract: `fdlc --ingest 'BASE.*.json'` merges
+// the shards back into a dependency graph and runs the cycle/TJ/KJ
+// detectors over it, so a futures runtime in ANY language that can emit
+// this format reaches the detectors without a FutLang frontend.
+//
+// Two in-tree producers drive it:
+//   * the FutLang interpreter (fdlc --run --trace-graph BASE), whose
+//     canonical schedule makes dumps reproducible byte-for-byte, and
+//   * the threaded FutureRuntime (RuntimeOptions::graph_dump, or the
+//     GTDL_GRAPH_DUMP environment switch), where concurrent threads
+//     record under the writer's own lock.
+//
+// Semantics the reader relies on (normative statements live in the spec):
+//   * `seq` is a process-wide total order over the records of one dump
+//     set; shard placement is arbitrary and carries no meaning.
+//   * a thread is named by the designated vertex of the future it
+//     computes; the root thread ("main" by default) is implicit.
+//   * spawn(t, v) introduces vertex v AND thread v; every later record
+//     acted by v must carry a larger seq.
+//
+// Records buffer in memory and hit the filesystem only in flush() — an
+// instrumented run pays string-append cost per event, never syscalls.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "gtdl/support/symbol.hpp"
+
+namespace gtdl::ingest {
+
+inline constexpr std::uint32_t kTraceVersion = 1;
+
+// Escapes `s` for embedding inside a JSON string literal (quotes not
+// included). Shared with the reader's tests.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+class TraceDumpWriter {
+ public:
+  struct Options {
+    // Number of shard files to emit. Every shard file is written (a
+    // record-free shard still carries its meta line) so the glob
+    // `BASE.*.json` always reassembles the full set.
+    unsigned shards = 3;
+    // Name of the root (main) thread.
+    std::string root = "main";
+    // Free-form provenance (program path); recorded in the meta line.
+    std::string program;
+  };
+
+  // Records land in `base`.<k>.json for k in [0, shards).
+  explicit TraceDumpWriter(std::string base);
+  TraceDumpWriter(std::string base, Options options);
+
+  // Thread `thread` spawned the future with designated vertex `vertex`.
+  void record_spawn(Symbol thread, Symbol vertex);
+  // Thread `thread` touched (requested the value of) `vertex`.
+  void record_touch(Symbol thread, Symbol vertex);
+  // Thread `thread` is blocked waiting on `vertex` (informational).
+  void record_block(Symbol thread, Symbol vertex);
+  // The future with designated vertex `vertex` completed.
+  void record_resolve(Symbol vertex);
+
+  // Writes every shard file. Returns the written paths in shard order;
+  // on I/O failure returns what was written so far and sets *error.
+  // Idempotent per record: flush() may be called once, at end of run.
+  std::vector<std::string> flush(std::string* error = nullptr);
+
+  [[nodiscard]] std::size_t record_count() const;
+  [[nodiscard]] unsigned shard_count() const { return options_.shards; }
+
+ private:
+  // Shard of `thread`'s records: thread first-appearance ordinal modulo
+  // the shard count — deterministic for a deterministic producer, and it
+  // scatters parent and child threads across files so ingest always
+  // exercises cross-shard stitching.
+  std::size_t shard_of(Symbol thread);
+  void append(std::size_t shard, std::string_view kind, Symbol thread,
+              Symbol vertex);
+
+  mutable std::mutex mu_;
+  std::string base_;
+  Options options_;
+  std::vector<std::string> buffers_;  // one per shard, meta line included
+  std::unordered_map<Symbol, std::size_t> thread_ordinal_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace gtdl::ingest

@@ -1,8 +1,11 @@
 #include "gtdl/runtime/futures.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <unordered_set>
 
+#include "gtdl/ingest/trace_writer.hpp"
 #include "gtdl/obs/metrics.hpp"
 #include "gtdl/obs/trace.hpp"
 #include "gtdl/support/string_util.hpp"
@@ -73,6 +76,16 @@ FutureRuntime::FutureRuntime(RuntimeOptions options)
   }
   if (options_.record_trace) {
     trace_.push_back(Action::init(kMainName));
+  }
+  dump_ = options_.graph_dump;
+  if (dump_ == nullptr) {
+    // Environment switch: any embedder of this runtime becomes a trace
+    // producer for `fdlc --ingest` without touching its code.
+    if (const char* base = std::getenv("GTDL_GRAPH_DUMP");
+        base != nullptr && *base != '\0') {
+      owned_dump_ = std::make_unique<ingest::TraceDumpWriter>(base);
+      dump_ = owned_dump_.get();
+    }
   }
 }
 
@@ -220,6 +233,7 @@ void FutureRuntime::spawn_erased(const detail::CorePtr& core,
     obs::emit_instant("runtime", "spawn:" + core->name.str());
   }
   record(Action::fork(cur, core->name));
+  if (dump_ != nullptr) dump_->record_spawn(cur, core->name);
   threads_.emplace_back([this, core, fn = std::move(body)]() mutable {
     run_body(core, std::move(fn));
   });
@@ -251,6 +265,7 @@ void FutureRuntime::run_body(detail::CorePtr core,
       core->state = detail::FutureState::kDone;
       core->result = std::move(result);
       ++stats_.futures_completed;
+      if (dump_ != nullptr) dump_->record_resolve(core->name);
     } else {
       poison(core, std::move(failure));
     }
@@ -279,6 +294,7 @@ std::any FutureRuntime::touch_erased(const detail::CorePtr& core) {
   }
   RuntimeMetrics::get().touches.add();
   record(Action::join(cur, core->name));
+  if (dump_ != nullptr) dump_->record_touch(cur, core->name);
 
   detail::FutureCore* self = g_current_core;
   for (;;) {
@@ -291,6 +307,7 @@ std::any FutureRuntime::touch_erased(const detail::CorePtr& core) {
     // About to block: register the waits-for edge and let the detectors
     // look at the world.
     RuntimeMetrics::get().touch_blocks.add();
+    if (dump_ != nullptr) dump_->record_block(cur, core->name);
     obs::Span block_span("runtime", obs::trace_enabled()
                                         ? "touch_wait:" + core->name.str()
                                         : std::string());
@@ -341,6 +358,17 @@ void FutureRuntime::shutdown() {
   }
   for (std::thread& t : to_join) {
     if (t.joinable()) t.join();
+  }
+  // The env-armed writer is ours to flush; a caller-provided sink is
+  // flushed by the caller (it may still be aggregating other runtimes).
+  if (owned_dump_ != nullptr) {
+    std::string error;
+    (void)owned_dump_->flush(&error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "GTDL_GRAPH_DUMP: %s\n", error.c_str());
+    }
+    owned_dump_.reset();
+    dump_ = nullptr;
   }
 }
 

@@ -47,6 +47,10 @@
 
 namespace gtdl {
 
+namespace ingest {
+class TraceDumpWriter;  // ingest/trace_writer.hpp
+}
+
 // Thrown from touch() when the awaited future is (or becomes) part of a
 // detected deadlock, or can never be spawned.
 class DeadlockError : public std::runtime_error {
@@ -72,6 +76,12 @@ struct RuntimeOptions {
   // Record fork/join events so the execution's trace can be inspected
   // after the fact (used by tests and the policy-overhead bench).
   bool record_trace = false;
+  // Optional dependency-trace sink (docs/TRACE_FORMAT.md; not owned —
+  // the caller flushes). When null, the GTDL_GRAPH_DUMP environment
+  // variable ("BASE") makes the runtime own a writer and flush
+  // BASE.<k>.json during shutdown(), so ANY embedder becomes a trace
+  // producer for `fdlc --ingest` without code changes.
+  ingest::TraceDumpWriter* graph_dump = nullptr;
 };
 
 struct RuntimeStats {
@@ -184,6 +194,10 @@ class FutureRuntime {
   std::condition_variable cv_;
   RuntimeOptions options_;
   std::unique_ptr<JoinPolicyMonitor> monitor_;  // null if policy == kNone
+  // The active trace sink: options_.graph_dump, or owned_dump_ when the
+  // GTDL_GRAPH_DUMP environment switch armed one. Null = no tracing.
+  ingest::TraceDumpWriter* dump_ = nullptr;
+  std::unique_ptr<ingest::TraceDumpWriter> owned_dump_;
   std::vector<std::thread> threads_;
   std::vector<detail::CorePtr> cores_;
   Trace trace_;

@@ -233,4 +233,82 @@ TEST(Cli, MalformedInputsRejectedWithDiagnostics) {
   std::remove("cli_fuzz_trunc.fut");
 }
 
+// --- runtime-trace ingestion (docs/TRACE_FORMAT.md) -----------------------
+
+TEST(Cli, TraceGraphThenIngestReproducesDeadlockVerdict) {
+  const std::string base = "cli_ingest_dl";
+  const CliRun emit = run_fdlc(program("fib_dl.fut") + " --run --trace-graph " +
+                               base);
+  EXPECT_EQ(emit.exit_code, 1) << emit.output;
+  EXPECT_NE(emit.output.find("wrote trace dump"), std::string::npos)
+      << emit.output;
+
+  const CliRun observe = run_fdlc("--ingest '" + base + ".*.json'");
+  EXPECT_EQ(observe.exit_code, 1) << observe.output;
+  EXPECT_NE(observe.output.find("DEADLOCK OBSERVED"), std::string::npos)
+      << observe.output;
+  EXPECT_NE(observe.output.find("witness"), std::string::npos)
+      << observe.output;
+  for (int k = 0; k < 3; ++k) {
+    std::remove((base + "." + std::to_string(k) + ".json").c_str());
+  }
+}
+
+TEST(Cli, TraceGraphThenIngestReproducesCleanVerdict) {
+  const std::string base = "cli_ingest_ok";
+  const CliRun emit =
+      run_fdlc(program("pipeline.fut") + " --run --trace-graph " + base);
+  EXPECT_EQ(emit.exit_code, 0) << emit.output;
+
+  const CliRun observe = run_fdlc("--ingest '" + base + ".*.json'");
+  EXPECT_EQ(observe.exit_code, 0) << observe.output;
+  EXPECT_NE(observe.output.find("NO DEADLOCK OBSERVED"), std::string::npos)
+      << observe.output;
+  for (int k = 0; k < 3; ++k) {
+    std::remove((base + "." + std::to_string(k) + ".json").c_str());
+  }
+}
+
+TEST(Cli, GraphDumpEnvVarArmsTheInterpreterToo) {
+  const std::string base = "cli_ingest_env";
+  const CliRun emit = run_fdlc(program("pipeline.fut") + " --run",
+                               "GTDL_GRAPH_DUMP=" + base + " ");
+  EXPECT_EQ(emit.exit_code, 0) << emit.output;
+  const CliRun observe = run_fdlc("--ingest '" + base + ".*.json'");
+  EXPECT_EQ(observe.exit_code, 0) << observe.output;
+  for (int k = 0; k < 3; ++k) {
+    std::remove((base + "." + std::to_string(k) + ".json").c_str());
+  }
+}
+
+TEST(Cli, IngestNoMatchingFilesIsUsageErrorExitTwo) {
+  const CliRun r = run_fdlc("--ingest '/nonexistent/dump.*.json'");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("no files match"), std::string::npos) << r.output;
+}
+
+TEST(Cli, IngestReportsAreByteIdenticalAcrossJobs) {
+  const std::string base = "cli_ingest_jobs";
+  const CliRun emit =
+      run_fdlc(program("fibonacci.fut") + " --run --trace-graph " + base);
+  ASSERT_EQ(emit.exit_code, 0) << emit.output;
+
+  const std::string sets =
+      "'" + base + ".*.json' '" + base + ".*.json' '" + base + ".*.json'";
+  const CliRun one = run_fdlc("--ingest --jobs 1 " + sets);
+  const CliRun four = run_fdlc("--ingest --jobs 4 " + sets);
+  EXPECT_EQ(one.exit_code, 0) << one.output;
+  EXPECT_EQ(one.output, four.output);
+  for (int k = 0; k < 3; ++k) {
+    std::remove((base + "." + std::to_string(k) + ".json").c_str());
+  }
+}
+
+TEST(Cli, IngestFlagCombinationsRejected) {
+  EXPECT_EQ(run_fdlc("--ingest").exit_code, 2);
+  EXPECT_EQ(run_fdlc("--ingest --run 'd.*.json'").exit_code, 2);
+  EXPECT_EQ(
+      run_fdlc("--trace-graph base " + program("pipeline.fut")).exit_code, 2);
+}
+
 }  // namespace

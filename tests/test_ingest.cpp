@@ -1,0 +1,457 @@
+// The trace-ingestion pipeline (docs/TRACE_FORMAT.md), end to end:
+//
+//   * round-trip — every examples/programs/*.fut is executed with a
+//     TraceDumpWriter attached, the dump is merged back, and the
+//     observed graph must be STRUCTURALLY IDENTICAL to the graph the
+//     interpreter recorded (same to_string), so every verdict —
+//     cycle/unspawned-touch, TJ, KJ — matches the ground truth;
+//   * the threaded FutureRuntime as a producer (including a genuine
+//     cross-thread cyclic deadlock, poisoned by the registry but fully
+//     present in the dump);
+//   * merge semantics on hand-written shards (placement irrelevance);
+//   * malformed-dump rejection with file:line provenance;
+//   * budgets (exit 3) and --jobs byte-identity via drive_ingest.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtdl/frontend/driver.hpp"
+#include "gtdl/frontend/interp.hpp"
+#include "gtdl/graph/graph.hpp"
+#include "gtdl/ingest/ingest.hpp"
+#include "gtdl/ingest/trace_writer.hpp"
+#include "gtdl/runtime/futures.hpp"
+#include "gtdl/tj/join_policy.hpp"
+#include "gtdl/tj/trace.hpp"
+
+namespace gtdl {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A fresh directory under the system temp root, removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    static int counter = 0;
+    path_ = fs::temp_directory_path() /
+            ("gtdl_ingest_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter++));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  fs::path path_;
+};
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  ASSERT_TRUE(out.is_open()) << path;
+  out << content;
+}
+
+std::string read_program(const std::string& name) {
+  const std::string path = std::string(GTDL_PROGRAMS_DIR) + "/" + name;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+constexpr const char* kMeta0 =
+    R"({"trace_version":1,"kind":"meta","shard":0,"shards":1,"root":"main"})"
+    "\n";
+
+// --- round-trip over every example program ---------------------------------
+
+struct RoundTripCase {
+  const char* file;
+  bool has_deadlock;
+  std::vector<std::int64_t> rand_script;
+};
+
+class IngestRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(IngestRoundTrip, ObservedGraphMatchesInterpreter) {
+  const RoundTripCase& rc = GetParam();
+  auto compiled = compile_futlang_or_throw(read_program(rc.file));
+
+  TempDir dir;
+  ingest::TraceDumpWriter writer(dir.file("rt"));
+  InterpOptions options;
+  options.rand_script = rc.rand_script;
+  options.graph_dump = &writer;
+  const InterpResult run = interpret(compiled.program, options);
+  ASSERT_FALSE(run.error.has_value()) << rc.file << ": " << *run.error;
+  ASSERT_EQ(run.deadlock.has_value(), rc.has_deadlock)
+      << rc.file << ": " << run.deadlock.value_or("(none)");
+
+  std::string flush_error;
+  const std::vector<std::string> shards = writer.flush(&flush_error);
+  ASSERT_TRUE(flush_error.empty()) << flush_error;
+  ASSERT_EQ(shards.size(), writer.shard_count());
+
+  const ingest::MergedTrace merged = ingest::merge_trace_dumps(shards);
+  ASSERT_TRUE(merged.ok) << rc.file << "\n" << merged.diags.render();
+  ASSERT_NE(merged.graph, nullptr);
+
+  // The reconstruction is exact, not merely verdict-equivalent.
+  EXPECT_EQ(to_string(*merged.graph), to_string(*run.graph)) << rc.file;
+
+  // Hence every detector agrees with the interpreter's ground truth.
+  EXPECT_EQ(find_ground_deadlock(*merged.graph).any(), rc.has_deadlock)
+      << rc.file;
+  const Trace observed = trace_with_init(*merged.graph, merged.root);
+  EXPECT_EQ(check_transitive_joins(observed).valid,
+            check_transitive_joins(run.trace).valid)
+      << rc.file;
+  EXPECT_EQ(check_known_joins(observed).valid,
+            check_known_joins(run.trace).valid)
+      << rc.file;
+
+  // And the CLI-level report lands on the matching observed verdict.
+  const ingest::IngestReport report =
+      ingest::ingest_dump_set(dir.file("rt") + ".*.json");
+  EXPECT_EQ(report.exit_code, rc.has_deadlock ? 1 : 0) << report.text;
+  EXPECT_EQ(report.deadlock_observed, rc.has_deadlock);
+  EXPECT_NE(report.text.find(rc.has_deadlock ? "DEADLOCK OBSERVED"
+                                             : "NO DEADLOCK OBSERVED"),
+            std::string::npos)
+      << report.text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, IngestRoundTrip,
+    ::testing::Values(
+        RoundTripCase{"fibonacci.fut", false, {}},
+        RoundTripCase{"fib_dl.fut", true, {}},
+        RoundTripCase{"pipeline.fut", false, {}},
+        RoundTripCase{"counterex.fut", true, {1, 1}},
+        RoundTripCase{"webserver.fut", false, {}},
+        RoundTripCase{"webserver_dl.fut", true, {}},
+        RoundTripCase{"vec_reduce.fut", false, {}},
+        RoundTripCase{"vec_indexed.fut", false, {}},
+        RoundTripCase{"vec_pipeline.fut", false, {}},
+        RoundTripCase{"pipeline_buffer.fut", false, {}},
+        RoundTripCase{"pipeline_source.fut", false, {}},
+        RoundTripCase{"vec_skip_dl.fut", true, {}},
+        RoundTripCase{"pipeline_dl.fut", true, {}}),
+    [](const ::testing::TestParamInfo<RoundTripCase>& info) {
+      std::string name = info.param.file;
+      return name.substr(0, name.find('.'));
+    });
+
+// --- the threaded runtime as a producer ------------------------------------
+
+TEST(IngestRuntime, CleanExecutionRoundTrips) {
+  TempDir dir;
+  ingest::TraceDumpWriter writer(dir.file("rt"));
+  {
+    RuntimeOptions options;
+    options.graph_dump = &writer;
+    FutureRuntime rt(options);
+    auto a = rt.new_future<int>("a");
+    auto b = rt.new_future<int>("b");
+    a.spawn([] { return 1; });
+    b.spawn([a]() mutable { return a.touch() + 1; });
+    EXPECT_EQ(b.touch(), 2);
+  }
+  std::string error;
+  const auto shards = writer.flush(&error);
+  ASSERT_TRUE(error.empty()) << error;
+  const ingest::MergedTrace merged = ingest::merge_trace_dumps(shards);
+  ASSERT_TRUE(merged.ok) << merged.diags.render();
+  EXPECT_FALSE(find_ground_deadlock(*merged.graph).any())
+      << to_string(*merged.graph);
+}
+
+TEST(IngestRuntime, PoisonedCyclicDeadlockIsInTheDump) {
+  TempDir dir;
+  ingest::TraceDumpWriter writer(dir.file("rt"));
+  {
+    RuntimeOptions options;
+    options.graph_dump = &writer;
+    FutureRuntime rt(options);
+    auto a = rt.new_future<int>("a");
+    auto b = rt.new_future<int>("b");
+    a.spawn([b]() mutable { return b.touch(); });
+    b.spawn([a]() mutable { return a.touch(); });
+    EXPECT_THROW((void)a.touch(), DeadlockError);
+  }
+  std::string error;
+  const auto shards = writer.flush(&error);
+  ASSERT_TRUE(error.empty()) << error;
+
+  // The registry poisoned the cycle so the process survived — but the
+  // touches happened, so the OBSERVED graph still contains the deadlock.
+  const ingest::MergedTrace merged = ingest::merge_trace_dumps(shards);
+  ASSERT_TRUE(merged.ok) << merged.diags.render();
+  EXPECT_TRUE(find_ground_deadlock(*merged.graph).any())
+      << to_string(*merged.graph);
+
+  const ingest::IngestReport report =
+      ingest::ingest_dump_set(dir.file("rt") + ".*.json");
+  EXPECT_EQ(report.exit_code, 1) << report.text;
+}
+
+// --- writer mechanics -------------------------------------------------------
+
+TEST(TraceWriter, EveryShardIsWrittenEvenWhenEmpty) {
+  TempDir dir;
+  ingest::TraceDumpWriter::Options options;
+  options.shards = 4;
+  ingest::TraceDumpWriter writer(dir.file("d"), options);
+  writer.record_spawn(Symbol::intern("main"), Symbol::intern("only"));
+  std::string error;
+  const auto paths = writer.flush(&error);
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_EQ(paths.size(), 4u);
+  for (const std::string& p : paths) {
+    std::ifstream in(p);
+    ASSERT_TRUE(in.is_open()) << p;
+    std::string first;
+    std::getline(in, first);
+    EXPECT_NE(first.find("\"kind\":\"meta\""), std::string::npos) << p;
+  }
+  EXPECT_EQ(writer.record_count(), 1u);
+}
+
+TEST(TraceWriter, JsonEscapeCoversControlAndQuotes) {
+  EXPECT_EQ(ingest::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(ingest::json_escape("x\n\t"), "x\\n\\t");
+  EXPECT_EQ(ingest::json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+// --- merge semantics on hand-written shards --------------------------------
+
+TEST(IngestMerge, ShardPlacementCarriesNoMeaning) {
+  // The same execution, sharded two different ways, merges to the same
+  // graph: a cyclic wait between `a` and `b`.
+  const std::string spawn_a =
+      R"({"kind":"spawn","seq":0,"thread":"main","vertex":"a"})" "\n";
+  const std::string spawn_b =
+      R"({"kind":"spawn","seq":1,"thread":"main","vertex":"b"})" "\n";
+  const std::string touches =
+      R"({"kind":"touch","seq":2,"thread":"a","vertex":"b"})" "\n"
+      R"({"kind":"touch","seq":3,"thread":"b","vertex":"a"})" "\n"
+      R"({"kind":"touch","seq":4,"thread":"main","vertex":"a"})" "\n";
+
+  TempDir one;
+  write_file(one.file("d.0.json"), kMeta0 + spawn_a + spawn_b + touches);
+  const auto single =
+      ingest::merge_trace_dumps({one.file("d.0.json")});
+  ASSERT_TRUE(single.ok) << single.diags.render();
+
+  TempDir two;
+  write_file(
+      two.file("d.0.json"),
+      R"({"trace_version":1,"kind":"meta","shard":0,"shards":2,"root":"main"})"
+      "\n" +
+          touches);
+  write_file(
+      two.file("d.1.json"),
+      R"({"trace_version":1,"kind":"meta","shard":1,"shards":2,"root":"main"})"
+      "\n" +
+          spawn_a + spawn_b);
+  const auto split = ingest::merge_trace_dumps(
+      {two.file("d.0.json"), two.file("d.1.json")});
+  ASSERT_TRUE(split.ok) << split.diags.render();
+
+  EXPECT_EQ(to_string(*single.graph), to_string(*split.graph));
+  EXPECT_TRUE(find_ground_deadlock(*split.graph).any());
+
+  const ingest::IngestReport report =
+      ingest::ingest_dump_set(two.file("d.*.json"));
+  EXPECT_EQ(report.exit_code, 1);
+  EXPECT_NE(report.text.find("witness (observed cyclic wait): a -> b -> a"),
+            std::string::npos)
+      << report.text;
+}
+
+TEST(IngestMerge, UnknownKeysAreIgnoredForForwardCompat) {
+  TempDir dir;
+  write_file(dir.file("d.0.json"),
+             std::string(kMeta0) +
+                 R"({"kind":"spawn","seq":0,"thread":"main",)"
+                 R"("vertex":"a","ts_ns":12345,"cpu":"3"})" "\n"
+                 R"({"kind":"touch","seq":1,"thread":"main","vertex":"a"})"
+                 "\n");
+  const auto merged = ingest::merge_trace_dumps({dir.file("d.0.json")});
+  EXPECT_TRUE(merged.ok) << merged.diags.render();
+}
+
+// --- malformed dumps: every rejection carries file:line provenance ---------
+
+// Returns the diagnostics for a single-shard dump with `body` appended
+// after a valid meta line.
+std::string reject(const std::string& body, const std::string& meta = kMeta0) {
+  TempDir dir;
+  write_file(dir.file("bad.0.json"), meta + body);
+  const auto merged = ingest::merge_trace_dumps({dir.file("bad.0.json")});
+  EXPECT_FALSE(merged.ok) << "expected rejection for: " << body;
+  return merged.diags.render();
+}
+
+TEST(IngestMalformed, TruncatedJsonLine) {
+  const std::string diags =
+      reject(R"({"kind":"spawn","seq":0,"thread":"main)" "\n");
+  EXPECT_NE(diags.find("bad.0.json:2:"), std::string::npos) << diags;
+}
+
+TEST(IngestMalformed, DuplicateSpawnOfVertex) {
+  const std::string diags = reject(
+      R"({"kind":"spawn","seq":0,"thread":"main","vertex":"a"})" "\n"
+      R"({"kind":"spawn","seq":1,"thread":"main","vertex":"a"})" "\n");
+  EXPECT_NE(diags.find("duplicate spawn of vertex 'a'"), std::string::npos)
+      << diags;
+  EXPECT_NE(diags.find("bad.0.json:3"), std::string::npos) << diags;
+}
+
+TEST(IngestMalformed, DanglingRecordByUnspawnedThread) {
+  const std::string diags =
+      reject(R"({"kind":"touch","seq":0,"thread":"ghost","vertex":"a"})" "\n");
+  EXPECT_NE(diags.find("dangling record"), std::string::npos) << diags;
+}
+
+TEST(IngestMalformed, DuplicateSeq) {
+  const std::string diags = reject(
+      R"({"kind":"spawn","seq":0,"thread":"main","vertex":"a"})" "\n"
+      R"({"kind":"touch","seq":0,"thread":"main","vertex":"a"})" "\n");
+  EXPECT_NE(diags.find("duplicate seq 0"), std::string::npos) << diags;
+}
+
+TEST(IngestMalformed, ResolveOfNeverSpawnedFuture) {
+  const std::string diags =
+      reject(R"({"kind":"resolve","seq":0,"thread":"main","vertex":"a"})" "\n");
+  EXPECT_NE(diags.find("never spawned"), std::string::npos) << diags;
+}
+
+TEST(IngestMalformed, MissingMetaRecord) {
+  TempDir dir;
+  write_file(dir.file("bad.0.json"),
+             R"({"kind":"spawn","seq":0,"thread":"main","vertex":"a"})" "\n");
+  const auto merged = ingest::merge_trace_dumps({dir.file("bad.0.json")});
+  EXPECT_FALSE(merged.ok);
+  EXPECT_NE(merged.diags.render().find("meta record"), std::string::npos);
+}
+
+TEST(IngestMalformed, UnsupportedTraceVersion) {
+  TempDir dir;
+  write_file(
+      dir.file("bad.0.json"),
+      R"({"trace_version":2,"kind":"meta","shard":0,"shards":1,"root":"main"})"
+      "\n");
+  const auto merged = ingest::merge_trace_dumps({dir.file("bad.0.json")});
+  EXPECT_FALSE(merged.ok);
+  EXPECT_NE(merged.diags.render().find("trace_version"), std::string::npos);
+}
+
+TEST(IngestMalformed, IncompleteShardSet) {
+  TempDir dir;
+  write_file(
+      dir.file("d.0.json"),
+      R"({"trace_version":1,"kind":"meta","shard":0,"shards":2,"root":"main"})"
+      "\n");
+  const auto merged = ingest::merge_trace_dumps({dir.file("d.0.json")});
+  EXPECT_FALSE(merged.ok);
+  EXPECT_NE(merged.diags.render().find("incomplete set"), std::string::npos)
+      << merged.diags.render();
+}
+
+TEST(IngestMalformed, RejectsNestedValuesAndNegativeNumbers) {
+  EXPECT_NE(
+      reject(R"({"kind":"spawn","seq":-1,"thread":"main","vertex":"a"})" "\n")
+          .find("at column"),
+      std::string::npos);
+  EXPECT_NE(
+      reject(
+          R"({"kind":"spawn","seq":0,"thread":"main","vertex":["a"]})" "\n")
+          .find("at column"),
+      std::string::npos);
+}
+
+TEST(IngestMalformed, UnknownKindIsRejected) {
+  const std::string diags =
+      reject(R"({"kind":"steal","seq":0,"thread":"main","vertex":"a"})" "\n");
+  EXPECT_FALSE(diags.empty());
+}
+
+// --- budgets and parallel driving ------------------------------------------
+
+TEST(IngestDrive, BudgetExhaustionIsExitThreeNotAVerdict) {
+  TempDir dir;
+  std::string body;
+  for (int i = 0; i < 64; ++i) {
+    body += R"({"kind":"spawn","seq":)" + std::to_string(i) +
+            R"(,"thread":"main","vertex":"v)" + std::to_string(i) + "\"}\n";
+  }
+  write_file(dir.file("d.0.json"), kMeta0 + body);
+  ingest::IngestOptions options;
+  options.budget_steps = 3;
+  const ingest::IngestReport report =
+      ingest::ingest_dump_set(dir.file("d.*.json"), options);
+  EXPECT_EQ(report.exit_code, 3) << report.text;
+  EXPECT_NE(report.text.find("UNKNOWN"), std::string::npos) << report.text;
+}
+
+TEST(IngestDrive, ReportsAreByteIdenticalAcrossJobCounts) {
+  TempDir dir;
+  std::vector<std::string> patterns;
+  for (int set = 0; set < 3; ++set) {
+    const std::string base = "s" + std::to_string(set);
+    std::string body;
+    for (int i = 0; i < 4; ++i) {
+      const std::string v = base + "_v" + std::to_string(i);
+      body += R"({"kind":"spawn","seq":)" + std::to_string(2 * i) +
+              R"(,"thread":"main","vertex":")" + v + "\"}\n";
+      body += R"({"kind":"touch","seq":)" + std::to_string(2 * i + 1) +
+              R"(,"thread":"main","vertex":")" + v + "\"}\n";
+    }
+    write_file(dir.file(base + ".0.json"), kMeta0 + body);
+    patterns.push_back(dir.file(base + ".*.json"));
+  }
+
+  ingest::IngestOptions serial;
+  serial.jobs = 1;
+  ingest::IngestOptions wide;
+  wide.jobs = 4;
+  const auto a = ingest::drive_ingest(patterns, serial);
+  const auto b = ingest::drive_ingest(patterns, wide);
+  ASSERT_EQ(a.sets.size(), b.sets.size());
+  for (std::size_t i = 0; i < a.sets.size(); ++i) {
+    EXPECT_EQ(a.sets[i].text, b.sets[i].text) << patterns[i];
+    EXPECT_EQ(a.sets[i].exit_code, b.sets[i].exit_code);
+  }
+  EXPECT_EQ(a.exit_code, b.exit_code);
+  EXPECT_EQ(a.exit_code, 0);
+}
+
+TEST(IngestDrive, NoMatchingFilesIsAnError) {
+  std::string error;
+  const auto files =
+      ingest::expand_dump_glob("/nonexistent/nope.*.json", &error);
+  EXPECT_TRUE(files.empty());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace gtdl
