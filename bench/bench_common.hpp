@@ -20,6 +20,7 @@
 #endif
 
 #include "gtdl/frontend/driver.hpp"
+#include "gtdl/graph/graph.hpp"
 #include "gtdl/obs/metrics.hpp"
 
 namespace gtdl::bench {
@@ -60,9 +61,9 @@ inline void write_json_env(std::FILE* json, const char* warning = nullptr) {
   const BenchEnv env = bench_env();
   std::fprintf(json,
                "  \"env\": {\"hostname\": \"%s\", \"hardware_threads\": %u, "
-               "\"build_type\": \"%s\"",
+               "\"build_type\": \"%s\", \"scan_arena_trim_quota\": %zu",
                env.hostname.c_str(), env.hardware_threads,
-               env.build_type.c_str());
+               env.build_type.c_str(), scan_arena_trim_quota());
   if (warning != nullptr) {
     std::fprintf(json, ", \"warning\": \"%s\"", warning);
   }

@@ -1,0 +1,293 @@
+// E15 — fdld warm requests vs cold process starts (DESIGN.md §S23).
+//
+// Three experiments, all recorded in bench_service.json:
+//
+// 1. GATED warm-vs-cold per-request latency. For each workload, "cold"
+//    is one full fdld process lifecycle (exec, compile, analyze, exit —
+//    what an editor pays shelling out per keystroke), measured by
+//    piping a submit+shutdown script through a fresh `fdld --stdio`.
+//    "Warm" is the same submit handled by a long-lived in-process
+//    Service whose caches the first request already populated — the
+//    daemon steady state. The gate: geomean cold/warm speedup across
+//    workloads must be >= 5x or main exits 1.
+//
+// 2. Ungated incremental re-analysis: a 12-file .gt corpus, one file
+//    modified between requests. The reanalyze recomputes only the dirty
+//    cone (1 of 12 files) and replays the rest, vs a cold process run
+//    of the full corpus.
+//
+// 3. Ungated snapshot warm-start: cold fdld process start vs one that
+//    pre-loads the interner snapshot written by experiment 1's corpus.
+//
+// Workload verdicts are checked against ground truth before timing —
+// a fast wrong daemon would be worse than a slow right one.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gtdl/service/protocol.hpp"
+#include "gtdl/service/service.hpp"
+#include "gtdl/service/snapshot.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using gtdl::service::Service;
+using gtdl::service::ServiceOptions;
+
+std::string fdld_path() {
+#ifdef GTDL_FDLD_PATH
+  return GTDL_FDLD_PATH;
+#else
+  return "fdld";
+#endif
+}
+
+std::string submit_line(const std::vector<std::string>& files,
+                        const char* op = "submit") {
+  std::string line = "{\"op\":\"";
+  line += op;
+  line += "\"";
+  for (const std::string& f : files) {
+    line += ",\"file\":";
+    gtdl::service::append_json_string(line, f);
+  }
+  line += "}";
+  return line;
+}
+
+// One cold daemon lifecycle: start fdld --stdio, feed it the script,
+// drain stdout, wait for exit. Returns the exit code (or -1).
+int run_cold(const std::string& extra_args, const std::string& script,
+             std::string* out = nullptr) {
+  const std::string command = "printf '%s\\n' '" + script + "' | " +
+                              fdld_path() + " --stdio " + extra_args +
+                              " 2>/dev/null";
+  std::FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return -1;
+  char buffer[4096];
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    if (out != nullptr) *out += buffer;
+  }
+  return WEXITSTATUS(pclose(pipe));
+}
+
+template <typename Fn>
+double min_ms_of(int reps, Fn&& fn) {
+  double best = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (rep == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+long long field_int(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return -1;
+  return std::strtoll(text.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+struct Workload {
+  std::string name;
+  std::vector<std::string> files;
+  int expected_exit = 0;
+};
+
+struct Row {
+  std::string name;
+  double cold_ms = 0;
+  double warm_ms = 0;
+  double speedup = 0;
+};
+
+constexpr double kGate = 5.0;
+
+}  // namespace
+
+int main() {
+  using gtdl::bench::eval_programs;
+  using gtdl::bench::programs_dir;
+
+  std::string tmp_pattern =
+      (fs::temp_directory_path() / "gtdl_bench_service_XXXXXX").string();
+  if (mkdtemp(tmp_pattern.data()) == nullptr) {
+    std::fprintf(stderr, "cannot create temp dir\n");
+    return 1;
+  }
+  const fs::path tmp = tmp_pattern;
+
+  // --- workloads --------------------------------------------------------
+  std::vector<Workload> workloads;
+  {
+    Workload table1{"table1 corpus (6 .fut)", {}, 1};
+    for (const auto& p : eval_programs()) {
+      table1.files.push_back(programs_dir() + "/" + p.file);
+    }
+    workloads.push_back(std::move(table1));
+  }
+  {
+    Workload df{"pipeline.fut", {programs_dir() + "/pipeline.fut"}, 0};
+    workloads.push_back(std::move(df));
+  }
+  {
+    // A 12-definition textual graph-type corpus (the incremental
+    // experiment reuses it): 11 deadlock-free chains + 1 rejecting.
+    Workload gts{"12-file .gt corpus", {}, 1};
+    for (int i = 0; i < 11; ++i) {
+      const std::string path = (tmp / ("chain" + std::to_string(i) + ".gt")).string();
+      std::ofstream out(path);
+      out << "new u. new v. ((1/u) ; 1/v) ; ~u ; ~v";
+      for (int k = 0; k < i; ++k) out << " ; 1";  // distinct contents
+      gts.files.push_back(path);
+    }
+    const std::string bad = (tmp / "cycle.gt").string();
+    std::ofstream(bad) << "new u. ~u ; 1/u";
+    gts.files.push_back(bad);
+    workloads.push_back(std::move(gts));
+  }
+
+  // --- experiment 1: gated warm vs cold ---------------------------------
+  Service service(ServiceOptions{});
+  bool shutdown = false;
+  bool verdicts_agree = true;
+
+  std::printf("fdld warm request vs cold process start\n%-24s %12s %12s %9s\n",
+              "workload", "cold ms", "warm ms", "speedup");
+  std::vector<Row> rows;
+  for (const Workload& w : workloads) {
+    const std::string line = submit_line(w.files);
+    const std::string script = line + "\n{\"op\":\"shutdown\"}";
+
+    std::string cold_out;
+    const int cold_exit = run_cold("", script, &cold_out);
+    const std::string warm_prime = service.handle_line(line, &shutdown);
+    const long long cold_verdict = field_int(cold_out, "exit_code");
+    const long long warm_verdict = field_int(warm_prime, "exit_code");
+    if (cold_verdict != w.expected_exit || warm_verdict != w.expected_exit ||
+        cold_exit != 0) {
+      verdicts_agree = false;
+      std::fprintf(stderr,
+                   "FAIL %s: expected exit %d, cold %lld, warm %lld "
+                   "(process exit %d)\n",
+                   w.name.c_str(), w.expected_exit, cold_verdict,
+                   warm_verdict, cold_exit);
+    }
+
+    Row row;
+    row.name = w.name;
+    row.cold_ms = min_ms_of(5, [&] { (void)run_cold("", script); });
+    row.warm_ms =
+        min_ms_of(5, [&] { (void)service.handle_line(line, &shutdown); });
+    row.speedup = row.warm_ms > 0 ? row.cold_ms / row.warm_ms : 0;
+    std::printf("%-24s %12.3f %12.3f %8.1fx\n", row.name.c_str(),
+                row.cold_ms, row.warm_ms, row.speedup);
+    rows.push_back(row);
+  }
+
+  double log_sum = 0;
+  for (const Row& row : rows) log_sum += std::log(row.speedup);
+  const double geomean = std::exp(log_sum / static_cast<double>(rows.size()));
+  const bool gate_passed = verdicts_agree && geomean >= kGate;
+  std::printf("geomean speedup %.1fx (gate >= %.1fx): %s\n\n", geomean, kGate,
+              gate_passed ? "PASS" : "FAIL");
+
+  // --- experiment 2: incremental re-analysis ----------------------------
+  const Workload& gts = workloads.back();
+  const std::string gt_line = submit_line(gts.files, "reanalyze");
+  const std::string gt_script = submit_line(gts.files) + "\n{\"op\":\"shutdown\"}";
+  const std::string changed = gts.files.front();
+  int flip = 0;
+  const auto touch_one = [&] {
+    // Alternate between two deadlock-free spellings so every reanalyze
+    // sees a genuine content change in exactly one definition.
+    std::ofstream out(changed, std::ios::trunc);
+    out << ((flip++ % 2) == 0 ? "new u. (1/u) ; ~u ; 1"
+                              : "new u. (1/u) ; 1 ; ~u");
+  };
+  touch_one();
+  (void)service.handle_line(gt_line, &shutdown);  // prime the new spelling
+  const double incremental_cold_ms =
+      min_ms_of(5, [&] { (void)run_cold("", gt_script); });
+  const double incremental_warm_ms = min_ms_of(5, [&] {
+    touch_one();
+    (void)service.handle_line(gt_line, &shutdown);
+  });
+  const double incremental_speedup =
+      incremental_warm_ms > 0 ? incremental_cold_ms / incremental_warm_ms : 0;
+  std::printf(
+      "incremental: 1-of-12 .gt changed, reanalyze %12.3f ms vs cold "
+      "%12.3f ms (%.1fx)\n",
+      incremental_warm_ms, incremental_cold_ms, incremental_speedup);
+
+  // --- experiment 3: snapshot warm start --------------------------------
+  const std::string snap = (tmp / "snap.bin").string();
+  const auto written = gtdl::service::save_snapshot(snap);
+  double warm_start_cold_ms = 0;
+  double warm_start_warm_ms = 0;
+  if (written.ok) {
+    const std::string fut_script =
+        submit_line(workloads[1].files) + "\n{\"op\":\"shutdown\"}";
+    warm_start_cold_ms = min_ms_of(5, [&] { (void)run_cold("", fut_script); });
+    warm_start_warm_ms = min_ms_of(
+        5, [&] { (void)run_cold("--warm-start " + snap, fut_script); });
+    std::printf(
+        "snapshot warm start (%zu nodes): process %12.3f ms vs cold "
+        "%12.3f ms\n",
+        written.nodes, warm_start_warm_ms, warm_start_cold_ms);
+  } else {
+    std::fprintf(stderr, "snapshot write failed: %s\n", written.error.c_str());
+  }
+
+  // --- JSON -------------------------------------------------------------
+  std::FILE* json = std::fopen("bench_service.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write bench_service.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"warm_vs_cold\": [");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(json,
+                 "%s\n    {\"workload\": \"%s\", \"cold_ms\": %.3f, "
+                 "\"warm_ms\": %.3f, \"speedup\": %.1f}",
+                 i == 0 ? "" : ",", r.name.c_str(), r.cold_ms, r.warm_ms,
+                 r.speedup);
+  }
+  std::fprintf(json,
+               "\n  ],\n  \"geomean_speedup\": %.1f,\n  \"gate\": %.1f,\n"
+               "  \"gate_passed\": %s,\n",
+               geomean, kGate, gate_passed ? "true" : "false");
+  std::fprintf(json,
+               "  \"incremental\": {\"files\": %zu, \"changed\": 1, "
+               "\"cold_ms\": %.3f, \"warm_ms\": %.3f, \"speedup\": %.1f},\n",
+               gts.files.size(), incremental_cold_ms, incremental_warm_ms,
+               incremental_speedup);
+  std::fprintf(json,
+               "  \"snapshot_warm_start\": {\"nodes\": %zu, "
+               "\"cold_ms\": %.3f, \"warm_ms\": %.3f},\n",
+               written.ok ? written.nodes : 0, warm_start_cold_ms,
+               warm_start_warm_ms);
+  gtdl::bench::write_json_env(json);
+  std::fprintf(json, ",\n");
+  gtdl::bench::write_json_metrics(json);
+  std::fprintf(json, "\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote bench_service.json\n");
+
+  std::error_code ec;
+  fs::remove_all(tmp, ec);
+  return gate_passed ? 0 : 1;
+}

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Reference client for the fdld analysis daemon (README "fdld").
+
+Speaks the newline-delimited JSON protocol over fdld's unix-domain
+socket: each command becomes one flat request line (string and
+non-negative-integer values only; corpus files ride as repeated
+``"file"`` keys), and the daemon's one-line JSON response is printed to
+stdout verbatim. Stdlib only — no dependencies beyond python3.
+
+Usage:
+  scripts/fdld_client.py SOCKET ping
+  scripts/fdld_client.py SOCKET submit FILE... [--budget-steps N]
+      [--budget-mb N] [--timeout-ms N] [--max-iters N] [--unrolls N]
+      [--baseline] [--no-new-push]
+  scripts/fdld_client.py SOCKET reanalyze FILE... [same options]
+  scripts/fdld_client.py SOCKET stats
+  scripts/fdld_client.py SOCKET snapshot PATH
+  scripts/fdld_client.py SOCKET shutdown
+
+Exit code: the response's "exit_code" field when present (the corpus
+verdict: 0 deadlock-free, 1 possible deadlock, 2 error, 3 budget
+exhausted); otherwise 0 when the response says ``"ok":true`` and 1 when
+it does not or the transport fails.
+"""
+
+import json
+import socket
+import sys
+
+INT_OPTIONS = {
+    "--budget-steps": "budget_steps",
+    "--budget-mb": "budget_mb",
+    "--timeout-ms": "timeout_ms",
+    "--max-iters": "max_iters",
+    "--unrolls": "unrolls",
+}
+FLAG_OPTIONS = {
+    # The wire protocol carries daemon-default overrides as 0/1 ints.
+    "--baseline": ("baseline", 1),
+    "--no-new-push": ("new_push", 0),
+}
+
+
+def encode_request(op, files, options):
+    """Flat one-line JSON with repeated "file" keys (dict won't do)."""
+    parts = ['"op":' + json.dumps(op)]
+    for path in files:
+        parts.append('"file":' + json.dumps(path))
+    for key, value in options.items():
+        parts.append(json.dumps(key) + ":" + json.dumps(value))
+    return "{" + ",".join(parts) + "}\n"
+
+
+def parse_command(argv):
+    if len(argv) < 2:
+        raise SystemExit(__doc__.strip())
+    sock_path, op = argv[0], argv[1]
+    files = []
+    options = {}
+    rest = argv[2:]
+    if op in ("submit", "reanalyze"):
+        i = 0
+        while i < len(rest):
+            arg = rest[i]
+            if arg in INT_OPTIONS:
+                if i + 1 >= len(rest):
+                    raise SystemExit(f"fdld_client: missing value for {arg}")
+                options[INT_OPTIONS[arg]] = int(rest[i + 1])
+                i += 2
+            elif arg in FLAG_OPTIONS:
+                key, value = FLAG_OPTIONS[arg]
+                options[key] = value
+                i += 1
+            else:
+                files.append(arg)
+                i += 1
+        if not files:
+            raise SystemExit(f"fdld_client: {op} needs at least one file")
+    elif op == "snapshot":
+        if len(rest) != 1:
+            raise SystemExit("fdld_client: snapshot needs exactly one path")
+        options["path"] = rest[0]
+    elif op in ("ping", "stats", "shutdown"):
+        if rest:
+            raise SystemExit(f"fdld_client: {op} takes no arguments")
+    else:
+        raise SystemExit(f"fdld_client: unknown op '{op}'")
+    return sock_path, op, files, options
+
+
+def main(argv):
+    sock_path, op, files, options = parse_command(argv)
+    request = encode_request(op, files, options)
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        try:
+            sock.connect(sock_path)
+        except OSError as err:
+            print(f"fdld_client: cannot connect to {sock_path}: {err}",
+                  file=sys.stderr)
+            return 1
+        sock.sendall(request.encode())
+        chunks = []
+        while True:
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if b"\n" in chunk:
+                break
+    line = b"".join(chunks).split(b"\n", 1)[0].decode()
+    if not line:
+        print("fdld_client: empty response", file=sys.stderr)
+        return 1
+    print(line)
+    response = json.loads(line)
+    if "exit_code" in response:
+        return int(response["exit_code"])
+    return 0 if response.get("ok") else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

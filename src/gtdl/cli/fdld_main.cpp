@@ -1,0 +1,217 @@
+// fdld — persistent futures-deadlock-analysis daemon.
+//
+// One long-lived process keeps the graph-type interner, the analysis
+// memo pools and a two-level verdict cache warm across requests, so an
+// editor or CI driver pays the cold-start cost once:
+//
+//   fdld --socket /tmp/fdld.sock --jobs 8        serve a unix socket
+//   fdld --stdio                                 serve stdin/stdout
+//   fdld --socket S --warm-start snap.bin        pre-load an interner
+//                                                snapshot (cold fallback
+//                                                on any mismatch)
+//   fdld --socket S --snapshot snap.bin          write a snapshot after
+//                                                the serve loop exits
+//
+// Protocol: newline-delimited JSON, one request per line (see
+// service/protocol.hpp and README "fdld"); scripts/fdld_client.py is the
+// reference client. Analysis flags (--no-new-push, --max-iters,
+// --baseline, --unrolls, --timeout-ms, --budget-steps, --budget-mb) set
+// the DAEMON DEFAULTS; requests may override per call. --cache-mb bounds
+// the verdict cache (LRU eviction past it; default 64).
+//
+// Exit code: 0 after a clean shutdown request or stdio EOF, 1 on a
+// socket-level failure, 2 on a usage error.
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "gtdl/service/daemon.hpp"
+#include "gtdl/service/service.hpp"
+#include "gtdl/service/snapshot.hpp"
+
+namespace {
+
+struct DaemonCli {
+  bool stdio = false;
+  std::string socket_path;
+  std::string warm_start_path;
+  std::string snapshot_path;
+  gtdl::service::ServiceOptions service;
+};
+
+void usage() {
+  std::cerr <<
+      "usage: fdld --socket PATH [options]\n"
+      "       fdld --stdio [options]\n"
+      "options: --jobs N --cache-mb N --warm-start FILE --snapshot FILE\n"
+      "         --no-new-push --max-iters N --baseline --unrolls N\n"
+      "         --timeout-ms N --budget-steps N --budget-mb N\n"
+      "notes:   --jobs 0 means \"one worker per hardware thread\";\n"
+      "         analysis options are daemon defaults, overridable per\n"
+      "         request (see README \"fdld\")\n";
+}
+
+bool parse_u64(const std::string& flag, const char* v, std::uint64_t& out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long x = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE ||
+      std::strchr(v, '-') != nullptr) {
+    std::cerr << "fdld: invalid number '" << v << "' for " << flag << "\n";
+    return false;
+  }
+  out = x;
+  return true;
+}
+
+bool parse_u32(const std::string& flag, const char* v, unsigned& out) {
+  std::uint64_t x = 0;
+  if (!parse_u64(flag, v, x)) return false;
+  if (x > 0xffffffffull) {
+    std::cerr << "fdld: value '" << v << "' for " << flag
+              << " is out of range\n";
+    return false;
+  }
+  out = static_cast<unsigned>(x);
+  return true;
+}
+
+std::optional<DaemonCli> parse_args(int argc, char** argv) {
+  DaemonCli cli;
+  std::uint64_t cache_mb = 64;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "fdld: missing value for " << arg << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--stdio") {
+      cli.stdio = true;
+    } else if (arg == "--socket") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      cli.socket_path = v;
+    } else if (arg == "--warm-start") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      cli.warm_start_path = v;
+    } else if (arg == "--snapshot") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      cli.snapshot_path = v;
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr || !parse_u32(arg, v, cli.service.jobs)) {
+        return std::nullopt;
+      }
+      if (cli.service.jobs == 0) {
+        cli.service.jobs = std::max(1u, std::thread::hardware_concurrency());
+      }
+    } else if (arg == "--cache-mb") {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(arg, v, cache_mb)) return std::nullopt;
+    } else if (arg == "--no-new-push") {
+      cli.service.defaults.new_push = false;
+    } else if (arg == "--baseline") {
+      cli.service.defaults.baseline = true;
+    } else if (arg == "--max-iters") {
+      const char* v = next();
+      if (v == nullptr ||
+          !parse_u32(arg, v, cli.service.defaults.max_iters)) {
+        return std::nullopt;
+      }
+      if (cli.service.defaults.max_iters == 0) {
+        std::cerr << "fdld: --max-iters must be >= 1\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--unrolls") {
+      const char* v = next();
+      if (v == nullptr || !parse_u32(arg, v, cli.service.defaults.unrolls)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--timeout-ms") {
+      const char* v = next();
+      if (v == nullptr ||
+          !parse_u64(arg, v, cli.service.defaults.timeout_ms)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--budget-steps") {
+      const char* v = next();
+      if (v == nullptr ||
+          !parse_u64(arg, v, cli.service.defaults.budget_steps)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--budget-mb") {
+      const char* v = next();
+      if (v == nullptr ||
+          !parse_u64(arg, v, cli.service.defaults.budget_mb)) {
+        return std::nullopt;
+      }
+    } else {
+      std::cerr << "fdld: unknown option " << arg << "\n";
+      return std::nullopt;
+    }
+  }
+  if (cli.stdio != cli.socket_path.empty()) {
+    // Exactly one transport: --stdio XOR --socket.
+    usage();
+    return std::nullopt;
+  }
+  cli.service.cache_quota_bytes =
+      static_cast<std::size_t>(cache_mb) * 1024 * 1024;
+  return cli;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cli = parse_args(argc, argv);
+  if (!cli) return 2;
+
+  gtdl::service::Service service(cli->service);
+
+  if (!cli->warm_start_path.empty()) {
+    const gtdl::service::SnapshotLoadResult loaded =
+        service.warm_start(cli->warm_start_path);
+    if (loaded.ok) {
+      std::cerr << "fdld: warm start: " << loaded.nodes
+                << " nodes replayed from " << cli->warm_start_path
+                << (loaded.ids_identical ? " (ids identical)" : "") << "\n";
+    } else {
+      // The documented safety contract: a bad snapshot costs warmth,
+      // never correctness — diagnose and continue cold.
+      std::cerr << "fdld: warm start failed (" << loaded.error
+                << "); starting cold\n";
+    }
+  }
+
+  int code = 0;
+  if (cli->stdio) {
+    code = gtdl::service::run_stdio(service, std::cin, std::cout);
+  } else {
+    std::cerr << "fdld: serving " << cli->socket_path << "\n";
+    code = gtdl::service::run_socket(service, cli->socket_path, std::cerr);
+  }
+
+  if (!cli->snapshot_path.empty()) {
+    const gtdl::service::SnapshotWriteResult written =
+        gtdl::service::save_snapshot(cli->snapshot_path);
+    if (written.ok) {
+      std::cerr << "fdld: wrote snapshot: " << written.nodes << " nodes, "
+                << written.bytes << " bytes at " << cli->snapshot_path
+                << "\n";
+    } else {
+      std::cerr << "fdld: snapshot failed: " << written.error << "\n";
+      if (code == 0) code = 1;
+    }
+  }
+  return code;
+}

@@ -4,7 +4,6 @@
 
 #include "gtdl/obs/metrics.hpp"
 #include "gtdl/support/fault.hpp"
-#include "gtdl/support/overloaded.hpp"
 
 namespace gtdl {
 
@@ -48,41 +47,68 @@ class CsrLowering {
   explicit CsrLowering(GraphArena& arena) : a_(arena) {}
 
   Ends walk(const GraphExpr& expr) {
-    return std::visit(
-        Overloaded{
-            [&](const GESingleton&) {
-              const VertexId v = interior();
-              return Ends{v, v};
-            },
-            [&](const GESeq& node) {
-              const Ends lhs = walk(*node.lhs);
-              const Ends rhs = walk(*node.rhs);
-              a_.edges_.emplace_back(lhs.end, rhs.start);
-              return Ends{lhs.start, rhs.end};
-            },
-            [&](const GESpawn& node) {
-              // (V,E,s,t) /u = (V ∪ {u,u'}, E ∪ {(u',s), (t,u)}, u', u')
-              const VertexId main_vertex = interior();
-              const Ends body = walk(*node.body);
-              const VertexId designated = named(node.vertex);
-              ++a_.declared_count_[designated];
-              a_.edges_.emplace_back(main_vertex, body.start);
-              a_.edges_.emplace_back(body.end, designated);
-              return Ends{main_vertex, main_vertex};
-            },
-            [&](const GETouch& node) {
-              // ᵘ\ = ({u'}, {(u,u')}, u', u'); u may never be spawned.
-              const VertexId main_vertex = interior();
-              const VertexId target = named(node.vertex);
-              if (a_.touched_[target] == 0) {
-                a_.touched_[target] = 1;
-                a_.touch_order_.push_back(target);
-              }
-              a_.edges_.emplace_back(target, main_vertex);
-              return Ends{main_vertex, main_vertex};
-            },
-        },
-        expr.node);
+    // Explicit post-order frames instead of recursion: ingested dumps
+    // reach ⊕-chain depths far past any safe native-stack budget. `stage`
+    // counts completed children; vertex ids are still assigned in exactly
+    // the old recursive traversal order, so cycle reports pick the same
+    // vertices.
+    struct Frame {
+      const GraphExpr* expr;
+      int stage = 0;
+      Ends lhs{0, 0};      // completed-lhs result (GESeq)
+      VertexId main = 0;   // pre-body main vertex (GESpawn)
+    };
+    Ends result{0, 0};  // result of the most recently completed frame
+    std::vector<Frame> stack;
+    stack.push_back(Frame{&expr});
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (std::holds_alternative<GESingleton>(f.expr->node)) {
+        const VertexId v = interior();
+        result = Ends{v, v};
+        stack.pop_back();
+      } else if (const auto* seq = std::get_if<GESeq>(&f.expr->node)) {
+        if (f.stage == 0) {
+          f.stage = 1;
+          stack.push_back(Frame{seq->lhs.get()});
+        } else if (f.stage == 1) {
+          f.lhs = result;
+          f.stage = 2;
+          stack.push_back(Frame{seq->rhs.get()});
+        } else {
+          a_.edges_.emplace_back(f.lhs.end, result.start);
+          result = Ends{f.lhs.start, result.end};
+          stack.pop_back();
+        }
+      } else if (const auto* sp = std::get_if<GESpawn>(&f.expr->node)) {
+        if (f.stage == 0) {
+          // (V,E,s,t) /u = (V ∪ {u,u'}, E ∪ {(u',s), (t,u)}, u', u')
+          f.main = interior();
+          f.stage = 1;
+          stack.push_back(Frame{sp->body.get()});
+        } else {
+          const VertexId designated = named(sp->vertex);
+          ++a_.declared_count_[designated];
+          a_.edges_.emplace_back(f.main, result.start);
+          a_.edges_.emplace_back(result.end, designated);
+          result = Ends{f.main, f.main};
+          stack.pop_back();
+        }
+      } else {
+        // ᵘ\ = ({u'}, {(u,u')}, u', u'); u may never be spawned.
+        const auto& node = std::get<GETouch>(f.expr->node);
+        const VertexId main_vertex = interior();
+        const VertexId target = named(node.vertex);
+        if (a_.touched_[target] == 0) {
+          a_.touched_[target] = 1;
+          a_.touch_order_.push_back(target);
+        }
+        a_.edges_.emplace_back(target, main_vertex);
+        result = Ends{main_vertex, main_vertex};
+        stack.pop_back();
+      }
+    }
+    return result;
   }
 
  private:

@@ -1,6 +1,7 @@
 #include "gtdl/graph/graph.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <string_view>
 #include <unordered_set>
 
@@ -262,6 +263,18 @@ void release_scan_arena() noexcept { t_scan_arena.shrink(); }
 
 void trim_scan_arena(std::size_t max_bytes) noexcept {
   if (t_scan_arena.approx_bytes() > max_bytes) t_scan_arena.shrink();
+}
+
+namespace {
+std::atomic<std::size_t> g_arena_trim_quota{8u << 20};
+}  // namespace
+
+std::size_t scan_arena_trim_quota() noexcept {
+  return g_arena_trim_quota.load(std::memory_order_relaxed);
+}
+
+void set_scan_arena_trim_quota(std::size_t bytes) noexcept {
+  g_arena_trim_quota.store(bytes, std::memory_order_relaxed);
 }
 
 }  // namespace gtdl

@@ -154,4 +154,12 @@ void release_scan_arena() noexcept;
 // allocation is returned promptly instead of pinned for the whole run.
 void trim_scan_arena(std::size_t max_bytes) noexcept;
 
+// Process-wide per-thread trim quota: the retained-byte ceiling every
+// consumer that trims arenas between work items uses (corpus file
+// boundaries, streamed scan batches, the daemon's cache eviction) — one
+// policy, one knob. Defaults to 8 MiB; the daemon derives it from its
+// cache quota so arena retention and cache eviction share a budget.
+[[nodiscard]] std::size_t scan_arena_trim_quota() noexcept;
+void set_scan_arena_trim_quota(std::size_t bytes) noexcept;
+
 }  // namespace gtdl

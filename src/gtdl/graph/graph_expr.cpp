@@ -1,20 +1,52 @@
 #include "gtdl/graph/graph_expr.hpp"
 
+#include <utility>
+
 #include "gtdl/support/overloaded.hpp"
 
 namespace gtdl {
+
+// Every walk in this file is an explicit-worklist traversal, not
+// recursion: normalized ⊕-chains and ingested runtime dumps reach depths
+// (hundreds of thousands of nodes) where recursive walks overflow the
+// stack long before they exhaust memory.
+
+GraphExpr::~GraphExpr() {
+  // Move children whose refcount is about to hit zero onto a worklist so
+  // the chain tears down in a loop instead of nested ~shared_ptr frames.
+  // Nodes harvested here run their own destructor with null children and
+  // contribute nothing back, so `pending` never allocates for them.
+  std::vector<GraphExprPtr> pending;
+  const auto harvest = [&pending](GraphExpr& g) {
+    if (auto* s = std::get_if<GESeq>(&g.node)) {
+      if (s->lhs != nullptr) pending.push_back(std::move(s->lhs));
+      if (s->rhs != nullptr) pending.push_back(std::move(s->rhs));
+    } else if (auto* sp = std::get_if<GESpawn>(&g.node)) {
+      if (sp->body != nullptr) pending.push_back(std::move(sp->body));
+    }
+  };
+  harvest(*this);
+  while (!pending.empty()) {
+    GraphExprPtr next = std::move(pending.back());
+    pending.pop_back();
+    if (next.use_count() == 1) {
+      harvest(const_cast<GraphExpr&>(*next));
+    }
+  }
+}
+
 namespace ge {
 
 GraphExprPtr singleton() {
   // All singletons are interchangeable; share one instance.
   static const GraphExprPtr kSingleton =
-      std::make_shared<const GraphExpr>(GraphExpr{GESingleton{}});
+      std::make_shared<const GraphExpr>(GraphExpr::Node{GESingleton{}});
   return kSingleton;
 }
 
 GraphExprPtr seq(GraphExprPtr lhs, GraphExprPtr rhs) {
   return std::make_shared<const GraphExpr>(
-      GraphExpr{GESeq{std::move(lhs), std::move(rhs)}});
+      GraphExpr::Node{GESeq{std::move(lhs), std::move(rhs)}});
 }
 
 GraphExprPtr seq_all(std::vector<GraphExprPtr> parts) {
@@ -28,33 +60,40 @@ GraphExprPtr seq_all(std::vector<GraphExprPtr> parts) {
 
 GraphExprPtr spawn(GraphExprPtr body, Symbol vertex) {
   return std::make_shared<const GraphExpr>(
-      GraphExpr{GESpawn{std::move(body), vertex}});
+      GraphExpr::Node{GESpawn{std::move(body), vertex}});
 }
 
 GraphExprPtr touch(Symbol vertex) {
-  return std::make_shared<const GraphExpr>(GraphExpr{GETouch{vertex}});
+  return std::make_shared<const GraphExpr>(GraphExpr::Node{GETouch{vertex}});
 }
 
 }  // namespace ge
 
 namespace {
 
+// Pre-order event walk (spawn events before their body's, lhs before rhs)
+// over an explicit stack.
 template <typename OnSpawn, typename OnTouch>
 void visit_events(const GraphExpr& g, const OnSpawn& on_spawn,
                   const OnTouch& on_touch) {
-  std::visit(Overloaded{
-                 [](const GESingleton&) {},
-                 [&](const GESeq& node) {
-                   visit_events(*node.lhs, on_spawn, on_touch);
-                   visit_events(*node.rhs, on_spawn, on_touch);
-                 },
-                 [&](const GESpawn& node) {
-                   on_spawn(node.vertex);
-                   visit_events(*node.body, on_spawn, on_touch);
-                 },
-                 [&](const GETouch& node) { on_touch(node.vertex); },
-             },
-             g.node);
+  std::vector<const GraphExpr*> stack = {&g};
+  while (!stack.empty()) {
+    const GraphExpr* cur = stack.back();
+    stack.pop_back();
+    std::visit(Overloaded{
+                   [](const GESingleton&) {},
+                   [&](const GESeq& node) {
+                     stack.push_back(node.rhs.get());
+                     stack.push_back(node.lhs.get());
+                   },
+                   [&](const GESpawn& node) {
+                     on_spawn(node.vertex);
+                     stack.push_back(node.body.get());
+                   },
+                   [&](const GETouch& node) { on_touch(node.vertex); },
+               },
+               cur->node);
+  }
 }
 
 }  // namespace
@@ -83,49 +122,75 @@ OrderedSet<Symbol> unspawned_touch_targets(const GraphExpr& g) {
 }
 
 std::size_t node_count(const GraphExpr& g) {
-  return std::visit(
-      Overloaded{
-          [](const GESingleton&) -> std::size_t { return 1; },
-          [](const GESeq& node) {
-            return 1 + node_count(*node.lhs) + node_count(*node.rhs);
-          },
-          [](const GESpawn& node) { return 1 + node_count(*node.body); },
-          [](const GETouch&) -> std::size_t { return 1; },
-      },
-      g.node);
+  std::size_t count = 0;
+  std::vector<const GraphExpr*> stack = {&g};
+  while (!stack.empty()) {
+    const GraphExpr* cur = stack.back();
+    stack.pop_back();
+    ++count;
+    std::visit(Overloaded{
+                   [](const GESingleton&) {},
+                   [&](const GESeq& node) {
+                     stack.push_back(node.rhs.get());
+                     stack.push_back(node.lhs.get());
+                   },
+                   [&](const GESpawn& node) { stack.push_back(node.body.get()); },
+                   [](const GETouch&) {},
+               },
+               cur->node);
+  }
+  return count;
 }
 
 namespace {
 
-void append_string(const GraphExpr& g, std::string& out, bool parenthesize) {
-  std::visit(Overloaded{
-                 [&](const GESingleton&) { out += '1'; },
-                 [&](const GESeq& node) {
-                   if (parenthesize) out += '(';
-                   // ⊕ is associative for printing purposes; flatten.
-                   append_string(*node.lhs, out, false);
-                   out += " ; ";
-                   append_string(*node.rhs, out, false);
-                   if (parenthesize) out += ')';
-                 },
-                 [&](const GESpawn& node) {
-                   append_string(*node.body, out, true);
-                   out += " / ";
-                   out += node.vertex.view();
-                 },
-                 [&](const GETouch& node) {
-                   out += '~';
-                   out += node.vertex.view();
-                 },
-             },
-             g.node);
-}
+// One render item: either a node still to visit (with its parenthesize
+// flag) or a literal suffix to emit once the subtree before it is done.
+struct RenderItem {
+  const GraphExpr* node = nullptr;  // null => emit `text`
+  bool parenthesize = false;
+  std::string text;
+};
 
 }  // namespace
 
 std::string to_string(const GraphExpr& g) {
   std::string out;
-  append_string(g, out, false);
+  std::vector<RenderItem> stack;
+  stack.push_back(RenderItem{&g, false, {}});
+  while (!stack.empty()) {
+    RenderItem item = std::move(stack.back());
+    stack.pop_back();
+    if (item.node == nullptr) {
+      out += item.text;
+      continue;
+    }
+    std::visit(
+        Overloaded{
+            [&](const GESingleton&) { out += '1'; },
+            [&](const GESeq& node) {
+              if (item.parenthesize) out += '(';
+              // ⊕ is associative for printing purposes; flatten.
+              if (item.parenthesize) {
+                stack.push_back(RenderItem{nullptr, false, ")"});
+              }
+              stack.push_back(RenderItem{node.rhs.get(), false, {}});
+              stack.push_back(RenderItem{nullptr, false, " ; "});
+              stack.push_back(RenderItem{node.lhs.get(), false, {}});
+            },
+            [&](const GESpawn& node) {
+              std::string suffix = " / ";
+              suffix += node.vertex.view();
+              stack.push_back(RenderItem{nullptr, false, std::move(suffix)});
+              stack.push_back(RenderItem{node.body.get(), true, {}});
+            },
+            [&](const GETouch& node) {
+              out += '~';
+              out += node.vertex.view();
+            },
+        },
+        item.node->node);
+  }
   return out;
 }
 

@@ -55,7 +55,17 @@ struct GETouch {
 };
 
 struct GraphExpr {
-  std::variant<GESingleton, GESeq, GESpawn, GETouch> node;
+  using Node = std::variant<GESingleton, GESeq, GESpawn, GETouch>;
+
+  Node node;
+
+  explicit GraphExpr(Node n) : node(std::move(n)) {}
+  GraphExpr(const GraphExpr&) = delete;
+  GraphExpr& operator=(const GraphExpr&) = delete;
+  // Iterative teardown: a ⊕-chain of a million nodes must not unwind a
+  // million destructor frames (ingested dumps routinely exceed any fixed
+  // recursion budget).
+  ~GraphExpr();
 };
 
 namespace ge {

@@ -648,6 +648,19 @@ GTypeInterner::Stats GTypeInterner::stats() const {
   return s;
 }
 
+std::vector<GTypePtr> GTypeInterner::all_nodes() const {
+  std::vector<GTypePtr> out;
+  for (const Impl::NodeShard& shard : impl_->shards) {
+    std::shared_lock lock(shard.mu);
+    out.reserve(out.size() + shard.table.size());
+    for (const auto& entry : shard.table) out.push_back(entry.second);
+  }
+  std::sort(out.begin(), out.end(), [](const GTypePtr& a, const GTypePtr& b) {
+    return a->facts->id < b->facts->id;
+  });
+  return out;
+}
+
 void GTypeInterner::reset_counters() {
   impl_->intern_hits = 0;
   impl_->intern_misses = 0;

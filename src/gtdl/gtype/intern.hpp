@@ -212,6 +212,13 @@ class GTypeInterner {
   [[nodiscard]] Stats stats() const;
   void reset_counters();
 
+  // Every interned node, sorted by ascending id. Children are interned
+  // before their parents and ids are monotonic, so a child always
+  // precedes its parent: replaying the vector in order rebuilds the DAG
+  // bottom-up. This is what the daemon's snapshot writer serializes
+  // (service/snapshot.hpp).
+  [[nodiscard]] std::vector<GTypePtr> all_nodes() const;
+
   // Benchmarking toggle: gates the unroll cache, the substitution and
   // normalization memo tables, and the alpha fast paths (hash-consing
   // itself stays on — node identity must remain canonical). Returns the

@@ -28,36 +28,57 @@ namespace {
 void canonical_spelling(const GraphExpr& g,
                         std::unordered_map<Symbol, unsigned>& numbering,
                         std::string& out) {
-  std::visit(Overloaded{
-                 [&](const GESingleton&) { out += '1'; },
-                 [&](const GESeq& node) {
-                   out += '(';
-                   canonical_spelling(*node.lhs, numbering, out);
-                   out += ';';
-                   canonical_spelling(*node.rhs, numbering, out);
-                   out += ')';
-                 },
-                 [&](const GESpawn& node) {
-                   out += '(';
-                   canonical_spelling(*node.body, numbering, out);
-                   out += '/';
-                   const auto [it, inserted] = numbering.try_emplace(
-                       node.vertex,
-                       static_cast<unsigned>(numbering.size()));
-                   (void)inserted;
-                   out += std::to_string(it->second);
-                   out += ')';
-                 },
-                 [&](const GETouch& node) {
-                   out += '~';
-                   const auto [it, inserted] = numbering.try_emplace(
-                       node.vertex,
-                       static_cast<unsigned>(numbering.size()));
-                   (void)inserted;
-                   out += std::to_string(it->second);
-                 },
-             },
-             g.node);
+  // Iterative over an explicit item stack (deep ⊕-chains overflow a
+  // recursive walk); vertices are still numbered in emission order — a
+  // spawn's vertex after its body — so the spelling stays byte-identical
+  // to the recursive form.
+  struct Item {
+    const GraphExpr* node = nullptr;
+    const char* text = nullptr;  // literal to append when node is null
+    Symbol number{};             // valid() => append its canonical number
+  };
+  const auto emit_number = [&](Symbol v) {
+    const auto [it, inserted] =
+        numbering.try_emplace(v, static_cast<unsigned>(numbering.size()));
+    (void)inserted;
+    out += std::to_string(it->second);
+  };
+  std::vector<Item> stack;
+  stack.push_back(Item{&g, nullptr, Symbol{}});
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    if (item.text != nullptr) {
+      out += item.text;
+      continue;
+    }
+    if (item.node == nullptr) {
+      emit_number(item.number);
+      continue;
+    }
+    std::visit(Overloaded{
+                   [&](const GESingleton&) { out += '1'; },
+                   [&](const GESeq& node) {
+                     out += '(';
+                     stack.push_back(Item{nullptr, ")", Symbol{}});
+                     stack.push_back(Item{node.rhs.get(), nullptr, Symbol{}});
+                     stack.push_back(Item{nullptr, ";", Symbol{}});
+                     stack.push_back(Item{node.lhs.get(), nullptr, Symbol{}});
+                   },
+                   [&](const GESpawn& node) {
+                     out += '(';
+                     stack.push_back(Item{nullptr, ")", Symbol{}});
+                     stack.push_back(Item{nullptr, nullptr, node.vertex});
+                     stack.push_back(Item{nullptr, "/", Symbol{}});
+                     stack.push_back(Item{node.body.get(), nullptr, Symbol{}});
+                   },
+                   [&](const GETouch& node) {
+                     out += '~';
+                     emit_number(node.vertex);
+                   },
+               },
+               item.node->node);
+  }
 }
 
 // Rewrites cached result graphs for reuse at a second occurrence of the

@@ -51,15 +51,17 @@ bool has_budget(const CorpusOptions& options) {
          options.budget_mb != 0;
 }
 
+}  // namespace
+
 // The fdlc analysis block, rendered into `out` instead of stdout so a
 // concurrently analyzed corpus can still print file reports in input
 // order. `budget` is the per-file budget (null when unlimited); a trip
 // yields exit 3 and fills *budget_out. Budget-exhausted lines
 // deliberately exclude counts (elapsed ms, graphs scanned) so verdict
 // text is byte-identical across runs and --jobs settings.
-int analyze_gtype(const GTypePtr& gtype, const CorpusOptions& options,
-                  Engine* engine, Budget* budget, std::ostringstream& out,
-                  BudgetStatus* budget_out) {
+int analyze_gtype_report(const GTypePtr& gtype, const CorpusOptions& options,
+                         Engine* engine, Budget* budget,
+                         std::ostringstream& out, BudgetStatus* budget_out) {
   const auto give_up = [&](const char* stage) {
     if (budget != nullptr && budget_out != nullptr) {
       *budget_out = budget->status();
@@ -138,6 +140,47 @@ int analyze_gtype(const GTypePtr& gtype, const CorpusOptions& options,
   return code;
 }
 
+CompiledInput compile_input(const std::string& path,
+                            const std::string& source,
+                            const CorpusOptions& options) {
+  CompiledInput result;
+  DiagnosticEngine diags;
+  InferOptions infer_options;
+  infer_options.max_signature_iterations = options.max_iters;
+  std::ostringstream header;
+  if (has_extension(path, ".mml")) {
+    auto compiled = mml::compile_mml(source, diags, infer_options);
+    if (!compiled) {
+      header << "compilation failed\n" << diags.render();
+      result.header = header.str();
+      return result;
+    }
+    header << "compiled " << path << " (MiniML, "
+           << compiled->program.defs.size() << " definitions)\n";
+    result.gtype = compiled->inferred.program_gtype;
+  } else if (has_extension(path, ".fut")) {
+    auto compiled = compile_futlang(source, diags, infer_options);
+    if (!compiled) {
+      header << "compilation failed\n" << diags.render();
+      result.header = header.str();
+      return result;
+    }
+    header << "compiled " << path << " ("
+           << compiled->program.functions.size() << " functions)\n";
+    result.gtype = compiled->inferred.program_gtype;
+  } else {
+    // Anything else is a textual graph type (.gt by convention).
+    result.gtype = parse_gtype(source, diags);
+    if (result.gtype == nullptr) {
+      header << "graph type parse error\n" << diags.render();
+    }
+  }
+  result.header = header.str();
+  return result;
+}
+
+namespace {
+
 struct CorpusMetrics {
   obs::Counter& files;
   obs::Counter& errors;
@@ -184,53 +227,21 @@ FileReport analyze_file_unguarded(const std::string& path,
     return finish(2);
   }
 
-  DiagnosticEngine diags;
-  InferOptions infer_options;
-  infer_options.max_signature_iterations = options.max_iters;
-
-  if (has_extension(path, ".mml")) {
-    auto compiled = mml::compile_mml(*source, diags, infer_options);
-    if (!compiled) {
-      out << "compilation failed\n" << diags.render();
-      return finish(2);
-    }
-    out << "compiled " << path << " (MiniML, "
-        << compiled->program.defs.size() << " definitions)\n";
-    return finish(analyze_gtype(compiled->inferred.program_gtype, options,
-                                engine, budget_ptr, out, &report.budget));
-  }
-  if (has_extension(path, ".fut")) {
-    auto compiled = compile_futlang(*source, diags, infer_options);
-    if (!compiled) {
-      out << "compilation failed\n" << diags.render();
-      return finish(2);
-    }
-    out << "compiled " << path << " ("
-        << compiled->program.functions.size() << " functions)\n";
-    return finish(analyze_gtype(compiled->inferred.program_gtype, options,
-                                engine, budget_ptr, out, &report.budget));
-  }
-  // Anything else is a textual graph type (.gt by convention).
-  const GTypePtr gtype = parse_gtype(*source, diags);
-  if (gtype == nullptr) {
-    out << "graph type parse error\n" << diags.render();
-    return finish(2);
-  }
-  return finish(analyze_gtype(gtype, options, engine, budget_ptr, out,
-                              &report.budget));
+  const CompiledInput compiled = compile_input(path, *source, options);
+  out << compiled.header;
+  if (compiled.gtype == nullptr) return finish(2);
+  return finish(analyze_gtype_report(compiled.gtype, options, engine,
+                                     budget_ptr, out, &report.budget));
 }
 
 }  // namespace
 
-namespace {
-
-// Matches GroundDeadlockScanner's default retention cap: a file task's
-// thread keeps its scan arena warm for the next file it picks up, but a
-// pathological file's high-water allocation is returned at the file
-// boundary instead of riding along for the rest of the corpus run.
-constexpr std::size_t kFileArenaTrimBytes = 8u << 20;
-
-}  // namespace
+// The file-boundary retention cap is the process-wide quota shared with
+// GroundDeadlockScanner's batch trim and the daemon's cache eviction
+// (graph.hpp): a file task's thread keeps its scan arena warm for the
+// next file it picks up, but a pathological file's high-water allocation
+// is returned at the file boundary instead of riding along for the rest
+// of the corpus run.
 
 FileReport analyze_file(const std::string& path, const CorpusOptions& options,
                         Engine* engine) {
@@ -242,10 +253,10 @@ FileReport analyze_file(const std::string& path, const CorpusOptions& options,
   // stderr and the worst-exit-code logic does the rest.
   try {
     FileReport report = analyze_file_unguarded(path, options, engine);
-    trim_scan_arena(kFileArenaTrimBytes);
+    trim_scan_arena(scan_arena_trim_quota());
     return report;
   } catch (const std::exception& e) {
-    trim_scan_arena(kFileArenaTrimBytes);
+    trim_scan_arena(scan_arena_trim_quota());
     CorpusMetrics::get().errors.add();
     FileReport report;
     report.path = path;
@@ -258,7 +269,7 @@ FileReport analyze_file(const std::string& path, const CorpusOptions& options,
     // harness deliberately throws a non-std type to prove this path, and
     // third-party code below could too. Same contract as above: fold into
     // a per-file exit-2 report, never lose the batch.
-    trim_scan_arena(kFileArenaTrimBytes);
+    trim_scan_arena(scan_arena_trim_quota());
     CorpusMetrics::get().errors.add();
     FileReport report;
     report.path = path;

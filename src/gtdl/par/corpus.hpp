@@ -23,9 +23,11 @@
 #pragma once
 
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "gtdl/gtype/gtype.hpp"
 #include "gtdl/par/engine.hpp"
 #include "gtdl/support/budget.hpp"
 
@@ -79,5 +81,31 @@ struct CorpusReport {
 [[nodiscard]] FileReport analyze_file(const std::string& path,
                                       const CorpusOptions& options,
                                       Engine* engine);
+
+// The compile phase of analyze_file, split out so the daemon's two-level
+// cache (service/) can redo a cheap compile while replaying a cached
+// analysis block for an unchanged graph type. `header` carries the
+// "compiled ..." report lines (or the complete error text when `gtype`
+// is null, which maps to exit code 2). Textual graph types (.gt) have an
+// empty header.
+struct CompiledInput {
+  GTypePtr gtype;      // null when compilation/parsing failed
+  std::string header;  // report prefix emitted by the compile phase
+};
+[[nodiscard]] CompiledInput compile_input(const std::string& path,
+                                          const std::string& source,
+                                          const CorpusOptions& options);
+
+// The analysis back half: renders the WF/DF verdict block (and optional
+// baseline) for an already-compiled graph type into `out` and returns
+// the exit code. `budget` may be null (unlimited); a tripped budget
+// yields 3 and fills *budget_out. The rendered block is a deterministic
+// function of (gtype, options) — byte-identical across --jobs settings
+// and repeat runs — which is what makes it cacheable.
+[[nodiscard]] int analyze_gtype_report(const GTypePtr& gtype,
+                                       const CorpusOptions& options,
+                                       Engine* engine, Budget* budget,
+                                       std::ostringstream& out,
+                                       BudgetStatus* budget_out);
 
 }  // namespace gtdl

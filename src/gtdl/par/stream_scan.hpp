@@ -45,8 +45,10 @@ class GroundDeadlockScanner {
     // arena (so a worker's warm arena persists across batches, scanner
     // instances, and corpus files); after each batch any arena grown past
     // this cap is released so one pathological graph cannot pin its
-    // high-water bytes for the rest of the run.
-    std::size_t arena_trim_bytes = 8u << 20;
+    // high-water bytes for the rest of the run. Defaults to the
+    // process-wide quota (graph.hpp) shared with the corpus file boundary
+    // and the daemon's eviction policy.
+    std::size_t arena_trim_bytes = scan_arena_trim_quota();
   };
 
   explicit GroundDeadlockScanner(const Options& options);

@@ -1,0 +1,161 @@
+#include "gtdl/service/daemon.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GTDL_DAEMON_HAS_SOCKETS 1
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace gtdl::service {
+
+int run_stdio(Service& service, std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    bool shutdown = false;
+    out << service.handle_line(line, &shutdown) << "\n";
+    out.flush();
+    if (shutdown) break;
+  }
+  return 0;
+}
+
+#if GTDL_DAEMON_HAS_SOCKETS
+
+namespace {
+
+// Writes all of `data`, riding out short writes and EINTR. A failed
+// write just ends the connection — the client went away.
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void serve_connection(Service& service, int fd, std::atomic<bool>& stop) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // client closed
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t newline = buffer.find('\n', start);
+      if (newline == std::string::npos) break;
+      const std::string line = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (line.empty()) continue;
+      bool shutdown = false;
+      std::string response = service.handle_line(line, &shutdown);
+      response.push_back('\n');
+      if (!write_all(fd, response)) {
+        ::close(fd);
+        return;
+      }
+      if (shutdown) {
+        stop.store(true, std::memory_order_release);
+        ::close(fd);
+        return;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+int run_socket(Service& service, const std::string& socket_path,
+               std::ostream& err) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    err << "fdld: socket path too long: " << socket_path << "\n";
+    return 1;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    err << "fdld: socket(): " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  ::unlink(socket_path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    err << "fdld: bind('" << socket_path << "'): " << std::strerror(errno)
+        << "\n";
+    ::close(listener);
+    return 1;
+  }
+  if (::listen(listener, 16) != 0) {
+    err << "fdld: listen(): " << std::strerror(errno) << "\n";
+    ::close(listener);
+    ::unlink(socket_path.c_str());
+    return 1;
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> connections;
+  // Poll with a short timeout so a shutdown delivered on a connection
+  // thread breaks the accept loop promptly without signals.
+  while (!stop.load(std::memory_order_acquire)) {
+    pollfd pfd{listener, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      err << "fdld: poll(): " << std::strerror(errno) << "\n";
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      err << "fdld: accept(): " << std::strerror(errno) << "\n";
+      break;
+    }
+    connections.emplace_back(
+        [&service, fd, &stop] { serve_connection(service, fd, stop); });
+  }
+
+  ::close(listener);
+  for (std::thread& t : connections) t.join();
+  ::unlink(socket_path.c_str());
+  return 0;
+}
+
+#else
+
+int run_socket(Service&, const std::string&, std::ostream& err) {
+  err << "fdld: unix-domain sockets are unavailable on this platform; "
+         "use --stdio\n";
+  return 1;
+}
+
+#endif
+
+}  // namespace gtdl::service

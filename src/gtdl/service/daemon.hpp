@@ -1,0 +1,38 @@
+// fdld transport front ends over service::Service.
+//
+// Two interchangeable transports carry the same newline-delimited
+// protocol (protocol.hpp):
+//
+//   * run_stdio  — one request line on stdin, one response line on
+//     stdout, until EOF or a "shutdown" request. This is what the
+//     differential tests and bench drive via popen: no socket paths to
+//     clean up, identical Service semantics.
+//   * run_socket — AF_UNIX listener; every accepted connection gets a
+//     reader thread, so concurrent clients multiplex onto the ONE shared
+//     Service (and through it the one Engine pool). A "shutdown" request
+//     answers its sender, then stops the accept loop, joins connection
+//     threads and unlinks the socket path.
+//
+// Responses are written and flushed per request — clients correlate by
+// order (and optionally by the echoed "id").
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "gtdl/service/service.hpp"
+
+namespace gtdl::service {
+
+// Returns 0 on clean EOF/shutdown. Never throws protocol errors — those
+// become {"ok":false,...} response lines.
+int run_stdio(Service& service, std::istream& in, std::ostream& out);
+
+// Binds, listens and serves until a shutdown request (returns 0) or a
+// socket-level failure (returns 1 after writing to `err`). An existing
+// file at `socket_path` is unlinked first — the daemon owns that path.
+int run_socket(Service& service, const std::string& socket_path,
+               std::ostream& err);
+
+}  // namespace gtdl::service

@@ -1,0 +1,219 @@
+#include "gtdl/service/protocol.hpp"
+
+#include <cctype>
+
+namespace gtdl::service {
+
+namespace {
+
+// Strict scanner over one request line, mirroring the trace-dump
+// reader's restricted dialect (ingest/): flat object, string and
+// non-negative integer values only. Hand-rolled on purpose — no JSON
+// dependency, and malformed input degrades to one precise error.
+class LineScanner {
+ public:
+  explicit LineScanner(const std::string& line)
+      : p_(line.data()), end_(line.data() + line.size()) {}
+
+  bool parse(Request* out, std::string* error) {
+    skip_ws();
+    if (!consume('{')) return fail(error, "expected '{'");
+    skip_ws();
+    if (consume('}')) return finish(out, error);
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(&key, error)) return false;
+      skip_ws();
+      if (!consume(':')) return fail(error, "expected ':'");
+      skip_ws();
+      if (!parse_value(key, out, error)) return false;
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return fail(error, "expected ',' or '}'");
+    }
+    skip_ws();
+    if (p_ != end_) return fail(error, "trailing characters after object");
+    return finish(out, error);
+  }
+
+ private:
+  bool finish(Request* out, std::string* error) {
+    if (out->op.empty()) return fail(error, "missing \"op\"");
+    return true;
+  }
+
+  static bool fail(std::string* error, const char* message) {
+    if (error != nullptr) *error = message;
+    return false;
+  }
+
+  void skip_ws() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\r' || *p_ == '\n')) {
+      ++p_;
+    }
+  }
+
+  bool consume(char c) {
+    if (p_ != end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(const std::string& key, Request* out, std::string* error) {
+    if (p_ == end_) return fail(error, "unexpected end of line");
+    if (*p_ == '"') {
+      std::string value;
+      if (!parse_string(&value, error)) return false;
+      if (key == "op") {
+        out->op = std::move(value);
+      } else if (key == "id") {
+        out->id = std::move(value);
+      } else if (key == "file") {
+        out->files.push_back(std::move(value));
+      } else if (key == "path") {
+        out->path = std::move(value);
+      }
+      // Unknown string keys are ignored (forward compatibility).
+      return true;
+    }
+    if (std::isdigit(static_cast<unsigned char>(*p_)) != 0) {
+      std::uint64_t value = 0;
+      if (!parse_uint(&value, error)) return false;
+      const auto set = [&](std::optional<std::uint64_t>& field) {
+        field = value;
+      };
+      if (key == "baseline") set(out->baseline);
+      else if (key == "new_push") set(out->new_push);
+      else if (key == "dump_gtype") set(out->dump_gtype);
+      else if (key == "max_iters") set(out->max_iters);
+      else if (key == "unrolls") set(out->unrolls);
+      else if (key == "timeout_ms") set(out->timeout_ms);
+      else if (key == "budget_steps") set(out->budget_steps);
+      else if (key == "budget_mb") set(out->budget_mb);
+      else if (key == "id") out->id = std::to_string(value);
+      // Unknown integer keys are ignored.
+      return true;
+    }
+    return fail(error,
+                "request values must be strings or non-negative integers");
+  }
+
+  bool parse_uint(std::uint64_t* out, std::string* error) {
+    std::uint64_t value = 0;
+    bool any = false;
+    while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_)) != 0) {
+      const std::uint64_t digit = static_cast<std::uint64_t>(*p_ - '0');
+      if (value > (~std::uint64_t{0} - digit) / 10) {
+        return fail(error, "integer overflow");
+      }
+      value = value * 10 + digit;
+      ++p_;
+      any = true;
+    }
+    if (!any) return fail(error, "expected digits");
+    if (p_ != end_ && (*p_ == '.' || *p_ == 'e' || *p_ == 'E')) {
+      return fail(error, "floating-point values are not accepted");
+    }
+    *out = value;
+    return true;
+  }
+
+  bool parse_string(std::string* out, std::string* error) {
+    if (!consume('"')) return fail(error, "expected '\"'");
+    out->clear();
+    while (p_ != end_) {
+      const char c = *p_++;
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (p_ == end_) break;
+      const char esc = *p_++;
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (end_ - p_ < 4) return fail(error, "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = *p_++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return fail(error, "bad \\u escape");
+          }
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            return fail(error, "surrogate escapes are not supported");
+          }
+          // UTF-8 encode (BMP only, matching the dump reader).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail(error, "unknown escape");
+      }
+    }
+    return fail(error, "unterminated string");
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+bool parse_request(const std::string& line, Request* out, std::string* error) {
+  *out = Request{};
+  return LineScanner(line).parse(out, error);
+}
+
+void append_json_string(std::string& out, const std::string& value) {
+  out.push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(c >> 4) & 0xF]);
+          out.push_back(kHex[c & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+        break;
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace gtdl::service

@@ -1,0 +1,56 @@
+// fdld wire protocol: newline-delimited JSON over a Unix-domain socket
+// (or stdio in --stdio mode).
+//
+// Each REQUEST is one flat, one-line JSON object — same restricted
+// dialect as the trace-dump reader (ingest/): string and non-negative
+// integer values only, repeated keys allowed ("file" appears once per
+// corpus entry), unknown keys ignored for forward compatibility.
+//
+//   {"op":"submit","id":"1","file":"a.fut","file":"b.fut","baseline":1}
+//
+// Ops: submit | reanalyze | stats | snapshot | shutdown | ping.
+// submit and reanalyze are deliberately the same operation — both
+// consult the warm cache and re-analyze exactly the dirty cone; the two
+// spellings exist so client intent reads clearly in logs.
+//
+// Each RESPONSE is one line of JSON. Responses may nest (per-file report
+// objects in an array); only requests are restricted to the flat form.
+// See README.md "fdld" and DESIGN.md §S23 for the full surface.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gtdl::service {
+
+struct Request {
+  std::string op;          // required
+  std::string id;          // optional client correlation id, echoed back
+  std::vector<std::string> files;  // repeated "file" keys, in order
+  std::string path;        // snapshot target path (op == "snapshot")
+
+  // Per-request analysis option overrides; unset fields inherit the
+  // daemon's defaults. All map 1:1 onto CorpusOptions / fdlc flags.
+  std::optional<std::uint64_t> baseline;   // 0/1
+  std::optional<std::uint64_t> new_push;   // 0/1
+  std::optional<std::uint64_t> dump_gtype; // 0/1
+  std::optional<std::uint64_t> max_iters;
+  std::optional<std::uint64_t> unrolls;
+  std::optional<std::uint64_t> timeout_ms;
+  std::optional<std::uint64_t> budget_steps;
+  std::optional<std::uint64_t> budget_mb;
+};
+
+// Parses one request line. Returns false and fills *error on malformed
+// input (unterminated string, non-integer number, missing/empty "op").
+[[nodiscard]] bool parse_request(const std::string& line, Request* out,
+                                 std::string* error);
+
+// Minimal JSON writer for responses: appends correctly escaped members
+// to a growing line. The caller brackets objects/arrays.
+void append_json_string(std::string& out, const std::string& value);
+
+}  // namespace gtdl::service

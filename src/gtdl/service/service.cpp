@@ -1,0 +1,592 @@
+#include "gtdl/service/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "gtdl/graph/graph.hpp"
+#include "gtdl/gtype/intern.hpp"
+#include "gtdl/obs/metrics.hpp"
+#include "gtdl/obs/trace.hpp"
+#include "gtdl/par/engine.hpp"
+#include "gtdl/par/thread_pool.hpp"
+#include "gtdl/service/protocol.hpp"
+#include "gtdl/support/budget.hpp"
+#include "gtdl/support/flat_memo.hpp"
+
+namespace gtdl::service {
+
+namespace {
+
+// All daemon instruments are cold-path (once per request, never inside
+// an analysis loop), so they bypass the stats gate with force_add —
+// `fdld` stats must be live whether or not --stats was requested.
+struct DaemonMetrics {
+  obs::Counter& requests;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_invalidated;
+  obs::Counter& cache_evictions;
+  obs::Gauge& warm_start_ms;
+
+  static DaemonMetrics& get() {
+    static DaemonMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::instance();
+      return new DaemonMetrics{
+          reg.counter(obs::MetricDesc{"daemon.requests", "daemon",
+                                      "requests",
+                                      "requests handled by the fdld service"}),
+          reg.counter(obs::MetricDesc{
+              "daemon.cache.hits", "daemon", "entries",
+              "requests answered from the def- or gtype-level cache"}),
+          reg.counter(obs::MetricDesc{
+              "daemon.cache.invalidated", "daemon", "entries",
+              "cache entries erased because a dependency changed"}),
+          reg.counter(obs::MetricDesc{
+              "daemon.cache.evictions", "daemon", "entries",
+              "cache entries evicted under the byte quota"}),
+          reg.gauge(obs::MetricDesc{
+              "daemon.warm_start.ms", "daemon", "ms",
+              "time spent replaying the --warm-start snapshot"}),
+      };
+    }();
+    return *m;
+  }
+};
+
+std::uint64_t fnv1a_bytes(const char* data, std::size_t size,
+                          std::uint64_t hash = 14695981039346656037ULL) {
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t v, std::uint64_t hash) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= (v >> (8 * i)) & 0xFF;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+// Fingerprint of every CorpusOptions field that can change rendered
+// report bytes or the exit code. The budget fields are included on
+// purpose: a DF verdict computed under an unlimited budget must never
+// answer a request whose tiny budget would have yielded exit 3.
+std::uint64_t options_fingerprint(const CorpusOptions& options) {
+  std::uint64_t fp = 14695981039346656037ULL;
+  fp = fnv1a_u64(options.new_push ? 1 : 0, fp);
+  fp = fnv1a_u64(options.max_iters, fp);
+  fp = fnv1a_u64(options.baseline ? 1 : 0, fp);
+  fp = fnv1a_u64(options.unrolls, fp);
+  fp = fnv1a_u64(options.dump_gtype ? 1 : 0, fp);
+  fp = fnv1a_u64(options.timeout_ms, fp);
+  fp = fnv1a_u64(options.budget_steps, fp);
+  fp = fnv1a_u64(options.budget_mb, fp);
+  return fp;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+struct CacheKey {
+  std::uint64_t id = 0;       // def id or gtype id
+  std::uint64_t opts_fp = 0;  // options fingerprint
+
+  friend bool operator==(const CacheKey& a, const CacheKey& b) {
+    return a.id == b.id && a.opts_fp == b.opts_fp;
+  }
+};
+
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const noexcept {
+    return static_cast<std::size_t>(fnv1a_u64(k.opts_fp, fnv1a_u64(k.id, 14695981039346656037ULL)));
+  }
+};
+
+// Fixed per-entry overhead charged against the byte quota on top of the
+// owned strings (map node, key, stamps).
+constexpr std::size_t kEntryOverheadBytes = 96;
+
+struct PerFile {
+  std::string path;
+  int exit_code = 2;
+  bool cached = false;
+  std::string text;
+};
+
+}  // namespace
+
+struct Service::Impl {
+  explicit Impl(ServiceOptions opts)
+      : options(std::move(opts)), engine(std::max(1u, options.jobs)) {}
+
+  ServiceOptions options;
+  Engine engine;
+
+  std::mutex mu;  // guards everything below
+
+  // Definition identity: one id per distinct input path, allocated on
+  // first sight and stable for the daemon's lifetime.
+  std::unordered_map<std::string, std::uint64_t> def_ids;
+  std::uint64_t next_def_id = 1;
+
+  struct DefEntry {
+    std::uint64_t content_fp = 0;  // FNV-1a of the file bytes
+    std::string text;              // complete rendered report
+    int exit_code = 0;
+    std::size_t bytes = 0;
+    std::uint64_t last_use = 0;
+  };
+  std::unordered_map<CacheKey, DefEntry, CacheKeyHash> defs;
+
+  struct GtypeEntry {
+    std::string analysis;  // the block after the compile header
+    int exit_code = 0;
+    std::vector<std::uint64_t> deps;  // def ids this entry derives from
+    std::size_t bytes = 0;
+    std::uint64_t last_use = 0;
+  };
+  std::unordered_map<CacheKey, GtypeEntry, CacheKeyHash> gtypes;
+
+  std::size_t cache_bytes = 0;
+  std::uint64_t generation = 0;  // LRU stamp source
+
+  // Daemon-lifetime tallies, mirrored into the obs registry. Kept here
+  // too so the "stats" op reports this service, not whatever else the
+  // process touched.
+  std::uint64_t requests = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_invalidated = 0;
+  std::uint64_t cache_evictions = 0;
+
+  std::uint64_t def_id_for(const std::string& path) {
+    const auto [it, inserted] = def_ids.try_emplace(path, next_def_id);
+    if (inserted) ++next_def_id;
+    return it->second;
+  }
+
+  // Quota-correct upserts: two requests racing on the same key both run
+  // the analysis and both store; the overwritten entry's bytes must come
+  // back off the tally.
+  void put_def(const CacheKey& key, DefEntry entry) {
+    const auto it = defs.find(key);
+    if (it != defs.end()) cache_bytes -= it->second.bytes;
+    cache_bytes += entry.bytes;
+    defs.insert_or_assign(key, std::move(entry));
+  }
+
+  void put_gtype(const CacheKey& key, GtypeEntry entry) {
+    const auto it = gtypes.find(key);
+    if (it != gtypes.end()) cache_bytes -= it->second.bytes;
+    cache_bytes += entry.bytes;
+    gtypes.insert_or_assign(key, std::move(entry));
+  }
+
+  // Erases the dirty cone of `def_id`: its def entries under every
+  // options fingerprint, and every gtype entry tagged with it. Nothing
+  // else is touched — that is the whole incremental-reanalysis claim.
+  void invalidate_cone(std::uint64_t def_id) {
+    std::uint64_t erased = 0;
+    for (auto it = defs.begin(); it != defs.end();) {
+      if (it->first.id == def_id) {
+        cache_bytes -= it->second.bytes;
+        it = defs.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = gtypes.begin(); it != gtypes.end();) {
+      const auto& deps = it->second.deps;
+      if (std::find(deps.begin(), deps.end(), def_id) != deps.end()) {
+        cache_bytes -= it->second.bytes;
+        it = gtypes.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+    cache_invalidated += erased;
+    DaemonMetrics::get().cache_invalidated.force_add(erased);
+  }
+
+  // LRU eviction down to the quota. Linear scans are fine: eviction is
+  // rare and the maps hold one entry per (file|gtype, options) pair, not
+  // per node. Follows up with a cooperative memo-pool purge and an arena
+  // trim so the freed bytes actually leave the process.
+  void maybe_evict() {
+    bool evicted = false;
+    while (cache_bytes > options.cache_quota_bytes &&
+           (!defs.empty() || !gtypes.empty())) {
+      std::uint64_t oldest = ~std::uint64_t{0};
+      const CacheKey* def_key = nullptr;
+      const CacheKey* gtype_key = nullptr;
+      for (const auto& [key, entry] : defs) {
+        if (entry.last_use < oldest) {
+          oldest = entry.last_use;
+          def_key = &key;
+          gtype_key = nullptr;
+        }
+      }
+      for (const auto& [key, entry] : gtypes) {
+        if (entry.last_use < oldest) {
+          oldest = entry.last_use;
+          gtype_key = &key;
+          def_key = nullptr;
+        }
+      }
+      if (def_key != nullptr) {
+        const auto it = defs.find(*def_key);
+        cache_bytes -= it->second.bytes;
+        defs.erase(it);
+      } else if (gtype_key != nullptr) {
+        const auto it = gtypes.find(*gtype_key);
+        cache_bytes -= it->second.bytes;
+        gtypes.erase(it);
+      } else {
+        break;
+      }
+      ++cache_evictions;
+      DaemonMetrics::get().cache_evictions.force_add(1);
+      evicted = true;
+    }
+    if (evicted) {
+      request_memo_pool_purge();
+      trim_scan_arena(scan_arena_trim_quota());
+    }
+  }
+
+  PerFile analyze_one(const std::string& path, const CorpusOptions& opts,
+                      std::uint64_t opts_fp);
+};
+
+namespace {
+
+Budget::Limits budget_limits(const CorpusOptions& options) {
+  Budget::Limits limits;
+  limits.deadline_ms = options.timeout_ms;
+  limits.max_steps = options.budget_steps;
+  limits.max_bytes = options.budget_mb * 1024 * 1024;
+  return limits;
+}
+
+bool has_budget(const CorpusOptions& options) {
+  return options.timeout_ms != 0 || options.budget_steps != 0 ||
+         options.budget_mb != 0;
+}
+
+}  // namespace
+
+PerFile Service::Impl::analyze_one(const std::string& path,
+                                   const CorpusOptions& opts,
+                                   std::uint64_t opts_fp) {
+  PerFile result;
+  result.path = path;
+
+  const auto source = read_file(path);
+  if (!source) {
+    result.text = "cannot open '" + path + "'\n";
+    return result;  // exit 2; never cached
+  }
+  const std::uint64_t content_fp = fnv1a_bytes(source->data(), source->size());
+
+  std::uint64_t def_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    def_id = def_id_for(path);
+    const auto it = defs.find(CacheKey{def_id, opts_fp});
+    if (it != defs.end()) {
+      if (it->second.content_fp == content_fp) {
+        it->second.last_use = ++generation;
+        ++cache_hits;
+        DaemonMetrics::get().cache_hits.force_add(1);
+        result.exit_code = it->second.exit_code;
+        result.text = it->second.text;
+        result.cached = true;
+        return result;
+      }
+      invalidate_cone(def_id);
+    }
+  }
+
+  // Compile outside the cache lock: the interner is internally
+  // synchronized, and concurrent requests should overlap here.
+  const CompiledInput compiled = compile_input(path, *source, opts);
+  if (compiled.gtype == nullptr) {
+    result.text = compiled.header;
+    return result;  // exit 2; never cached
+  }
+  const std::uint64_t gtype_id = facts_of(compiled.gtype)->id;
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = gtypes.find(CacheKey{gtype_id, opts_fp});
+    if (it != gtypes.end()) {
+      it->second.last_use = ++generation;
+      auto& deps = it->second.deps;
+      if (std::find(deps.begin(), deps.end(), def_id) == deps.end()) {
+        deps.push_back(def_id);
+        it->second.bytes += sizeof(std::uint64_t);
+        cache_bytes += sizeof(std::uint64_t);
+      }
+      ++cache_hits;
+      DaemonMetrics::get().cache_hits.force_add(1);
+      result.exit_code = it->second.exit_code;
+      result.text = compiled.header + it->second.analysis;
+      result.cached = true;
+      // Refresh the def entry so the next unchanged request skips even
+      // the recompile.
+      DefEntry def_entry;
+      def_entry.content_fp = content_fp;
+      def_entry.text = result.text;
+      def_entry.exit_code = result.exit_code;
+      def_entry.bytes =
+          def_entry.text.size() + path.size() + kEntryOverheadBytes;
+      def_entry.last_use = generation;
+      put_def(CacheKey{def_id, opts_fp}, std::move(def_entry));
+      maybe_evict();
+      return result;
+    }
+  }
+
+  // Full analysis, outside the lock. Fresh per-request budget: one slow
+  // request trips ITS limits, concurrent requests are unaffected.
+  std::optional<Budget> budget;
+  if (has_budget(opts)) budget.emplace(budget_limits(opts));
+  std::ostringstream body;
+  BudgetStatus budget_status;
+  int code = 2;
+  try {
+    code = analyze_gtype_report(compiled.gtype, opts, &engine,
+                                budget ? &*budget : nullptr, body,
+                                &budget_status);
+  } catch (const std::exception& e) {
+    result.text = "internal error analyzing '" + path + "': " + e.what() + "\n";
+    return result;
+  } catch (...) {
+    result.text = "internal error analyzing '" + path +
+                  "': unknown exception\n";
+    return result;
+  }
+  result.exit_code = code;
+  result.text = compiled.header + body.str();
+
+  if (code == 0 || code == 1) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++generation;
+    GtypeEntry gtype_entry;
+    gtype_entry.analysis = body.str();
+    gtype_entry.exit_code = code;
+    gtype_entry.deps.push_back(def_id);
+    gtype_entry.bytes = gtype_entry.analysis.size() + sizeof(std::uint64_t) +
+                        kEntryOverheadBytes;
+    gtype_entry.last_use = generation;
+    put_gtype(CacheKey{gtype_id, opts_fp}, std::move(gtype_entry));
+    DefEntry def_entry;
+    def_entry.content_fp = content_fp;
+    def_entry.text = result.text;
+    def_entry.exit_code = code;
+    def_entry.bytes = def_entry.text.size() + path.size() + kEntryOverheadBytes;
+    def_entry.last_use = generation;
+    put_def(CacheKey{def_id, opts_fp}, std::move(def_entry));
+    maybe_evict();
+  }
+  return result;
+}
+
+Service::Service(ServiceOptions options) {
+  // Derive the process-wide arena retention cap from the cache quota: a
+  // daemon squeezed into a small footprint must not let every worker
+  // thread retain the default 8 MiB of scan arena on the side.
+  const std::size_t arena_cap = std::min<std::size_t>(
+      scan_arena_trim_quota(),
+      std::max<std::size_t>(options.cache_quota_bytes / 8, 64u * 1024));
+  set_scan_arena_trim_quota(arena_cap);
+  impl_ = std::make_unique<Impl>(std::move(options));
+}
+
+Service::~Service() = default;
+
+SnapshotLoadResult Service::warm_start(const std::string& path) {
+  const auto start = std::chrono::steady_clock::now();
+  SnapshotLoadResult result = load_snapshot(path);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  DaemonMetrics::get().warm_start_ms.set(elapsed.count());
+  return result;
+}
+
+std::string Service::handle_line(const std::string& line, bool* shutdown) {
+  if (shutdown != nullptr) *shutdown = false;
+
+  Request request;
+  std::string parse_error;
+  std::string response;
+  if (!parse_request(line, &request, &parse_error)) {
+    response = "{\"ok\":false,\"error\":";
+    append_json_string(response, parse_error);
+    response += "}";
+    return response;
+  }
+
+  obs::Span span("daemon", obs::trace_enabled()
+                               ? "request:" + request.op
+                               : std::string());
+  DaemonMetrics::get().requests.force_add(1);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    ++impl_->requests;
+  }
+
+  const auto begin_ok = [&](const char* op) {
+    response = "{\"ok\":true,\"op\":\"";
+    response += op;
+    response += "\"";
+    if (!request.id.empty()) {
+      response += ",\"id\":";
+      append_json_string(response, request.id);
+    }
+  };
+  const auto fail = [&](const std::string& message) {
+    response = "{\"ok\":false";
+    if (!request.id.empty()) {
+      response += ",\"id\":";
+      append_json_string(response, request.id);
+    }
+    response += ",\"error\":";
+    append_json_string(response, message);
+    response += "}";
+    return response;
+  };
+
+  if (request.op == "ping") {
+    begin_ok("ping");
+    response += "}";
+    return response;
+  }
+
+  if (request.op == "shutdown") {
+    if (shutdown != nullptr) *shutdown = true;
+    begin_ok("shutdown");
+    response += "}";
+    return response;
+  }
+
+  if (request.op == "stats") {
+    std::uint64_t requests_n = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t invalidated = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+    {
+      std::lock_guard<std::mutex> lock(impl_->mu);
+      requests_n = impl_->requests;
+      hits = impl_->cache_hits;
+      invalidated = impl_->cache_invalidated;
+      evictions = impl_->cache_evictions;
+      entries = impl_->defs.size() + impl_->gtypes.size();
+      bytes = impl_->cache_bytes;
+    }
+    begin_ok("stats");
+    response += ",\"requests\":" + std::to_string(requests_n);
+    response += ",\"cache_hits\":" + std::to_string(hits);
+    response += ",\"cache_invalidated\":" + std::to_string(invalidated);
+    response += ",\"cache_evictions\":" + std::to_string(evictions);
+    response += ",\"cache_entries\":" + std::to_string(entries);
+    response += ",\"cache_bytes\":" + std::to_string(bytes);
+    response += ",\"interned_nodes\":" +
+                std::to_string(GTypeInterner::instance().stats().nodes);
+    response += ",\"jobs\":" + std::to_string(impl_->engine.threads());
+    response += "}";
+    return response;
+  }
+
+  if (request.op == "snapshot") {
+    if (request.path.empty()) return fail("snapshot requires \"path\"");
+    const SnapshotWriteResult written = save_snapshot(request.path);
+    if (!written.ok) return fail(written.error);
+    begin_ok("snapshot");
+    response += ",\"path\":";
+    append_json_string(response, request.path);
+    response += ",\"nodes\":" + std::to_string(written.nodes);
+    response += ",\"bytes\":" + std::to_string(written.bytes);
+    response += "}";
+    return response;
+  }
+
+  if (request.op == "submit" || request.op == "reanalyze") {
+    if (request.files.empty()) {
+      return fail(request.op + " requires at least one \"file\"");
+    }
+    CorpusOptions opts = impl_->options.defaults;
+    if (request.baseline) opts.baseline = *request.baseline != 0;
+    if (request.new_push) opts.new_push = *request.new_push != 0;
+    if (request.dump_gtype) opts.dump_gtype = *request.dump_gtype != 0;
+    if (request.max_iters) {
+      opts.max_iters = static_cast<unsigned>(*request.max_iters);
+    }
+    if (request.unrolls) {
+      opts.unrolls = static_cast<unsigned>(*request.unrolls);
+    }
+    if (request.timeout_ms) opts.timeout_ms = *request.timeout_ms;
+    if (request.budget_steps) opts.budget_steps = *request.budget_steps;
+    if (request.budget_mb) opts.budget_mb = *request.budget_mb;
+    const std::uint64_t opts_fp = options_fingerprint(opts);
+
+    std::vector<PerFile> files(request.files.size());
+    ThreadPool* pool = impl_->engine.pool();
+    if (pool == nullptr || request.files.size() < 2) {
+      for (std::size_t i = 0; i < request.files.size(); ++i) {
+        files[i] = impl_->analyze_one(request.files[i], opts, opts_fp);
+      }
+    } else {
+      // Indexed slots, exactly like drive_corpus: completion order never
+      // shows in the response.
+      TaskGroup group(*pool);
+      for (std::size_t i = 0; i < request.files.size(); ++i) {
+        group.run([&, i] {
+          files[i] = impl_->analyze_one(request.files[i], opts, opts_fp);
+        });
+      }
+      group.wait();
+    }
+
+    int exit_code = 0;
+    for (const PerFile& file : files) {
+      exit_code = std::max(exit_code, file.exit_code);
+    }
+    begin_ok(request.op.c_str());
+    response += ",\"exit_code\":" + std::to_string(exit_code);
+    response += ",\"files\":[";
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      if (i != 0) response += ",";
+      response += "{\"path\":";
+      append_json_string(response, files[i].path);
+      response += ",\"exit_code\":" + std::to_string(files[i].exit_code);
+      response += ",\"cached\":";
+      response += files[i].cached ? "1" : "0";
+      response += ",\"report\":";
+      append_json_string(response, files[i].text);
+      response += "}";
+    }
+    response += "]}";
+    return response;
+  }
+
+  return fail("unknown op '" + request.op + "'");
+}
+
+}  // namespace gtdl::service

@@ -1,0 +1,80 @@
+// fdld core: one persistent analysis service multiplexing requests over
+// ONE shared Engine, one process-wide interner, and a two-level warm
+// cache (DESIGN.md §S23).
+//
+//   * DEF level — keyed (definition id, options fingerprint), where a
+//     definition is one input file. Stores the complete rendered report
+//     plus a content fingerprint; an unchanged file replays its report
+//     without even recompiling (daemon.cache.hits).
+//   * GTYPE level — keyed (interned graph-type id, options fingerprint).
+//     Stores the analysis block and exit code, dependency-tagged with
+//     the definition ids it was derived from. A changed file erases its
+//     def entry AND every gtype entry depending on it — the dirty cone —
+//     and nothing else (daemon.cache.invalidated). Distinct paths whose
+//     content interns to the same graph type share one entry here, so
+//     the second file of an identical pair replays the first's analysis
+//     after a cheap compile. (Invalidation is deliberately conservative:
+//     every fact derived from a changed definition is dropped, even
+//     though gtype entries are content-addressed.)
+//
+// Only definite verdicts (exit 0/1) are cached. Compile errors (2) are
+// cheap to reproduce, and budget-exhausted verdicts (3) depend on the
+// requested budget — the options fingerprint covers the budget fields
+// precisely so a verdict cached under one budget can never answer a
+// request made under another.
+//
+// Eviction: entries carry a generation-tagged last-use stamp; when the
+// byte quota overflows, least-recently-used entries go first
+// (daemon.cache.evictions), and the thread-local memo lease pools are
+// purged cooperatively (request_memo_pool_purge) so a shrinking daemon
+// actually returns memory.
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "gtdl/par/corpus.hpp"
+#include "gtdl/service/snapshot.hpp"
+
+namespace gtdl::service {
+
+struct ServiceOptions {
+  // Shared engine parallelism, fixed for the daemon's lifetime (per-file
+  // fan-out and in-file passes both ride it). Per-request overrides are
+  // deliberately NOT supported: verdict bytes are --jobs-independent, so
+  // a cache keyed without the job count stays correct.
+  unsigned jobs = 1;
+  // Byte quota for the two-level cache (report text, dependency tags).
+  std::size_t cache_quota_bytes = 64u << 20;
+  // Defaults for analysis options a request does not override.
+  CorpusOptions defaults;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options);
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  // Handles one request line and returns one response line (no trailing
+  // newline). Thread-safe: the daemon calls this concurrently from every
+  // connection thread. Sets *shutdown on a "shutdown" request (the
+  // response line is still returned and should be written first).
+  [[nodiscard]] std::string handle_line(const std::string& line,
+                                        bool* shutdown);
+
+  // Replays `path` into the process interner, recording the elapsed time
+  // in daemon.warm_start.ms. A failed load (missing file, version or
+  // checksum mismatch, structural corruption) leaves the interner
+  // untouched — the caller logs result.error and proceeds cold.
+  SnapshotLoadResult warm_start(const std::string& path);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace gtdl::service

@@ -1,0 +1,534 @@
+#include "gtdl/service/snapshot.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "gtdl/gtype/intern.hpp"
+#include "gtdl/support/symbol.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GTDL_SNAPSHOT_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace gtdl::service {
+
+namespace {
+
+constexpr char kMagic[8] = {'G', 'T', 'D', 'L', 'S', 'N', 'P', '1'};
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8 + 8 + 8 + 8;
+
+// Tags are the GType variant alternative indices; the variant order is
+// part of the on-disk format, frozen at kSnapshotVersion 1.
+enum : std::uint8_t {
+  kTagEmpty = 0,
+  kTagSeq = 1,
+  kTagOr = 2,
+  kTagSpawn = 3,
+  kTagTouch = 4,
+  kTagRec = 5,
+  kTagVar = 6,
+  kTagNew = 7,
+  kTagPi = 8,
+  kTagApp = 9,
+  kTagVecSpawn = 10,
+  kTagTouchAll = 11,
+  kTagTouchIdx = 12,
+  kTagPipe = 13,
+};
+
+std::uint64_t fnv1a(const char* data, std::size_t size) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+// Bounds-checked little-endian reader over the (possibly mmapped) file.
+struct Cursor {
+  const char* p;
+  const char* end;
+
+  [[nodiscard]] std::size_t left() const {
+    return static_cast<std::size_t>(end - p);
+  }
+
+  bool u8(std::uint8_t* out) {
+    if (left() < 1) return false;
+    *out = static_cast<std::uint8_t>(*p++);
+    return true;
+  }
+
+  bool u32(std::uint32_t* out) {
+    if (left() < 4) return false;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(*p++))
+           << (8 * i);
+    }
+    *out = v;
+    return true;
+  }
+
+  bool u64(std::uint64_t* out) {
+    if (left() < 8) return false;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(*p++))
+           << (8 * i);
+    }
+    *out = v;
+    return true;
+  }
+
+  bool bytes(std::size_t n, const char** out) {
+    if (left() < n) return false;
+    *out = p;
+    p += n;
+    return true;
+  }
+};
+
+// One decoded node record. Decoding fully validates the payload BEFORE
+// anything is interned, so a corrupt snapshot leaves the interner
+// untouched (the daemon's cold-fallback guarantee).
+struct DecodedNode {
+  std::uint64_t id = 0;
+  std::uint8_t tag = 0;
+  std::uint64_t child_a = 0;  // lhs / body / fn
+  std::uint64_t child_b = 0;  // rhs
+  std::uint32_t sym = 0;      // vertex / var / family
+  std::uint32_t width = 0;
+  std::uint32_t index = 0;
+  std::vector<std::uint32_t> spawn_syms;  // Pi params / App args
+  std::vector<std::uint32_t> touch_syms;
+};
+
+// Symbol collection order must match the writer's field order exactly;
+// both sides share this helper shape via the tag switch below.
+
+class Writer {
+ public:
+  std::uint32_t symbol_index(Symbol s) {
+    const auto [it, inserted] = index_.try_emplace(
+        s.raw(), static_cast<std::uint32_t>(spellings_.size()));
+    if (inserted) spellings_.push_back(s.str());
+    return it->second;
+  }
+
+  void sym(std::string& out, Symbol s) { put_u32(out, symbol_index(s)); }
+
+  void sym_vec(std::string& out, const std::vector<Symbol>& v) {
+    put_u32(out, static_cast<std::uint32_t>(v.size()));
+    for (const Symbol s : v) sym(out, s);
+  }
+
+  [[nodiscard]] const std::vector<std::string>& spellings() const {
+    return spellings_;
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint32_t> index_;
+  std::vector<std::string> spellings_;
+};
+
+std::uint64_t id_of(const GTypePtr& g) { return facts_of(g)->id; }
+
+void encode_node(std::string& out, Writer& writer, const GTypePtr& node) {
+  put_u64(out, id_of(node));
+  out.push_back(static_cast<char>(node->node.index()));
+  std::visit(
+      [&](const auto& n) {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, GTEmpty>) {
+          // no fields
+        } else if constexpr (std::is_same_v<T, GTSeq> ||
+                             std::is_same_v<T, GTOr> ||
+                             std::is_same_v<T, GTPipe>) {
+          put_u64(out, id_of(n.lhs));
+          put_u64(out, id_of(n.rhs));
+        } else if constexpr (std::is_same_v<T, GTSpawn>) {
+          put_u64(out, id_of(n.body));
+          writer.sym(out, n.vertex);
+        } else if constexpr (std::is_same_v<T, GTTouch>) {
+          writer.sym(out, n.vertex);
+        } else if constexpr (std::is_same_v<T, GTRec>) {
+          writer.sym(out, n.var);
+          put_u64(out, id_of(n.body));
+        } else if constexpr (std::is_same_v<T, GTVar>) {
+          writer.sym(out, n.var);
+        } else if constexpr (std::is_same_v<T, GTNew>) {
+          writer.sym(out, n.vertex);
+          put_u64(out, id_of(n.body));
+        } else if constexpr (std::is_same_v<T, GTPi>) {
+          writer.sym_vec(out, n.spawn_params);
+          writer.sym_vec(out, n.touch_params);
+          put_u64(out, id_of(n.body));
+        } else if constexpr (std::is_same_v<T, GTApp>) {
+          put_u64(out, id_of(n.fn));
+          writer.sym_vec(out, n.spawn_args);
+          writer.sym_vec(out, n.touch_args);
+        } else if constexpr (std::is_same_v<T, GTVecSpawn>) {
+          put_u64(out, id_of(n.body));
+          writer.sym(out, n.family);
+          put_u32(out, n.width);
+        } else if constexpr (std::is_same_v<T, GTTouchAll>) {
+          writer.sym(out, n.family);
+          put_u32(out, n.width);
+        } else {
+          static_assert(std::is_same_v<T, GTTouchIdx>);
+          writer.sym(out, n.family);
+          put_u32(out, n.width);
+          put_u32(out, n.index);
+        }
+      },
+      node->node);
+}
+
+bool decode_node(Cursor& cur, std::uint64_t symbol_count, DecodedNode* out,
+                 std::string* error) {
+  const auto fail = [&](const char* message) {
+    *error = message;
+    return false;
+  };
+  const auto read_sym = [&](std::uint32_t* sym) {
+    if (!cur.u32(sym)) return false;
+    return static_cast<std::uint64_t>(*sym) < symbol_count;
+  };
+  const auto read_sym_vec = [&](std::vector<std::uint32_t>* v) {
+    std::uint32_t count = 0;
+    if (!cur.u32(&count)) return false;
+    if (count > cur.left() / 4) return false;  // each element is 4 bytes
+    v->resize(count);
+    for (std::uint32_t& s : *v) {
+      if (!read_sym(&s)) return false;
+    }
+    return true;
+  };
+
+  if (!cur.u64(&out->id) || !cur.u8(&out->tag)) {
+    return fail("truncated node record");
+  }
+  switch (out->tag) {
+    case kTagEmpty:
+      return true;
+    case kTagSeq:
+    case kTagOr:
+    case kTagPipe:
+      if (!cur.u64(&out->child_a) || !cur.u64(&out->child_b)) {
+        return fail("truncated node record");
+      }
+      return true;
+    case kTagSpawn:
+      if (!cur.u64(&out->child_a) || !read_sym(&out->sym)) {
+        return fail("bad spawn record");
+      }
+      return true;
+    case kTagTouch:
+      if (!read_sym(&out->sym)) return fail("bad touch record");
+      return true;
+    case kTagRec:
+    case kTagNew:
+      if (!read_sym(&out->sym) || !cur.u64(&out->child_a)) {
+        return fail("bad binder record");
+      }
+      return true;
+    case kTagVar:
+      if (!read_sym(&out->sym)) return fail("bad var record");
+      return true;
+    case kTagPi:
+      if (!read_sym_vec(&out->spawn_syms) ||
+          !read_sym_vec(&out->touch_syms) || !cur.u64(&out->child_a)) {
+        return fail("bad pi record");
+      }
+      return true;
+    case kTagApp:
+      if (!cur.u64(&out->child_a) || !read_sym_vec(&out->spawn_syms) ||
+          !read_sym_vec(&out->touch_syms)) {
+        return fail("bad app record");
+      }
+      return true;
+    case kTagVecSpawn:
+      if (!cur.u64(&out->child_a) || !read_sym(&out->sym) ||
+          !cur.u32(&out->width)) {
+        return fail("bad vecspawn record");
+      }
+      return true;
+    case kTagTouchAll:
+      if (!read_sym(&out->sym) || !cur.u32(&out->width)) {
+        return fail("bad touchall record");
+      }
+      return true;
+    case kTagTouchIdx:
+      if (!read_sym(&out->sym) || !cur.u32(&out->width) ||
+          !cur.u32(&out->index)) {
+        return fail("bad touchidx record");
+      }
+      return true;
+    default:
+      return fail("unknown node tag");
+  }
+}
+
+SnapshotLoadResult load_from_buffer(const char* data, std::size_t size) {
+  SnapshotLoadResult result;
+  const auto fail = [&](std::string message) {
+    result.ok = false;
+    result.error = std::move(message);
+    return result;
+  };
+
+  if (size < kHeaderBytes) return fail("snapshot too small for header");
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return fail("bad snapshot magic");
+  }
+  Cursor header{data + 8, data + kHeaderBytes};
+  std::uint32_t version = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t symbol_count = 0;
+  std::uint64_t node_count = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t checksum = 0;
+  header.u32(&version);
+  header.u32(&reserved);
+  header.u64(&symbol_count);
+  header.u64(&node_count);
+  header.u64(&payload_bytes);
+  header.u64(&checksum);
+  if (version != kSnapshotVersion) {
+    return fail("snapshot version " + std::to_string(version) +
+                " != expected " + std::to_string(kSnapshotVersion));
+  }
+  if (payload_bytes != size - kHeaderBytes) {
+    return fail("payload size mismatch (truncated or padded file)");
+  }
+  const char* payload = data + kHeaderBytes;
+  if (fnv1a(payload, payload_bytes) != checksum) {
+    return fail("snapshot checksum mismatch");
+  }
+
+  Cursor cur{payload, payload + payload_bytes};
+
+  // Symbol table. Re-interning a spelling that already exists is a no-op
+  // by construction; Symbol::fresh never reuses an interned spelling, so
+  // snapshot names cannot collide with later fresh names either.
+  std::vector<Symbol> symbols;
+  symbols.reserve(symbol_count);
+  for (std::uint64_t i = 0; i < symbol_count; ++i) {
+    std::uint32_t len = 0;
+    const char* bytes = nullptr;
+    if (!cur.u32(&len) || !cur.bytes(len, &bytes)) {
+      return fail("truncated symbol table");
+    }
+    symbols.push_back(Symbol::intern(std::string_view(bytes, len)));
+  }
+
+  // Decode-and-validate pass: nothing is interned until the whole
+  // payload has parsed cleanly and every child reference resolves to an
+  // earlier record (the bottom-up invariant).
+  std::vector<DecodedNode> decoded(node_count);
+  std::unordered_map<std::uint64_t, std::size_t> position;
+  position.reserve(node_count);
+  std::string error;
+  for (std::uint64_t i = 0; i < node_count; ++i) {
+    DecodedNode& node = decoded[i];
+    if (!decode_node(cur, symbol_count, &node, &error)) {
+      return fail(std::move(error));
+    }
+    const auto check_child = [&](std::uint64_t id) {
+      return position.find(id) != position.end();
+    };
+    switch (node.tag) {
+      case kTagSeq:
+      case kTagOr:
+      case kTagPipe:
+        if (!check_child(node.child_a) || !check_child(node.child_b)) {
+          return fail("node references an undefined child");
+        }
+        break;
+      case kTagSpawn:
+      case kTagRec:
+      case kTagNew:
+      case kTagPi:
+      case kTagApp:
+      case kTagVecSpawn:
+        if (!check_child(node.child_a)) {
+          return fail("node references an undefined child");
+        }
+        break;
+      default:
+        break;
+    }
+    if (!position.emplace(node.id, i).second) {
+      return fail("duplicate node id");
+    }
+  }
+  if (cur.p != cur.end) return fail("trailing bytes after last node");
+
+  // Replay pass: bottom-up re-interning through the public constructors,
+  // which recompute facts and canonicalize against anything already live.
+  std::vector<GTypePtr> rebuilt(node_count);
+  const auto child = [&](std::uint64_t id) -> const GTypePtr& {
+    return rebuilt[position.at(id)];
+  };
+  const auto sym = [&](std::uint32_t index) { return symbols[index]; };
+  const auto sym_vec = [&](const std::vector<std::uint32_t>& v) {
+    std::vector<Symbol> out;
+    out.reserve(v.size());
+    for (const std::uint32_t i : v) out.push_back(symbols[i]);
+    return out;
+  };
+  result.ids_identical = true;
+  for (std::uint64_t i = 0; i < node_count; ++i) {
+    const DecodedNode& node = decoded[i];
+    GTypePtr& slot = rebuilt[i];
+    switch (node.tag) {
+      case kTagEmpty: slot = gt::empty(); break;
+      case kTagSeq: slot = gt::seq(child(node.child_a), child(node.child_b)); break;
+      case kTagOr: slot = gt::alt(child(node.child_a), child(node.child_b)); break;
+      case kTagSpawn: slot = gt::spawn(child(node.child_a), sym(node.sym)); break;
+      case kTagTouch: slot = gt::touch(sym(node.sym)); break;
+      case kTagRec: slot = gt::rec(sym(node.sym), child(node.child_a)); break;
+      case kTagVar: slot = gt::var(sym(node.sym)); break;
+      case kTagNew: slot = gt::nu(sym(node.sym), child(node.child_a)); break;
+      case kTagPi:
+        slot = gt::pi(sym_vec(node.spawn_syms), sym_vec(node.touch_syms),
+                      child(node.child_a));
+        break;
+      case kTagApp:
+        slot = gt::app(child(node.child_a), sym_vec(node.spawn_syms),
+                       sym_vec(node.touch_syms));
+        break;
+      case kTagVecSpawn:
+        slot = gt::vecspawn(child(node.child_a), sym(node.sym), node.width);
+        break;
+      case kTagTouchAll:
+        slot = gt::touch_all(sym(node.sym), node.width);
+        break;
+      case kTagTouchIdx:
+        slot = gt::touch_idx(sym(node.sym), node.width, node.index);
+        break;
+      default: break;  // unreachable: validated above
+    }
+    if (facts_of(slot)->id != node.id) result.ids_identical = false;
+  }
+
+  result.ok = true;
+  result.nodes = node_count;
+  return result;
+}
+
+}  // namespace
+
+SnapshotWriteResult save_snapshot(const std::string& path) {
+  SnapshotWriteResult result;
+
+  const std::vector<GTypePtr> nodes = GTypeInterner::instance().all_nodes();
+  Writer writer;
+  std::string records;
+  for (const GTypePtr& node : nodes) {
+    encode_node(records, writer, node);
+  }
+  std::string payload;
+  for (const std::string& spelling : writer.spellings()) {
+    put_u32(payload, static_cast<std::uint32_t>(spelling.size()));
+    payload += spelling;
+  }
+  payload += records;
+
+  std::string file;
+  file.reserve(kHeaderBytes + payload.size());
+  file.append(kMagic, sizeof(kMagic));
+  put_u32(file, kSnapshotVersion);
+  put_u32(file, 0);  // reserved
+  put_u64(file, writer.spellings().size());
+  put_u64(file, nodes.size());
+  put_u64(file, payload.size());
+  put_u64(file, fnv1a(payload.data(), payload.size()));
+  file += payload;
+
+  // Write-then-rename so a crashed daemon never leaves a torn snapshot
+  // at the advertised path (the loader would reject it anyway, but the
+  // previous good snapshot should survive).
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out || !out.write(file.data(),
+                           static_cast<std::streamsize>(file.size()))) {
+      result.error = "cannot write '" + tmp + "'";
+      return result;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    result.error = "cannot rename '" + tmp + "' to '" + path + "'";
+    return result;
+  }
+
+  result.ok = true;
+  result.nodes = nodes.size();
+  result.symbols = writer.spellings().size();
+  result.bytes = file.size();
+  return result;
+}
+
+SnapshotLoadResult load_snapshot(const std::string& path) {
+#if GTDL_SNAPSHOT_HAS_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st{};
+    if (::fstat(fd, &st) == 0 && st.st_size >= 0) {
+      const std::size_t size = static_cast<std::size_t>(st.st_size);
+      if (size == 0) {
+        ::close(fd);
+        SnapshotLoadResult result;
+        result.error = "snapshot too small for header";
+        return result;
+      }
+      void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (map != MAP_FAILED) {
+        SnapshotLoadResult result =
+            load_from_buffer(static_cast<const char*>(map), size);
+        ::munmap(map, size);
+        return result;
+      }
+      // mmap refused (unusual filesystem); fall through to the read path.
+    } else {
+      ::close(fd);
+    }
+  }
+#endif
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    SnapshotLoadResult result;
+    result.error = "cannot open '" + path + "'";
+    return result;
+  }
+  std::string buffer((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  return load_from_buffer(buffer.data(), buffer.size());
+}
+
+}  // namespace gtdl::service

@@ -1,0 +1,69 @@
+// Versioned serialization of the interned graph-type DAG.
+//
+// A snapshot is the warm half of the daemon's state that survives a
+// restart: every interned node, written bottom-up in id order so the
+// reader can rebuild the DAG with plain gt:: constructor calls (children
+// always precede parents — see GTypeInterner::all_nodes()). Loading into
+// a FRESH interner replays the exact same intern order and therefore
+// reproduces the exact same ids, which `ids_identical` reports; loading
+// into a warm interner still canonicalizes correctly (hash-consing makes
+// re-interning idempotent), the ids just may differ.
+//
+// Binary layout (all integers little-endian, packed):
+//
+//   u8[8]  magic   "GTDLSNP1"
+//   u32    version (kSnapshotVersion)
+//   u32    reserved (0)
+//   u64    symbol_count
+//   u64    node_count
+//   u64    payload_bytes
+//   u64    checksum (FNV-1a over the payload)
+//   ----- payload -----
+//   symbol table: symbol_count × { u32 len, bytes }  (first-use order)
+//   nodes, ascending id: { u64 id, u8 tag, fields... }
+//     child references are u64 ORIGINAL ids (must already be decoded),
+//     symbols are u32 indices into the snapshot's symbol table,
+//     vectors are u32 count + elements, widths/indices are u32.
+//
+// Safety contract (ISSUE 9): a mismatched magic/version, a truncated
+// file, a bad checksum, or any structurally invalid record makes load
+// return {ok=false, error} — the daemon logs the diagnostic and falls
+// back to a cold start. A snapshot can cost warmth, never correctness.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gtdl::service {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+struct SnapshotWriteResult {
+  bool ok = false;
+  std::string error;          // filled when !ok
+  std::uint64_t nodes = 0;    // nodes written
+  std::uint64_t symbols = 0;  // symbol-table entries written
+  std::uint64_t bytes = 0;    // total file size
+};
+
+struct SnapshotLoadResult {
+  bool ok = false;
+  std::string error;        // filled when !ok; load had NO effect
+  std::uint64_t nodes = 0;  // nodes re-interned
+  // True when every re-interned node received the id recorded in the
+  // snapshot — guaranteed for a fresh interner, the property the
+  // round-trip differential test asserts.
+  bool ids_identical = false;
+};
+
+// Serializes every node currently interned in GTypeInterner::instance().
+[[nodiscard]] SnapshotWriteResult save_snapshot(const std::string& path);
+
+// Validates and replays `path` into GTypeInterner::instance(). Prefers
+// mmap for the read (the common daemon warm-start path touches the file
+// once, sequentially); falls back to a buffered read where mmap is
+// unavailable.
+[[nodiscard]] SnapshotLoadResult load_snapshot(const std::string& path);
+
+}  // namespace gtdl::service

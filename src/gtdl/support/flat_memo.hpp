@@ -64,6 +64,14 @@ namespace detail {
 // sampled once per analysis. Default on; tests and bench_memo flip it to
 // compare against the map-backed baseline.
 inline std::atomic<bool> g_flat_memo_enabled{true};
+
+// Bumped by request_memo_pool_purge(); each thread's lease pool compares
+// its last-seen value at the next lease and drops its pooled tables when
+// behind. Cooperative by design: pools are thread_local, so an evicting
+// thread (the daemon's cache-quota enforcement) cannot reach into other
+// threads' pools directly — it publishes an epoch and every worker
+// releases its warm tables at its next natural boundary.
+inline std::atomic<std::uint64_t> g_memo_pool_purge_epoch{0};
 }  // namespace detail
 
 [[nodiscard]] inline bool flat_memo_enabled() noexcept {
@@ -79,6 +87,18 @@ inline bool set_flat_memo_enabled(bool enabled) noexcept {
                                               std::memory_order_relaxed);
 }
 
+// Asks every thread to drop its pooled warm memo tables at its next
+// lease. Correctness-neutral (a purged pool only costs the next analysis
+// its warm start); used by the daemon when cache eviction must shed
+// retained memory held by long-lived worker threads.
+inline void request_memo_pool_purge() noexcept {
+  detail::g_memo_pool_purge_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline std::uint64_t memo_pool_purge_epoch() noexcept {
+  return detail::g_memo_pool_purge_epoch.load(std::memory_order_relaxed);
+}
+
 namespace memo_detail {
 
 // Shared instruments for every flat table in the process (one catalog
@@ -90,6 +110,7 @@ struct MemoInstruments {
   obs::Counter& generation_resets;
   obs::Counter& rehashes;
   obs::Histogram& load_factor;
+  obs::Counter& pool_purges;
 
   static MemoInstruments& get() {
     static MemoInstruments* m = [] {
@@ -107,6 +128,9 @@ struct MemoInstruments {
           reg.histogram(obs::MetricDesc{
               "memo.load_factor", "support", "percent",
               "live-slot load factor (percent) observed at each rehash"}),
+          reg.counter(obs::MetricDesc{
+              "memo.pool.purges", "support", "pools",
+              "thread lease pools dropped after a purge-epoch bump"}),
       };
     }();
     return *m;
@@ -345,6 +369,18 @@ class LeasedMemo {
   LeasedMemo() {
     if (!flat_memo_enabled()) return;  // map mode: table_ stays null
     auto& free_list = pool();
+    // Honor a pending process-wide purge request before reusing warm
+    // tables: drop the pool wholesale (tables and their capacity), so
+    // eviction actually returns memory, not just stale entries.
+    thread_local std::uint64_t seen_epoch = 0;
+    const std::uint64_t epoch = memo_pool_purge_epoch();
+    if (seen_epoch != epoch) {
+      seen_epoch = epoch;
+      if (!free_list.empty()) {
+        free_list.clear();
+        memo_detail::MemoInstruments::get().pool_purges.add();
+      }
+    }
     if (free_list.empty()) {
       table_ = std::make_unique<Table>();
     } else {

@@ -42,23 +42,36 @@ namespace {
 //   TR:SEQ     g1 ⊕ g2 ~>_a t1; t2
 //   TR:SPAWN   g /u ~>_a fork(a,u); t   where g ~>_u t
 //   TR:TOUCH   ᵘ\ ~>_a join(a,u)
+// Pre-order over an explicit stack (actions of the lhs before the rhs,
+// a fork before its body's actions) — ingested dumps nest far deeper
+// than a recursive walk could survive. Each stack entry carries the
+// thread name `a` the subtree is traced under.
 void emit(const GraphExpr& g, Symbol current, Trace& out) {
-  std::visit(Overloaded{
-                 [](const GESingleton&) {},
-                 [&](const GESeq& node) {
-                   emit(*node.lhs, current, out);
-                   emit(*node.rhs, current, out);
-                 },
-                 [&](const GESpawn& node) {
-                   out.push_back(Action::fork(current, node.vertex));
-                   // The spawned thread is named by its designated vertex.
-                   emit(*node.body, node.vertex, out);
-                 },
-                 [&](const GETouch& node) {
-                   out.push_back(Action::join(current, node.vertex));
-                 },
-             },
-             g.node);
+  struct Pending {
+    const GraphExpr* expr;
+    Symbol thread;
+  };
+  std::vector<Pending> stack = {{&g, current}};
+  while (!stack.empty()) {
+    const Pending p = stack.back();
+    stack.pop_back();
+    std::visit(Overloaded{
+                   [](const GESingleton&) {},
+                   [&](const GESeq& node) {
+                     stack.push_back({node.rhs.get(), p.thread});
+                     stack.push_back({node.lhs.get(), p.thread});
+                   },
+                   [&](const GESpawn& node) {
+                     out.push_back(Action::fork(p.thread, node.vertex));
+                     // The spawned thread is named by its designated vertex.
+                     stack.push_back({node.body.get(), node.vertex});
+                   },
+                   [&](const GETouch& node) {
+                     out.push_back(Action::join(p.thread, node.vertex));
+                   },
+               },
+               p.expr->node);
+  }
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "gtdl/graph/csr.hpp"
 #include "gtdl/graph/graph.hpp"
 #include "gtdl/graph/graph_expr.hpp"
 
@@ -246,6 +247,44 @@ TEST(Graph, DotExportMentionsAllVertices) {
   EXPECT_NE(dot.find("\"a\""), std::string::npos);
   EXPECT_NE(dot.find("\"missing\""), std::string::npos);
   EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+// The lowering, trace, event-walk, rendering, and destruction paths used
+// to recurse over the GraphExpr tree, capping usable spawn depth at a few
+// thousand (bench_ingest documented the 4k ceiling). All of them are
+// explicit-worklist walks now; this pins a depth 25x past the old cap.
+TEST(GraphExpr, DeepSpawnChainBeyondOldRecursionCap) {
+  constexpr std::size_t kDepth = 100'000;  // old ceiling was ~4'000
+  // chain_k = spawn(chain_{k+1} ; ~c_{k+1}, c_k) nested to kDepth, i.e.
+  // future k spawns future k+1 and touches it — the bench_ingest "chain"
+  // shape, built directly.
+  std::vector<Symbol> names;
+  names.reserve(kDepth);
+  for (std::size_t i = 0; i < kDepth; ++i) {
+    names.push_back(S(("c" + std::to_string(i)).c_str()));
+  }
+  GraphExprPtr body = ge::singleton();
+  for (std::size_t i = kDepth; i-- > 0;) {
+    body = ge::seq(ge::spawn(std::move(body), names[i]), ge::touch(names[i]));
+  }
+
+  EXPECT_EQ(node_count(*body), 3 * kDepth + 1);
+  EXPECT_EQ(spawned_vertices(*body).size(), kDepth);
+  EXPECT_EQ(touched_vertices(*body).size(), kDepth);
+  EXPECT_TRUE(unspawned_touch_targets(*body).empty());
+
+  const std::string rendered = to_string(*body);
+  EXPECT_EQ(rendered.substr(0, 2), "((");
+  EXPECT_EQ(rendered.substr(rendered.size() - 3), "~c0");
+
+  GraphArena arena;
+  const CsrGraph csr = lower_to_csr(*body, arena);
+  EXPECT_EQ(csr.vertex_count(), 3 * kDepth + 1);
+  EXPECT_FALSE(csr.has_cycle());
+  EXPECT_TRUE(csr.unspawned_touches().empty());
+
+  // Destruction of the 400k-node expression is the last deep walk.
+  body.reset();
 }
 
 }  // namespace

@@ -1,0 +1,571 @@
+// Differential tests for the fdld service layer (DESIGN.md §S23):
+// warm-vs-cold byte identity, dirty-cone invalidation, snapshot
+// round-trips, quota eviction, and budget-exhaustion hygiene — both
+// in-process through service::Service and end-to-end through the real
+// fdld binary in --stdio mode (path injected by CMake).
+//
+// Byte-identity assertions use inputs whose rendered reports contain no
+// fresh-name spellings: deadlock-free programs (verdict lines only) and
+// textual graph types (diagnostics name source vertices). Rejecting
+// .fut programs render fresh names like `g_u$5` into their diagnostics,
+// which drift across compiles by design — those cases compare exit
+// codes and verdict substrings instead.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gtdl/service/protocol.hpp"
+#include "gtdl/service/service.hpp"
+#include "gtdl/service/snapshot.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using gtdl::service::Request;
+using gtdl::service::Service;
+using gtdl::service::ServiceOptions;
+
+std::string programs_dir() { return GTDL_PROGRAMS_DIR; }
+
+// --- tiny response-side JSON helpers ---------------------------------------
+// Responses are produced by append_json_string, whose escape set is
+// exactly \" \\ \n \r \t and \u00XX — this decoder handles just that.
+
+std::optional<std::string> decode_string_at(const std::string& text,
+                                            std::size_t quote_pos) {
+  if (quote_pos >= text.size() || text[quote_pos] != '"') return std::nullopt;
+  std::string out;
+  for (std::size_t i = quote_pos + 1; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '"') return out;
+    if (c != '\\') {
+      out.push_back(c);
+      continue;
+    }
+    if (++i >= text.size()) return std::nullopt;
+    switch (text[i]) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        if (i + 4 >= text.size()) return std::nullopt;
+        const std::string hex = text.substr(i + 1, 4);
+        out.push_back(static_cast<char>(std::strtoul(hex.c_str(), nullptr, 16)));
+        i += 4;
+        break;
+      }
+      default: return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+// All decoded values of `"key":"..."` in order of appearance.
+std::vector<std::string> json_strings(const std::string& text,
+                                      const std::string& key) {
+  std::vector<std::string> out;
+  const std::string needle = "\"" + key + "\":\"";
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    // Skip matches inside an escaped context: the needle itself cannot
+    // appear inside a report string because its quotes would be escaped.
+    const auto value = decode_string_at(text, pos + needle.size() - 1);
+    if (value) out.push_back(*value);
+    pos += needle.size();
+  }
+  return out;
+}
+
+std::optional<long long> json_int(const std::string& text,
+                                  const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t pos = text.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  return std::strtoll(text.c_str() + pos + needle.size(), nullptr, 10);
+}
+
+std::vector<long long> json_ints(const std::string& text,
+                                 const std::string& key) {
+  std::vector<long long> out;
+  const std::string needle = "\"" + key + "\":";
+  std::size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    pos += needle.size();
+    out.push_back(std::strtoll(text.c_str() + pos, nullptr, 10));
+  }
+  return out;
+}
+
+// --- fixtures ---------------------------------------------------------------
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::string pattern =
+        (fs::temp_directory_path() / "gtdl_service_XXXXXX").string();
+    ASSERT_NE(mkdtemp(pattern.data()), nullptr);
+    dir_ = pattern;
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string write(const std::string& name, const std::string& content) {
+    const std::string path = (fs::path(dir_) / name).string();
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+    return path;
+  }
+
+  std::string dir_;
+};
+
+std::string submit_line(const std::vector<std::string>& files,
+                        const std::string& extra = std::string(),
+                        const char* op = "submit") {
+  std::string line = "{\"op\":\"";
+  line += op;
+  line += "\"";
+  for (const std::string& f : files) {
+    line += ",\"file\":";
+    gtdl::service::append_json_string(line, f);
+  }
+  line += extra;
+  line += "}";
+  return line;
+}
+
+std::string handle(Service& service, const std::string& line) {
+  bool shutdown = false;
+  return service.handle_line(line, &shutdown);
+}
+
+// --- protocol ---------------------------------------------------------------
+
+TEST(Protocol, ParsesFlatRequestWithRepeatedFiles) {
+  Request req;
+  std::string error;
+  ASSERT_TRUE(gtdl::service::parse_request(
+      R"({"op":"submit","id":"7","file":"a.fut","file":"b.gt","budget_steps":42,"future_key":"ignored"})",
+      &req, &error))
+      << error;
+  EXPECT_EQ(req.op, "submit");
+  EXPECT_EQ(req.id, "7");
+  ASSERT_EQ(req.files.size(), 2u);
+  EXPECT_EQ(req.files[0], "a.fut");
+  EXPECT_EQ(req.files[1], "b.gt");
+  ASSERT_TRUE(req.budget_steps.has_value());
+  EXPECT_EQ(*req.budget_steps, 42u);
+  EXPECT_FALSE(req.timeout_ms.has_value());
+}
+
+TEST(Protocol, DecodesEscapes) {
+  Request req;
+  std::string error;
+  ASSERT_TRUE(gtdl::service::parse_request(
+      R"({"op":"submit","file":"a b\n.gt"})", &req, &error))
+      << error;
+  ASSERT_EQ(req.files.size(), 1u);
+  EXPECT_EQ(req.files[0], "a b\n.gt");
+}
+
+TEST(Protocol, RejectsMalformedLines) {
+  Request req;
+  std::string error;
+  EXPECT_FALSE(gtdl::service::parse_request("", &req, &error));
+  EXPECT_FALSE(gtdl::service::parse_request("{\"id\":\"1\"}", &req, &error));
+  EXPECT_NE(error.find("op"), std::string::npos);
+  EXPECT_FALSE(gtdl::service::parse_request(
+      R"({"op":"submit","unrolls":1.5})", &req, &error));
+  EXPECT_FALSE(gtdl::service::parse_request(
+      R"({"op":"submit","unrolls":-1})", &req, &error));
+  EXPECT_FALSE(gtdl::service::parse_request(
+      R"({"op":"submit","files":["a"]})", &req, &error));
+  EXPECT_FALSE(
+      gtdl::service::parse_request(R"({"op":"x"} trailing)", &req, &error));
+  EXPECT_FALSE(
+      gtdl::service::parse_request(R"({"op":"unterminated)", &req, &error));
+}
+
+TEST(Protocol, JsonStringEscaping) {
+  std::string out;
+  gtdl::service::append_json_string(out, "a\"b\\c\nd\x01");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+}
+
+// --- service core -----------------------------------------------------------
+
+TEST_F(ServiceTest, WarmReplayIsByteIdenticalAndCounted) {
+  const std::string df = write("df.gt", "new u. (1/u) ; ~u");
+  const std::string dl = write("dl.gt", "new u. ~u ; 1/u");
+
+  Service service(ServiceOptions{});
+  const std::string cold = handle(service, submit_line({df, dl}));
+  ASSERT_NE(cold.find("\"ok\":true"), std::string::npos) << cold;
+  EXPECT_EQ(json_int(cold, "exit_code").value_or(-1), 1);
+  const std::vector<std::string> cold_reports = json_strings(cold, "report");
+  ASSERT_EQ(cold_reports.size(), 2u);
+  EXPECT_NE(cold_reports[0].find("DEADLOCK-FREE"), std::string::npos);
+  EXPECT_NE(cold_reports[1].find("POSSIBLE DEADLOCK"), std::string::npos);
+  EXPECT_EQ(json_ints(cold, "cached"), (std::vector<long long>{0, 0}));
+
+  const std::string warm = handle(service, submit_line({df, dl}, "", "reanalyze"));
+  EXPECT_EQ(json_ints(warm, "cached"), (std::vector<long long>{1, 1}));
+  EXPECT_EQ(json_strings(warm, "report"), cold_reports);
+  EXPECT_EQ(json_int(warm, "exit_code"), json_int(cold, "exit_code"));
+
+  const std::string stats = handle(service, "{\"op\":\"stats\"}");
+  EXPECT_EQ(json_int(stats, "cache_hits").value_or(-1), 2);
+  EXPECT_EQ(json_int(stats, "cache_invalidated").value_or(-1), 0);
+}
+
+TEST_F(ServiceTest, VerdictBytesIdenticalAcrossJobs) {
+  const std::string df = write("df.gt", "new u. (1/u) ; ~u");
+  const std::string dl = write("dl.gt", "new u. ~u ; 1/u");
+  const std::string fut = programs_dir() + "/pipeline.fut";
+
+  ServiceOptions seq;
+  seq.jobs = 1;
+  ServiceOptions par;
+  par.jobs = 4;
+  Service service1(seq);
+  Service service4(par);
+
+  const std::string r1 = handle(service1, submit_line({df, dl, fut}));
+  const std::string r4 = handle(service4, submit_line({df, dl, fut}));
+  EXPECT_EQ(json_strings(r1, "report"), json_strings(r4, "report"));
+  EXPECT_EQ(json_int(r1, "exit_code"), json_int(r4, "exit_code"));
+}
+
+TEST_F(ServiceTest, OneFileChangeInvalidatesOnlyItsCone) {
+  const std::string a = write("a.gt", "new u. (1/u) ; ~u");
+  const std::string b = write("b.gt", "new u. new v. ((1/u) ; 1/v) ; ~u ; ~v");
+  const std::string c = write("c.gt", "new u. ~u ; 1/u");
+
+  Service service(ServiceOptions{});
+  const std::string cold = handle(service, submit_line({a, b, c}));
+  const std::vector<std::string> cold_reports = json_strings(cold, "report");
+  ASSERT_EQ(cold_reports.size(), 3u);
+
+  // Touch b with a content change (b's verdict flips to rejecting).
+  write("b.gt", "new u. new v. (~u ; 1/v) ; (1/u) ; ~v");
+  const std::string warm = handle(service, submit_line({a, b, c}, "", "reanalyze"));
+  EXPECT_EQ(json_ints(warm, "cached"), (std::vector<long long>{1, 0, 1}));
+  const std::vector<std::string> warm_reports = json_strings(warm, "report");
+  ASSERT_EQ(warm_reports.size(), 3u);
+  EXPECT_EQ(warm_reports[0], cold_reports[0]);
+  EXPECT_NE(warm_reports[1], cold_reports[1]);
+  EXPECT_EQ(warm_reports[2], cold_reports[2]);
+
+  // Exactly b's dirty cone went: its def entry plus its gtype entry.
+  const std::string stats = handle(service, "{\"op\":\"stats\"}");
+  EXPECT_EQ(json_int(stats, "cache_invalidated").value_or(-1), 2);
+  EXPECT_EQ(json_int(stats, "cache_hits").value_or(-1), 2);
+}
+
+TEST_F(ServiceTest, IdenticalContentSharesGtypeLevelEntry) {
+  const std::string a = write("a.gt", "new w. (1/w) ; ~w");
+  const std::string b = write("twin.gt", "new w. (1/w) ; ~w");
+
+  Service service(ServiceOptions{});
+  const std::string first = handle(service, submit_line({a, b}));
+  // Sequential service: the twin compiles to the SAME interned graph
+  // type and replays a.gt's analysis block on the very first submit.
+  EXPECT_EQ(json_ints(first, "cached"), (std::vector<long long>{0, 1}));
+  const std::vector<std::string> reports = json_strings(first, "report");
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0], reports[1]);  // .gt inputs have empty headers
+}
+
+TEST_F(ServiceTest, OptionsChangeDoesNotReuseCachedVerdicts) {
+  const std::string df = write("df.gt", "new u. (1/u) ; ~u");
+  Service service(ServiceOptions{});
+  const std::string plain = handle(service, submit_line({df}));
+  EXPECT_EQ(json_ints(plain, "cached"), (std::vector<long long>{0}));
+  // Same file under different analysis options: a fresh cache namespace.
+  const std::string baseline =
+      handle(service, submit_line({df}, ",\"baseline\":1"));
+  EXPECT_EQ(json_ints(baseline, "cached"), (std::vector<long long>{0}));
+  EXPECT_NE(json_strings(baseline, "report")[0].find("gml baseline"),
+            std::string::npos);
+  // And each namespace replays independently.
+  const std::string again = handle(service, submit_line({df}));
+  EXPECT_EQ(json_ints(again, "cached"), (std::vector<long long>{1}));
+  EXPECT_EQ(json_strings(again, "report"), json_strings(plain, "report"));
+}
+
+TEST_F(ServiceTest, SnapshotRoundTripInProcess) {
+  const std::string df = write("df.gt", "new u. (1/u) ; ~u");
+  const std::string fut = programs_dir() + "/pipeline.fut";
+  Service service(ServiceOptions{});
+  (void)handle(service, submit_line({df, fut}));
+
+  const std::string snap = (fs::path(dir_) / "snap.bin").string();
+  const auto written = gtdl::service::save_snapshot(snap);
+  ASSERT_TRUE(written.ok) << written.error;
+  EXPECT_GT(written.nodes, 0u);
+  EXPECT_GT(written.bytes, 0u);
+
+  // Replaying into the live interner is idempotent: every node
+  // re-interns to itself, so the recorded ids match exactly.
+  const auto loaded = gtdl::service::load_snapshot(snap);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.nodes, written.nodes);
+  EXPECT_TRUE(loaded.ids_identical);
+}
+
+TEST_F(ServiceTest, CorruptedSnapshotsAreRejectedWithDiagnostics) {
+  const std::string df = write("df.gt", "new u. (1/u) ; ~u");
+  Service service(ServiceOptions{});
+  (void)handle(service, submit_line({df}));
+  const std::string snap = (fs::path(dir_) / "snap.bin").string();
+  ASSERT_TRUE(gtdl::service::save_snapshot(snap).ok);
+
+  EXPECT_FALSE(gtdl::service::load_snapshot(snap + ".missing").ok);
+
+  const std::string garbage =
+      write("garbage.bin", std::string(64, 'x'));  // past the header size
+  const auto bad_magic = gtdl::service::load_snapshot(garbage);
+  EXPECT_FALSE(bad_magic.ok);
+  EXPECT_NE(bad_magic.error.find("magic"), std::string::npos);
+
+  std::string bytes;
+  {
+    std::ifstream in(snap, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  {
+    std::string patched = bytes;
+    patched[8] = static_cast<char>(patched[8] + 1);  // version field
+    const std::string p = write("version.bin", patched);
+    const auto r = gtdl::service::load_snapshot(p);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("version"), std::string::npos) << r.error;
+  }
+  {
+    std::string patched = bytes;
+    patched[patched.size() / 2] ^= 0x5A;  // payload corruption
+    const std::string p = write("flipped.bin", patched);
+    const auto r = gtdl::service::load_snapshot(p);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("checksum"), std::string::npos) << r.error;
+  }
+  {
+    const std::string p =
+        write("truncated.bin", bytes.substr(0, bytes.size() - 7));
+    const auto r = gtdl::service::load_snapshot(p);
+    EXPECT_FALSE(r.ok);
+  }
+}
+
+TEST_F(ServiceTest, EvictionUnderTinyQuotaStaysCorrect) {
+  const std::string df = write("df.gt", "new u. (1/u) ; ~u");
+  const std::string dl = write("dl.gt", "new u. ~u ; 1/u");
+
+  ServiceOptions options;
+  options.cache_quota_bytes = 256;  // far below two entries
+  Service service(options);
+
+  for (int round = 0; round < 3; ++round) {
+    const std::string r = handle(service, submit_line({df, dl}));
+    EXPECT_EQ(json_int(r, "exit_code").value_or(-1), 1) << r;
+    const std::vector<std::string> reports = json_strings(r, "report");
+    ASSERT_EQ(reports.size(), 2u);
+    EXPECT_NE(reports[0].find("DEADLOCK-FREE"), std::string::npos);
+    EXPECT_NE(reports[1].find("POSSIBLE DEADLOCK"), std::string::npos);
+  }
+  const std::string stats = handle(service, "{\"op\":\"stats\"}");
+  EXPECT_GT(json_int(stats, "cache_evictions").value_or(0), 0) << stats;
+  EXPECT_LE(json_int(stats, "cache_bytes").value_or(-1), 256) << stats;
+}
+
+TEST_F(ServiceTest, BudgetExhaustionIsNeverCached) {
+  const std::string fut = programs_dir() + "/fib_dl.fut";
+  Service service(ServiceOptions{});
+
+  const std::string before = handle(service, "{\"op\":\"stats\"}");
+  const long long entries_before =
+      json_int(before, "cache_entries").value_or(-1);
+
+  const std::string starved =
+      handle(service, submit_line({fut}, ",\"budget_steps\":1"));
+  EXPECT_EQ(json_int(starved, "exit_code").value_or(-1), 3) << starved;
+  EXPECT_NE(json_strings(starved, "report")[0].find("UNKNOWN"),
+            std::string::npos);
+
+  // Nothing was cached for the exhausted request...
+  const std::string mid = handle(service, "{\"op\":\"stats\"}");
+  EXPECT_EQ(json_int(mid, "cache_entries").value_or(-1), entries_before);
+
+  // ...the unlimited request computes the real verdict...
+  const std::string full = handle(service, submit_line({fut}));
+  EXPECT_EQ(json_int(full, "exit_code").value_or(-1), 1) << full;
+  EXPECT_EQ(json_ints(full, "cached"), (std::vector<long long>{0}));
+
+  // ...and the starved namespace still reports exhaustion, never a
+  // replay of the unlimited verdict.
+  const std::string starved_again =
+      handle(service, submit_line({fut}, ",\"budget_steps\":1"));
+  EXPECT_EQ(json_int(starved_again, "exit_code").value_or(-1), 3);
+  EXPECT_EQ(json_ints(starved_again, "cached"), (std::vector<long long>{0}));
+}
+
+TEST_F(ServiceTest, ProtocolLevelErrorsAndMisc) {
+  Service service(ServiceOptions{});
+  bool shutdown = false;
+
+  EXPECT_NE(service.handle_line("{\"op\":\"ping\",\"id\":\"9\"}", &shutdown)
+                .find("\"id\":\"9\""),
+            std::string::npos);
+  EXPECT_FALSE(shutdown);
+
+  EXPECT_NE(service.handle_line("not json", &shutdown).find("\"ok\":false"),
+            std::string::npos);
+  EXPECT_NE(service.handle_line("{\"op\":\"warp\"}", &shutdown)
+                .find("unknown op"),
+            std::string::npos);
+  EXPECT_NE(service.handle_line("{\"op\":\"submit\"}", &shutdown)
+                .find("at least one"),
+            std::string::npos);
+  EXPECT_NE(service.handle_line("{\"op\":\"snapshot\"}", &shutdown)
+                .find("path"),
+            std::string::npos);
+
+  const std::string missing = handle(
+      service, submit_line({"/nonexistent/definitely_missing.gt"}));
+  EXPECT_EQ(json_int(missing, "exit_code").value_or(-1), 2) << missing;
+
+  EXPECT_NE(service.handle_line("{\"op\":\"shutdown\"}", &shutdown)
+                .find("\"ok\":true"),
+            std::string::npos);
+  EXPECT_TRUE(shutdown);
+}
+
+// --- fdld binary, --stdio transport ----------------------------------------
+
+struct FdldRun {
+  int exit_code = -1;
+  std::string stdout_text;
+  std::string stderr_text;
+};
+
+FdldRun run_fdld(const std::string& args, const std::string& input,
+                 const std::string& stderr_file) {
+  std::string script;
+  for (const char c : input) {
+    if (c == '\n') {
+      script += "\\n";
+    } else if (c == '\'') {
+      script += "'\\''";
+    } else {
+      script.push_back(c);
+    }
+  }
+  const std::string command = "printf '%b' '" + script + "' | " +
+                              std::string(GTDL_FDLD_PATH) + " " + args +
+                              " 2>" + stderr_file;
+  FdldRun result;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer{};
+  while (fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    result.stdout_text += buffer.data();
+  }
+  result.exit_code = WEXITSTATUS(pclose(pipe));
+  std::ifstream err(stderr_file);
+  result.stderr_text.assign(std::istreambuf_iterator<char>(err),
+                            std::istreambuf_iterator<char>());
+  return result;
+}
+
+TEST_F(ServiceTest, FdldStdioEndToEnd) {
+  const std::string df = write("df.gt", "new u. (1/u) ; ~u");
+  const std::string dl = write("dl.gt", "new u. ~u ; 1/u");
+  const std::string stderr_file = (fs::path(dir_) / "err.txt").string();
+
+  const std::string input = submit_line({df, dl}) + "\n" +
+                            submit_line({df, dl}, "", "reanalyze") + "\n" +
+                            "{\"op\":\"stats\"}\n{\"op\":\"shutdown\"}\n";
+  const FdldRun run = run_fdld("--stdio --jobs 2", input, stderr_file);
+  ASSERT_EQ(run.exit_code, 0) << run.stdout_text << run.stderr_text;
+
+  std::vector<std::string> lines;
+  std::istringstream stream(run.stdout_text);
+  for (std::string line; std::getline(stream, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u) << run.stdout_text;
+
+  EXPECT_EQ(json_ints(lines[0], "cached"), (std::vector<long long>{0, 0}));
+  EXPECT_EQ(json_ints(lines[1], "cached"), (std::vector<long long>{1, 1}));
+  EXPECT_EQ(json_strings(lines[0], "report"), json_strings(lines[1], "report"));
+  EXPECT_EQ(json_int(lines[2], "requests").value_or(-1), 3);
+  EXPECT_EQ(json_int(lines[2], "cache_hits").value_or(-1), 2);
+  EXPECT_NE(lines[3].find("\"op\":\"shutdown\""), std::string::npos);
+}
+
+TEST_F(ServiceTest, FdldSnapshotWarmStartIdenticalIdsAndVerdicts) {
+  const std::string df = write("df.gt", "new u. (1/u) ; ~u");
+  const std::string dl = write("dl.gt", "new u. ~u ; 1/u");
+  const std::string snap = (fs::path(dir_) / "snap.bin").string();
+  const std::string stderr_file = (fs::path(dir_) / "err.txt").string();
+
+  std::string snap_req = "{\"op\":\"snapshot\",\"path\":";
+  gtdl::service::append_json_string(snap_req, snap);
+  snap_req += "}";
+
+  const std::string input1 =
+      submit_line({df, dl}) + "\n" + snap_req + "\n{\"op\":\"shutdown\"}\n";
+  const FdldRun cold = run_fdld("--stdio", input1, stderr_file);
+  ASSERT_EQ(cold.exit_code, 0) << cold.stderr_text;
+  std::istringstream cold_stream(cold.stdout_text);
+  std::string cold_submit;
+  ASSERT_TRUE(std::getline(cold_stream, cold_submit));
+
+  const std::string input2 =
+      submit_line({df, dl}) + "\n{\"op\":\"shutdown\"}\n";
+  const FdldRun warm =
+      run_fdld("--stdio --warm-start " + snap, input2, stderr_file);
+  ASSERT_EQ(warm.exit_code, 0) << warm.stderr_text;
+  // A fresh interner replays the snapshot to the exact same ids.
+  EXPECT_NE(warm.stderr_text.find("ids identical"), std::string::npos)
+      << warm.stderr_text;
+  std::istringstream warm_stream(warm.stdout_text);
+  std::string warm_submit;
+  ASSERT_TRUE(std::getline(warm_stream, warm_submit));
+  // Cold daemon vs snapshot-warmed daemon: byte-identical verdicts.
+  EXPECT_EQ(json_strings(warm_submit, "report"),
+            json_strings(cold_submit, "report"));
+}
+
+TEST_F(ServiceTest, FdldBadWarmStartFallsBackCold) {
+  const std::string df = write("df.gt", "new u. (1/u) ; ~u");
+  const std::string garbage = write("garbage.bin", "definitely not a snapshot");
+  const std::string stderr_file = (fs::path(dir_) / "err.txt").string();
+
+  const std::string input =
+      submit_line({df}) + "\n{\"op\":\"shutdown\"}\n";
+  const FdldRun run =
+      run_fdld("--stdio --warm-start " + garbage, input, stderr_file);
+  ASSERT_EQ(run.exit_code, 0) << run.stderr_text;
+  EXPECT_NE(run.stderr_text.find("starting cold"), std::string::npos)
+      << run.stderr_text;
+  std::istringstream stream(run.stdout_text);
+  std::string submit;
+  ASSERT_TRUE(std::getline(stream, submit));
+  EXPECT_EQ(json_int(submit, "exit_code").value_or(-1), 0) << submit;
+  EXPECT_NE(json_strings(submit, "report")[0].find("DEADLOCK-FREE"),
+            std::string::npos);
+}
+
+}  // namespace
