@@ -1,0 +1,14 @@
+# fuzz-class: imprecise
+# fdlc-exit: 1
+# h0's body touches h1, whose spawn appears AFTER h0's. The analysis
+# cannot prove the touch lands after the spawn and rejects; at runtime
+# the touch of h0 forces h1's spawn to have happened first, so no
+# execution deadlocks. Expected conservatism, kept here so the farm's
+# precision accounting has a pinned example.
+fun main() {
+  let h0 = new_future[int]();
+  let h1 = new_future[int]();
+  spawn h0 { return touch(h1) + 1; }
+  spawn h1 { return 7; }
+  let v0 = touch(h0);
+}

@@ -1,0 +1,11 @@
+# fuzz-class: sound_free
+# fdlc-exit: 0
+# Spawn-then-touch in dependency order: accepted statically and no
+# execution can deadlock.
+fun main() {
+  let h0 = new_future[int]();
+  let h1 = new_future[int]();
+  spawn h0 { return 2; }
+  spawn h1 { return touch(h0) + 1; }
+  let v0 = touch(h1);
+}

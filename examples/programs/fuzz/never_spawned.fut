@@ -1,0 +1,7 @@
+# fuzz-class: true_positive
+# fdlc-exit: 1
+# The future is created and touched but no thread ever spawns it.
+fun main() {
+  let h0 = new_future[int]();
+  let v0 = touch(h0);
+}

@@ -1,0 +1,11 @@
+# fuzz-class: true_positive
+# fdlc-exit: 1
+# The first pipeline stage touches a never-spawned handle; the whole
+# pipeline (and main, which waits for the last stage) blocks behind it.
+fun main() {
+  let h0 = new_future[int]();
+  pipeline {
+    stage { let v0 = touch(h0); }
+    stage { let v1 = 1; }
+  }
+}

@@ -1,0 +1,10 @@
+# fuzz-class: true_positive
+# fdlc-exit: 1
+# The canonical unsafe order: h0 is touched before anything spawns it,
+# so the touch blocks forever. Static analysis rejects; every execution
+# deadlocks.
+fun main() {
+  let h0 = new_future[int]();
+  let v0 = touch(h0);
+  spawn h0 { return 1; }
+}

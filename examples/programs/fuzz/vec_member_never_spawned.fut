@@ -1,0 +1,10 @@
+# fuzz-class: true_positive
+# fdlc-exit: 1
+# Shrunk farm reproducer (misverdict self-test, seed 1, splitmix64-v2):
+# every member of the family touches a scalar handle nothing spawns.
+fun main() {
+  let h3 = new_future[int]();
+  let fs0 = spawn_vec[int] 1 {
+  return touch(h3);
+};
+}

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Run the curated fuzz-farm reproducers through the normal fdlc driver.
+
+Every program in ``examples/programs/fuzz/`` was found (or hand-pinned)
+by the differential fuzzing farm and carries its recorded verdict in two
+header comments::
+
+    # fuzz-class: <sound_free|true_positive|imprecise|...>
+    # fdlc-exit: <expected fdlc exit code>
+
+This script replays each file through ``fdlc <file>`` — the ordinary
+corpus driver, not the farm — and fails if any exit code drifts from the
+recorded one. That keeps the shrunk regression seeds honest: a detector
+change that silently flips a reproducer's verdict fails CI here even if
+the farm itself happens not to regenerate that program.
+
+Usage: scripts/check_fuzz_corpus.py path/to/fdlc [path/to/fuzz/dir]
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+CLASS_RE = re.compile(r"^# fuzz-class:\s*(\S+)", re.MULTILINE)
+EXIT_RE = re.compile(r"^# fdlc-exit:\s*(\d+)", re.MULTILINE)
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip().splitlines()[-1], file=sys.stderr)
+        return 2
+    fdlc = Path(sys.argv[1]).resolve()
+    corpus = Path(
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else Path(__file__).resolve().parent.parent
+        / "examples"
+        / "programs"
+        / "fuzz"
+    )
+    programs = sorted(corpus.glob("*.fut"))
+    if not programs:
+        print(f"{corpus}: no .fut programs found", file=sys.stderr)
+        return 1
+
+    failures = 0
+    for program in programs:
+        text = program.read_text(encoding="utf-8")
+        klass = CLASS_RE.search(text)
+        expected = EXIT_RE.search(text)
+        if not klass or not expected:
+            print(f"{program.name}: missing '# fuzz-class:' or "
+                  f"'# fdlc-exit:' header", file=sys.stderr)
+            failures += 1
+            continue
+        proc = subprocess.run(
+            [str(fdlc), str(program)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        if proc.returncode != int(expected.group(1)):
+            failures += 1
+            print(f"{program.name} [{klass.group(1)}]: recorded fdlc exit "
+                  f"{expected.group(1)}, got {proc.returncode}",
+                  file=sys.stderr)
+            sys.stderr.write(proc.stdout)
+            sys.stderr.write(proc.stderr)
+        else:
+            print(f"{program.name}: {klass.group(1)} "
+                  f"(exit {proc.returncode}) ok")
+
+    if failures:
+        print(f"{failures}/{len(programs)} reproducers drifted",
+              file=sys.stderr)
+        return 1
+    print(f"all {len(programs)} fuzz reproducers keep their recorded "
+          f"verdicts")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

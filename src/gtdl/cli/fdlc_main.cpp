@@ -87,6 +87,7 @@
 #include "gtdl/ingest/trace_writer.hpp"
 #include "gtdl/support/budget.hpp"
 #include "gtdl/support/fault.hpp"
+#include "gtdl/support/sigpipe.hpp"
 #include "gtdl/tj/join_policy.hpp"
 
 namespace {
@@ -702,6 +703,9 @@ void write_reports(const CliOptions& opts) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // `fdlc ... | head` must not die of SIGPIPE: with the signal ignored a
+  // broken pipe surfaces as a failed std::cout write, diagnosed below.
+  gtdl::ignore_sigpipe();
   const auto opts = parse_args(argc, argv);
   if (!opts) return 2;
   std::string fault_error;
@@ -733,5 +737,14 @@ int main(int argc, char** argv) {
     std::cerr << "fdlc: internal error: unknown exception\n";
   }
   write_reports(*opts);
+  // Report emission is part of the contract: if any std::cout write was
+  // short (EPIPE — the reader went away — or a full disk), the verdict
+  // text above is incomplete and must not be trusted, so the exit code
+  // says "report failed", never a silent truncated success.
+  std::cout.flush();
+  if (std::cout.fail()) {
+    std::cerr << "fdlc: report truncated (broken pipe or failed write)\n";
+    return std::max(exit_code, 2);
+  }
   return exit_code;
 }

@@ -33,6 +33,7 @@
 #include "gtdl/service/daemon.hpp"
 #include "gtdl/service/service.hpp"
 #include "gtdl/service/snapshot.hpp"
+#include "gtdl/support/sigpipe.hpp"
 
 namespace {
 
@@ -173,6 +174,10 @@ std::optional<DaemonCli> parse_args(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A client that hangs up mid-response must cost one connection, not
+  // the daemon: with SIGPIPE ignored the per-connection write_all sees
+  // EPIPE and drops just that connection.
+  gtdl::ignore_sigpipe();
   const auto cli = parse_args(argc, argv);
   if (!cli) return 2;
 

@@ -1,0 +1,316 @@
+// fdlf — futures deadlock fuzzer: the differential fuzzing farm's CLI
+// (docs/ROBUSTNESS.md "The fuzzing farm", EXPERIMENTS.md E16).
+//
+//   fdlf --programs 500 --jobs 4            classify 500 seeded programs
+//   fdlf --duration-s 60 --jobs 2
+//        --findings out/ --bench-json bench_fuzz.json
+//   fdlf --replay 12345                     re-run one seed, print program
+//                                           and classification
+//
+// Options:
+//   --jobs N            worker processes (default 2; 0 = one per core)
+//   --programs N        count mode: classify exactly N programs (seed set
+//                       is independent of --jobs)
+//   --duration-s S      duration mode: run for S wall-clock seconds
+//   --seed-base K       first seed (default 1)
+//   --findings DIR      write shrunk reproducers (+ originals) here
+//   --bench-json FILE   machine-readable run summary (schema: E16)
+//   --run-seeds N       interpreter executions per program (default 3)
+//   --timeout-ms N      per-program budget for the static analysis and
+//                       each execution (default 2000; 0 = unlimited)
+//   --budget-steps N    per-program analysis step quota
+//   --budget-mb N       per-program analysis arena quota
+//   --fault P:R:S       arm deterministic fault injection inside every
+//                       classification (re-armed per program)
+//   --no-shrink         record findings without minimizing them
+//   --shrink-max N      shrink candidate cap per finding (default 2000)
+//   --max-restarts N    worker-respawn storm cap (default 8)
+//   --hang-timeout-ms N hung-worker watchdog (default 10000; 0 = off)
+//   --kill-seed K       test hook: abort() the worker that reaches seed K
+//   --replay SEED       classify one seed in-process and exit
+//   --progress          stream progress lines to stderr
+//   --stats             end-of-run metrics summary on stderr
+//
+// Exit codes: 0 = clean, 1 = UNSOUND finding (static claimed freedom,
+// an execution deadlocked — release blocker), 2 = usage error or the
+// farm itself failed (restart storm), 4 = crash-grade or generator
+// findings but nothing unsound.
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "gtdl/fuzz/farm.hpp"
+#include "gtdl/fuzz/oracle.hpp"
+#include "gtdl/fuzz/random_program.hpp"
+#include "gtdl/obs/metrics.hpp"
+#include "gtdl/support/sigpipe.hpp"
+
+namespace {
+
+struct CliOptions {
+  gtdl::fuzz::FarmOptions farm;
+  bool replay = false;
+  std::uint64_t replay_seed = 0;
+  bool stats = false;
+};
+
+void usage() {
+  std::cerr <<
+      "usage: fdlf [--programs N | --duration-s S] [options]\n"
+      "       fdlf --replay SEED [options]\n"
+      "options: --jobs N --seed-base K --findings DIR --bench-json FILE\n"
+      "         --run-seeds N --timeout-ms N --budget-steps N --budget-mb N\n"
+      "         --fault POINT:RATE:SEED --no-shrink --shrink-max N\n"
+      "         --max-restarts N --hang-timeout-ms N --kill-seed K\n"
+      "         --progress --stats\n";
+}
+
+bool parse_u64(const std::string& flag, const char* v, std::uint64_t& out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long x = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE ||
+      std::strchr(v, '-') != nullptr) {
+    std::cerr << "fdlf: invalid number '" << v << "' for " << flag << "\n";
+    return false;
+  }
+  out = x;
+  return true;
+}
+
+bool parse_u32(const std::string& flag, const char* v, unsigned& out) {
+  std::uint64_t x = 0;
+  if (!parse_u64(flag, v, x)) return false;
+  if (x > 0xffffffffull) {
+    std::cerr << "fdlf: value '" << v << "' for " << flag
+              << " is out of range\n";
+    return false;
+  }
+  out = static_cast<unsigned>(x);
+  return true;
+}
+
+std::optional<CliOptions> parse_args(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "fdlf: missing value for " << arg << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr || !parse_u32(arg, v, opts.farm.jobs)) {
+        return std::nullopt;
+      }
+      if (opts.farm.jobs == 0) {
+        opts.farm.jobs = std::max(1u, std::thread::hardware_concurrency());
+      }
+    } else if (arg == "--programs") {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(arg, v, opts.farm.max_programs)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--duration-s") {
+      const char* v = next();
+      std::uint64_t s = 0;
+      if (v == nullptr || !parse_u64(arg, v, s)) return std::nullopt;
+      opts.farm.duration_s = static_cast<double>(s);
+    } else if (arg == "--seed-base") {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(arg, v, opts.farm.seed_base)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--findings") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opts.farm.findings_dir = v;
+    } else if (arg == "--bench-json") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opts.farm.bench_json = v;
+    } else if (arg == "--run-seeds") {
+      const char* v = next();
+      if (v == nullptr || !parse_u32(arg, v, opts.farm.oracle.run_seeds)) {
+        return std::nullopt;
+      }
+      if (opts.farm.oracle.run_seeds == 0) {
+        std::cerr << "fdlf: --run-seeds must be >= 1 (zero executions "
+                     "cannot confirm anything)\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--timeout-ms") {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(arg, v, opts.farm.oracle.timeout_ms)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--budget-steps") {
+      const char* v = next();
+      if (v == nullptr ||
+          !parse_u64(arg, v, opts.farm.oracle.budget_steps)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--budget-mb") {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(arg, v, opts.farm.oracle.budget_mb)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--fault") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      opts.farm.oracle.fault_spec = v;
+    } else if (arg == "--no-shrink") {
+      opts.farm.shrink = false;
+    } else if (arg == "--shrink-max") {
+      const char* v = next();
+      std::uint64_t n = 0;
+      if (v == nullptr || !parse_u64(arg, v, n)) return std::nullopt;
+      opts.farm.shrink_max_candidates = static_cast<std::size_t>(n);
+    } else if (arg == "--max-restarts") {
+      const char* v = next();
+      if (v == nullptr || !parse_u32(arg, v, opts.farm.max_restarts)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--hang-timeout-ms") {
+      const char* v = next();
+      if (v == nullptr ||
+          !parse_u64(arg, v, opts.farm.hang_timeout_ms)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--kill-seed") {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(arg, v, opts.farm.kill_seed)) {
+        return std::nullopt;
+      }
+    } else if (arg == "--replay") {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(arg, v, opts.replay_seed)) {
+        return std::nullopt;
+      }
+      opts.replay = true;
+    } else if (arg == "--progress") {
+      opts.farm.progress = true;
+    } else if (arg == "--stats") {
+      opts.stats = true;
+    } else {
+      std::cerr << "fdlf: unknown option " << arg << "\n";
+      usage();
+      return std::nullopt;
+    }
+  }
+  if (!opts.replay && opts.farm.duration_s > 0 &&
+      opts.farm.max_programs > 0) {
+    std::cerr << "fdlf: --programs and --duration-s are exclusive\n";
+    return std::nullopt;
+  }
+  if (!opts.replay && opts.farm.duration_s == 0 &&
+      opts.farm.max_programs == 0) {
+    // A bare `fdlf` should do something useful and bounded.
+    opts.farm.max_programs = 200;
+  }
+  return opts;
+}
+
+int outcome_exit_code(gtdl::fuzz::Outcome outcome) {
+  using gtdl::fuzz::Outcome;
+  if (outcome == Outcome::kUnsound) return 1;
+  return gtdl::fuzz::is_finding(outcome) ? 4 : 0;
+}
+
+int run_replay(const CliOptions& opts) {
+  std::string program;
+  const gtdl::fuzz::OracleResult r = gtdl::fuzz::replay_seed(
+      opts.replay_seed, opts.farm.oracle, &program);
+  std::cout << "--- seed " << opts.replay_seed << " (rng "
+            << gtdl::fuzz::kRngStreamVersion << ") ---\n"
+            << program << "---\n";
+  std::cout << "outcome: " << to_string(r.outcome) << "\n";
+  if (!r.static_verdict.empty()) {
+    std::cout << "static verdict: " << r.static_verdict << "\n";
+  }
+  std::cout << "deadlocked runs: " << r.deadlocked_runs << "/"
+            << opts.farm.oracle.run_seeds << "\n";
+  if (!r.detail.empty()) std::cout << "detail: " << r.detail << "\n";
+  return outcome_exit_code(r.outcome);
+}
+
+int run_farm_cli(const CliOptions& opts) {
+  using gtdl::fuzz::FarmReport;
+  using gtdl::fuzz::Finding;
+  using gtdl::fuzz::Outcome;
+  const FarmReport report = gtdl::fuzz::run_farm(opts.farm);
+  if (!report.error.empty()) {
+    std::cerr << "fdlf: " << report.error << "\n";
+  }
+  if (report.restart_storm) {
+    std::cerr << "fdlf: worker restart storm (" << report.worker_restarts
+              << " respawns) — the harness itself is broken, aborting\n";
+  }
+  std::cout << "programs: " << report.programs << " in "
+            << report.elapsed_s << " s";
+  if (report.elapsed_s > 0) {
+    std::cout << " (" << static_cast<std::uint64_t>(
+                             report.programs / report.elapsed_s)
+              << "/s)";
+  }
+  std::cout << "\n";
+  for (unsigned i = 0; i < gtdl::fuzz::kOutcomeCount; ++i) {
+    if (report.counts[i] == 0) continue;
+    std::cout << "  " << to_string(static_cast<Outcome>(i)) << ": "
+              << report.counts[i] << "\n";
+  }
+  std::cout << "precision: " << report.precision()
+            << "  unknown rate: " << report.unknown_rate()
+            << "  restarts: " << report.worker_restarts << "\n";
+  for (const Finding& f : report.findings) {
+    std::cout << "FINDING " << to_string(f.outcome) << " seed " << f.seed
+              << (f.shrunk.empty()
+                      ? ""
+                      : (f.one_minimal ? " (shrunk, 1-minimal)"
+                                       : " (shrunk)"))
+              << ": " << f.detail << "\n";
+  }
+  if (!opts.farm.findings_dir.empty() && !report.findings.empty()) {
+    std::cout << "findings written to " << opts.farm.findings_dir << "\n";
+  }
+  if (!opts.farm.bench_json.empty() && report.error.empty()) {
+    std::cout << "bench summary written to " << opts.farm.bench_json << "\n";
+  }
+  return report.exit_code();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gtdl::ignore_sigpipe();
+  const auto opts = parse_args(argc, argv);
+  if (!opts) return 2;
+  if (opts->stats) gtdl::obs::set_stats_enabled(true);
+  int exit_code = 2;
+  try {
+    exit_code = opts->replay ? run_replay(*opts) : run_farm_cli(*opts);
+  } catch (const std::exception& e) {
+    std::cerr << "fdlf: internal error: " << e.what() << "\n";
+  } catch (...) {
+    std::cerr << "fdlf: internal error: unknown exception\n";
+  }
+  if (opts->stats) {
+    std::cerr << gtdl::obs::MetricsRegistry::instance().render_text();
+  }
+  // Same broken-pipe contract as fdlc: a truncated report must not look
+  // like a clean run.
+  std::cout.flush();
+  if (std::cout.fail()) {
+    std::cerr << "fdlf: report truncated (broken pipe or failed write)\n";
+    return std::max(exit_code, 2);
+  }
+  return exit_code;
+}

@@ -1,7 +1,11 @@
 #include "gtdl/detect/deadlock.hpp"
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <unordered_map>
 
 #include "gtdl/detect/new_push.hpp"
@@ -510,8 +514,12 @@ const char* to_string(Verdict v) noexcept {
   return "?";
 }
 
-DeadlockVerdict check_deadlock_freedom(const GTypePtr& g,
-                                       const DetectOptions& options) {
+namespace {
+
+// The honest analysis; the public entry point below may deliberately
+// corrupt its verdict under GTDL_TESTING_MISVERDICT (and nothing else).
+DeadlockVerdict check_deadlock_freedom_honest(const GTypePtr& g,
+                                              const DetectOptions& options) {
   DetectMetrics& dm = DetectMetrics::get();
   dm.checks.add();
   obs::Span span("detect", "check_deadlock_freedom");
@@ -582,6 +590,35 @@ DeadlockVerdict check_deadlock_freedom(const GTypePtr& g,
   }
   run_df_kinding(g, options, verdict);
   record_verdict(verdict);
+  return verdict;
+}
+
+}  // namespace
+
+DeadlockVerdict check_deadlock_freedom(const GTypePtr& g,
+                                       const DetectOptions& options) {
+  DeadlockVerdict verdict = check_deadlock_freedom_honest(g, options);
+  // Deliberate mis-verdict hook for the differential fuzzing farm's
+  // self-test (docs/ROBUSTNESS.md "Trusting the farm"): with
+  // GTDL_TESTING_MISVERDICT=accept-all in the environment, every honest
+  // rejection is flipped to an (unsound) acceptance. The farm run
+  // against such a detector MUST report unsound findings — if it does
+  // not, the farm itself is broken. Read per call, never cached: tests
+  // set and clear the variable around individual farm runs.
+  if (verdict.verdict == Verdict::kMayDeadlock) {
+    const char* env = std::getenv("GTDL_TESTING_MISVERDICT");
+    if (env != nullptr && std::string_view(env) == std::string_view("accept-all")) {
+      static std::atomic<bool> warned{false};
+      if (!warned.exchange(true)) {
+        std::fprintf(stderr,
+                     "gtdl: WARNING: GTDL_TESTING_MISVERDICT=accept-all is "
+                     "set; deadlock verdicts are deliberately UNSOUND\n");
+      }
+      verdict.verdict = Verdict::kDeadlockFree;
+      verdict.deadlock_free = true;
+      verdict.diags = DiagnosticEngine();
+    }
+  }
   return verdict;
 }
 

@@ -1,0 +1,191 @@
+#include "gtdl/frontend/printer.hpp"
+
+#include <string>
+
+#include "gtdl/support/overloaded.hpp"
+
+namespace gtdl {
+
+namespace {
+
+std::string pad(unsigned indent) { return std::string(indent, ' '); }
+
+std::string print_block(const Block& block, unsigned indent);
+
+// Escapes exactly what lex_string un-escapes: \n \t \\ \".
+std::string escape_string(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+// The grammar slots that demand a postfix expression (an ESpawn handle,
+// an EIndex base, an ESpawnVec width): anything else gets parenthesized,
+// which parse_primary accepts.
+bool is_postfix(const Expr& e) {
+  return std::holds_alternative<EVar>(e.node) ||
+         std::holds_alternative<EIntLit>(e.node) ||
+         std::holds_alternative<ECall>(e.node) ||
+         std::holds_alternative<EIndex>(e.node) ||
+         std::holds_alternative<ETouch>(e.node);
+}
+
+std::string print_postfix(const Expr& e) {
+  if (is_postfix(e)) return print_expr(e);
+  return "(" + print_expr(e) + ")";
+}
+
+}  // namespace
+
+std::string print_expr(const Expr& expr) {
+  return std::visit(
+      Overloaded{
+          [](const EIntLit& e) { return std::to_string(e.value); },
+          [](const EBoolLit& e) -> std::string {
+            return e.value ? "true" : "false";
+          },
+          [](const EStringLit& e) {
+            return "\"" + escape_string(e.value) + "\"";
+          },
+          [](const EUnitLit&) -> std::string { return "()"; },
+          [](const ENilLit&) -> std::string { return "nil"; },
+          [](const EVar& e) { return e.name.str(); },
+          [](const ECall& e) {
+            std::string out = e.callee.str() + "(";
+            for (std::size_t i = 0; i < e.args.size(); ++i) {
+              if (i > 0) out += ", ";
+              out += print_expr(*e.args[i]);
+            }
+            return out + ")";
+          },
+          [](const ENewFuture& e) {
+            return "new_future[" + to_string(*e.element) + "]()";
+          },
+          [](const ETouch& e) {
+            return "touch(" + print_expr(*e.handle) + ")";
+          },
+          [](const ESpawn& e) {
+            // Expression position: the postfix '.spawn' form. Statement
+            // position is special-cased in print_stmt.
+            return print_postfix(*e.handle) + ".spawn " +
+                   print_block(e.body, 0);
+          },
+          [](const EBinary& e) {
+            return "(" + print_expr(*e.lhs) + " " +
+                   std::string(to_string(e.op)) + " " + print_expr(*e.rhs) +
+                   ")";
+          },
+          [](const EUnary& e) {
+            return "(" + std::string(e.op == UnaryOp::kNeg ? "-" : "!") +
+                   print_expr(*e.operand) + ")";
+          },
+          [](const ESpawnVec& e) {
+            return "spawn_vec[" + to_string(*e.element) + "] " +
+                   print_postfix(*e.width) + " " + print_block(e.body, 0);
+          },
+          [](const ETouchAll& e) {
+            return "touch_all(" + print_expr(*e.handle) + ")";
+          },
+          [](const EIndex& e) {
+            return print_postfix(*e.handle) + "[" + print_expr(*e.index) +
+                   "]";
+          },
+          [](const EPipeline& e) {
+            std::string out = "pipeline { ";
+            for (const Block& stage : e.stages) {
+              out += "stage " + print_block(stage, 0) + " ";
+            }
+            return out + "}";
+          },
+      },
+      expr.node);
+}
+
+std::string print_stmt(const Stmt& stmt, unsigned indent) {
+  const std::string at = pad(indent);
+  return std::visit(
+      Overloaded{
+          [&](const SLet& s) {
+            std::string out = at + "let " + s.name.str();
+            if (s.declared != nullptr) out += ": " + to_string(*s.declared);
+            return out + " = " + print_expr(*s.init) + ";\n";
+          },
+          [&](const SAssign& s) {
+            return at + s.name.str() + " = " + print_expr(*s.value) + ";\n";
+          },
+          [&](const SExpr& s) {
+            // Statement-form spawn reads better than the postfix
+            // expression form and matches what the generator emits.
+            if (const auto* spawn = std::get_if<ESpawn>(&s.expr->node)) {
+              return at + "spawn " + print_postfix(*spawn->handle) + " " +
+                     print_block(spawn->body, indent) + "\n";
+            }
+            return at + print_expr(*s.expr) + ";\n";
+          },
+          [&](const SReturn& s) {
+            if (s.value == nullptr) return at + "return;\n";
+            return at + "return " + print_expr(*s.value) + ";\n";
+          },
+          [&](const SIf& s) {
+            std::string out = at + "if " + print_expr(*s.cond) + " " +
+                              print_block(s.then_block, indent);
+            if (!s.else_block.empty()) {
+              out += " else " + print_block(s.else_block, indent);
+            }
+            return out + "\n";
+          },
+          [&](const SWhile& s) {
+            return at + "while " + print_expr(*s.cond) + " " +
+                   print_block(s.body, indent) + "\n";
+          },
+      },
+      stmt.node);
+}
+
+namespace {
+
+std::string print_block(const Block& block, unsigned indent) {
+  if (block.empty()) return "{ }";
+  std::string out = "{\n";
+  for (const StmtPtr& stmt : block) {
+    out += print_stmt(*stmt, indent + 2);
+  }
+  return out + pad(indent) + "}";
+}
+
+}  // namespace
+
+std::string print_function(const Function& function) {
+  std::string out = "fun " + function.name.str() + "(";
+  for (std::size_t i = 0; i < function.params.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += function.params[i].name.str() + ": " +
+           to_string(*function.params[i].type);
+  }
+  out += ")";
+  if (function.return_type != nullptr &&
+      !is_prim(*function.return_type, PrimKind::kUnit)) {
+    out += " -> " + to_string(*function.return_type);
+  }
+  return out + " " + print_block(function.body, 0) + "\n";
+}
+
+std::string print_program(const Program& program) {
+  std::string out;
+  for (std::size_t i = 0; i < program.functions.size(); ++i) {
+    if (i > 0) out += "\n";
+    out += print_function(program.functions[i]);
+  }
+  return out;
+}
+
+}  // namespace gtdl

@@ -1,0 +1,28 @@
+// FutLang pretty-printer: the inverse of parser.hpp, up to formatting.
+//
+// print_program emits surface syntax that parse_program accepts and that
+// re-parses to a structurally identical AST (same statement/expression
+// shapes; source locations and inferred types are not round-tripped).
+// The fuzzing farm's shrinker depends on this: its reduction passes edit
+// the AST and every candidate must be re-printable as a real program the
+// whole pipeline (and a human reading a finding) can consume.
+//
+// Formatting discipline: two-space indentation, one statement per line,
+// binary/unary expressions fully parenthesized (the grammar's primary
+// rule accepts '(' expr ')', so precedence never has to be re-derived —
+// a printed program is unambiguous by construction).
+
+#pragma once
+
+#include <string>
+
+#include "gtdl/frontend/ast.hpp"
+
+namespace gtdl {
+
+[[nodiscard]] std::string print_program(const Program& program);
+[[nodiscard]] std::string print_function(const Function& function);
+[[nodiscard]] std::string print_stmt(const Stmt& stmt, unsigned indent = 0);
+[[nodiscard]] std::string print_expr(const Expr& expr);
+
+}  // namespace gtdl

@@ -1,0 +1,663 @@
+#include "gtdl/fuzz/farm.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gtdl/fuzz/random_program.hpp"
+#include "gtdl/fuzz/shrink.hpp"
+#include "gtdl/obs/metrics.hpp"
+#include "gtdl/obs/trace.hpp"
+
+namespace gtdl::fuzz {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+bool write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += static_cast<std::size_t>(n);
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_line(int fd, std::string line) {
+  line += '\n';
+  return write_all(fd, line.data(), line.size());
+}
+
+std::string one_line(std::string text) {
+  for (char& c : text) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return text;
+}
+
+bool collections_for(std::uint64_t seed) { return (seed & 1) != 0; }
+
+// ---------------------------------------------------------------------------
+// Worker side. One process per shard; the pipe carries a line protocol:
+//   S <seed>                        announced, about to classify
+//   R <seed> <outcome> <runs> <d>   classified (d = one-line detail)
+//   D <count>                       clean finish
+// A worker that dies between S and its R leaves the parent exactly one
+// attributable seed.
+
+[[noreturn]] void worker_main(int fd, unsigned w, std::uint64_t start_index,
+                              std::uint64_t quota, const FarmOptions& options,
+                              Clock::time_point deadline) {
+  std::uint64_t done = 0;
+  for (std::uint64_t i = start_index;; ++i) {
+    if (options.max_programs > 0) {
+      if (i >= quota) break;
+    } else if (Clock::now() >= deadline) {
+      break;
+    }
+    const std::uint64_t seed =
+        options.seed_base + w + i * static_cast<std::uint64_t>(options.jobs);
+    if (!write_line(fd, "S " + std::to_string(seed))) _exit(0);
+    if (options.kill_seed != 0 && seed == options.kill_seed) std::abort();
+    const std::string source =
+        RandomProgram(seed, collections_for(seed)).generate();
+    const OracleResult r = classify_program(source, seed, options.oracle);
+    std::string line = "R " + std::to_string(seed) + ' ' +
+                       std::to_string(static_cast<unsigned>(r.outcome)) + ' ' +
+                       std::to_string(r.deadlocked_runs) + ' ' +
+                       one_line(r.detail);
+    if (!write_line(fd, line)) _exit(0);
+    ++done;
+  }
+  write_line(fd, "D " + std::to_string(done));
+  _exit(0);
+}
+
+// ---------------------------------------------------------------------------
+// Parent side.
+
+struct WorkerState {
+  pid_t pid = -1;
+  int fd = -1;
+  std::string buf;
+  bool alive = false;
+  bool done_line = false;  // clean "D" received
+  bool inflight = false;
+  std::uint64_t inflight_seed = 0;
+  std::uint64_t next_index = 0;  // resume point for a respawn
+  std::uint64_t quota = 0;
+  Clock::time_point last_activity;
+};
+
+std::uint64_t index_of(std::uint64_t seed, unsigned w,
+                       const FarmOptions& options) {
+  return (seed - options.seed_base - w) /
+         static_cast<std::uint64_t>(options.jobs);
+}
+
+bool spawn_worker(WorkerState& ws, unsigned w, std::uint64_t start_index,
+                  const FarmOptions& options, Clock::time_point deadline,
+                  std::string& error) {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    error = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    error = std::string("fork: ") + std::strerror(errno);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    worker_main(fds[1], w, start_index, ws.quota, options, deadline);
+  }
+  ::close(fds[1]);
+  ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+  ws.pid = pid;
+  ws.fd = fds[0];
+  ws.buf.clear();
+  ws.alive = true;
+  ws.done_line = false;
+  ws.inflight = false;
+  ws.next_index = start_index;
+  ws.last_activity = Clock::now();
+  return true;
+}
+
+struct RawFinding {
+  std::uint64_t seed;
+  Outcome outcome;
+  std::string detail;
+};
+
+struct ParentState {
+  FarmReport* report = nullptr;
+  std::map<std::uint64_t, RawFinding> findings;  // dedup'd, seed-ordered
+
+  void record(std::uint64_t seed, Outcome outcome, std::string detail) {
+    report->counts[static_cast<unsigned>(outcome)] += 1;
+    if (is_finding(outcome)) {
+      findings.emplace(seed, RawFinding{seed, outcome, std::move(detail)});
+    }
+  }
+};
+
+// Parses one protocol line from worker w; unparseable lines are ignored
+// (a crashing worker can tear a line mid-write).
+void handle_line(const std::string& line, WorkerState& ws, unsigned w,
+                 const FarmOptions& options, ParentState& state) {
+  if (line.size() < 2 || line[1] != ' ') return;
+  const char* p = line.c_str() + 2;
+  char* end = nullptr;
+  switch (line[0]) {
+    case 'S': {
+      const std::uint64_t seed = std::strtoull(p, &end, 10);
+      ws.inflight = true;
+      ws.inflight_seed = seed;
+      ws.next_index = index_of(seed, w, options) + 1;
+      ws.last_activity = Clock::now();
+      break;
+    }
+    case 'R': {
+      const std::uint64_t seed = std::strtoull(p, &end, 10);
+      const unsigned long outcome_raw = std::strtoul(end, &end, 10);
+      std::strtoul(end, &end, 10);  // deadlocked runs (folded into detail)
+      if (outcome_raw >= kOutcomeCount) return;
+      std::string detail;
+      if (end != nullptr && *end == ' ') detail = end + 1;
+      state.report->programs += 1;
+      state.record(seed, static_cast<Outcome>(outcome_raw),
+                   std::move(detail));
+      if (ws.inflight && ws.inflight_seed == seed) ws.inflight = false;
+      ws.last_activity = Clock::now();
+      break;
+    }
+    case 'D':
+      ws.done_line = true;
+      ws.last_activity = Clock::now();
+      break;
+    default:
+      break;
+  }
+}
+
+void drain_buffer(WorkerState& ws, unsigned w, const FarmOptions& options,
+                  ParentState& state) {
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = ws.buf.find('\n', start);
+    if (nl == std::string::npos) break;
+    handle_line(ws.buf.substr(start, nl - start), ws, w, options, state);
+    start = nl + 1;
+  }
+  ws.buf.erase(0, start);
+}
+
+// ---------------------------------------------------------------------------
+// Candidate evaluation in a fork: for crash-grade findings every shrink
+// candidate is classified in its own child so a candidate that really
+// does segfault or wedge is contained exactly like farm workers are.
+
+Outcome classify_in_fork(const std::string& source, std::uint64_t seed,
+                         const OracleOptions& oracle,
+                         std::uint64_t timeout_ms) {
+  const pid_t pid = ::fork();
+  if (pid < 0) return Outcome::kWorkerCrash;
+  if (pid == 0) {
+    const OracleResult r = classify_program(source, seed, oracle);
+    _exit(10 + static_cast<int>(r.outcome));
+  }
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  int status = 0;
+  for (;;) {
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) break;
+    if (r < 0) return Outcome::kWorkerCrash;
+    if (Clock::now() >= deadline) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      return Outcome::kWorkerHang;
+    }
+    ::usleep(2000);
+  }
+  if (WIFSIGNALED(status)) return Outcome::kWorkerCrash;
+  if (WIFEXITED(status)) {
+    const int code = WEXITSTATUS(status) - 10;
+    if (code >= 0 && code < static_cast<int>(kOutcomeCount)) {
+      return static_cast<Outcome>(code);
+    }
+  }
+  return Outcome::kWorkerCrash;
+}
+
+bool crash_grade(Outcome o) {
+  return o == Outcome::kWorkerCrash || o == Outcome::kWorkerHang;
+}
+
+void shrink_findings(FarmReport& report, const FarmOptions& options) {
+  static obs::Counter& shrink_counter = obs::MetricsRegistry::instance().counter(
+      {"fuzz.farm.shrink_candidates", "fuzz", "programs",
+       "shrink candidates evaluated across all findings"});
+  const std::uint64_t fork_timeout_ms =
+      options.oracle.timeout_ms == 0
+          ? options.hang_timeout_ms + 10'000
+          : options.oracle.timeout_ms * (options.oracle.run_seeds + 2) + 2'000;
+  std::size_t shrunk = 0;
+  for (Finding& f : report.findings) {
+    if (shrunk >= options.max_shrink_findings) break;
+    ++shrunk;
+    ShrinkOptions shrink_options;
+    shrink_options.max_candidates = options.shrink_max_candidates;
+    ShrinkEvaluator triggers;
+    if (crash_grade(f.outcome)) {
+      const Outcome want = f.outcome;
+      const std::uint64_t seed = f.seed;
+      const OracleOptions oracle = options.oracle;
+      triggers = [=](const std::string& candidate) {
+        return classify_in_fork(candidate, seed, oracle, fork_timeout_ms) ==
+               want;
+      };
+    } else {
+      const Outcome want = f.outcome;
+      const std::uint64_t seed = f.seed;
+      const OracleOptions oracle = options.oracle;
+      triggers = [=](const std::string& candidate) {
+        return classify_program(candidate, seed, oracle).outcome == want;
+      };
+    }
+    const ShrinkResult r = shrink_program(f.program, triggers, shrink_options);
+    shrink_counter.force_add(r.candidates_tried);
+    f.shrink_reproduced = r.reproduced;
+    f.one_minimal = r.one_minimal;
+    if (r.reproduced) f.shrunk = r.program;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Findings directory + bench JSON.
+
+std::string finding_stem(const Finding& f) {
+  return std::string(to_string(f.outcome)) + "-seed" +
+         std::to_string(f.seed);
+}
+
+std::string finding_header(const Finding& f) {
+  std::string h;
+  h += std::string("# fuzz finding: ") + to_string(f.outcome) + "\n";
+  h += "# seed: " + std::to_string(f.seed) +
+       " collections: " + (f.collections ? "1" : "0") +
+       " rng: " + kRngStreamVersion + "\n";
+  if (!f.detail.empty()) h += "# detail: " + one_line(f.detail) + "\n";
+  if (!f.shrunk.empty()) {
+    h += std::string("# shrunk: 1-minimal=") + (f.one_minimal ? "yes" : "no") +
+         " original-bytes=" + std::to_string(f.program.size()) + "\n";
+  } else if (!f.shrink_reproduced) {
+    h += "# shrunk: no (finding did not reproduce in the shrinker)\n";
+  }
+  return h;
+}
+
+void write_findings_dir(const FarmReport& report, const FarmOptions& options,
+                        std::string& error) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(options.findings_dir, ec);
+  if (ec) {
+    error = "findings dir: " + ec.message();
+    return;
+  }
+  for (const Finding& f : report.findings) {
+    const std::string stem =
+        (fs::path(options.findings_dir) / finding_stem(f)).string();
+    const std::string& repro = f.shrunk.empty() ? f.program : f.shrunk;
+    std::ofstream out(stem + ".fut");
+    out << finding_header(f) << repro;
+    if (!out) {
+      error = "findings dir: write failed for " + stem + ".fut";
+      return;
+    }
+    if (!f.shrunk.empty()) {
+      std::ofstream orig(stem + ".orig.fut");
+      orig << "# original program for " << finding_stem(f) << "\n"
+           << f.program;
+    }
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += ' ';
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+double FarmReport::precision() const {
+  const std::uint64_t tp = count(Outcome::kTruePositive);
+  const std::uint64_t rejects = tp + count(Outcome::kImprecise);
+  return rejects == 0 ? 1.0 : static_cast<double>(tp) / rejects;
+}
+
+double FarmReport::unknown_rate() const {
+  return programs == 0
+             ? 0.0
+             : static_cast<double>(count(Outcome::kUnknown)) / programs;
+}
+
+int FarmReport::exit_code() const {
+  if (!error.empty() || restart_storm) return 2;
+  if (count(Outcome::kUnsound) > 0) return 1;
+  for (const Finding& f : findings) {
+    if (f.outcome == Outcome::kUnsound) return 1;
+  }
+  if (!findings.empty()) return 4;
+  return 0;
+}
+
+OracleResult replay_seed(std::uint64_t seed, const OracleOptions& options,
+                         std::string* program_out) {
+  const std::string source =
+      RandomProgram(seed, collections_for(seed)).generate();
+  if (program_out != nullptr) *program_out = source;
+  return classify_program(source, seed, options);
+}
+
+FarmReport run_farm(const FarmOptions& options) {
+  obs::Span span("fuzz", "farm");
+  static obs::Counter& programs_counter =
+      obs::MetricsRegistry::instance().counter(
+          {"fuzz.farm.programs", "fuzz", "programs",
+           "programs classified by farm workers"});
+  static obs::Counter& findings_counter =
+      obs::MetricsRegistry::instance().counter(
+          {"fuzz.farm.findings", "fuzz", "findings",
+           "findings recorded (all classes)"});
+  static obs::Counter& restarts_counter =
+      obs::MetricsRegistry::instance().counter(
+          {"fuzz.farm.worker_restarts", "fuzz", "restarts",
+           "workers respawned after a crash or hang"});
+
+  FarmReport report;
+  if (options.jobs == 0) {
+    report.error = "jobs must be >= 1";
+    return report;
+  }
+  if ((options.duration_s > 0) == (options.max_programs > 0)) {
+    report.error = "exactly one of duration_s / max_programs must be set";
+    return report;
+  }
+  // Workers write to pipes; a dying parent must show up as a clean write
+  // failure in the worker, not a SIGPIPE kill (see docs/ROBUSTNESS.md).
+  ::signal(SIGPIPE, SIG_IGN);
+
+  const Clock::time_point t0 = Clock::now();
+  const Clock::time_point deadline =
+      options.duration_s > 0
+          ? t0 + std::chrono::microseconds(
+                     static_cast<std::int64_t>(options.duration_s * 1e6))
+          : Clock::time_point::max();
+
+  ParentState state;
+  state.report = &report;
+
+  std::vector<WorkerState> workers(options.jobs);
+  for (unsigned w = 0; w < options.jobs; ++w) {
+    if (options.max_programs > 0) {
+      workers[w].quota =
+          options.max_programs / options.jobs +
+          (w < options.max_programs % options.jobs ? 1 : 0);
+    }
+    if (!spawn_worker(workers[w], w, 0, options, deadline, report.error)) {
+      // Kill whatever did start; a half-farm would skew every rate.
+      for (WorkerState& ws : workers) {
+        if (ws.alive) {
+          ::kill(ws.pid, SIGKILL);
+          ::waitpid(ws.pid, nullptr, 0);
+          ::close(ws.fd);
+          ws.alive = false;
+        }
+      }
+      return report;
+    }
+  }
+
+  const std::uint64_t hang_threshold_ms =
+      options.hang_timeout_ms == 0
+          ? 0
+          : options.hang_timeout_ms +
+                options.oracle.timeout_ms * (options.oracle.run_seeds + 2);
+
+  const auto reap = [&](unsigned w, bool hung) {
+    WorkerState& ws = workers[w];
+    int status = 0;
+    if (hung) {
+      ::kill(ws.pid, SIGKILL);
+    }
+    ::waitpid(ws.pid, &status, 0);
+    ::close(ws.fd);
+    ws.alive = false;
+    const bool clean = !hung && WIFEXITED(status) &&
+                       WEXITSTATUS(status) == 0 && ws.done_line;
+    if (clean) return;
+    const Outcome outcome =
+        hung ? Outcome::kWorkerHang : Outcome::kWorkerCrash;
+    std::string detail;
+    if (hung) {
+      detail = "no report within " + std::to_string(hang_threshold_ms) +
+               " ms; killed";
+    } else if (WIFSIGNALED(status)) {
+      detail = std::string("killed by signal ") +
+               std::to_string(WTERMSIG(status));
+    } else {
+      detail = "exited with status " +
+               std::to_string(WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+    }
+    if (ws.inflight) {
+      state.record(ws.inflight_seed, outcome, detail);
+    } else {
+      // Death between programs: nothing attributable, still a crash.
+      state.record(options.seed_base + w, outcome,
+                   detail + " (no seed in flight)");
+    }
+    // Respawn past the poisoned seed if there is still work to do.
+    const bool work_left =
+        options.max_programs > 0
+            ? ws.next_index < ws.quota
+            : Clock::now() < deadline;
+    if (!work_left) return;
+    if (report.worker_restarts >= options.max_restarts) {
+      report.restart_storm = true;
+      return;
+    }
+    ++report.worker_restarts;
+    restarts_counter.force_add(1);
+    if (!spawn_worker(ws, w, ws.next_index, options, deadline,
+                      report.error)) {
+      report.restart_storm = true;
+    }
+  };
+
+  Clock::time_point last_progress = t0;
+  while (!report.restart_storm) {
+    std::vector<pollfd> fds;
+    std::vector<unsigned> owner;
+    for (unsigned w = 0; w < options.jobs; ++w) {
+      if (!workers[w].alive) continue;
+      fds.push_back(pollfd{workers[w].fd, POLLIN, 0});
+      owner.push_back(w);
+    }
+    if (fds.empty()) break;
+    ::poll(fds.data(), fds.size(), 200);
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      const unsigned w = owner[k];
+      WorkerState& ws = workers[w];
+      if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      bool eof = false;
+      char chunk[4096];
+      for (;;) {
+        const ssize_t n = ::read(ws.fd, chunk, sizeof chunk);
+        if (n > 0) {
+          ws.buf.append(chunk, static_cast<std::size_t>(n));
+          continue;
+        }
+        if (n == 0) {
+          eof = true;
+        } else if (errno == EINTR) {
+          continue;
+        }
+        break;
+      }
+      drain_buffer(ws, w, options, state);
+      if (eof) reap(w, /*hung=*/false);
+    }
+    if (hang_threshold_ms != 0) {
+      const Clock::time_point now = Clock::now();
+      for (unsigned w = 0; w < options.jobs; ++w) {
+        WorkerState& ws = workers[w];
+        if (!ws.alive || !ws.inflight) continue;
+        const auto idle = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              now - ws.last_activity)
+                              .count();
+        if (idle > static_cast<std::int64_t>(hang_threshold_ms)) {
+          reap(w, /*hung=*/true);
+        }
+      }
+    }
+    if (options.progress && seconds_since(last_progress) >= 2.0) {
+      last_progress = Clock::now();
+      const double elapsed = seconds_since(t0);
+      std::fprintf(stderr,
+                   "fdlf: %llu programs, %zu findings, %u restarts "
+                   "(%.0f prog/s)\n",
+                   static_cast<unsigned long long>(report.programs),
+                   state.findings.size(), report.worker_restarts,
+                   elapsed > 0 ? report.programs / elapsed : 0.0);
+    }
+  }
+  if (report.restart_storm) {
+    for (WorkerState& ws : workers) {
+      if (!ws.alive) continue;
+      ::kill(ws.pid, SIGKILL);
+      ::waitpid(ws.pid, nullptr, 0);
+      ::close(ws.fd);
+      ws.alive = false;
+    }
+  }
+  report.elapsed_s = seconds_since(t0);
+  programs_counter.force_add(report.programs);
+  findings_counter.force_add(state.findings.size());
+
+  // Materialize findings: regenerate each program from its seed (the
+  // whole point of the deterministic generator) and shrink.
+  for (auto& [seed, raw] : state.findings) {
+    Finding f;
+    f.seed = seed;
+    f.collections = collections_for(seed);
+    f.outcome = raw.outcome;
+    f.detail = std::move(raw.detail);
+    f.program = RandomProgram(seed, f.collections).generate();
+    report.findings.push_back(std::move(f));
+  }
+  if (options.shrink) shrink_findings(report, options);
+
+  if (!options.findings_dir.empty() && !report.findings.empty()) {
+    write_findings_dir(report, options, report.error);
+  }
+  if (!options.bench_json.empty()) {
+    std::ofstream out(options.bench_json);
+    out << render_bench_json(report, options);
+    if (!out) report.error = "bench json: write failed";
+  }
+  return report;
+}
+
+std::string render_bench_json(const FarmReport& report,
+                              const FarmOptions& options) {
+  const double rate =
+      report.elapsed_s > 0 ? report.programs / report.elapsed_s : 0.0;
+  std::uint64_t shrunk = 0;
+  for (const Finding& f : report.findings) {
+    if (!f.shrunk.empty()) ++shrunk;
+  }
+  std::string j = "{\n";
+  j += "  \"bench\": \"fuzz_farm\",\n";
+  j += std::string("  \"rng_stream\": \"") + kRngStreamVersion + "\",\n";
+  j += "  \"jobs\": " + std::to_string(options.jobs) + ",\n";
+  j += "  \"seed_base\": " + std::to_string(options.seed_base) + ",\n";
+  j += std::string("  \"mode\": \"") +
+       (options.max_programs > 0 ? "count" : "duration") + "\",\n";
+  j += "  \"duration_s\": " + fmt_double(options.duration_s) + ",\n";
+  j += "  \"max_programs\": " + std::to_string(options.max_programs) + ",\n";
+  j += "  \"programs\": " + std::to_string(report.programs) + ",\n";
+  j += "  \"elapsed_s\": " + fmt_double(report.elapsed_s) + ",\n";
+  j += "  \"programs_per_sec\": " + fmt_double(rate) + ",\n";
+  j += "  \"precision\": " + fmt_double(report.precision()) + ",\n";
+  j += "  \"unknown_rate\": " + fmt_double(report.unknown_rate()) + ",\n";
+  j += "  \"counts\": {";
+  for (unsigned i = 0; i < kOutcomeCount; ++i) {
+    j += std::string(i == 0 ? "" : ", ") + "\"" +
+         to_string(static_cast<Outcome>(i)) +
+         "\": " + std::to_string(report.counts[i]);
+  }
+  j += "},\n";
+  j += "  \"findings\": " + std::to_string(report.findings.size()) + ",\n";
+  j += "  \"shrunk\": " + std::to_string(shrunk) + ",\n";
+  j += "  \"worker_restarts\": " + std::to_string(report.worker_restarts) +
+       ",\n";
+  j += std::string("  \"restart_storm\": ") +
+       (report.restart_storm ? "true" : "false") + ",\n";
+  j += "  \"error\": \"" + json_escape(report.error) + "\",\n";
+  j += "  \"exit_code\": " + std::to_string(report.exit_code()) + "\n";
+  j += "}\n";
+  return j;
+}
+
+}  // namespace gtdl::fuzz

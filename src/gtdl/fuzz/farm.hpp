@@ -1,0 +1,130 @@
+// The differential fuzzing farm: sharded worker PROCESSES generating
+// seeded random FutLang programs and running each through the
+// static-vs-interpreter oracle (oracle.hpp), with crash and hang
+// containment at the process boundary.
+//
+// Containment model. Workers are fork()ed children; each announces a
+// seed on its pipe ("S <seed>") before touching it and reports the
+// classification ("R <seed> ...") after. A worker that segfaults, OOMs,
+// aborts, or wedges therefore dies (or is killed) with exactly one
+// announced-but-unreported seed — the parent records that seed as a
+// worker_crash / worker_hang finding and respawns the worker at the next
+// index. A respawn storm (more than max_restarts respawns) aborts the
+// run with exit code 2: at that point the harness itself is broken and
+// findings would be noise.
+//
+// Seed discipline. Worker w classifies seeds seed_base + w + i*jobs
+// (interleaved), so the seed set of a count-mode run is independent of
+// jobs, and any finding is replayable from its seed alone: program
+// generation is platform-deterministic (random_program.hpp, splitmix64),
+// collections are enabled iff the seed is odd, and the oracle derives
+// its schedules from the same seed. The parent never ships program text
+// across the pipe — it regenerates it from the seed.
+//
+// Findings are shrunk (shrink.hpp) to minimal reproducers; crash-grade
+// findings are evaluated in a fork per candidate so a reproducing
+// candidate cannot take the farm down. Shrunk reproducers and their
+// originals are written to findings_dir; bench_json gets the run's
+// precision / unknown / throughput summary (docs/EXPERIMENTS.md E16).
+//
+// Exit codes (FarmReport::exit_code):
+//   0  clean: no findings
+//   1  at least one UNSOUND finding — release blocker
+//   2  the farm itself failed (restart storm, bad configuration)
+//   4  crash-grade or generator findings, but nothing unsound
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gtdl/fuzz/oracle.hpp"
+
+namespace gtdl::fuzz {
+
+struct FarmOptions {
+  unsigned jobs = 2;
+  std::uint64_t seed_base = 1;
+  // Exactly one stop condition: wall-clock (duration_s > 0) or program
+  // count (max_programs > 0). Count mode is fully deterministic in the
+  // seed SET (quotas are split across workers); duration mode is not.
+  double duration_s = 0;
+  std::uint64_t max_programs = 0;
+
+  OracleOptions oracle;
+
+  // Where shrunk reproducers + originals are written (empty: nowhere).
+  std::string findings_dir;
+  // Where the machine-readable run summary is written (empty: nowhere).
+  std::string bench_json;
+
+  bool shrink = true;
+  std::size_t shrink_max_candidates = 2000;
+  // Shrink at most this many findings (dedup'd by seed, worst first) —
+  // a pathological run should not spend forever minimizing.
+  std::size_t max_shrink_findings = 16;
+
+  // Worker-respawn storm cap: the run aborts (exit 2) once more than
+  // this many respawns have happened.
+  unsigned max_restarts = 8;
+  // A worker with an announced seed and no report for this long (plus
+  // the oracle's own timeout) is declared hung and killed. 0 disables.
+  std::uint64_t hang_timeout_ms = 10'000;
+
+  // Test hook: the worker that reaches this seed abort()s right after
+  // announcing it — exercises the crash-containment path end to end
+  // (0 = off).
+  std::uint64_t kill_seed = 0;
+
+  // Stream progress lines to stderr roughly every 2 s.
+  bool progress = false;
+};
+
+struct Finding {
+  std::uint64_t seed = 0;
+  bool collections = false;
+  Outcome outcome = Outcome::kCrash;
+  std::string detail;
+  // Regenerated from the seed by the parent.
+  std::string program;
+  // Shrinking results (shrunk empty when shrinking was off/skipped).
+  std::string shrunk;
+  bool shrink_reproduced = false;
+  bool one_minimal = false;
+};
+
+struct FarmReport {
+  std::uint64_t programs = 0;
+  double elapsed_s = 0;
+  std::uint64_t counts[kOutcomeCount] = {};
+  std::vector<Finding> findings;
+  unsigned worker_restarts = 0;
+  bool restart_storm = false;
+  // Configuration / setup failure (also forces exit 2).
+  std::string error;
+
+  [[nodiscard]] std::uint64_t count(Outcome o) const {
+    return counts[static_cast<unsigned>(o)];
+  }
+  // true_positive / (true_positive + imprecise); 1.0 when no rejects.
+  [[nodiscard]] double precision() const;
+  [[nodiscard]] double unknown_rate() const;
+  [[nodiscard]] int exit_code() const;
+};
+
+// Runs the farm to completion (blocking). Never throws; configuration
+// and setup failures come back via FarmReport::error.
+[[nodiscard]] FarmReport run_farm(const FarmOptions& options);
+
+// Re-runs one seed exactly as a worker would have (generate + classify,
+// in-process) — the replay path behind `fdlf --replay SEED`.
+[[nodiscard]] OracleResult replay_seed(std::uint64_t seed,
+                                       const OracleOptions& options,
+                                       std::string* program_out = nullptr);
+
+// Renders the bench_fuzz.json document (schema: docs/EXPERIMENTS.md E16).
+[[nodiscard]] std::string render_bench_json(const FarmReport& report,
+                                            const FarmOptions& options);
+
+}  // namespace gtdl::fuzz

@@ -1,0 +1,236 @@
+#include "gtdl/fuzz/oracle.hpp"
+
+#include <optional>
+
+#include "gtdl/detect/deadlock.hpp"
+#include "gtdl/frontend/driver.hpp"
+#include "gtdl/frontend/interp.hpp"
+#include "gtdl/fuzz/random_program.hpp"
+#include "gtdl/obs/trace.hpp"
+#include "gtdl/support/budget.hpp"
+#include "gtdl/support/fault.hpp"
+
+namespace gtdl::fuzz {
+
+const char* to_string(Outcome outcome) noexcept {
+  switch (outcome) {
+    case Outcome::kSoundFree: return "sound_free";
+    case Outcome::kTruePositive: return "true_positive";
+    case Outcome::kImprecise: return "imprecise";
+    case Outcome::kUnsound: return "unsound";
+    case Outcome::kUnknown: return "unknown";
+    case Outcome::kCompileError: return "compile_error";
+    case Outcome::kCrash: return "crash";
+    case Outcome::kWorkerCrash: return "worker_crash";
+    case Outcome::kWorkerHang: return "worker_hang";
+  }
+  return "?";
+}
+
+bool is_finding(Outcome outcome) noexcept {
+  switch (outcome) {
+    case Outcome::kUnsound:
+    case Outcome::kCompileError:
+    case Outcome::kCrash:
+    case Outcome::kWorkerCrash:
+    case Outcome::kWorkerHang:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+Budget::Limits budget_limits(const OracleOptions& options) {
+  Budget::Limits limits;
+  limits.deadline_ms = options.timeout_ms;
+  limits.max_steps = options.budget_steps;
+  limits.max_bytes = options.budget_mb * 1024 * 1024;
+  return limits;
+}
+
+std::string first_line(std::string text) {
+  const std::size_t nl = text.find('\n');
+  if (nl != std::string::npos) text.resize(nl);
+  return text;
+}
+
+// Interpreter future names ("f$17") are drawn from a process-global
+// counter, so the number depends on how many programs this process
+// classified before. Scrub it so a detail line is a deterministic
+// function of (program, seed) — the line number it quotes carries the
+// location. Static-analysis vertex names (main_u$1) are per-program and
+// stay.
+std::string scrub_future_ids(std::string text) {
+  std::size_t pos = 0;
+  while ((pos = text.find("f$", pos)) != std::string::npos) {
+    const std::size_t start = pos + 2;
+    std::size_t end = start;
+    while (end < text.size() && text[end] >= '0' && text[end] <= '9') {
+      ++end;
+    }
+    if (end > start) text.replace(start, end - start, "N");
+    pos = start + 1;
+  }
+  return text;
+}
+
+std::string triage_line(const std::string& text) {
+  return scrub_future_ids(first_line(text));
+}
+
+// The classification proper; may throw (wrapped by classify_program).
+OracleResult classify_impl(const std::string& source, std::uint64_t seed,
+                           const OracleOptions& options) {
+  OracleResult result;
+
+  DiagnosticEngine diags;
+  auto compiled = compile_futlang(source, diags);
+  if (!compiled.has_value()) {
+    result.outcome = Outcome::kCompileError;
+    result.detail = first_line(diags.render());
+    return result;
+  }
+
+  DetectOptions detect;
+  Budget analysis_budget(budget_limits(options));
+  detect.budget = &analysis_budget;
+  const DeadlockVerdict verdict =
+      check_deadlock_freedom(compiled->inferred.program_gtype, detect);
+  result.static_verdict = verdict.verdict == Verdict::kDeadlockFree
+                              ? "deadlock-free"
+                              : (verdict.verdict == Verdict::kMayDeadlock
+                                     ? "may-deadlock"
+                                     : "unknown");
+  if (verdict.verdict == Verdict::kUnknown) {
+    result.outcome = Outcome::kUnknown;
+    result.detail = verdict.budget.render();
+    return result;
+  }
+
+  // Ground truth: several bounded executions under distinct schedules.
+  std::string deadlock_reason;
+  bool interp_gave_up = false;
+  std::string give_up_reason;
+  for (unsigned run = 1; run <= options.run_seeds; ++run) {
+    InterpOptions interp_options;
+    std::uint64_t mix = seed ^ (0x517cc1b727220a95ull * run);
+    interp_options.seed = splitmix64_next(mix);
+    interp_options.max_steps = options.max_interp_steps;
+    std::optional<Budget> watchdog;
+    if (options.timeout_ms != 0 || options.budget_steps != 0 ||
+        options.budget_mb != 0) {
+      watchdog.emplace(budget_limits(options));
+      interp_options.budget = &*watchdog;
+    }
+    const InterpResult run_result =
+        interpret(compiled->program, interp_options);
+    if (run_result.deadlock.has_value()) {
+      ++result.deadlocked_runs;
+      if (deadlock_reason.empty()) {
+        deadlock_reason = triage_line(*run_result.deadlock);
+      }
+      // Ground-truth coherence: the interpreter's deadlock signal and
+      // the recorded graph's verdict must agree — a split oracle is a
+      // bug in the oracle itself, surfaced as a finding, never trusted.
+      if (!run_result.graph_deadlock().any()) {
+        result.outcome = Outcome::kCrash;
+        result.detail = "oracle incoherence: interpreter deadlocked but "
+                        "recorded graph is clean";
+        return result;
+      }
+    } else if (run_result.error.has_value()) {
+      // Budget/step exhaustion (or a generator-invariant violation —
+      // surfaced below as a crash-grade finding, not silently skipped).
+      if (run_result.budget_exhausted ||
+          run_result.error->find("step budget") != std::string::npos) {
+        interp_gave_up = true;
+        if (give_up_reason.empty()) {
+          give_up_reason = triage_line(*run_result.error);
+        }
+      } else {
+        result.outcome = Outcome::kCrash;
+        result.detail =
+            "interpreter error: " + triage_line(*run_result.error);
+        return result;
+      }
+    }
+  }
+
+  if (verdict.verdict == Verdict::kDeadlockFree) {
+    if (result.deadlocked_runs > 0) {
+      result.outcome = Outcome::kUnsound;
+      result.detail = deadlock_reason;
+    } else if (interp_gave_up) {
+      // Freedom was claimed but ground truth never finished: no
+      // execution contradicted the claim, so this is an unknown, not a
+      // confirmation.
+      result.outcome = Outcome::kUnknown;
+      result.detail = "execution gave up: " + give_up_reason;
+    } else {
+      result.outcome = Outcome::kSoundFree;
+    }
+    return result;
+  }
+  if (result.deadlocked_runs > 0) {
+    result.outcome = Outcome::kTruePositive;
+    result.detail = deadlock_reason;
+  } else if (interp_gave_up) {
+    result.outcome = Outcome::kUnknown;
+    result.detail = "execution gave up: " + give_up_reason;
+  } else {
+    result.outcome = Outcome::kImprecise;
+    result.detail = first_line(verdict.diags.render());
+  }
+  return result;
+}
+
+}  // namespace
+
+OracleResult classify_program(const std::string& source, std::uint64_t seed,
+                              const OracleOptions& options) {
+  obs::Span span("fuzz", "classify");
+  // Per-program fault arming: configure() resets the arrival counter, so
+  // the k-th arrival within THIS program decides injection — the same
+  // program always faults (or not) identically, independent of farm
+  // position. Disarm before returning so the caller's process state is
+  // untouched (the shrinker parses candidates in the same process).
+  struct FaultScope {
+    bool armed = false;
+    ~FaultScope() {
+      if (armed) fault::clear();
+    }
+  } fault_scope;
+  if (!options.fault_spec.empty()) {
+    std::string error;
+    if (!fault::configure(options.fault_spec, &error)) {
+      OracleResult bad;
+      bad.outcome = Outcome::kCrash;
+      bad.detail = "bad fault spec: " + error;
+      return bad;
+    }
+    fault_scope.armed = true;
+  }
+  try {
+    return classify_impl(source, seed, options);
+  } catch (const fault::FaultInjected& fault) {
+    OracleResult result;
+    result.outcome = Outcome::kCrash;
+    result.detail = std::string("injected fault at point '") + fault.point +
+                    "'";
+    return result;
+  } catch (const std::exception& e) {
+    OracleResult result;
+    result.outcome = Outcome::kCrash;
+    result.detail = std::string("exception: ") + e.what();
+    return result;
+  } catch (...) {
+    OracleResult result;
+    result.outcome = Outcome::kCrash;
+    result.detail = "unknown exception";
+    return result;
+  }
+}
+
+}  // namespace gtdl::fuzz

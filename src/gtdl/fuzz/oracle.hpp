@@ -1,0 +1,101 @@
+// The differential oracle at the heart of the fuzzing farm.
+//
+// We hold both ends of the paper's soundness claim: the static verdict
+// (check_deadlock_freedom over the inferred graph type) and ground truth
+// (the FutLang interpreter, whose recorded dependency graph defines
+// "this execution deadlocked"). classify_program runs one program
+// through both ends under per-program resource budgets and names the
+// relationship:
+//
+//   sound_free      static DeadlockFree, no bounded execution deadlocks
+//   true_positive   static MayDeadlock and some execution deadlocks
+//   imprecise       static MayDeadlock but no bounded execution
+//                   deadlocks — expected conservatism, logged and rated
+//   UNSOUND         static DeadlockFree yet an execution deadlocks —
+//                   the release blocker the farm exists to catch
+//   unknown         the static analysis gave up (budget tripped)
+//   compile_error   the program does not compile (for generated
+//                   programs: a generator bug)
+//   crash           an exception escaped the pipeline but was contained
+//                   (includes injected faults and oracle incoherence)
+//
+// Anything the classifier cannot contain — a segfault, an OOM kill, a
+// hard hang — is the farm layer's job: workers are processes, and the
+// farm records those as worker_crash / worker_hang findings (farm.hpp).
+//
+// Determinism: with a fixed (seed, options) pair the classification is a
+// pure function — interpreter schedules are seeded from `seed`, fault
+// injection is re-armed per program (resetting its arrival counter), and
+// the static analysis is deterministic. This is what makes findings
+// replayable from their seed alone.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gtdl::fuzz {
+
+enum class Outcome : unsigned char {
+  kSoundFree = 0,
+  kTruePositive,
+  kImprecise,
+  kUnsound,
+  kUnknown,
+  kCompileError,
+  kCrash,
+  // Farm-level classes — never returned by classify_program, but part of
+  // the one findings taxonomy (triaged by worker exit status).
+  kWorkerCrash,
+  kWorkerHang,
+};
+inline constexpr unsigned kOutcomeCount = 9;
+
+[[nodiscard]] const char* to_string(Outcome outcome) noexcept;
+
+// True for the classes the farm records as findings (and shrinks):
+// unsound, compile_error, crash, worker_crash, worker_hang. Imprecision
+// and unknowns are counted and rated, and a bounded sample is kept, but
+// they are expected outcomes of a sound conservative analysis, not bugs.
+[[nodiscard]] bool is_finding(Outcome outcome) noexcept;
+
+struct OracleOptions {
+  // Interpreter executions per program; every one must stay
+  // deadlock-free for a DeadlockFree verdict to count as confirmed.
+  unsigned run_seeds = 3;
+  // Per-program budgets, applied separately to the static analysis and
+  // to each execution (0 = unlimited). The defaults keep a pathological
+  // program from stalling a farm worker for more than ~2 s.
+  std::uint64_t timeout_ms = 2000;
+  std::uint64_t budget_steps = 0;
+  std::uint64_t budget_mb = 0;
+  // Interpreter step quota per execution (the interpreter's own guard).
+  std::size_t max_interp_steps = 2'000'000;
+  // When non-empty, the deterministic fault harness (support/fault.hpp)
+  // is re-armed with this point:rate:seed spec before the program is
+  // classified and disarmed after, so the k-th fault arrival within one
+  // program is reproducible regardless of how many programs ran before.
+  std::string fault_spec;
+};
+
+struct OracleResult {
+  Outcome outcome = Outcome::kCrash;
+  // One line of triage: the deadlock reason, the budget reason, the
+  // first diagnostic, or the escaped exception's what().
+  std::string detail;
+  // The static analysis' three-way verdict as text ("deadlock-free",
+  // "may-deadlock", "unknown"); empty when compilation failed.
+  std::string static_verdict;
+  // How many of the run_seeds executions deadlocked.
+  unsigned deadlocked_runs = 0;
+};
+
+// Classifies one FutLang source. `seed` drives the interpreter schedules
+// (and is typically the generator seed, making generation + oracle one
+// deterministic pipeline). Never throws: escaped exceptions become
+// Outcome::kCrash.
+[[nodiscard]] OracleResult classify_program(const std::string& source,
+                                            std::uint64_t seed,
+                                            const OracleOptions& options = {});
+
+}  // namespace gtdl::fuzz

@@ -1,0 +1,186 @@
+// Random-but-always-well-typed FutLang program generator, shared by the
+// differential fuzzing farm (fuzz/farm.hpp, the fdlf binary), the
+// end-to-end soundness fuzz (tests/test_e2e_fuzz.cpp), the streaming
+// enumeration differential suite (tests/test_streaming.cpp), and the
+// collection-constructor differential suite (tests/test_adt.cpp).
+//
+// The generator emits straight-line main() bodies over a pool of future
+// handles with new/spawn/touch in arbitrary (often unsafe) orders, plus
+// spawn bodies that may touch earlier handles — including touch-before-
+// spawn, double-touch, never-spawned, conditional regions, and nested
+// spawn bodies.
+//
+// With `collections` enabled it additionally emits the ISSUE-6 forms —
+// spawn_vec families (whose one body may touch scalar handles),
+// touch_all joins, indexed member touches fs[i], and staged pipelines —
+// wired into the same shuffled-hazard scheme, so touch-before-spawn and
+// never-spawned bugs arise through family members and stages too. The
+// flag is off by default and drawing it does not perturb the RNG stream,
+// so existing seeds keep generating byte-identical programs.
+//
+// RNG-stream compatibility (kRngStreamVersion):
+//   v1  (PRs 4–9) drew from std::mt19937_64 through
+//       std::uniform_int_distribution and std::shuffle — both of which
+//       the C++ standard leaves implementation-defined, so one seed
+//       produced DIFFERENT programs under libstdc++ vs libc++.
+//   v2  (current, "splitmix64-v2") draws every decision from an inline
+//       splitmix64 sequence (Steele et al., the exact reference
+//       constants) with modulo reduction, and shuffles with an inline
+//       Fisher–Yates over those draws. A seed now reproduces the same
+//       program byte-for-byte on every toolchain and platform — the
+//       property the fuzzing farm's seed-replay and crash attribution
+//       depend on. v1 seeds do NOT map to the same v2 programs; corpus
+//       findings record the stream version so stale seeds are detected
+//       rather than silently replayed against the wrong program.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gtdl::fuzz {
+
+// Recorded in farm findings metadata; bump when the draw sequence or the
+// program grammar changes so old (seed -> program) claims are detectable.
+inline constexpr const char* kRngStreamVersion = "splitmix64-v2";
+
+// The reference splitmix64 step: deterministic on every platform, good
+// enough mixing for program-shape decisions (the same generator the
+// fault-injection harness uses for its per-arrival decisions).
+inline std::uint64_t splitmix64_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+class RandomProgram {
+ public:
+  explicit RandomProgram(std::uint64_t seed, bool collections = false)
+      : state_(seed), collections_(collections) {}
+
+  std::string generate() {
+    const unsigned handles = 2 + pick(3);  // 2..4 handles
+    std::string body;
+    for (unsigned h = 0; h < handles; ++h) {
+      body += "  let h" + std::to_string(h) + " = new_future[int]();\n";
+    }
+    // A shuffled multiset of operations over the handles.
+    std::vector<std::string> ops;
+    for (unsigned h = 0; h < handles; ++h) {
+      // Most handles get spawned (sometimes twice-attempted programs are
+      // invalid at runtime, so exactly once here); some never.
+      if (pick(10) != 0) ops.push_back(spawn_stmt(h, handles));
+      const unsigned touches = pick(3);  // 0..2 touches
+      for (unsigned t = 0; t < touches; ++t) {
+        ops.push_back("  let v" + fresh() + " = touch(h" +
+                      std::to_string(h) + ");\n");
+      }
+    }
+    if (collections_) {
+      // Families must be bound before their joins can reference them, so
+      // the spawn_vec statements join the header while touch_all /
+      // indexed touches enter the shuffled pool. Hazards still flow
+      // through the families: a member body may touch a scalar handle
+      // whose spawn lands after the join (or never happens at all).
+      const unsigned families = 1 + pick(2);  // 1..2 families
+      for (unsigned f = 0; f < families; ++f) {
+        const unsigned width = 2 + pick(3);  // 2..4 members
+        body += "  let fs" + std::to_string(f) + " = spawn_vec[int] " +
+                std::to_string(width) + " { " + member_body(handles) +
+                " }\n";
+        const unsigned joins = pick(3);  // 0..2 whole-family joins
+        for (unsigned j = 0; j < joins; ++j) {
+          ops.push_back("  let v" + fresh() + " = length(touch_all(fs" +
+                        std::to_string(f) + "));\n");
+        }
+        const unsigned indexed = pick(3);  // 0..2 member joins
+        for (unsigned j = 0; j < indexed; ++j) {
+          ops.push_back("  let v" + fresh() + " = touch(fs" +
+                        std::to_string(f) + "[" +
+                        std::to_string(pick(width)) + "]);\n");
+        }
+      }
+      if (pick(2) != 0) ops.push_back(pipeline_stmt(handles));
+    }
+    shuffle(ops);
+    for (std::string& op : ops) body += op;
+    return "fun main() {\n" + body + "}\n";
+  }
+
+ private:
+  // Modulo reduction is biased for bounds that do not divide 2^64, but
+  // every bound here is tiny (<= 100), so the bias is < 2^-57 per draw —
+  // irrelevant for program-shape sampling, and exactly reproducible.
+  unsigned pick(unsigned bound) {
+    return static_cast<unsigned>(splitmix64_next(state_) % bound);
+  }
+
+  // Inline Fisher–Yates: std::shuffle's draw pattern is implementation-
+  // defined, this one is pinned.
+  void shuffle(std::vector<std::string>& ops) {
+    for (std::size_t i = ops.size(); i > 1; --i) {
+      const unsigned j = pick(static_cast<unsigned>(i));
+      std::swap(ops[i - 1], ops[j]);
+    }
+  }
+
+  std::string fresh() { return std::to_string(counter_++); }
+
+  std::string spawn_stmt(unsigned h, unsigned handles) {
+    std::string body;
+    switch (pick(3)) {
+      case 0:
+        body = "return " + std::to_string(pick(100)) + ";";
+        break;
+      case 1: {
+        // Touch some other handle from inside the future body.
+        const unsigned other = pick(handles);
+        if (other == h) {
+          body = "return 1;";
+        } else {
+          body = "return touch(h" + std::to_string(other) + ") + 1;";
+        }
+        break;
+      }
+      default: {
+        // A conditional body.
+        body = "if rand() % 2 == 0 { return 0; } else { return " +
+               std::to_string(pick(50)) + "; }";
+        break;
+      }
+    }
+    return "  spawn h" + std::to_string(h) + " { " + body + " }\n";
+  }
+
+  // The one body shared by every member of a spawn_vec family.
+  std::string member_body(unsigned handles) {
+    if (pick(2) == 0) {
+      return "return " + std::to_string(pick(100)) + ";";
+    }
+    return "return touch(h" + std::to_string(pick(handles)) + ") + 1;";
+  }
+
+  // A 2..3-stage pipeline; stages may pull scalar handles in.
+  std::string pipeline_stmt(unsigned handles) {
+    const unsigned stages = 2 + pick(2);
+    std::string stmt = "  pipeline {\n";
+    for (unsigned s = 0; s < stages; ++s) {
+      if (pick(2) == 0) {
+        stmt += "    stage { let v" + fresh() + " = touch(h" +
+                std::to_string(pick(handles)) + "); }\n";
+      } else {
+        stmt += "    stage { let v" + fresh() + " = " +
+                std::to_string(pick(50)) + "; }\n";
+      }
+    }
+    return stmt + "  }\n";
+  }
+
+  std::uint64_t state_;
+  bool collections_ = false;
+  unsigned counter_ = 0;
+};
+
+}  // namespace gtdl::fuzz

@@ -1,0 +1,598 @@
+#include "gtdl/fuzz/shrink.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "gtdl/frontend/ast.hpp"
+#include "gtdl/frontend/parser.hpp"
+#include "gtdl/frontend/printer.hpp"
+#include "gtdl/obs/trace.hpp"
+#include "gtdl/support/diagnostics.hpp"
+#include "gtdl/support/overloaded.hpp"
+
+namespace gtdl::fuzz {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Deterministic site enumeration. Every pass walks the program in the
+// same fixed pre-order; count() tallies its applicable sites and
+// apply(k) re-walks and mutates the k-th one in place. Candidates are
+// built by re-parsing the current best source (programs are tiny), so no
+// AST clone machinery is needed.
+
+// Depth-first over every statement list: function bodies, if/while arms,
+// spawn / spawn_vec bodies, pipeline stages — parents before children,
+// source order.
+template <typename Fn>
+void visit_blocks_expr(Expr& expr, const Fn& fn);
+
+template <typename Fn>
+void visit_blocks(Block& block, const Fn& fn) {
+  fn(block);
+  for (StmtPtr& stmt : block) {
+    std::visit(Overloaded{
+                   [&](SLet& s) { visit_blocks_expr(*s.init, fn); },
+                   [&](SAssign& s) { visit_blocks_expr(*s.value, fn); },
+                   [&](SExpr& s) { visit_blocks_expr(*s.expr, fn); },
+                   [&](SReturn& s) {
+                     if (s.value != nullptr) visit_blocks_expr(*s.value, fn);
+                   },
+                   [&](SIf& s) {
+                     visit_blocks_expr(*s.cond, fn);
+                     visit_blocks(s.then_block, fn);
+                     visit_blocks(s.else_block, fn);
+                   },
+                   [&](SWhile& s) {
+                     visit_blocks_expr(*s.cond, fn);
+                     visit_blocks(s.body, fn);
+                   },
+               },
+               stmt->node);
+  }
+}
+
+template <typename Fn>
+void visit_blocks_expr(Expr& expr, const Fn& fn) {
+  std::visit(Overloaded{
+                 [&](ECall& e) {
+                   for (ExprPtr& arg : e.args) visit_blocks_expr(*arg, fn);
+                 },
+                 [&](ETouch& e) { visit_blocks_expr(*e.handle, fn); },
+                 [&](ESpawn& e) {
+                   visit_blocks_expr(*e.handle, fn);
+                   visit_blocks(e.body, fn);
+                 },
+                 [&](EBinary& e) {
+                   visit_blocks_expr(*e.lhs, fn);
+                   visit_blocks_expr(*e.rhs, fn);
+                 },
+                 [&](EUnary& e) { visit_blocks_expr(*e.operand, fn); },
+                 [&](ESpawnVec& e) {
+                   visit_blocks_expr(*e.width, fn);
+                   visit_blocks(e.body, fn);
+                 },
+                 [&](ETouchAll& e) { visit_blocks_expr(*e.handle, fn); },
+                 [&](EIndex& e) {
+                   visit_blocks_expr(*e.handle, fn);
+                   visit_blocks_expr(*e.index, fn);
+                 },
+                 [&](EPipeline& e) {
+                   for (Block& stage : e.stages) visit_blocks(stage, fn);
+                 },
+                 [](auto&) {},
+             },
+             expr.node);
+}
+
+// Every owning expression slot, same order (so a slot can be replaced
+// wholesale, e.g. a binary by one of its operands).
+template <typename Fn>
+void visit_slots(ExprPtr& slot, const Fn& fn);
+
+template <typename Fn>
+void visit_slots_block(Block& block, const Fn& fn) {
+  for (StmtPtr& stmt : block) {
+    std::visit(Overloaded{
+                   [&](SLet& s) { visit_slots(s.init, fn); },
+                   [&](SAssign& s) { visit_slots(s.value, fn); },
+                   [&](SExpr& s) { visit_slots(s.expr, fn); },
+                   [&](SReturn& s) {
+                     if (s.value != nullptr) visit_slots(s.value, fn);
+                   },
+                   [&](SIf& s) {
+                     visit_slots(s.cond, fn);
+                     visit_slots_block(s.then_block, fn);
+                     visit_slots_block(s.else_block, fn);
+                   },
+                   [&](SWhile& s) {
+                     visit_slots(s.cond, fn);
+                     visit_slots_block(s.body, fn);
+                   },
+               },
+               stmt->node);
+  }
+}
+
+template <typename Fn>
+void visit_slots(ExprPtr& slot, const Fn& fn) {
+  fn(slot);
+  std::visit(Overloaded{
+                 [&](ECall& e) {
+                   for (ExprPtr& arg : e.args) visit_slots(arg, fn);
+                 },
+                 [&](ETouch& e) { visit_slots(e.handle, fn); },
+                 [&](ESpawn& e) {
+                   visit_slots(e.handle, fn);
+                   visit_slots_block(e.body, fn);
+                 },
+                 [&](EBinary& e) {
+                   visit_slots(e.lhs, fn);
+                   visit_slots(e.rhs, fn);
+                 },
+                 [&](EUnary& e) { visit_slots(e.operand, fn); },
+                 [&](ESpawnVec& e) {
+                   visit_slots(e.width, fn);
+                   visit_slots_block(e.body, fn);
+                 },
+                 [&](ETouchAll& e) { visit_slots(e.handle, fn); },
+                 [&](EIndex& e) {
+                   visit_slots(e.handle, fn);
+                   visit_slots(e.index, fn);
+                 },
+                 [&](EPipeline& e) {
+                   for (Block& stage : e.stages) visit_slots_block(stage, fn);
+                 },
+                 [](auto&) {},
+             },
+             slot->node);
+}
+
+ExprPtr int_literal(std::int64_t value) {
+  auto expr = std::make_unique<Expr>();
+  expr->node = EIntLit{value};
+  return expr;
+}
+
+StmtPtr return_zero() {
+  auto stmt = std::make_unique<Stmt>();
+  stmt->node = SReturn{int_literal(0)};
+  return stmt;
+}
+
+bool is_return_zero(const Block& block) {
+  if (block.size() != 1) return false;
+  const auto* ret = std::get_if<SReturn>(&block[0]->node);
+  if (ret == nullptr || ret->value == nullptr) return false;
+  const auto* lit = std::get_if<EIntLit>(&ret->value->node);
+  return lit != nullptr && lit->value == 0;
+}
+
+struct Pass {
+  const char* name;
+  std::function<std::size_t(Program&)> count;
+  // Mutates site k in place; returns false when k is out of range.
+  std::function<bool(Program&, std::size_t)> apply;
+};
+
+// Finds the k-th site accepted by `matches` among the program's blocks
+// and runs `mutate` on (block, index-within-block).
+bool nth_stmt_site(Program& p, std::size_t k,
+                   const std::function<bool(const StmtPtr&)>& matches,
+                   const std::function<void(Block&, std::size_t)>& mutate) {
+  bool done = false;
+  for (Function& f : p.functions) {
+    visit_blocks(f.body, [&](Block& b) {
+      if (done) return;
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        if (!matches(b[i])) continue;
+        if (k > 0) {
+          --k;
+          continue;
+        }
+        mutate(b, i);
+        done = true;
+        return;
+      }
+    });
+    if (done) return true;
+  }
+  return false;
+}
+
+std::size_t count_stmt_sites(
+    Program& p, const std::function<bool(const StmtPtr&)>& matches) {
+  std::size_t n = 0;
+  for (Function& f : p.functions) {
+    visit_blocks(f.body, [&](Block& b) {
+      for (const StmtPtr& s : b) {
+        if (matches(s)) ++n;
+      }
+    });
+  }
+  return n;
+}
+
+// spawn_vec width-shrink variants for a literal width n, strongest
+// first. Deterministic and strictly decreasing.
+std::vector<std::int64_t> width_variants(std::int64_t n) {
+  std::vector<std::int64_t> out;
+  if (n > 1) out.push_back(1);
+  if (n / 2 > 1) out.push_back(n / 2);
+  if (n - 1 > 1 && n - 1 != n / 2) out.push_back(n - 1);
+  return out;
+}
+
+std::vector<Pass> build_passes() {
+  std::vector<Pass> passes;
+
+  passes.push_back(Pass{
+      "drop_function",
+      [](Program& p) { return p.functions.size(); },
+      [](Program& p, std::size_t k) {
+        if (k >= p.functions.size()) return false;
+        p.functions.erase(p.functions.begin() +
+                          static_cast<std::ptrdiff_t>(k));
+        return true;
+      },
+  });
+
+  const auto any_stmt = [](const StmtPtr&) { return true; };
+  passes.push_back(Pass{
+      "drop_stmt",
+      [any_stmt](Program& p) { return count_stmt_sites(p, any_stmt); },
+      [any_stmt](Program& p, std::size_t k) {
+        return nth_stmt_site(p, k, any_stmt, [](Block& b, std::size_t i) {
+          b.erase(b.begin() + static_cast<std::ptrdiff_t>(i));
+        });
+      },
+  });
+
+  const auto unwrappable = [](const StmtPtr& s) {
+    return std::holds_alternative<SIf>(s->node) ||
+           std::holds_alternative<SWhile>(s->node);
+  };
+  passes.push_back(Pass{
+      "unwrap",
+      [unwrappable](Program& p) { return count_stmt_sites(p, unwrappable); },
+      [unwrappable](Program& p, std::size_t k) {
+        return nth_stmt_site(p, k, unwrappable, [](Block& b, std::size_t i) {
+          Block inner;
+          if (auto* iff = std::get_if<SIf>(&b[i]->node)) {
+            inner = std::move(iff->then_block);
+          } else {
+            inner = std::move(std::get<SWhile>(b[i]->node).body);
+          }
+          b.erase(b.begin() + static_cast<std::ptrdiff_t>(i));
+          b.insert(b.begin() + static_cast<std::ptrdiff_t>(i),
+                   std::make_move_iterator(inner.begin()),
+                   std::make_move_iterator(inner.end()));
+        });
+      },
+  });
+
+  // Spawn / spawn_vec bodies that are not already `return 0;`.
+  const auto hollow_body = [](Expr& e) -> Block* {
+    if (auto* spawn = std::get_if<ESpawn>(&e.node)) {
+      if (!is_return_zero(spawn->body)) return &spawn->body;
+    } else if (auto* vec = std::get_if<ESpawnVec>(&e.node)) {
+      if (!is_return_zero(vec->body)) return &vec->body;
+    }
+    return nullptr;
+  };
+  passes.push_back(Pass{
+      "hollow_spawn",
+      [hollow_body](Program& p) {
+        std::size_t n = 0;
+        for (Function& f : p.functions) {
+          visit_slots_block(f.body, [&](ExprPtr& slot) {
+            if (hollow_body(*slot) != nullptr) ++n;
+          });
+        }
+        return n;
+      },
+      [hollow_body](Program& p, std::size_t k) {
+        bool done = false;
+        for (Function& f : p.functions) {
+          visit_slots_block(f.body, [&](ExprPtr& slot) {
+            if (done) return;
+            Block* body = hollow_body(*slot);
+            if (body == nullptr) return;
+            if (k > 0) {
+              --k;
+              return;
+            }
+            body->clear();
+            body->push_back(return_zero());
+            done = true;
+          });
+          if (done) return true;
+        }
+        return false;
+      },
+  });
+
+  const auto vec_width = [](Expr& e) -> EIntLit* {
+    auto* vec = std::get_if<ESpawnVec>(&e.node);
+    if (vec == nullptr) return nullptr;
+    return std::get_if<EIntLit>(&vec->width->node);
+  };
+  passes.push_back(Pass{
+      "shrink_width",
+      [vec_width](Program& p) {
+        std::size_t n = 0;
+        for (Function& f : p.functions) {
+          visit_slots_block(f.body, [&](ExprPtr& slot) {
+            if (EIntLit* w = vec_width(*slot)) {
+              n += width_variants(w->value).size();
+            }
+          });
+        }
+        return n;
+      },
+      [vec_width](Program& p, std::size_t k) {
+        bool done = false;
+        for (Function& f : p.functions) {
+          visit_slots_block(f.body, [&](ExprPtr& slot) {
+            if (done) return;
+            EIntLit* w = vec_width(*slot);
+            if (w == nullptr) return;
+            const std::vector<std::int64_t> variants =
+                width_variants(w->value);
+            if (k >= variants.size()) {
+              k -= variants.size();
+              return;
+            }
+            w->value = variants[k];
+            done = true;
+          });
+          if (done) return true;
+        }
+        return false;
+      },
+  });
+
+  const auto pipeline_stages = [](Expr& e) -> std::vector<Block>* {
+    auto* pipe = std::get_if<EPipeline>(&e.node);
+    // Two-stage pipelines cannot lose a stage (the grammar requires two);
+    // they fall to drop_stmt instead.
+    if (pipe == nullptr || pipe->stages.size() < 3) return nullptr;
+    return &pipe->stages;
+  };
+  passes.push_back(Pass{
+      "drop_stage",
+      [pipeline_stages](Program& p) {
+        std::size_t n = 0;
+        for (Function& f : p.functions) {
+          visit_slots_block(f.body, [&](ExprPtr& slot) {
+            if (auto* stages = pipeline_stages(*slot)) n += stages->size();
+          });
+        }
+        return n;
+      },
+      [pipeline_stages](Program& p, std::size_t k) {
+        bool done = false;
+        for (Function& f : p.functions) {
+          visit_slots_block(f.body, [&](ExprPtr& slot) {
+            if (done) return;
+            auto* stages = pipeline_stages(*slot);
+            if (stages == nullptr) return;
+            if (k >= stages->size()) {
+              k -= stages->size();
+              return;
+            }
+            stages->erase(stages->begin() + static_cast<std::ptrdiff_t>(k));
+            done = true;
+          });
+          if (done) return true;
+        }
+        return false;
+      },
+  });
+
+  const auto simplifiable_let = [](const StmtPtr& s) {
+    const auto* let = std::get_if<SLet>(&s->node);
+    return let != nullptr &&
+           !std::holds_alternative<EIntLit>(let->init->node);
+  };
+  passes.push_back(Pass{
+      "simplify_init",
+      [simplifiable_let](Program& p) {
+        return count_stmt_sites(p, simplifiable_let);
+      },
+      [simplifiable_let](Program& p, std::size_t k) {
+        return nth_stmt_site(p, k, simplifiable_let,
+                             [](Block& b, std::size_t i) {
+                               std::get<SLet>(b[i]->node).init =
+                                   int_literal(0);
+                             });
+      },
+  });
+
+  // Binary -> lhs, binary -> rhs, unary -> operand.
+  const auto strip_variants = [](Expr& e) -> std::size_t {
+    if (std::holds_alternative<EBinary>(e.node)) return 2;
+    if (std::holds_alternative<EUnary>(e.node)) return 1;
+    return 0;
+  };
+  passes.push_back(Pass{
+      "strip_expr",
+      [strip_variants](Program& p) {
+        std::size_t n = 0;
+        for (Function& f : p.functions) {
+          visit_slots_block(f.body, [&](ExprPtr& slot) {
+            n += strip_variants(*slot);
+          });
+        }
+        return n;
+      },
+      [strip_variants](Program& p, std::size_t k) {
+        bool done = false;
+        for (Function& f : p.functions) {
+          visit_slots_block(f.body, [&](ExprPtr& slot) {
+            if (done) return;
+            const std::size_t variants = strip_variants(*slot);
+            if (variants == 0) return;
+            if (k >= variants) {
+              k -= variants;
+              return;
+            }
+            ExprPtr replacement;
+            if (auto* bin = std::get_if<EBinary>(&slot->node)) {
+              replacement = std::move(k == 0 ? bin->lhs : bin->rhs);
+            } else {
+              replacement = std::move(std::get<EUnary>(slot->node).operand);
+            }
+            slot = std::move(replacement);
+            done = true;
+          });
+          if (done) return true;
+        }
+        return false;
+      },
+  });
+
+  return passes;
+}
+
+std::optional<Program> parse_quiet(const std::string& source) {
+  DiagnosticEngine diags;
+  return parse_program(source, diags);
+}
+
+// Greedy first-improvement fixpoint over the AST pass list. Returns the
+// final source; sets one_minimal when a full sweep found nothing.
+void shrink_ast(const std::string& start, const ShrinkEvaluator& triggers,
+                const ShrinkOptions& options, ShrinkResult& result) {
+  const std::vector<Pass> passes = build_passes();
+  std::string current = start;
+  for (;;) {
+    bool improved = false;
+    for (const Pass& pass : passes) {
+      std::optional<Program> base = parse_quiet(current);
+      if (!base.has_value()) {
+        // Cannot happen for printer output; bail conservatively.
+        result.program = current;
+        return;
+      }
+      const std::size_t sites = pass.count(*base);
+      for (std::size_t k = 0; k < sites && !improved; ++k) {
+        std::optional<Program> candidate_ast = parse_quiet(current);
+        if (!candidate_ast.has_value()) break;
+        if (!pass.apply(*candidate_ast, k)) break;
+        const std::string candidate = print_program(*candidate_ast);
+        if (candidate == current) continue;
+        if (result.candidates_tried >= options.max_candidates) {
+          result.program = current;
+          return;  // budget: reproducer valid, minimality unproven
+        }
+        ++result.candidates_tried;
+        if (triggers(candidate)) {
+          current = candidate;
+          ++result.reductions_applied;
+          improved = true;
+        }
+      }
+      if (improved) break;  // restart the sweep from the first pass
+    }
+    if (!improved) {
+      result.one_minimal = true;
+      result.program = current;
+      return;
+    }
+  }
+}
+
+// Fallback for sources the parser rejects: greedy single-line drops.
+void shrink_lines(const std::string& start, const ShrinkEvaluator& triggers,
+                  const ShrinkOptions& options, ShrinkResult& result) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos <= start.size()) {
+    const std::size_t nl = start.find('\n', pos);
+    if (nl == std::string::npos) {
+      if (pos < start.size()) lines.push_back(start.substr(pos));
+      break;
+    }
+    lines.push_back(start.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  const auto join = [](const std::vector<std::string>& ls) {
+    std::string out;
+    for (const std::string& l : ls) {
+      out += l;
+      out += '\n';
+    }
+    return out;
+  };
+  for (;;) {
+    bool improved = false;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      std::vector<std::string> candidate_lines = lines;
+      candidate_lines.erase(candidate_lines.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+      const std::string candidate = join(candidate_lines);
+      if (result.candidates_tried >= options.max_candidates) {
+        result.program = join(lines);
+        return;
+      }
+      ++result.candidates_tried;
+      if (triggers(candidate)) {
+        lines = std::move(candidate_lines);
+        ++result.reductions_applied;
+        improved = true;
+        break;
+      }
+    }
+    if (!improved) {
+      result.one_minimal = true;
+      result.program = join(lines);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+ShrinkResult shrink_program(const std::string& source,
+                            const ShrinkEvaluator& triggers,
+                            const ShrinkOptions& options) {
+  obs::Span span("fuzz", "shrink");
+  ShrinkResult result;
+  result.program = source;
+
+  ++result.candidates_tried;
+  if (!triggers(source)) {
+    return result;  // reproduced = false: flaky or environment-dependent
+  }
+  result.reproduced = true;
+
+  std::optional<Program> parsed = parse_quiet(source);
+  if (!parsed.has_value()) {
+    shrink_lines(source, triggers, options, result);
+    return result;
+  }
+
+  // Normalize through the printer first so AST candidates diff against a
+  // stable rendering. If normalization itself loses the finding (it
+  // should not — printing preserves structure), shrink the raw text.
+  const std::string normalized = print_program(*parsed);
+  if (normalized != source) {
+    ++result.candidates_tried;
+    if (!triggers(normalized)) {
+      shrink_lines(source, triggers, options, result);
+      return result;
+    }
+    ++result.reductions_applied;
+  }
+  shrink_ast(normalized, triggers, options, result);
+  return result;
+}
+
+}  // namespace gtdl::fuzz

@@ -1,0 +1,73 @@
+// Witness shrinking: delta-debugging a fuzzing-farm finding down to a
+// minimal reproducer.
+//
+// The shrinker never guesses what a transformation means for the
+// property under test — it proposes candidate programs and keeps a
+// candidate iff the caller's evaluator says the finding still triggers
+// (same outcome class; the farm closes the evaluator over the original
+// classification and, for crash-grade findings, evaluates in a fork so a
+// reproducing candidate cannot take the shrinker down).
+//
+// Reduction passes (AST-aware; the candidate source is produced by the
+// frontend pretty-printer, so every candidate is a real program):
+//
+//   drop_function    remove a whole definition
+//   drop_stmt        remove one statement anywhere (any block depth)
+//   unwrap           replace an if/while statement by its body
+//   hollow_spawn     replace a spawn / spawn_vec body with `return 0;`
+//   shrink_width     lower a spawn_vec width literal (1, n/2, n-1)
+//   drop_stage       remove one stage of a >=3-stage pipeline
+//   simplify_init    replace a let initializer with the literal 0
+//   strip_expr       replace a binary/unary expression by one operand
+//
+// Greedy fixpoint: passes are tried in the order above, first improving
+// candidate wins, and the search restarts; when one full sweep yields no
+// accepted candidate the result is 1-minimal under the pass list — no
+// single pass application can shrink it further (ShrinkResult::
+// one_minimal). The whole procedure is deterministic: pass order, site
+// order and variant order are fixed, so a fixed (source, evaluator)
+// always shrinks to the same program.
+//
+// Sources the frontend cannot parse (e.g. a compile_error finding that
+// is a parse error) fall back to line-granular reduction: drop each
+// line, then each contiguous half, to the same greedy fixpoint.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace gtdl::fuzz {
+
+// Returns true iff `source` still triggers the finding being shrunk.
+// Must be deterministic; must not throw (contain crashes yourself — the
+// farm's fork-based evaluator exists for exactly that).
+using ShrinkEvaluator = std::function<bool(const std::string& source)>;
+
+struct ShrinkOptions {
+  // Hard cap on evaluator invocations; hitting it ends the search with
+  // one_minimal = false (the reproducer is still valid, just maybe not
+  // minimal).
+  std::size_t max_candidates = 4000;
+};
+
+struct ShrinkResult {
+  // The smallest still-triggering program found (== the input source
+  // when nothing could be removed, or when the input never reproduced).
+  std::string program;
+  // False when the ORIGINAL source did not trigger under the evaluator —
+  // the finding is flaky or environment-dependent; `program` is then the
+  // input, untouched.
+  bool reproduced = false;
+  // A full sweep of every pass found no further single-step reduction.
+  bool one_minimal = false;
+  std::size_t candidates_tried = 0;
+  std::size_t reductions_applied = 0;
+};
+
+[[nodiscard]] ShrinkResult shrink_program(const std::string& source,
+                                          const ShrinkEvaluator& triggers,
+                                          const ShrinkOptions& options = {});
+
+}  // namespace gtdl::fuzz

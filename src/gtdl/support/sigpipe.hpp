@@ -1,0 +1,28 @@
+// SIGPIPE hardening for every binary that writes to something that can
+// vanish: a pager that quit (`fdlc ... | head`), a daemon client that
+// hung up mid-response, a fuzzing-farm parent that died under its
+// workers.
+//
+// Default POSIX behavior kills the writing process with SIGPIPE before
+// write() ever returns, so no amount of error checking downstream helps.
+// With the signal ignored the same write fails with EPIPE instead, and
+// the existing error paths turn it into a clean diagnostic: fdlc flushes
+// std::cout before exiting and converts a failed report into exit 2,
+// fdld's per-connection write_all drops just that connection, and farm
+// workers treat a dead parent pipe as an orderly shutdown
+// (docs/ROBUSTNESS.md "Broken pipes").
+
+#pragma once
+
+#include <csignal>
+
+namespace gtdl {
+
+// Idempotent; call once at the top of main(), before any output.
+inline void ignore_sigpipe() {
+#ifdef SIGPIPE
+  std::signal(SIGPIPE, SIG_IGN);
+#endif
+}
+
+}  // namespace gtdl

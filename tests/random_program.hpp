@@ -1,146 +1,9 @@
-// Random-but-always-well-typed FutLang program generator, shared by the
-// end-to-end soundness fuzz (test_e2e_fuzz.cpp), the streaming
-// enumeration differential suite (test_streaming.cpp), and the
-// collection-constructor differential suite (test_adt.cpp).
-//
-// The generator emits straight-line main() bodies over a pool of future
-// handles with new/spawn/touch in arbitrary (often unsafe) orders, plus
-// spawn bodies that may touch earlier handles — including touch-before-
-// spawn, double-touch, never-spawned, conditional regions, and nested
-// spawn bodies.
-//
-// With `collections` enabled it additionally emits the ISSUE-6 forms —
-// spawn_vec families (whose one body may touch scalar handles),
-// touch_all joins, indexed member touches fs[i], and staged pipelines —
-// wired into the same shuffled-hazard scheme, so touch-before-spawn and
-// never-spawned bugs arise through family members and stages too. The
-// flag is off by default and drawing it does not perturb the RNG stream,
-// so existing seeds keep generating byte-identical programs.
+// Forwarder: the random FutLang program generator moved into the fuzz
+// library (src/gtdl/fuzz/random_program.hpp) when the differential
+// fuzzing farm industrialized it — the farm, the fdlf binary, and the
+// test suites must all draw the exact same (seed -> program) mapping.
+// The RNG-stream compatibility note lives in the real header.
 
 #pragma once
 
-#include <algorithm>
-#include <cstdint>
-#include <random>
-#include <string>
-#include <vector>
-
-namespace gtdl::fuzz {
-
-class RandomProgram {
- public:
-  explicit RandomProgram(std::uint64_t seed, bool collections = false)
-      : rng_(seed), collections_(collections) {}
-
-  std::string generate() {
-    const unsigned handles = 2 + pick(3);  // 2..4 handles
-    std::string body;
-    for (unsigned h = 0; h < handles; ++h) {
-      body += "  let h" + std::to_string(h) + " = new_future[int]();\n";
-    }
-    // A shuffled multiset of operations over the handles.
-    std::vector<std::string> ops;
-    for (unsigned h = 0; h < handles; ++h) {
-      // Most handles get spawned (sometimes twice-attempted programs are
-      // invalid at runtime, so exactly once here); some never.
-      if (pick(10) != 0) ops.push_back(spawn_stmt(h, handles));
-      const unsigned touches = pick(3);  // 0..2 touches
-      for (unsigned t = 0; t < touches; ++t) {
-        ops.push_back("  let v" + fresh() + " = touch(h" +
-                      std::to_string(h) + ");\n");
-      }
-    }
-    if (collections_) {
-      // Families must be bound before their joins can reference them, so
-      // the spawn_vec statements join the header while touch_all /
-      // indexed touches enter the shuffled pool. Hazards still flow
-      // through the families: a member body may touch a scalar handle
-      // whose spawn lands after the join (or never happens at all).
-      const unsigned families = 1 + pick(2);  // 1..2 families
-      for (unsigned f = 0; f < families; ++f) {
-        const unsigned width = 2 + pick(3);  // 2..4 members
-        body += "  let fs" + std::to_string(f) + " = spawn_vec[int] " +
-                std::to_string(width) + " { " + member_body(handles) +
-                " }\n";
-        const unsigned joins = pick(3);  // 0..2 whole-family joins
-        for (unsigned j = 0; j < joins; ++j) {
-          ops.push_back("  let v" + fresh() + " = length(touch_all(fs" +
-                        std::to_string(f) + "));\n");
-        }
-        const unsigned indexed = pick(3);  // 0..2 member joins
-        for (unsigned j = 0; j < indexed; ++j) {
-          ops.push_back("  let v" + fresh() + " = touch(fs" +
-                        std::to_string(f) + "[" +
-                        std::to_string(pick(width)) + "]);\n");
-        }
-      }
-      if (pick(2) != 0) ops.push_back(pipeline_stmt(handles));
-    }
-    std::shuffle(ops.begin(), ops.end(), rng_);
-    for (std::string& op : ops) body += op;
-    return "fun main() {\n" + body + "}\n";
-  }
-
- private:
-  unsigned pick(unsigned bound) {
-    return std::uniform_int_distribution<unsigned>(0, bound - 1)(rng_);
-  }
-
-  std::string fresh() { return std::to_string(counter_++); }
-
-  std::string spawn_stmt(unsigned h, unsigned handles) {
-    std::string body;
-    switch (pick(3)) {
-      case 0:
-        body = "return " + std::to_string(pick(100)) + ";";
-        break;
-      case 1: {
-        // Touch some other handle from inside the future body.
-        const unsigned other = pick(handles);
-        if (other == h) {
-          body = "return 1;";
-        } else {
-          body = "return touch(h" + std::to_string(other) + ") + 1;";
-        }
-        break;
-      }
-      default: {
-        // A conditional body.
-        body = "if rand() % 2 == 0 { return 0; } else { return " +
-               std::to_string(pick(50)) + "; }";
-        break;
-      }
-    }
-    return "  spawn h" + std::to_string(h) + " { " + body + " }\n";
-  }
-
-  // The one body shared by every member of a spawn_vec family.
-  std::string member_body(unsigned handles) {
-    if (pick(2) == 0) {
-      return "return " + std::to_string(pick(100)) + ";";
-    }
-    return "return touch(h" + std::to_string(pick(handles)) + ") + 1;";
-  }
-
-  // A 2..3-stage pipeline; stages may pull scalar handles in.
-  std::string pipeline_stmt(unsigned handles) {
-    const unsigned stages = 2 + pick(2);
-    std::string stmt = "  pipeline {\n";
-    for (unsigned s = 0; s < stages; ++s) {
-      if (pick(2) == 0) {
-        stmt += "    stage { let v" + fresh() + " = touch(h" +
-                std::to_string(pick(handles)) + "); }\n";
-      } else {
-        stmt += "    stage { let v" + fresh() + " = " +
-                std::to_string(pick(50)) + "; }\n";
-      }
-    }
-    return stmt + "  }\n";
-  }
-
-  std::mt19937_64 rng_;
-  bool collections_ = false;
-  unsigned counter_ = 0;
-};
-
-}  // namespace gtdl::fuzz
+#include "gtdl/fuzz/random_program.hpp"

@@ -1,0 +1,414 @@
+// The fuzzing farm's own test suite (ISSUE 10): printer round-trips,
+// oracle classification on hand-crafted findings, shrinker determinism
+// and 1-minimality, process-level crash containment, and the curated
+// regression corpus in examples/programs/fuzz/.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtdl/frontend/driver.hpp"
+#include "gtdl/frontend/parser.hpp"
+#include "gtdl/frontend/printer.hpp"
+#include "gtdl/fuzz/farm.hpp"
+#include "gtdl/fuzz/oracle.hpp"
+#include "gtdl/fuzz/random_program.hpp"
+#include "gtdl/fuzz/shrink.hpp"
+
+namespace gtdl::fuzz {
+namespace {
+
+// Scoped GTDL_TESTING_MISVERDICT=accept-all: the deliberately-unsound
+// detector hook (detect/deadlock.cpp) the farm's self-test is built on.
+struct MisverdictScope {
+  MisverdictScope() { ::setenv("GTDL_TESTING_MISVERDICT", "accept-all", 1); }
+  ~MisverdictScope() { ::unsetenv("GTDL_TESTING_MISVERDICT"); }
+};
+
+OracleOptions fast_oracle() {
+  OracleOptions o;
+  o.timeout_ms = 5000;
+  return o;
+}
+
+const char* kDeadlocker =
+    "fun main() {\n"
+    "  let h0 = new_future[int]();\n"
+    "  let v0 = touch(h0);\n"
+    "  spawn h0 { return 1; }\n"
+    "}\n";
+
+// --- Printer -----------------------------------------------------------
+
+TEST(Printer, RoundTripsGeneratedPrograms) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const std::string source =
+        RandomProgram(seed, /*collections=*/(seed & 1) != 0).generate();
+    const Program p1 = parse_program_or_throw(source);
+    const std::string printed = print_program(p1);
+    const Program p2 = parse_program_or_throw(printed);
+    // Structural identity via the printer itself: print(parse(print(p)))
+    // must be a fixpoint.
+    EXPECT_EQ(printed, print_program(p2)) << "seed " << seed;
+  }
+}
+
+TEST(Printer, RoundTripPreservesClassification) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const std::string source = RandomProgram(seed, true).generate();
+    const std::string printed =
+        print_program(parse_program_or_throw(source));
+    const OracleResult a = classify_program(source, seed, fast_oracle());
+    const OracleResult b = classify_program(printed, seed, fast_oracle());
+    EXPECT_EQ(a.outcome, b.outcome) << "seed " << seed << "\n" << printed;
+  }
+}
+
+TEST(Printer, EscapesStringLiterals) {
+  const std::string source =
+      "fun main() {\n  let s = \"a\\n\\t\\\\\\\"b\";\n  print(s);\n}\n";
+  const Program p = parse_program_or_throw(source);
+  const std::string printed = print_program(p);
+  EXPECT_EQ(printed, print_program(parse_program_or_throw(printed)));
+}
+
+// --- Oracle ------------------------------------------------------------
+
+TEST(Oracle, KnownDeadlockIsTruePositive) {
+  const OracleResult r = classify_program(kDeadlocker, 1, fast_oracle());
+  EXPECT_EQ(r.outcome, Outcome::kTruePositive);
+  EXPECT_EQ(r.static_verdict, "may-deadlock");
+  EXPECT_GT(r.deadlocked_runs, 0u);
+}
+
+TEST(Oracle, SafeProgramIsSoundFree) {
+  const char* source =
+      "fun main() {\n"
+      "  let h0 = new_future[int]();\n"
+      "  spawn h0 { return 1; }\n"
+      "  let v0 = touch(h0);\n"
+      "}\n";
+  const OracleResult r = classify_program(source, 1, fast_oracle());
+  EXPECT_EQ(r.outcome, Outcome::kSoundFree);
+  EXPECT_EQ(r.deadlocked_runs, 0u);
+}
+
+TEST(Oracle, ConservativeRejectIsImprecise) {
+  // h0's body touches h1 whose spawn comes later: rejected statically,
+  // never deadlocks at runtime.
+  const char* source =
+      "fun main() {\n"
+      "  let h0 = new_future[int]();\n"
+      "  let h1 = new_future[int]();\n"
+      "  spawn h0 { return touch(h1) + 1; }\n"
+      "  spawn h1 { return 7; }\n"
+      "  let v0 = touch(h0);\n"
+      "}\n";
+  const OracleResult r = classify_program(source, 1, fast_oracle());
+  EXPECT_EQ(r.outcome, Outcome::kImprecise);
+}
+
+TEST(Oracle, GarbageIsCompileError) {
+  const OracleResult r = classify_program("fun main( {", 1, fast_oracle());
+  EXPECT_EQ(r.outcome, Outcome::kCompileError);
+  EXPECT_FALSE(r.detail.empty());
+}
+
+TEST(Oracle, InjectedFaultIsContainedCrash) {
+  OracleOptions o = fast_oracle();
+  o.fault_spec = "parse:1:42";
+  const OracleResult r = classify_program(kDeadlocker, 1, o);
+  EXPECT_EQ(r.outcome, Outcome::kCrash);
+  // And the arming is per-call: the same program without the spec is
+  // untouched afterwards.
+  EXPECT_EQ(classify_program(kDeadlocker, 1, fast_oracle()).outcome,
+            Outcome::kTruePositive);
+}
+
+TEST(Oracle, MisverdictHookProducesUnsound) {
+  MisverdictScope misverdict;
+  const OracleResult r = classify_program(kDeadlocker, 1, fast_oracle());
+  EXPECT_EQ(r.outcome, Outcome::kUnsound);
+  EXPECT_EQ(r.static_verdict, "deadlock-free");
+}
+
+TEST(Oracle, DeterministicForFixedSeed) {
+  for (std::uint64_t seed : {3u, 11u, 27u}) {
+    const std::string source = RandomProgram(seed, true).generate();
+    const OracleResult a = classify_program(source, seed, fast_oracle());
+    const OracleResult b = classify_program(source, seed, fast_oracle());
+    EXPECT_EQ(a.outcome, b.outcome);
+    EXPECT_EQ(a.deadlocked_runs, b.deadlocked_runs);
+    EXPECT_EQ(a.detail, b.detail);
+  }
+}
+
+// --- Generator ---------------------------------------------------------
+
+TEST(Generator, PlatformPinnedStream) {
+  // The splitmix64 reference vector: these values must never change, on
+  // any platform — seed replay and crash attribution depend on it.
+  std::uint64_t state = 0;
+  EXPECT_EQ(splitmix64_next(state), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(splitmix64_next(state), 0x6e789e6aa1b965f4ull);
+  // And a full generated program is byte-stable for a fixed seed.
+  EXPECT_EQ(RandomProgram(42, true).generate(),
+            RandomProgram(42, true).generate());
+}
+
+// --- Shrinker ----------------------------------------------------------
+
+ShrinkEvaluator same_class(Outcome want, std::uint64_t seed) {
+  return [want, seed](const std::string& candidate) {
+    return classify_program(candidate, seed, fast_oracle()).outcome == want;
+  };
+}
+
+TEST(Shrinker, PreservesClassificationAndShrinks) {
+  // A generated program with a known deadlock, padded with removable
+  // structure.
+  const std::string source = RandomProgram(7, true).generate();
+  ASSERT_EQ(classify_program(source, 7, fast_oracle()).outcome,
+            Outcome::kTruePositive);
+  const ShrinkResult r =
+      shrink_program(source, same_class(Outcome::kTruePositive, 7));
+  EXPECT_TRUE(r.reproduced);
+  EXPECT_TRUE(r.one_minimal);
+  EXPECT_GT(r.reductions_applied, 0u);
+  EXPECT_LT(r.program.size(), source.size());
+  EXPECT_EQ(classify_program(r.program, 7, fast_oracle()).outcome,
+            Outcome::kTruePositive);
+}
+
+TEST(Shrinker, DeterministicForFixedInput) {
+  const std::string source = RandomProgram(9, true).generate();
+  const OracleResult orig = classify_program(source, 9, fast_oracle());
+  const ShrinkResult a =
+      shrink_program(source, same_class(orig.outcome, 9));
+  const ShrinkResult b =
+      shrink_program(source, same_class(orig.outcome, 9));
+  EXPECT_EQ(a.program, b.program);
+  EXPECT_EQ(a.candidates_tried, b.candidates_tried);
+  EXPECT_EQ(a.reductions_applied, b.reductions_applied);
+}
+
+TEST(Shrinker, ResultIsOneMinimalUnderPassList) {
+  const std::string source = RandomProgram(5, false).generate();
+  const OracleResult orig = classify_program(source, 5, fast_oracle());
+  ASSERT_TRUE(orig.outcome == Outcome::kTruePositive ||
+              orig.outcome == Outcome::kSoundFree ||
+              orig.outcome == Outcome::kImprecise);
+  const ShrinkResult first =
+      shrink_program(source, same_class(orig.outcome, 5));
+  ASSERT_TRUE(first.one_minimal);
+  // 1-minimality, checked by the definition: shrinking the result again
+  // finds nothing to remove.
+  const ShrinkResult again =
+      shrink_program(first.program, same_class(orig.outcome, 5));
+  EXPECT_EQ(again.reductions_applied, 0u);
+  EXPECT_EQ(again.program, first.program);
+}
+
+TEST(Shrinker, KnownCrashViaFaultShrinksToSameClass) {
+  OracleOptions o = fast_oracle();
+  o.fault_spec = "alloc:1:9";
+  const std::string source = RandomProgram(7, true).generate();
+  const OracleResult orig = classify_program(source, 7, o);
+  ASSERT_EQ(orig.outcome, Outcome::kCrash);
+  const ShrinkResult r = shrink_program(
+      source, [&](const std::string& candidate) {
+        return classify_program(candidate, 7, o).outcome == Outcome::kCrash;
+      });
+  EXPECT_TRUE(r.reproduced);
+  EXPECT_EQ(classify_program(r.program, 7, o).outcome, Outcome::kCrash);
+}
+
+TEST(Shrinker, FlakyFindingIsNotShrunk) {
+  const std::string source = RandomProgram(7, true).generate();
+  const ShrinkResult r = shrink_program(
+      source, [](const std::string&) { return false; });
+  EXPECT_FALSE(r.reproduced);
+  EXPECT_EQ(r.program, source);
+}
+
+TEST(Shrinker, LineFallbackForUnparseableSources) {
+  const std::string source =
+      "this is not futlang\nKEEP THIS LINE\nnor is this\nor this\n";
+  const ShrinkResult r = shrink_program(
+      source, [](const std::string& candidate) {
+        return candidate.find("KEEP THIS LINE") != std::string::npos;
+      });
+  EXPECT_TRUE(r.reproduced);
+  EXPECT_TRUE(r.one_minimal);
+  EXPECT_EQ(r.program, "KEEP THIS LINE\n");
+}
+
+// --- Farm --------------------------------------------------------------
+
+FarmOptions small_farm(std::uint64_t programs) {
+  FarmOptions o;
+  o.jobs = 2;
+  o.seed_base = 1;
+  o.max_programs = programs;
+  o.oracle.timeout_ms = 5000;
+  return o;
+}
+
+TEST(Farm, CountModeIsDeterministicAndClean) {
+  const FarmReport a = run_farm(small_farm(40));
+  const FarmReport b = run_farm(small_farm(40));
+  EXPECT_EQ(a.programs, 40u);
+  EXPECT_EQ(a.exit_code(), 0) << a.error;
+  for (unsigned i = 0; i < kOutcomeCount; ++i) {
+    EXPECT_EQ(a.counts[i], b.counts[i]) << to_string(static_cast<Outcome>(i));
+  }
+  EXPECT_TRUE(a.findings.empty());
+  // Vacuity guard: the seed range must exercise both verdicts.
+  EXPECT_GT(a.count(Outcome::kSoundFree), 0u);
+  EXPECT_GT(a.count(Outcome::kTruePositive), 0u);
+}
+
+TEST(Farm, SeedSetIsIndependentOfJobs) {
+  FarmOptions four = small_farm(40);
+  four.jobs = 4;
+  const FarmReport a = run_farm(small_farm(40));
+  const FarmReport b = run_farm(four);
+  for (unsigned i = 0; i < kOutcomeCount; ++i) {
+    EXPECT_EQ(a.counts[i], b.counts[i]) << to_string(static_cast<Outcome>(i));
+  }
+}
+
+TEST(Farm, CatchesDeliberatelyUnsoundDetector) {
+  MisverdictScope misverdict;
+  FarmOptions o = small_farm(20);
+  o.max_shrink_findings = 4;
+  const FarmReport report = run_farm(o);
+  EXPECT_EQ(report.exit_code(), 1) << report.error;
+  ASSERT_FALSE(report.findings.empty());
+  std::size_t shrunk = 0;
+  for (const Finding& f : report.findings) {
+    EXPECT_EQ(f.outcome, Outcome::kUnsound);
+    if (f.shrunk.empty()) continue;
+    ++shrunk;
+    EXPECT_TRUE(f.shrink_reproduced);
+    // The acceptance bar: a shrunk unsound reproducer is tiny — at most
+    // 10 definitions (ours are single-function programs).
+    std::size_t defs = 0;
+    for (std::size_t pos = f.shrunk.find("fun "); pos != std::string::npos;
+         pos = f.shrunk.find("fun ", pos + 4)) {
+      ++defs;
+    }
+    EXPECT_LE(defs, 10u);
+    EXPECT_LT(f.shrunk.size(), f.program.size());
+  }
+  EXPECT_GT(shrunk, 0u);
+}
+
+TEST(Farm, SurvivesInjectedWorkerCrash) {
+  FarmOptions o = small_farm(30);
+  o.kill_seed = 9;  // worker 0's 5th seed (1, 3, 5, 7, 9, ...)
+  const FarmReport report = run_farm(o);
+  // The poisoned seed is recorded, the worker respawned, and every other
+  // seed still classified.
+  EXPECT_EQ(report.worker_restarts, 1u);
+  EXPECT_FALSE(report.restart_storm);
+  EXPECT_EQ(report.programs, 29u);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].outcome, Outcome::kWorkerCrash);
+  EXPECT_EQ(report.findings[0].seed, 9u);
+  EXPECT_EQ(report.exit_code(), 4);
+}
+
+TEST(Farm, WritesFindingsDirAndBenchJson) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "gtdl_fuzz_farm_test";
+  fs::remove_all(dir);
+  MisverdictScope misverdict;
+  FarmOptions o = small_farm(10);
+  o.max_shrink_findings = 2;
+  o.findings_dir = (dir / "findings").string();
+  o.bench_json = (dir / "bench_fuzz.json").string();
+  const FarmReport report = run_farm(o);
+  EXPECT_EQ(report.exit_code(), 1);
+  ASSERT_FALSE(report.findings.empty());
+  // One .fut per finding, headed by its class and seed.
+  std::size_t files = 0;
+  for (const auto& entry : fs::directory_iterator(o.findings_dir)) {
+    if (entry.path().extension() == ".fut") ++files;
+  }
+  EXPECT_GE(files, report.findings.size());
+  std::ifstream bench(o.bench_json);
+  ASSERT_TRUE(bench.good());
+  std::ostringstream contents;
+  contents << bench.rdbuf();
+  const std::string json = contents.str();
+  for (const char* key :
+       {"\"bench\": \"fuzz_farm\"", "\"programs\"", "\"precision\"",
+        "\"unknown_rate\"", "\"programs_per_sec\"", "\"counts\"",
+        "\"rng_stream\": \"splitmix64-v2\"", "\"exit_code\": 1"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Farm, RejectsContradictoryConfiguration) {
+  FarmOptions o;
+  o.jobs = 0;
+  EXPECT_EQ(run_farm(o).exit_code(), 2);
+  FarmOptions both;
+  both.max_programs = 10;
+  both.duration_s = 1;
+  EXPECT_EQ(run_farm(both).exit_code(), 2);
+}
+
+TEST(Farm, ReplaySeedMatchesFarmClassification) {
+  // Replay must be the exact worker pipeline: same generator, same
+  // oracle seeds.
+  OracleOptions o = fast_oracle();
+  std::string program;
+  const OracleResult a = replay_seed(7, o, &program);
+  EXPECT_EQ(program, RandomProgram(7, true).generate());
+  const OracleResult b = replay_seed(7, o);
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.detail, b.detail);
+}
+
+// --- Regression corpus -------------------------------------------------
+
+// Every curated finding in examples/programs/fuzz/ carries its recorded
+// classification in a `# fuzz-class:` header; the oracle must keep
+// honoring it (the CI corpus driver additionally checks the `# fdlc-exit:`
+// headers through the real binary — scripts/check_fuzz_corpus.py).
+TEST(RegressionCorpus, CuratedSeedsKeepTheirClassification) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(GTDL_PROGRAMS_DIR) / "fuzz";
+  ASSERT_TRUE(fs::exists(dir)) << dir;
+  std::size_t checked = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".fut") continue;
+    std::ifstream in(entry.path());
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    const std::string source = contents.str();
+    const std::string tag = "# fuzz-class: ";
+    const std::size_t at = source.find(tag);
+    ASSERT_NE(at, std::string::npos) << entry.path();
+    const std::size_t end = source.find('\n', at);
+    const std::string want = source.substr(at + tag.size(),
+                                           end - at - tag.size());
+    const OracleResult r = classify_program(source, 1, fast_oracle());
+    EXPECT_EQ(std::string(to_string(r.outcome)), want)
+        << entry.path() << ": " << r.detail;
+    ++checked;
+  }
+  EXPECT_GE(checked, 6u);
+}
+
+}  // namespace
+}  // namespace gtdl::fuzz
